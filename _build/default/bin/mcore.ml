@@ -1,0 +1,216 @@
+(* mcore: unsatisfiability analysis for DIMACS CNF files — cores,
+   minimal unsatisfiable subsets, disjoint-core bounds, and checked
+   DRUP refutation proofs. *)
+
+module Solver = Msu_sat.Solver
+module Mus = Msu_sat.Mus
+module Drup = Msu_sat.Drup
+module Formula = Msu_cnf.Formula
+open Cmdliner
+
+let load file =
+  try Ok (Msu_cnf.Dimacs.parse_cnf_file file) with
+  | Msu_cnf.Dimacs.Parse_error (line, msg) ->
+      Error (Printf.sprintf "%s:%d: %s" file line msg)
+  | Sys_error msg -> Error msg
+
+let with_formula file k =
+  match load file with
+  | Error msg ->
+      prerr_endline ("error: " ^ msg);
+      2
+  | Ok f -> k f
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"DIMACS CNF file.")
+
+let timeout_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "t"; "timeout" ] ~docv:"SECONDS" ~doc:"Wall-clock budget.")
+
+let deadline_of = Option.map (fun t -> Unix.gettimeofday () +. t)
+
+let print_clause_set f ids =
+  Printf.printf "%d clauses:\n" (List.length ids);
+  List.iter
+    (fun i ->
+      Printf.printf "  %3d:" i;
+      Array.iter
+        (fun l -> Printf.printf " %d" (Msu_cnf.Lit.to_dimacs l))
+        (Formula.clause f i);
+      print_newline ())
+    ids
+
+let core_cmd =
+  let run file timeout =
+    with_formula file (fun f ->
+        let s = Solver.create () in
+        Solver.ensure_vars s (Formula.num_vars f);
+        Formula.iter_clauses (fun i c -> Solver.add_clause ~id:i s c) f;
+        match Solver.solve ?deadline:(deadline_of timeout) s with
+        | Solver.Sat ->
+            print_endline "s SATISFIABLE";
+            0
+        | Solver.Unknown ->
+            print_endline "s UNKNOWN";
+            1
+        | Solver.Unsat ->
+            print_endline "s UNSATISFIABLE";
+            print_clause_set f (Solver.unsat_core s);
+            0)
+  in
+  Cmd.v
+    (Cmd.info "core" ~doc:"Extract an unsatisfiable core (not necessarily minimal).")
+    Term.(const run $ file_arg $ timeout_arg)
+
+let mus_cmd =
+  let run file timeout =
+    with_formula file (fun f ->
+        match Mus.extract ?deadline:(deadline_of timeout) f with
+        | None ->
+            print_endline "s SATISFIABLE (or budget exceeded)";
+            1
+        | Some mus ->
+            print_endline "s UNSATISFIABLE (minimal subset below)";
+            print_clause_set f (List.sort compare mus);
+            0)
+  in
+  Cmd.v
+    (Cmd.info "mus" ~doc:"Extract a minimal unsatisfiable subset (deletion-based).")
+    Term.(const run $ file_arg $ timeout_arg)
+
+let disjoint_cmd =
+  let run file timeout =
+    with_formula file (fun f ->
+        let w = Msu_cnf.Wcnf.of_formula f in
+        match Msu_maxsat.Disjoint_cores.find ?deadline:(deadline_of timeout) w with
+        | None ->
+            print_endline "s UNSATISFIABLE (hard clauses)";
+            1
+        | Some t ->
+            Printf.printf "%d disjoint cores -> MaxSAT cost >= %d (%s)\n"
+              t.Msu_maxsat.Disjoint_cores.lower_bound
+              t.Msu_maxsat.Disjoint_cores.lower_bound
+              (if t.Msu_maxsat.Disjoint_cores.exhausted then "exhausted"
+               else "budget stop");
+            List.iteri
+              (fun k core ->
+                Printf.printf "core %d: %s\n" k
+                  (String.concat " " (List.map string_of_int (List.sort compare core))))
+              t.Msu_maxsat.Disjoint_cores.cores;
+            0)
+  in
+  Cmd.v
+    (Cmd.info "disjoint"
+       ~doc:"Enumerate disjoint cores (Proposition 1's MaxSAT lower bound).")
+    Term.(const run $ file_arg $ timeout_arg)
+
+let prove_cmd =
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the DRUP proof here.")
+  in
+  let run file timeout out =
+    with_formula file (fun f ->
+        let log = Drup.create () in
+        let s = Solver.create ~track_proof:false () in
+        Solver.set_drup s log;
+        Solver.ensure_vars s (Formula.num_vars f);
+        Formula.iter_clauses (fun i c -> Solver.add_clause ~id:i s c) f;
+        match Solver.solve ?deadline:(deadline_of timeout) s with
+        | Solver.Sat ->
+            print_endline "s SATISFIABLE";
+            0
+        | Solver.Unknown ->
+            print_endline "s UNKNOWN";
+            1
+        | Solver.Unsat ->
+            print_endline "s UNSATISFIABLE";
+            Printf.printf "c proof: %d events\n" (Drup.num_events log);
+            let verified = Drup.check ~require_empty:true f log in
+            Printf.printf "c proof %s by the independent checker\n"
+              (if verified then "VERIFIED" else "REJECTED");
+            (match out with
+            | None -> ()
+            | Some path ->
+                let oc = open_out path in
+                let ppf = Format.formatter_of_out_channel oc in
+                Drup.pp ppf log;
+                Format.pp_print_flush ppf ();
+                close_out oc;
+                Printf.printf "c proof written to %s\n" path);
+            if verified then 0 else 3)
+  in
+  Cmd.v
+    (Cmd.info "prove" ~doc:"Refute, log a DRUP proof, and self-check it.")
+    Term.(const run $ file_arg $ timeout_arg $ out_arg)
+
+let simplify_cmd =
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the simplified CNF here.")
+  in
+  let run file out =
+    with_formula file (fun f ->
+        match Msu_sat.Simplify.simplify f with
+        | None ->
+            print_endline "s UNSATISFIABLE (refuted during preprocessing)";
+            0
+        | Some r ->
+            Printf.printf
+              "c %d -> %d clauses (%d removed, %d literals strengthened, %d vars \
+               eliminated)\n"
+              (Formula.num_clauses f)
+              (Formula.num_clauses r.Msu_sat.Simplify.formula)
+              r.Msu_sat.Simplify.removed_clauses r.Msu_sat.Simplify.strengthened
+              r.Msu_sat.Simplify.eliminated_vars;
+            (match out with
+            | None -> Msu_cnf.Dimacs.print_cnf Format.std_formatter r.Msu_sat.Simplify.formula
+            | Some path -> Msu_cnf.Dimacs.write_cnf_file path r.Msu_sat.Simplify.formula);
+            0)
+  in
+  Cmd.v
+    (Cmd.info "simplify"
+       ~doc:"SatELite-style preprocessing: subsumption, strengthening, elimination.")
+    Term.(const run $ file_arg $ out_arg)
+
+let mcs_cmd =
+  let limit =
+    Arg.(value & opt int 16 & info [ "l"; "limit" ] ~docv:"N" ~doc:"Max MCSes to list.")
+  in
+  let run file timeout limit =
+    with_formula file (fun f ->
+        let w = Msu_cnf.Wcnf.of_formula f in
+        match
+          Msu_maxsat.Mcs.enumerate ?deadline:(deadline_of timeout) ~limit w
+        with
+        | None ->
+            print_endline "s UNSATISFIABLE (hard clauses)";
+            1
+        | Some { Msu_maxsat.Mcs.mcses; complete } ->
+            Printf.printf "%d minimal correction set(s)%s\n" (List.length mcses)
+              (if complete then "" else " (truncated)");
+            List.iteri
+              (fun k set ->
+                Printf.printf "mcs %d (size %d): %s\n" k (List.length set)
+                  (String.concat " " (List.map string_of_int set)))
+              mcses;
+            0)
+  in
+  Cmd.v
+    (Cmd.info "mcs"
+       ~doc:"Enumerate minimal correction sets (MUS duals), smallest first.")
+    Term.(const run $ file_arg $ timeout_arg $ limit)
+
+let cmd =
+  let doc = "unsatisfiability analysis: cores, MUSes, disjoint cores, DRUP proofs" in
+  Cmd.group (Cmd.info "mcore" ~version:"1.0" ~doc)
+    [ core_cmd; mus_cmd; disjoint_cmd; prove_cmd; simplify_cmd; mcs_cmd ]
+
+let () = exit (Cmd.eval' cmd)

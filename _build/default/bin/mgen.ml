@@ -1,0 +1,195 @@
+(* mgen: generate the benchmark families as DIMACS files. *)
+
+module Formula = Msu_cnf.Formula
+module Dimacs = Msu_cnf.Dimacs
+open Cmdliner
+
+let emit out formula =
+  match out with
+  | None -> Dimacs.print_cnf Format.std_formatter formula
+  | Some path -> Dimacs.write_cnf_file path formula
+
+let emit_wcnf out w =
+  match out with
+  | None -> Dimacs.print_wcnf Format.std_formatter w
+  | Some path -> Dimacs.write_wcnf_file path w
+
+let out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file (default stdout).")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "s"; "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let state seed = Random.State.make [| seed |]
+
+(* --- individual families --- *)
+
+let php_cmd =
+  let holes = Arg.(value & opt int 5 & info [ "n"; "holes" ] ~docv:"N" ~doc:"Holes.") in
+  let run n out =
+    emit out (Msu_gen.Php.formula n);
+    0
+  in
+  Cmd.v
+    (Cmd.info "php" ~doc:"Pigeonhole formula PHP(n+1, n).")
+    Term.(const run $ holes $ out_arg)
+
+let rnd3sat_cmd =
+  let vars = Arg.(value & opt int 30 & info [ "n"; "vars" ] ~doc:"Variables.") in
+  let ratio = Arg.(value & opt float 7.0 & info [ "r"; "ratio" ] ~doc:"Clause ratio.") in
+  let run n ratio seed out =
+    emit out (Msu_gen.Random_cnf.unsat_ksat (state seed) ~n_vars:n ~ratio ~k:3);
+    0
+  in
+  Cmd.v
+    (Cmd.info "rnd3sat" ~doc:"Unsatisfiable random 3-SAT (solver-verified).")
+    Term.(const run $ vars $ ratio $ seed_arg $ out_arg)
+
+let bmc_counter_cmd =
+  let width = Arg.(value & opt int 5 & info [ "w"; "width" ] ~doc:"Counter width.") in
+  let depth = Arg.(value & opt int 15 & info [ "d"; "depth" ] ~doc:"Unrolling depth.") in
+  let run width depth out =
+    let limit = (1 lsl width) - 2 and target = (1 lsl width) - 1 in
+    emit out (Msu_gen.Bmc.counter_formula ~width ~limit ~target ~depth);
+    0
+  in
+  Cmd.v
+    (Cmd.info "bmc-counter" ~doc:"BMC of a counter with an unreachable target (unsat).")
+    Term.(const run $ width $ depth $ out_arg)
+
+let bmc_lfsr_cmd =
+  let width = Arg.(value & opt int 6 & info [ "w"; "width" ] ~doc:"LFSR width.") in
+  let depth = Arg.(value & opt int 10 & info [ "d"; "depth" ] ~doc:"Unrolling depth.") in
+  let run width depth out =
+    emit out (Msu_gen.Bmc.lfsr_formula ~width ~taps:[ 1 ] ~depth);
+    0
+  in
+  Cmd.v
+    (Cmd.info "bmc-lfsr" ~doc:"BMC of an LFSR asked to reach the zero state (unsat).")
+    Term.(const run $ width $ depth $ out_arg)
+
+let equiv_cmd =
+  let gates = Arg.(value & opt int 120 & info [ "g"; "gates" ] ~doc:"Gates.") in
+  let inputs = Arg.(value & opt int 8 & info [ "i"; "inputs" ] ~doc:"Inputs.") in
+  let outputs = Arg.(value & opt int 4 & info [ "p"; "outputs" ] ~doc:"Outputs.") in
+  let run gates inputs outputs seed out =
+    emit out
+      (Msu_gen.Equiv.instance (state seed) ~n_inputs:inputs ~n_gates:gates
+         ~n_outputs:outputs);
+    0
+  in
+  Cmd.v
+    (Cmd.info "equiv" ~doc:"Equivalence-checking miter of a netlist vs its resynthesis.")
+    Term.(const run $ gates $ inputs $ outputs $ seed_arg $ out_arg)
+
+let atpg_cmd =
+  let gates = Arg.(value & opt int 100 & info [ "g"; "gates" ] ~doc:"Gates.") in
+  let inputs = Arg.(value & opt int 8 & info [ "i"; "inputs" ] ~doc:"Inputs.") in
+  let outputs = Arg.(value & opt int 3 & info [ "p"; "outputs" ] ~doc:"Outputs.") in
+  let faults = Arg.(value & opt int 2 & info [ "f"; "faults" ] ~doc:"Planted faults.") in
+  let run gates inputs outputs faults seed out =
+    emit out
+      (Msu_gen.Atpg.instance (state seed) ~n_inputs:inputs ~n_gates:gates
+         ~n_outputs:outputs ~n_faults:faults);
+    0
+  in
+  Cmd.v
+    (Cmd.info "atpg" ~doc:"Untestable-fault ATPG miter (unsat).")
+    Term.(const run $ gates $ inputs $ outputs $ faults $ seed_arg $ out_arg)
+
+let debug_cmd =
+  let gates = Arg.(value & opt int 40 & info [ "g"; "gates" ] ~doc:"Gates.") in
+  let inputs = Arg.(value & opt int 6 & info [ "i"; "inputs" ] ~doc:"Inputs.") in
+  let outputs = Arg.(value & opt int 3 & info [ "p"; "outputs" ] ~doc:"Outputs.") in
+  let vectors = Arg.(value & opt int 4 & info [ "v"; "vectors" ] ~doc:"Test vectors.") in
+  let plain =
+    Arg.(value & flag & info [ "plain" ] ~doc:"Plain MaxSAT encoding (all clauses soft).")
+  in
+  let run gates inputs outputs vectors plain seed out =
+    let encoding = if plain then `Plain else `Partial in
+    let inst =
+      Msu_gen.Debug.instance (state seed) ~n_inputs:inputs ~n_gates:gates
+        ~n_outputs:outputs ~n_vectors:vectors ~encoding
+    in
+    Printf.eprintf "c injected error at gate %d\n" inst.Msu_gen.Debug.buggy_gate;
+    emit_wcnf out inst.Msu_gen.Debug.wcnf;
+    0
+  in
+  Cmd.v
+    (Cmd.info "debug" ~doc:"Design-debugging MaxSAT instance (WCNF).")
+    Term.(const run $ gates $ inputs $ outputs $ vectors $ plain $ seed_arg $ out_arg)
+
+let coloring_cmd =
+  let vertices = Arg.(value & opt int 20 & info [ "n"; "vertices" ] ~doc:"Vertices.") in
+  let colors = Arg.(value & opt int 3 & info [ "k"; "colors" ] ~doc:"Colors.") in
+  let prob = Arg.(value & opt float 0.3 & info [ "p"; "prob" ] ~doc:"Edge probability.") in
+  let interval =
+    Arg.(value & flag & info [ "interval" ] ~doc:"Interval (register-allocation) graph.")
+  in
+  let run vertices colors prob interval seed out =
+    let st = state seed in
+    let g =
+      if interval then
+        Msu_gen.Coloring.interval_graph st ~n_intervals:vertices
+          ~horizon:(2 * vertices) ~max_len:(max 2 (vertices / 3))
+      else Msu_gen.Coloring.random_graph st ~n_vertices:vertices ~edge_prob:prob
+    in
+    emit_wcnf out (Msu_gen.Coloring.encode g ~colors);
+    0
+  in
+  Cmd.v
+    (Cmd.info "coloring" ~doc:"Graph-coloring MaxSAT instance (WCNF, hard exactly-one).")
+    Term.(const run $ vertices $ colors $ prob $ interval $ seed_arg $ out_arg)
+
+let suite_cmd =
+  let dir =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "d"; "dir" ] ~docv:"DIR" ~doc:"Output directory.")
+  in
+  let scale = Arg.(value & opt float 1.0 & info [ "scale" ] ~doc:"Size/count scale.") in
+  let which =
+    Arg.(
+      value
+      & opt (enum [ ("industrial", `Industrial); ("debugging", `Debugging) ]) `Industrial
+      & info [ "suite" ] ~doc:"Which suite: industrial or debugging.")
+  in
+  let run dir scale which seed =
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    let instances =
+      match which with
+      | `Industrial -> Msu_gen.Suites.industrial ~scale ~seed ()
+      | `Debugging -> Msu_gen.Suites.debugging ~scale ~seed ()
+    in
+    List.iter
+      (fun i ->
+        let path = Filename.concat dir (i.Msu_gen.Suites.name ^ ".cnf") in
+        Dimacs.write_cnf_file path i.Msu_gen.Suites.formula)
+      instances;
+    Printf.printf "wrote %d instances to %s\n" (List.length instances) dir;
+    0
+  in
+  Cmd.v
+    (Cmd.info "suite" ~doc:"Write a whole benchmark suite to a directory.")
+    Term.(const run $ dir $ scale $ which $ seed_arg)
+
+let cmd =
+  let doc = "generate EDA-style MaxSAT benchmark instances" in
+  Cmd.group (Cmd.info "mgen" ~version:"1.0" ~doc)
+    [
+      php_cmd;
+      rnd3sat_cmd;
+      coloring_cmd;
+      bmc_counter_cmd;
+      bmc_lfsr_cmd;
+      equiv_cmd;
+      atpg_cmd;
+      debug_cmd;
+      suite_cmd;
+    ]
+
+let () = exit (Cmd.eval' cmd)

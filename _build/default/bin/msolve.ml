@@ -1,0 +1,148 @@
+(* msolve: command-line MaxSAT solver over DIMACS CNF / WCNF files.
+
+   Output follows the MaxSAT-evaluation conventions: "o <cost>" lines
+   for the objective, an "s" status line, and a "v" model line. *)
+
+module M = Msu_maxsat.Maxsat
+module T = Msu_maxsat.Types
+module Card = Msu_card.Card
+
+let enum_of_string name of_string all to_string s =
+  match of_string s with
+  | Some v -> Ok v
+  | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown %s %S (expected one of: %s)" name s
+             (String.concat ", " (List.map to_string all))))
+
+let algorithm_conv =
+  Cmdliner.Arg.conv
+    ( enum_of_string "algorithm" M.algorithm_of_string M.all_algorithms
+        M.algorithm_to_string,
+      fun ppf a -> Format.pp_print_string ppf (M.algorithm_to_string a) )
+
+let encoding_conv =
+  Cmdliner.Arg.conv
+    ( enum_of_string "encoding" Card.encoding_of_string Card.all_encodings
+        Card.encoding_to_string,
+      fun ppf e -> Format.pp_print_string ppf (Card.encoding_to_string e) )
+
+let run file algorithm encoding timeout trace no_geq1 quiet incomplete =
+  let w =
+    try Ok (Msu_cnf.Dimacs.parse_wcnf_file file) with
+    | Msu_cnf.Dimacs.Parse_error (line, msg) ->
+        Error (Printf.sprintf "%s:%d: %s" file line msg)
+    | Sys_error msg -> Error msg
+  in
+  match w with
+  | Error msg ->
+      prerr_endline ("c error: " ^ msg);
+      2
+  | Ok w ->
+      let deadline =
+        match timeout with None -> infinity | Some t -> Unix.gettimeofday () +. t
+      in
+      let config =
+        {
+          T.deadline;
+          T.encoding;
+          T.core_geq1 = not no_geq1;
+          T.trace = (if trace then Some (fun m -> print_endline ("c " ^ m)) else None);
+        }
+      in
+      if not quiet then
+        Printf.printf "c msolve: %s on %s (%d vars, %d hard, %d soft)\n"
+          (M.algorithm_to_string algorithm)
+          file (Msu_cnf.Wcnf.num_vars w) (Msu_cnf.Wcnf.num_hard w)
+          (Msu_cnf.Wcnf.num_soft w);
+      let r =
+        if incomplete then Msu_maxsat.Local_search.solve ~config w
+        else M.solve ~config algorithm w
+      in
+      if not quiet then
+        Printf.printf "c stats: %d sat calls, %d cores, %d blocking vars, %.3fs\n"
+          r.T.stats.T.sat_calls r.T.stats.T.cores r.T.stats.T.blocking_vars r.T.elapsed;
+      let print_model () =
+        match r.T.model with
+        | None -> ()
+        | Some m ->
+            let buf = Buffer.create 256 in
+            Buffer.add_string buf "v";
+            for v = 0 to Msu_cnf.Wcnf.num_vars w - 1 do
+              Buffer.add_char buf ' ';
+              if not (v < Array.length m && m.(v)) then Buffer.add_char buf '-';
+              Buffer.add_string buf (string_of_int (v + 1))
+            done;
+            print_endline (Buffer.contents buf)
+      in
+      (match r.T.outcome with
+      | T.Optimum cost ->
+          Printf.printf "o %d\n" cost;
+          print_endline "s OPTIMUM FOUND";
+          print_model ()
+      | T.Bounds { lb; ub } ->
+          (match ub with Some ub -> Printf.printf "o %d\n" ub | None -> ());
+          Printf.printf "c bounds: lb=%d ub=%s\n" lb
+            (match ub with Some u -> string_of_int u | None -> "?");
+          print_endline "s UNKNOWN";
+          print_model ()
+      | T.Hard_unsat -> print_endline "s UNSATISFIABLE");
+      0
+
+open Cmdliner
+
+let file =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"DIMACS CNF or WCNF file.")
+
+let algorithm =
+  Arg.(
+    value
+    & opt algorithm_conv M.Msu4_v2
+    & info [ "a"; "algorithm" ] ~docv:"ALG"
+        ~doc:
+          "MaxSAT algorithm: msu4-v1, msu4-v2, msu1, msu2, msu3, oll, wpm1, pbo, \
+           pbo-binary, maxsatz, brute.")
+
+let encoding =
+  Arg.(
+    value
+    & opt encoding_conv Card.Sortnet
+    & info [ "e"; "encoding" ] ~docv:"ENC"
+        ~doc:
+          "Cardinality encoding for algorithms that honour it: bdd, sortnet, \
+           seqcounter, totalizer, binomial.")
+
+let timeout =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "t"; "timeout" ] ~docv:"SECONDS" ~doc:"Wall-clock budget.")
+
+let trace = Arg.(value & flag & info [ "trace" ] ~doc:"Narrate iterations as comments.")
+
+let no_geq1 =
+  Arg.(
+    value & flag
+    & info [ "no-core-geq1" ]
+        ~doc:"Disable msu4's optional at-least-one constraint (Algorithm 1, line 19).")
+
+let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Suppress comment lines.")
+
+let incomplete =
+  Arg.(
+    value & flag
+    & info [ "incomplete"; "ls" ]
+        ~doc:
+          "Use the stochastic local-search solver instead of an exact algorithm \
+           (reports an upper bound and a model, not a proven optimum).")
+
+let cmd =
+  let doc = "MaxSAT solving with unsatisfiable cores (msu4 and friends)" in
+  Cmd.v
+    (Cmd.info "msolve" ~version:"1.0" ~doc)
+    Term.(
+      const run $ file $ algorithm $ encoding $ timeout $ trace $ no_geq1 $ quiet
+      $ incomplete)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,1 @@
+examples/bounds_anatomy.ml: Array Format List Msu_card Msu_cnf Msu_gen Msu_maxsat Printf

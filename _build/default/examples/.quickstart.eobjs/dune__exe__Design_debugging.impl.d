@@ -1,0 +1,1 @@
+examples/design_debugging.ml: Array Format List Msu_circuit Msu_cnf Msu_gen Msu_maxsat Printf Random String

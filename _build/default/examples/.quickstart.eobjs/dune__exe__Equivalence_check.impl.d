@@ -1,0 +1,1 @@
+examples/equivalence_check.ml: Format List Msu_circuit Msu_cnf Msu_gen Msu_maxsat Msu_sat Printf Random Unix

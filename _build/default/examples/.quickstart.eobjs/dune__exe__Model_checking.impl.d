@@ -1,0 +1,1 @@
+examples/model_checking.ml: Array Format List Msu_circuit Msu_cnf Msu_gen Msu_sat Printf Random String Unix

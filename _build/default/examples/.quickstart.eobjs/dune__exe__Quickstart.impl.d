@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format List Msu_cnf Msu_maxsat Printf

@@ -1,0 +1,1 @@
+examples/register_allocation.ml: Array Format List Msu_gen Msu_maxsat Printf Random

@@ -1,0 +1,1 @@
+examples/weighted_repair.ml: Array Format List Msu_cnf Msu_gen Msu_maxsat Printf Random String

@@ -1,0 +1,55 @@
+(* Design debugging with MaxSAT — the application (Safarpour et al.,
+   FMCAD'07) that motivated the msu4 paper.
+
+   We take a random gate-level netlist, inject a single gate error,
+   simulate the *correct* design to obtain test vectors, and encode the
+   question "what is the smallest set of gates whose misbehaviour
+   explains all vectors?" as partial MaxSAT.  msu4 answers "one gate"
+   and its model points at the culprit.
+
+     dune exec examples/design_debugging.exe *)
+
+module Netlist = Msu_circuit.Netlist
+module Debug = Msu_gen.Debug
+module M = Msu_maxsat.Maxsat
+module T = Msu_maxsat.Types
+
+let () =
+  let st = Random.State.make [| 2008 |] in
+  let n_inputs = 6 and n_gates = 30 and n_outputs = 3 and n_vectors = 5 in
+  let inst =
+    Debug.instance st ~n_inputs ~n_gates ~n_outputs ~n_vectors ~encoding:`Partial
+  in
+  Printf.printf "Circuit: %d inputs, %d gates, %d outputs; %d test vectors\n"
+    n_inputs n_gates n_outputs n_vectors;
+  Printf.printf "Injected error: gate %d\n\n" inst.Debug.buggy_gate;
+  Printf.printf "Debugging instance: %d vars, %d hard clauses, %d soft clauses\n"
+    (Msu_cnf.Wcnf.num_vars inst.Debug.wcnf)
+    (Msu_cnf.Wcnf.num_hard inst.Debug.wcnf)
+    (Msu_cnf.Wcnf.num_soft inst.Debug.wcnf);
+
+  List.iter
+    (fun alg ->
+      let r = M.solve alg inst.Debug.wcnf in
+      match (r.T.outcome, r.T.model) with
+      | T.Optimum cost, Some model ->
+          let suspects =
+            Array.to_list inst.Debug.relax_vars
+            |> List.mapi (fun gate v -> (gate, v))
+            |> List.filter (fun (_, v) -> v < Array.length model && model.(v))
+            |> List.map fst
+          in
+          Printf.printf "  %-11s: %d gate(s) suffice; suspect gate(s): %s%s  (%.4fs)\n"
+            (M.algorithm_to_string alg) cost
+            (String.concat ", " (List.map string_of_int suspects))
+            (if List.mem inst.Debug.buggy_gate suspects then "  <- includes the real bug"
+             else "")
+            r.T.elapsed
+      | o, _ ->
+          Format.printf "  %-11s: %a@." (M.algorithm_to_string alg) T.pp_outcome o)
+    [ M.Msu4_v2; M.Msu4_v1; M.Msu3; M.Pbo_linear ];
+
+  print_newline ();
+  print_endline
+    "Note: several single-gate corrections can explain the same vectors;\n\
+     adding vectors narrows the suspect list toward the injected gate."

@@ -1,0 +1,68 @@
+(* Bounded model checking end to end: an AIGER design, unrolled to CNF,
+   refuted by the CDCL solver with a DRUP proof that an independent
+   checker validates — the full verification loop of the EDA substrate
+   this reproduction is built on.
+
+   The design is a 4-bit LFSR whose "bad" output asks for the all-zero
+   state; seeded non-zero with an invertible feedback, that state is
+   unreachable, so every unrolling depth is UNSAT.
+
+     dune exec examples/model_checking.exe *)
+
+module Aiger = Msu_circuit.Aiger
+module Circuit = Msu_circuit.Circuit
+module Unroll = Msu_circuit.Unroll
+module Solver = Msu_sat.Solver
+module Drup = Msu_sat.Drup
+module Formula = Msu_cnf.Formula
+module Sink = Msu_cnf.Sink
+
+(* A 4-bit Fibonacci LFSR in AIGER: latches l1..l4, feedback
+   l1 xor l2, bad = all latches zero.  Built programmatically via the
+   netlist exporter to keep the example readable. *)
+let lfsr_spec = Msu_gen.Bmc.lfsr_spec ~width:4 ~taps:[ 1 ]
+
+let () =
+  (* 1. Unroll at increasing depths; every depth must be UNSAT. *)
+  List.iter
+    (fun depth ->
+      let c, bad = Unroll.unroll lfsr_spec ~k:depth in
+      let f = Formula.create () in
+      ignore (Circuit.assert_node c (Sink.of_formula f) bad);
+      let log = Drup.create () in
+      let s = Solver.create ~track_proof:false () in
+      Solver.set_drup s log;
+      Formula.iter_clauses (fun _ cl -> Solver.add_clause s cl) f;
+      let t0 = Unix.gettimeofday () in
+      let result = Solver.solve s in
+      let dt = Unix.gettimeofday () -. t0 in
+      match result with
+      | Solver.Unsat ->
+          let verified = Drup.check ~require_empty:true f log in
+          Printf.printf
+            "depth %2d: UNSAT in %.3fs  (%4d vars, %5d clauses; proof %d events, %s)\n"
+            depth dt (Formula.num_vars f) (Formula.num_clauses f)
+            (Drup.num_events log)
+            (if verified then "VERIFIED" else "REJECTED");
+          assert verified
+      | Solver.Sat -> Printf.printf "depth %2d: SAT — property violated!\n" depth
+      | Solver.Unknown -> Printf.printf "depth %2d: budget exceeded\n" depth)
+    [ 1; 2; 4; 6; 8; 10 ];
+
+  (* 2. Round-trip the property circuit through AIGER. *)
+  print_newline ();
+  let st = Random.State.make [| 7 |] in
+  let nl = Msu_circuit.Netlist.random st ~n_inputs:4 ~n_gates:12 ~n_outputs:2 in
+  let aig = Aiger.of_netlist nl in
+  Printf.printf "AIGER export of a 12-gate netlist: %d ands, %d inputs\n"
+    (Array.length aig.Aiger.ands)
+    (Array.length aig.Aiger.inputs);
+  let text = Format.asprintf "%a" Aiger.print aig in
+  let reparsed = Aiger.parse text in
+  Printf.printf "Round trip through the aag text format: %s\n"
+    (if reparsed = aig then "identical" else "DIFFERS");
+  print_newline ();
+  print_endline "First lines of the aag file:";
+  String.split_on_char '\n' text
+  |> List.filteri (fun i _ -> i < 5)
+  |> List.iter (fun l -> Printf.printf "  %s\n" l)

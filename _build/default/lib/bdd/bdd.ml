@@ -1,0 +1,136 @@
+type node = Zero | One | N of { id : int; v : int; lo : node; hi : node }
+
+type manager = {
+  unique : (int * int * int, node) Hashtbl.t; (* (var, lo id, hi id) *)
+  mutable next_id : int;
+}
+
+let manager () = { unique = Hashtbl.create 1024; next_id = 2 }
+let zero = Zero
+let one = One
+let node_id = function Zero -> 0 | One -> 1 | N { id; _ } -> id
+let is_terminal = function Zero | One -> true | N _ -> false
+
+let mk m v lo hi =
+  if lo == hi then lo
+  else begin
+    let key = (v, node_id lo, node_id hi) in
+    match Hashtbl.find_opt m.unique key with
+    | Some n -> n
+    | None ->
+        let n = N { id = m.next_id; v; lo; hi } in
+        m.next_id <- m.next_id + 1;
+        Hashtbl.add m.unique key n;
+        n
+  end
+
+let var m v =
+  if v < 0 then invalid_arg "Bdd.var: negative variable";
+  mk m v Zero One
+
+let top_var = function
+  | Zero | One -> max_int
+  | N { v; _ } -> v
+
+let branches nd v =
+  match nd with
+  | N { v = v'; lo; hi; _ } when v' = v -> (lo, hi)
+  | _ -> (nd, nd)
+
+let rec ite_memo m memo f g h =
+  match f with
+  | One -> g
+  | Zero -> h
+  | _ ->
+      if g == h then g
+      else begin
+        let key = (node_id f, node_id g, node_id h) in
+        match Hashtbl.find_opt memo key with
+        | Some r -> r
+        | None ->
+            let v = min (top_var f) (min (top_var g) (top_var h)) in
+            let f0, f1 = branches f v in
+            let g0, g1 = branches g v in
+            let h0, h1 = branches h v in
+            let lo = ite_memo m memo f0 g0 h0 in
+            let hi = ite_memo m memo f1 g1 h1 in
+            let r = mk m v lo hi in
+            Hashtbl.add memo key r;
+            r
+      end
+
+let ite m f g h = ite_memo m (Hashtbl.create 64) f g h
+let not_ m f = ite m f Zero One
+let and_ m f g = ite m f g Zero
+let or_ m f g = ite m f One g
+let xor m f g = ite m f (not_ m g) g
+
+(* Cardinality BDDs, built bottom-up with memoization on (index, count).
+   [go i c] is the BDD over variables i..n-1 that is true iff the final
+   count (c plus the trues among the remaining variables) stays in
+   range. *)
+
+let counting m ~n ~accept =
+  let memo = Hashtbl.create 256 in
+  let rec go i c =
+    (* Prune: the reachable final counts from (i, c) are [c, c + n - i]. *)
+    if i = n then if accept c then One else Zero
+    else begin
+      match Hashtbl.find_opt memo (i, c) with
+      | Some r -> r
+      | None ->
+          let lo = go (i + 1) c in
+          let hi = go (i + 1) (c + 1) in
+          let r = mk m i lo hi in
+          Hashtbl.add memo (i, c) r;
+          r
+    end
+  in
+  go 0 0
+
+let interval m ~n ~lo ~hi =
+  if n < 0 then invalid_arg "Bdd.interval: negative n";
+  counting m ~n ~accept:(fun c -> c >= lo && c <= hi)
+
+let at_most m ~n ~k = interval m ~n ~lo:0 ~hi:k
+let at_least m ~n ~k = interval m ~n ~lo:k ~hi:n
+
+let rec eval nd env =
+  match nd with
+  | Zero -> false
+  | One -> true
+  | N { v; lo; hi; _ } -> if env v then eval hi env else eval lo env
+
+let fold ~terminal ~node nd =
+  let memo = Hashtbl.create 64 in
+  let rec go nd =
+    match nd with
+    | Zero -> terminal false
+    | One -> terminal true
+    | N { id; v; lo; hi } -> (
+        match Hashtbl.find_opt memo id with
+        | Some r -> r
+        | None ->
+            let r = node v (go lo) (go hi) in
+            Hashtbl.add memo id r;
+            r)
+  in
+  go nd
+
+let size nd =
+  let seen = Hashtbl.create 64 in
+  let count = ref 0 in
+  let rec go = function
+    | Zero | One -> ()
+    | N { id; lo; hi; _ } ->
+        if not (Hashtbl.mem seen id) then begin
+          Hashtbl.add seen id ();
+          incr count;
+          go lo;
+          go hi
+        end
+  in
+  go nd;
+  !count
+
+let num_nodes m = m.next_id - 2

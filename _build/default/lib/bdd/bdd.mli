@@ -1,0 +1,52 @@
+(** Reduced ordered binary decision diagrams.
+
+    A small hash-consed BDD package sufficient for the minisat+-style
+    translation of cardinality constraints into CNF (Eén & Sörensson,
+    JSAT 2006), which msu4-v1 uses.  Variables are integers and the
+    variable order is the integer order.
+
+    All nodes live inside a {!manager}; nodes from different managers
+    must not be mixed (this is not checked). *)
+
+type manager
+type node
+
+val manager : unit -> manager
+val zero : node
+val one : node
+
+val var : manager -> int -> node
+(** The BDD of a single variable.  @raise Invalid_argument if negative. *)
+
+val ite : manager -> node -> node -> node -> node
+(** [ite m f g h] is if-then-else: [f ? g : h]. *)
+
+val not_ : manager -> node -> node
+val and_ : manager -> node -> node -> node
+val or_ : manager -> node -> node -> node
+val xor : manager -> node -> node -> node
+
+val at_most : manager -> n:int -> k:int -> node
+(** [at_most m ~n ~k] is the BDD over variables [0 .. n-1] that is true
+    iff at most [k] of them are true.  Built directly (no applies), with
+    [O(n * k)] nodes. *)
+
+val at_least : manager -> n:int -> k:int -> node
+val interval : manager -> n:int -> lo:int -> hi:int -> node
+(** True iff the count of true variables lies within [\[lo, hi\]]. *)
+
+val eval : node -> (int -> bool) -> bool
+(** [eval nd env] evaluates under the assignment [env]. *)
+
+val size : node -> int
+(** Number of distinct internal nodes reachable (terminals excluded). *)
+
+val is_terminal : node -> bool
+
+val fold :
+  terminal:(bool -> 'a) -> node:(int -> 'a -> 'a -> 'a) -> node -> 'a
+(** Structural fold with memoization on shared subgraphs: [node v lo hi]
+    receives the variable and the folded low/high branches. *)
+
+val num_nodes : manager -> int
+(** Total nodes ever hash-consed in this manager. *)

@@ -1,0 +1,1 @@
+lib/card/card.ml: Array Msu_bdd Msu_cnf

@@ -1,0 +1,1 @@
+lib/card/card.mli: Msu_cnf

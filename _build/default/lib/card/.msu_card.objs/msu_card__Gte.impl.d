@@ -1,0 +1,1 @@
+lib/card/gte.ml: Array Int List Map Msu_cnf

@@ -1,0 +1,1 @@
+lib/card/gte.mli: Msu_cnf

@@ -1,0 +1,73 @@
+module Lit = Msu_cnf.Lit
+module IntMap = Map.Make (Int)
+
+type t = { cap : int; out : Lit.t IntMap.t }
+
+let check_inputs ~cap weighted =
+  if cap <= 0 then invalid_arg "Gte.build: non-positive cap";
+  Array.iter
+    (fun (_, w) -> if w <= 0 then invalid_arg "Gte.build: non-positive weight")
+    weighted
+
+(* Merge two value->literal maps into a fresh node.  Every single-side
+   value and every pairwise sum (capped) becomes an output literal, and
+   the implications "reaching the inputs implies reaching the output"
+   are emitted. *)
+let merge (sink : Msu_cnf.Sink.t) cap a b =
+  let clip v = min v cap in
+  let values =
+    IntMap.fold (fun va _ acc -> clip va :: acc) a []
+    |> IntMap.fold (fun vb _ acc -> clip vb :: acc) b
+    |> IntMap.fold
+         (fun va _ acc ->
+           IntMap.fold (fun vb _ acc -> clip (va + vb) :: acc) b acc)
+         a
+    |> List.sort_uniq compare
+  in
+  let out =
+    List.fold_left
+      (fun m v -> IntMap.add v (Lit.pos (sink.Msu_cnf.Sink.fresh_var ())) m)
+      IntMap.empty values
+  in
+  let lit_for v = IntMap.find (clip v) out in
+  IntMap.iter (fun va la -> sink.emit [| Lit.neg la; lit_for va |]) a;
+  IntMap.iter (fun vb lb -> sink.emit [| Lit.neg lb; lit_for vb |]) b;
+  IntMap.iter
+    (fun va la ->
+      IntMap.iter
+        (fun vb lb -> sink.emit [| Lit.neg la; Lit.neg lb; lit_for (va + vb) |])
+        b)
+    a;
+  out
+
+let build sink ~cap weighted =
+  check_inputs ~cap weighted;
+  let leaf (l, w) = IntMap.singleton (min w cap) l in
+  let rec tree lo hi =
+    if hi - lo = 1 then leaf weighted.(lo)
+    else begin
+      let mid = (lo + hi) / 2 in
+      merge sink cap (tree lo mid) (tree mid hi)
+    end
+  in
+  let out = if Array.length weighted = 0 then IntMap.empty else tree 0 (Array.length weighted) in
+  { cap; out }
+
+let outputs t = IntMap.bindings t.out
+
+let at_most_assumptions t k =
+  if k < 0 then invalid_arg "Gte.at_most_assumptions: negative bound";
+  IntMap.fold (fun v l acc -> if v > k then Lit.neg l :: acc else acc) t.out []
+
+let assert_at_most sink t k =
+  List.iter (fun l -> sink.Msu_cnf.Sink.emit [| l |]) (at_most_assumptions t k)
+
+let at_most sink weighted k =
+  if k < 0 then sink.Msu_cnf.Sink.emit [||]
+  else begin
+    let total = Array.fold_left (fun acc (_, w) -> acc + w) 0 weighted in
+    if k < total then begin
+      let t = build sink ~cap:(k + 1) weighted in
+      assert_at_most sink t k
+    end
+  end

@@ -1,0 +1,1 @@
+lib/circuit/aiger.ml: Array Circuit Format Fun List Netlist Printf String Unroll

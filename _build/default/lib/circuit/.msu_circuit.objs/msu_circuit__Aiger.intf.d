@@ -1,0 +1,1 @@
+lib/circuit/aiger.mli: Circuit Format Netlist Unroll

@@ -1,0 +1,1 @@
+lib/circuit/circuit.ml: Array Hashtbl List Msu_cnf

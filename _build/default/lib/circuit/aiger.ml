@@ -1,0 +1,204 @@
+type t = {
+  max_var : int;
+  inputs : int array;
+  latches : (int * int) array;
+  outputs : int array;
+  ands : (int * int * int) array;
+}
+
+exception Parse_error of int * string
+
+(* ---------------- parsing ---------------- *)
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let line_no = ref 0 in
+  let fail msg = raise (Parse_error (!line_no, msg)) in
+  let next_line = ref lines in
+  let read_line () =
+    match !next_line with
+    | [] -> fail "unexpected end of file"
+    | l :: rest ->
+        next_line := rest;
+        incr line_no;
+        String.trim l
+  in
+  let ints_of_line line =
+    String.split_on_char ' ' line
+    |> List.filter (fun s -> s <> "")
+    |> List.map (fun s ->
+           match int_of_string_opt s with
+           | Some n when n >= 0 -> n
+           | _ -> fail (Printf.sprintf "expected a literal, got %S" s))
+  in
+  let header = read_line () in
+  let m, i, l, o, a =
+    match String.split_on_char ' ' header |> List.filter (( <> ) "") with
+    | [ "aag"; m; i; l; o; a ] -> (
+        match List.map int_of_string_opt [ m; i; l; o; a ] with
+        | [ Some m; Some i; Some l; Some o; Some a ] -> (m, i, l, o, a)
+        | _ -> fail "malformed header counts")
+    | "aig" :: _ -> fail "binary aig format not supported; use ASCII aag"
+    | _ -> fail "expected 'aag M I L O A' header"
+  in
+  let check_lit lit =
+    if lit > (2 * m) + 1 then fail (Printf.sprintf "literal %d exceeds max var %d" lit m)
+  in
+  let inputs =
+    Array.init i (fun _ ->
+        match ints_of_line (read_line ()) with
+        | [ lit ] when lit land 1 = 0 && lit >= 2 ->
+            check_lit lit;
+            lit
+        | _ -> fail "input must be one positive literal")
+  in
+  let latches =
+    Array.init l (fun _ ->
+        match ints_of_line (read_line ()) with
+        | [ cur; next ] | [ cur; next; _ (* optional reset *) ] ->
+            if cur land 1 = 1 || cur < 2 then fail "latch literal must be even";
+            check_lit cur;
+            check_lit next;
+            (cur, next)
+        | _ -> fail "latch line must be 'current next [reset]'")
+  in
+  let outputs =
+    Array.init o (fun _ ->
+        match ints_of_line (read_line ()) with
+        | [ lit ] ->
+            check_lit lit;
+            lit
+        | _ -> fail "output must be one literal")
+  in
+  let ands =
+    Array.init a (fun _ ->
+        match ints_of_line (read_line ()) with
+        | [ lhs; r0; r1 ] ->
+            if lhs land 1 = 1 || lhs < 2 then fail "and lhs must be even";
+            check_lit lhs;
+            check_lit r0;
+            check_lit r1;
+            (lhs, r0, r1)
+        | _ -> fail "and line must be 'lhs rhs0 rhs1'")
+  in
+  { max_var = m; inputs; latches; outputs; ands }
+
+let parse_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> parse (really_input_string ic (in_channel_length ic)))
+
+let print ppf t =
+  Format.fprintf ppf "aag %d %d %d %d %d@." t.max_var (Array.length t.inputs)
+    (Array.length t.latches) (Array.length t.outputs) (Array.length t.ands);
+  Array.iter (fun lit -> Format.fprintf ppf "%d@." lit) t.inputs;
+  Array.iter (fun (cur, next) -> Format.fprintf ppf "%d %d@." cur next) t.latches;
+  Array.iter (fun lit -> Format.fprintf ppf "%d@." lit) t.outputs;
+  Array.iter (fun (lhs, r0, r1) -> Format.fprintf ppf "%d %d %d@." lhs r0 r1) t.ands
+
+let write_file path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      let ppf = Format.formatter_of_out_channel oc in
+      print ppf t;
+      Format.pp_print_flush ppf ())
+
+(* ---------------- circuit conversion ---------------- *)
+
+(* Build nodes for every AIG variable given the nodes of inputs and
+   latch states; returns a literal->node resolver. *)
+let build_nodes c t ~input_nodes ~latch_nodes =
+  let var_node = Array.make (t.max_var + 1) (Circuit.const c false) in
+  Array.iteri (fun k lit -> var_node.(lit / 2) <- input_nodes.(k)) t.inputs;
+  Array.iteri (fun k (cur, _) -> var_node.(cur / 2) <- latch_nodes.(k)) t.latches;
+  let node_of lit =
+    if lit = 0 then Circuit.const c false
+    else if lit = 1 then Circuit.const c true
+    else begin
+      let n = var_node.(lit / 2) in
+      if lit land 1 = 0 then n else Circuit.not_ c n
+    end
+  in
+  Array.iter
+    (fun (lhs, r0, r1) -> var_node.(lhs / 2) <- Circuit.and_ c (node_of r0) (node_of r1))
+    t.ands;
+  node_of
+
+let to_circuit t =
+  let c = Circuit.create () in
+  let input_nodes = Array.map (fun _ -> Circuit.input c) t.inputs in
+  let latch_nodes = Array.map (fun _ -> Circuit.input c) t.latches in
+  let node_of = build_nodes c t ~input_nodes ~latch_nodes in
+  (c, Array.map node_of t.outputs)
+
+let to_unroll_spec t ~init =
+  if Array.length t.outputs = 0 then invalid_arg "Aiger.to_unroll_spec: no outputs";
+  if Array.length init <> Array.length t.latches then
+    invalid_arg "Aiger.to_unroll_spec: init length mismatch";
+  Unroll.
+    {
+      n_latches = Array.length t.latches;
+      n_pi = Array.length t.inputs;
+      init;
+      next =
+        (fun c state inputs ->
+          let node_of = build_nodes c t ~input_nodes:inputs ~latch_nodes:state in
+          Array.map (fun (_, next) -> node_of next) t.latches);
+      bad =
+        (fun c state inputs ->
+          let node_of = build_nodes c t ~input_nodes:inputs ~latch_nodes:state in
+          node_of t.outputs.(0));
+    }
+
+(* ---------------- netlist export ---------------- *)
+
+let of_netlist (nl : Netlist.t) =
+  (* Every netlist signal maps to an AIGER literal; gates allocate fresh
+     AND variables as needed. *)
+  let next_var = ref (nl.Netlist.n_inputs + 1) in
+  let ands = ref [] in
+  let fresh_and r0 r1 =
+    let v = !next_var in
+    incr next_var;
+    ands := ((2 * v), r0, r1) :: !ands;
+    2 * v
+  in
+  let aig_and a b = fresh_and a b in
+  let aig_or a b = fresh_and (a lxor 1) (b lxor 1) lxor 1 in
+  let aig_xor a b =
+    (* a xor b = not (not(a & not b) & not(not a & b)) *)
+    let x1 = aig_and a (b lxor 1) in
+    let x2 = aig_and (a lxor 1) b in
+    aig_or x1 x2
+  in
+  let signal = Array.make (Netlist.signal_count nl) 0 in
+  for k = 0 to nl.Netlist.n_inputs - 1 do
+    signal.(k) <- 2 * (k + 1)
+  done;
+  Array.iteri
+    (fun gi (g : Netlist.gate) ->
+      let a = signal.(g.Netlist.a) in
+      let b () = signal.(g.Netlist.b) in
+      let lit =
+        match g.Netlist.kind with
+        | Netlist.And -> aig_and a (b ())
+        | Netlist.Or -> aig_or a (b ())
+        | Netlist.Xor -> aig_xor a (b ())
+        | Netlist.Nand -> aig_and a (b ()) lxor 1
+        | Netlist.Nor -> aig_or a (b ()) lxor 1
+        | Netlist.Xnor -> aig_xor a (b ()) lxor 1
+        | Netlist.Not -> a lxor 1
+        | Netlist.Buf -> a
+      in
+      signal.(nl.Netlist.n_inputs + gi) <- lit)
+    nl.Netlist.gates;
+  {
+    max_var = !next_var - 1;
+    inputs = Array.init nl.Netlist.n_inputs (fun k -> 2 * (k + 1));
+    latches = [||];
+    outputs = Array.map (fun o -> signal.(o)) nl.Netlist.outputs;
+    ands = Array.of_list (List.rev !ands);
+  }

@@ -1,0 +1,43 @@
+(** ASCII AIGER (aag) reader and writer.
+
+    AIGER is the interchange format of the hardware model-checking
+    community (Biere, 2007): combinational and sequential circuits as
+    And-Inverter Graphs.  Supporting it makes the circuit substrate
+    interoperable with standard benchmark sets and tools.
+
+    This module covers the ASCII variant ([aag]), both purely
+    combinational files and sequential ones with latches.  Symbols and
+    comments are ignored on input and omitted on output. *)
+
+type t = {
+  max_var : int;
+  inputs : int array;  (** AIGER literals (even, positive) *)
+  latches : (int * int) array;  (** (current-state literal, next-state literal) *)
+  outputs : int array;  (** AIGER literals, possibly negated/constant *)
+  ands : (int * int * int) array;  (** (lhs, rhs0, rhs1); lhs even *)
+}
+
+exception Parse_error of int * string
+
+val parse : string -> t
+(** Parse the contents of an [aag] file.  @raise Parse_error *)
+
+val parse_file : string -> t
+val print : Format.formatter -> t -> unit
+val write_file : string -> t -> unit
+
+val to_circuit : t -> Circuit.t * Circuit.node array
+(** Combinational import: latches are treated as additional primary
+    inputs (their next-state functions are ignored); returns the builder
+    and the output nodes.  Input order: AIGER inputs first, then latch
+    state bits. *)
+
+val of_netlist : Netlist.t -> t
+(** Export a netlist as a purely combinational AIG (gates are decomposed
+    into ANDs and inverters). *)
+
+val to_unroll_spec : t -> init:bool array -> Unroll.spec
+(** Sequential import for BMC: latches become the state, the first
+    output is the bad-state property.
+    @raise Invalid_argument when the AIG has no outputs or [init] has
+    the wrong length. *)

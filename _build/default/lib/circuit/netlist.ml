@@ -1,0 +1,170 @@
+module Lit = Msu_cnf.Lit
+
+type kind = And | Or | Xor | Nand | Nor | Xnor | Not | Buf
+type gate = { kind : kind; a : int; b : int }
+type t = { n_inputs : int; gates : gate array; outputs : int array }
+
+let signal_count nl = nl.n_inputs + Array.length nl.gates
+
+let kind_to_string = function
+  | And -> "and"
+  | Or -> "or"
+  | Xor -> "xor"
+  | Nand -> "nand"
+  | Nor -> "nor"
+  | Xnor -> "xnor"
+  | Not -> "not"
+  | Buf -> "buf"
+
+let validate nl =
+  Array.iteri
+    (fun i g ->
+      let limit = nl.n_inputs + i in
+      let binary = match g.kind with Not | Buf -> false | _ -> true in
+      if g.a < 0 || g.a >= limit then invalid_arg "Netlist.validate: operand a";
+      if binary && (g.b < 0 || g.b >= limit) then invalid_arg "Netlist.validate: operand b")
+    nl.gates;
+  Array.iter
+    (fun o -> if o < 0 || o >= signal_count nl then invalid_arg "Netlist.validate: output")
+    nl.outputs
+
+let eval_gate kind va vb =
+  match kind with
+  | And -> va && vb
+  | Or -> va || vb
+  | Xor -> va <> vb
+  | Nand -> not (va && vb)
+  | Nor -> not (va || vb)
+  | Xnor -> va = vb
+  | Not -> not va
+  | Buf -> va
+
+let eval nl inputs =
+  let values = Array.make (signal_count nl) false in
+  for i = 0 to nl.n_inputs - 1 do
+    values.(i) <- i < Array.length inputs && inputs.(i)
+  done;
+  Array.iteri
+    (fun i g ->
+      let vb = match g.kind with Not | Buf -> false | _ -> values.(g.b) in
+      values.(nl.n_inputs + i) <- eval_gate g.kind values.(g.a) vb)
+    nl.gates;
+  values
+
+let eval_outputs nl inputs =
+  let values = eval nl inputs in
+  Array.map (fun o -> values.(o)) nl.outputs
+
+let binary_kinds = [| And; Or; Xor; Nand; Nor; Xnor |]
+
+let random st ~n_inputs ~n_gates ~n_outputs =
+  if n_inputs < 1 || n_gates < 1 then invalid_arg "Netlist.random: too small";
+  (* Operands are biased toward recent signals for depth: half of the
+     picks come from the most recent quarter of the available range. *)
+  let pick limit =
+    if limit <= 1 then 0
+    else if Random.State.bool st then
+      let recent = max 1 (limit / 4) in
+      limit - 1 - Random.State.int st recent
+    else Random.State.int st limit
+  in
+  let gates =
+    Array.init n_gates (fun i ->
+        let limit = n_inputs + i in
+        let kind =
+          if Random.State.int st 8 = 0 then Not
+          else binary_kinds.(Random.State.int st (Array.length binary_kinds))
+        in
+        { kind; a = pick limit; b = pick limit })
+  in
+  let total = n_inputs + n_gates in
+  (* Outputs are the last signals, which depend on most of the logic. *)
+  let outputs = Array.init n_outputs (fun i -> total - 1 - (i mod n_gates)) in
+  let nl = { n_inputs; gates; outputs } in
+  validate nl;
+  nl
+
+let mutate_gate st nl =
+  let i = Random.State.int st (Array.length nl.gates) in
+  let g = nl.gates.(i) in
+  let candidates =
+    match g.kind with
+    | Not | Buf -> [| (if g.kind = Not then Buf else Not) |]
+    | _ -> Array.of_list (List.filter (fun k -> k <> g.kind) (Array.to_list binary_kinds))
+  in
+  let kind' = candidates.(Random.State.int st (Array.length candidates)) in
+  let gates' = Array.copy nl.gates in
+  gates'.(i) <- { g with kind = kind' };
+  ({ nl with gates = gates' }, i)
+
+(* Two-sided Tseitin clauses for z = kind(a, b). *)
+let emit_gate (sink : Msu_cnf.Sink.t) kind z a b =
+  let n = Lit.neg in
+  match kind with
+  | Buf ->
+      sink.emit [| n z; a |];
+      sink.emit [| z; n a |]
+  | Not ->
+      sink.emit [| n z; n a |];
+      sink.emit [| z; a |]
+  | And ->
+      sink.emit [| n z; a |];
+      sink.emit [| n z; b |];
+      sink.emit [| z; n a; n b |]
+  | Or ->
+      sink.emit [| z; n a |];
+      sink.emit [| z; n b |];
+      sink.emit [| n z; a; b |]
+  | Nand ->
+      sink.emit [| z; a |];
+      sink.emit [| z; b |];
+      sink.emit [| n z; n a; n b |]
+  | Nor ->
+      sink.emit [| n z; n a |];
+      sink.emit [| n z; n b |];
+      sink.emit [| z; a; b |]
+  | Xor ->
+      sink.emit [| n z; a; b |];
+      sink.emit [| n z; n a; n b |];
+      sink.emit [| z; n a; b |];
+      sink.emit [| z; a; n b |]
+  | Xnor ->
+      sink.emit [| z; a; b |];
+      sink.emit [| z; n a; n b |];
+      sink.emit [| n z; n a; b |];
+      sink.emit [| n z; a; n b |]
+
+let tseitin ?inputs nl (sink : Msu_cnf.Sink.t) =
+  let input_lits =
+    match inputs with
+    | Some lits ->
+        if Array.length lits <> nl.n_inputs then invalid_arg "Netlist.tseitin: inputs";
+        lits
+    | None -> Array.init nl.n_inputs (fun _ -> Lit.pos (sink.fresh_var ()))
+  in
+  let lits = Array.make (signal_count nl) (Lit.pos 0) in
+  Array.blit input_lits 0 lits 0 nl.n_inputs;
+  Array.iteri
+    (fun i g ->
+      let z = Lit.pos (sink.fresh_var ()) in
+      let b = match g.kind with Not | Buf -> z (* unused *) | _ -> lits.(g.b) in
+      emit_gate sink g.kind z lits.(g.a) b;
+      lits.(nl.n_inputs + i) <- z)
+    nl.gates;
+  lits
+
+let miter nl1 nl2 (sink : Msu_cnf.Sink.t) =
+  if nl1.n_inputs <> nl2.n_inputs || Array.length nl1.outputs <> Array.length nl2.outputs
+  then invalid_arg "Netlist.miter: interface mismatch";
+  let inputs = Array.init nl1.n_inputs (fun _ -> Lit.pos (sink.fresh_var ())) in
+  let l1 = tseitin ~inputs nl1 sink in
+  let l2 = tseitin ~inputs nl2 sink in
+  let diffs =
+    Array.map2
+      (fun o1 o2 ->
+        let z = Lit.pos (sink.fresh_var ()) in
+        emit_gate sink Xor z l1.(o1) l2.(o2);
+        z)
+      nl1.outputs nl2.outputs
+  in
+  sink.emit diffs

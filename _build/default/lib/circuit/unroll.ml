@@ -1,0 +1,46 @@
+type spec = {
+  n_latches : int;
+  n_pi : int;
+  init : bool array;
+  next : Circuit.t -> Circuit.node array -> Circuit.node array -> Circuit.node array;
+  bad : Circuit.t -> Circuit.node array -> Circuit.node array -> Circuit.node;
+}
+
+let check spec =
+  if Array.length spec.init <> spec.n_latches then
+    invalid_arg "Unroll: init length mismatch"
+
+let unroll spec ~k =
+  check spec;
+  if k < 1 then invalid_arg "Unroll.unroll: k must be >= 1";
+  let c = Circuit.create () in
+  let state = ref (Array.map (Circuit.const c) spec.init) in
+  let bads = ref [] in
+  for _t = 1 to k do
+    let inputs = Array.init spec.n_pi (fun _ -> Circuit.input c) in
+    bads := spec.bad c !state inputs :: !bads;
+    state := spec.next c !state inputs;
+    if Array.length !state <> spec.n_latches then
+      invalid_arg "Unroll: next-state length mismatch"
+  done;
+  (c, Circuit.or_list c !bads)
+
+let simulate spec ~inputs =
+  check spec;
+  (* Evaluate the functional spec through a throwaway builder so that
+     the same [next]/[bad] definitions serve both paths. *)
+  let violated = ref false in
+  let state = ref (Array.copy spec.init) in
+  Array.iter
+    (fun frame ->
+      if not !violated then begin
+        let c = Circuit.create () in
+        let state_nodes = Array.map (Circuit.const c) !state in
+        let input_nodes = Array.init spec.n_pi (fun _ -> Circuit.input c) in
+        let bad_node = spec.bad c state_nodes input_nodes in
+        let next_nodes = spec.next c state_nodes input_nodes in
+        if Circuit.eval c bad_node frame then violated := true
+        else state := Array.map (fun n -> Circuit.eval c n frame) next_nodes
+      end)
+    inputs;
+  !violated

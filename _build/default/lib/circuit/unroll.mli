@@ -1,0 +1,30 @@
+(** Bounded unrolling of sequential circuits.
+
+    A sequential design is described functionally: given a builder, the
+    current latch values and the step's primary inputs, [next] produces
+    the next latch values and [bad] the property-violation signal.
+    {!unroll} then expands [k] time frames into one combinational
+    circuit whose output is "the property is violated at some step
+    <= k" — the classic BMC formulation (Biere et al., TACAS'99), which
+    is one of the industrial instance families the msu4 paper draws on. *)
+
+type spec = {
+  n_latches : int;
+  n_pi : int;  (** primary inputs consumed per time frame *)
+  init : bool array;  (** initial latch values; length [n_latches] *)
+  next : Circuit.t -> Circuit.node array -> Circuit.node array -> Circuit.node array;
+      (** [next c state inputs] = next state *)
+  bad : Circuit.t -> Circuit.node array -> Circuit.node array -> Circuit.node;
+      (** [bad c state inputs] = property violated in this frame *)
+}
+
+val unroll : spec -> k:int -> Circuit.t * Circuit.node
+(** [unroll spec ~k] builds the [k]-frame unrolling ([k >= 1]); the
+    returned node is the disjunction of the per-frame [bad] signals.
+    Primary inputs are allocated frame-major: frame [t] uses inputs
+    [t * n_pi .. (t+1) * n_pi - 1]. *)
+
+val simulate : spec -> inputs:bool array array -> bool
+(** Reference semantics: run the spec over the given per-frame inputs
+    and report whether [bad] ever holds.  Used to cross-check
+    {!unroll}. *)

@@ -1,0 +1,1 @@
+lib/cnf/dimacs.ml: Array Format Formula Fun List Lit Printf String Wcnf

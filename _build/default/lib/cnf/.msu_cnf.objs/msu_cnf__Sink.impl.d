@@ -1,0 +1,1 @@
+lib/cnf/sink.ml: Formula Lit Wcnf

@@ -1,0 +1,1 @@
+lib/cnf/sink.mli: Formula Lit Wcnf

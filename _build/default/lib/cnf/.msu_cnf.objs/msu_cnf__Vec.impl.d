@@ -1,0 +1,1 @@
+lib/cnf/vec.ml: Array List

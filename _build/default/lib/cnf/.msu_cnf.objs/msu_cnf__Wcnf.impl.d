@@ -1,0 +1,1 @@
+lib/cnf/wcnf.ml: Array Format Formula Lit Vec

@@ -1,0 +1,1 @@
+lib/cnf/wcnf.mli: Format Formula Lit

@@ -1,0 +1,166 @@
+exception Parse_error of int * string
+
+(* A hand-rolled tokenizer: DIMACS files can be large, so avoid building
+   intermediate string lists.  Tracks line numbers for error reports. *)
+type tokenizer = {
+  text : string;
+  mutable pos : int;
+  mutable line : int;
+}
+
+let tokenizer text = { text; pos = 0; line = 1 }
+let fail tk msg = raise (Parse_error (tk.line, msg))
+
+let rec skip_space tk =
+  if tk.pos < String.length tk.text then
+    match tk.text.[tk.pos] with
+    | ' ' | '\t' | '\r' ->
+        tk.pos <- tk.pos + 1;
+        skip_space tk
+    | '\n' ->
+        tk.pos <- tk.pos + 1;
+        tk.line <- tk.line + 1;
+        skip_space tk
+    | 'c' when at_line_start tk ->
+        skip_line tk;
+        skip_space tk
+    | _ -> ()
+
+and at_line_start tk = tk.pos = 0 || tk.text.[tk.pos - 1] = '\n'
+
+and skip_line tk =
+  while tk.pos < String.length tk.text && tk.text.[tk.pos] <> '\n' do
+    tk.pos <- tk.pos + 1
+  done
+
+let eof tk =
+  skip_space tk;
+  tk.pos >= String.length tk.text
+
+let next_token tk =
+  skip_space tk;
+  if tk.pos >= String.length tk.text then fail tk "unexpected end of input";
+  let start = tk.pos in
+  while
+    tk.pos < String.length tk.text
+    &&
+    match tk.text.[tk.pos] with ' ' | '\t' | '\r' | '\n' -> false | _ -> true
+  do
+    tk.pos <- tk.pos + 1
+  done;
+  String.sub tk.text start (tk.pos - start)
+
+let next_int tk =
+  let s = next_token tk in
+  match int_of_string_opt s with
+  | Some n -> n
+  | None -> fail tk (Printf.sprintf "expected an integer, got %S" s)
+
+type header = Cnf of int * int | Wcnf_old of int * int | Wcnf_top of int * int * int
+
+let parse_header tk =
+  skip_space tk;
+  let tok = next_token tk in
+  if tok <> "p" then fail tk (Printf.sprintf "expected 'p' header, got %S" tok);
+  let kind = next_token tk in
+  let vars = next_int tk in
+  let clauses = next_int tk in
+  match kind with
+  | "cnf" -> Cnf (vars, clauses)
+  | "wcnf" ->
+      (* Old-style wcnf has no top; detect by peeking: if the rest of the
+         header line has another integer, it is the top weight. *)
+      let save_pos = tk.pos and save_line = tk.line in
+      let rest_of_line =
+        let e = ref tk.pos in
+        while !e < String.length tk.text && tk.text.[!e] <> '\n' do
+          incr e
+        done;
+        String.trim (String.sub tk.text tk.pos (!e - tk.pos))
+      in
+      if rest_of_line = "" then Wcnf_old (vars, clauses)
+      else begin
+        tk.pos <- save_pos;
+        tk.line <- save_line;
+        let top = next_int tk in
+        Wcnf_top (vars, clauses, top)
+      end
+  | k -> fail tk (Printf.sprintf "unknown problem kind %S" k)
+
+let read_clause tk =
+  let lits = ref [] in
+  let rec loop () =
+    let n = next_int tk in
+    if n <> 0 then begin
+      lits := Lit.of_dimacs n :: !lits;
+      loop ()
+    end
+  in
+  loop ();
+  Array.of_list (List.rev !lits)
+
+let parse_cnf text =
+  let tk = tokenizer text in
+  match parse_header tk with
+  | Cnf (vars, _clauses) ->
+      let f = Formula.create () in
+      Formula.ensure_vars f vars;
+      while not (eof tk) do
+        ignore (Formula.add_clause f (read_clause tk))
+      done;
+      f
+  | Wcnf_old _ | Wcnf_top _ -> fail tk "expected a cnf file, got wcnf"
+
+let parse_wcnf text =
+  let tk = tokenizer text in
+  match parse_header tk with
+  | Cnf (vars, _) ->
+      let f = Wcnf.create () in
+      Wcnf.ensure_vars f vars;
+      while not (eof tk) do
+        ignore (Wcnf.add_soft f (read_clause tk))
+      done;
+      f
+  | Wcnf_old (vars, _) ->
+      let f = Wcnf.create () in
+      Wcnf.ensure_vars f vars;
+      while not (eof tk) do
+        let w = next_int tk in
+        if w <= 0 then fail tk "non-positive soft weight";
+        ignore (Wcnf.add_soft f ~weight:w (read_clause tk))
+      done;
+      f
+  | Wcnf_top (vars, _, top) ->
+      let f = Wcnf.create () in
+      Wcnf.ensure_vars f vars;
+      while not (eof tk) do
+        let w = next_int tk in
+        let c = read_clause tk in
+        if w = top then Wcnf.add_hard f c
+        else if w > 0 then ignore (Wcnf.add_soft f ~weight:w c)
+        else fail tk "non-positive soft weight"
+      done;
+      f
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let parse_cnf_file path = parse_cnf (read_file path)
+let parse_wcnf_file path = parse_wcnf (read_file path)
+let print_cnf ppf f = Format.fprintf ppf "%a@." Formula.pp f
+let print_wcnf ppf f = Format.fprintf ppf "%a@." Wcnf.pp f
+
+let with_out path k =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      let ppf = Format.formatter_of_out_channel oc in
+      k ppf;
+      Format.pp_print_flush ppf ())
+
+let write_cnf_file path f = with_out path (fun ppf -> print_cnf ppf f)
+let write_wcnf_file path f = with_out path (fun ppf -> print_wcnf ppf f)

@@ -1,0 +1,30 @@
+(** DIMACS CNF and WCNF readers and writers.
+
+    Supports the classic formats used by the SAT competitions and MaxSAT
+    evaluations:
+    - [p cnf <vars> <clauses>] followed by zero-terminated clauses;
+    - [p wcnf <vars> <clauses> <top>] where a clause whose weight equals
+      [top] is hard, any other weight is soft;
+    - [p wcnf <vars> <clauses>] (old style: all clauses soft, the leading
+      number of each line is the weight);
+    - comment lines starting with [c].
+
+    Parsers are tolerant of arbitrary whitespace and of clauses spanning
+    several lines.  Errors raise {!Parse_error} with a line number. *)
+
+exception Parse_error of int * string
+(** [Parse_error (line, message)]. *)
+
+val parse_cnf : string -> Formula.t
+(** Parse a CNF formula from the contents of a DIMACS file. *)
+
+val parse_cnf_file : string -> Formula.t
+val parse_wcnf : string -> Wcnf.t
+(** Parse a WCNF formula (plain CNF input is accepted too and yields an
+    all-soft, unit-weight instance). *)
+
+val parse_wcnf_file : string -> Wcnf.t
+val print_cnf : Format.formatter -> Formula.t -> unit
+val print_wcnf : Format.formatter -> Wcnf.t -> unit
+val write_cnf_file : string -> Formula.t -> unit
+val write_wcnf_file : string -> Wcnf.t -> unit

@@ -1,0 +1,57 @@
+(** Literals and variables.
+
+    Variables are non-negative integers [0, 1, 2, ...].  A literal packs a
+    variable and a sign into a single non-negative integer:
+    [2 * var + (if negated then 1 else 0)].  This gives branch-free
+    negation ([lxor 1]) and lets literals index arrays directly, which the
+    watched-literal scheme of {!Msu_sat.Solver} relies on.
+
+    The DIMACS convention (1-based, sign by arithmetic sign) is supported
+    via {!of_dimacs} / {!to_dimacs}. *)
+
+type t = private int
+(** A literal.  The representation is exposed as [private int] so that
+    solver-internal code can use literals as array indices without
+    boxing. *)
+
+type var = int
+(** A variable: a non-negative integer. *)
+
+val make : var -> bool -> t
+(** [make v sign] is the literal over variable [v]; [sign = true] gives
+    the positive literal [v], [sign = false] the negation.
+    @raise Invalid_argument on a negative variable. *)
+
+val pos : var -> t
+(** [pos v] is the positive literal of [v]. *)
+
+val neg_of : var -> t
+(** [neg_of v] is the negative literal of [v]. *)
+
+val var : t -> var
+(** The underlying variable. *)
+
+val sign : t -> bool
+(** [sign l] is [true] when [l] is a positive literal. *)
+
+val neg : t -> t
+(** Logical negation. *)
+
+val to_int : t -> int
+(** The packed representation, usable as an array index in [0, 2n). *)
+
+val of_int_unsafe : int -> t
+(** Inverse of {!to_int}; no validation. *)
+
+val of_dimacs : int -> t
+(** [of_dimacs d] converts a non-zero DIMACS literal ([1] is variable 0
+    positive, [-3] is variable 2 negative).
+    @raise Invalid_argument on [0]. *)
+
+val to_dimacs : t -> int
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+(** Prints in DIMACS form, e.g. [-3]. *)

@@ -1,0 +1,27 @@
+type t = {
+  fresh_var : unit -> Lit.var;
+  emit : Lit.t array -> unit;
+}
+
+let of_formula f =
+  {
+    fresh_var = (fun () -> Formula.fresh_var f);
+    emit = (fun c -> ignore (Formula.add_clause f c));
+  }
+
+let of_wcnf_hard w =
+  { fresh_var = (fun () -> Wcnf.fresh_var w); emit = (fun c -> Wcnf.add_hard w c) }
+
+let counting () =
+  let clauses = ref 0 in
+  let vars = ref 0 in
+  let sink =
+    {
+      fresh_var =
+        (fun () ->
+          incr vars;
+          !vars - 1);
+      emit = (fun _ -> incr clauses);
+    }
+  in
+  (sink, fun () -> !clauses)

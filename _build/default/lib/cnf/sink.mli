@@ -1,0 +1,23 @@
+(** Clause sinks.
+
+    A sink is the streaming interface between clause {e producers}
+    (cardinality encoders, Tseitin transformers) and clause {e consumers}
+    (formulas, WCNF hard-clause sets, SAT solvers): producers allocate
+    auxiliary variables with [fresh_var] and hand finished clauses to
+    [emit], so no intermediate formula is materialized. *)
+
+type t = {
+  fresh_var : unit -> Lit.var;  (** allocate an auxiliary variable *)
+  emit : Lit.t array -> unit;  (** receive one clause *)
+}
+
+val of_formula : Formula.t -> t
+(** Clauses are appended to the formula; fresh variables extend it. *)
+
+val of_wcnf_hard : Wcnf.t -> t
+(** Clauses become hard clauses of the WCNF instance. *)
+
+val counting : unit -> t * (unit -> int)
+(** A sink that discards clauses but counts them (for size measurements);
+    returns the sink and a function reading the count.  Fresh variables
+    are allocated from a private counter. *)

@@ -1,0 +1,105 @@
+type t = {
+  mutable num_vars : int;
+  hard : Lit.t array Vec.t;
+  soft : Lit.t array Vec.t;
+  weights : int Vec.t;
+}
+
+let create () =
+  {
+    num_vars = 0;
+    hard = Vec.create ~dummy:[||];
+    soft = Vec.create ~dummy:[||];
+    weights = Vec.create ~dummy:0;
+  }
+
+let num_vars f = f.num_vars
+let ensure_vars f n = if n > f.num_vars then f.num_vars <- n
+
+let fresh_var f =
+  let v = f.num_vars in
+  f.num_vars <- v + 1;
+  v
+
+let note_vars f c = Array.iter (fun l -> ensure_vars f (Lit.var l + 1)) c
+
+let add_hard f c =
+  note_vars f c;
+  Vec.push f.hard c
+
+let add_soft f ?(weight = 1) c =
+  if weight <= 0 then invalid_arg "Wcnf.add_soft: non-positive weight";
+  note_vars f c;
+  Vec.push f.soft c;
+  Vec.push f.weights weight;
+  Vec.size f.soft - 1
+
+let num_hard f = Vec.size f.hard
+let num_soft f = Vec.size f.soft
+let hard f i = Vec.get f.hard i
+let soft f i = Vec.get f.soft i
+let weight f i = Vec.get f.weights i
+let total_soft_weight f = Vec.fold ( + ) 0 f.weights
+let iter_hard g f = Vec.iteri g f.hard
+let iter_soft g f = Vec.iteri (fun i c -> g i c (weight f i)) f.soft
+
+let of_formula cnf =
+  let f = create () in
+  ensure_vars f (Formula.num_vars cnf);
+  Formula.iter_clauses (fun _ c -> ignore (add_soft f c)) cnf;
+  f
+
+let to_formula f =
+  let cnf = Formula.create () in
+  Formula.ensure_vars cnf f.num_vars;
+  iter_hard (fun _ c -> ignore (Formula.add_clause cnf c)) f;
+  iter_soft (fun _ c _ -> ignore (Formula.add_clause cnf c)) f;
+  cnf
+
+let is_plain f = num_hard f = 0 && Vec.for_all (fun w -> w = 1) f.weights
+
+let cost_of_model f model =
+  if not (Vec.for_all (fun c -> Formula.clause_satisfied c model) f.hard) then None
+  else begin
+    let cost = ref 0 in
+    iter_soft (fun _ c w -> if not (Formula.clause_satisfied c model) then cost := !cost + w) f;
+    Some !cost
+  end
+
+let brute_force_min_cost ?(limit_vars = 24) f =
+  let n = num_vars f in
+  if n > limit_vars then invalid_arg "Wcnf.brute_force_min_cost: too many variables";
+  let model = Array.make (max n 1) false in
+  let best = ref None in
+  for bits = 0 to (1 lsl n) - 1 do
+    for v = 0 to n - 1 do
+      model.(v) <- bits land (1 lsl v) <> 0
+    done;
+    match cost_of_model f model with
+    | None -> ()
+    | Some c -> (
+        match !best with
+        | Some b when b <= c -> ()
+        | _ -> best := Some c)
+  done;
+  !best
+
+let copy f =
+  {
+    num_vars = f.num_vars;
+    hard = Vec.copy f.hard;
+    soft = Vec.copy f.soft;
+    weights = Vec.copy f.weights;
+  }
+
+let pp ppf f =
+  let top = total_soft_weight f + 1 in
+  Format.fprintf ppf "@[<v>p wcnf %d %d %d" (num_vars f) (num_hard f + num_soft f) top;
+  let pp_clause w c =
+    Format.fprintf ppf "@,%d " w;
+    Array.iter (fun l -> Format.fprintf ppf "%a " Lit.pp l) c;
+    Format.fprintf ppf "0"
+  in
+  iter_hard (fun _ c -> pp_clause top c) f;
+  iter_soft (fun _ c w -> pp_clause w c) f;
+  Format.fprintf ppf "@]"

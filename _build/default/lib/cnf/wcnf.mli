@@ -1,0 +1,55 @@
+(** Weighted partial MaxSAT formulas.
+
+    A WCNF instance has {e hard} clauses, which every solution must
+    satisfy, and {e soft} clauses, each with a positive integer weight.
+    The objective is to maximize the total weight of satisfied soft
+    clauses (equivalently, minimize the weight of falsified ones).
+
+    Plain MaxSAT is the special case of no hard clauses and all weights
+    equal to 1 ({!of_formula}). *)
+
+type t
+
+val create : unit -> t
+val num_vars : t -> int
+val ensure_vars : t -> int -> unit
+val fresh_var : t -> Lit.var
+
+val add_hard : t -> Lit.t array -> unit
+val add_soft : t -> ?weight:int -> Lit.t array -> int
+(** Adds a soft clause (default weight 1) and returns its soft index.
+    @raise Invalid_argument on a non-positive weight. *)
+
+val num_hard : t -> int
+val num_soft : t -> int
+val hard : t -> int -> Lit.t array
+val soft : t -> int -> Lit.t array
+val weight : t -> int -> int
+(** Weight of the [i]-th soft clause. *)
+
+val total_soft_weight : t -> int
+val iter_hard : (int -> Lit.t array -> unit) -> t -> unit
+val iter_soft : (int -> Lit.t array -> int -> unit) -> t -> unit
+(** [iter_soft f w] calls [f index clause weight]. *)
+
+val of_formula : Formula.t -> t
+(** Every clause becomes soft with weight 1. *)
+
+val to_formula : t -> Formula.t
+(** Forgets hardness and weights: all clauses in one plain CNF, hard
+    clauses first.  Mostly for debugging and brute-force checks. *)
+
+val is_plain : t -> bool
+(** No hard clauses and all soft weights are 1. *)
+
+val cost_of_model : t -> bool array -> int option
+(** Total weight of falsified soft clauses, or [None] when the model
+    violates a hard clause. *)
+
+val brute_force_min_cost : ?limit_vars:int -> t -> int option
+(** Exact minimum falsified soft weight by enumeration; [None] if the
+    hard clauses are unsatisfiable.  For cross-checks on small
+    instances. *)
+
+val copy : t -> t
+val pp : Format.formatter -> t -> unit

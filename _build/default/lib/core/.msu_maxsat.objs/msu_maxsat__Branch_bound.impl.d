@@ -1,0 +1,1 @@
+lib/core/branch_bound.ml: Array Common Hashtbl List Msu_cnf Queue Types Unix

@@ -1,0 +1,1 @@
+lib/core/branch_bound.mli: Msu_cnf Types

@@ -1,0 +1,1 @@
+lib/core/brute.ml: Array Common Msu_cnf Types Unix

@@ -1,0 +1,1 @@
+lib/core/common.mli: Msu_cnf Types

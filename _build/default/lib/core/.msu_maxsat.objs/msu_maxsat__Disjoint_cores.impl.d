@@ -1,0 +1,1 @@
+lib/core/disjoint_cores.ml: Array List Msu_cnf Msu_sat

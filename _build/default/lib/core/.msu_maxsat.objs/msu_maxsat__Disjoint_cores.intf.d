@@ -1,0 +1,1 @@
+lib/core/disjoint_cores.mli: Msu_cnf

@@ -1,0 +1,1 @@
+lib/core/fu_malik.ml: Array Common List Msu_cnf Msu_sat Printf Types Unix

@@ -1,0 +1,1 @@
+lib/core/fu_malik.mli: Msu_cnf Types

@@ -1,0 +1,1 @@
+lib/core/lexico.ml: Array Common Hashtbl List Msu4 Msu_card Msu_cnf Printf Types Unix

@@ -1,0 +1,1 @@
+lib/core/lexico.mli: Msu_cnf Types

@@ -1,0 +1,1 @@
+lib/core/local_search.ml: Array Common List Msu_cnf Random Types Unix

@@ -1,0 +1,1 @@
+lib/core/maxsat.ml: Branch_bound Brute Msu1 Msu2 Msu3 Msu4 Msu_card Msu_cnf Oll Pbo Types Wpm1

@@ -1,0 +1,1 @@
+lib/core/maxsat.mli: Msu_cnf Types

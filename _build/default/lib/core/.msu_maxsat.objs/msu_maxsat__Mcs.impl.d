@@ -1,0 +1,1 @@
+lib/core/mcs.ml: Array Fun List Msu_card Msu_cnf Msu_sat

@@ -1,0 +1,1 @@
+lib/core/mcs.mli: Msu_cnf

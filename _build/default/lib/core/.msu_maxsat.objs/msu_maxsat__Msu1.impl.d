@@ -1,0 +1,1 @@
+lib/core/msu1.ml: Fu_malik Msu_card Types

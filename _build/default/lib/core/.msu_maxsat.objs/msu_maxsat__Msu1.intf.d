@@ -1,0 +1,1 @@
+lib/core/msu1.mli: Msu_cnf Types

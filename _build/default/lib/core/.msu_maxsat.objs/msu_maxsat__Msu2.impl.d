@@ -1,0 +1,1 @@
+lib/core/msu2.ml: Array Fu_malik Msu_card Msu_cnf Types

@@ -1,0 +1,1 @@
+lib/core/msu2.mli: Msu_cnf Types

@@ -1,0 +1,1 @@
+lib/core/msu3.ml: Array Common List Msu_card Msu_cnf Msu_sat Printf Types Unix

@@ -1,0 +1,1 @@
+lib/core/msu3.mli: Msu_cnf Types

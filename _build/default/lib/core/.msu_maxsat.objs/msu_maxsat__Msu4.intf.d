@@ -1,0 +1,1 @@
+lib/core/msu4.mli: Msu_cnf Types

@@ -1,0 +1,1 @@
+lib/core/oll.ml: Array Common Hashtbl List Msu_card Msu_cnf Msu_sat Printf Seq Types Unix

@@ -1,0 +1,1 @@
+lib/core/oll.mli: Msu_cnf Types

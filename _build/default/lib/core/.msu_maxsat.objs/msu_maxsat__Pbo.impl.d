@@ -1,0 +1,1 @@
+lib/core/pbo.ml: Array Common Msu_card Msu_cnf Msu_sat Printf Types Unix

@@ -1,0 +1,1 @@
+lib/core/pbo.mli: Msu_cnf Types

@@ -1,0 +1,1 @@
+lib/core/wpm1.mli: Msu_cnf Types

@@ -1,0 +1,452 @@
+module Lit = Msu_cnf.Lit
+module Wcnf = Msu_cnf.Wcnf
+
+exception Deadline
+
+(* Literals are packed ints (2v / 2v+1) as in the SAT solver.  Clause
+   state is kept in counters updated on every (un)assignment:
+   [n_free.(c)] unassigned literals, [n_true.(c)] satisfied literals.
+   A clause is falsified when both reach 0. *)
+
+type t = {
+  n_vars : int;
+  clauses : int array array;
+  hard : bool array;
+  cweight : int array; (* soft clause weight; 0 for hard clauses *)
+  occ : int list array; (* packed literal -> clause indices *)
+  value : int array; (* -1 unassigned / 0 false / 1 true *)
+  n_free : int array;
+  n_true : int array;
+  trail : int Msu_cnf.Vec.t; (* assigned vars, in order *)
+  mutable falsified_soft : int;
+  mutable falsified_hard : int;
+  mutable best_cost : int;
+  mutable best_model : bool array option;
+  mutable nodes : int;
+  mutable subsets : int; (* inconsistent subformulas found by the LB *)
+  deadline : float;
+  mutable ticks : int;
+  (* Scratch space for the unit-propagation lower bound. *)
+  up_value : int array;
+  up_reason : int array; (* var -> clause index, -1 for none *)
+  up_n_free : int array;
+  up_n_true : int array;
+  up_trail : int Msu_cnf.Vec.t;
+  consumed : bool array; (* soft clauses used by an inconsistent subset *)
+}
+
+let create w deadline =
+  let n_vars = Wcnf.num_vars w in
+  let n_clauses = Wcnf.num_hard w + Wcnf.num_soft w in
+  let clauses = Array.make n_clauses [||] in
+  let hard = Array.make n_clauses false in
+  Wcnf.iter_hard
+    (fun i c ->
+      clauses.(i) <- Array.map Lit.to_int c;
+      hard.(i) <- true)
+    w;
+  let base = Wcnf.num_hard w in
+  let cweight = Array.make n_clauses 0 in
+  Wcnf.iter_soft
+    (fun i c weight ->
+      clauses.(base + i) <- Array.map Lit.to_int c;
+      cweight.(base + i) <- weight)
+    w;
+  let occ = Array.make (max (2 * n_vars) 1) [] in
+  Array.iteri
+    (fun ci c -> Array.iter (fun l -> occ.(l) <- ci :: occ.(l)) c)
+    clauses;
+  {
+    n_vars;
+    clauses;
+    hard;
+    cweight;
+    occ;
+    value = Array.make (max n_vars 1) (-1);
+    n_free = Array.map Array.length clauses;
+    n_true = Array.make n_clauses 0;
+    trail = Msu_cnf.Vec.create ~dummy:(-1);
+    falsified_soft =
+      (* weight of soft clauses empty from the start *)
+      (let n = ref 0 in
+       Array.iteri
+         (fun i c -> if (not hard.(i)) && Array.length c = 0 then n := !n + cweight.(i))
+         clauses;
+       !n);
+    falsified_hard =
+      (let n = ref 0 in
+       Array.iteri (fun i c -> if hard.(i) && Array.length c = 0 then incr n) clauses;
+       !n);
+    best_cost = max_int;
+    best_model = None;
+    nodes = 0;
+    subsets = 0;
+    deadline;
+    ticks = 0;
+    up_value = Array.make (max n_vars 1) (-1);
+    up_reason = Array.make (max n_vars 1) (-1);
+    up_n_free = Array.make n_clauses 0;
+    up_n_true = Array.make n_clauses 0;
+    up_trail = Msu_cnf.Vec.create ~dummy:(-1);
+    consumed = Array.make n_clauses false;
+  }
+
+let check_deadline st =
+  st.ticks <- st.ticks + 1;
+  if
+    st.ticks land 0xff = 0 && st.deadline < infinity
+    && Unix.gettimeofday () > st.deadline
+  then raise Deadline
+
+let assign st v b =
+  st.value.(v) <- (if b then 1 else 0);
+  Msu_cnf.Vec.push st.trail v;
+  let sat_lit = (2 * v) + if b then 0 else 1 in
+  let unsat_lit = sat_lit lxor 1 in
+  List.iter
+    (fun ci ->
+      st.n_free.(ci) <- st.n_free.(ci) - 1;
+      st.n_true.(ci) <- st.n_true.(ci) + 1)
+    st.occ.(sat_lit);
+  List.iter
+    (fun ci ->
+      st.n_free.(ci) <- st.n_free.(ci) - 1;
+      if st.n_free.(ci) = 0 && st.n_true.(ci) = 0 then
+        if st.hard.(ci) then st.falsified_hard <- st.falsified_hard + 1
+        else st.falsified_soft <- st.falsified_soft + st.cweight.(ci))
+    st.occ.(unsat_lit)
+
+let unassign st v =
+  let b = st.value.(v) = 1 in
+  let sat_lit = (2 * v) + if b then 0 else 1 in
+  let unsat_lit = sat_lit lxor 1 in
+  List.iter
+    (fun ci ->
+      if st.n_free.(ci) = 0 && st.n_true.(ci) = 0 then
+        if st.hard.(ci) then st.falsified_hard <- st.falsified_hard - 1
+        else st.falsified_soft <- st.falsified_soft - st.cweight.(ci);
+      st.n_free.(ci) <- st.n_free.(ci) + 1)
+    st.occ.(unsat_lit);
+  List.iter
+    (fun ci ->
+      st.n_free.(ci) <- st.n_free.(ci) + 1;
+      st.n_true.(ci) <- st.n_true.(ci) - 1)
+    st.occ.(sat_lit);
+  st.value.(v) <- -1
+
+let undo_to st mark =
+  while Msu_cnf.Vec.size st.trail > mark do
+    unassign st (Msu_cnf.Vec.pop st.trail)
+  done
+
+(* A clause is "active" when it is neither satisfied nor decided. *)
+let active st ci = st.n_true.(ci) = 0 && st.n_free.(ci) > 0
+
+(* ---------------- inference at a node ---------------- *)
+
+(* Count active occurrences of a packed literal. *)
+let active_occ st l = List.length (List.filter (active st) st.occ.(l))
+
+(* Pure literal and dominating-unit-clause rules; hard unit clauses
+   must propagate.  Runs to fixpoint; returns false when a hard clause
+   was falsified (cannot happen through these rules, but guards). *)
+let infer st =
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for v = 0 to st.n_vars - 1 do
+      if st.value.(v) < 0 then begin
+        let pos = 2 * v and neg = (2 * v) + 1 in
+        let occ_pos = active_occ st pos and occ_neg = active_occ st neg in
+        if occ_pos = 0 && occ_neg = 0 then ()
+        else if occ_neg = 0 then begin
+          assign st v true;
+          changed := true
+        end
+        else if occ_pos = 0 then begin
+          assign st v false;
+          changed := true
+        end
+        else begin
+          (* Dominating unit clauses: if at least as many active unit
+             clauses ask for a literal as there are active clauses
+             containing its negation, commit to it. *)
+          (* Weight of active unit clauses asking for l, and weight of
+             active clauses containing l (hards are guarded below). *)
+          let unit_weight l =
+            List.fold_left
+              (fun acc ci ->
+                if active st ci && st.n_free.(ci) = 1 then acc + st.cweight.(ci)
+                else acc)
+              0 st.occ.(l)
+          in
+          let occ_weight l =
+            List.fold_left
+              (fun acc ci -> if active st ci then acc + st.cweight.(ci) else acc)
+              0 st.occ.(l)
+          in
+          let hard_unit l =
+            List.exists
+              (fun ci -> active st ci && st.n_free.(ci) = 1 && st.hard.(ci))
+              st.occ.(l)
+          in
+          let hard_occ l =
+            List.exists (fun ci -> active st ci && st.hard.(ci)) st.occ.(l)
+          in
+          if hard_unit pos then begin
+            assign st v true;
+            changed := true
+          end
+          else if hard_unit neg then begin
+            assign st v false;
+            changed := true
+          end
+          (* Domination is only sound when flipping the variable cannot
+             endanger a hard clause. *)
+          else if
+            unit_weight pos >= occ_weight neg
+            && unit_weight pos > 0
+            && not (hard_occ neg)
+          then begin
+            assign st v true;
+            changed := true
+          end
+          else if
+            unit_weight neg >= occ_weight pos
+            && unit_weight neg > 0
+            && not (hard_occ pos)
+          then begin
+            assign st v false;
+            changed := true
+          end
+        end
+      end
+    done
+  done
+
+(* ---------------- unit-propagation lower bound ---------------- *)
+
+(* Simulate unit propagation on a scratch copy of the clause counters;
+   each derived contradiction is one inconsistent subformula whose soft
+   clauses are then withdrawn from further detection ("disjoint
+   inconsistent subformulas", Li-Manya-Planes).  A subset contributes
+   the minimum weight among its soft clauses; a subset with no soft
+   clause at all means the hard clauses refute the node outright.
+   Returns a sound lower-bound increment, saturated at [limit]. *)
+let up_lower_bound st limit =
+  if limit <= 0 then 0
+  else begin
+    let n_clauses = Array.length st.clauses in
+    Array.fill st.consumed 0 n_clauses false;
+    let found = ref 0 in
+    let continue_outer = ref true in
+    while !continue_outer && !found < limit do
+      check_deadline st;
+      (* Reset the scratch state to the real assignment. *)
+      Array.blit st.value 0 st.up_value 0 st.n_vars;
+      Array.blit st.n_free 0 st.up_n_free 0 n_clauses;
+      Array.blit st.n_true 0 st.up_n_true 0 n_clauses;
+      Msu_cnf.Vec.clear st.up_trail;
+      let up_active ci =
+        (not st.consumed.(ci)) && st.up_n_true.(ci) = 0 && st.up_n_free.(ci) > 0
+      in
+      let conflict = ref (-1) in
+      let queue = Queue.create () in
+      Array.iteri
+        (fun ci c ->
+          if up_active ci && st.up_n_free.(ci) = 1 && Array.length c > 0 then
+            Queue.add ci queue)
+        st.clauses;
+      (* Propagate until conflict or quiescence. *)
+      (try
+         while not (Queue.is_empty queue) do
+           let ci = Queue.pop queue in
+           if up_active ci && st.up_n_free.(ci) = 1 then begin
+             (* Find the single free literal. *)
+             let l = ref (-1) in
+             Array.iter
+               (fun lit -> if st.up_value.(lit lsr 1) < 0 then l := lit)
+               st.clauses.(ci);
+             if !l >= 0 then begin
+               let v = !l lsr 1 in
+               st.up_value.(v) <- (!l land 1) lxor 1;
+               st.up_reason.(v) <- ci;
+               Msu_cnf.Vec.push st.up_trail v;
+               let sat_lit = !l and unsat_lit = !l lxor 1 in
+               List.iter
+                 (fun cj ->
+                   st.up_n_free.(cj) <- st.up_n_free.(cj) - 1;
+                   st.up_n_true.(cj) <- st.up_n_true.(cj) + 1)
+                 st.occ.(sat_lit);
+               List.iter
+                 (fun cj ->
+                   st.up_n_free.(cj) <- st.up_n_free.(cj) - 1;
+                   if (not st.consumed.(cj)) && st.up_n_free.(cj) = 0
+                      && st.up_n_true.(cj) = 0
+                   then begin
+                     conflict := cj;
+                     raise Exit
+                   end
+                   else if up_active cj && st.up_n_free.(cj) = 1 then
+                     Queue.add cj queue)
+                 st.occ.(unsat_lit)
+             end
+           end
+         done
+       with Exit -> ());
+      if !conflict < 0 then continue_outer := false
+      else begin
+        (* Collect the clauses of this inconsistent subformula: the
+           conflicting clause plus, transitively, the reasons of the
+           propagated variables it relies on. *)
+        st.subsets <- st.subsets + 1;
+        let wmin = ref max_int in
+        let involved = Queue.create () in
+        Queue.add !conflict involved;
+        let seen_clause = Hashtbl.create 16 in
+        let seen_var = Hashtbl.create 16 in
+        while not (Queue.is_empty involved) do
+          let ci = Queue.pop involved in
+          if not (Hashtbl.mem seen_clause ci) then begin
+            Hashtbl.add seen_clause ci ();
+            if not st.hard.(ci) then begin
+              st.consumed.(ci) <- true;
+              wmin := min !wmin st.cweight.(ci)
+            end;
+            Array.iter
+              (fun lit ->
+                let v = lit lsr 1 in
+                (* Only variables propagated in this round have reasons. *)
+                if
+                  st.value.(v) < 0 && st.up_value.(v) >= 0
+                  && not (Hashtbl.mem seen_var v)
+                then begin
+                  Hashtbl.add seen_var v ();
+                  if st.up_reason.(v) >= 0 then Queue.add st.up_reason.(v) involved
+                end)
+              st.clauses.(ci)
+          end
+        done
+      end;
+      (* Clear scratch reasons for the next round. *)
+      Msu_cnf.Vec.iter (fun v -> st.up_reason.(v) <- -1) st.up_trail
+    done;
+    !found
+  end
+
+(* ---------------- branching ---------------- *)
+
+(* Weighted occurrences favouring short active clauses. *)
+let pick_branch_var st =
+  let best = ref (-1) and best_score = ref (-1) in
+  let best_pos = ref 0 in
+  for v = 0 to st.n_vars - 1 do
+    if st.value.(v) < 0 then begin
+      let score_of l =
+        List.fold_left
+          (fun acc ci ->
+            if active st ci then
+              acc + (1 lsl max 0 (4 - st.n_free.(ci)))
+            else acc)
+          0 st.occ.(l)
+      in
+      let sp = score_of (2 * v) and sn = score_of ((2 * v) + 1) in
+      let s = sp + sn + min sp sn in
+      if s > !best_score then begin
+        best_score := s;
+        best := v;
+        best_pos := if sp >= sn then 1 else 0
+      end
+    end
+  done;
+  (!best, !best_pos = 1)
+
+(* ---------------- main search ---------------- *)
+
+let record_solution st =
+  let cost = st.falsified_soft in
+  if st.falsified_hard = 0 && cost < st.best_cost then begin
+    st.best_cost <- cost;
+    let model = Array.make (max st.n_vars 1) false in
+    for v = 0 to st.n_vars - 1 do
+      model.(v) <- st.value.(v) = 1
+    done;
+    st.best_model <- Some model
+  end
+
+let rec search st =
+  check_deadline st;
+  st.nodes <- st.nodes + 1;
+  let mark = Msu_cnf.Vec.size st.trail in
+  infer st;
+  if st.falsified_hard > 0 || st.falsified_soft >= st.best_cost then undo_to st mark
+  else begin
+    (* All clauses decided?  (Active clauses are neither satisfied nor
+       falsified; with none left the cost is final.) *)
+    let any_active = ref false in
+    Array.iteri (fun ci _ -> if active st ci then any_active := true) st.clauses;
+    if not !any_active then begin
+      record_solution st;
+      undo_to st mark
+    end
+    else begin
+      let gap = st.best_cost - st.falsified_soft in
+      let lb_extra = up_lower_bound st gap in
+      if st.falsified_soft + lb_extra >= st.best_cost then undo_to st mark
+      else begin
+        let v, first = pick_branch_var st in
+        if v < 0 then begin
+          record_solution st;
+          undo_to st mark
+        end
+        else begin
+          assign st v first;
+          search st;
+          unassign st v;
+          ignore (Msu_cnf.Vec.pop st.trail);
+          assign st v (not first);
+          search st;
+          unassign st v;
+          ignore (Msu_cnf.Vec.pop st.trail);
+          undo_to st mark
+        end
+      end
+    end
+  end
+
+(* Greedy initial upper bound: majority polarity per variable. *)
+let greedy_seed st =
+  for v = 0 to st.n_vars - 1 do
+    if st.value.(v) < 0 then begin
+      let occ_pos = active_occ st (2 * v) and occ_neg = active_occ st ((2 * v) + 1) in
+      assign st v (occ_pos >= occ_neg)
+    end
+  done;
+  record_solution st;
+  undo_to st 0
+
+let solve ?(config = Types.default_config) w =
+  let t0 = Unix.gettimeofday () in
+  let st = create w config.deadline in
+  let stats_of st =
+    Types.
+      {
+        sat_calls = st.nodes;
+        cores = st.subsets;
+        blocking_vars = 0;
+        encoding_clauses = 0;
+      }
+  in
+  let timed_out =
+    try
+      greedy_seed st;
+      search st;
+      false
+    with Deadline -> true
+  in
+  let stats = stats_of st in
+  if timed_out then
+    let ub = if st.best_cost = max_int then None else Some st.best_cost in
+    Common.finish ~t0 ~stats (Types.Bounds { lb = 0; ub }) st.best_model
+  else if st.best_cost = max_int then Common.finish ~t0 ~stats Types.Hard_unsat None
+  else Common.finish ~t0 ~stats (Types.Optimum st.best_cost) st.best_model

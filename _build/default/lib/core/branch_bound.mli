@@ -1,0 +1,21 @@
+(** Branch-and-bound MaxSAT in the maxsatz style (Li, Manyà & Planes,
+    AAAI'06 / JAIR'07) — the strongest solver family of the 2007 MaxSAT
+    evaluation and the paper's primary baseline.
+
+    A DPLL search counts falsified soft clauses; at every node the lower
+    bound is the current count plus the number of {e disjoint
+    inconsistent subformulas} detected by simulated unit propagation.
+    Pure-literal and dominating-unit-clause inference fire before each
+    branching decision, and branching follows weighted occurrence
+    counts favouring short clauses.
+
+    These bounds are strong on random and crafted instances but weak on
+    large structured industrial formulas — the phenomenon Table 1 of
+    the msu4 paper quantifies and this implementation reproduces.
+
+    [stats.sat_calls] reports search nodes and [stats.cores] the number
+    of inconsistent subformulas detected by the lower bound. *)
+
+val solve : ?config:Types.config -> Msu_cnf.Wcnf.t -> Types.result
+(** Handles hard clauses (never falsified) and arbitrary positive soft
+    weights (maxsatz itself is a weighted solver). *)

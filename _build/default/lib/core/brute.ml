@@ -1,0 +1,31 @@
+module Wcnf = Msu_cnf.Wcnf
+
+let solve ?(config = Types.default_config) w =
+  let t0 = Unix.gettimeofday () in
+  let n = Wcnf.num_vars w in
+  if n > 24 then invalid_arg "Brute.solve: too many variables";
+  let model = Array.make (max n 1) false in
+  let best = ref None in
+  let bits = ref 0 in
+  let total = 1 lsl n in
+  let interrupted = ref false in
+  while !bits < total && not !interrupted do
+    for v = 0 to n - 1 do
+      model.(v) <- !bits land (1 lsl v) <> 0
+    done;
+    (match Wcnf.cost_of_model w model with
+    | None -> ()
+    | Some c -> (
+        match !best with
+        | Some (b, _) when b <= c -> ()
+        | _ -> best := Some (c, Array.copy model)));
+    incr bits;
+    if !bits land 0xfff = 0 && Common.over_deadline config then interrupted := true
+  done;
+  let stats = Types.empty_stats in
+  match (!best, !interrupted) with
+  | Some (c, m), false -> Common.finish ~t0 ~stats (Types.Optimum c) (Some m)
+  | Some (c, m), true ->
+      Common.finish ~t0 ~stats (Types.Bounds { lb = 0; ub = Some c }) (Some m)
+  | None, false -> Common.finish ~t0 ~stats Types.Hard_unsat None
+  | None, true -> Common.finish ~t0 ~stats (Types.Bounds { lb = 0; ub = None }) None

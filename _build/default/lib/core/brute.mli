@@ -1,0 +1,8 @@
+(** Exhaustive reference MaxSAT solver.
+
+    Enumerates all assignments; exponential and only meant as the ground
+    truth for testing the real algorithms on small instances. *)
+
+val solve : ?config:Types.config -> Msu_cnf.Wcnf.t -> Types.result
+(** Handles weights and hard clauses.
+    @raise Invalid_argument beyond 24 variables. *)

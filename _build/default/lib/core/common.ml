@@ -1,0 +1,38 @@
+let require_unit_weights w =
+  let ok = ref true in
+  Msu_cnf.Wcnf.iter_soft (fun _ _ weight -> if weight <> 1 then ok := false) w;
+  if not !ok then
+    invalid_arg "this MaxSAT algorithm handles unit soft weights only (use stratification)"
+
+let over_deadline (cfg : Types.config) =
+  cfg.deadline < infinity && Unix.gettimeofday () > cfg.deadline
+
+let finish ~t0 ~stats outcome model =
+  Types.{ outcome; model; stats; elapsed = Unix.gettimeofday () -. t0 }
+
+module Tally = struct
+  type t = {
+    mutable sat_calls : int;
+    mutable cores : int;
+    mutable blocking_vars : int;
+    mutable encoding_clauses : int;
+  }
+
+  let create () = { sat_calls = 0; cores = 0; blocking_vars = 0; encoding_clauses = 0 }
+  let sat_call t = t.sat_calls <- t.sat_calls + 1
+  let core t = t.cores <- t.cores + 1
+  let blocking_var t = t.blocking_vars <- t.blocking_vars + 1
+  let encoded t n = t.encoding_clauses <- t.encoding_clauses + n
+
+  let snapshot (t : t) =
+    Types.
+      {
+        sat_calls = t.sat_calls;
+        cores = t.cores;
+        blocking_vars = t.blocking_vars;
+        encoding_clauses = t.encoding_clauses;
+      }
+end
+
+let trace (cfg : Types.config) msg =
+  match cfg.trace with None -> () | Some f -> f (msg ())

@@ -1,0 +1,25 @@
+(** Internal helpers shared by the MaxSAT algorithms. *)
+
+val require_unit_weights : Msu_cnf.Wcnf.t -> unit
+(** @raise Invalid_argument when a soft clause has weight <> 1; the
+    unweighted algorithms of the paper call this up front. *)
+
+val over_deadline : Types.config -> bool
+
+val finish :
+  t0:float -> stats:Types.stats -> Types.outcome -> bool array option -> Types.result
+
+(** A mutable statistics accumulator threaded through an algorithm run. *)
+module Tally : sig
+  type t
+
+  val create : unit -> t
+  val sat_call : t -> unit
+  val core : t -> unit
+  val blocking_var : t -> unit
+  val encoded : t -> int -> unit
+  val snapshot : t -> Types.stats
+end
+
+val trace : Types.config -> (unit -> string) -> unit
+(** Lazily formats the message when tracing is enabled. *)

@@ -1,0 +1,34 @@
+module Wcnf = Msu_cnf.Wcnf
+module Solver = Msu_sat.Solver
+
+type t = { cores : int list list; lower_bound : int; exhausted : bool }
+
+let find ?deadline w =
+  let removed = Array.make (max (Wcnf.num_soft w) 1) false in
+  let build () =
+    let s = Solver.create () in
+    Solver.ensure_vars s (Wcnf.num_vars w);
+    Wcnf.iter_hard (fun _ c -> Solver.add_clause s c) w;
+    Wcnf.iter_soft (fun i c _ -> if not removed.(i) then Solver.add_clause ~id:i s c) w;
+    s
+  in
+  let rec loop cores =
+    let s = build () in
+    match Solver.solve ?deadline s with
+    | Solver.Sat ->
+        Some { cores = List.rev cores; lower_bound = List.length cores; exhausted = true }
+    | Solver.Unknown ->
+        Some
+          { cores = List.rev cores; lower_bound = List.length cores; exhausted = false }
+    | Solver.Unsat -> (
+        match Solver.unsat_core s with
+        | [] ->
+            (* Refutation without soft clauses: the hards are
+               contradictory (possible only before any core was found,
+               since removing softs cannot make hards unsat). *)
+            None
+        | core ->
+            List.iter (fun i -> removed.(i) <- true) core;
+            loop (core :: cores))
+  in
+  loop []

@@ -1,0 +1,23 @@
+(** Disjoint unsatisfiable cores and the MaxSAT bound of Proposition 1.
+
+    Proposition 1 of the paper: if a formula contains [K] pairwise
+    disjoint unsatisfiable cores, then at most [|phi| - K] clauses are
+    satisfiable — i.e. the MaxSAT cost is at least [K].  (The same idea
+    under unit propagation powers maxsatz's lower bound; here it is the
+    full SAT-solver version, also usable to warm-start core-guided
+    algorithms.)
+
+    For a partial instance, cores are disjoint on their {e soft}
+    clauses; hard clauses are shared freely. *)
+
+type t = {
+  cores : int list list;  (** disjoint soft-clause index sets *)
+  lower_bound : int;  (** [List.length cores]: a lower bound on cost *)
+  exhausted : bool;
+      (** [true] when the remaining softs plus hards are satisfiable
+          (no further disjoint core exists); [false] on budget stop *)
+}
+
+val find : ?deadline:float -> Msu_cnf.Wcnf.t -> t option
+(** Iteratively refute, withdraw the core's soft clauses, repeat.
+    Returns [None] when the hard clauses alone are unsatisfiable. *)

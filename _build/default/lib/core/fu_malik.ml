@@ -1,0 +1,93 @@
+module Lit = Msu_cnf.Lit
+module Wcnf = Msu_cnf.Wcnf
+module Solver = Msu_sat.Solver
+module Sink = Msu_cnf.Sink
+
+type options = { exactly_one : Msu_cnf.Sink.t -> Msu_cnf.Lit.t array -> unit }
+
+type state = {
+  w : Wcnf.t;
+  tally : Common.Tally.t;
+  blocks : Lit.t list array; (* accumulated blocking literals per soft *)
+  aux : Lit.t array list ref; (* constraint clauses, replayed on rebuild *)
+  mutable next_var : int;
+}
+
+let fresh st =
+  let v = st.next_var in
+  st.next_var <- v + 1;
+  v
+
+(* Sink that records constraint clauses for replay on each rebuild. *)
+let aux_sink st =
+  Sink.
+    {
+      fresh_var = (fun () -> fresh st);
+      emit =
+        (fun c ->
+          Common.Tally.encoded st.tally 1;
+          st.aux := c :: !(st.aux));
+    }
+
+let build st =
+  let s = Solver.create () in
+  Solver.ensure_vars s st.next_var;
+  Wcnf.iter_hard (fun _ c -> Solver.add_clause s c) st.w;
+  Wcnf.iter_soft
+    (fun i c _ ->
+      match st.blocks.(i) with
+      | [] -> Solver.add_clause ~id:i s c
+      | bs -> Solver.add_clause ~id:i s (Array.append c (Array.of_list bs)))
+    st.w;
+  List.iter (fun c -> Solver.add_clause s c) !(st.aux);
+  s
+
+let run opts (config : Types.config) w =
+  Common.require_unit_weights w;
+  let t0 = Unix.gettimeofday () in
+  let st =
+    {
+      w;
+      tally = Common.Tally.create ();
+      blocks = Array.make (max (Wcnf.num_soft w) 1) [];
+      aux = ref [];
+      next_var = Wcnf.num_vars w;
+    }
+  in
+  let finish outcome model =
+    Common.finish ~t0 ~stats:(Common.Tally.snapshot st.tally) outcome model
+  in
+  let cost = ref 0 in
+  let rec loop s =
+    if Common.over_deadline config then
+      finish (Types.Bounds { lb = !cost; ub = None }) None
+    else begin
+      Common.Tally.sat_call st.tally;
+      match Solver.solve ~deadline:config.deadline s with
+      | Solver.Unknown -> finish (Types.Bounds { lb = !cost; ub = None }) None
+      | Solver.Sat ->
+          Common.trace config (fun () -> Printf.sprintf "SAT: optimum %d" !cost);
+          finish (Types.Optimum !cost) (Some (Solver.model s))
+      | Solver.Unsat -> (
+          match Solver.unsat_core s with
+          | [] -> finish Types.Hard_unsat None
+          | core ->
+              Common.Tally.core st.tally;
+              let new_bs =
+                List.map
+                  (fun i ->
+                    let b = Lit.pos (fresh st) in
+                    st.blocks.(i) <- b :: st.blocks.(i);
+                    Common.Tally.blocking_var st.tally;
+                    b)
+                  core
+              in
+              opts.exactly_one (aux_sink st) (Array.of_list new_bs);
+              incr cost;
+              Common.trace config (fun () ->
+                  Printf.sprintf "UNSAT: core of %d soft clauses, cost now %d"
+                    (List.length core) !cost);
+              loop (build st))
+    end
+  in
+  loop (build st)

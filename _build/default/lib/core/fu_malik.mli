@@ -1,0 +1,13 @@
+(** Shared engine for the Fu & Malik family (msu1, msu2).
+
+    Both algorithms add a fresh blocking variable to every soft clause
+    of each successive unsatisfiable core and constrain each batch with
+    an exactly-one constraint; they differ only in how that constraint
+    is encoded (pairwise in msu1, linear in msu2). *)
+
+type options = {
+  exactly_one : Msu_cnf.Sink.t -> Msu_cnf.Lit.t array -> unit;
+      (** encoder for each core's exactly-one constraint *)
+}
+
+val run : options -> Types.config -> Msu_cnf.Wcnf.t -> Types.result

@@ -1,0 +1,27 @@
+(** Boolean multilevel (lexicographic) optimization.
+
+    Many weighted EDA instances are secretly {e lexicographic}: weights
+    come in levels where each level outweighs everything below it
+    combined (Argelich, Lynce & Marques-Silva, "Boolean lexicographic
+    optimization").  Such instances decompose into a cascade of
+    {e unweighted} MaxSAT problems — solve the heaviest level with any
+    unit-weight algorithm (msu4!), harden its optimum as a cardinality
+    constraint, and descend.
+
+    This gives the paper's unweighted algorithms a sound weighted
+    upgrade path orthogonal to WPM1's weight splitting. *)
+
+val is_bmo : Msu_cnf.Wcnf.t -> bool
+(** True when the distinct weights [w1 > w2 > ...] satisfy the Boolean
+    multilevel property: each [wi] strictly exceeds the total weight of
+    all softer levels.  Unit-weight instances qualify trivially. *)
+
+val solve :
+  ?config:Types.config ->
+  ?inner:(?config:Types.config -> Msu_cnf.Wcnf.t -> Types.result) ->
+  Msu_cnf.Wcnf.t ->
+  Types.result
+(** Stratified solve.  [inner] (default {!Msu4.solve}) is invoked once
+    per weight level on a unit-weight sub-instance.
+    @raise Invalid_argument when the instance is not BMO (check with
+    {!is_bmo}; use {!Wpm1} otherwise). *)

@@ -1,0 +1,165 @@
+module Lit = Msu_cnf.Lit
+module Wcnf = Msu_cnf.Wcnf
+module Vec = Msu_cnf.Vec
+
+type t = {
+  n_vars : int;
+  clauses : int array array; (* packed literals *)
+  weight : int array; (* hard clauses get [hard_weight] *)
+  hard_weight : int;
+  occ : int list array; (* packed literal -> clause ids *)
+  value : bool array;
+  n_true : int array;
+  (* Falsified clause set with O(1) membership updates. *)
+  falsified : int Vec.t;
+  pos_in_falsified : int array; (* -1 when satisfied *)
+  mutable cost : int; (* total falsified weight, hards included *)
+  rng : Random.State.t;
+}
+
+let lit_sat st l = if l land 1 = 0 then st.value.(l lsr 1) else not st.value.(l lsr 1)
+
+let add_falsified st ci =
+  st.pos_in_falsified.(ci) <- Vec.size st.falsified;
+  Vec.push st.falsified ci;
+  st.cost <- st.cost + st.weight.(ci)
+
+let remove_falsified st ci =
+  let pos = st.pos_in_falsified.(ci) in
+  let last = Vec.last st.falsified in
+  Vec.set st.falsified pos last;
+  st.pos_in_falsified.(last) <- pos;
+  ignore (Vec.pop st.falsified);
+  st.pos_in_falsified.(ci) <- -1;
+  st.cost <- st.cost - st.weight.(ci)
+
+let create w seed =
+  let n_vars = Wcnf.num_vars w in
+  let n_clauses = Wcnf.num_hard w + Wcnf.num_soft w in
+  let clauses = Array.make n_clauses [||] in
+  let hard_weight = Wcnf.total_soft_weight w + 1 in
+  let weight = Array.make n_clauses hard_weight in
+  Wcnf.iter_hard (fun i c -> clauses.(i) <- Array.map Lit.to_int c) w;
+  let base = Wcnf.num_hard w in
+  Wcnf.iter_soft
+    (fun i c wgt ->
+      clauses.(base + i) <- Array.map Lit.to_int c;
+      weight.(base + i) <- wgt)
+    w;
+  let occ = Array.make (max (2 * n_vars) 1) [] in
+  Array.iteri (fun ci c -> Array.iter (fun l -> occ.(l) <- ci :: occ.(l)) c) clauses;
+  let st =
+    {
+      n_vars;
+      clauses;
+      weight;
+      hard_weight;
+      occ;
+      value = Array.make (max n_vars 1) false;
+      n_true = Array.make n_clauses 0;
+      falsified = Vec.create ~dummy:(-1);
+      pos_in_falsified = Array.make n_clauses (-1);
+      cost = 0;
+      rng = Random.State.make [| seed; 0x15EA |];
+    }
+  in
+  (* Random initial assignment; initialize the counters. *)
+  for v = 0 to n_vars - 1 do
+    st.value.(v) <- Random.State.bool st.rng
+  done;
+  Array.iteri
+    (fun ci c ->
+      let t = Array.fold_left (fun acc l -> if lit_sat st l then acc + 1 else acc) 0 c in
+      st.n_true.(ci) <- t;
+      if t = 0 then add_falsified st ci)
+    clauses;
+  st
+
+(* Flip a variable, maintaining counters and the falsified set. *)
+let flip st v =
+  let was = st.value.(v) in
+  st.value.(v) <- not was;
+  let now_true = (2 * v) + if was then 1 else 0 in
+  let now_false = now_true lxor 1 in
+  List.iter
+    (fun ci ->
+      st.n_true.(ci) <- st.n_true.(ci) + 1;
+      if st.n_true.(ci) = 1 then remove_falsified st ci)
+    st.occ.(now_true);
+  List.iter
+    (fun ci ->
+      st.n_true.(ci) <- st.n_true.(ci) - 1;
+      if st.n_true.(ci) = 0 then add_falsified st ci)
+    st.occ.(now_false)
+
+(* Weight of clauses that would become falsified by flipping [v]. *)
+let break_weight st v =
+  let sat_lit = (2 * v) + if st.value.(v) then 0 else 1 in
+  List.fold_left
+    (fun acc ci -> if st.n_true.(ci) = 1 then acc + st.weight.(ci) else acc)
+    0 st.occ.(sat_lit)
+
+let pick_flip_var st noise clause =
+  if Random.State.float st.rng 1.0 < noise then
+    (clause.(Random.State.int st.rng (Array.length clause))) lsr 1
+  else begin
+    (* Greedy: minimize break weight; ties at random via scan order. *)
+    let best = ref (clause.(0) lsr 1) in
+    let best_score = ref (break_weight st !best) in
+    Array.iter
+      (fun l ->
+        let v = l lsr 1 in
+        let score = break_weight st v in
+        if score < !best_score then begin
+          best := v;
+          best_score := score
+        end)
+      clause;
+    !best
+  end
+
+let feasible_cost st =
+  (* cost counts hards at hard_weight; feasible iff below it *)
+  if st.cost < st.hard_weight then Some st.cost else None
+
+let run w ~config ~max_flips ~noise ~seed =
+  let st = create w seed in
+  let best = ref None in
+  let note () =
+    match feasible_cost st with
+    | Some c -> (
+        match !best with
+        | Some (b, _) when b <= c -> ()
+        | _ -> best := Some (c, Array.copy st.value))
+    | None -> ()
+  in
+  note ();
+  let flips = ref 0 in
+  while
+    !flips < max_flips
+    && (match !best with Some (0, _) -> false | _ -> true)
+    && not (!flips land 0xfff = 0 && Common.over_deadline config)
+    && not (Vec.is_empty st.falsified)
+  do
+    incr flips;
+    (* Prefer repairing hard clauses when any is falsified. *)
+    let ci = Vec.get st.falsified (Random.State.int st.rng (Vec.size st.falsified)) in
+    let clause = st.clauses.(ci) in
+    if Array.length clause > 0 then flip st (pick_flip_var st noise clause);
+    note ()
+  done;
+  !best
+
+let solve ?(config = Types.default_config) ?(max_flips = 100_000) ?(noise = 0.2)
+    ?(seed = 0) w =
+  let t0 = Unix.gettimeofday () in
+  let best = run w ~config ~max_flips ~noise ~seed in
+  let stats = Types.empty_stats in
+  match best with
+  | Some (0, model) -> Common.finish ~t0 ~stats (Types.Optimum 0) (Some model)
+  | Some (c, model) ->
+      Common.finish ~t0 ~stats (Types.Bounds { lb = 0; ub = Some c }) (Some model)
+  | None -> Common.finish ~t0 ~stats (Types.Bounds { lb = 0; ub = None }) None
+
+let best_cost ?(max_flips = 100_000) ?(seed = 0) w =
+  run w ~config:Types.default_config ~max_flips ~noise:0.2 ~seed

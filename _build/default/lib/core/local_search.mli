@@ -1,0 +1,30 @@
+(** Stochastic local search for (weighted partial) MaxSAT.
+
+    A WalkSAT-style incomplete solver: pick a falsified clause, flip one
+    of its variables (greedy break-weight minimization with noise).
+    Hard clauses carry an effectively infinite weight, so search
+    gravitates to feasible assignments and the best feasible cost seen
+    is an upper bound on the optimum.
+
+    The paper's section 2 notes that incomplete MaxSAT was the state of
+    the art for industrial design debugging before msu4; this module
+    both represents that baseline and serves as an upper-bound seeder
+    for the branch-and-bound solver.
+
+    Results are always [Bounds { lb = 0; ub }] (the method proves
+    nothing), with the best model attached — or [Optimum 0] when a
+    zero-cost assignment is found, which {e is} a proof. *)
+
+val solve :
+  ?config:Types.config ->
+  ?max_flips:int ->
+  ?noise:float ->
+  ?seed:int ->
+  Msu_cnf.Wcnf.t ->
+  Types.result
+(** [max_flips] defaults to [100_000]; [noise] is the random-walk
+    probability (default 0.2); [seed] fixes the run (default 0). *)
+
+val best_cost :
+  ?max_flips:int -> ?seed:int -> Msu_cnf.Wcnf.t -> (int * bool array) option
+(** Convenience: the best feasible (cost, model) found, if any. *)

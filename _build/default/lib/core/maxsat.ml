@@ -1,0 +1,83 @@
+type algorithm =
+  | Msu4_v1
+  | Msu4_v2
+  | Msu1
+  | Msu2
+  | Msu3
+  | Oll
+  | Wpm1
+  | Pbo_linear
+  | Pbo_binary
+  | Branch_bound
+  | Brute
+
+let all_algorithms =
+  [
+    Msu4_v1;
+    Msu4_v2;
+    Msu1;
+    Msu2;
+    Msu3;
+    Oll;
+    Wpm1;
+    Pbo_linear;
+    Pbo_binary;
+    Branch_bound;
+    Brute;
+  ]
+
+let algorithm_to_string = function
+  | Msu4_v1 -> "msu4-v1"
+  | Msu4_v2 -> "msu4-v2"
+  | Msu1 -> "msu1"
+  | Msu2 -> "msu2"
+  | Msu3 -> "msu3"
+  | Oll -> "oll"
+  | Wpm1 -> "wpm1"
+  | Pbo_linear -> "pbo"
+  | Pbo_binary -> "pbo-binary"
+  | Branch_bound -> "maxsatz"
+  | Brute -> "brute"
+
+let algorithm_of_string = function
+  | "msu4-v1" -> Some Msu4_v1
+  | "msu4-v2" | "msu4" -> Some Msu4_v2
+  | "msu1" -> Some Msu1
+  | "msu2" -> Some Msu2
+  | "msu3" -> Some Msu3
+  | "oll" -> Some Oll
+  | "wpm1" -> Some Wpm1
+  | "pbo" | "pbo-linear" -> Some Pbo_linear
+  | "pbo-binary" -> Some Pbo_binary
+  | "maxsatz" | "branch-bound" | "bb" -> Some Branch_bound
+  | "brute" -> Some Brute
+  | _ -> None
+
+let describe = function
+  | Msu4_v1 -> "msu4 with BDD cardinality encoding (paper's v1)"
+  | Msu4_v2 -> "msu4 with sorting-network cardinality encoding (paper's v2)"
+  | Msu1 -> "Fu & Malik core-guided algorithm with pairwise exactly-one"
+  | Msu2 -> "Fu & Malik variant with linear exactly-one encodings"
+  | Msu3 -> "core-guided lower-bound search, one blocking variable per clause"
+  | Oll -> "OLL: incremental core-guided with soft cardinality sums (RC2 lineage)"
+  | Wpm1 -> "weighted Fu & Malik with weight splitting (WPM1)"
+  | Pbo_linear -> "PBO formulation, minisat+-style linear minimization"
+  | Pbo_binary -> "PBO formulation, binary search over a totalizer"
+  | Branch_bound -> "maxsatz-style branch and bound with UP lower bounds"
+  | Brute -> "exhaustive enumeration (reference)"
+
+let solve ?(config = Types.default_config) algorithm w =
+  match algorithm with
+  | Msu4_v1 -> Msu4.solve ~config:{ config with encoding = Msu_card.Card.Bdd } w
+  | Msu4_v2 -> Msu4.solve ~config:{ config with encoding = Msu_card.Card.Sortnet } w
+  | Msu1 -> Msu1.solve ~config w
+  | Msu2 -> Msu2.solve ~config w
+  | Msu3 -> Msu3.solve ~config w
+  | Oll -> Oll.solve ~config w
+  | Wpm1 -> Wpm1.solve ~config w
+  | Pbo_linear -> Pbo.solve ~config ~search:`Linear w
+  | Pbo_binary -> Pbo.solve ~config ~search:`Binary w
+  | Branch_bound -> Branch_bound.solve ~config w
+  | Brute -> Brute.solve ~config w
+
+let solve_formula ?config algorithm f = solve ?config algorithm (Msu_cnf.Wcnf.of_formula f)

@@ -1,0 +1,47 @@
+(** Front door of the MaxSAT library: one name per algorithm, one
+    [solve] dispatcher.
+
+    The algorithms (all exact):
+
+    {ul
+    {- {!Msu4} — the paper's contribution; [Msu4_v1] fixes the BDD
+       cardinality encoding, [Msu4_v2] the sorting-network one, matching
+       the two versions evaluated in the paper.}
+    {- {!Msu1}/{!Msu2}/{!Msu3} — the earlier core-guided algorithms
+       discussed in the paper's related work.}
+    {- {!Oll} — the incremental soft-cardinality algorithm the msu line
+       evolved into (RC2 lineage); included as a forward-looking
+       extension.}
+    {- {!Wpm1} — the weighted generalization of msu1 (weight
+       splitting), covering weighted partial MaxSAT.}
+    {- [Pbo_linear]/[Pbo_binary] — the PBO formulation baseline
+       (minisat+-style); weighted via the generalized totalizer.}
+    {- [Branch_bound] — the maxsatz-style branch and bound baseline.}
+    {- [Brute] — exhaustive reference for testing.}} *)
+
+type algorithm =
+  | Msu4_v1  (** msu4 with BDD-encoded cardinality constraints *)
+  | Msu4_v2  (** msu4 with sorting networks *)
+  | Msu1
+  | Msu2
+  | Msu3
+  | Oll  (** incremental core-guided with soft cardinality sums *)
+  | Wpm1  (** weighted Fu & Malik; accepts arbitrary weights *)
+  | Pbo_linear
+  | Pbo_binary
+  | Branch_bound
+  | Brute
+
+val all_algorithms : algorithm list
+val algorithm_to_string : algorithm -> string
+val algorithm_of_string : string -> algorithm option
+val describe : algorithm -> string
+
+val solve :
+  ?config:Types.config -> algorithm -> Msu_cnf.Wcnf.t -> Types.result
+(** Dispatches; [Msu4_v1]/[Msu4_v2] override [config.encoding] with
+    their fixed encoding, every other algorithm honours it. *)
+
+val solve_formula :
+  ?config:Types.config -> algorithm -> Msu_cnf.Formula.t -> Types.result
+(** Plain MaxSAT: every clause of the CNF formula is soft. *)

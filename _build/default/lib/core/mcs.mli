@@ -1,0 +1,29 @@
+(** Minimal correction set (MCS) enumeration.
+
+    An MCS is an inclusion-minimal set of soft clauses whose removal
+    makes the instance satisfiable; its complement is a maximal
+    satisfiable subset (MSS).  MCSes are the hitting-set duals of MUSes
+    (Liffiton & Sakallah — the paper's reference [19] — and Reiter's
+    diagnosis theory), and the smallest MCS cardinality {e is} the
+    MaxSAT cost.  In the design-debugging reading, each MCS is one
+    alternative repair set.
+
+    Enumeration is by increasing cardinality with superset blocking: a
+    fresh model is sought with at most [k] relaxations active, each
+    found set is blocked, [k] grows when the level is exhausted.  This
+    yields exactly the MCSes, smallest first. *)
+
+type outcome = {
+  mcses : int list list;  (** soft-index sets, ordered by cardinality *)
+  complete : bool;
+      (** [true] when every MCS was enumerated; [false] on a budget or
+          [limit] stop *)
+}
+
+val enumerate :
+  ?deadline:float -> ?limit:int -> Msu_cnf.Wcnf.t -> outcome option
+(** [enumerate w] lists the non-empty MCSes ([limit] caps the count,
+    default 64).  Returns [None] when the hard clauses are
+    unsatisfiable; a fully satisfiable instance has no non-empty
+    correction set and yields [mcses = []].  The first MCS (if any) has
+    minimum cardinality = the MaxSAT cost of [w]. *)

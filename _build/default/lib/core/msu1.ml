@@ -1,0 +1,2 @@
+let solve ?(config = Types.default_config) w =
+  Fu_malik.run { exactly_one = Msu_card.Card.exactly_one } config w

@@ -1,0 +1,16 @@
+(** Fu & Malik's core-guided algorithm (SAT'06), called msu1 in the
+    msu4 paper.
+
+    Repeatedly SAT-solve; on each unsatisfiable core, add a {e fresh}
+    blocking variable to every soft clause in the core (a clause hit by
+    [k] cores accumulates [k] blocking variables — the drawback msu4
+    removes), constrain the new variables with an exactly-one
+    constraint, and increment the cost.  The first satisfiable call
+    proves the accumulated cost optimal.
+
+    The exactly-one constraints use the pairwise encoding, as in the
+    original implementation; see {!Msu2} for the linear-encoding
+    variant. *)
+
+val solve : ?config:Types.config -> Msu_cnf.Wcnf.t -> Types.result
+(** @raise Invalid_argument on non-unit soft weights. *)

@@ -1,0 +1,8 @@
+module Card = Msu_card.Card
+
+let linear_exactly_one sink lits =
+  sink.Msu_cnf.Sink.emit (Array.copy lits);
+  Card.at_most sink Card.Seqcounter lits 1
+
+let solve ?(config = Types.default_config) w =
+  Fu_malik.run { exactly_one = linear_exactly_one } config w

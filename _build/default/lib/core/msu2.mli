@@ -1,0 +1,13 @@
+(** msu2 (Marques-Silva & Planes, CoRR abs/0712.0097): Fu & Malik's
+    algorithm with the quadratic pairwise exactly-one constraints
+    replaced by a linear encoding (sequential counter).
+
+    On instances whose cores are large, msu1's pairwise constraints
+    grow quadratically per core; msu2 keeps the constraint CNF linear
+    in the core size, which is the first of the two improvements over
+    msu1 described in the msu4 paper's related-work discussion (the
+    second, reducing blocking variables to one per clause, is
+    {!Msu3}). *)
+
+val solve : ?config:Types.config -> Msu_cnf.Wcnf.t -> Types.result
+(** @raise Invalid_argument on non-unit soft weights. *)

@@ -1,0 +1,103 @@
+module Lit = Msu_cnf.Lit
+module Wcnf = Msu_cnf.Wcnf
+module Solver = Msu_sat.Solver
+module Card = Msu_card.Card
+module Sink = Msu_cnf.Sink
+
+type state = {
+  w : Wcnf.t;
+  config : Types.config;
+  tally : Common.Tally.t;
+  block : Lit.var option array;
+  mutable next_var : int;
+  mutable vb : Lit.t list;
+  mutable n_vb : int;
+  mutable lambda : int;
+}
+
+let fresh st =
+  let v = st.next_var in
+  st.next_var <- v + 1;
+  v
+
+let build st =
+  let s = Solver.create () in
+  Solver.ensure_vars s st.next_var;
+  Wcnf.iter_hard (fun _ c -> Solver.add_clause s c) st.w;
+  Wcnf.iter_soft
+    (fun i c _ ->
+      match st.block.(i) with
+      | None -> Solver.add_clause ~id:i s c
+      | Some b -> Solver.add_clause s (Array.append c [| Lit.pos b |]))
+    st.w;
+  let sink =
+    Sink.
+      {
+        fresh_var =
+          (fun () ->
+            let v = fresh st in
+            Solver.ensure_vars s (v + 1);
+            v);
+        emit =
+          (fun c ->
+            Common.Tally.encoded st.tally 1;
+            Solver.add_clause s c);
+      }
+  in
+  Card.at_most sink st.config.encoding (Array.of_list st.vb) st.lambda;
+  s
+
+let solve ?(config = Types.default_config) w =
+  Common.require_unit_weights w;
+  let t0 = Unix.gettimeofday () in
+  let st =
+    {
+      w;
+      config;
+      tally = Common.Tally.create ();
+      block = Array.make (max (Wcnf.num_soft w) 1) None;
+      next_var = Wcnf.num_vars w;
+      vb = [];
+      n_vb = 0;
+      lambda = 0;
+    }
+  in
+  let finish outcome model =
+    Common.finish ~t0 ~stats:(Common.Tally.snapshot st.tally) outcome model
+  in
+  let rec loop s =
+    if Common.over_deadline config then
+      finish (Types.Bounds { lb = st.lambda; ub = None }) None
+    else begin
+      Common.Tally.sat_call st.tally;
+      match Solver.solve ~deadline:config.deadline s with
+      | Solver.Unknown -> finish (Types.Bounds { lb = st.lambda; ub = None }) None
+      | Solver.Sat ->
+          Common.trace config (fun () -> Printf.sprintf "SAT: optimum %d" st.lambda);
+          finish (Types.Optimum st.lambda) (Some (Solver.model s))
+      | Solver.Unsat -> (
+          match Solver.unsat_core s with
+          | [] when st.lambda >= st.n_vb ->
+              (* The bound was vacuous, all relaxed clauses are
+                 satisfiable through their blocking variables, and the
+                 core avoids every unrelaxed soft clause: the hard
+                 clauses alone are contradictory. *)
+              finish Types.Hard_unsat None
+          | core ->
+              if core <> [] then Common.Tally.core st.tally;
+              List.iter
+                (fun i ->
+                  let b = fresh st in
+                  st.block.(i) <- Some b;
+                  st.vb <- Lit.pos b :: st.vb;
+                  st.n_vb <- st.n_vb + 1;
+                  Common.Tally.blocking_var st.tally)
+                core;
+              st.lambda <- st.lambda + 1;
+              Common.trace config (fun () ->
+                  Printf.sprintf "UNSAT: %d newly relaxed, lambda now %d"
+                    (List.length core) st.lambda);
+              loop (build st))
+    end
+  in
+  loop (build st)

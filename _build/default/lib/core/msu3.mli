@@ -1,0 +1,12 @@
+(** msu3 (Marques-Silva & Planes, CoRR abs/0712.0097): core-guided
+    lower-bound search with at most one blocking variable per clause.
+
+    Maintains a bound [lambda] (initially 0) and the set of relaxed soft
+    clauses.  Each iteration solves [phi_W /\ CNF(sum b <= lambda)]: on
+    UNSAT, the unrelaxed soft clauses of the core are relaxed and
+    [lambda] increases by one; on SAT, [lambda] is the optimum.  This is
+    the linear UNSAT-to-SAT search that later solvers (e.g. Open-WBO's
+    MSU3 mode) industrialized. *)
+
+val solve : ?config:Types.config -> Msu_cnf.Wcnf.t -> Types.result
+(** @raise Invalid_argument on non-unit soft weights. *)

@@ -1,0 +1,104 @@
+module Lit = Msu_cnf.Lit
+module Wcnf = Msu_cnf.Wcnf
+module Solver = Msu_sat.Solver
+module Card = Msu_card.Card
+module Sink = Msu_cnf.Sink
+
+(* A "sum" is a totalizer over violation indicators with a movable
+   bound: assuming the negation of output [bound] allows at most
+   [bound] of its inputs to be violated. *)
+type sum = { tree : Card.Totalizer_tree.t; mutable bound : int }
+
+(* What to do when an assumption shows up in a core: a soft selector is
+   simply retired; a sum assumption additionally bumps the sum's bound
+   and re-enters with the next output. *)
+type source = Soft | Sum of sum
+
+let tally_sink tally s =
+  Sink.
+    {
+      fresh_var = (fun () -> Solver.new_var s);
+      emit =
+        (fun c ->
+          Common.Tally.encoded tally 1;
+          Solver.add_clause s c);
+    }
+
+let solve ?(config = Types.default_config) w =
+  Common.require_unit_weights w;
+  let t0 = Unix.gettimeofday () in
+  let tally = Common.Tally.create () in
+  let s = Solver.create ~track_proof:false () in
+  Solver.ensure_vars s (Wcnf.num_vars w);
+  Wcnf.iter_hard (fun _ c -> Solver.add_clause s c) w;
+  let active : (Lit.t, source) Hashtbl.t = Hashtbl.create 64 in
+  Wcnf.iter_soft
+    (fun _ c _ ->
+      let r = Lit.pos (Solver.new_var s) in
+      Common.Tally.blocking_var tally;
+      Solver.add_clause s (Array.append c [| r |]);
+      Hashtbl.replace active (Lit.neg r) Soft)
+    w;
+  let finish outcome model =
+    Common.finish ~t0 ~stats:(Common.Tally.snapshot tally) outcome model
+  in
+  let lb = ref 0 in
+  let rec loop () =
+    if Common.over_deadline config then
+      finish (Types.Bounds { lb = !lb; ub = None }) None
+    else begin
+      Common.Tally.sat_call tally;
+      let assumptions =
+        Array.of_seq (Seq.map fst (Hashtbl.to_seq active))
+      in
+      match Solver.solve ~assumptions ~deadline:config.deadline s with
+      | Solver.Unknown -> finish (Types.Bounds { lb = !lb; ub = None }) None
+      | Solver.Sat ->
+          Common.trace config (fun () -> Printf.sprintf "SAT: optimum %d" !lb);
+          finish (Types.Optimum !lb) (Some (Solver.model s))
+      | Solver.Unsat -> (
+          match Solver.conflict_assumptions s with
+          | [] -> finish Types.Hard_unsat None
+          | core ->
+              Common.Tally.core tally;
+              incr lb;
+              (* Retire the core's assumptions; collect the violation
+                 indicators they were guarding. *)
+              let indicators =
+                List.map
+                  (fun a ->
+                    let source =
+                      match Hashtbl.find_opt active a with
+                      | Some src -> src
+                      | None -> Soft (* cannot happen: cores come from assumptions *)
+                    in
+                    Hashtbl.remove active a;
+                    (match source with
+                    | Soft -> ()
+                    | Sum sum ->
+                        sum.bound <- sum.bound + 1;
+                        let outs = Card.Totalizer_tree.outputs sum.tree in
+                        if sum.bound < Array.length outs then
+                          Hashtbl.replace active (Lit.neg outs.(sum.bound)) (Sum sum));
+                    Lit.neg a)
+                  core
+              in
+              Common.trace config (fun () ->
+                  Printf.sprintf "UNSAT: core of %d assumptions, lb now %d"
+                    (List.length core) !lb);
+              (* A new sum over the core's indicators, allowing one
+                 violation (which the core proved unavoidable). *)
+              (match indicators with
+              | [] | [ _ ] -> ()
+              | _ ->
+                  let tree =
+                    Card.Totalizer_tree.build (tally_sink tally s)
+                      (Array.of_list indicators)
+                  in
+                  let outs = Card.Totalizer_tree.outputs tree in
+                  if Array.length outs > 1 then
+                    Hashtbl.replace active (Lit.neg outs.(1)) (Sum { tree; bound = 1 }));
+              loop ())
+    end
+  in
+  loop ()

@@ -1,0 +1,155 @@
+module Lit = Msu_cnf.Lit
+module Wcnf = Msu_cnf.Wcnf
+module Solver = Msu_sat.Solver
+module Card = Msu_card.Card
+module Gte = Msu_card.Gte
+module Sink = Msu_cnf.Sink
+
+let tally_sink tally s =
+  Sink.
+    {
+      fresh_var = (fun () -> Solver.new_var s);
+      emit =
+        (fun c ->
+          Common.Tally.encoded tally 1;
+          Solver.add_clause s c);
+    }
+
+(* Build the relaxed formula: every soft clause gets its blocking
+   variable.  Returns the solver and the weighted blocking literals. *)
+let build_relaxed tally w =
+  let s = Solver.create ~track_proof:false () in
+  Solver.ensure_vars s (Wcnf.num_vars w);
+  Wcnf.iter_hard (fun _ c -> Solver.add_clause s c) w;
+  let blocks =
+    Array.init (Wcnf.num_soft w) (fun i ->
+        let b = Lit.pos (Solver.new_var s) in
+        Common.Tally.blocking_var tally;
+        Solver.add_clause s (Array.append (Wcnf.soft w i) [| b |]);
+        (b, Wcnf.weight w i))
+  in
+  (s, blocks)
+
+(* "Objective < cost": cardinality encoding for unit weights (the
+   minisat+ path the paper used), generalized totalizer otherwise. *)
+let constrain_below config tally s blocks cost =
+  let sink = tally_sink tally s in
+  if Array.for_all (fun (_, w) -> w = 1) blocks then
+    Card.at_most sink config.Types.encoding (Array.map fst blocks) (cost - 1)
+  else Gte.at_most sink blocks (cost - 1)
+
+let linear config tally w t0 =
+  let s, blocks = build_relaxed tally w in
+  let finish outcome model =
+    Common.finish ~t0 ~stats:(Common.Tally.snapshot tally) outcome model
+  in
+  let best = ref None in
+  let rec loop () =
+    if Common.over_deadline config then bounds ()
+    else begin
+      Common.Tally.sat_call tally;
+      match Solver.solve ~deadline:config.deadline s with
+      | Solver.Unknown -> bounds ()
+      | Solver.Unsat -> (
+          match !best with
+          | None -> finish Types.Hard_unsat None
+          | Some (cost, model) -> finish (Types.Optimum cost) (Some model))
+      | Solver.Sat ->
+          let model = Solver.model s in
+          let cost =
+            match Wcnf.cost_of_model w model with Some c -> c | None -> assert false
+          in
+          Common.trace config (fun () -> Printf.sprintf "SAT: cost %d" cost);
+          best := Some (cost, model);
+          if cost = 0 then finish (Types.Optimum 0) (Some model)
+          else begin
+            constrain_below config tally s blocks cost;
+            loop ()
+          end
+    end
+  and bounds () =
+    match !best with
+    | None -> finish (Types.Bounds { lb = 0; ub = None }) None
+    | Some (cost, model) ->
+        finish (Types.Bounds { lb = 0; ub = Some cost }) (Some model)
+  in
+  loop ()
+
+let binary config tally w t0 =
+  let s, blocks = build_relaxed tally w in
+  let finish outcome model =
+    Common.finish ~t0 ~stats:(Common.Tally.snapshot tally) outcome model
+  in
+  (* One counter reused across probes; bounds become assumptions.  The
+     counter is built lazily, capped at the first model's cost, since no
+     probe ever exceeds it. *)
+  let counter = ref None in
+  let lo = ref 0 in
+  let best = ref None in
+  let solve_with_bound k =
+    let deadline = config.Types.deadline in
+    Common.Tally.sat_call tally;
+    let assumptions =
+      match k with
+      | None -> [||]
+      | Some k ->
+          let gte =
+            match !counter with
+            | Some g -> g
+            | None ->
+                let cap =
+                  match !best with Some (c, _) -> max c 1 | None -> assert false
+                in
+                let g = Gte.build (tally_sink tally s) ~cap blocks in
+                counter := Some g;
+                g
+          in
+          Array.of_list (Gte.at_most_assumptions gte k)
+    in
+    Solver.solve ~assumptions ~deadline s
+  in
+  let rec loop () =
+    let hi = match !best with Some (c, _) -> c | None -> max_int in
+    if !lo >= hi then
+      match !best with
+      | Some (c, m) -> finish (Types.Optimum c) (Some m)
+      | None -> assert false
+    else if Common.over_deadline config then bounds ()
+    else begin
+      let probe = if hi = max_int then None else Some ((!lo + hi) / 2) in
+      match solve_with_bound probe with
+      | Solver.Unknown -> bounds ()
+      | Solver.Sat ->
+          let model = Solver.model s in
+          let cost =
+            match Wcnf.cost_of_model w model with Some c -> c | None -> assert false
+          in
+          Common.trace config (fun () ->
+              Printf.sprintf "SAT at bound %s: cost %d"
+                (match probe with Some p -> string_of_int p | None -> "-")
+                cost);
+          (match !best with
+          | Some (c, _) when c <= cost -> ()
+          | _ -> best := Some (cost, model));
+          loop ()
+      | Solver.Unsat -> (
+          match probe with
+          | None -> finish Types.Hard_unsat None
+          | Some p ->
+              Common.trace config (fun () -> Printf.sprintf "UNSAT at bound %d" p);
+              lo := p + 1;
+              loop ())
+    end
+  and bounds () =
+    match !best with
+    | None -> finish (Types.Bounds { lb = !lo; ub = None }) None
+    | Some (c, m) -> finish (Types.Bounds { lb = !lo; ub = Some c }) (Some m)
+  in
+  loop ()
+
+let solve ?(config = Types.default_config) ?(search = `Linear) w =
+  let t0 = Unix.gettimeofday () in
+  let tally = Common.Tally.create () in
+  match search with
+  | `Linear -> linear config tally w t0
+  | `Binary -> binary config tally w t0

@@ -1,0 +1,57 @@
+type outcome =
+  | Optimum of int
+  | Bounds of { lb : int; ub : int option }
+  | Hard_unsat
+
+type stats = {
+  sat_calls : int;
+  cores : int;
+  blocking_vars : int;
+  encoding_clauses : int;
+}
+
+type result = {
+  outcome : outcome;
+  model : bool array option;
+  stats : stats;
+  elapsed : float;
+}
+
+type config = {
+  deadline : float;
+  encoding : Msu_card.Card.encoding;
+  core_geq1 : bool;
+  trace : (string -> unit) option;
+}
+
+let default_config =
+  {
+    deadline = infinity;
+    encoding = Msu_card.Card.Sortnet;
+    core_geq1 = true;
+    trace = None;
+  }
+
+let empty_stats = { sat_calls = 0; cores = 0; blocking_vars = 0; encoding_clauses = 0 }
+
+let max_satisfied w r =
+  match r.outcome with
+  | Optimum cost -> Some (Msu_cnf.Wcnf.total_soft_weight w - cost)
+  | Bounds _ | Hard_unsat -> None
+
+let verify_model w r =
+  match (r.model, r.outcome) with
+  | None, _ -> true
+  | Some model, Optimum cost -> Msu_cnf.Wcnf.cost_of_model w model = Some cost
+  | Some model, Bounds { ub = Some ub; _ } -> Msu_cnf.Wcnf.cost_of_model w model = Some ub
+  | Some _, (Bounds { ub = None; _ } | Hard_unsat) -> false
+
+let pp_outcome ppf = function
+  | Optimum c -> Format.fprintf ppf "optimum %d" c
+  | Bounds { lb; ub = Some ub } -> Format.fprintf ppf "bounds [%d, %d]" lb ub
+  | Bounds { lb; ub = None } -> Format.fprintf ppf "bounds [%d, ?]" lb
+  | Hard_unsat -> Format.pp_print_string ppf "hard clauses unsatisfiable"
+
+let pp_result ppf r =
+  Format.fprintf ppf "%a (%.3fs, %d SAT calls, %d cores, %d blocking vars)" pp_outcome
+    r.outcome r.elapsed r.stats.sat_calls r.stats.cores r.stats.blocking_vars

@@ -1,0 +1,56 @@
+(** Common result and configuration types for the MaxSAT algorithms.
+
+    All algorithms report in {e cost} terms: the minimum total weight of
+    falsified soft clauses.  For a plain MaxSAT instance with [m]
+    clauses, the paper's "MaxSAT solution" (maximum satisfied clauses)
+    is [m - cost]; use {!max_satisfied}. *)
+
+type outcome =
+  | Optimum of int  (** proved minimal cost *)
+  | Bounds of { lb : int; ub : int option }
+      (** budget ran out; [lb <= cost <= ub] ([ub = None] when no model
+          was found yet) *)
+  | Hard_unsat  (** the hard clauses alone are unsatisfiable *)
+
+type stats = {
+  sat_calls : int;  (** number of SAT-solver invocations *)
+  cores : int;  (** unsatisfiable cores extracted *)
+  blocking_vars : int;  (** relaxation variables introduced *)
+  encoding_clauses : int;  (** clauses emitted by cardinality encoders *)
+}
+
+type result = {
+  outcome : outcome;
+  model : bool array option;
+      (** best model found; achieves the optimum (or the [ub]) *)
+  stats : stats;
+  elapsed : float;  (** wall-clock seconds *)
+}
+
+type config = {
+  deadline : float;
+      (** absolute timestamp ([Unix.gettimeofday] scale); [infinity] for
+          no limit *)
+  encoding : Msu_card.Card.encoding;
+      (** cardinality encoding: [Bdd] gives msu4-v1, [Sortnet] msu4-v2 *)
+  core_geq1 : bool;
+      (** msu4's optional "at least one new blocking variable" constraint
+          (Algorithm 1, line 19) *)
+  trace : (string -> unit) option;  (** per-iteration narration *)
+}
+
+val default_config : config
+(** No deadline, [Sortnet] encoding (the paper's stronger v2),
+    [core_geq1 = true], no trace. *)
+
+val empty_stats : stats
+val max_satisfied : Msu_cnf.Wcnf.t -> result -> int option
+(** [m - cost] when the optimum is known (plain-MaxSAT reading). *)
+
+val verify_model : Msu_cnf.Wcnf.t -> result -> bool
+(** When [result] carries a model and claims an optimum or upper bound,
+    check that the model's true cost matches the claim.  Results without
+    a model verify trivially. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,113 @@
+module Lit = Msu_cnf.Lit
+module Wcnf = Msu_cnf.Wcnf
+module Solver = Msu_sat.Solver
+module Sink = Msu_cnf.Sink
+
+(* Soft clauses are dynamic here: cores split them.  Each live soft
+   clause carries its current weight and accumulated blocking
+   literals. *)
+type soft = { lits : Lit.t array; mutable weight : int; mutable blocks : Lit.t list }
+
+type state = {
+  w : Wcnf.t;
+  tally : Common.Tally.t;
+  softs : soft Msu_cnf.Vec.t;
+  aux : Lit.t array list ref;
+  mutable next_var : int;
+}
+
+let fresh st =
+  let v = st.next_var in
+  st.next_var <- v + 1;
+  v
+
+let aux_sink st =
+  Sink.
+    {
+      fresh_var = (fun () -> fresh st);
+      emit =
+        (fun c ->
+          Common.Tally.encoded st.tally 1;
+          st.aux := c :: !(st.aux));
+    }
+
+let build st =
+  let s = Solver.create () in
+  Solver.ensure_vars s st.next_var;
+  Wcnf.iter_hard (fun _ c -> Solver.add_clause s c) st.w;
+  Msu_cnf.Vec.iteri
+    (fun i soft ->
+      match soft.blocks with
+      | [] -> Solver.add_clause ~id:i s soft.lits
+      | bs -> Solver.add_clause ~id:i s (Array.append soft.lits (Array.of_list bs)))
+    st.softs;
+  List.iter (fun c -> Solver.add_clause s c) !(st.aux);
+  s
+
+let solve ?(config = Types.default_config) w =
+  let t0 = Unix.gettimeofday () in
+  let st =
+    {
+      w;
+      tally = Common.Tally.create ();
+      softs = Msu_cnf.Vec.create ~dummy:{ lits = [||]; weight = 0; blocks = [] };
+      aux = ref [];
+      next_var = Wcnf.num_vars w;
+    }
+  in
+  Wcnf.iter_soft
+    (fun _ c weight -> Msu_cnf.Vec.push st.softs { lits = c; weight; blocks = [] })
+    w;
+  let finish outcome model =
+    Common.finish ~t0 ~stats:(Common.Tally.snapshot st.tally) outcome model
+  in
+  let cost = ref 0 in
+  let rec loop s =
+    if Common.over_deadline config then
+      finish (Types.Bounds { lb = !cost; ub = None }) None
+    else begin
+      Common.Tally.sat_call st.tally;
+      match Solver.solve ~deadline:config.deadline s with
+      | Solver.Unknown -> finish (Types.Bounds { lb = !cost; ub = None }) None
+      | Solver.Sat ->
+          Common.trace config (fun () -> Printf.sprintf "SAT: optimum %d" !cost);
+          finish (Types.Optimum !cost) (Some (Solver.model s))
+      | Solver.Unsat -> (
+          match Solver.unsat_core s with
+          | [] -> finish Types.Hard_unsat None
+          | core ->
+              Common.Tally.core st.tally;
+              let wmin =
+                List.fold_left
+                  (fun acc i -> min acc (Msu_cnf.Vec.get st.softs i).weight)
+                  max_int core
+              in
+              let new_bs =
+                List.map
+                  (fun i ->
+                    let soft = Msu_cnf.Vec.get st.softs i in
+                    (* Split the weight: the remainder survives as a
+                       fresh unrelaxed copy. *)
+                    if soft.weight > wmin then
+                      Msu_cnf.Vec.push st.softs
+                        {
+                          lits = soft.lits;
+                          weight = soft.weight - wmin;
+                          blocks = soft.blocks;
+                        };
+                    let b = Lit.pos (fresh st) in
+                    soft.weight <- wmin;
+                    soft.blocks <- b :: soft.blocks;
+                    Common.Tally.blocking_var st.tally;
+                    b)
+                  core
+              in
+              Msu_card.Card.exactly_one (aux_sink st) (Array.of_list new_bs);
+              cost := !cost + wmin;
+              Common.trace config (fun () ->
+                  Printf.sprintf "UNSAT: core of %d softs, wmin %d, cost now %d"
+                    (List.length core) wmin !cost);
+              loop (build st))
+    end
+  in
+  loop (build st)

@@ -1,0 +1,16 @@
+(** WPM1: the weighted generalization of Fu & Malik's algorithm
+    (Ansótegui, Bonet & Levy, SAT'09; Manquinho, Marques-Silva & Planes
+    developed the contemporaneous WBO).  This is the natural "future
+    work" continuation of the msu4 paper's algorithm family to weighted
+    partial MaxSAT.
+
+    On each unsatisfiable core, let [wmin] be the minimum weight among
+    its soft clauses.  Every core clause of weight [w > wmin] is split:
+    a duplicate without a new blocking variable keeps weight [w - wmin],
+    while the original drops to [wmin] and receives a fresh blocking
+    variable.  An exactly-one constraint over the new blocking variables
+    is added and the cost increases by [wmin].  The first satisfiable
+    call proves optimality. *)
+
+val solve : ?config:Types.config -> Msu_cnf.Wcnf.t -> Types.result
+(** Accepts arbitrary positive weights and hard clauses. *)

@@ -1,0 +1,1 @@
+lib/gen/atpg.ml: Array List Msu_circuit Msu_cnf Random

@@ -1,0 +1,1 @@
+lib/gen/atpg.mli: Msu_circuit Msu_cnf Random

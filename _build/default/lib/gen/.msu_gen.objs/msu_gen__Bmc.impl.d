@@ -1,0 +1,1 @@
+lib/gen/bmc.ml: Array List Msu_circuit Msu_cnf

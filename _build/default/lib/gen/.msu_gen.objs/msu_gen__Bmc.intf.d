@@ -1,0 +1,1 @@
+lib/gen/bmc.mli: Msu_circuit Msu_cnf

@@ -1,0 +1,1 @@
+lib/gen/coloring.ml: Array List Msu_cnf Random

@@ -1,0 +1,1 @@
+lib/gen/coloring.mli: Msu_cnf Random

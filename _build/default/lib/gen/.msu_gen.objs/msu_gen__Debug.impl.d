@@ -1,0 +1,1 @@
+lib/gen/debug.ml: Array Msu_circuit Msu_cnf Random

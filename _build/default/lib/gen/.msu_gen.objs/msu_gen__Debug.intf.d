@@ -1,0 +1,1 @@
+lib/gen/debug.mli: Msu_cnf Random

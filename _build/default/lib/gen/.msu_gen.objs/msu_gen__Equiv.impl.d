@@ -1,0 +1,1 @@
+lib/gen/equiv.ml: Array Msu_circuit Msu_cnf

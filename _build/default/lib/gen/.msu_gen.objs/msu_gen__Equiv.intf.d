@@ -1,0 +1,1 @@
+lib/gen/equiv.mli: Msu_circuit Msu_cnf Random

@@ -1,0 +1,1 @@
+lib/gen/php.ml: Array Msu_cnf

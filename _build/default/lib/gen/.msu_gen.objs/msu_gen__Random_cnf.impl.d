@@ -1,0 +1,1 @@
+lib/gen/random_cnf.ml: Array Msu_cnf Msu_sat Random

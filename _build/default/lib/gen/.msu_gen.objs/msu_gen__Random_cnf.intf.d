@@ -1,0 +1,1 @@
+lib/gen/random_cnf.mli: Msu_cnf Random

@@ -1,0 +1,1 @@
+lib/gen/suites.ml: Array Atpg Bmc Debug Equiv List Msu_cnf Php Printf Random Random_cnf

@@ -1,0 +1,1 @@
+lib/gen/suites.mli: Msu_cnf

@@ -1,0 +1,57 @@
+module Netlist = Msu_circuit.Netlist
+module Formula = Msu_cnf.Formula
+module Sink = Msu_cnf.Sink
+
+(* Stuck-at-0 on the output of gate [i] is modelled by replacing it
+   with [Xor(a, a)], which is constantly false and needs no dedicated
+   constant-gate kind. *)
+let stuck_at_zero (nl : Netlist.t) gate_idx =
+  let gates = Array.copy nl.Netlist.gates in
+  let a = gates.(gate_idx).Netlist.a in
+  gates.(gate_idx) <- Netlist.{ kind = Xor; a; b = a };
+  { nl with Netlist.gates }
+
+let plant_redundancy st (nl : Netlist.t) ~n_faults =
+  let base_inputs = nl.Netlist.n_inputs in
+  let gates = ref (Array.to_list nl.Netlist.gates) in
+  let n_base_gates = Array.length nl.Netlist.gates in
+  let outputs = Array.copy nl.Netlist.outputs in
+  let extra = ref [] in
+  let fault_sites = ref [] in
+  (* Each fault site: pick a signal a and an output slot o; append
+     not_a = Not(a); red = And(a, not_a); new_out = Or(out_sig, red);
+     redirect the output to new_out.  [red] stuck at 0 is untestable. *)
+  for k = 0 to n_faults - 1 do
+    let gate_count = n_base_gates + (3 * k) in
+    let signal_limit = base_inputs + gate_count in
+    let a = Random.State.int st signal_limit in
+    let o = Random.State.int st (Array.length outputs) in
+    let not_a = base_inputs + gate_count in
+    let red = not_a + 1 in
+    let new_out = red + 1 in
+    extra :=
+      Netlist.{ kind = Or; a = outputs.(o); b = red }
+      :: Netlist.{ kind = And; a; b = not_a }
+      :: Netlist.{ kind = Not; a; b = 0 }
+      :: !extra;
+    fault_sites := (red - base_inputs) :: !fault_sites;
+    outputs.(o) <- new_out
+  done;
+  let good =
+    Netlist.
+      {
+        n_inputs = base_inputs;
+        gates = Array.of_list (!gates @ List.rev !extra);
+        outputs;
+      }
+  in
+  Netlist.validate good;
+  let faulty = List.fold_left stuck_at_zero good !fault_sites in
+  (good, faulty)
+
+let instance st ~n_inputs ~n_gates ~n_outputs ~n_faults =
+  let nl = Netlist.random st ~n_inputs ~n_gates ~n_outputs in
+  let good, faulty = plant_redundancy st nl ~n_faults in
+  let f = Formula.create () in
+  Netlist.miter good faulty (Sink.of_formula f);
+  f

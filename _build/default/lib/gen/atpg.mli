@@ -1,0 +1,31 @@
+(** Test-pattern-generation instance family.
+
+    SAT-based ATPG asks for an input vector that distinguishes a fault-
+    free circuit from a faulty one; the CNF is a miter between the two.
+    For a {e redundant} (untestable) fault no such vector exists and the
+    CNF is unsatisfiable — exactly the hard unsatisfiable instances
+    test-generation tools produce and that the msu4 paper's suite
+    contains.
+
+    Redundancy is planted: the generator grafts [a AND NOT a] terms
+    (constant false) onto randomly chosen outputs and injects
+    stuck-at-0 faults on them, so untestability holds by construction. *)
+
+val instance :
+  Random.State.t ->
+  n_inputs:int ->
+  n_gates:int ->
+  n_outputs:int ->
+  n_faults:int ->
+  Msu_cnf.Formula.t
+(** Miter CNF between the redundancy-augmented netlist and its faulty
+    version ([n_faults] planted-redundant lines stuck at 0).
+    Unsatisfiable. *)
+
+val plant_redundancy :
+  Random.State.t ->
+  Msu_circuit.Netlist.t ->
+  n_faults:int ->
+  Msu_circuit.Netlist.t * Msu_circuit.Netlist.t
+(** [(good, faulty)] — the augmented netlist and its stuck-at version;
+    functionally equivalent. *)

@@ -1,0 +1,81 @@
+module Circuit = Msu_circuit.Circuit
+module Unroll = Msu_circuit.Unroll
+module Formula = Msu_cnf.Formula
+module Sink = Msu_cnf.Sink
+
+let bit value i = value land (1 lsl i) <> 0
+
+let eq_const c nodes value =
+  Circuit.and_list c
+    (List.mapi
+       (fun i n -> if bit value i then n else Circuit.not_ c n)
+       (Array.to_list nodes))
+
+(* Ripple increment: returns state + 1 (modulo 2^width). *)
+let increment c state =
+  let carry = ref (Circuit.const c true) in
+  Array.map
+    (fun b ->
+      let sum = Circuit.xor_ c b !carry in
+      carry := Circuit.and_ c b !carry;
+      sum)
+    state
+
+let counter_spec ~width ~limit ~target =
+  if not (0 < limit && limit <= target && target < 1 lsl width) then
+    invalid_arg "Bmc.counter_spec: need 0 < limit <= target < 2^width";
+  Unroll.
+    {
+      n_latches = width;
+      n_pi = 1;
+      init = Array.make width false;
+      next =
+        (fun c state inputs ->
+          let enable = inputs.(0) in
+          let at_limit = eq_const c state (limit - 1) in
+          let incremented = increment c state in
+          Array.mapi
+            (fun i b ->
+              let counted = Circuit.mux c ~sel:at_limit (Circuit.const c false) incremented.(i) in
+              Circuit.mux c ~sel:enable counted b)
+            state);
+      bad = (fun c state _inputs -> eq_const c state target);
+    }
+
+let lfsr_spec ~width ~taps =
+  if width < 2 then invalid_arg "Bmc.lfsr_spec: width too small";
+  let taps = List.sort_uniq compare (0 :: List.filter (fun t -> t < width) taps) in
+  let init = Array.init width (fun i -> i = 0) in
+  Unroll.
+    {
+      n_latches = width;
+      n_pi = 1;
+      init;
+      next =
+        (fun c state inputs ->
+          let enable = inputs.(0) in
+          let feedback =
+            List.fold_left
+              (fun acc t -> Circuit.xor_ c acc state.(t))
+              (Circuit.const c false) taps
+          in
+          Array.mapi
+            (fun i b ->
+              let shifted = if i = width - 1 then feedback else state.(i + 1) in
+              Circuit.mux c ~sel:enable shifted b)
+            state);
+      bad =
+        (fun c state _inputs ->
+          Circuit.and_list c (List.map (Circuit.not_ c) (Array.to_list state)));
+    }
+
+let formula_of_spec spec ~depth =
+  let c, bad = Unroll.unroll spec ~k:depth in
+  let f = Formula.create () in
+  ignore (Circuit.assert_node c (Sink.of_formula f) bad);
+  f
+
+let counter_formula ~width ~limit ~target ~depth =
+  formula_of_spec (counter_spec ~width ~limit ~target) ~depth
+
+let lfsr_formula ~width ~taps ~depth = formula_of_spec (lfsr_spec ~width ~taps) ~depth

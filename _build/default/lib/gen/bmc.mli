@@ -1,0 +1,27 @@
+(** Bounded-model-checking instance family.
+
+    Two parameterized sequential designs with {e unreachable} bad
+    states, so the unrolled CNF is unsatisfiable at every depth — the
+    "model checking" slice of the industrial suite the msu4 paper
+    evaluates on:
+
+    {ul
+    {- a modulo-[limit] enabled counter asked whether it ever reaches a
+       [target >= limit];}
+    {- a Fibonacci LFSR (with a tap on bit 0, hence an invertible
+       transition) asked whether it ever reaches the all-zero state
+       from a nonzero seed.}} *)
+
+val counter_spec : width:int -> limit:int -> target:int -> Msu_circuit.Unroll.spec
+(** @raise Invalid_argument unless [0 < limit <= target < 2^width]. *)
+
+val lfsr_spec : width:int -> taps:int list -> Msu_circuit.Unroll.spec
+(** [taps] are bit positions; position [0] is forced in to keep the
+    transition invertible. *)
+
+val counter_formula :
+  width:int -> limit:int -> target:int -> depth:int -> Msu_cnf.Formula.t
+(** The Tseitin CNF of the [depth]-frame unrolling with the bad output
+    asserted — unsatisfiable by construction. *)
+
+val lfsr_formula : width:int -> taps:int list -> depth:int -> Msu_cnf.Formula.t

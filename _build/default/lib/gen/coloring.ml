@@ -1,0 +1,78 @@
+module Lit = Msu_cnf.Lit
+module Wcnf = Msu_cnf.Wcnf
+
+type graph = { n_vertices : int; edges : (int * int) list }
+
+let random_graph st ~n_vertices ~edge_prob =
+  let edges = ref [] in
+  for u = 0 to n_vertices - 1 do
+    for v = u + 1 to n_vertices - 1 do
+      if Random.State.float st 1.0 < edge_prob then edges := (u, v) :: !edges
+    done
+  done;
+  { n_vertices; edges = List.rev !edges }
+
+let interval_graph st ~n_intervals ~horizon ~max_len =
+  let intervals =
+    Array.init n_intervals (fun _ ->
+        let start = Random.State.int st horizon in
+        let len = 1 + Random.State.int st max_len in
+        (start, start + len))
+  in
+  let overlap (s1, e1) (s2, e2) = s1 < e2 && s2 < e1 in
+  let edges = ref [] in
+  for u = 0 to n_intervals - 1 do
+    for v = u + 1 to n_intervals - 1 do
+      if overlap intervals.(u) intervals.(v) then edges := (u, v) :: !edges
+    done
+  done;
+  { n_vertices = n_intervals; edges = List.rev !edges }
+
+let encode g ~colors =
+  if colors < 1 then invalid_arg "Coloring.encode: need at least one color";
+  let w = Wcnf.create () in
+  Wcnf.ensure_vars w (g.n_vertices * colors);
+  let x v c = Lit.pos ((v * colors) + c) in
+  (* Hard: exactly one color per vertex. *)
+  for v = 0 to g.n_vertices - 1 do
+    Wcnf.add_hard w (Array.init colors (fun c -> x v c));
+    for c1 = 0 to colors - 1 do
+      for c2 = c1 + 1 to colors - 1 do
+        Wcnf.add_hard w [| Lit.neg (x v c1); Lit.neg (x v c2) |]
+      done
+    done
+  done;
+  (* Soft: conflict-free edges, one clause per (edge, color). *)
+  List.iter
+    (fun (u, v) ->
+      for c = 0 to colors - 1 do
+        ignore (Wcnf.add_soft w [| Lit.neg (x u c); Lit.neg (x v c) |])
+      done)
+    g.edges;
+  w
+
+let conflicts g ~colors ~coloring =
+  Array.iter
+    (fun c -> if c < 0 || c >= colors then invalid_arg "Coloring.conflicts: color range")
+    coloring;
+  List.fold_left
+    (fun acc (u, v) -> if coloring.(u) = coloring.(v) then acc + 1 else acc)
+    0 g.edges
+
+let min_conflicts_brute g ~colors =
+  let total =
+    let rec pow acc k = if k = 0 then acc else pow (acc * colors) (k - 1) in
+    pow 1 g.n_vertices
+  in
+  if total > 2_000_000 then invalid_arg "Coloring.min_conflicts_brute: too large";
+  let coloring = Array.make (max g.n_vertices 1) 0 in
+  let best = ref max_int in
+  for code = 0 to total - 1 do
+    let c = ref code in
+    for v = 0 to g.n_vertices - 1 do
+      coloring.(v) <- !c mod colors;
+      c := !c / colors
+    done;
+    best := min !best (conflicts g ~colors ~coloring)
+  done;
+  if g.n_vertices = 0 then 0 else !best

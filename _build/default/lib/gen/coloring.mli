@@ -1,0 +1,32 @@
+(** Graph-coloring MaxSAT instances (register-allocation flavour).
+
+    The paper's introduction cites scheduling and routing among
+    MaxSAT's application domains; the canonical such encoding is
+    k-coloring with conflict minimization, which is register allocation
+    when the graph is the interference graph of live ranges.
+
+    Encoding: hard exactly-one-color constraints per vertex; for every
+    edge and every color one soft clause "the endpoints do not share
+    this color".  With exactly-one in force, a conflicting edge
+    falsifies exactly one of its clauses, so the MaxSAT cost equals the
+    number of conflicting edges. *)
+
+type graph = { n_vertices : int; edges : (int * int) list }
+
+val random_graph : Random.State.t -> n_vertices:int -> edge_prob:float -> graph
+
+val interval_graph :
+  Random.State.t -> n_intervals:int -> horizon:int -> max_len:int -> graph
+(** Interference graph of random live intervals on a linear timeline —
+    the structure register allocators color. *)
+
+val encode : graph -> colors:int -> Msu_cnf.Wcnf.t
+(** Variable [v * colors + c] is "vertex [v] has color [c]".
+    @raise Invalid_argument for [colors < 1]. *)
+
+val conflicts : graph -> colors:int -> coloring:int array -> int
+(** Number of edges whose endpoints share a color — the reference cost
+    function.  @raise Invalid_argument on an out-of-range color. *)
+
+val min_conflicts_brute : graph -> colors:int -> int
+(** Exhaustive optimum (guarded: [colors^n_vertices <= 2_000_000]). *)

@@ -1,0 +1,86 @@
+module Netlist = Msu_circuit.Netlist
+module Wcnf = Msu_cnf.Wcnf
+module Lit = Msu_cnf.Lit
+module Sink = Msu_cnf.Sink
+
+type instance = {
+  wcnf : Msu_cnf.Wcnf.t;
+  buggy_gate : int;
+  relax_vars : Msu_cnf.Lit.var array;
+  n_vectors : int;
+}
+
+let random_vector st n = Array.init n (fun _ -> Random.State.bool st)
+
+(* Encode one vector copy of the buggy netlist into [w].  Gate clauses
+   are widened with the gate's relaxation literal in `Partial mode; in
+   `Plain mode every clause (pins included) is soft and unrelaxed. *)
+let encode_copy w ~encoding ~relax (buggy : Netlist.t) vec correct_out =
+  let add_clause c =
+    match encoding with
+    | `Partial -> Wcnf.add_hard w c
+    | `Plain -> ignore (Wcnf.add_soft w c)
+  in
+  let n_in = buggy.Netlist.n_inputs in
+  let lits = Array.make (Netlist.signal_count buggy) (Lit.pos 0) in
+  for i = 0 to n_in - 1 do
+    let l = Lit.pos (Wcnf.fresh_var w) in
+    lits.(i) <- l;
+    add_clause [| (if vec.(i) then l else Lit.neg l) |]
+  done;
+  Array.iteri
+    (fun gi (g : Netlist.gate) ->
+      let z = Lit.pos (Wcnf.fresh_var w) in
+      lits.(n_in + gi) <- z;
+      let widen =
+        match encoding with
+        | `Partial -> fun c -> Array.append c [| Lit.pos relax.(gi) |]
+        | `Plain -> fun c -> c
+      in
+      let sink = Sink.{ fresh_var = (fun () -> Wcnf.fresh_var w); emit = (fun c -> add_clause (widen c)) } in
+      let b = match g.Netlist.kind with Netlist.Not | Netlist.Buf -> z | _ -> lits.(g.Netlist.b) in
+      Netlist.emit_gate sink g.Netlist.kind z lits.(g.Netlist.a) b)
+    buggy.Netlist.gates;
+  Array.iteri
+    (fun oi o ->
+      let l = lits.(o) in
+      add_clause [| (if correct_out.(oi) then l else Lit.neg l) |])
+    buggy.Netlist.outputs
+
+let instance ?gate_weight st ~n_inputs ~n_gates ~n_outputs ~n_vectors ~encoding =
+  (* Find a netlist, mutation and vector set where the bug shows. *)
+  let rec sample attempts =
+    if attempts > 200 then invalid_arg "Debug.instance: could not expose a bug";
+    let nl = Netlist.random st ~n_inputs ~n_gates ~n_outputs in
+    let buggy, gate = Netlist.mutate_gate st nl in
+    let vectors = Array.init n_vectors (fun _ -> random_vector st n_inputs) in
+    let exposed =
+      Array.exists
+        (fun v -> Netlist.eval_outputs nl v <> Netlist.eval_outputs buggy v)
+        vectors
+    in
+    if exposed then (nl, buggy, gate, vectors) else sample (attempts + 1)
+  in
+  let nl, buggy, gate, vectors = sample 0 in
+  let w = Wcnf.create () in
+  let relax =
+    match encoding with
+    | `Partial -> Array.init n_gates (fun _ -> Wcnf.fresh_var w)
+    | `Plain -> [||]
+  in
+  Array.iter
+    (fun vec ->
+      let correct_out = Netlist.eval_outputs nl vec in
+      encode_copy w ~encoding ~relax buggy vec correct_out)
+    vectors;
+  (* One soft unit per gate: prefer not to suspect it.  A gate weight
+     models non-uniform repair cost (e.g. criticality or area). *)
+  (match encoding with
+  | `Partial ->
+      Array.iteri
+        (fun gi r ->
+          let weight = match gate_weight with None -> 1 | Some f -> f gi in
+          ignore (Wcnf.add_soft w ~weight [| Lit.neg_of r |]))
+        relax
+  | `Plain -> ());
+  { wcnf = w; buggy_gate = gate; relax_vars = relax; n_vectors }

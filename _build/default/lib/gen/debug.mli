@@ -1,0 +1,40 @@
+(** Design-debugging MaxSAT instances (Safarpour et al., FMCAD'07 — the
+    application that motivated msu4 and the paper's Table 2).
+
+    Construction: take a correct netlist, inject one gate error (the
+    "bug"), simulate the {e correct} netlist on random test vectors, and
+    encode: for every vector a copy of the {e buggy} netlist with inputs
+    and outputs pinned to the correct values.  Each gate carries one
+    relaxation variable shared by all vector copies; freeing a gate
+    lifts its function constraints everywhere.  The MaxSAT optimum is
+    the minimum number of gates to free — with a single injected error
+    and exposing vectors, exactly 1 — and the relaxed gate localizes the
+    bug.
+
+    Two encodings are offered: [partial] (pins and gate semantics hard,
+    one soft unit per gate — the published formulation) and [plain]
+    (everything soft, matching the paper's plain-MaxSAT Table 2 setup). *)
+
+type instance = {
+  wcnf : Msu_cnf.Wcnf.t;
+  buggy_gate : int;  (** index of the mutated gate *)
+  relax_vars : Msu_cnf.Lit.var array;
+      (** relaxation variable of each gate; in a model of the optimum,
+          the true ones are the error candidates (partial encoding) *)
+  n_vectors : int;
+}
+
+val instance :
+  ?gate_weight:(int -> int) ->
+  Random.State.t ->
+  n_inputs:int ->
+  n_gates:int ->
+  n_outputs:int ->
+  n_vectors:int ->
+  encoding:[ `Partial | `Plain ] ->
+  instance
+(** Vectors are resampled until at least one exposes the bug, so the
+    instance is never trivially satisfiable.  [gate_weight] assigns a
+    repair cost to each gate's soft clause (default 1); with weights the
+    optimum is the cheapest consistent repair rather than the smallest
+    ([`Partial] only). *)

@@ -1,0 +1,59 @@
+module Circuit = Msu_circuit.Circuit
+module Netlist = Msu_circuit.Netlist
+module Formula = Msu_cnf.Formula
+module Lit = Msu_cnf.Lit
+module Sink = Msu_cnf.Sink
+
+let to_circuit (nl : Netlist.t) =
+  let c = Circuit.create () in
+  let signals = Array.make (Netlist.signal_count nl) (Circuit.const c false) in
+  for i = 0 to nl.Netlist.n_inputs - 1 do
+    signals.(i) <- Circuit.input c
+  done;
+  Array.iteri
+    (fun i (g : Netlist.gate) ->
+      let a = signals.(g.Netlist.a) in
+      let b () = signals.(g.Netlist.b) in
+      let node =
+        match g.Netlist.kind with
+        | Netlist.And -> Circuit.and_ c a (b ())
+        | Netlist.Or -> Circuit.or_ c a (b ())
+        | Netlist.Xor -> Circuit.xor_ c a (b ())
+        | Netlist.Nand -> Circuit.nand_ c a (b ())
+        | Netlist.Nor -> Circuit.nor_ c a (b ())
+        | Netlist.Xnor -> Circuit.xnor_ c a (b ())
+        | Netlist.Not -> Circuit.not_ c a
+        | Netlist.Buf -> a
+      in
+      signals.(nl.Netlist.n_inputs + i) <- node)
+    nl.Netlist.gates;
+  (c, Array.map (fun o -> signals.(o)) nl.Netlist.outputs)
+
+let miter_formula nl =
+  let f = Formula.create () in
+  let sink = Sink.of_formula f in
+  let inputs =
+    Array.init nl.Netlist.n_inputs (fun _ -> Lit.pos (Formula.fresh_var f))
+  in
+  let netlist_lits = Netlist.tseitin ~inputs nl sink in
+  let c, outputs = to_circuit nl in
+  let map = Circuit.tseitin ~input_lits:inputs c sink (Array.to_list outputs) in
+  (* XOR each output pair; assert that at least one differs. *)
+  let diffs =
+    Array.map2
+      (fun o node ->
+        let a = netlist_lits.(o) in
+        let b = map.Circuit.lit_of node in
+        let z = Lit.pos (Formula.fresh_var f) in
+        ignore (Formula.add_clause f [| Lit.neg z; a; b |]);
+        ignore (Formula.add_clause f [| Lit.neg z; Lit.neg a; Lit.neg b |]);
+        ignore (Formula.add_clause f [| z; Lit.neg a; b |]);
+        ignore (Formula.add_clause f [| z; a; Lit.neg b |]);
+        z)
+      nl.Netlist.outputs outputs
+  in
+  ignore (Formula.add_clause f diffs);
+  f
+
+let instance st ~n_inputs ~n_gates ~n_outputs =
+  miter_formula (Netlist.random st ~n_inputs ~n_gates ~n_outputs)

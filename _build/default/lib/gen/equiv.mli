@@ -1,0 +1,22 @@
+(** Equivalence-checking instance family.
+
+    A random netlist is re-synthesized through the hash-consing,
+    constant-folding {!Msu_circuit.Circuit} builder — a semantics-
+    preserving restructuring — and a miter between the original and the
+    re-synthesized version is encoded to CNF.  Because the two are
+    functionally identical the miter is unsatisfiable: the classic
+    combinational equivalence-checking workload. *)
+
+val to_circuit :
+  Msu_circuit.Netlist.t ->
+  Msu_circuit.Circuit.t * Msu_circuit.Circuit.node array
+(** Rebuild the netlist as a hash-consed circuit; returns the builder
+    and the output nodes. *)
+
+val miter_formula : Msu_circuit.Netlist.t -> Msu_cnf.Formula.t
+(** CNF asserting "some output differs" between the netlist and its
+    re-synthesized self.  Unsatisfiable. *)
+
+val instance :
+  Random.State.t -> n_inputs:int -> n_gates:int -> n_outputs:int -> Msu_cnf.Formula.t
+(** [miter_formula] of a fresh random netlist. *)

@@ -1,0 +1,21 @@
+module Lit = Msu_cnf.Lit
+module Formula = Msu_cnf.Formula
+
+let formula n =
+  if n < 1 then invalid_arg "Php.formula: need at least one hole";
+  let f = Formula.create () in
+  let var p h = (p * n) + h in
+  Formula.ensure_vars f ((n + 1) * n);
+  for p = 0 to n do
+    ignore (Formula.add_clause f (Array.init n (fun h -> Lit.pos (var p h))))
+  done;
+  for h = 0 to n - 1 do
+    for p1 = 0 to n do
+      for p2 = p1 + 1 to n do
+        ignore (Formula.add_clause f [| Lit.neg_of (var p1 h); Lit.neg_of (var p2 h) |])
+      done
+    done
+  done;
+  f
+
+let num_clauses n = n + 1 + (n * (n + 1) * n / 2)

@@ -1,0 +1,14 @@
+(** Pigeonhole formulas.
+
+    [PHP(n+1, n)] — [n+1] pigeons into [n] holes — is the classic
+    provably-hard unsatisfiable family.  Its MaxSAT optimum is exactly
+    one less than the clause count (removing any single "pigeon goes
+    somewhere" clause makes it satisfiable). *)
+
+val formula : int -> Msu_cnf.Formula.t
+(** [formula n] is PHP(n+1, n): [n+1] at-least-one clauses plus the
+    pairwise hole-exclusivity clauses.  Unsatisfiable for [n >= 1].
+    @raise Invalid_argument for [n < 1]. *)
+
+val num_clauses : int -> int
+(** Clause count of [formula n] without building it. *)

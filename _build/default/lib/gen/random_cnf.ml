@@ -1,0 +1,38 @@
+module Lit = Msu_cnf.Lit
+module Formula = Msu_cnf.Formula
+
+let random_clause st n_vars k =
+  let k = min k n_vars in
+  (* Rejection-sample k distinct variables. *)
+  let chosen = Array.make k (-1) in
+  let taken v = Array.exists (fun x -> x = v) chosen in
+  for i = 0 to k - 1 do
+    let v = ref (Random.State.int st n_vars) in
+    while taken !v do
+      v := Random.State.int st n_vars
+    done;
+    chosen.(i) <- !v
+  done;
+  Array.map (fun v -> Lit.make v (Random.State.bool st)) chosen
+
+let ksat st ~n_vars ~n_clauses ~k =
+  let f = Formula.create () in
+  Formula.ensure_vars f n_vars;
+  for _ = 1 to n_clauses do
+    ignore (Formula.add_clause f (random_clause st n_vars k))
+  done;
+  f
+
+let unsat_ksat st ~n_vars ~ratio ~k =
+  let n_clauses = int_of_float (ratio *. float_of_int n_vars) in
+  let rec roll attempts =
+    if attempts > 100 then
+      invalid_arg "Random_cnf.unsat_ksat: ratio too low to find unsat instances";
+    let f = ksat st ~n_vars ~n_clauses ~k in
+    let s = Msu_sat.Solver.create ~track_proof:false () in
+    Formula.iter_clauses (fun _ c -> Msu_sat.Solver.add_clause s c) f;
+    match Msu_sat.Solver.solve s with
+    | Msu_sat.Solver.Unsat -> f
+    | Msu_sat.Solver.Sat | Msu_sat.Solver.Unknown -> roll (attempts + 1)
+  in
+  roll 0

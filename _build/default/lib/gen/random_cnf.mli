@@ -1,0 +1,17 @@
+(** Random k-SAT generation.
+
+    At clause/variable ratios well above the satisfiability threshold
+    (~4.27 for 3-SAT) the generated formulas are unsatisfiable with
+    overwhelming probability; {!unsat_ksat} additionally verifies this
+    with the CDCL solver and rerolls until refuted, so callers always
+    receive a genuinely unsatisfiable instance. *)
+
+val ksat :
+  Random.State.t -> n_vars:int -> n_clauses:int -> k:int -> Msu_cnf.Formula.t
+(** Clauses with [k] distinct variables, signs uniform. *)
+
+val unsat_ksat :
+  Random.State.t -> n_vars:int -> ratio:float -> k:int -> Msu_cnf.Formula.t
+(** [n_clauses = ratio * n_vars], rerolled until the solver refutes it.
+    Use ratios comfortably above the threshold so the first roll almost
+    always succeeds. *)

@@ -1,0 +1,113 @@
+module Formula = Msu_cnf.Formula
+
+type instance = { name : string; family : string; formula : Msu_cnf.Formula.t }
+
+let scaled scale x = max 1 (int_of_float (float_of_int x *. scale))
+
+(* Sizes are calibrated so that, with a ~1 s per-run budget, the CDCL-
+   based algorithms solve most instances while the branch-and-bound
+   baseline drowns on the large structured ones — the behaviour the
+   paper's Table 1 documents at 1000 s on its (much larger) archive
+   instances.  [scale] moves the whole suite up or down. *)
+let industrial ?(scale = 1.0) ~seed () =
+  let st = Random.State.make [| seed; 0x1AD |] in
+  let n = scaled scale in
+  let instances = ref [] in
+  let add family name formula = instances := { name; family; formula } :: !instances in
+  (* Model checking: unreachable-target counters.  Deep unrollings are
+     hard for every solver (long refutations); keep depths moderate. *)
+  for i = 1 to n 5 do
+    let width = 4 + (i mod 3) in
+    let limit = (1 lsl width) - 2 in
+    let target = (1 lsl width) - 1 in
+    let depth = n (4 + (2 * i)) in
+    add "bmc"
+      (Printf.sprintf "bmc-counter-w%d-d%d" width depth)
+      (Bmc.counter_formula ~width ~limit ~target ~depth)
+  done;
+  (* Model checking: LFSR zero-state reachability. *)
+  for i = 1 to n 10 do
+    let width = 5 + (i mod 4) in
+    let depth = n (4 + i) in
+    add "bmc"
+      (Printf.sprintf "bmc-lfsr-w%d-d%d" width depth)
+      (Bmc.lfsr_formula ~width ~taps:[ 1 + (i mod 3) ] ~depth)
+  done;
+  (* Equivalence checking: netlist vs its resynthesis.  The big ones are
+     where SAT-based MaxSAT shines and branch and bound aborts. *)
+  for i = 1 to n 16 do
+    let n_inputs = 6 + (i mod 5) in
+    let n_gates = n (60 * i) in
+    let n_outputs = 2 + (i mod 4) in
+    add "equiv"
+      (Printf.sprintf "equiv-g%d-%d" n_gates i)
+      (Equiv.instance st ~n_inputs ~n_gates ~n_outputs)
+  done;
+  (* ATPG: redundant stuck-at faults. *)
+  for i = 1 to n 14 do
+    let n_inputs = 5 + (i mod 5) in
+    let n_gates = n (40 + (45 * i)) in
+    let n_outputs = 2 + (i mod 3) in
+    let n_faults = 1 + (i mod 3) in
+    add "atpg"
+      (Printf.sprintf "atpg-g%d-f%d-%d" n_gates n_faults i)
+      (Atpg.instance st ~n_inputs ~n_gates ~n_outputs ~n_faults)
+  done;
+  (* Crafted: pigeonhole. *)
+  for i = 1 to n 3 do
+    let holes = 3 + i in
+    add "php" (Printf.sprintf "php-%d-%d" holes i) (Php.formula holes)
+  done;
+  (* Random over-constrained 3-SAT: small, with larger optima; the one
+     family where branch and bound is competitive (as in the MaxSAT
+     evaluations). *)
+  for i = 1 to n 4 do
+    let n_vars = n (12 + (2 * i)) in
+    let ratio = if i mod 2 = 0 then 8.0 else 6.5 in
+    add "rnd3sat"
+      (Printf.sprintf "rnd3sat-v%d-%d" n_vars i)
+      (Random_cnf.unsat_ksat st ~n_vars ~ratio ~k:3)
+  done;
+  List.rev !instances
+
+let debugging ?(scale = 1.0) ~seed () =
+  let st = Random.State.make [| seed; 0xDEB |] in
+  let count = scaled scale 29 in
+  List.init count (fun i ->
+      let n_inputs = 5 + (i mod 5) in
+      let n_gates = scaled scale (60 + (22 * i)) in
+      let n_outputs = 2 + (i mod 4) in
+      let n_vectors = 3 + (i mod 5) in
+      let inst =
+        Debug.instance st ~n_inputs ~n_gates ~n_outputs ~n_vectors ~encoding:`Plain
+      in
+      {
+        name = Printf.sprintf "debug-g%d-v%d-%d" n_gates n_vectors i;
+        family = "debug";
+        formula = Msu_cnf.Wcnf.to_formula inst.Debug.wcnf;
+      })
+
+let families instances =
+  List.fold_left
+    (fun acc { family; _ } -> if List.mem family acc then acc else acc @ [ family ])
+    [] instances
+
+let weighted_debugging ?(scale = 1.0) ~seed () =
+  let st = Random.State.make [| seed; 0x3DB |] in
+  let count = scaled scale 20 in
+  List.init count (fun i ->
+      let n_inputs = 5 + (i mod 5) in
+      let n_gates = scaled scale (50 + (18 * i)) in
+      let n_outputs = 2 + (i mod 3) in
+      let n_vectors = 3 + (i mod 4) in
+      (* Repair costs spread over 1..5, seeded per gate. *)
+      let wst = Random.State.make [| seed; i; 0x3E |] in
+      let weights = Array.init n_gates (fun _ -> 1 + Random.State.int wst 5) in
+      let inst =
+        Debug.instance
+          ~gate_weight:(fun g -> weights.(g))
+          st ~n_inputs ~n_gates ~n_outputs ~n_vectors ~encoding:`Partial
+      in
+      ( Printf.sprintf "wdebug-g%d-v%d-%d" n_gates n_vectors i,
+        "wdebug",
+        inst.Debug.wcnf ))

@@ -1,0 +1,36 @@
+(** Named benchmark suites standing in for the paper's instance sets.
+
+    The msu4 paper evaluates on 691 unsatisfiable industrial instances
+    (model checking, equivalence checking, test-pattern generation,
+    plus crafted/random families from SAT competition archives) and 29
+    design-debugging MaxSAT instances.  Those archives are not
+    redistributable here, so these suites {e regenerate} the same
+    structural mix synthetically and deterministically from a seed; see
+    DESIGN.md for the substitution argument.
+
+    Every [industrial] instance is unsatisfiable as plain CNF (by
+    construction or verified), so its plain-MaxSAT optimum is
+    non-trivial, matching the paper's setup. *)
+
+type instance = { name : string; family : string; formula : Msu_cnf.Formula.t }
+
+val industrial : ?scale:float -> seed:int -> unit -> instance list
+(** Mixed suite: BMC counters and LFSRs, equivalence-checking miters,
+    redundant-fault ATPG, pigeonhole, over-constrained random 3-SAT.
+    [scale] multiplies both instance counts and sizes (default 1.0,
+    about 50 instances solvable in seconds each; the paper's 691 at
+    1000 s corresponds to a much larger scale). *)
+
+val debugging : ?scale:float -> seed:int -> unit -> instance list
+(** Design-debugging instances, plain-MaxSAT encoding (Table 2's
+    family).  Default count 29, as in the paper. *)
+
+val families : instance list -> string list
+(** Distinct family labels, in first-appearance order. *)
+
+val weighted_debugging :
+  ?scale:float -> seed:int -> unit -> (string * string * Msu_cnf.Wcnf.t) list
+(** Weighted-partial design-debugging instances: gate repair costs vary
+    over 1..5, so the optimum is the cheapest (not smallest) repair.
+    Exercises the weighted algorithms (WPM1, weighted PBO, weighted
+    branch and bound).  Returns [(name, family, wcnf)] triples. *)

@@ -1,0 +1,1 @@
+lib/harness/runner.ml: Float Format Hashtbl List Msu_maxsat Printf String Unix

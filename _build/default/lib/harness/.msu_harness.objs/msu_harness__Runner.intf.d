@@ -1,0 +1,1 @@
+lib/harness/runner.mli: Format Msu_cnf Msu_maxsat

@@ -1,0 +1,120 @@
+module Maxsat = Msu_maxsat.Maxsat
+module Types = Msu_maxsat.Types
+
+type outcome = Solved of int | Aborted | Unsat_hard
+
+type run = {
+  instance : string;
+  family : string;
+  algorithm : Maxsat.algorithm;
+  outcome : outcome;
+  time : float;
+}
+
+let run_one ~timeout algorithm (instance, family, wcnf) =
+  let t0 = Unix.gettimeofday () in
+  let config = { Types.default_config with deadline = t0 +. timeout } in
+  let result = Maxsat.solve ~config algorithm wcnf in
+  let time = Float.min (Unix.gettimeofday () -. t0) timeout in
+  let outcome =
+    match result.Types.outcome with
+    | Types.Optimum c -> Solved c
+    | Types.Bounds _ -> Aborted
+    | Types.Hard_unsat -> Unsat_hard
+  in
+  { instance; family; algorithm; outcome; time = (if outcome = Aborted then timeout else time) }
+
+let run_suite ?(progress = fun _ -> ()) ~timeout ~algorithms instances =
+  List.concat_map
+    (fun inst ->
+      List.map
+        (fun algorithm ->
+          let r = run_one ~timeout algorithm inst in
+          progress r;
+          r)
+        algorithms)
+    instances
+
+let aborted_counts algorithms runs =
+  List.map
+    (fun a ->
+      let n =
+        List.length
+          (List.filter (fun r -> r.algorithm = a && r.outcome = Aborted) runs)
+      in
+      (a, n))
+    algorithms
+
+let consistency_errors runs =
+  let optima : (string, int * Maxsat.algorithm) Hashtbl.t = Hashtbl.create 64 in
+  let errors = ref [] in
+  List.iter
+    (fun r ->
+      match r.outcome with
+      | Solved c -> (
+          match Hashtbl.find_opt optima r.instance with
+          | None -> Hashtbl.add optima r.instance (c, r.algorithm)
+          | Some (c', a') ->
+              if c <> c' then
+                errors :=
+                  Printf.sprintf "%s: %s found %d but %s found %d" r.instance
+                    (Maxsat.algorithm_to_string r.algorithm)
+                    c
+                    (Maxsat.algorithm_to_string a')
+                    c'
+                  :: !errors)
+      | Aborted | Unsat_hard -> ())
+    runs;
+  List.rev !errors
+
+let time_of ~timeout r = match r.outcome with Aborted -> timeout | _ -> r.time
+
+let scatter ~x ~y ~timeout runs =
+  let find a name =
+    List.find_opt (fun r -> r.algorithm = a && r.instance = name) runs
+  in
+  let names =
+    List.sort_uniq compare (List.map (fun r -> r.instance) runs)
+  in
+  List.filter_map
+    (fun name ->
+      match (find x name, find y name) with
+      | Some rx, Some ry -> Some (name, time_of ~timeout rx, time_of ~timeout ry)
+      | _ -> None)
+    names
+
+(* One header row of algorithm names and one row of aborted counts,
+   mirroring the layout of the paper's Tables 1 and 2. *)
+let pp_aborted_table ~total ppf counts =
+  let cells =
+    ("Total", string_of_int total)
+    :: List.map
+         (fun (a, n) -> (Maxsat.algorithm_to_string a, string_of_int n))
+         counts
+  in
+  let width (h, v) = max (String.length h) (String.length v) in
+  List.iter (fun c -> Format.fprintf ppf "%-*s  " (width c) (fst c)) cells;
+  Format.fprintf ppf "@.";
+  List.iter (fun c -> Format.fprintf ppf "%-*s  " (width c) (snd c)) cells;
+  Format.fprintf ppf "@."
+
+let pp_scatter_csv ppf points =
+  Format.fprintf ppf "instance,x_seconds,y_seconds@.";
+  List.iter
+    (fun (name, tx, ty) -> Format.fprintf ppf "%s,%.6f,%.6f@." name tx ty)
+    points
+
+let pp_runs_csv ppf runs =
+  Format.fprintf ppf "instance,family,algorithm,outcome,cost,seconds@.";
+  List.iter
+    (fun r ->
+      let outcome, cost =
+        match r.outcome with
+        | Solved c -> ("solved", string_of_int c)
+        | Aborted -> ("aborted", "")
+        | Unsat_hard -> ("hard-unsat", "")
+      in
+      Format.fprintf ppf "%s,%s,%s,%s,%s,%.6f@." r.instance r.family
+        (Maxsat.algorithm_to_string r.algorithm)
+        outcome cost r.time)
+    runs

@@ -1,0 +1,61 @@
+(** Experiment runner: the msu4 paper's evaluation protocol.
+
+    Each (instance, algorithm) pair runs with a wall-clock budget; runs
+    that exceed it are {e aborted}, the unit Tables 1 and 2 of the paper
+    count.  Scatter plots (Figures 1-3) pair per-instance runtimes of
+    two algorithms, with aborted runs pinned at the timeout value, as in
+    the paper's plots. *)
+
+type outcome =
+  | Solved of int  (** optimum cost *)
+  | Aborted  (** budget exhausted *)
+  | Unsat_hard  (** hard clauses unsatisfiable (not expected here) *)
+
+type run = {
+  instance : string;
+  family : string;
+  algorithm : Msu_maxsat.Maxsat.algorithm;
+  outcome : outcome;
+  time : float;  (** wall seconds; capped at the budget for aborts *)
+}
+
+val run_one :
+  timeout:float ->
+  Msu_maxsat.Maxsat.algorithm ->
+  string * string * Msu_cnf.Wcnf.t ->
+  run
+(** [run_one ~timeout alg (name, family, wcnf)]. *)
+
+val run_suite :
+  ?progress:(run -> unit) ->
+  timeout:float ->
+  algorithms:Msu_maxsat.Maxsat.algorithm list ->
+  (string * string * Msu_cnf.Wcnf.t) list ->
+  run list
+(** Every algorithm on every instance, instance-major order. *)
+
+val aborted_counts :
+  Msu_maxsat.Maxsat.algorithm list -> run list -> (Msu_maxsat.Maxsat.algorithm * int) list
+
+val consistency_errors : run list -> string list
+(** Instances on which two algorithms solved to different optima — must
+    be empty; a non-empty result indicates a solver bug. *)
+
+val scatter :
+  x:Msu_maxsat.Maxsat.algorithm ->
+  y:Msu_maxsat.Maxsat.algorithm ->
+  timeout:float ->
+  run list ->
+  (string * float * float) list
+(** Per-instance [(name, time_x, time_y)]; aborted runs appear at the
+    timeout value. *)
+
+val pp_aborted_table :
+  total:int ->
+  Format.formatter ->
+  (Msu_maxsat.Maxsat.algorithm * int) list ->
+  unit
+(** Renders in the layout of the paper's Tables 1/2. *)
+
+val pp_scatter_csv : Format.formatter -> (string * float * float) list -> unit
+val pp_runs_csv : Format.formatter -> run list -> unit

@@ -1,0 +1,1 @@
+lib/sat/drup.ml: Array Format Hashtbl List Msu_cnf

@@ -1,0 +1,1 @@
+lib/sat/drup.mli: Format Msu_cnf

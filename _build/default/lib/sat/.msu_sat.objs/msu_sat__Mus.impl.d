@@ -1,0 +1,1 @@
+lib/sat/mus.ml: Fun List Msu_cnf Solver

@@ -1,0 +1,1 @@
+lib/sat/mus.mli: Msu_cnf

@@ -1,0 +1,1 @@
+lib/sat/simplify.ml: Array Int64 List Msu_cnf

@@ -1,0 +1,1 @@
+lib/sat/simplify.mli: Msu_cnf

@@ -1,0 +1,1 @@
+lib/sat/solver.ml: Array Drup Float Format Hashtbl Idx_heap List Msu_cnf Unix

@@ -1,0 +1,1 @@
+lib/sat/solver.mli: Drup Format Msu_cnf

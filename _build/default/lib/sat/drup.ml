@@ -1,0 +1,156 @@
+module Lit = Msu_cnf.Lit
+module Formula = Msu_cnf.Formula
+
+type event = Add of Lit.t array | Delete of Lit.t array
+type log = { mutable rev_events : event list; mutable count : int }
+
+let create () = { rev_events = []; count = 0 }
+
+let push log e =
+  log.rev_events <- e :: log.rev_events;
+  log.count <- log.count + 1
+
+let log_add log c = push log (Add (Array.copy c))
+let log_delete log c = push log (Delete (Array.copy c))
+let events log = List.rev log.rev_events
+let num_events log = log.count
+
+(* ------------------------------------------------------------------ *)
+(* Reference RUP checker.                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Clause database for the replay: clauses are stored as sorted literal
+   arrays so that deletions can find their target. *)
+type db = {
+  mutable clauses : Lit.t array array;
+  mutable live : bool array;
+  mutable size : int;
+  index : (Lit.t array, int list ref) Hashtbl.t; (* sorted lits -> ids *)
+}
+
+let db_create () =
+  { clauses = Array.make 64 [||]; live = Array.make 64 false; size = 0;
+    index = Hashtbl.create 256 }
+
+let normalize c =
+  let c = Array.copy c in
+  Array.sort Lit.compare c;
+  c
+
+let db_add db c =
+  let c = normalize c in
+  if db.size = Array.length db.clauses then begin
+    let clauses = Array.make (2 * db.size) [||] in
+    let live = Array.make (2 * db.size) false in
+    Array.blit db.clauses 0 clauses 0 db.size;
+    Array.blit db.live 0 live 0 db.size;
+    db.clauses <- clauses;
+    db.live <- live
+  end;
+  let id = db.size in
+  db.clauses.(id) <- c;
+  db.live.(id) <- true;
+  db.size <- db.size + 1;
+  let bucket =
+    match Hashtbl.find_opt db.index c with
+    | Some b -> b
+    | None ->
+        let b = ref [] in
+        Hashtbl.add db.index c b;
+        b
+  in
+  bucket := id :: !bucket
+
+let db_delete db c =
+  let c = normalize c in
+  match Hashtbl.find_opt db.index c with
+  | None -> false
+  | Some b -> (
+      match List.find_opt (fun id -> db.live.(id)) !b with
+      | None -> false
+      | Some id ->
+          db.live.(id) <- false;
+          true)
+
+(* Unit propagation by repeated scanning — a deliberately simple
+   checker, independent of the solver's machinery. *)
+let propagates_to_conflict db assignment =
+  (* assignment: Hashtbl var -> bool *)
+  let value l =
+    match Hashtbl.find_opt assignment (Lit.var l) with
+    | None -> None
+    | Some b -> Some (if Lit.sign l then b else not b)
+  in
+  let conflict = ref false in
+  let changed = ref true in
+  while !changed && not !conflict do
+    changed := false;
+    for id = 0 to db.size - 1 do
+      if db.live.(id) && not !conflict then begin
+        let c = db.clauses.(id) in
+        let satisfied = ref false in
+        let unassigned = ref [] in
+        Array.iter
+          (fun l ->
+            match value l with
+            | Some true -> satisfied := true
+            | Some false -> ()
+            | None -> unassigned := l :: !unassigned)
+          c;
+        if not !satisfied then begin
+          match !unassigned with
+          | [] -> conflict := true
+          | [ l ] ->
+              Hashtbl.replace assignment (Lit.var l) (Lit.sign l);
+              changed := true
+          | _ -> ()
+        end
+      end
+    done
+  done;
+  !conflict
+
+let rup db c =
+  let assignment = Hashtbl.create 64 in
+  let consistent = ref true in
+  Array.iter
+    (fun l ->
+      (* Assert the negation of the clause. *)
+      let v = Lit.var l and b = not (Lit.sign l) in
+      match Hashtbl.find_opt assignment v with
+      | Some b' when b' <> b -> consistent := false (* tautology: trivially RUP *)
+      | _ -> Hashtbl.replace assignment v b)
+    c;
+  (not !consistent) || propagates_to_conflict db assignment
+
+let check ?(require_empty = false) f log =
+  let db = db_create () in
+  Formula.iter_clauses (fun _ c -> db_add db c) f;
+  let ok = ref true in
+  let empty_derived = ref false in
+  List.iter
+    (fun e ->
+      if !ok then
+        match e with
+        | Add c ->
+            if rup db c then begin
+              db_add db c;
+              if Array.length c = 0 then empty_derived := true
+            end
+            else ok := false
+        | Delete c -> ignore (db_delete db c))
+    (events log);
+  !ok && ((not require_empty) || !empty_derived)
+
+let pp ppf log =
+  List.iter
+    (fun e ->
+      match e with
+      | Add c ->
+          Array.iter (fun l -> Format.fprintf ppf "%d " (Lit.to_dimacs l)) c;
+          Format.fprintf ppf "0@."
+      | Delete c ->
+          Format.fprintf ppf "d ";
+          Array.iter (fun l -> Format.fprintf ppf "%d " (Lit.to_dimacs l)) c;
+          Format.fprintf ppf "0@.")
+    (events log)

@@ -1,0 +1,31 @@
+(** DRUP proof logging and checking.
+
+    Validating SAT solvers with independent checkers is standard EDA
+    practice (Zhang & Malik, DATE'03 — the paper's reference [27] for
+    core extraction).  The solver can log every learnt clause and every
+    learnt-clause deletion; {!check} then replays the log against the
+    original formula, verifying that each added clause is RUP (reverse
+    unit propagation: asserting its negation propagates to a conflict)
+    with respect to the clauses live at that point.
+
+    The checker is a straightforward reference implementation (no
+    watched literals); use it on test-scale instances. *)
+
+type event = Add of Msu_cnf.Lit.t array | Delete of Msu_cnf.Lit.t array
+type log
+
+val create : unit -> log
+val log_add : log -> Msu_cnf.Lit.t array -> unit
+val log_delete : log -> Msu_cnf.Lit.t array -> unit
+val events : log -> event list
+(** In logging order. *)
+
+val num_events : log -> int
+
+val check : ?require_empty:bool -> Msu_cnf.Formula.t -> log -> bool
+(** [check f log] replays the log over [f].  With [require_empty]
+    (default [false]) additionally demands that the log derive the empty
+    clause, i.e. constitute a full refutation of [f]. *)
+
+val pp : Format.formatter -> log -> unit
+(** Standard DRUP text format ("d" lines for deletions). *)

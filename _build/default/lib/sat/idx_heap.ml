@@ -1,0 +1,84 @@
+type t = {
+  score : int -> float;
+  heap : int Msu_cnf.Vec.t; (* heap.(i) = element at heap position i *)
+  mutable pos : int array; (* pos.(e) = heap position of e, or -1 *)
+}
+
+let create ~score = { score; heap = Msu_cnf.Vec.create ~dummy:(-1); pos = Array.make 16 (-1) }
+
+let ensure h n =
+  let cap = Array.length h.pos in
+  if n > cap then begin
+    let pos' = Array.make (max n (2 * cap)) (-1) in
+    Array.blit h.pos 0 pos' 0 cap;
+    h.pos <- pos'
+  end
+
+let in_heap h e = e < Array.length h.pos && h.pos.(e) >= 0
+let is_empty h = Msu_cnf.Vec.is_empty h.heap
+let size h = Msu_cnf.Vec.size h.heap
+let left i = (2 * i) + 1
+let right i = (2 * i) + 2
+let parent i = (i - 1) / 2
+
+let place h e i =
+  Msu_cnf.Vec.set h.heap i e;
+  h.pos.(e) <- i
+
+let rec percolate_up h e i =
+  if i > 0 then begin
+    let p = parent i in
+    let ep = Msu_cnf.Vec.get h.heap p in
+    if h.score e > h.score ep then begin
+      place h ep i;
+      percolate_up h e p
+    end
+    else place h e i
+  end
+  else place h e i
+
+let rec percolate_down h e i =
+  let n = size h in
+  let l = left i and r = right i in
+  let best = ref i and best_e = ref e in
+  if l < n then begin
+    let el = Msu_cnf.Vec.get h.heap l in
+    if h.score el > h.score !best_e then begin
+      best := l;
+      best_e := el
+    end
+  end;
+  if r < n then begin
+    let er = Msu_cnf.Vec.get h.heap r in
+    if h.score er > h.score !best_e then begin
+      best := r;
+      best_e := er
+    end
+  end;
+  if !best <> i then begin
+    place h !best_e i;
+    percolate_down h e !best
+  end
+  else place h e i
+
+let insert h e =
+  ensure h (e + 1);
+  if not (in_heap h e) then begin
+    Msu_cnf.Vec.push h.heap (-1);
+    percolate_up h e (size h - 1)
+  end
+
+let pop_max h =
+  if is_empty h then invalid_arg "Idx_heap.pop_max";
+  let top = Msu_cnf.Vec.get h.heap 0 in
+  h.pos.(top) <- -1;
+  let last = Msu_cnf.Vec.pop h.heap in
+  if not (is_empty h) then percolate_down h last 0;
+  top
+
+let notify_increased h e = if in_heap h e then percolate_up h e h.pos.(e)
+
+let rebuild h elems =
+  Msu_cnf.Vec.iter (fun e -> if e >= 0 then h.pos.(e) <- -1) h.heap;
+  Msu_cnf.Vec.clear h.heap;
+  List.iter (insert h) elems

@@ -1,0 +1,33 @@
+(** Indexed binary max-heap over variable indices.
+
+    Orders a set of integers [0 .. n-1] by a mutable score array owned by
+    the caller (VSIDS activities in the solver).  Because scores only
+    ever {e increase} between explicit notifications, the heap exposes
+    {!notify_increased} rather than a general re-heapify. *)
+
+type t
+
+val create : score:(int -> float) -> t
+(** [create ~score] is an empty heap ordered by [score].  The function is
+    consulted on every comparison, so it must be cheap (an array read). *)
+
+val ensure : t -> int -> unit
+(** [ensure h n] makes elements [0 .. n-1] addressable (not inserted). *)
+
+val in_heap : t -> int -> bool
+val is_empty : t -> bool
+val size : t -> int
+
+val insert : t -> int -> unit
+(** No-op if already present. *)
+
+val pop_max : t -> int
+(** Removes and returns the element with the highest score.
+    @raise Invalid_argument if empty. *)
+
+val notify_increased : t -> int -> unit
+(** Restore the heap property after the element's score increased.
+    No-op if the element is not in the heap. *)
+
+val rebuild : t -> int list -> unit
+(** Replace the contents with the given elements (used on restarts). *)

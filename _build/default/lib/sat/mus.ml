@@ -1,0 +1,36 @@
+module Formula = Msu_cnf.Formula
+
+let solve_subset ?deadline f subset =
+  let s = Solver.create () in
+  Solver.ensure_vars s (Formula.num_vars f);
+  List.iter (fun i -> Solver.add_clause ~id:i s (Formula.clause f i)) subset;
+  let result = Solver.solve ?deadline s in
+  (result, s)
+
+let is_unsat_subset f subset = fst (solve_subset f subset) = Solver.Unsat
+
+let minimize ?deadline f subset =
+  match solve_subset ?deadline f subset with
+  | Solver.Sat, _ | Solver.Unknown, _ -> None
+  | Solver.Unsat, s ->
+      (* Start from the solver's own core, usually much smaller. *)
+      let rec shrink kept candidates =
+        match candidates with
+        | [] -> Some kept
+        | c :: rest -> (
+            match solve_subset ?deadline f (kept @ rest) with
+            | Solver.Unknown, _ -> None
+            | Solver.Unsat, s' ->
+                (* [c] is redundant; the new core prunes further. *)
+                let core = Solver.unsat_core s' in
+                let still x = List.mem x core in
+                shrink (List.filter still kept) (List.filter still rest)
+            | Solver.Sat, _ ->
+                (* [c] is necessary. *)
+                shrink (c :: kept) rest)
+      in
+      shrink [] (Solver.unsat_core s)
+
+let extract ?deadline f =
+  let all = List.init (Formula.num_clauses f) Fun.id in
+  minimize ?deadline f all

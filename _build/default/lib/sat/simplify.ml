@@ -1,0 +1,321 @@
+module Lit = Msu_cnf.Lit
+module Formula = Msu_cnf.Formula
+module Vec = Msu_cnf.Vec
+
+(* Clauses are stored as sorted arrays of packed literals with a 64-bit
+   signature for fast subsumption filtering.  Deleted clauses stay in
+   the array with [alive = false]. *)
+type clause = { mutable lits : int array; mutable sig_ : int64; mutable alive : bool }
+
+type state = {
+  mutable n_vars : int;
+  clauses : clause Vec.t;
+  mutable occ : clause list array; (* packed literal -> clauses (stale-tolerant) *)
+  mutable fixed : int array; (* -1 unknown / 0 false / 1 true *)
+  (* Elimination record, applied in reverse to restore models. *)
+  mutable eliminations : (int * int array list) list;
+      (* (var, original clauses containing it) *)
+  mutable removed : int;
+  mutable strengthened : int;
+  mutable eliminated : int;
+}
+
+let signature lits =
+  Array.fold_left
+    (fun acc l -> Int64.logor acc (Int64.shift_left 1L ((l lsr 1) land 63)))
+    0L lits
+
+let subset_sig a b = Int64.equal (Int64.logand a (Int64.lognot b)) 0L
+
+(* [a] sorted-subset-of [b]?  Both sorted. *)
+let subset a b =
+  let la = Array.length a and lb = Array.length b in
+  let rec go i j =
+    if i = la then true
+    else if j = lb then false
+    else if a.(i) = b.(j) then go (i + 1) (j + 1)
+    else if a.(i) > b.(j) then go i (j + 1)
+    else false
+  in
+  la <= lb && go 0 0
+
+(* Subset check modulo one flipped literal [l] present in [a] as [l] and
+   in [b] as [neg l]: the self-subsumption pattern. *)
+let subset_flipping a b flip =
+  let la = Array.length a and lb = Array.length b in
+  let rec go i j =
+    if i = la then true
+    else if j = lb then false
+    else
+      let ai = if a.(i) = flip then a.(i) lxor 1 else a.(i) in
+      if ai = b.(j) then go (i + 1) (j + 1)
+      else if b.(j) < ai then go i (j + 1)
+      else false
+  in
+  la <= lb && go 0 0
+
+let kill st c =
+  if c.alive then begin
+    c.alive <- false;
+    st.removed <- st.removed + 1
+  end
+
+let attach st c = Array.iter (fun l -> st.occ.(l) <- c :: st.occ.(l)) c.lits
+
+let occurrences st l = List.filter (fun c -> c.alive && Array.exists (( = ) l) c.lits) st.occ.(l)
+
+(* ---------------- top-level propagation ---------------- *)
+
+exception Contradiction
+
+let rec propagate_units st =
+  let changed = ref false in
+  Vec.iter
+    (fun c ->
+      if c.alive then begin
+        (* Evaluate against fixed values. *)
+        let satisfied = ref false in
+        let remaining = ref [] in
+        Array.iter
+          (fun l ->
+            match st.fixed.(l lsr 1) with
+            | -1 -> remaining := l :: !remaining
+            | v -> if v = (l land 1) lxor 1 then satisfied := true)
+          c.lits;
+        if !satisfied then kill st c
+        else
+          match !remaining with
+          | [] -> raise Contradiction
+          | [ l ] ->
+              st.fixed.(l lsr 1) <- (l land 1) lxor 1;
+              kill st c;
+              changed := true
+          | ls ->
+              let ls = Array.of_list ls in
+              Array.sort compare ls;
+              if Array.length ls < Array.length c.lits then begin
+                c.lits <- ls;
+                c.sig_ <- signature ls;
+                attach st c
+              end
+      end)
+    st.clauses;
+  if !changed then propagate_units st
+
+(* ---------------- subsumption ---------------- *)
+
+let subsumption_pass st =
+  let changed = ref false in
+  Vec.iter
+    (fun c ->
+      if c.alive && Array.length c.lits > 0 then begin
+        (* Find candidates through the least-occurring literal. *)
+        let best = ref c.lits.(0) in
+        let best_n = ref max_int in
+        Array.iter
+          (fun l ->
+            let n = List.length st.occ.(l) in
+            if n < !best_n then begin
+              best := l;
+              best_n := n
+            end)
+          c.lits;
+        List.iter
+          (fun d ->
+            if d != c && d.alive && c.alive && subset_sig c.sig_ d.sig_
+               && subset c.lits d.lits
+            then begin
+              kill st d;
+              changed := true
+            end)
+          st.occ.(!best);
+        (* Self-subsuming resolution: for each literal l of c, find
+           clauses containing neg l that c subsumes modulo the flip;
+           strengthen them by removing neg l. *)
+        Array.iter
+          (fun l ->
+            if c.alive then
+              List.iter
+                (fun d ->
+                  if d != c && d.alive && c.alive
+                     && subset_sig c.sig_ d.sig_
+                     && Array.exists (( = ) (l lxor 1)) d.lits
+                     && subset_flipping c.lits d.lits l
+                  then begin
+                    let lits = Array.of_list (List.filter (( <> ) (l lxor 1)) (Array.to_list d.lits)) in
+                    st.strengthened <- st.strengthened + 1;
+                    changed := true;
+                    if Array.length lits = 0 then raise Contradiction;
+                    d.lits <- lits;
+                    d.sig_ <- signature lits;
+                    attach st d
+                  end)
+                st.occ.(l lxor 1))
+          c.lits
+      end)
+    st.clauses;
+  !changed
+
+(* ---------------- bounded variable elimination ---------------- *)
+
+let resolve a b v =
+  (* Resolvent of sorted clauses on variable v; None if tautological. *)
+  let keep c = List.filter (fun l -> l lsr 1 <> v) (Array.to_list c) in
+  let merged = List.sort_uniq compare (keep a @ keep b) in
+  let tautology =
+    let rec go = function
+      | x :: (y :: _ as rest) -> (x lxor 1 = y && x lsr 1 = y lsr 1) || go rest
+      | _ -> false
+    in
+    go merged
+  in
+  if tautology then None else Some (Array.of_list merged)
+
+let try_eliminate st ~max_occ ~max_resolvent v =
+  if st.fixed.(v) >= 0 then false
+  else begin
+    let pos = occurrences st (2 * v) and neg = occurrences st ((2 * v) + 1) in
+    let np = List.length pos and nn = List.length neg in
+    if np = 0 && nn = 0 then false
+    else if np + nn > max_occ then false
+    else begin
+      let resolvents = ref [] in
+      let count = ref 0 in
+      let ok = ref true in
+      List.iter
+        (fun cp ->
+          List.iter
+            (fun cn ->
+              if !ok then
+                match resolve cp.lits cn.lits v with
+                | None -> ()
+                | Some r ->
+                    if Array.length r > max_resolvent then ok := false
+                    else begin
+                      incr count;
+                      if !count > np + nn then ok := false
+                      else resolvents := r :: !resolvents
+                    end)
+            neg)
+        pos;
+      if not !ok then false
+      else begin
+        (* Commit: remove the clauses of v, add the resolvents. *)
+        let saved = List.map (fun c -> c.lits) (pos @ neg) in
+        List.iter (kill st) (pos @ neg);
+        List.iter
+          (fun lits ->
+            let c = { lits; sig_ = signature lits; alive = true } in
+            if Array.length lits = 0 then raise Contradiction;
+            Vec.push st.clauses c;
+            attach st c)
+          !resolvents;
+        st.eliminations <- (v, saved) :: st.eliminations;
+        st.eliminated <- st.eliminated + 1;
+        true
+      end
+    end
+  end
+
+(* ---------------- driver ---------------- *)
+
+type result = {
+  formula : Formula.t;
+  restore_model : bool array -> bool array;
+  eliminated_vars : int;
+  removed_clauses : int;
+  strengthened : int;
+}
+
+let simplify ?(max_occ = 10) ?(max_resolvent = 16) f =
+  let n_vars = Formula.num_vars f in
+  let st =
+    {
+      n_vars;
+      clauses = Vec.create ~dummy:{ lits = [||]; sig_ = 0L; alive = false };
+      occ = Array.make (max (2 * n_vars) 1) [];
+      fixed = Array.make (max n_vars 1) (-1);
+      eliminations = [];
+      removed = 0;
+      strengthened = 0;
+      eliminated = 0;
+    }
+  in
+  try
+    Formula.iter_clauses
+      (fun _ c ->
+        let lits = Array.map Lit.to_int c in
+        Array.sort compare lits;
+        (* Dedup; drop tautologies. *)
+        let uniq = Array.of_list (List.sort_uniq compare (Array.to_list lits)) in
+        let tautology =
+          let rec go i =
+            i + 1 < Array.length uniq
+            && ((uniq.(i) lxor 1 = uniq.(i + 1)) || go (i + 1))
+          in
+          go 0
+        in
+        if not tautology then begin
+          if Array.length uniq = 0 then raise Contradiction;
+          let cl = { lits = uniq; sig_ = signature uniq; alive = true } in
+          Vec.push st.clauses cl;
+          attach st cl
+        end)
+      f;
+    propagate_units st;
+    let rounds = ref 0 in
+    let continue_ = ref true in
+    while !continue_ && !rounds < 10 do
+      incr rounds;
+      let s = subsumption_pass st in
+      propagate_units st;
+      let e = ref false in
+      for v = 0 to n_vars - 1 do
+        if try_eliminate st ~max_occ ~max_resolvent v then e := true
+      done;
+      propagate_units st;
+      continue_ := s || !e
+    done;
+    (* Rebuild a fresh formula over the same variable numbering. *)
+    let out = Formula.create () in
+    Formula.ensure_vars out n_vars;
+    Vec.iter
+      (fun c ->
+        if c.alive then
+          ignore (Formula.add_clause out (Array.map Lit.of_int_unsafe c.lits)))
+      st.clauses;
+    let fixed = Array.copy st.fixed in
+    let eliminations = st.eliminations in
+    let restore_model model =
+      let m = Array.make (max n_vars 1) false in
+      Array.blit model 0 m 0 (min (Array.length model) n_vars);
+      Array.iteri (fun v x -> if x >= 0 then m.(v) <- x = 1) fixed;
+      (* Undo eliminations most-recent-first. *)
+      List.iter
+        (fun (v, saved) ->
+          (* Choose the value of v that satisfies every saved clause. *)
+          let value_ok value =
+            List.for_all
+              (fun lits ->
+                Array.exists
+                  (fun l ->
+                    let var = l lsr 1 in
+                    let lv = if var = v then value else m.(var) in
+                    if l land 1 = 0 then lv else not lv)
+                  lits)
+              saved
+          in
+          m.(v) <- (if value_ok true then true else false);
+          assert (value_ok m.(v)))
+        eliminations;
+      m
+    in
+    Some
+      {
+        formula = out;
+        restore_model;
+        eliminated_vars = st.eliminated;
+        removed_clauses = st.removed;
+        strengthened = st.strengthened;
+      }
+  with Contradiction -> None

@@ -1,0 +1,37 @@
+(** SatELite-style CNF preprocessing (Eén & Biere, SAT'05).
+
+    Three equisatisfiability-preserving transformations, iterated to a
+    fixpoint:
+
+    {ul
+    {- top-level unit propagation;}
+    {- subsumption (a clause contained in another deletes the latter)
+       and self-subsuming resolution (strengthening a clause by
+       resolving away one literal against a subsuming neighbour);}
+    {- bounded variable elimination: a variable whose resolvent set is
+       no larger than the clauses it replaces is resolved out, as long
+       as resolvents stay short.}}
+
+    Variable elimination changes models, so {!restore_model} extends a
+    model of the simplified formula back to all original variables.
+
+    This is {e SAT} preprocessing: it must not be applied to the soft
+    clauses of a MaxSAT instance (eliminating a soft clause changes the
+    optimum), but is safe on the hard part or for plain satisfiability
+    workflows (equivalence checking, core extraction, proofs). *)
+
+type result = {
+  formula : Msu_cnf.Formula.t;  (** the simplified formula (fresh) *)
+  restore_model : bool array -> bool array;
+      (** extend a model of [formula] to the original variables *)
+  eliminated_vars : int;
+  removed_clauses : int;  (** subsumed + replaced by resolvents *)
+  strengthened : int;  (** literals removed by self-subsumption *)
+}
+
+val simplify :
+  ?max_occ:int -> ?max_resolvent:int -> Msu_cnf.Formula.t -> result option
+(** [simplify f] returns [None] when top-level propagation refutes [f]
+    (it is unsatisfiable outright).  [max_occ] (default 10) bounds the
+    occurrence count of variables considered for elimination;
+    [max_resolvent] (default 16) bounds resolvent length. *)

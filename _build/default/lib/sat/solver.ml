@@ -1,0 +1,753 @@
+module Vec = Msu_cnf.Vec
+module Lit = Msu_cnf.Lit
+
+(* Literal values: 1 = true, 0 = false, -1 = unassigned.  Literals are
+   stored packed (Lit.to_int); [value_of] XORs the variable value with
+   the literal's sign bit so negation costs one instruction. *)
+
+type source =
+  | Axiom of int (* as-given clause; id >= 0 when tracked, -1 otherwise *)
+  | Resolved of clause list (* derived; complete antecedent list *)
+
+and clause = {
+  uid : int;
+  mutable lits : int array; (* packed literals; watched lits at 0 and 1 *)
+  mutable activity : float;
+  learnt : bool;
+  mutable removed : bool;
+  source : source;
+}
+
+type result = Sat | Unsat | Unknown
+
+type stats = {
+  decisions : int;
+  propagations : int;
+  conflicts : int;
+  restarts : int;
+  learnt_literals : int;
+  deleted_clauses : int;
+}
+
+type t = {
+  track_proof : bool;
+  mutable num_vars : int;
+  mutable ok : bool;
+  mutable next_uid : int;
+  (* Per-variable state; arrays are resized in [ensure_vars]. *)
+  mutable assigns : int array; (* -1 / 0 / 1, indexed by var *)
+  mutable level : int array;
+  mutable reason : clause option array;
+  mutable unit_proof : clause option array;
+  (* closed derivation of the level-0 unit fact for this var *)
+  mutable activity : float array;
+  mutable polarity : bool array; (* saved phase; doubles as model cache *)
+  mutable seen : bool array; (* scratch for analyze *)
+  mutable watches : clause Vec.t array; (* indexed by packed literal *)
+  mutable order : Idx_heap.t;
+  clauses : clause Vec.t; (* problem clauses *)
+  learnts : clause Vec.t;
+  trail : int Vec.t; (* packed literals, assignment order *)
+  trail_lim : int Vec.t; (* trail size at each decision level *)
+  mutable qhead : int;
+  mutable var_inc : float;
+  mutable cla_inc : float;
+  mutable max_learnts : float;
+  (* Refutation certificate: a pseudo-clause whose antecedents derive the
+     empty clause, set on a level-0 conflict. *)
+  mutable refutation : clause option;
+  mutable conflict_assumps : int list; (* packed lits *)
+  mutable drup_log : Drup.log option;
+  (* Budgets for the current [solve] call. *)
+  mutable deadline : float;
+  mutable conflict_budget : int;
+  mutable budget_checks : int;
+  mutable deadline_hit : bool;
+  (* Statistics. *)
+  mutable n_decisions : int;
+  mutable n_propagations : int;
+  mutable n_conflicts : int;
+  mutable n_restarts : int;
+  mutable n_learnt_literals : int;
+  mutable n_deleted : int;
+}
+
+let dummy_clause =
+  { uid = -1; lits = [||]; activity = 0.; learnt = false; removed = false; source = Axiom (-1) }
+
+let var_decay = 1. /. 0.95
+let clause_decay = 1. /. 0.999
+let restart_base = 100
+
+let create ?(track_proof = true) () =
+  let s =
+    {
+      track_proof;
+      num_vars = 0;
+      ok = true;
+      next_uid = 0;
+      assigns = [||];
+      level = [||];
+      reason = [||];
+      unit_proof = [||];
+      activity = [||];
+      polarity = [||];
+      seen = [||];
+      watches = [||];
+      order = Idx_heap.create ~score:(fun _ -> 0.);
+      clauses = Vec.create ~dummy:dummy_clause;
+      learnts = Vec.create ~dummy:dummy_clause;
+      trail = Vec.create ~dummy:0;
+      trail_lim = Vec.create ~dummy:0;
+      qhead = 0;
+      var_inc = 1.;
+      cla_inc = 1.;
+      max_learnts = 1000.;
+      refutation = None;
+      conflict_assumps = [];
+      drup_log = None;
+      deadline = infinity;
+      conflict_budget = max_int;
+      budget_checks = 0;
+      deadline_hit = false;
+      n_decisions = 0;
+      n_propagations = 0;
+      n_conflicts = 0;
+      n_restarts = 0;
+      n_learnt_literals = 0;
+      n_deleted = 0;
+    }
+  in
+  s.order <- Idx_heap.create ~score:(fun v -> s.activity.(v));
+  s
+
+let num_vars s = s.num_vars
+let set_drup s log = s.drup_log <- Some log
+
+let drup_add s lits =
+  match s.drup_log with
+  | None -> ()
+  | Some log -> Drup.log_add log (Array.map Lit.of_int_unsafe lits)
+
+let drup_delete s lits =
+  match s.drup_log with
+  | None -> ()
+  | Some log -> Drup.log_delete log (Array.map Lit.of_int_unsafe lits)
+
+let fresh_uid s =
+  let u = s.next_uid in
+  s.next_uid <- u + 1;
+  u
+
+let mk_clause s ~learnt ~source lits =
+  { uid = fresh_uid s; lits; activity = 0.; learnt; removed = false; source }
+
+let grow_array a n dummy =
+  let cap = Array.length a in
+  if n <= cap then a
+  else begin
+    let a' = Array.make (max n ((2 * cap) + 2)) dummy in
+    Array.blit a 0 a' 0 cap;
+    a'
+  end
+
+let ensure_vars s n =
+  if n > s.num_vars then begin
+    let old = s.num_vars in
+    s.assigns <- grow_array s.assigns n (-1);
+    s.level <- grow_array s.level n (-1);
+    s.reason <- grow_array s.reason n None;
+    s.unit_proof <- grow_array s.unit_proof n None;
+    s.activity <- grow_array s.activity n 0.;
+    s.polarity <- grow_array s.polarity n false;
+    s.seen <- grow_array s.seen n false;
+    let wcap = 2 * Array.length s.assigns in
+    if wcap > Array.length s.watches then begin
+      let watches' = Array.make wcap (Vec.create ~dummy:dummy_clause) in
+      Array.blit s.watches 0 watches' 0 (Array.length s.watches);
+      for i = Array.length s.watches to wcap - 1 do
+        watches'.(i) <- Vec.create ~dummy:dummy_clause
+      done;
+      s.watches <- watches'
+    end;
+    Idx_heap.ensure s.order n;
+    s.num_vars <- n;
+    for v = old to n - 1 do
+      s.assigns.(v) <- -1;
+      Idx_heap.insert s.order v
+    done
+  end
+
+let new_var s =
+  let v = s.num_vars in
+  ensure_vars s (v + 1);
+  v
+
+let value_of s l =
+  let a = s.assigns.(l lsr 1) in
+  if a < 0 then -1 else a lxor (l land 1)
+
+let decision_level s = Vec.size s.trail_lim
+
+(* Variable / clause activity bookkeeping (VSIDS). *)
+
+let var_bump s v =
+  s.activity.(v) <- s.activity.(v) +. s.var_inc;
+  if s.activity.(v) > 1e100 then begin
+    for i = 0 to s.num_vars - 1 do
+      s.activity.(i) <- s.activity.(i) *. 1e-100
+    done;
+    s.var_inc <- s.var_inc *. 1e-100
+  end;
+  Idx_heap.notify_increased s.order v
+
+let var_decay_activity s = s.var_inc <- s.var_inc *. var_decay
+
+let cla_bump s (c : clause) =
+  c.activity <- c.activity +. s.cla_inc;
+  if c.activity > 1e20 then begin
+    Vec.iter (fun (c : clause) -> c.activity <- c.activity *. 1e-20) s.learnts;
+    s.cla_inc <- s.cla_inc *. 1e-20
+  end
+
+let cla_decay_activity s = s.cla_inc <- s.cla_inc *. clause_decay
+
+(* Watched literals.  A clause watches lits.(0) and lits.(1); it is
+   registered under the negation of each watched literal so that
+   assigning a literal [p] true triggers inspection of watches.(p). *)
+
+let attach s c =
+  assert (Array.length c.lits >= 2);
+  Vec.push s.watches.(c.lits.(0) lxor 1) c;
+  Vec.push s.watches.(c.lits.(1) lxor 1) c
+
+let detach s c =
+  Vec.filter_in_place (fun c' -> c' != c) s.watches.(c.lits.(0) lxor 1);
+  Vec.filter_in_place (fun c' -> c' != c) s.watches.(c.lits.(1) lxor 1)
+
+(* Assignment trail. *)
+
+let enqueue s l reason =
+  assert (value_of s l < 0);
+  let v = l lsr 1 in
+  s.assigns.(v) <- (l land 1) lxor 1;
+  s.level.(v) <- decision_level s;
+  s.reason.(v) <- reason;
+  Vec.push s.trail l;
+  (* At level 0 the literal is a proved unit; close its derivation so
+     conflict analysis and core extraction can cite it wholesale. *)
+  if s.track_proof && decision_level s = 0 then
+    s.unit_proof.(v) <-
+      (match reason with
+      | None -> None
+      | Some r ->
+          let ants =
+            Array.fold_left
+              (fun acc q ->
+                if q lsr 1 = v then acc
+                else
+                  match s.unit_proof.(q lsr 1) with
+                  | Some p -> p :: acc
+                  | None -> acc)
+              [ r ] r.lits
+          in
+          Some (mk_clause s ~learnt:false ~source:(Resolved ants) [| l |]))
+
+let new_decision_level s = Vec.push s.trail_lim (Vec.size s.trail)
+
+let cancel_until s lvl =
+  if decision_level s > lvl then begin
+    let bound = Vec.get s.trail_lim lvl in
+    for i = Vec.size s.trail - 1 downto bound do
+      let l = Vec.get s.trail i in
+      let v = l lsr 1 in
+      s.polarity.(v) <- s.assigns.(v) = 1;
+      s.assigns.(v) <- -1;
+      s.reason.(v) <- None;
+      if not (Idx_heap.in_heap s.order v) then Idx_heap.insert s.order v
+    done;
+    Vec.shrink s.trail bound;
+    Vec.shrink s.trail_lim lvl;
+    s.qhead <- Vec.size s.trail
+  end
+
+(* Unit propagation. *)
+
+let propagate s =
+  let conflict = ref None in
+  while !conflict = None && s.qhead < Vec.size s.trail do
+    let p = Vec.get s.trail s.qhead in
+    s.qhead <- s.qhead + 1;
+    s.n_propagations <- s.n_propagations + 1;
+    let ws = s.watches.(p) in
+    let n = Vec.size ws in
+    let i = ref 0 and j = ref 0 in
+    let false_lit = p lxor 1 in
+    while !i < n do
+      let c = Vec.unsafe_get ws !i in
+      incr i;
+      if c.removed then () (* drop lazily *)
+      else begin
+        let lits = c.lits in
+        (* Normalize: the false watched literal goes to slot 1. *)
+        if lits.(0) = false_lit then begin
+          lits.(0) <- lits.(1);
+          lits.(1) <- false_lit
+        end;
+        let first = lits.(0) in
+        if value_of s first = 1 then begin
+          (* Clause already satisfied: keep the watch. *)
+          Vec.unsafe_set ws !j c;
+          incr j
+        end
+        else begin
+          (* Look for a non-false literal to watch instead. *)
+          let len = Array.length lits in
+          let k = ref 2 in
+          while !k < len && value_of s lits.(!k) = 0 do
+            incr k
+          done;
+          if !k < len then begin
+            lits.(1) <- lits.(!k);
+            lits.(!k) <- false_lit;
+            Vec.push s.watches.(lits.(1) lxor 1) c
+          end
+          else begin
+            (* Unit or conflicting: the watch stays. *)
+            Vec.unsafe_set ws !j c;
+            incr j;
+            if value_of s first = 0 then begin
+              conflict := Some c;
+              while !i < n do
+                Vec.unsafe_set ws !j (Vec.unsafe_get ws !i);
+                incr j;
+                incr i
+              done;
+              s.qhead <- Vec.size s.trail
+            end
+            else enqueue s first (Some c)
+          end
+        end
+      end
+    done;
+    Vec.shrink ws !j
+  done;
+  !conflict
+
+(* Refutation bookkeeping for level-0 conflicts: the conflicting clause
+   resolved against the unit proofs of its (all false, level-0)
+   literals derives the empty clause. *)
+
+let record_refutation s c =
+  drup_add s [||];
+  if s.track_proof then begin
+    let ants =
+      Array.fold_left
+        (fun acc q -> match s.unit_proof.(q lsr 1) with Some p -> p :: acc | None -> acc)
+        [ c ] c.lits
+    in
+    s.refutation <- Some (mk_clause s ~learnt:false ~source:(Resolved ants) [||])
+  end
+
+(* Adding clauses (only at decision level 0). *)
+
+let add_clause ?(id = -1) s lits =
+  assert (decision_level s = 0);
+  if s.ok then begin
+    Array.iter (fun l -> ensure_vars s (Lit.var l + 1)) lits;
+    let lits = Array.map Lit.to_int lits in
+    (* Remove duplicates; detect tautologies. *)
+    Array.sort compare lits;
+    let tautology = ref false in
+    let uniq = Vec.create ~dummy:0 in
+    Array.iter
+      (fun l ->
+        if Vec.size uniq > 0 && Vec.last uniq = l then ()
+        else begin
+          if Vec.size uniq > 0 && Vec.last uniq = (l lxor 1) then tautology := true;
+          Vec.push uniq l
+        end)
+      lits;
+    if not !tautology then begin
+      let c = mk_clause s ~learnt:false ~source:(Axiom id) (Vec.to_array uniq) in
+      (* Order the literals so the two "most assignable" come first:
+         true before unassigned before false.  This keeps the watch
+         invariant valid under the current level-0 prefix. *)
+      let score l = match value_of s l with 1 -> 2 | -1 -> 1 | _ -> 0 in
+      Array.sort (fun a b -> compare (score b) (score a)) c.lits;
+      let len = Array.length c.lits in
+      if len = 0 then begin
+        s.ok <- false;
+        drup_add s [||];
+        if s.track_proof then
+          s.refutation <- Some (mk_clause s ~learnt:false ~source:(Resolved [ c ]) [||])
+      end
+      else if value_of s c.lits.(0) = 0 then begin
+        (* All literals false under the level-0 prefix: refuted. *)
+        s.ok <- false;
+        record_refutation s c
+      end
+      else begin
+        Vec.push s.clauses c;
+        if len >= 2 then attach s c;
+        let unit_now =
+          value_of s c.lits.(0) < 0 && (len = 1 || value_of s c.lits.(1) = 0)
+        in
+        if unit_now then begin
+          enqueue s c.lits.(0) (Some c);
+          match propagate s with
+          | None -> ()
+          | Some confl ->
+              s.ok <- false;
+              record_refutation s confl
+        end
+      end
+    end
+  end
+
+let add_clause_l ?id s lits = add_clause ?id s (Array.of_list lits)
+
+(* Conflict analysis: first UIP with basic self-subsumption
+   minimization.  Returns the learnt clause (asserting literal first,
+   highest-level other literal second), the backtrack level, and the
+   complete antecedent list for proof tracking. *)
+
+let analyze s confl =
+  let learnt = Vec.create ~dummy:0 in
+  Vec.push learnt 0 (* slot for the asserting literal *);
+  let ants = ref [] in
+  let path = ref 0 in
+  let p = ref (-1) in
+  let index = ref (Vec.size s.trail - 1) in
+  let confl = ref (Some confl) in
+  let continue = ref true in
+  while !continue do
+    let c = match !confl with Some c -> c | None -> assert false in
+    if c.learnt then cla_bump s c;
+    if s.track_proof then ants := c :: !ants;
+    let start = if !p < 0 then 0 else 1 in
+    for j = start to Array.length c.lits - 1 do
+      let q = c.lits.(j) in
+      let v = q lsr 1 in
+      if not s.seen.(v) then
+        if s.level.(v) > 0 then begin
+          s.seen.(v) <- true;
+          var_bump s v;
+          if s.level.(v) >= decision_level s then incr path else Vec.push learnt q
+        end
+        else if s.track_proof then begin
+          (* Resolving away a level-0 literal uses its unit proof. *)
+          match s.unit_proof.(v) with Some pr -> ants := pr :: !ants | None -> ()
+        end
+    done;
+    while not s.seen.((Vec.get s.trail !index) lsr 1) do
+      decr index
+    done;
+    p := Vec.get s.trail !index;
+    decr index;
+    let v = !p lsr 1 in
+    s.seen.(v) <- false;
+    decr path;
+    if !path > 0 then confl := s.reason.(v) else continue := false
+  done;
+  Vec.set learnt 0 (!p lxor 1);
+  (* Basic minimization: a literal whose reason's other literals are all
+     already in the clause (or at level 0) is redundant. *)
+  let removable q =
+    let v = q lsr 1 in
+    match s.reason.(v) with
+    | None -> false
+    | Some r ->
+        let ok = ref true in
+        Array.iter
+          (fun l ->
+            let w = l lsr 1 in
+            if w <> v && s.level.(w) > 0 && not s.seen.(w) then ok := false)
+          r.lits;
+        if !ok && s.track_proof then begin
+          ants := r :: !ants;
+          Array.iter
+            (fun l ->
+              let w = l lsr 1 in
+              if w <> v && s.level.(w) = 0 then
+                match s.unit_proof.(w) with Some pr -> ants := pr :: !ants | None -> ())
+            r.lits
+        end;
+        !ok
+  in
+  let kept = Vec.create ~dummy:0 in
+  Vec.push kept (Vec.get learnt 0);
+  for i = 1 to Vec.size learnt - 1 do
+    let q = Vec.get learnt i in
+    if not (removable q) then Vec.push kept q
+  done;
+  Vec.iter (fun q -> s.seen.(q lsr 1) <- false) learnt;
+  let lits = Vec.to_array kept in
+  let back_level =
+    if Array.length lits <= 1 then 0
+    else begin
+      let max_i = ref 1 in
+      for i = 2 to Array.length lits - 1 do
+        if s.level.(lits.(i) lsr 1) > s.level.(lits.(!max_i) lsr 1) then max_i := i
+      done;
+      let tmp = lits.(1) in
+      lits.(1) <- lits.(!max_i);
+      lits.(!max_i) <- tmp;
+      s.level.(lits.(1) lsr 1)
+    end
+  in
+  (lits, back_level, !ants)
+
+(* analyzeFinal: the subset of assumption decisions that force the
+   falsified literal [p]. *)
+
+let analyze_final s p out =
+  out := [ p ];
+  if decision_level s > 0 then begin
+    s.seen.(p lsr 1) <- true;
+    let bottom = Vec.get s.trail_lim 0 in
+    for i = Vec.size s.trail - 1 downto bottom do
+      let l = Vec.get s.trail i in
+      let v = l lsr 1 in
+      if s.seen.(v) then begin
+        (match s.reason.(v) with
+        | None -> out := (l lxor 1) :: !out
+        | Some r ->
+            Array.iter
+              (fun q ->
+                let w = q lsr 1 in
+                if w <> v && s.level.(w) > 0 then s.seen.(w) <- true)
+              r.lits);
+        s.seen.(v) <- false
+      end
+    done;
+    s.seen.(p lsr 1) <- false
+  end
+
+(* Learnt clause database reduction. *)
+
+let locked s c =
+  Array.length c.lits > 0
+  &&
+  let v = c.lits.(0) lsr 1 in
+  match s.reason.(v) with Some r -> r == c | None -> false
+
+let reduce_db s =
+  let cmp (a : clause) (b : clause) = compare a.activity b.activity in
+  Vec.sort cmp s.learnts;
+  let n = Vec.size s.learnts in
+  let lim = s.cla_inc /. float_of_int (max n 1) in
+  let keep = Vec.create ~dummy:dummy_clause in
+  Vec.iteri
+    (fun i c ->
+      let small = Array.length c.lits <= 2 in
+      if (not small) && (not (locked s c)) && (i < n / 2 || c.activity < lim) then begin
+        c.removed <- true;
+        detach s c;
+        drup_delete s c.lits;
+        s.n_deleted <- s.n_deleted + 1
+      end
+      else Vec.push keep c)
+    s.learnts;
+  Vec.clear s.learnts;
+  Vec.iter (Vec.push s.learnts) keep
+
+(* Luby restart sequence (Een & Sorensson's formulation). *)
+
+let luby i =
+  let rec outer size seq =
+    if size >= i + 1 then (size, seq) else outer ((2 * size) + 1) (seq + 1)
+  in
+  let rec go size seq i =
+    if size - 1 = i then seq
+    else
+      let size' = (size - 1) / 2 in
+      go size' (seq - 1) (i mod size')
+  in
+  let size, seq = outer 1 0 in
+  float_of_int (1 lsl go size seq i)
+
+let budget_exhausted s =
+  if s.n_conflicts > s.conflict_budget then true
+  else if s.deadline_hit then true
+  else begin
+    s.budget_checks <- s.budget_checks + 1;
+    if s.deadline < infinity && s.budget_checks land 0xff = 0 then begin
+      s.deadline_hit <- Unix.gettimeofday () > s.deadline;
+      s.deadline_hit
+    end
+    else false
+  end
+
+(* Main CDCL search loop for one restart window. *)
+
+type search_outcome = S_sat | S_unsat | S_restart | S_budget
+
+let pick_branch_var s =
+  let rec loop () =
+    if Idx_heap.is_empty s.order then -1
+    else
+      let v = Idx_heap.pop_max s.order in
+      if s.assigns.(v) < 0 then v else loop ()
+  in
+  loop ()
+
+let record_learnt s lits ants =
+  drup_add s lits;
+  let source = if s.track_proof then Resolved ants else Resolved [] in
+  let c = mk_clause s ~learnt:true ~source lits in
+  s.n_learnt_literals <- s.n_learnt_literals + Array.length lits;
+  if Array.length lits >= 2 then begin
+    Vec.push s.learnts c;
+    attach s c;
+    cla_bump s c
+  end;
+  c
+
+let search s assumptions max_conflicts =
+  let conflicts_here = ref 0 in
+  let outcome = ref None in
+  while !outcome = None do
+    match propagate s with
+    | Some confl ->
+        s.n_conflicts <- s.n_conflicts + 1;
+        incr conflicts_here;
+        if decision_level s = 0 then begin
+          s.ok <- false;
+          record_refutation s confl;
+          outcome := Some S_unsat
+        end
+        else begin
+          let lits, back_level, ants = analyze s confl in
+          cancel_until s back_level;
+          let c = record_learnt s lits ants in
+          enqueue s lits.(0) (Some c);
+          var_decay_activity s;
+          cla_decay_activity s;
+          if budget_exhausted s then outcome := Some S_budget
+        end
+    | None ->
+        if !conflicts_here >= max_conflicts then begin
+          cancel_until s 0;
+          s.n_restarts <- s.n_restarts + 1;
+          outcome := Some S_restart
+        end
+        else if budget_exhausted s then outcome := Some S_budget
+        else begin
+          if
+            float_of_int (Vec.size s.learnts - Vec.size s.trail) > s.max_learnts
+          then reduce_db s;
+          (* Assumptions become the first decisions. *)
+          let dl = decision_level s in
+          if dl < Array.length assumptions then begin
+            let a = Lit.to_int assumptions.(dl) in
+            match value_of s a with
+            | 1 -> new_decision_level s (* already true: empty level *)
+            | 0 ->
+                let out = ref [] in
+                analyze_final s (a lxor 1) out;
+                s.conflict_assumps <-
+                  List.sort_uniq compare (List.map (fun l -> l lxor 1) !out);
+                outcome := Some S_unsat
+            | _ ->
+                s.n_decisions <- s.n_decisions + 1;
+                new_decision_level s;
+                enqueue s a None
+          end
+          else begin
+            let v = pick_branch_var s in
+            if v < 0 then outcome := Some S_sat
+            else begin
+              s.n_decisions <- s.n_decisions + 1;
+              new_decision_level s;
+              let l = if s.polarity.(v) then 2 * v else (2 * v) + 1 in
+              enqueue s l None
+            end
+          end
+        end
+  done;
+  match !outcome with Some o -> o | None -> assert false
+
+let solve ?(assumptions = [||]) ?(deadline = infinity) ?(conflict_budget = max_int) s =
+  Array.iter (fun l -> ensure_vars s (Lit.var l + 1)) assumptions;
+  if not s.ok then Unsat
+  else begin
+    s.deadline <- deadline;
+    s.deadline_hit <- false;
+    s.conflict_budget <-
+      (if conflict_budget = max_int then max_int else s.n_conflicts + conflict_budget);
+    s.conflict_assumps <- [];
+    s.max_learnts <- Float.max 1000. (float_of_int (Vec.size s.clauses) /. 3.);
+    let result = ref None in
+    let restart = ref 0 in
+    while !result = None do
+      let window = int_of_float (luby !restart *. float_of_int restart_base) in
+      incr restart;
+      s.max_learnts <- s.max_learnts *. 1.05;
+      match search s assumptions window with
+      | S_sat -> result := Some Sat
+      | S_unsat -> result := Some Unsat
+      | S_budget -> result := Some Unknown
+      | S_restart -> ()
+    done;
+    let r = match !result with Some r -> r | None -> assert false in
+    (match r with
+    | Sat ->
+        (* Snapshot the model: phase saving doubles as the model cache,
+           valid until the next solve call. *)
+        for v = 0 to s.num_vars - 1 do
+          s.polarity.(v) <- s.assigns.(v) = 1
+        done
+    | Unsat | Unknown -> ());
+    cancel_until s 0;
+    r
+  end
+
+let model_value s v = v < s.num_vars && s.polarity.(v)
+let model s = Array.init s.num_vars (fun v -> model_value s v)
+let okay s = s.ok
+let conflict_assumptions s = List.map Lit.of_int_unsafe s.conflict_assumps
+
+(* Core extraction: walk the antecedent DAG of the refutation. *)
+
+let unsat_core s =
+  if not s.track_proof then invalid_arg "Solver.unsat_core: proof tracking disabled";
+  match s.refutation with
+  | None -> invalid_arg "Solver.unsat_core: no refutation recorded"
+  | Some root ->
+      let visited = Hashtbl.create 4096 in
+      let ids = ref [] in
+      let stack = ref [ root ] in
+      while !stack <> [] do
+        match !stack with
+        | [] -> ()
+        | c :: rest ->
+            stack := rest;
+            if not (Hashtbl.mem visited c.uid) then begin
+              Hashtbl.add visited c.uid ();
+              match c.source with
+              | Axiom id -> if id >= 0 then ids := id :: !ids
+              | Resolved ants -> List.iter (fun a -> stack := a :: !stack) ants
+            end
+      done;
+      List.sort_uniq compare !ids
+
+let stats s =
+  {
+    decisions = s.n_decisions;
+    propagations = s.n_propagations;
+    conflicts = s.n_conflicts;
+    restarts = s.n_restarts;
+    learnt_literals = s.n_learnt_literals;
+    deleted_clauses = s.n_deleted;
+  }
+
+let pp_stats ppf st =
+  Format.fprintf ppf
+    "decisions=%d propagations=%d conflicts=%d restarts=%d learnt_lits=%d deleted=%d"
+    st.decisions st.propagations st.conflicts st.restarts st.learnt_literals
+    st.deleted_clauses
+
+let sink s =
+  Msu_cnf.Sink.
+    { fresh_var = (fun () -> new_var s); emit = (fun c -> add_clause s c) }

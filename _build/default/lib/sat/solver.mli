@@ -1,0 +1,99 @@
+(** A CDCL SAT solver with unsatisfiable-core extraction.
+
+    The engine is a conventional conflict-driven clause-learning solver in
+    the MiniSAT lineage: two-watched-literal propagation, first-UIP
+    conflict analysis with clause minimization, VSIDS branching with phase
+    saving, Luby restarts and activity-based learnt-clause deletion.
+
+    Two features matter for the MaxSAT algorithms built on top:
+
+    {ul
+    {- {b Resolution-trace cores.}  Clauses added with [~id] are tracked.
+       When the solver refutes the formula outright (no assumptions
+       involved), {!unsat_core} returns the set of tracked clause ids
+       used by the refutation, obtained by walking the antecedent graph
+       recorded during conflict analysis.  This reproduces the MiniSAT
+       1.14 core-extractor interface the msu4 paper relied on.}
+    {- {b Assumptions.}  [solve ~assumptions] solves under a conjunction
+       of unit assumptions; on failure {!conflict_assumptions} returns an
+       inconsistent subset (MiniSAT's [analyzeFinal]).}}
+
+    The solver is incremental: clauses may be added between [solve]
+    calls.  Clauses cannot be removed; the MaxSAT layer rebuilds a fresh
+    solver whenever it rewrites clauses. *)
+
+type t
+
+type result =
+  | Sat  (** A model was found; query it with {!model_value}. *)
+  | Unsat  (** Refuted.  See {!unsat_core} / {!conflict_assumptions}. *)
+  | Unknown  (** A budget (deadline, conflicts, propagations) ran out. *)
+
+type stats = {
+  decisions : int;
+  propagations : int;
+  conflicts : int;
+  restarts : int;
+  learnt_literals : int;
+  deleted_clauses : int;
+}
+
+val create : ?track_proof:bool -> unit -> t
+(** [track_proof] (default [true]) records antecedents of learnt clauses
+    so that {!unsat_core} works; disable to save memory when cores are
+    not needed. *)
+
+val new_var : t -> Msu_cnf.Lit.var
+val ensure_vars : t -> int -> unit
+val num_vars : t -> int
+
+val add_clause : ?id:int -> t -> Msu_cnf.Lit.t array -> unit
+(** Adds a clause.  [id >= 0] marks it as tracked for core extraction;
+    ids need not be distinct from variable numbering but must be unique
+    among tracked clauses.  Duplicate literals are removed; tautologies
+    are dropped.  May set the solver unsatisfiable immediately (see
+    {!okay}). *)
+
+val add_clause_l : ?id:int -> t -> Msu_cnf.Lit.t list -> unit
+
+val okay : t -> bool
+(** [false] once the clause set has been refuted at top level. *)
+
+val solve :
+  ?assumptions:Msu_cnf.Lit.t array ->
+  ?deadline:float ->
+  ?conflict_budget:int ->
+  t ->
+  result
+(** [deadline] is an absolute [Unix.gettimeofday]-style timestamp;
+    [conflict_budget] bounds the number of conflicts of this call. *)
+
+val model_value : t -> Msu_cnf.Lit.var -> bool
+(** Valid after [Sat].  Unassigned variables read as [false]. *)
+
+val model : t -> bool array
+(** The full model, indexed by variable. *)
+
+val unsat_core : t -> int list
+(** Valid after an [Unsat] answer that did not involve assumptions (or
+    after {!okay} became false).  The tracked ids of a refuted subset,
+    sorted increasingly.
+    @raise Invalid_argument if no refutation is recorded or proof
+    tracking is off. *)
+
+val conflict_assumptions : t -> Msu_cnf.Lit.t list
+(** Valid after an [Unsat] answer caused by the assumptions: a subset of
+    the assumptions whose conjunction with the clauses is inconsistent. *)
+
+val stats : t -> stats
+val pp_stats : Format.formatter -> stats -> unit
+
+val sink : t -> Msu_cnf.Sink.t
+(** A clause sink backed by this solver: fresh variables come from
+    {!new_var}, clauses go to untracked {!add_clause}. *)
+
+val set_drup : t -> Drup.log -> unit
+(** Start logging learnt-clause additions and deletions (and the final
+    empty clause) into [log], in DRUP order.  Attach the log before
+    adding clauses so that nothing learnt escapes it; the log can then
+    be validated against the original formula with {!Drup.check}. *)

@@ -1,0 +1,1 @@
+test/test_aiger.ml: Alcotest Array Filename Format Fun List Msu_circuit Msu_sat QCheck QCheck_alcotest Random Sys

@@ -1,0 +1,1 @@
+test/test_bdd.ml: Alcotest List Msu_bdd Printf QCheck QCheck_alcotest

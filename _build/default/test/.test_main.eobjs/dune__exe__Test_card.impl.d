@@ -1,0 +1,1 @@
+test/test_card.ml: Alcotest Array Fun List Msu_card Msu_cnf Msu_sat Printf QCheck QCheck_alcotest Random

@@ -1,0 +1,1 @@
+test/test_circuit.ml: Alcotest Array List Msu_circuit Msu_cnf Msu_sat Printf QCheck QCheck_alcotest Random

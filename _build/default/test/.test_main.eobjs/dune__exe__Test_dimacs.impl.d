@@ -1,0 +1,1 @@
+test/test_dimacs.ml: Alcotest Array Filename Format Fun Msu_cnf Printf QCheck QCheck_alcotest Random Sys Test_util

@@ -1,0 +1,1 @@
+test/test_formula.ml: Alcotest Array Msu_cnf QCheck QCheck_alcotest Random Test_util

@@ -1,0 +1,1 @@
+test/test_gen.ml: Alcotest Array List Msu_circuit Msu_cnf Msu_gen Msu_maxsat Msu_sat Printf QCheck QCheck_alcotest Random

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Format List Msu_cnf Msu_harness Msu_maxsat String Test_util

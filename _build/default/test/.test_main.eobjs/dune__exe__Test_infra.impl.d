@@ -1,0 +1,1 @@
+test/test_infra.ml: Alcotest Array Gen Hashtbl List Msu_cnf Msu_sat QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_lit.ml: Alcotest Msu_cnf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_aiger Test_bdd Test_card Test_circuit Test_dimacs Test_formula Test_gen Test_harness Test_infra Test_lit Test_maxsat Test_proofs Test_sat Test_simplify Test_vec

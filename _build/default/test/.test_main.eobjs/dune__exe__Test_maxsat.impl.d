@@ -1,0 +1,1 @@
+test/test_maxsat.ml: Alcotest Array List Msu_card Msu_cnf Msu_maxsat Printf QCheck QCheck_alcotest Random String Test_util Unix

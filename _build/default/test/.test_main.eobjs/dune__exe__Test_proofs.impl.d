@@ -1,0 +1,1 @@
+test/test_proofs.ml: Alcotest Format Fun List Msu_cnf Msu_maxsat Msu_sat Printf QCheck QCheck_alcotest Random Test_util

@@ -1,0 +1,1 @@
+test/test_sat.ml: Alcotest Array Format List Msu_cnf Msu_sat Printf QCheck QCheck_alcotest Random Test_util Unix

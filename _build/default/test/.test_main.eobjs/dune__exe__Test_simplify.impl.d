@@ -1,0 +1,1 @@
+test/test_simplify.ml: Alcotest Array Msu_circuit Msu_cnf Msu_gen Msu_sat QCheck QCheck_alcotest Random Test_util

@@ -1,0 +1,1 @@
+test/test_util.ml: Array List Msu_cnf Msu_sat Random

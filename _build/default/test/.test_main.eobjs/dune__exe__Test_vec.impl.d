@@ -1,0 +1,1 @@
+test/test_vec.ml: Alcotest List Msu_cnf QCheck QCheck_alcotest

@@ -1,0 +1,119 @@
+module Aiger = Msu_circuit.Aiger
+module Circuit = Msu_circuit.Circuit
+module Netlist = Msu_circuit.Netlist
+module Unroll = Msu_circuit.Unroll
+module Solver = Msu_sat.Solver
+
+let sample_aag =
+  (* Half adder: o0 = i0 xor i1 (via 3 ands), o1 = i0 and i1. *)
+  "aag 7 2 0 2 4\n2\n4\n13\n6\n6 2 4\n8 2 5\n10 3 4\n12 9 11\n"
+
+let test_parse_basic () =
+  let t = Aiger.parse sample_aag in
+  Alcotest.(check int) "max var" 7 t.Aiger.max_var;
+  Alcotest.(check int) "inputs" 2 (Array.length t.Aiger.inputs);
+  Alcotest.(check int) "ands" 4 (Array.length t.Aiger.ands);
+  Alcotest.(check int) "first output" 13 t.Aiger.outputs.(0)
+
+let test_parse_errors () =
+  let expect text =
+    match Aiger.parse text with
+    | exception Aiger.Parse_error _ -> ()
+    | _ -> Alcotest.fail "expected Parse_error"
+  in
+  expect "not a header\n";
+  expect "aig 1 1 0 0 0\n2\n";
+  expect "aag 1 1 0 0 0\n3\n" (* odd input literal *);
+  expect "aag 1 1 0 1 0\n2\n9\n" (* literal out of range *);
+  expect "aag 2 1 0 0 1\n2\n5 2 2\n" (* odd and lhs *)
+
+let test_roundtrip () =
+  let t = Aiger.parse sample_aag in
+  let text = Format.asprintf "%a" Aiger.print t in
+  let t' = Aiger.parse text in
+  Alcotest.(check bool) "round trip" true (t = t')
+
+let test_to_circuit_semantics () =
+  let t = Aiger.parse sample_aag in
+  let c, outs = Aiger.to_circuit t in
+  List.iter
+    (fun (a, b) ->
+      let env = [| a; b |] in
+      Alcotest.(check bool) "xor output" (a <> b) (Circuit.eval c outs.(0) env);
+      Alcotest.(check bool) "and output" (a && b) (Circuit.eval c outs.(1) env))
+    [ (false, false); (false, true); (true, false); (true, true) ]
+
+let test_of_netlist_equivalence () =
+  (* Export a random netlist to AIG, re-import, and check functional
+     equivalence by exhaustive simulation. *)
+  let st = Random.State.make [| 0xA16 |] in
+  for _round = 1 to 10 do
+    let nl = Netlist.random st ~n_inputs:5 ~n_gates:25 ~n_outputs:3 in
+    let aig = Aiger.of_netlist nl in
+    let c, outs = Aiger.to_circuit aig in
+    for bits = 0 to 31 do
+      let env = Array.init 5 (fun k -> bits land (1 lsl k) <> 0) in
+      let expected = Netlist.eval_outputs nl env in
+      let got = Array.map (fun o -> Circuit.eval c o env) outs in
+      if expected <> got then Alcotest.failf "aig export differs at bits=%d" bits
+    done
+  done
+
+let test_aig_file_io () =
+  let path = Filename.temp_file "msu4_test" ".aag" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let t = Aiger.parse sample_aag in
+      Aiger.write_file path t;
+      let t' = Aiger.parse_file path in
+      Alcotest.(check bool) "file round trip" true (t = t'))
+
+let test_sequential_unroll () =
+  (* A 1-bit toggle latch: next = not state; bad = state.  Starting at
+     false, bad holds at frames 2, 4, ... (1-indexed); so depth 1 is
+     unsat and depth 2 is sat. *)
+  let aag = "aag 2 1 1 1 0\n2\n4 5\n4\n" in
+  let t = Aiger.parse aag in
+  let spec = Aiger.to_unroll_spec t ~init:[| false |] in
+  let solve_depth k =
+    let c, bad = Unroll.unroll spec ~k in
+    let s = Solver.create ~track_proof:false () in
+    ignore (Circuit.assert_node c (Solver.sink s) bad);
+    Solver.solve s
+  in
+  Alcotest.(check bool) "depth 1 unsat" true (solve_depth 1 = Solver.Unsat);
+  Alcotest.(check bool) "depth 2 sat" true (solve_depth 2 = Solver.Sat)
+
+let test_latch_reset_field_accepted () =
+  let aag = "aag 2 1 1 0 0\n2\n4 2 0\n" in
+  let t = Aiger.parse aag in
+  Alcotest.(check int) "latch parsed" 1 (Array.length t.Aiger.latches)
+
+let prop_export_reimport =
+  QCheck.Test.make ~name:"aiger export/import preserves outputs" ~count:30
+    QCheck.small_int
+    (fun seed ->
+      let st = Random.State.make [| seed; 0xA17 |] in
+      let nl = Netlist.random st ~n_inputs:4 ~n_gates:15 ~n_outputs:2 in
+      let c, outs = Aiger.to_circuit (Aiger.of_netlist nl) in
+      let ok = ref true in
+      for bits = 0 to 15 do
+        let env = Array.init 4 (fun k -> bits land (1 lsl k) <> 0) in
+        if Netlist.eval_outputs nl env <> Array.map (fun o -> Circuit.eval c o env) outs
+        then ok := false
+      done;
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "parse basic" `Quick test_parse_basic;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "print/parse round trip" `Quick test_roundtrip;
+    Alcotest.test_case "to_circuit semantics" `Quick test_to_circuit_semantics;
+    Alcotest.test_case "netlist export equivalence" `Quick test_of_netlist_equivalence;
+    Alcotest.test_case "file io" `Quick test_aig_file_io;
+    Alcotest.test_case "sequential unroll" `Quick test_sequential_unroll;
+    Alcotest.test_case "latch reset field" `Quick test_latch_reset_field_accepted;
+    QCheck_alcotest.to_alcotest prop_export_reimport;
+  ]

@@ -1,0 +1,154 @@
+module Bdd = Msu_bdd.Bdd
+
+let env_of_bits n bits = fun v -> v < n && bits land (1 lsl v) <> 0
+let popcount n bits =
+  let c = ref 0 in
+  for v = 0 to n - 1 do
+    if bits land (1 lsl v) <> 0 then incr c
+  done;
+  !c
+
+let test_terminals () =
+  Alcotest.(check bool) "one" true (Bdd.eval Bdd.one (fun _ -> false));
+  Alcotest.(check bool) "zero" false (Bdd.eval Bdd.zero (fun _ -> true));
+  Alcotest.(check bool) "terminals" true (Bdd.is_terminal Bdd.one && Bdd.is_terminal Bdd.zero)
+
+let test_var () =
+  let m = Bdd.manager () in
+  let x = Bdd.var m 2 in
+  Alcotest.(check bool) "x true" true (Bdd.eval x (fun v -> v = 2));
+  Alcotest.(check bool) "x false" false (Bdd.eval x (fun _ -> false));
+  Alcotest.check_raises "negative var" (Invalid_argument "Bdd.var: negative variable")
+    (fun () -> ignore (Bdd.var m (-1)))
+
+let test_hash_consing () =
+  let m = Bdd.manager () in
+  let a = Bdd.var m 0 and b = Bdd.var m 1 in
+  let f1 = Bdd.and_ m a b in
+  let f2 = Bdd.and_ m a b in
+  Alcotest.(check bool) "physically shared" true (f1 == f2)
+
+let test_boolean_ops_truth_tables () =
+  let m = Bdd.manager () in
+  let a = Bdd.var m 0 and b = Bdd.var m 1 in
+  let cases = [ (false, false); (false, true); (true, false); (true, true) ] in
+  List.iter
+    (fun (va, vb) ->
+      let env v = if v = 0 then va else vb in
+      Alcotest.(check bool) "and" (va && vb) (Bdd.eval (Bdd.and_ m a b) env);
+      Alcotest.(check bool) "or" (va || vb) (Bdd.eval (Bdd.or_ m a b) env);
+      Alcotest.(check bool) "xor" (va <> vb) (Bdd.eval (Bdd.xor m a b) env);
+      Alcotest.(check bool) "not" (not va) (Bdd.eval (Bdd.not_ m a) env))
+    cases
+
+let test_ite_exhaustive () =
+  let m = Bdd.manager () in
+  let f = Bdd.var m 0 and g = Bdd.var m 1 and h = Bdd.var m 2 in
+  let ite = Bdd.ite m f g h in
+  for bits = 0 to 7 do
+    let env = env_of_bits 3 bits in
+    let expect = if env 0 then env 1 else env 2 in
+    Alcotest.(check bool) (Printf.sprintf "ite bits=%d" bits) expect (Bdd.eval ite env)
+  done
+
+let test_at_most_semantics () =
+  let m = Bdd.manager () in
+  for n = 0 to 6 do
+    for k = 0 to n do
+      let f = Bdd.at_most m ~n ~k in
+      for bits = 0 to (1 lsl n) - 1 do
+        let expect = popcount n bits <= k in
+        Alcotest.(check bool)
+          (Printf.sprintf "atmost n=%d k=%d bits=%d" n k bits)
+          expect
+          (Bdd.eval f (env_of_bits n bits))
+      done
+    done
+  done
+
+let test_at_least_semantics () =
+  let m = Bdd.manager () in
+  for n = 1 to 6 do
+    for k = 0 to n + 1 do
+      let f = Bdd.at_least m ~n ~k in
+      for bits = 0 to (1 lsl n) - 1 do
+        let expect = popcount n bits >= k in
+        Alcotest.(check bool)
+          (Printf.sprintf "atleast n=%d k=%d bits=%d" n k bits)
+          expect
+          (Bdd.eval f (env_of_bits n bits))
+      done
+    done
+  done
+
+let test_interval_semantics () =
+  let m = Bdd.manager () in
+  let n = 5 in
+  for lo = 0 to n do
+    for hi = lo to n do
+      let f = Bdd.interval m ~n ~lo ~hi in
+      for bits = 0 to (1 lsl n) - 1 do
+        let c = popcount n bits in
+        Alcotest.(check bool)
+          (Printf.sprintf "interval lo=%d hi=%d bits=%d" lo hi bits)
+          (c >= lo && c <= hi)
+          (Bdd.eval f (env_of_bits n bits))
+      done
+    done
+  done
+
+let test_at_most_size_linear () =
+  (* The counting BDD has O(n*k) nodes — check it does not explode. *)
+  let m = Bdd.manager () in
+  let f = Bdd.at_most m ~n:40 ~k:5 in
+  Alcotest.(check bool) "node count bounded" true (Bdd.size f <= 40 * 7)
+
+let test_trivial_bounds () =
+  let m = Bdd.manager () in
+  Alcotest.(check bool) "atmost k=n is one" true (Bdd.at_most m ~n:4 ~k:4 == Bdd.one);
+  Alcotest.(check bool) "atleast 0 is one" true (Bdd.at_least m ~n:4 ~k:0 == Bdd.one);
+  Alcotest.(check bool) "atleast n+1 is zero" true (Bdd.at_least m ~n:4 ~k:5 == Bdd.zero)
+
+let test_fold_counts_nodes () =
+  let m = Bdd.manager () in
+  let f = Bdd.at_most m ~n:6 ~k:2 in
+  let via_fold =
+    (* count each distinct node once via fold's memoization *)
+    let n = ref 0 in
+    ignore (Bdd.fold ~terminal:(fun _ -> ()) ~node:(fun _ () () -> incr n) f);
+    !n
+  in
+  Alcotest.(check int) "fold visits each node once" (Bdd.size f) via_fold
+
+let prop_xor_self_is_zero =
+  QCheck.Test.make ~name:"bdd xor with self is zero" ~count:100
+    QCheck.(int_range 0 10)
+    (fun v ->
+      let m = Bdd.manager () in
+      let x = Bdd.var m v in
+      Bdd.xor m x x == Bdd.zero)
+
+let prop_demorgan =
+  QCheck.Test.make ~name:"bdd de morgan" ~count:100
+    QCheck.(pair (int_range 0 6) (int_range 0 6))
+    (fun (i, j) ->
+      let m = Bdd.manager () in
+      let a = Bdd.var m i and b = Bdd.var m j in
+      Bdd.not_ m (Bdd.and_ m a b) == Bdd.or_ m (Bdd.not_ m a) (Bdd.not_ m b))
+
+let suite =
+  [
+    Alcotest.test_case "terminals" `Quick test_terminals;
+    Alcotest.test_case "var" `Quick test_var;
+    Alcotest.test_case "hash consing" `Quick test_hash_consing;
+    Alcotest.test_case "boolean ops" `Quick test_boolean_ops_truth_tables;
+    Alcotest.test_case "ite exhaustive" `Quick test_ite_exhaustive;
+    Alcotest.test_case "at_most semantics" `Quick test_at_most_semantics;
+    Alcotest.test_case "at_least semantics" `Quick test_at_least_semantics;
+    Alcotest.test_case "interval semantics" `Quick test_interval_semantics;
+    Alcotest.test_case "at_most size bounded" `Quick test_at_most_size_linear;
+    Alcotest.test_case "trivial bounds" `Quick test_trivial_bounds;
+    Alcotest.test_case "fold memoizes" `Quick test_fold_counts_nodes;
+    QCheck_alcotest.to_alcotest prop_xor_self_is_zero;
+    QCheck_alcotest.to_alcotest prop_demorgan;
+  ]

@@ -1,0 +1,260 @@
+module Circuit = Msu_circuit.Circuit
+module Netlist = Msu_circuit.Netlist
+module Unroll = Msu_circuit.Unroll
+module Solver = Msu_sat.Solver
+module Formula = Msu_cnf.Formula
+module Lit = Msu_cnf.Lit
+
+let test_eval_basic () =
+  let c = Circuit.create () in
+  let a = Circuit.input c and b = Circuit.input c in
+  let f = Circuit.xor_ c (Circuit.and_ c a b) (Circuit.or_ c a b) in
+  (* a&b xor a|b  =  a xor b *)
+  List.iter
+    (fun (va, vb) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%b %b" va vb)
+        (va <> vb)
+        (Circuit.eval c f [| va; vb |]))
+    [ (false, false); (false, true); (true, false); (true, true) ]
+
+let test_simplification () =
+  let c = Circuit.create () in
+  let a = Circuit.input c in
+  let t = Circuit.const c true and f = Circuit.const c false in
+  Alcotest.(check bool) "a & true = a" true (Circuit.equal_node (Circuit.and_ c a t) a);
+  Alcotest.(check bool) "a & false = false" true
+    (Circuit.equal_node (Circuit.and_ c a f) f);
+  Alcotest.(check bool) "a | a = a" true (Circuit.equal_node (Circuit.or_ c a a) a);
+  Alcotest.(check bool) "a ^ a = false" true (Circuit.equal_node (Circuit.xor_ c a a) f);
+  Alcotest.(check bool) "not not a = a" true
+    (Circuit.equal_node (Circuit.not_ c (Circuit.not_ c a)) a);
+  Alcotest.(check bool) "a & ~a = false" true
+    (Circuit.equal_node (Circuit.and_ c a (Circuit.not_ c a)) f)
+
+let test_hash_consing () =
+  let c = Circuit.create () in
+  let a = Circuit.input c and b = Circuit.input c in
+  let g1 = Circuit.and_ c a b and g2 = Circuit.and_ c b a in
+  Alcotest.(check bool) "commutative sharing" true (Circuit.equal_node g1 g2);
+  let before = Circuit.num_nodes c in
+  ignore (Circuit.and_ c a b);
+  Alcotest.(check int) "no new node" before (Circuit.num_nodes c)
+
+let test_mux () =
+  let c = Circuit.create () in
+  let s = Circuit.input c and a = Circuit.input c and b = Circuit.input c in
+  let m = Circuit.mux c ~sel:s a b in
+  for bits = 0 to 7 do
+    let env = [| bits land 1 <> 0; bits land 2 <> 0; bits land 4 <> 0 |] in
+    let expect = if env.(0) then env.(1) else env.(2) in
+    Alcotest.(check bool) (Printf.sprintf "mux %d" bits) expect (Circuit.eval c m env)
+  done
+
+(* Random circuit expression over n inputs. *)
+let random_node st c n_inputs depth =
+  let inputs = Array.init n_inputs (fun _ -> Circuit.input c) in
+  let rec go depth =
+    if depth = 0 || Random.State.int st 4 = 0 then
+      inputs.(Random.State.int st n_inputs)
+    else
+      match Random.State.int st 7 with
+      | 0 -> Circuit.not_ c (go (depth - 1))
+      | 1 -> Circuit.and_ c (go (depth - 1)) (go (depth - 1))
+      | 2 -> Circuit.or_ c (go (depth - 1)) (go (depth - 1))
+      | 3 -> Circuit.xor_ c (go (depth - 1)) (go (depth - 1))
+      | 4 -> Circuit.nand_ c (go (depth - 1)) (go (depth - 1))
+      | 5 -> Circuit.nor_ c (go (depth - 1)) (go (depth - 1))
+      | _ -> Circuit.xnor_ c (go (depth - 1)) (go (depth - 1))
+  in
+  (go depth, inputs)
+
+let test_tseitin_matches_eval () =
+  let st = Random.State.make [| 42 |] in
+  for _round = 1 to 50 do
+    let c = Circuit.create () in
+    let n_inputs = 2 + Random.State.int st 4 in
+    let root, _inputs = random_node st c n_inputs 5 in
+    let s = Solver.create ~track_proof:false () in
+    let map = Circuit.assert_node c (Solver.sink s) root in
+    (* SAT iff some input assignment makes the root true; and any model
+       returned must evaluate to true in the simulator. *)
+    let some_true = ref false in
+    for bits = 0 to (1 lsl n_inputs) - 1 do
+      let env = Array.init n_inputs (fun i -> bits land (1 lsl i) <> 0) in
+      if Circuit.eval c root env then some_true := true
+    done;
+    match Solver.solve s with
+    | Solver.Sat ->
+        Alcotest.(check bool) "solver sat implies simulator sat" true !some_true;
+        let env =
+          Array.map (fun l -> Solver.model_value s (Lit.var l)) map.Circuit.input_lits
+        in
+        Alcotest.(check bool) "model evaluates true" true (Circuit.eval c root env)
+    | Solver.Unsat -> Alcotest.(check bool) "unsat iff never true" false !some_true
+    | Solver.Unknown -> Alcotest.fail "unexpected Unknown"
+  done
+
+let test_netlist_validate () =
+  let bad = Netlist.{ n_inputs = 2; gates = [| { kind = And; a = 0; b = 5 } |]; outputs = [| 2 |] } in
+  Alcotest.check_raises "dangling operand" (Invalid_argument "Netlist.validate: operand b")
+    (fun () -> Netlist.validate bad)
+
+let test_netlist_eval () =
+  let nl =
+    Netlist.
+      {
+        n_inputs = 2;
+        gates = [| { kind = And; a = 0; b = 1 }; { kind = Not; a = 2; b = 0 } |];
+        outputs = [| 3 |];
+      }
+  in
+  Netlist.validate nl;
+  Alcotest.(check bool) "nand via gates" true (Netlist.eval_outputs nl [| true; false |]).(0);
+  Alcotest.(check bool) "nand both true" false (Netlist.eval_outputs nl [| true; true |]).(0)
+
+let test_netlist_tseitin_consistent () =
+  let st = Random.State.make [| 7 |] in
+  for _round = 1 to 30 do
+    let nl = Netlist.random st ~n_inputs:4 ~n_gates:12 ~n_outputs:2 in
+    let s = Solver.create ~track_proof:false () in
+    let lits = Netlist.tseitin nl (Solver.sink s) in
+    for bits = 0 to 15 do
+      let env = Array.init 4 (fun i -> bits land (1 lsl i) <> 0) in
+      let values = Netlist.eval nl env in
+      (* Force the inputs; every signal literal must be forced to the
+         simulator's value. *)
+      let assumptions =
+        Array.init 4 (fun i -> if env.(i) then lits.(i) else Lit.neg lits.(i))
+      in
+      (match Solver.solve ~assumptions s with
+      | Solver.Sat -> ()
+      | _ -> Alcotest.fail "tseitin must be satisfiable under input forcing");
+      Array.iteri
+        (fun sig_i l ->
+          let got =
+            if Lit.sign l then Solver.model_value s (Lit.var l)
+            else not (Solver.model_value s (Lit.var l))
+          in
+          if got <> values.(sig_i) then
+            Alcotest.failf "signal %d disagrees with simulation" sig_i)
+        lits
+    done
+  done
+
+let test_miter_self_unsat () =
+  let st = Random.State.make [| 99 |] in
+  for _round = 1 to 10 do
+    let nl = Netlist.random st ~n_inputs:5 ~n_gates:20 ~n_outputs:3 in
+    let s = Solver.create ~track_proof:false () in
+    Netlist.miter nl nl (Solver.sink s);
+    Alcotest.(check bool) "self miter unsat" true (Solver.solve s = Solver.Unsat)
+  done
+
+let test_miter_mutant () =
+  let st = Random.State.make [| 123 |] in
+  for _round = 1 to 20 do
+    let nl = Netlist.random st ~n_inputs:4 ~n_gates:15 ~n_outputs:2 in
+    let mutant, _gate = Netlist.mutate_gate st nl in
+    (* Brute-force: do they differ on any input? *)
+    let differs = ref false in
+    for bits = 0 to 15 do
+      let env = Array.init 4 (fun i -> bits land (1 lsl i) <> 0) in
+      if Netlist.eval_outputs nl env <> Netlist.eval_outputs mutant env then differs := true
+    done;
+    let s = Solver.create ~track_proof:false () in
+    Netlist.miter nl mutant (Solver.sink s);
+    let got = Solver.solve s in
+    Alcotest.(check bool)
+      "miter sat iff functionally different" !differs (got = Solver.Sat)
+  done
+
+(* A 3-bit counter that counts up on an enable input; property: the
+   counter never reaches 7.  Reachable in 7 enabled steps. *)
+let counter_spec =
+  Unroll.
+    {
+      n_latches = 3;
+      n_pi = 1;
+      init = [| false; false; false |];
+      next =
+        (fun c state inputs ->
+          let en = inputs.(0) in
+          let b0 = state.(0) and b1 = state.(1) and b2 = state.(2) in
+          let n0 = Circuit.xor_ c b0 en in
+          let carry0 = Circuit.and_ c b0 en in
+          let n1 = Circuit.xor_ c b1 carry0 in
+          let carry1 = Circuit.and_ c b1 carry0 in
+          let n2 = Circuit.xor_ c b2 carry1 in
+          [| n0; n1; n2 |]);
+      bad =
+        (fun c state _inputs -> Circuit.and_list c [ state.(0); state.(1); state.(2) ]);
+    }
+
+let test_unroll_counter () =
+  (* Depth 7: still cannot have counted to 7 (bad checked before step). *)
+  let check_depth k expect =
+    let c, bad = Unroll.unroll counter_spec ~k in
+    let s = Solver.create ~track_proof:false () in
+    ignore (Circuit.assert_node c (Solver.sink s) bad);
+    let got = Solver.solve s = Solver.Sat in
+    Alcotest.(check bool) (Printf.sprintf "depth %d" k) expect got
+  in
+  check_depth 5 false;
+  check_depth 7 false;
+  check_depth 8 true;
+  check_depth 10 true
+
+let test_unroll_matches_simulate () =
+  let st = Random.State.make [| 2024 |] in
+  for _round = 1 to 20 do
+    let k = 1 + Random.State.int st 4 in
+    let inputs = Array.init k (fun _ -> [| Random.State.bool st |]) in
+    let sim = Unroll.simulate counter_spec ~inputs in
+    (* Force the unrolled circuit's inputs to the same sequence. *)
+    let c, bad = Unroll.unroll counter_spec ~k in
+    let s = Solver.create ~track_proof:false () in
+    let map = Circuit.tseitin c (Solver.sink s) [ bad ] in
+    let assumptions =
+      Array.mapi
+        (fun t frame ->
+          let l = map.Circuit.input_lits.(t) in
+          if frame.(0) then l else Lit.neg l)
+        inputs
+    in
+    let bad_lit = map.Circuit.lit_of bad in
+    (match Solver.solve ~assumptions s with
+    | Solver.Sat ->
+        let got =
+          if Lit.sign bad_lit then Solver.model_value s (Lit.var bad_lit)
+          else not (Solver.model_value s (Lit.var bad_lit))
+        in
+        Alcotest.(check bool) "unroll agrees with simulate" sim got
+    | _ -> Alcotest.fail "forced unrolling must be satisfiable")
+  done
+
+let prop_netlist_eval_total =
+  QCheck.Test.make ~name:"netlist eval is total on random netlists" ~count:100
+    QCheck.small_int
+    (fun seed ->
+      let st = Random.State.make [| seed; 3 |] in
+      let nl = Netlist.random st ~n_inputs:3 ~n_gates:10 ~n_outputs:2 in
+      let out = Netlist.eval_outputs nl [| true; false; true |] in
+      Array.length out = 2)
+
+let suite =
+  [
+    Alcotest.test_case "eval basic" `Quick test_eval_basic;
+    Alcotest.test_case "simplification rules" `Quick test_simplification;
+    Alcotest.test_case "hash consing" `Quick test_hash_consing;
+    Alcotest.test_case "mux" `Quick test_mux;
+    Alcotest.test_case "tseitin matches eval" `Quick test_tseitin_matches_eval;
+    Alcotest.test_case "netlist validate" `Quick test_netlist_validate;
+    Alcotest.test_case "netlist eval" `Quick test_netlist_eval;
+    Alcotest.test_case "netlist tseitin consistent" `Quick test_netlist_tseitin_consistent;
+    Alcotest.test_case "miter of self is unsat" `Quick test_miter_self_unsat;
+    Alcotest.test_case "miter detects mutants" `Quick test_miter_mutant;
+    Alcotest.test_case "unroll counter reachability" `Quick test_unroll_counter;
+    Alcotest.test_case "unroll matches simulate" `Quick test_unroll_matches_simulate;
+    QCheck_alcotest.to_alcotest prop_netlist_eval_total;
+  ]

@@ -1,0 +1,103 @@
+module Dimacs = Msu_cnf.Dimacs
+module Formula = Msu_cnf.Formula
+module Wcnf = Msu_cnf.Wcnf
+module Lit = Msu_cnf.Lit
+open Test_util
+
+let test_parse_cnf () =
+  let f = Dimacs.parse_cnf "c a comment\np cnf 3 2\n1 -2 0\n2 3 0\n" in
+  Alcotest.(check int) "vars" 3 (Formula.num_vars f);
+  Alcotest.(check int) "clauses" 2 (Formula.num_clauses f);
+  Alcotest.(check int) "first lit" 1 (Lit.to_dimacs (Formula.clause f 0).(0))
+
+let test_parse_multiline_clause () =
+  let f = Dimacs.parse_cnf "p cnf 3 1\n1\n-2\n3 0\n" in
+  Alcotest.(check int) "one clause" 1 (Formula.num_clauses f);
+  Alcotest.(check int) "three lits" 3 (Array.length (Formula.clause f 0))
+
+let test_parse_errors () =
+  let expect_fail text =
+    match Dimacs.parse_cnf text with
+    | exception Dimacs.Parse_error _ -> ()
+    | _ -> Alcotest.fail "expected Parse_error"
+  in
+  expect_fail "p dnf 1 1\n1 0\n";
+  expect_fail "1 0\n";
+  expect_fail "p cnf 1 1\n1 x 0\n";
+  expect_fail "p cnf 1 1\n1\n"
+
+let test_parse_wcnf_top () =
+  let w = Dimacs.parse_wcnf "p wcnf 2 3 10\n10 1 0\n3 -1 2 0\n1 -2 0\n" in
+  Alcotest.(check int) "hard" 1 (Wcnf.num_hard w);
+  Alcotest.(check int) "soft" 2 (Wcnf.num_soft w);
+  Alcotest.(check int) "weight of first soft" 3 (Wcnf.weight w 0)
+
+let test_parse_wcnf_old () =
+  let w = Dimacs.parse_wcnf "p wcnf 2 2\n3 1 0\n2 -1 2 0\n" in
+  Alcotest.(check int) "no hard" 0 (Wcnf.num_hard w);
+  Alcotest.(check int) "two soft" 2 (Wcnf.num_soft w);
+  Alcotest.(check int) "weights" 5 (Wcnf.total_soft_weight w)
+
+let test_parse_wcnf_from_cnf () =
+  let w = Dimacs.parse_wcnf "p cnf 2 2\n1 0\n-1 2 0\n" in
+  Alcotest.(check int) "all soft" 2 (Wcnf.num_soft w);
+  Alcotest.(check bool) "plain" true (Wcnf.is_plain w)
+
+let test_cnf_roundtrip () =
+  let f = formula_of_clauses 4 [ [ 1; -2 ]; [ 3; 4; -1 ]; [ -4 ] ] in
+  let text = Format.asprintf "%a" Formula.pp f in
+  let f' = Dimacs.parse_cnf text in
+  Alcotest.(check int) "vars" (Formula.num_vars f) (Formula.num_vars f');
+  Alcotest.(check int) "clauses" (Formula.num_clauses f) (Formula.num_clauses f');
+  for i = 0 to Formula.num_clauses f - 1 do
+    Alcotest.(check (array int))
+      (Printf.sprintf "clause %d" i)
+      (Array.map Lit.to_dimacs (Formula.clause f i))
+      (Array.map Lit.to_dimacs (Formula.clause f' i))
+  done
+
+let test_wcnf_roundtrip () =
+  let w = Wcnf.create () in
+  Wcnf.ensure_vars w 3;
+  Wcnf.add_hard w (clause [ 1; 2 ]);
+  ignore (Wcnf.add_soft w ~weight:2 (clause [ -1 ]));
+  ignore (Wcnf.add_soft w (clause [ -2; 3 ]));
+  let text = Format.asprintf "%a" Wcnf.pp w in
+  let w' = Dimacs.parse_wcnf text in
+  Alcotest.(check int) "hard" 1 (Wcnf.num_hard w');
+  Alcotest.(check int) "soft" 2 (Wcnf.num_soft w');
+  Alcotest.(check int) "weight" 2 (Wcnf.weight w' 0)
+
+let test_file_io () =
+  let path = Filename.temp_file "msu4_test" ".cnf" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let f = formula_of_clauses 2 [ [ 1 ]; [ -1; 2 ] ] in
+      Dimacs.write_cnf_file path f;
+      let f' = Dimacs.parse_cnf_file path in
+      Alcotest.(check int) "clauses round trip" 2 (Formula.num_clauses f'))
+
+let prop_roundtrip_random =
+  QCheck.Test.make ~name:"dimacs round trip on random formulas" ~count:50
+    QCheck.small_int
+    (fun seed ->
+      let st = Random.State.make [| seed |] in
+      let f = random_formula st ~n_vars:8 ~n_clauses:20 ~max_len:5 in
+      let f' = Dimacs.parse_cnf (Format.asprintf "%a" Formula.pp f) in
+      Formula.num_clauses f = Formula.num_clauses f'
+      && Formula.num_vars f = Formula.num_vars f')
+
+let suite =
+  [
+    Alcotest.test_case "parse cnf" `Quick test_parse_cnf;
+    Alcotest.test_case "multi-line clause" `Quick test_parse_multiline_clause;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "parse wcnf with top" `Quick test_parse_wcnf_top;
+    Alcotest.test_case "parse old-style wcnf" `Quick test_parse_wcnf_old;
+    Alcotest.test_case "parse cnf as wcnf" `Quick test_parse_wcnf_from_cnf;
+    Alcotest.test_case "cnf round trip" `Quick test_cnf_roundtrip;
+    Alcotest.test_case "wcnf round trip" `Quick test_wcnf_roundtrip;
+    Alcotest.test_case "file io" `Quick test_file_io;
+    QCheck_alcotest.to_alcotest prop_roundtrip_random;
+  ]

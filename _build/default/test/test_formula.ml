@@ -1,0 +1,79 @@
+module Formula = Msu_cnf.Formula
+module Lit = Msu_cnf.Lit
+open Test_util
+
+let test_build () =
+  let f = formula_of_clauses 3 [ [ 1; 2 ]; [ -1; 3 ]; [ -3 ] ] in
+  Alcotest.(check int) "vars" 3 (Formula.num_vars f);
+  Alcotest.(check int) "clauses" 3 (Formula.num_clauses f);
+  Alcotest.(check int) "clause 2 length" 1 (Array.length (Formula.clause f 2))
+
+let test_vars_grow () =
+  let f = Formula.create () in
+  ignore (Formula.add_clause f (clause [ 10 ]));
+  Alcotest.(check int) "vars grow with literals" 10 (Formula.num_vars f)
+
+let test_fresh_var () =
+  let f = formula_of_clauses 2 [ [ 1 ] ] in
+  let v = Formula.fresh_var f in
+  Alcotest.(check int) "fresh var" 2 v;
+  Alcotest.(check int) "vars bumped" 3 (Formula.num_vars f)
+
+let test_count_satisfied () =
+  let f = formula_of_clauses 2 [ [ 1 ]; [ -1 ]; [ 1; 2 ]; [ -2 ] ] in
+  let model = [| true; false |] in
+  Alcotest.(check int) "count" 3 (Formula.count_satisfied f model)
+
+let test_empty_clause () =
+  let f = formula_of_clauses 1 [ [] ] in
+  let model = [| true |] in
+  Alcotest.(check int) "empty clause unsatisfied" 0 (Formula.count_satisfied f model)
+
+let test_brute_force_known () =
+  (* The paper's Example 2 formula: optimum is 6 of 8. *)
+  let f =
+    formula_of_clauses 4
+      [ [ 1 ]; [ -1; -2 ]; [ 2 ]; [ -1; -3 ]; [ 3 ]; [ -2; -3 ]; [ 1; -4 ]; [ -1; 4 ] ]
+  in
+  Alcotest.(check int) "example 2 optimum" 6 (Formula.max_sat_brute_force f)
+
+let test_brute_force_sat_formula () =
+  let f = formula_of_clauses 2 [ [ 1; 2 ]; [ -1 ] ] in
+  Alcotest.(check int) "satisfiable formula" 2 (Formula.max_sat_brute_force f)
+
+let test_brute_force_guard () =
+  let f = formula_of_clauses 30 [ [ 30 ] ] in
+  Alcotest.check_raises "too many variables"
+    (Invalid_argument "Formula.max_sat_brute_force: too many variables") (fun () ->
+      ignore (Formula.max_sat_brute_force f))
+
+let test_copy () =
+  let f = formula_of_clauses 2 [ [ 1 ] ] in
+  let g = Formula.copy f in
+  ignore (Formula.add_clause g (clause [ 2 ]));
+  Alcotest.(check int) "original untouched" 1 (Formula.num_clauses f);
+  Alcotest.(check int) "copy extended" 2 (Formula.num_clauses g)
+
+let prop_count_bounded =
+  QCheck.Test.make ~name:"count_satisfied is bounded by clause count" ~count:100
+    QCheck.(pair small_int (small_list (small_list (int_range (-6) 6))))
+    (fun (seed, _) ->
+      let st = Random.State.make [| seed |] in
+      let f = random_formula st ~n_vars:6 ~n_clauses:12 ~max_len:4 in
+      let model = Array.init 6 (fun _ -> Random.State.bool st) in
+      let c = Formula.count_satisfied f model in
+      c >= 0 && c <= Formula.num_clauses f)
+
+let suite =
+  [
+    Alcotest.test_case "build and query" `Quick test_build;
+    Alcotest.test_case "vars grow with literals" `Quick test_vars_grow;
+    Alcotest.test_case "fresh_var" `Quick test_fresh_var;
+    Alcotest.test_case "count_satisfied" `Quick test_count_satisfied;
+    Alcotest.test_case "empty clause" `Quick test_empty_clause;
+    Alcotest.test_case "brute force on paper example" `Quick test_brute_force_known;
+    Alcotest.test_case "brute force on sat formula" `Quick test_brute_force_sat_formula;
+    Alcotest.test_case "brute force var guard" `Quick test_brute_force_guard;
+    Alcotest.test_case "copy independence" `Quick test_copy;
+    QCheck_alcotest.to_alcotest prop_count_bounded;
+  ]

@@ -1,0 +1,283 @@
+module Formula = Msu_cnf.Formula
+module Wcnf = Msu_cnf.Wcnf
+module Solver = Msu_sat.Solver
+module Gen = Msu_gen
+module M = Msu_maxsat.Maxsat
+module T = Msu_maxsat.Types
+
+let is_unsat f =
+  let s = Solver.create ~track_proof:false () in
+  Formula.iter_clauses (fun _ c -> Solver.add_clause s c) f;
+  Solver.solve s = Solver.Unsat
+
+let test_php () =
+  for n = 1 to 5 do
+    let f = Gen.Php.formula n in
+    Alcotest.(check int)
+      (Printf.sprintf "clause count n=%d" n)
+      (Gen.Php.num_clauses n) (Formula.num_clauses f);
+    Alcotest.(check bool) (Printf.sprintf "php %d unsat" n) true (is_unsat f)
+  done;
+  Alcotest.check_raises "php 0 rejected"
+    (Invalid_argument "Php.formula: need at least one hole") (fun () ->
+      ignore (Gen.Php.formula 0))
+
+let test_random_cnf () =
+  let st = Random.State.make [| 5 |] in
+  let f = Gen.Random_cnf.ksat st ~n_vars:10 ~n_clauses:30 ~k:3 in
+  Alcotest.(check int) "clauses" 30 (Formula.num_clauses f);
+  Formula.iter_clauses
+    (fun _ c ->
+      Alcotest.(check int) "k distinct vars" 3
+        (List.length
+           (List.sort_uniq compare
+              (Array.to_list (Array.map Msu_cnf.Lit.var c)))))
+    f
+
+let test_unsat_ksat () =
+  let st = Random.State.make [| 6 |] in
+  let f = Gen.Random_cnf.unsat_ksat st ~n_vars:20 ~ratio:7.0 ~k:3 in
+  Alcotest.(check bool) "verified unsat" true (is_unsat f);
+  Alcotest.(check int) "clause count" 140 (Formula.num_clauses f)
+
+let test_bmc_counter_unsat () =
+  List.iter
+    (fun depth ->
+      let f = Gen.Bmc.counter_formula ~width:4 ~limit:14 ~target:15 ~depth in
+      Alcotest.(check bool) (Printf.sprintf "depth %d unsat" depth) true (is_unsat f))
+    [ 1; 5; 12 ]
+
+let test_bmc_counter_simulation () =
+  (* Cross-check the spec against direct simulation: always-enabled
+     inputs never reach the unreachable target. *)
+  let spec = Gen.Bmc.counter_spec ~width:4 ~limit:9 ~target:9 in
+  let frames k = Array.init k (fun _ -> [| true |]) in
+  for k = 1 to 12 do
+    Alcotest.(check bool)
+      (Printf.sprintf "no violation at depth %d" k)
+      false
+      (Msu_circuit.Unroll.simulate spec ~inputs:(frames k))
+  done;
+  let f = Gen.Bmc.counter_formula ~width:4 ~limit:9 ~target:9 ~depth:12 in
+  Alcotest.(check bool) "target=limit unreachable" true (is_unsat f)
+
+let test_bmc_lfsr_unsat () =
+  List.iter
+    (fun depth ->
+      let f = Gen.Bmc.lfsr_formula ~width:5 ~taps:[ 2 ] ~depth in
+      Alcotest.(check bool) (Printf.sprintf "lfsr depth %d unsat" depth) true (is_unsat f))
+    [ 1; 4; 10 ]
+
+let test_bmc_guards () =
+  Alcotest.check_raises "bad counter params"
+    (Invalid_argument "Bmc.counter_spec: need 0 < limit <= target < 2^width")
+    (fun () -> ignore (Gen.Bmc.counter_spec ~width:3 ~limit:9 ~target:9))
+
+let test_equiv_unsat () =
+  let st = Random.State.make [| 11 |] in
+  for _ = 1 to 5 do
+    let f = Gen.Equiv.instance st ~n_inputs:5 ~n_gates:40 ~n_outputs:3 in
+    Alcotest.(check bool) "equiv miter unsat" true (is_unsat f)
+  done
+
+let test_atpg_unsat () =
+  let st = Random.State.make [| 13 |] in
+  for _ = 1 to 5 do
+    let f = Gen.Atpg.instance st ~n_inputs:5 ~n_gates:30 ~n_outputs:2 ~n_faults:2 in
+    Alcotest.(check bool) "redundant fault untestable" true (is_unsat f)
+  done
+
+let test_atpg_equivalence () =
+  let st = Random.State.make [| 14 |] in
+  let nl = Msu_circuit.Netlist.random st ~n_inputs:4 ~n_gates:20 ~n_outputs:2 in
+  let good, faulty = Gen.Atpg.plant_redundancy st nl ~n_faults:2 in
+  for bits = 0 to 15 do
+    let inputs = Array.init 4 (fun i -> bits land (1 lsl i) <> 0) in
+    Alcotest.(check bool)
+      (Printf.sprintf "same outputs bits=%d" bits)
+      true
+      (Msu_circuit.Netlist.eval_outputs good inputs
+      = Msu_circuit.Netlist.eval_outputs faulty inputs)
+  done
+
+let test_debug_partial_optimum_is_one () =
+  let st = Random.State.make [| 21 |] in
+  for _ = 1 to 3 do
+    let inst =
+      Gen.Debug.instance st ~n_inputs:4 ~n_gates:12 ~n_outputs:2 ~n_vectors:3
+        ~encoding:`Partial
+    in
+    let r = M.solve M.Msu4_v2 inst.Gen.Debug.wcnf in
+    (match r.T.outcome with
+    | T.Optimum 1 -> ()
+    | o -> Alcotest.failf "expected optimum 1, got %a" T.pp_outcome o);
+    (* The model's suspected gates are exactly one gate. *)
+    match r.T.model with
+    | None -> Alcotest.fail "no model"
+    | Some m ->
+        let suspects =
+          Array.to_list inst.Gen.Debug.relax_vars
+          |> List.filter (fun v -> v < Array.length m && m.(v))
+        in
+        Alcotest.(check int) "one suspect gate" 1 (List.length suspects)
+  done
+
+let test_debug_plain_unsat_cnf () =
+  let st = Random.State.make [| 22 |] in
+  let inst =
+    Gen.Debug.instance st ~n_inputs:4 ~n_gates:12 ~n_outputs:2 ~n_vectors:3
+      ~encoding:`Plain
+  in
+  Alcotest.(check int) "no hard clauses" 0 (Wcnf.num_hard inst.Gen.Debug.wcnf);
+  Alcotest.(check bool)
+    "plain debug CNF unsat" true
+    (is_unsat (Wcnf.to_formula inst.Gen.Debug.wcnf))
+
+let test_suites_deterministic () =
+  let a = Gen.Suites.industrial ~scale:0.3 ~seed:3 () in
+  let b = Gen.Suites.industrial ~scale:0.3 ~seed:3 () in
+  Alcotest.(check (list string))
+    "same names"
+    (List.map (fun i -> i.Gen.Suites.name) a)
+    (List.map (fun i -> i.Gen.Suites.name) b);
+  List.iter2
+    (fun x y ->
+      Alcotest.(check int) "same clause count"
+        (Formula.num_clauses x.Gen.Suites.formula)
+        (Formula.num_clauses y.Gen.Suites.formula))
+    a b
+
+let test_suites_all_unsat () =
+  let instances = Gen.Suites.industrial ~scale:0.3 ~seed:4 () in
+  List.iter
+    (fun i ->
+      Alcotest.(check bool)
+        (i.Gen.Suites.name ^ " unsat")
+        true
+        (is_unsat i.Gen.Suites.formula))
+    instances
+
+let test_debug_suite () =
+  let instances = Gen.Suites.debugging ~scale:0.2 ~seed:5 () in
+  Alcotest.(check bool) "non-empty" true (instances <> []);
+  List.iter
+    (fun i ->
+      Alcotest.(check bool)
+        (i.Gen.Suites.name ^ " unsat")
+        true
+        (is_unsat i.Gen.Suites.formula))
+    instances
+
+let test_families () =
+  let instances = Gen.Suites.industrial ~scale:0.3 ~seed:6 () in
+  let families = Gen.Suites.families instances in
+  List.iter
+    (fun f ->
+      Alcotest.(check bool) ("family " ^ f) true
+        (List.mem f [ "bmc"; "equiv"; "atpg"; "php"; "rnd3sat" ]))
+    families;
+  Alcotest.(check int) "five families" 5 (List.length families)
+
+let prop_unroll_sound =
+  QCheck.Test.make ~name:"bmc counter unsat at random depths" ~count:8
+    QCheck.(int_range 1 8)
+    (fun depth -> is_unsat (Gen.Bmc.counter_formula ~width:3 ~limit:6 ~target:7 ~depth))
+
+
+let test_weighted_debug_suite () =
+  let instances = Gen.Suites.weighted_debugging ~scale:0.15 ~seed:8 () in
+  Alcotest.(check bool) "non-empty" true (instances <> []);
+  List.iter
+    (fun (name, family, w) ->
+      Alcotest.(check string) "family" "wdebug" family;
+      Alcotest.(check bool) (name ^ " has weights") true (Wcnf.num_soft w > 0);
+      (* Weighted algorithms agree on the optimum. *)
+      let r1 = M.solve M.Wpm1 w in
+      let r2 = M.solve M.Pbo_binary w in
+      Alcotest.(check bool)
+        (name ^ " wpm1/pbo agree")
+        true
+        (r1.T.outcome = r2.T.outcome))
+    instances
+
+
+(* ---------------- graph coloring ---------------- *)
+
+module Coloring = Gen.Coloring
+
+let test_coloring_encoding_matches_brute () =
+  let st = Random.State.make [| 0xC01 |] in
+  for _ = 1 to 12 do
+    let g = Coloring.random_graph st ~n_vertices:(3 + Random.State.int st 4) ~edge_prob:0.6 in
+    let colors = 2 + Random.State.int st 2 in
+    let w = Coloring.encode g ~colors in
+    let expected = Coloring.min_conflicts_brute g ~colors in
+    match (M.solve M.Msu4_v2 w).T.outcome with
+    | T.Optimum c -> Alcotest.(check int) "optimum = min conflicts" expected c
+    | o -> Alcotest.failf "unexpected %a" T.pp_outcome o
+  done
+
+let test_coloring_model_decodes () =
+  let st = Random.State.make [| 0xC02 |] in
+  let g = Coloring.random_graph st ~n_vertices:6 ~edge_prob:0.5 in
+  let colors = 2 in
+  let w = Coloring.encode g ~colors in
+  let r = M.solve M.Pbo_binary w in
+  match (r.T.outcome, r.T.model) with
+  | T.Optimum cost, Some m ->
+      (* Decode the exactly-one block into a coloring. *)
+      let coloring =
+        Array.init g.Coloring.n_vertices (fun v ->
+            let rec find c =
+              if c = colors then Alcotest.fail "no color set"
+              else if m.((v * colors) + c) then c
+              else find (c + 1)
+            in
+            find 0)
+      in
+      Alcotest.(check int) "decoded cost matches"
+        cost
+        (Coloring.conflicts g ~colors ~coloring)
+  | o, _ -> Alcotest.failf "unexpected %a" T.pp_outcome (fst (o, ()))
+
+let test_interval_graph_structure () =
+  let st = Random.State.make [| 0xC03 |] in
+  let g = Coloring.interval_graph st ~n_intervals:12 ~horizon:20 ~max_len:6 in
+  Alcotest.(check int) "vertices" 12 g.Coloring.n_vertices;
+  List.iter
+    (fun (u, v) ->
+      Alcotest.(check bool) "edge well-formed" true (u < v && v < 12))
+    g.Coloring.edges
+
+let test_coloring_guards () =
+  let g = Coloring.{ n_vertices = 2; edges = [ (0, 1) ] } in
+  Alcotest.check_raises "zero colors"
+    (Invalid_argument "Coloring.encode: need at least one color") (fun () ->
+      ignore (Coloring.encode g ~colors:0))
+
+let suite =
+  [
+    Alcotest.test_case "pigeonhole" `Quick test_php;
+    Alcotest.test_case "random ksat shape" `Quick test_random_cnf;
+    Alcotest.test_case "unsat ksat verified" `Quick test_unsat_ksat;
+    Alcotest.test_case "bmc counter unsat" `Quick test_bmc_counter_unsat;
+    Alcotest.test_case "bmc counter edge cases" `Quick test_bmc_counter_simulation;
+    Alcotest.test_case "bmc lfsr unsat" `Quick test_bmc_lfsr_unsat;
+    Alcotest.test_case "bmc parameter guards" `Quick test_bmc_guards;
+    Alcotest.test_case "equiv miters unsat" `Quick test_equiv_unsat;
+    Alcotest.test_case "atpg redundant faults unsat" `Quick test_atpg_unsat;
+    Alcotest.test_case "atpg fault is functionally silent" `Quick test_atpg_equivalence;
+    Alcotest.test_case "debug partial optimum 1" `Quick test_debug_partial_optimum_is_one;
+    Alcotest.test_case "debug plain CNF unsat" `Quick test_debug_plain_unsat_cnf;
+    Alcotest.test_case "suites deterministic" `Quick test_suites_deterministic;
+    Alcotest.test_case "suite instances unsat" `Slow test_suites_all_unsat;
+    Alcotest.test_case "debugging suite" `Slow test_debug_suite;
+    Alcotest.test_case "family labels" `Quick test_families;
+    Alcotest.test_case "weighted debugging suite" `Quick test_weighted_debug_suite;
+    Alcotest.test_case "coloring optimum vs brute force" `Quick
+      test_coloring_encoding_matches_brute;
+    Alcotest.test_case "coloring model decodes" `Quick test_coloring_model_decodes;
+    Alcotest.test_case "interval graph structure" `Quick test_interval_graph_structure;
+    Alcotest.test_case "coloring guards" `Quick test_coloring_guards;
+    QCheck_alcotest.to_alcotest prop_unroll_sound;
+  ]

@@ -1,0 +1,127 @@
+(* Tests for infrastructure pieces not covered by their consumers'
+   suites: the indexed heap behind VSIDS and the clause sinks. *)
+
+module Idx_heap = Msu_sat.Idx_heap
+module Sink = Msu_cnf.Sink
+module Formula = Msu_cnf.Formula
+module Wcnf = Msu_cnf.Wcnf
+module Lit = Msu_cnf.Lit
+
+(* ---------------- indexed heap ---------------- *)
+
+let test_heap_basic () =
+  let score = [| 5.; 1.; 9.; 3. |] in
+  let h = Idx_heap.create ~score:(fun v -> score.(v)) in
+  List.iter (Idx_heap.insert h) [ 0; 1; 2; 3 ];
+  Alcotest.(check int) "size" 4 (Idx_heap.size h);
+  Alcotest.(check int) "max" 2 (Idx_heap.pop_max h);
+  Alcotest.(check int) "next" 0 (Idx_heap.pop_max h);
+  Alcotest.(check bool) "membership" true (Idx_heap.in_heap h 1);
+  Alcotest.(check bool) "popped gone" false (Idx_heap.in_heap h 2)
+
+let test_heap_duplicate_insert () =
+  let h = Idx_heap.create ~score:(fun v -> float_of_int v) in
+  Idx_heap.insert h 4;
+  Idx_heap.insert h 4;
+  Alcotest.(check int) "no duplicates" 1 (Idx_heap.size h)
+
+let test_heap_increase_notify () =
+  let score = Array.make 4 0. in
+  let h = Idx_heap.create ~score:(fun v -> score.(v)) in
+  List.iter (Idx_heap.insert h) [ 0; 1; 2; 3 ];
+  score.(3) <- 100.;
+  Idx_heap.notify_increased h 3;
+  Alcotest.(check int) "bumped element first" 3 (Idx_heap.pop_max h)
+
+let test_heap_empty_pop () =
+  let h = Idx_heap.create ~score:(fun _ -> 0.) in
+  Alcotest.check_raises "pop empty" (Invalid_argument "Idx_heap.pop_max") (fun () ->
+      ignore (Idx_heap.pop_max h))
+
+let test_heap_rebuild () =
+  let h = Idx_heap.create ~score:(fun v -> float_of_int v) in
+  List.iter (Idx_heap.insert h) [ 0; 1; 2 ];
+  Idx_heap.rebuild h [ 5; 6 ];
+  Alcotest.(check int) "rebuilt size" 2 (Idx_heap.size h);
+  Alcotest.(check bool) "old gone" false (Idx_heap.in_heap h 0);
+  Alcotest.(check int) "new max" 6 (Idx_heap.pop_max h)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap pops in descending score order" ~count:100
+    QCheck.(list_of_size (Gen.int_range 1 40) (float_range 0. 1000.))
+    (fun scores ->
+      let score = Array.of_list scores in
+      let h = Idx_heap.create ~score:(fun v -> score.(v)) in
+      Array.iteri (fun v _ -> Idx_heap.insert h v) score;
+      let popped = Array.init (Array.length score) (fun _ -> Idx_heap.pop_max h) in
+      let values = Array.map (fun v -> score.(v)) popped in
+      let sorted = Array.copy values in
+      Array.sort (fun a b -> compare b a) sorted;
+      values = sorted)
+
+let prop_heap_random_ops =
+  QCheck.Test.make ~name:"heap stays consistent under random ops" ~count:60
+    QCheck.(small_list (pair (int_range 0 20) (int_range 0 2)))
+    (fun ops ->
+      let score = Array.make 21 0. in
+      let h = Idx_heap.create ~score:(fun v -> score.(v)) in
+      let members = Hashtbl.create 16 in
+      List.iter
+        (fun (v, op) ->
+          match op with
+          | 0 ->
+              Idx_heap.insert h v;
+              Hashtbl.replace members v ()
+          | 1 ->
+              score.(v) <- score.(v) +. 1.;
+              Idx_heap.notify_increased h v
+          | _ ->
+              if not (Idx_heap.is_empty h) then begin
+                let m = Idx_heap.pop_max h in
+                Hashtbl.remove members m
+              end)
+        ops;
+      Idx_heap.size h = Hashtbl.length members
+      && Hashtbl.fold (fun v () acc -> acc && Idx_heap.in_heap h v) members true)
+
+(* ---------------- sinks ---------------- *)
+
+let test_sink_of_formula () =
+  let f = Formula.create () in
+  let sink = Sink.of_formula f in
+  let v = sink.Sink.fresh_var () in
+  sink.Sink.emit [| Lit.pos v |];
+  sink.Sink.emit [| Lit.neg_of v; Lit.pos (sink.Sink.fresh_var ()) |];
+  Alcotest.(check int) "clauses landed" 2 (Formula.num_clauses f);
+  Alcotest.(check bool) "vars grew" true (Formula.num_vars f >= 2)
+
+let test_sink_of_wcnf () =
+  let w = Wcnf.create () in
+  let sink = Sink.of_wcnf_hard w in
+  sink.Sink.emit [| Lit.pos (sink.Sink.fresh_var ()) |];
+  Alcotest.(check int) "hard clause" 1 (Wcnf.num_hard w);
+  Alcotest.(check int) "no soft" 0 (Wcnf.num_soft w)
+
+let test_sink_counting () =
+  let sink, count = Sink.counting () in
+  for _ = 1 to 5 do
+    sink.Sink.emit [||]
+  done;
+  let v1 = sink.Sink.fresh_var () in
+  let v2 = sink.Sink.fresh_var () in
+  Alcotest.(check int) "counted" 5 (count ());
+  Alcotest.(check bool) "fresh vars distinct" true (v1 <> v2)
+
+let suite =
+  [
+    Alcotest.test_case "heap basic" `Quick test_heap_basic;
+    Alcotest.test_case "heap duplicate insert" `Quick test_heap_duplicate_insert;
+    Alcotest.test_case "heap notify_increased" `Quick test_heap_increase_notify;
+    Alcotest.test_case "heap empty pop" `Quick test_heap_empty_pop;
+    Alcotest.test_case "heap rebuild" `Quick test_heap_rebuild;
+    QCheck_alcotest.to_alcotest prop_heap_sorts;
+    QCheck_alcotest.to_alcotest prop_heap_random_ops;
+    Alcotest.test_case "sink of formula" `Quick test_sink_of_formula;
+    Alcotest.test_case "sink of wcnf" `Quick test_sink_of_wcnf;
+    Alcotest.test_case "counting sink" `Quick test_sink_counting;
+  ]

@@ -1,0 +1,49 @@
+module Lit = Msu_cnf.Lit
+
+let test_make () =
+  let l = Lit.make 3 true in
+  Alcotest.(check int) "var" 3 (Lit.var l);
+  Alcotest.(check bool) "sign" true (Lit.sign l);
+  let n = Lit.neg l in
+  Alcotest.(check int) "neg var" 3 (Lit.var n);
+  Alcotest.(check bool) "neg sign" false (Lit.sign n);
+  Alcotest.(check bool) "double neg" true (Lit.equal l (Lit.neg n))
+
+let test_dimacs () =
+  Alcotest.(check int) "pos round trip" 5 (Lit.to_dimacs (Lit.of_dimacs 5));
+  Alcotest.(check int) "neg round trip" (-7) (Lit.to_dimacs (Lit.of_dimacs (-7)));
+  Alcotest.(check int) "1 is var 0" 0 (Lit.var (Lit.of_dimacs 1));
+  Alcotest.check_raises "zero rejected" (Invalid_argument "Lit.of_dimacs: zero")
+    (fun () -> ignore (Lit.of_dimacs 0))
+
+let test_invalid () =
+  Alcotest.check_raises "negative var" (Invalid_argument "Lit.make: negative variable")
+    (fun () -> ignore (Lit.make (-1) true))
+
+let test_packing () =
+  Alcotest.(check int) "pos 0 packs to 0" 0 (Lit.to_int (Lit.pos 0));
+  Alcotest.(check int) "neg 0 packs to 1" 1 (Lit.to_int (Lit.neg_of 0));
+  Alcotest.(check int) "pos 5 packs to 10" 10 (Lit.to_int (Lit.pos 5))
+
+let prop_dimacs_roundtrip =
+  QCheck.Test.make ~name:"lit dimacs round trip" ~count:500
+    QCheck.(int_range 1 10000)
+    (fun d ->
+      Lit.to_dimacs (Lit.of_dimacs d) = d && Lit.to_dimacs (Lit.of_dimacs (-d)) = -d)
+
+let prop_neg_involution =
+  QCheck.Test.make ~name:"lit negation is an involution" ~count:500
+    QCheck.(pair (int_range 0 10000) bool)
+    (fun (v, b) ->
+      let l = Lit.make v b in
+      Lit.equal l (Lit.neg (Lit.neg l)) && Lit.var (Lit.neg l) = v)
+
+let suite =
+  [
+    Alcotest.test_case "make/var/sign/neg" `Quick test_make;
+    Alcotest.test_case "dimacs conversion" `Quick test_dimacs;
+    Alcotest.test_case "invalid input" `Quick test_invalid;
+    Alcotest.test_case "packed representation" `Quick test_packing;
+    QCheck_alcotest.to_alcotest prop_dimacs_roundtrip;
+    QCheck_alcotest.to_alcotest prop_neg_involution;
+  ]

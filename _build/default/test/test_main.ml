@@ -1,0 +1,19 @@
+let () =
+  Alcotest.run "msu4"
+    [
+      ("vec", Test_vec.suite);
+      ("lit", Test_lit.suite);
+      ("formula", Test_formula.suite);
+      ("dimacs", Test_dimacs.suite);
+      ("sat", Test_sat.suite);
+      ("bdd", Test_bdd.suite);
+      ("card", Test_card.suite);
+      ("circuit", Test_circuit.suite);
+      ("maxsat", Test_maxsat.suite);
+      ("gen", Test_gen.suite);
+      ("harness", Test_harness.suite);
+      ("proofs", Test_proofs.suite);
+      ("simplify", Test_simplify.suite);
+      ("aiger", Test_aiger.suite);
+      ("infra", Test_infra.suite);
+    ]

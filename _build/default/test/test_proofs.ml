@@ -1,0 +1,325 @@
+(* Tests for the proof-adjacent facilities: MUS extraction, disjoint
+   cores, DRUP logging/checking. *)
+
+module Solver = Msu_sat.Solver
+module Mus = Msu_sat.Mus
+module Drup = Msu_sat.Drup
+module Formula = Msu_cnf.Formula
+module Wcnf = Msu_cnf.Wcnf
+module Lit = Msu_cnf.Lit
+open Test_util
+
+(* ---------------- MUS ---------------- *)
+
+let check_is_mus f mus =
+  (* Unsatisfiable, and every clause necessary. *)
+  Alcotest.(check bool) "mus unsat" true (Mus.is_unsat_subset f mus);
+  List.iter
+    (fun dropped ->
+      let rest = List.filter (fun i -> i <> dropped) mus in
+      Alcotest.(check bool)
+        (Printf.sprintf "dropping clause %d makes it sat" dropped)
+        false (Mus.is_unsat_subset f rest))
+    mus
+
+let test_mus_units () =
+  let f = formula_of_clauses 2 [ [ 1 ]; [ -1 ]; [ 2 ]; [ 1; 2 ] ] in
+  match Mus.extract f with
+  | Some mus -> Alcotest.(check (list int)) "exactly the two units" [ 0; 1 ] (List.sort compare mus)
+  | None -> Alcotest.fail "expected a MUS"
+
+let test_mus_pigeonhole () =
+  let f = pigeonhole 3 in
+  match Mus.extract f with
+  | Some mus ->
+      check_is_mus f mus;
+      (* PHP is already minimal: the MUS is the whole formula. *)
+      Alcotest.(check int) "php is its own mus" (Formula.num_clauses f)
+        (List.length mus)
+  | None -> Alcotest.fail "expected a MUS"
+
+let test_mus_embedded () =
+  (* A small unsat kernel inside satisfiable padding. *)
+  let f =
+    formula_of_clauses 5
+      [ [ 4; 5 ]; [ 1 ]; [ -1; 2 ]; [ -2 ]; [ 3; 4 ]; [ -5; 3 ] ]
+  in
+  match Mus.extract f with
+  | Some mus ->
+      check_is_mus f mus;
+      Alcotest.(check (list int)) "kernel found" [ 1; 2; 3 ] (List.sort compare mus)
+  | None -> Alcotest.fail "expected a MUS"
+
+let test_mus_sat_formula () =
+  let f = formula_of_clauses 2 [ [ 1 ]; [ 2 ] ] in
+  Alcotest.(check bool) "no mus in sat formula" true (Mus.extract f = None)
+
+let test_mus_random () =
+  let st = Random.State.make [| 0x115 |] in
+  let tested = ref 0 in
+  while !tested < 10 do
+    let f = random_formula st ~n_vars:7 ~n_clauses:30 ~max_len:3 in
+    if brute_force_sat f = None then begin
+      incr tested;
+      match Mus.extract f with
+      | Some mus -> check_is_mus f mus
+      | None -> Alcotest.fail "unsat formula must have a MUS"
+    end
+  done
+
+(* ---------------- disjoint cores ---------------- *)
+
+module Dc = Msu_maxsat.Disjoint_cores
+
+let test_disjoint_cores_php () =
+  let w = Wcnf.of_formula (pigeonhole 3) in
+  match Dc.find w with
+  | Some t ->
+      Alcotest.(check int) "php has one disjoint core" 1 t.Dc.lower_bound;
+      Alcotest.(check bool) "exhausted" true t.Dc.exhausted
+  | None -> Alcotest.fail "php has satisfiable hards (none)"
+
+let test_disjoint_cores_two () =
+  (* Two independent contradictions over different variables. *)
+  let w =
+    Wcnf.of_formula (formula_of_clauses 2 [ [ 1 ]; [ -1 ]; [ 2 ]; [ -2 ]; [ 1; 2 ] ])
+  in
+  match Dc.find w with
+  | Some t ->
+      Alcotest.(check int) "two disjoint cores" 2 t.Dc.lower_bound;
+      (* Disjointness. *)
+      let all = List.concat t.Dc.cores in
+      Alcotest.(check int) "no sharing" (List.length all)
+        (List.length (List.sort_uniq compare all))
+  | None -> Alcotest.fail "no hard clauses here"
+
+let test_disjoint_cores_bound_sound () =
+  let st = Random.State.make [| 0xD15 |] in
+  for _ = 1 to 30 do
+    let f = random_formula st ~n_vars:6 ~n_clauses:25 ~max_len:3 in
+    let w = Wcnf.of_formula f in
+    match (Dc.find w, Wcnf.brute_force_min_cost w) with
+    | Some t, Some opt ->
+        Alcotest.(check bool)
+          (Printf.sprintf "lb %d <= opt %d" t.Dc.lower_bound opt)
+          true (t.Dc.lower_bound <= opt)
+    | None, _ -> Alcotest.fail "plain instances have no hard clauses"
+    | _, None -> Alcotest.fail "plain instances always have models"
+  done
+
+let test_disjoint_cores_hard_unsat () =
+  let w = Wcnf.create () in
+  Wcnf.add_hard w (clause [ 1 ]);
+  Wcnf.add_hard w (clause [ -1 ]);
+  ignore (Wcnf.add_soft w (clause [ 2 ]));
+  Alcotest.(check bool) "hard unsat detected" true (Dc.find w = None)
+
+(* ---------------- DRUP ---------------- *)
+
+let refute_with_log f =
+  let log = Drup.create () in
+  let s = Solver.create () in
+  Solver.set_drup s log;
+  Solver.ensure_vars s (Formula.num_vars f);
+  Formula.iter_clauses (fun i c -> Solver.add_clause ~id:i s c) f;
+  (Solver.solve s, log)
+
+let test_drup_php () =
+  for n = 2 to 4 do
+    let f = pigeonhole n in
+    let result, log = refute_with_log f in
+    Alcotest.(check bool) "refuted" true (result = Solver.Unsat);
+    Alcotest.(check bool) "events logged" true (Drup.num_events log > 0);
+    Alcotest.(check bool)
+      (Printf.sprintf "php %d proof checks" n)
+      true
+      (Drup.check ~require_empty:true f log)
+  done
+
+let test_drup_random () =
+  let st = Random.State.make [| 0xD4 |] in
+  let tested = ref 0 in
+  while !tested < 15 do
+    let f = random_formula st ~n_vars:8 ~n_clauses:40 ~max_len:3 in
+    let result, log = refute_with_log f in
+    if result = Solver.Unsat then begin
+      incr tested;
+      Alcotest.(check bool) "proof checks" true (Drup.check ~require_empty:true f log)
+    end
+  done
+
+let test_drup_sat_formula_no_empty () =
+  let f = formula_of_clauses 2 [ [ 1; 2 ]; [ -1; 2 ] ] in
+  let result, log = refute_with_log f in
+  Alcotest.(check bool) "sat" true (result = Solver.Sat);
+  (* Whatever was learnt must still be RUP-valid, but no refutation. *)
+  Alcotest.(check bool) "log valid" true (Drup.check f log);
+  Alcotest.(check bool) "no empty clause" false (Drup.check ~require_empty:true f log)
+
+let test_drup_rejects_bogus () =
+  let f = formula_of_clauses 2 [ [ 1; 2 ] ] in
+  let log = Drup.create () in
+  Drup.log_add log (clause [ -1 ]);
+  Alcotest.(check bool) "non-RUP addition rejected" false (Drup.check f log)
+
+let test_drup_deletion_then_use () =
+  (* Deleting a clause must actually remove it from the database: a
+     later addition depending on it must fail the check. *)
+  let f = formula_of_clauses 1 [ [ 1 ]; [ -1 ] ] in
+  let log = Drup.create () in
+  Drup.log_delete log (clause [ 1 ]);
+  Drup.log_add log [||];
+  Alcotest.(check bool) "empty clause no longer derivable" false (Drup.check f log)
+
+let test_drup_text_format () =
+  let log = Drup.create () in
+  Drup.log_add log (clause [ 1; -2 ]);
+  Drup.log_delete log (clause [ 1; -2 ]);
+  Drup.log_add log [||];
+  let text = Format.asprintf "%a" Drup.pp log in
+  Alcotest.(check string) "drup text" "1 -2 0\nd 1 -2 0\n0\n" text
+
+let prop_drup_valid_on_unsat =
+  QCheck.Test.make ~name:"drup proofs check on random refutations" ~count:30
+    QCheck.small_int
+    (fun seed ->
+      let st = Random.State.make [| seed; 0xD12 |] in
+      let f = random_formula st ~n_vars:7 ~n_clauses:35 ~max_len:3 in
+      let result, log = refute_with_log f in
+      match result with
+      | Solver.Unsat -> Drup.check ~require_empty:true f log
+      | _ -> Drup.check f log)
+
+
+(* ---------------- MCS enumeration ---------------- *)
+
+module Mcs = Msu_maxsat.Mcs
+
+let wcnf_of_soft_clauses n_vars soft =
+  let w = Wcnf.create () in
+  Wcnf.ensure_vars w n_vars;
+  List.iter (fun c -> ignore (Wcnf.add_soft w (clause c))) soft;
+  w
+
+let brute_mcses w =
+  (* All inclusion-minimal correction sets, by brute force. *)
+  let n = Wcnf.num_soft w in
+  let satisfiable_without set =
+    let sub = Wcnf.create () in
+    Wcnf.ensure_vars sub (Wcnf.num_vars w);
+    Wcnf.iter_hard (fun _ c -> Wcnf.add_hard sub c) w;
+    Wcnf.iter_soft (fun i c _ -> if not (List.mem i set) then Wcnf.add_hard sub c) w;
+    let s = Solver.create ~track_proof:false () in
+    Wcnf.iter_hard (fun _ c -> Solver.add_clause s c) sub;
+    Solver.ensure_vars s (Wcnf.num_vars sub);
+    Solver.solve s = Solver.Sat
+  in
+  let sets = ref [] in
+  for bits = 1 to (1 lsl n) - 1 do
+    let set = List.filter (fun i -> bits land (1 lsl i) <> 0) (List.init n Fun.id) in
+    if satisfiable_without set then begin
+      let minimal =
+        List.for_all (fun e -> not (satisfiable_without (List.filter (( <> ) e) set))) set
+      in
+      if minimal then sets := List.sort compare set :: !sets
+    end
+  done;
+  List.sort_uniq compare !sets
+
+let test_mcs_simple () =
+  (* x and -x: two singleton MCSes. *)
+  let w = wcnf_of_soft_clauses 1 [ [ 1 ]; [ -1 ] ] in
+  match Mcs.enumerate w with
+  | Some { mcses = [ a; b ]; complete = true } ->
+      Alcotest.(check (list (list int))) "both singletons" [ [ 0 ]; [ 1 ] ]
+        (List.sort compare [ List.sort compare a; List.sort compare b ])
+  | _ -> Alcotest.fail "expected exactly two MCSes"
+
+let test_mcs_satisfiable () =
+  let w = wcnf_of_soft_clauses 2 [ [ 1 ]; [ 2 ] ] in
+  match Mcs.enumerate w with
+  | Some { mcses = []; complete = true } -> ()
+  | _ -> Alcotest.fail "satisfiable instance has no non-empty MCS"
+
+let test_mcs_hard_unsat () =
+  let w = Wcnf.create () in
+  Wcnf.add_hard w (clause [ 1 ]);
+  Wcnf.add_hard w (clause [ -1 ]);
+  Alcotest.(check bool) "hard unsat" true (Mcs.enumerate w = None)
+
+let test_mcs_matches_brute () =
+  let st = Random.State.make [| 0x3C5 |] in
+  for _ = 1 to 20 do
+    let n_vars = 2 + Random.State.int st 4 in
+    let n_soft = 2 + Random.State.int st 5 in
+    let soft =
+      List.init n_soft (fun _ ->
+          List.init
+            (1 + Random.State.int st 2)
+            (fun _ ->
+              let v = 1 + Random.State.int st n_vars in
+              if Random.State.bool st then v else -v))
+    in
+    let w = wcnf_of_soft_clauses n_vars soft in
+    match Mcs.enumerate ~limit:1000 w with
+    | None -> Alcotest.fail "no hard clauses here"
+    | Some { mcses; complete } ->
+        Alcotest.(check bool) "complete" true complete;
+        let got = List.sort_uniq compare (List.map (List.sort compare) mcses) in
+        Alcotest.(check (list (list int))) "same MCS family" (brute_mcses w) got
+  done
+
+let test_mcs_first_is_maxsat_cost () =
+  let st = Random.State.make [| 0x3C6 |] in
+  for _ = 1 to 10 do
+    let f = random_formula st ~n_vars:6 ~n_clauses:18 ~max_len:3 in
+    let w = Wcnf.of_formula f in
+    let cost = match Wcnf.brute_force_min_cost w with Some c -> c | None -> 0 in
+    match Mcs.enumerate w with
+    | Some { mcses = first :: _; _ } ->
+        Alcotest.(check int) "smallest MCS = cost" cost (List.length first)
+    | Some { mcses = []; _ } -> Alcotest.(check int) "satisfiable" 0 cost
+    | None -> Alcotest.fail "no hard clauses"
+  done
+
+let test_mcs_hits_every_mus () =
+  (* Hitting-set duality: each MCS intersects each MUS. *)
+  let f = formula_of_clauses 3 [ [ 1 ]; [ -1 ] ; [ 2 ]; [ -2 ]; [ 1; 2; 3 ] ] in
+  let w = Wcnf.of_formula f in
+  match (Mcs.enumerate w, Mus.extract f) with
+  | Some { mcses; _ }, Some mus ->
+      Alcotest.(check bool) "some mcses" true (mcses <> []);
+      List.iter
+        (fun mcs ->
+          Alcotest.(check bool) "mcs hits mus" true
+            (List.exists (fun i -> List.mem i mus) mcs
+             || not (List.exists (fun i -> List.mem i mcs) mus)))
+        mcses
+  | _ -> Alcotest.fail "expected mcses and a mus"
+
+let suite =
+  [
+    Alcotest.test_case "mus of contradicting units" `Quick test_mus_units;
+    Alcotest.test_case "mus of pigeonhole" `Quick test_mus_pigeonhole;
+    Alcotest.test_case "mus of embedded kernel" `Quick test_mus_embedded;
+    Alcotest.test_case "mus of sat formula" `Quick test_mus_sat_formula;
+    Alcotest.test_case "mus minimality on random unsat" `Quick test_mus_random;
+    Alcotest.test_case "disjoint cores on php" `Quick test_disjoint_cores_php;
+    Alcotest.test_case "two disjoint cores" `Quick test_disjoint_cores_two;
+    Alcotest.test_case "disjoint core bound sound" `Quick test_disjoint_cores_bound_sound;
+    Alcotest.test_case "disjoint cores, hard unsat" `Quick test_disjoint_cores_hard_unsat;
+    Alcotest.test_case "drup on pigeonhole" `Quick test_drup_php;
+    Alcotest.test_case "drup on random refutations" `Quick test_drup_random;
+    Alcotest.test_case "drup on sat runs" `Quick test_drup_sat_formula_no_empty;
+    Alcotest.test_case "drup rejects bogus proofs" `Quick test_drup_rejects_bogus;
+    Alcotest.test_case "drup respects deletions" `Quick test_drup_deletion_then_use;
+    Alcotest.test_case "drup text format" `Quick test_drup_text_format;
+    QCheck_alcotest.to_alcotest prop_drup_valid_on_unsat;
+    Alcotest.test_case "mcs simple pair" `Quick test_mcs_simple;
+    Alcotest.test_case "mcs of satisfiable" `Quick test_mcs_satisfiable;
+    Alcotest.test_case "mcs hard unsat" `Quick test_mcs_hard_unsat;
+    Alcotest.test_case "mcs family matches brute force" `Quick test_mcs_matches_brute;
+    Alcotest.test_case "smallest mcs equals maxsat cost" `Quick
+      test_mcs_first_is_maxsat_cost;
+    Alcotest.test_case "mcs/mus duality" `Quick test_mcs_hits_every_mus;
+  ]

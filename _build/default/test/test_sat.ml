@@ -1,0 +1,276 @@
+module Solver = Msu_sat.Solver
+module Formula = Msu_cnf.Formula
+module Lit = Msu_cnf.Lit
+open Test_util
+
+let result : Solver.result Alcotest.testable =
+  Alcotest.testable
+    (fun ppf r ->
+      Format.pp_print_string ppf
+        (match r with Solver.Sat -> "Sat" | Solver.Unsat -> "Unsat" | Solver.Unknown -> "Unknown"))
+    ( = )
+
+let test_empty () =
+  let s = Solver.create () in
+  Alcotest.check result "empty is sat" Solver.Sat (Solver.solve s)
+
+let test_unit () =
+  let s = Solver.create () in
+  Solver.add_clause_l s [ lit 1 ];
+  Alcotest.check result "unit sat" Solver.Sat (Solver.solve s);
+  Alcotest.(check bool) "model sets var 0" true (Solver.model_value s 0)
+
+let test_contradiction () =
+  let s = Solver.create () in
+  Solver.add_clause_l ~id:0 s [ lit 1 ];
+  Solver.add_clause_l ~id:1 s [ lit (-1) ];
+  Alcotest.(check bool) "not okay" false (Solver.okay s);
+  Alcotest.check result "unsat" Solver.Unsat (Solver.solve s);
+  Alcotest.(check (list int)) "core is both clauses" [ 0; 1 ] (Solver.unsat_core s)
+
+let test_empty_clause () =
+  let s = Solver.create () in
+  Solver.add_clause_l ~id:7 s [];
+  Alcotest.check result "unsat" Solver.Unsat (Solver.solve s);
+  Alcotest.(check (list int)) "core is the empty clause" [ 7 ] (Solver.unsat_core s)
+
+let test_tautology_dropped () =
+  let s = Solver.create () in
+  Solver.add_clause_l s [ lit 1; lit (-1) ];
+  Alcotest.check result "tautology alone is sat" Solver.Sat (Solver.solve s)
+
+let test_simple_propagation_chain () =
+  let s = Solver.create () in
+  Solver.add_clause_l s [ lit 1 ];
+  Solver.add_clause_l s [ lit (-1); lit 2 ];
+  Solver.add_clause_l s [ lit (-2); lit 3 ];
+  Alcotest.check result "sat" Solver.Sat (Solver.solve s);
+  Alcotest.(check bool) "chain forces var 2" true (Solver.model_value s 2)
+
+let test_pigeonhole_unsat () =
+  for n = 2 to 5 do
+    let f = pigeonhole n in
+    let s = solver_of_formula f in
+    Alcotest.check result (Printf.sprintf "php %d unsat" n) Solver.Unsat (Solver.solve s);
+    (* The reported core must itself be unsatisfiable. *)
+    let core = Solver.unsat_core s in
+    Alcotest.(check bool) "core non-empty" true (core <> []);
+    let s' = Solver.create () in
+    Solver.ensure_vars s' (Formula.num_vars f);
+    List.iter (fun i -> Solver.add_clause s' (Formula.clause f i)) core;
+    Alcotest.check result
+      (Printf.sprintf "php %d core is unsat" n)
+      Solver.Unsat (Solver.solve s')
+  done
+
+let check_model_satisfies f s =
+  let model = Solver.model s in
+  Alcotest.(check int)
+    "model satisfies all clauses" (Formula.num_clauses f)
+    (Formula.count_satisfied f model)
+
+let test_random_vs_brute_force () =
+  let st = Random.State.make [| 0xC0FFEE |] in
+  for _round = 1 to 300 do
+    let n_vars = 3 + Random.State.int st 10 in
+    let n_clauses = 2 + Random.State.int st 45 in
+    let f = random_formula st ~n_vars ~n_clauses ~max_len:4 in
+    let s = solver_of_formula f in
+    let expected = brute_force_sat f in
+    match (Solver.solve s, expected) with
+    | Solver.Sat, Some _ -> check_model_satisfies f s
+    | Solver.Unsat, None -> ()
+    | Solver.Sat, None -> Alcotest.fail "solver said SAT, brute force says UNSAT"
+    | Solver.Unsat, Some _ -> Alcotest.fail "solver said UNSAT, brute force says SAT"
+    | Solver.Unknown, _ -> Alcotest.fail "unexpected Unknown without budget"
+  done
+
+let test_random_core_is_unsat () =
+  let st = Random.State.make [| 0xBEEF |] in
+  let tested = ref 0 in
+  let round = ref 0 in
+  while !tested < 40 && !round < 2000 do
+    incr round;
+    let f = random_formula st ~n_vars:8 ~n_clauses:40 ~max_len:3 in
+    let s = solver_of_formula f in
+    if Solver.solve s = Solver.Unsat then begin
+      incr tested;
+      let core = Solver.unsat_core s in
+      (* Rebuild a solver from just the core: must still be unsat. *)
+      let s' = Solver.create () in
+      Solver.ensure_vars s' (Formula.num_vars f);
+      List.iter (fun i -> Solver.add_clause s' (Formula.clause f i)) core;
+      Alcotest.check result "core refutes" Solver.Unsat (Solver.solve s')
+    end
+  done;
+  Alcotest.(check bool) "found unsat instances to test" true (!tested > 0)
+
+let test_assumptions_basic () =
+  let s = Solver.create () in
+  Solver.add_clause_l s [ lit (-1); lit 2 ];
+  Solver.add_clause_l s [ lit (-2); lit 3 ];
+  Alcotest.check result "sat under assumption" Solver.Sat
+    (Solver.solve ~assumptions:[| lit 1 |] s);
+  Alcotest.(check bool) "propagated var 2" true (Solver.model_value s 2);
+  (* Solver stays usable and is not permanently constrained. *)
+  Alcotest.check result "sat under opposite" Solver.Sat
+    (Solver.solve ~assumptions:[| lit (-1) |] s)
+
+let test_assumption_conflict () =
+  let s = Solver.create () in
+  Solver.add_clause_l s [ lit (-1); lit (-2) ];
+  Alcotest.check result "conflicting assumptions" Solver.Unsat
+    (Solver.solve ~assumptions:[| lit 1; lit 2 |] s);
+  let core = Solver.conflict_assumptions s in
+  Alcotest.(check bool) "conflict subset non-empty" true (core <> []);
+  Alcotest.(check bool)
+    "conflict lits drawn from the assumptions" true
+    (List.for_all (fun l -> Lit.to_dimacs l = 1 || Lit.to_dimacs l = 2) core)
+
+let test_contradictory_assumptions () =
+  let s = Solver.create () in
+  Solver.add_clause_l s [ lit 1; lit 2 ];
+  Alcotest.check result "a and not a" Solver.Unsat
+    (Solver.solve ~assumptions:[| lit 3; lit (-3) |] s);
+  let core = List.map Lit.to_dimacs (Solver.conflict_assumptions s) in
+  Alcotest.(check bool)
+    "core mentions the contradictory pair" true
+    (List.mem 3 core && List.mem (-3) core)
+
+let test_random_assumptions_vs_brute_force () =
+  let st = Random.State.make [| 0xABCD |] in
+  for _round = 1 to 200 do
+    let n_vars = 4 + Random.State.int st 6 in
+    let f = random_formula st ~n_vars ~n_clauses:(5 + Random.State.int st 20) ~max_len:3 in
+    let n_assumps = 1 + Random.State.int st 3 in
+    let assumptions =
+      Array.init n_assumps (fun _ ->
+          Lit.make (Random.State.int st n_vars) (Random.State.bool st))
+    in
+    let s = solver_of_formula f in
+    let got = Solver.solve ~assumptions s in
+    let expected = brute_force_sat ~assumptions f in
+    match (got, expected) with
+    | Solver.Sat, Some _ -> ()
+    | Solver.Unsat, None -> ()
+    | _ -> Alcotest.fail "assumption solve disagrees with brute force"
+  done
+
+let test_failed_assumptions_are_inconsistent () =
+  let st = Random.State.make [| 0x5EED |] in
+  let tested = ref 0 in
+  for _round = 1 to 400 do
+    let n_vars = 4 + Random.State.int st 5 in
+    let f = random_formula st ~n_vars ~n_clauses:(8 + Random.State.int st 16) ~max_len:3 in
+    let assumptions =
+      Array.init (1 + Random.State.int st 3) (fun _ ->
+          Lit.make (Random.State.int st n_vars) (Random.State.bool st))
+    in
+    let s = solver_of_formula f in
+    if Solver.solve ~assumptions s = Solver.Unsat && brute_force_sat f <> None then begin
+      incr tested;
+      let core = Array.of_list (Solver.conflict_assumptions s) in
+      (* The returned subset must itself be inconsistent with the formula. *)
+      Alcotest.(check bool)
+        "conflict subset inconsistent" true
+        (brute_force_sat ~assumptions:core f = None)
+    end
+  done;
+  Alcotest.(check bool) "exercised failed-assumption path" true (!tested > 0)
+
+let test_incremental_use () =
+  let s = Solver.create () in
+  Solver.add_clause_l s [ lit 1; lit 2 ];
+  Alcotest.check result "sat initially" Solver.Sat (Solver.solve s);
+  Solver.add_clause_l s [ lit (-1) ];
+  Alcotest.check result "still sat" Solver.Sat (Solver.solve s);
+  Alcotest.(check bool) "var 1 forced" true (Solver.model_value s 1);
+  Solver.add_clause_l s [ lit (-2) ];
+  Alcotest.check result "now unsat" Solver.Unsat (Solver.solve s);
+  Alcotest.check result "stays unsat" Solver.Unsat (Solver.solve s)
+
+let test_conflict_budget () =
+  let f = pigeonhole 7 in
+  let s = solver_of_formula f in
+  match Solver.solve ~conflict_budget:5 s with
+  | Solver.Unknown -> ()
+  | Solver.Unsat -> () (* fast machines may refute within the budget *)
+  | Solver.Sat -> Alcotest.fail "php cannot be sat"
+
+let test_deadline () =
+  let f = pigeonhole 9 in
+  let s = solver_of_formula f in
+  let t0 = Unix.gettimeofday () in
+  let r = Solver.solve ~deadline:(t0 +. 0.2) s in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Alcotest.(check bool) "respects the deadline" true (elapsed < 5.);
+  match r with
+  | Solver.Unknown | Solver.Unsat -> ()
+  | Solver.Sat -> Alcotest.fail "php cannot be sat"
+
+let test_stats_progress () =
+  let f = pigeonhole 4 in
+  let s = solver_of_formula f in
+  ignore (Solver.solve s);
+  let st = Solver.stats s in
+  Alcotest.(check bool) "some conflicts" true (st.Solver.conflicts > 0);
+  Alcotest.(check bool) "some propagations" true (st.Solver.propagations > 0)
+
+let test_duplicate_literals () =
+  let s = Solver.create () in
+  Solver.add_clause_l s [ lit 1; lit 1; lit 1 ];
+  Solver.add_clause_l s [ lit (-1); lit (-1) ];
+  Alcotest.check result "duplicates handled" Solver.Unsat (Solver.solve s)
+
+let test_core_tracks_only_tracked () =
+  let s = Solver.create () in
+  Solver.add_clause_l ~id:0 s [ lit 1 ];
+  Solver.add_clause_l s [ lit (-1); lit 2 ] (* untracked *);
+  Solver.add_clause_l ~id:2 s [ lit (-2) ];
+  Alcotest.check result "unsat" Solver.Unsat (Solver.solve s);
+  let core = Solver.unsat_core s in
+  Alcotest.(check bool) "core only tracked ids" true
+    (List.for_all (fun i -> i = 0 || i = 2) core)
+
+let prop_solver_agrees_with_brute_force =
+  QCheck.Test.make ~name:"cdcl agrees with brute force" ~count:150 QCheck.small_int
+    (fun seed ->
+      let st = Random.State.make [| seed; 17 |] in
+      let n_vars = 3 + Random.State.int st 8 in
+      let f =
+        random_formula st ~n_vars ~n_clauses:(3 + Random.State.int st 30) ~max_len:4
+      in
+      let s = solver_of_formula f in
+      match (Solver.solve s, brute_force_sat f) with
+      | Solver.Sat, Some _ ->
+          Formula.count_satisfied f (Solver.model s) = Formula.num_clauses f
+      | Solver.Unsat, None -> true
+      | _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "empty formula" `Quick test_empty;
+    Alcotest.test_case "single unit" `Quick test_unit;
+    Alcotest.test_case "contradicting units" `Quick test_contradiction;
+    Alcotest.test_case "empty clause" `Quick test_empty_clause;
+    Alcotest.test_case "tautology dropped" `Quick test_tautology_dropped;
+    Alcotest.test_case "propagation chain" `Quick test_simple_propagation_chain;
+    Alcotest.test_case "pigeonhole unsat with valid cores" `Quick test_pigeonhole_unsat;
+    Alcotest.test_case "random vs brute force" `Quick test_random_vs_brute_force;
+    Alcotest.test_case "random cores are unsat" `Quick test_random_core_is_unsat;
+    Alcotest.test_case "assumptions basic" `Quick test_assumptions_basic;
+    Alcotest.test_case "assumption conflict" `Quick test_assumption_conflict;
+    Alcotest.test_case "contradictory assumptions" `Quick test_contradictory_assumptions;
+    Alcotest.test_case "random assumptions vs brute force" `Quick
+      test_random_assumptions_vs_brute_force;
+    Alcotest.test_case "failed assumptions inconsistent" `Quick
+      test_failed_assumptions_are_inconsistent;
+    Alcotest.test_case "incremental solving" `Quick test_incremental_use;
+    Alcotest.test_case "conflict budget" `Quick test_conflict_budget;
+    Alcotest.test_case "deadline" `Quick test_deadline;
+    Alcotest.test_case "statistics progress" `Quick test_stats_progress;
+    Alcotest.test_case "duplicate literals" `Quick test_duplicate_literals;
+    Alcotest.test_case "core contains only tracked ids" `Quick
+      test_core_tracks_only_tracked;
+    QCheck_alcotest.to_alcotest prop_solver_agrees_with_brute_force;
+  ]

@@ -1,0 +1,124 @@
+module Simplify = Msu_sat.Simplify
+module Solver = Msu_sat.Solver
+module Formula = Msu_cnf.Formula
+module Lit = Msu_cnf.Lit
+open Test_util
+
+let solve f =
+  let s = Solver.create ~track_proof:false () in
+  Formula.iter_clauses (fun _ c -> Solver.add_clause s c) f;
+  Solver.solve s
+
+let test_unit_propagation () =
+  (* x1; -x1 | x2; -x2 | x3  ==> everything fixed, no clauses left. *)
+  let f = formula_of_clauses 3 [ [ 1 ]; [ -1; 2 ]; [ -2; 3 ] ] in
+  match Simplify.simplify f with
+  | None -> Alcotest.fail "satisfiable formula"
+  | Some r ->
+      Alcotest.(check int) "no clauses left" 0 (Formula.num_clauses r.Simplify.formula);
+      let m = r.Simplify.restore_model [||] in
+      Alcotest.(check bool) "x1" true m.(0);
+      Alcotest.(check bool) "x2" true m.(1);
+      Alcotest.(check bool) "x3" true m.(2)
+
+let test_contradiction_detected () =
+  let f = formula_of_clauses 1 [ [ 1 ]; [ -1 ] ] in
+  Alcotest.(check bool) "refuted at preprocessing" true (Simplify.simplify f = None)
+
+let test_subsumption () =
+  let f = formula_of_clauses 3 [ [ 1; 2 ]; [ 1; 2; 3 ]; [ 1; 2; -3 ] ] in
+  match Simplify.simplify f with
+  | None -> Alcotest.fail "satisfiable"
+  | Some r ->
+      Alcotest.(check bool) "clauses removed" true (r.Simplify.removed_clauses >= 2)
+
+let test_self_subsumption () =
+  (* (a|b) and (a|-b|c): resolving removes -b giving (a|c), which with
+     max_occ 0 (no elimination) still shows strengthening. *)
+  let f = formula_of_clauses 3 [ [ 1; 2 ]; [ 1; -2; 3 ]; [ -1; 2; 3 ]; [ -3; 1 ] ] in
+  match Simplify.simplify ~max_occ:0 f with
+  | None -> Alcotest.fail "satisfiable"
+  | Some r -> Alcotest.(check bool) "strengthened" true (r.Simplify.strengthened >= 1)
+
+let test_variable_elimination () =
+  (* v appears twice; resolvents replace its clauses. *)
+  let f = formula_of_clauses 3 [ [ 1; 2 ]; [ -1; 3 ] ] in
+  match Simplify.simplify f with
+  | None -> Alcotest.fail "satisfiable"
+  | Some r -> Alcotest.(check bool) "eliminated" true (r.Simplify.eliminated_vars >= 1)
+
+let check_equisatisfiable f =
+  match (Simplify.simplify f, solve f) with
+  | None, orig ->
+      Alcotest.(check bool) "refutation agrees with solver" true (orig = Solver.Unsat)
+  | Some r, orig -> (
+      let simplified = solve r.Simplify.formula in
+      match (simplified, orig) with
+      | Solver.Unsat, Solver.Unsat -> ()
+      | Solver.Sat, Solver.Sat ->
+          (* Restore a model and verify it satisfies the original. *)
+          let s = Solver.create ~track_proof:false () in
+          Formula.iter_clauses (fun _ c -> Solver.add_clause s c) r.Simplify.formula;
+          ignore (Solver.solve s);
+          let m = r.Simplify.restore_model (Solver.model s) in
+          Alcotest.(check int) "restored model satisfies original"
+            (Formula.num_clauses f)
+            (Formula.count_satisfied f m)
+      | _ -> Alcotest.failf "equisatisfiability violated")
+
+let test_random_equisatisfiable () =
+  let st = Random.State.make [| 0x51 |] in
+  for _ = 1 to 120 do
+    let n_vars = 3 + Random.State.int st 10 in
+    let f =
+      random_formula st ~n_vars ~n_clauses:(3 + Random.State.int st 40) ~max_len:4
+    in
+    check_equisatisfiable f
+  done
+
+let test_structured_equisatisfiable () =
+  check_equisatisfiable (pigeonhole 4);
+  let st = Random.State.make [| 0x52 |] in
+  let nl = Msu_circuit.Netlist.random st ~n_inputs:5 ~n_gates:40 ~n_outputs:2 in
+  check_equisatisfiable (Msu_gen.Equiv.miter_formula nl)
+
+let test_reduces_size () =
+  (* Tseitin CNF has many pure-structural variables: preprocessing
+     should shrink it substantially. *)
+  let st = Random.State.make [| 0x53 |] in
+  let nl = Msu_circuit.Netlist.random st ~n_inputs:6 ~n_gates:80 ~n_outputs:3 in
+  let f = Msu_gen.Equiv.miter_formula nl in
+  match Simplify.simplify f with
+  | None -> () (* even better: preprocessing refuted the miter outright *)
+  | Some r ->
+      Alcotest.(check bool) "fewer clauses" true
+        (Formula.num_clauses r.Simplify.formula < Formula.num_clauses f)
+
+let prop_equisatisfiable =
+  QCheck.Test.make ~name:"preprocessing preserves satisfiability" ~count:80
+    QCheck.small_int
+    (fun seed ->
+      let st = Random.State.make [| seed; 0x54 |] in
+      let f = random_formula st ~n_vars:8 ~n_clauses:25 ~max_len:3 in
+      match (Simplify.simplify f, brute_force_sat f) with
+      | None, None -> true
+      | None, Some _ -> false
+      | Some r, expected -> (
+          match (solve r.Simplify.formula, expected) with
+          | Solver.Sat, Some _ | Solver.Unsat, None -> true
+          | _ -> false))
+
+let suite =
+  [
+    Alcotest.test_case "unit propagation" `Quick test_unit_propagation;
+    Alcotest.test_case "contradiction detected" `Quick test_contradiction_detected;
+    Alcotest.test_case "subsumption" `Quick test_subsumption;
+    Alcotest.test_case "self-subsumption" `Quick test_self_subsumption;
+    Alcotest.test_case "variable elimination" `Quick test_variable_elimination;
+    Alcotest.test_case "random equisatisfiability + models" `Quick
+      test_random_equisatisfiable;
+    Alcotest.test_case "structured equisatisfiability" `Quick
+      test_structured_equisatisfiable;
+    Alcotest.test_case "shrinks tseitin CNF" `Quick test_reduces_size;
+    QCheck_alcotest.to_alcotest prop_equisatisfiable;
+  ]

@@ -1,0 +1,78 @@
+(* Shared helpers for the test suites. *)
+
+module Lit = Msu_cnf.Lit
+module Formula = Msu_cnf.Formula
+
+let lit d = Lit.of_dimacs d
+let clause ds = Array.of_list (List.map lit ds)
+
+let formula_of_clauses n_vars clauses =
+  let f = Formula.create () in
+  Formula.ensure_vars f n_vars;
+  List.iter (fun c -> ignore (Formula.add_clause f (clause c))) clauses;
+  f
+
+(* Deterministic random CNF generation. *)
+
+let random_clause st n_vars max_len =
+  let len = 1 + Random.State.int st max_len in
+  Array.init len (fun _ ->
+      let v = Random.State.int st n_vars in
+      Lit.make v (Random.State.bool st))
+
+let random_formula st ~n_vars ~n_clauses ~max_len =
+  let f = Formula.create () in
+  Formula.ensure_vars f n_vars;
+  for _ = 1 to n_clauses do
+    ignore (Formula.add_clause f (random_clause st n_vars max_len))
+  done;
+  f
+
+(* Reference satisfiability check by enumeration (small n only). *)
+
+let brute_force_sat ?(assumptions = [||]) f =
+  let n = Formula.num_vars f in
+  assert (n <= 22);
+  let model = Array.make (max n 1) false in
+  let ok = ref false in
+  let bits_max = (1 lsl n) - 1 in
+  let bits = ref 0 in
+  while (not !ok) && !bits <= bits_max do
+    for v = 0 to n - 1 do
+      model.(v) <- !bits land (1 lsl v) <> 0
+    done;
+    let assumps_ok =
+      Array.for_all
+        (fun l -> if Lit.sign l then model.(Lit.var l) else not model.(Lit.var l))
+        assumptions
+    in
+    if assumps_ok && Formula.count_satisfied f model = Formula.num_clauses f then ok := true
+    else incr bits
+  done;
+  if !ok then Some (Array.copy model) else None
+
+let solver_of_formula ?(track_proof = true) f =
+  let s = Msu_sat.Solver.create ~track_proof () in
+  Msu_sat.Solver.ensure_vars s (Formula.num_vars f);
+  Formula.iter_clauses (fun i c -> Msu_sat.Solver.add_clause ~id:i s c) f;
+  s
+
+(* Pigeonhole principle: n+1 pigeons in n holes, unsatisfiable. *)
+
+let pigeonhole n =
+  let f = Formula.create () in
+  let var p h = (p * n) + h in
+  Formula.ensure_vars f ((n + 1) * n);
+  for p = 0 to n do
+    ignore
+      (Formula.add_clause f (Array.init n (fun h -> Lit.pos (var p h))))
+  done;
+  for h = 0 to n - 1 do
+    for p1 = 0 to n do
+      for p2 = p1 + 1 to n do
+        ignore
+          (Formula.add_clause f [| Lit.neg_of (var p1 h); Lit.neg_of (var p2 h) |])
+      done
+    done
+  done;
+  f

@@ -1,0 +1,88 @@
+module Vec = Msu_cnf.Vec
+
+let test_push_pop () =
+  let v = Vec.create ~dummy:0 in
+  Alcotest.(check bool) "empty" true (Vec.is_empty v);
+  for i = 0 to 99 do
+    Vec.push v i
+  done;
+  Alcotest.(check int) "size" 100 (Vec.size v);
+  Alcotest.(check int) "get 42" 42 (Vec.get v 42);
+  Alcotest.(check int) "last" 99 (Vec.last v);
+  Alcotest.(check int) "pop" 99 (Vec.pop v);
+  Alcotest.(check int) "size after pop" 99 (Vec.size v)
+
+let test_bounds () =
+  let v = Vec.of_list ~dummy:0 [ 1; 2; 3 ] in
+  Alcotest.check_raises "get oob" (Invalid_argument "Vec.get") (fun () ->
+      ignore (Vec.get v 3));
+  Alcotest.check_raises "set oob" (Invalid_argument "Vec.set") (fun () -> Vec.set v 3 0);
+  Alcotest.check_raises "pop empty" (Invalid_argument "Vec.pop") (fun () ->
+      let e = Vec.create ~dummy:0 in
+      ignore (Vec.pop e))
+
+let test_shrink_clear () =
+  let v = Vec.of_list ~dummy:0 [ 1; 2; 3; 4; 5 ] in
+  Vec.shrink v 2;
+  Alcotest.(check (list int)) "shrunk" [ 1; 2 ] (Vec.to_list v);
+  Vec.clear v;
+  Alcotest.(check bool) "cleared" true (Vec.is_empty v)
+
+let test_swap_remove () =
+  let v = Vec.of_list ~dummy:0 [ 1; 2; 3; 4 ] in
+  Vec.swap_remove v 1;
+  Alcotest.(check (list int)) "swap removed" [ 1; 4; 3 ] (Vec.to_list v)
+
+let test_filter_in_place () =
+  let v = Vec.of_list ~dummy:0 [ 1; 2; 3; 4; 5; 6 ] in
+  Vec.filter_in_place (fun x -> x mod 2 = 0) v;
+  Alcotest.(check (list int)) "filtered" [ 2; 4; 6 ] (Vec.to_list v)
+
+let test_grow_to () =
+  let v = Vec.of_list ~dummy:0 [ 1 ] in
+  Vec.grow_to v 4 9;
+  Alcotest.(check (list int)) "grown" [ 1; 9; 9; 9 ] (Vec.to_list v)
+
+let test_sort_fold () =
+  let v = Vec.of_list ~dummy:0 [ 3; 1; 2 ] in
+  Vec.sort compare v;
+  Alcotest.(check (list int)) "sorted" [ 1; 2; 3 ] (Vec.to_list v);
+  Alcotest.(check int) "fold sum" 6 (Vec.fold ( + ) 0 v);
+  Alcotest.(check bool) "exists" true (Vec.exists (fun x -> x = 2) v);
+  Alcotest.(check bool) "for_all" false (Vec.for_all (fun x -> x > 1) v)
+
+let test_copy_independent () =
+  let v = Vec.of_list ~dummy:0 [ 1; 2 ] in
+  let w = Vec.copy v in
+  Vec.push w 3;
+  Alcotest.(check int) "original unchanged" 2 (Vec.size v);
+  Alcotest.(check int) "copy grown" 3 (Vec.size w)
+
+let prop_push_to_list =
+  QCheck.Test.make ~name:"vec push/to_list round trip" ~count:200
+    QCheck.(list int)
+    (fun l ->
+      let v = Vec.create ~dummy:0 in
+      List.iter (Vec.push v) l;
+      Vec.to_list v = l)
+
+let prop_of_array_to_array =
+  QCheck.Test.make ~name:"vec of_array/to_array round trip" ~count:200
+    QCheck.(array int)
+    (fun a ->
+      let v = Vec.of_array ~dummy:0 a in
+      Vec.to_array v = a)
+
+let suite =
+  [
+    Alcotest.test_case "push/pop" `Quick test_push_pop;
+    Alcotest.test_case "bounds checking" `Quick test_bounds;
+    Alcotest.test_case "shrink/clear" `Quick test_shrink_clear;
+    Alcotest.test_case "swap_remove" `Quick test_swap_remove;
+    Alcotest.test_case "filter_in_place" `Quick test_filter_in_place;
+    Alcotest.test_case "grow_to" `Quick test_grow_to;
+    Alcotest.test_case "sort/fold/exists" `Quick test_sort_fold;
+    Alcotest.test_case "copy independence" `Quick test_copy_independent;
+    QCheck_alcotest.to_alcotest prop_push_to_list;
+    QCheck_alcotest.to_alcotest prop_of_array_to_array;
+  ]
