@@ -27,6 +27,9 @@ let timeout = ref 2.0
 let seed = ref 42
 let out_dir = ref "results"
 let verbose = ref false
+let isolate = ref false
+let retries = ref 1
+let conflict_budget = ref 0
 let command = ref "all"
 
 let usage = "main.exe [COMMAND] [--scale S] [--timeout T] [--seed N] [--out DIR]"
@@ -38,6 +41,14 @@ let spec =
     ("--seed", Arg.Set_int seed, "suite generation seed (default 42)");
     ("--out", Arg.Set_string out_dir, "directory for CSV artifacts (default results/)");
     ("--verbose", Arg.Set verbose, "print one line per run");
+    ( "--isolate",
+      Arg.Set isolate,
+      "fork each run into its own process (a crash or hang costs one run, not the \
+       suite)" );
+    ("--retries", Arg.Set_int retries, "attempts per run; extras fire on crashes only");
+    ( "--conflicts",
+      Arg.Set_int conflict_budget,
+      "per-run SAT-conflict budget, 0 = unlimited (default 0)" );
   ]
 
 let ensure_out_dir () = if not (Sys.file_exists !out_dir) then Sys.mkdir !out_dir 0o755
@@ -63,17 +74,43 @@ let progress r =
       (M.algorithm_to_string r.R.algorithm)
       (match r.R.outcome with
       | R.Solved c -> Printf.sprintf "opt=%d" c
-      | R.Aborted -> "ABORTED"
+      | R.Aborted { why; lb; ub } ->
+          Printf.sprintf "ABORTED %s [%d, %s]"
+            (R.abort_reason_to_string why)
+            lb
+            (match ub with Some u -> string_of_int u | None -> "?")
       | R.Unsat_hard -> "hard-unsat")
       r.R.time
   else print_char '.';
   if not !verbose then flush stdout
 
+let suite_options () =
+  let retry =
+    { R.max_attempts = max 1 !retries; retry_conflict_budget = None }
+  in
+  let budget = if !conflict_budget > 0 then Some !conflict_budget else None in
+  (retry, budget)
+
+let print_breakdown runs =
+  let parts =
+    List.filter_map
+      (fun (cause, n) -> if n > 0 then Some (Printf.sprintf "%s %d" cause n) else None)
+      (R.aborted_breakdown runs)
+  in
+  if parts <> [] then
+    Printf.printf "  aborts by cause: %s\n%!" (String.concat ", " parts)
+
 let run_on suite_name instances algorithms =
-  Printf.printf "  running %d instances x %d algorithms (timeout %.1fs) "
-    (List.length instances) (List.length algorithms) !timeout;
-  let runs = R.run_suite ~progress ~timeout:!timeout ~algorithms instances in
+  Printf.printf "  running %d instances x %d algorithms (timeout %.1fs%s) "
+    (List.length instances) (List.length algorithms) !timeout
+    (if !isolate then ", isolated" else "");
+  let retry, budget = suite_options () in
+  let runs =
+    R.run_suite ~progress ~isolate:!isolate ~retry ?conflict_budget:budget
+      ~timeout:!timeout ~algorithms instances
+  in
   print_newline ();
+  print_breakdown runs;
   (match R.consistency_errors runs with
   | [] -> ()
   | errors ->
@@ -244,19 +281,18 @@ let ablation_wpm1 () =
   let instances = Suites.weighted_debugging ~scale:!scale ~seed:!seed () in
   let algorithms = [ M.Wpm1; M.Pbo_linear; M.Pbo_binary; M.Branch_bound ] in
   Printf.printf "\nAblation D - weighted debugging (cheapest repair) ";
-  let runs = R.run_suite ~progress ~timeout:!timeout ~algorithms instances in
+  let retry, budget = suite_options () in
+  let runs =
+    R.run_suite ~progress ~isolate:!isolate ~retry ?conflict_budget:budget
+      ~timeout:!timeout ~algorithms instances
+  in
   print_newline ();
+  print_breakdown runs;
   (match R.consistency_errors runs with
   | [] -> ()
   | errors -> List.iter (fun e -> Printf.printf "  CONSISTENCY ERROR: %s\n" e) errors);
   R.pp_aborted_table ~total:(List.length instances) Format.std_formatter
-    (List.map
-       (fun a ->
-         ( a,
-           List.length
-             (List.filter (fun r -> r.R.algorithm = a && r.R.outcome = R.Aborted) runs)
-         ))
-       algorithms);
+    (R.aborted_counts algorithms runs);
   write_file "ablation_wpm1_runs.csv" (Format.asprintf "%a" R.pp_runs_csv runs)
 
 (* ----- Bechamel micro-benchmarks: one Test.make per table/figure ----- *)

@@ -1,11 +1,21 @@
 (* msolve: command-line MaxSAT solver over DIMACS CNF / WCNF files.
 
    Output follows the MaxSAT-evaluation conventions: "o <cost>" lines
-   for the objective, an "s" status line, and a "v" model line. *)
+   for the objective, an "s" status line, and a "v" model line.
+
+   Exit codes (see the man page's EXIT STATUS): 0 proven optimum,
+   10 bounds only, 20 hard clauses unsatisfiable, 2 error (bad input,
+   crash, or failed --verify). *)
 
 module M = Msu_maxsat.Maxsat
 module T = Msu_maxsat.Types
+module Certify = Msu_maxsat.Certify
 module Card = Msu_card.Card
+
+let exit_optimum = 0
+let exit_bounds = 10
+let exit_hard_unsat = 20
+let exit_error = 2
 
 let enum_of_string name of_string all to_string s =
   match of_string s with
@@ -28,7 +38,8 @@ let encoding_conv =
         Card.encoding_to_string,
       fun ppf e -> Format.pp_print_string ppf (Card.encoding_to_string e) )
 
-let run file algorithm encoding timeout trace no_geq1 quiet incomplete =
+let run file algorithm encoding timeout conflicts propagations memory_mb verify
+    trace no_geq1 quiet incomplete =
   let w =
     try Ok (Msu_cnf.Dimacs.parse_wcnf_file file) with
     | Msu_cnf.Dimacs.Parse_error (line, msg) ->
@@ -38,17 +49,23 @@ let run file algorithm encoding timeout trace no_geq1 quiet incomplete =
   match w with
   | Error msg ->
       prerr_endline ("c error: " ^ msg);
-      2
+      exit_error
   | Ok w ->
       let deadline =
         match timeout with None -> infinity | Some t -> Unix.gettimeofday () +. t
       in
       let config =
         {
+          T.default_config with
           T.deadline;
           T.encoding;
           T.core_geq1 = not no_geq1;
           T.trace = (if trace then Some (fun m -> print_endline ("c " ^ m)) else None);
+          T.max_conflicts = conflicts;
+          T.max_propagations = propagations;
+          T.max_memory_words =
+            (* bytes -> words on a 64-bit runtime *)
+            Option.map (fun mb -> mb * 1024 * 1024 / 8) memory_mb;
         }
       in
       if not quiet then
@@ -58,7 +75,7 @@ let run file algorithm encoding timeout trace no_geq1 quiet incomplete =
           (Msu_cnf.Wcnf.num_soft w);
       let r =
         if incomplete then Msu_maxsat.Local_search.solve ~config w
-        else M.solve ~config algorithm w
+        else M.solve_supervised ~config algorithm w
       in
       if not quiet then
         Printf.printf "c stats: %d sat calls, %d cores, %d blocking vars, %.3fs\n"
@@ -76,19 +93,48 @@ let run file algorithm encoding timeout trace no_geq1 quiet incomplete =
             done;
             print_endline (Buffer.contents buf)
       in
-      (match r.T.outcome with
-      | T.Optimum cost ->
-          Printf.printf "o %d\n" cost;
-          print_endline "s OPTIMUM FOUND";
-          print_model ()
-      | T.Bounds { lb; ub } ->
-          (match ub with Some ub -> Printf.printf "o %d\n" ub | None -> ());
-          Printf.printf "c bounds: lb=%d ub=%s\n" lb
-            (match ub with Some u -> string_of_int u | None -> "?");
-          print_endline "s UNKNOWN";
-          print_model ()
-      | T.Hard_unsat -> print_endline "s UNSATISFIABLE");
-      0
+      let code =
+        match r.T.outcome with
+        | T.Optimum cost ->
+            Printf.printf "o %d\n" cost;
+            print_endline "s OPTIMUM FOUND";
+            print_model ();
+            exit_optimum
+        | T.Bounds { lb; ub } ->
+            (match ub with Some ub -> Printf.printf "o %d\n" ub | None -> ());
+            Printf.printf "c bounds: lb=%d ub=%s\n" lb
+              (match ub with Some u -> string_of_int u | None -> "?");
+            print_endline "s UNKNOWN";
+            print_model ();
+            exit_bounds
+        | T.Hard_unsat ->
+            print_endline "s UNSATISFIABLE";
+            exit_hard_unsat
+        | T.Crashed { reason; lb; ub } ->
+            (match ub with Some ub -> Printf.printf "o %d\n" ub | None -> ());
+            Printf.printf "c crashed: %s; bounds lb=%d ub=%s\n" reason lb
+              (match ub with Some u -> string_of_int u | None -> "?");
+            print_endline "s UNKNOWN";
+            print_model ();
+            exit_error
+      in
+      if verify then begin
+        let report = Certify.certify ~encoding w r in
+        if not quiet then
+          List.iter (fun c -> Printf.printf "c verify pass: %s\n" c)
+            report.Certify.passed;
+        List.iter (fun f -> Printf.printf "c verify FAIL: %s\n" f)
+          report.Certify.failures;
+        if Certify.ok report then begin
+          if not quiet then print_endline "c verify: result certified";
+          code
+        end
+        else begin
+          prerr_endline "c error: verification failed";
+          exit_error
+        end
+      end
+      else code
 
 open Cmdliner
 
@@ -119,6 +165,35 @@ let timeout =
     & opt (some float) None
     & info [ "t"; "timeout" ] ~docv:"SECONDS" ~doc:"Wall-clock budget.")
 
+let conflicts =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "conflicts" ] ~docv:"N"
+        ~doc:"Total SAT-conflict budget across all solver calls.")
+
+let propagations =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "propagations" ] ~docv:"N" ~doc:"Total unit-propagation budget.")
+
+let memory_mb =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "memory-mb" ] ~docv:"MB"
+        ~doc:"Live-heap budget in megabytes (checked against the GC's heap size).")
+
+let verify =
+  Arg.(
+    value & flag
+    & info [ "verify" ]
+        ~doc:
+          "Certify the result before exiting: re-cost the model, re-prove \
+           optimality on a fresh solver with a DRUP-checked refutation, and \
+           cross-check small instances by enumeration.  A failed check exits 2.")
+
 let trace = Arg.(value & flag & info [ "trace" ] ~doc:"Narrate iterations as comments.")
 
 let no_geq1 =
@@ -137,12 +212,24 @@ let incomplete =
           "Use the stochastic local-search solver instead of an exact algorithm \
            (reports an upper bound and a model, not a proven optimum).")
 
+let exits =
+  [
+    Cmd.Exit.info exit_optimum ~doc:"the optimum was found (s OPTIMUM FOUND).";
+    Cmd.Exit.info exit_bounds
+      ~doc:"a budget ran out; only bounds were established (s UNKNOWN).";
+    Cmd.Exit.info exit_hard_unsat
+      ~doc:"the hard clauses are unsatisfiable (s UNSATISFIABLE).";
+    Cmd.Exit.info exit_error
+      ~doc:"error: unreadable input, an internal crash, or a failed $(b,--verify).";
+  ]
+  @ List.filter (fun i -> Cmd.Exit.info_code i <> exit_optimum) Cmd.Exit.defaults
+
 let cmd =
   let doc = "MaxSAT solving with unsatisfiable cores (msu4 and friends)" in
   Cmd.v
-    (Cmd.info "msolve" ~version:"1.0" ~doc)
+    (Cmd.info "msolve" ~version:"1.0" ~doc ~exits)
     Term.(
-      const run $ file $ algorithm $ encoding $ timeout $ trace $ no_geq1 $ quiet
-      $ incomplete)
+      const run $ file $ algorithm $ encoding $ timeout $ conflicts $ propagations
+      $ memory_mb $ verify $ trace $ no_geq1 $ quiet $ incomplete)
 
 let () = exit (Cmd.eval' cmd)

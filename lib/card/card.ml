@@ -1,6 +1,22 @@
 module Lit = Msu_cnf.Lit
 
 type sink = Msu_cnf.Sink.t = { fresh_var : unit -> Lit.var; emit : Lit.t array -> unit }
+
+(* A sink that polls the guard on every emitted clause: encodings can be
+   quadratic (or worse) in their inputs and must not be able to starve a
+   deadline between SAT calls.  Guard.check is rate-limited internally,
+   so the per-clause overhead is a few integer compares. *)
+let guarded_sink g sink =
+  {
+    sink with
+    emit =
+      (fun c ->
+        Msu_guard.Guard.check g;
+        sink.emit c);
+  }
+
+let apply_guard guard sink =
+  match guard with None -> sink | Some g -> guarded_sink g sink
 type encoding = Bdd | Sortnet | Seqcounter | Totalizer | Binomial
 
 let encoding_to_string = function
@@ -271,7 +287,8 @@ let bdd_at_least sink lits k =
 (* Dispatch.                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let at_most sink enc lits k =
+let at_most ?guard sink enc lits k =
+  let sink = apply_guard guard sink in
   let n = Array.length lits in
   if k < 0 then sink.emit [||]
   else if k >= n then ()
@@ -284,7 +301,8 @@ let at_most sink enc lits k =
     | Sortnet -> sortnet_at_most sink lits k
     | Bdd -> bdd_at_most sink lits k
 
-let at_least sink enc lits k =
+let at_least ?guard sink enc lits k =
+  let sink = apply_guard guard sink in
   let n = Array.length lits in
   if k <= 0 then ()
   else if k > n then sink.emit [||]
@@ -297,9 +315,9 @@ let at_least sink enc lits k =
     | Sortnet -> sortnet_at_least sink lits k
     | Bdd -> bdd_at_least sink lits k
 
-let exactly sink enc lits k =
-  at_most sink enc lits k;
-  at_least sink enc lits k
+let exactly ?guard sink enc lits k =
+  at_most ?guard sink enc lits k;
+  at_least ?guard sink enc lits k
 
 let at_most_one sink lits =
   let n = Array.length lits in

@@ -31,17 +31,23 @@ val encoding_of_string : string -> encoding option
 val encoding_to_string : encoding -> string
 val all_encodings : encoding list
 
-val at_most : sink -> encoding -> Msu_cnf.Lit.t array -> int -> unit
+val guarded_sink : Msu_guard.Guard.t -> sink -> sink
+(** A sink that polls the guard on every emitted clause, so large
+    encodings cannot starve a deadline.
+    @raise Msu_guard.Guard.Interrupt from [emit] when the guard trips. *)
+
+val at_most : ?guard:Msu_guard.Guard.t -> sink -> encoding -> Msu_cnf.Lit.t array -> int -> unit
 (** [at_most sink enc lits k] constrains at most [k] of [lits] to be
     true.  [k >= length lits] emits nothing; [k = 0] emits unit
-    negations; [k < 0] emits the empty clause. *)
+    negations; [k < 0] emits the empty clause.  [guard] wraps the sink
+    with {!guarded_sink}. *)
 
-val at_least : sink -> encoding -> Msu_cnf.Lit.t array -> int -> unit
+val at_least : ?guard:Msu_guard.Guard.t -> sink -> encoding -> Msu_cnf.Lit.t array -> int -> unit
 (** [at_least sink enc lits k] — dual of {!at_most}.  [k <= 0] emits
     nothing; [k = length lits] emits positive units; [k > length lits]
     emits the empty clause. *)
 
-val exactly : sink -> encoding -> Msu_cnf.Lit.t array -> int -> unit
+val exactly : ?guard:Msu_guard.Guard.t -> sink -> encoding -> Msu_cnf.Lit.t array -> int -> unit
 
 val at_most_one : sink -> Msu_cnf.Lit.t array -> unit
 (** Pairwise at-most-one (no auxiliary variables). *)

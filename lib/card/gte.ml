@@ -40,7 +40,8 @@ let merge (sink : Msu_cnf.Sink.t) cap a b =
     a;
   out
 
-let build sink ~cap weighted =
+let build ?guard sink ~cap weighted =
+  let sink = match guard with None -> sink | Some g -> Card.guarded_sink g sink in
   check_inputs ~cap weighted;
   let leaf (l, w) = IntMap.singleton (min w cap) l in
   let rec tree lo hi =
@@ -62,12 +63,12 @@ let at_most_assumptions t k =
 let assert_at_most sink t k =
   List.iter (fun l -> sink.Msu_cnf.Sink.emit [| l |]) (at_most_assumptions t k)
 
-let at_most sink weighted k =
+let at_most ?guard sink weighted k =
   if k < 0 then sink.Msu_cnf.Sink.emit [||]
   else begin
     let total = Array.fold_left (fun acc (_, w) -> acc + w) 0 weighted in
     if k < total then begin
-      let t = build sink ~cap:(k + 1) weighted in
+      let t = build ?guard sink ~cap:(k + 1) weighted in
       assert_at_most sink t k
     end
   end

@@ -12,9 +12,11 @@
 
 type t
 
-val build : Msu_cnf.Sink.t -> cap:int -> (Msu_cnf.Lit.t * int) array -> t
+val build :
+  ?guard:Msu_guard.Guard.t -> Msu_cnf.Sink.t -> cap:int -> (Msu_cnf.Lit.t * int) array -> t
 (** [build sink ~cap weighted_lits] emits the merge clauses (upper-bound
-    direction).  Weights and [cap] must be positive.
+    direction).  Weights and [cap] must be positive.  [guard] wraps the
+    sink with {!Card.guarded_sink} so a blow-up cannot starve a deadline.
     @raise Invalid_argument otherwise. *)
 
 val outputs : t -> (int * Msu_cnf.Lit.t) list
@@ -31,7 +33,8 @@ val at_most_assumptions : t -> int -> Msu_cnf.Lit.t list
 val assert_at_most : Msu_cnf.Sink.t -> t -> int -> unit
 (** Emit the bound as unit clauses instead of assumptions. *)
 
-val at_most : Msu_cnf.Sink.t -> (Msu_cnf.Lit.t * int) array -> int -> unit
+val at_most :
+  ?guard:Msu_guard.Guard.t -> Msu_cnf.Sink.t -> (Msu_cnf.Lit.t * int) array -> int -> unit
 (** One-shot [build] (capped at [k+1]) plus {!assert_at_most}.  [k < 0]
     emits the empty clause; a bound at or above the total weight emits
     nothing. *)

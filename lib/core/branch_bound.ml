@@ -24,7 +24,7 @@ type t = {
   mutable best_model : bool array option;
   mutable nodes : int;
   mutable subsets : int; (* inconsistent subformulas found by the LB *)
-  deadline : float;
+  config : Types.config;
   mutable ticks : int;
   (* Scratch space for the unit-propagation lower bound. *)
   up_value : int array;
@@ -35,7 +35,7 @@ type t = {
   consumed : bool array; (* soft clauses used by an inconsistent subset *)
 }
 
-let create w deadline =
+let create w (config : Types.config) =
   let n_vars = Wcnf.num_vars w in
   let n_clauses = Wcnf.num_hard w + Wcnf.num_soft w in
   let clauses = Array.make n_clauses [||] in
@@ -81,7 +81,7 @@ let create w deadline =
     best_model = None;
     nodes = 0;
     subsets = 0;
-    deadline;
+    config;
     ticks = 0;
     up_value = Array.make (max n_vars 1) (-1);
     up_reason = Array.make (max n_vars 1) (-1);
@@ -93,10 +93,7 @@ let create w deadline =
 
 let check_deadline st =
   st.ticks <- st.ticks + 1;
-  if
-    st.ticks land 0xff = 0 && st.deadline < infinity
-    && Unix.gettimeofday () > st.deadline
-  then raise Deadline
+  if st.ticks land 0xff = 0 && Common.over_deadline st.config then raise Deadline
 
 let assign st v b =
   st.value.(v) <- (if b then 1 else 0);
@@ -371,7 +368,8 @@ let record_solution st =
     for v = 0 to st.n_vars - 1 do
       model.(v) <- st.value.(v) = 1
     done;
-    st.best_model <- Some model
+    st.best_model <- Some model;
+    Common.note_ub st.config cost (Some model)
   end
 
 let rec search st =
@@ -426,8 +424,9 @@ let greedy_seed st =
   undo_to st 0
 
 let solve ?(config = Types.default_config) w =
+  let config = Common.with_guard config in
   let t0 = Unix.gettimeofday () in
-  let st = create w config.deadline in
+  let st = create w config in
   let stats_of st =
     Types.
       {

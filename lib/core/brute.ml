@@ -1,6 +1,7 @@
 module Wcnf = Msu_cnf.Wcnf
 
 let solve ?(config = Types.default_config) w =
+  let config = Common.with_guard config in
   let t0 = Unix.gettimeofday () in
   let n = Wcnf.num_vars w in
   if n > 24 then invalid_arg "Brute.solve: too many variables";
@@ -18,7 +19,9 @@ let solve ?(config = Types.default_config) w =
     | Some c -> (
         match !best with
         | Some (b, _) when b <= c -> ()
-        | _ -> best := Some (c, Array.copy model)));
+        | _ ->
+            best := Some (c, Array.copy model);
+            Common.note_ub config c (Some model)));
     incr bits;
     if !bits land 0xfff = 0 && Common.over_deadline config then interrupted := true
   done;

@@ -1,0 +1,49 @@
+(** Independent certification of MaxSAT results.
+
+    A solver bug that misreports an optimum is worse than a crash: it
+    poisons every experiment downstream.  This pass re-derives each
+    claim with machinery as independent of the solving path as the repo
+    allows:
+
+    {ul
+    {- [Optimum c] — the model is re-costed against the original
+       formula; optimality is re-proved by refuting "cost <= c - 1" on a
+       {e fresh} solver whose refutation is then replayed under the
+       syntactic RUP checker ({!Msu_sat.Drup.check}); tiny instances are
+       additionally cross-checked by exhaustive enumeration.}
+    {- [Hard_unsat] — the hard clauses are re-refuted, DRUP-checked.}
+    {- [Bounds] / [Crashed] — bound ordering ([lb <= ub]) and, when a
+       model was salvaged, that its cost equals the reported [ub].}}
+
+    The probes run under a conflict budget; a probe that exhausts it is
+    reported as an {e inconclusive pass} (named "... (probe budget
+    out)"), never as a failure — certification degrades gracefully on
+    hard instances instead of hanging.
+
+    Armed {!Msu_guard.Fault.Drop_core_clause} hooks (tests only)
+    truncate the refutation log before replay, which a correct checker
+    must reject. *)
+
+type report = {
+  passed : string list;  (** checks that succeeded, in execution order *)
+  failures : string list;  (** each entry is ["check: explanation"] *)
+}
+
+val ok : report -> bool
+(** No failures.  An empty report (e.g. a [Bounds] outcome with no
+    model) is vacuously ok. *)
+
+val pp : Format.formatter -> report -> unit
+
+val certify :
+  ?encoding:Msu_card.Card.encoding ->
+  ?brute_limit:int ->
+  ?max_conflicts:int ->
+  Msu_cnf.Wcnf.t ->
+  Types.result ->
+  report
+(** [certify w result] checks [result] against the instance [w] it was
+    obtained from.  [encoding] (default [Sortnet]) is used for the
+    optimality probe's cardinality constraint; [brute_limit] (default
+    16) caps the variable count for the enumeration cross-check;
+    [max_conflicts] (default 200_000) bounds each probe solve. *)

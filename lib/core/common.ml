@@ -1,3 +1,6 @@
+module Guard = Msu_guard.Guard
+module Fault = Msu_guard.Fault
+
 let require_unit_weights w =
   let ok = ref true in
   Msu_cnf.Wcnf.iter_soft (fun _ _ weight -> if weight <> 1 then ok := false) w;
@@ -5,7 +8,36 @@ let require_unit_weights w =
     invalid_arg "this MaxSAT algorithm handles unit soft weights only (use stratification)"
 
 let over_deadline (cfg : Types.config) =
-  cfg.deadline < infinity && Unix.gettimeofday () > cfg.deadline
+  match cfg.guard with
+  | Some g -> Guard.poll g <> None
+  | None -> cfg.deadline < infinity && Unix.gettimeofday () > cfg.deadline
+
+let make_guard (cfg : Types.config) =
+  Guard.create ~deadline:cfg.deadline
+    ?max_conflicts:cfg.max_conflicts
+    ?max_propagations:cfg.max_propagations
+    ?max_memory_words:cfg.max_memory_words ()
+
+let guard (cfg : Types.config) =
+  match cfg.guard with Some g -> g | None -> make_guard cfg
+
+let with_guard (cfg : Types.config) =
+  match cfg.guard with
+  | Some _ -> cfg
+  | None -> { cfg with guard = Some (make_guard cfg) }
+
+let note_lb (cfg : Types.config) lb =
+  match cfg.progress with
+  | Some cell -> Guard.Progress.note_lb cell lb
+  | None -> ()
+
+let note_ub (cfg : Types.config) ub model =
+  (match cfg.progress with
+  | Some cell -> Guard.Progress.note_ub cell ub model
+  | None -> ());
+  (* Fault hook: a crash right after the first published bound exercises
+     the supervisor's partial-result salvage end to end. *)
+  if Fault.consume Fault.Crash_mid_solve then raise Stack_overflow
 
 let finish ~t0 ~stats outcome model =
   Types.{ outcome; model; stats; elapsed = Unix.gettimeofday () -. t0 }

@@ -5,6 +5,25 @@ val require_unit_weights : Msu_cnf.Wcnf.t -> unit
     unweighted algorithms of the paper call this up front. *)
 
 val over_deadline : Types.config -> bool
+(** Any budget breached — polls the shared guard when one is installed,
+    otherwise samples the clock against [deadline] directly. *)
+
+val make_guard : Types.config -> Msu_guard.Guard.t
+(** Fresh guard from the config's budget fields. *)
+
+val guard : Types.config -> Msu_guard.Guard.t
+(** The installed shared guard, or a fresh one from the budget fields. *)
+
+val with_guard : Types.config -> Types.config
+(** Ensure [cfg.guard] is populated (idempotent); called once at each
+    solve entry so every phase below polls the same guard. *)
+
+val note_lb : Types.config -> int -> unit
+(** Publish an improved lower bound to the shared progress cell. *)
+
+val note_ub : Types.config -> int -> bool array option -> unit
+(** Publish an improved upper bound (and its model) to the shared
+    progress cell. *)
 
 val finish :
   t0:float -> stats:Types.stats -> Types.outcome -> bool array option -> Types.result

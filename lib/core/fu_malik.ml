@@ -44,6 +44,7 @@ let build st =
 
 let run opts (config : Types.config) w =
   Common.require_unit_weights w;
+  let config = Common.with_guard config in
   let t0 = Unix.gettimeofday () in
   let st =
     {
@@ -63,7 +64,7 @@ let run opts (config : Types.config) w =
       finish (Types.Bounds { lb = !cost; ub = None }) None
     else begin
       Common.Tally.sat_call st.tally;
-      match Solver.solve ~deadline:config.deadline s with
+      match Solver.solve ~deadline:config.deadline ?guard:config.guard s with
       | Solver.Unknown -> finish (Types.Bounds { lb = !cost; ub = None }) None
       | Solver.Sat ->
           Common.trace config (fun () -> Printf.sprintf "SAT: optimum %d" !cost);
@@ -84,10 +85,13 @@ let run opts (config : Types.config) w =
               in
               opts.exactly_one (aux_sink st) (Array.of_list new_bs);
               incr cost;
+              Common.note_lb config !cost;
               Common.trace config (fun () ->
                   Printf.sprintf "UNSAT: core of %d soft clauses, cost now %d"
                     (List.length core) !cost);
               loop (build st))
     end
   in
-  loop (build st)
+  try loop (build st)
+  with Msu_guard.Guard.Interrupt _ ->
+    finish (Types.Bounds { lb = !cost; ub = None }) None

@@ -40,6 +40,8 @@ let solve ?(config = Types.default_config) ?(inner = fun ?config w -> Msu4.solve
     w =
   if not (is_bmo w) then
     invalid_arg "Lexico.solve: weights are not Boolean-multilevel (use Wpm1)";
+  (* One shared guard across every level's inner solve. *)
+  let config = Common.with_guard config in
   let t0 = Unix.gettimeofday () in
   let levels = levels w in
   (* Hard clauses accumulate level hardenings; fresh variables come from
@@ -73,7 +75,8 @@ let solve ?(config = Types.default_config) ?(inner = fun ?config w -> Msu4.solve
           b)
         idxs
     in
-    Card.at_most sink config.Types.encoding (Array.of_list blocks) bound
+    Card.at_most ?guard:config.Types.guard sink config.Types.encoding
+      (Array.of_list blocks) bound
   in
   let rec go levels total stats last_model =
     match levels with
@@ -95,6 +98,12 @@ let solve ?(config = Types.default_config) ?(inner = fun ?config w -> Msu4.solve
             (* Budget ran out inside a level: report what is proven. *)
             Common.finish ~t0 ~stats
               (Types.Bounds { lb = total + (weight * lb); ub = None })
+              None
+        | Types.Crashed { reason; lb; _ } ->
+            (* The inner solve died; scale its salvaged lower bound into
+               this level's weight like the Bounds case. *)
+            Common.finish ~t0 ~stats
+              (Types.Crashed { reason; lb = total + (weight * lb); ub = None })
               None)
   in
   match levels with

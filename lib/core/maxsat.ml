@@ -81,3 +81,50 @@ let solve ?(config = Types.default_config) algorithm w =
   | Brute -> Brute.solve ~config w
 
 let solve_formula ?config algorithm f = solve ?config algorithm (Msu_cnf.Wcnf.of_formula f)
+
+module G = Msu_guard.Guard
+module F = Msu_guard.Fault
+
+(* Apply armed result-corrupting faults (tests only): the certifier must
+   catch exactly these lies. *)
+let apply_faults r =
+  let r =
+    if F.consume F.Corrupt_model_bit then
+      match r.Types.model with
+      | Some m when Array.length m > 0 ->
+          let m = Array.copy m in
+          m.(0) <- not m.(0);
+          { r with Types.model = Some m }
+      | _ -> r
+    else r
+  in
+  if F.consume F.Flip_sat_answer then begin
+    let outcome =
+      match r.Types.outcome with
+      | Types.Optimum c when c > 0 -> Types.Optimum (c - 1)
+      | Types.Optimum _ -> Types.Hard_unsat
+      | Types.Hard_unsat -> Types.Optimum 0
+      | (Types.Bounds _ | Types.Crashed _) as o -> o
+    in
+    let model = match outcome with Types.Hard_unsat -> None | _ -> r.Types.model in
+    { r with Types.outcome; model }
+  end
+  else r
+
+let solve_supervised ?(config = Types.default_config) algorithm w =
+  let config = Common.with_guard config in
+  let config =
+    match config.Types.progress with
+    | Some _ -> config
+    | None -> { config with Types.progress = Some (G.Progress.create ()) }
+  in
+  let cell = match config.Types.progress with Some c -> c | None -> assert false in
+  let t0 = Unix.gettimeofday () in
+  match G.supervise (fun () -> solve ~config algorithm w) with
+  | Ok r -> apply_faults r
+  | Error reason ->
+      (* The solve died; report the bounds it published before crashing. *)
+      Common.finish ~t0 ~stats:Types.empty_stats
+        (Types.Crashed
+           { reason; lb = G.Progress.lb cell; ub = G.Progress.ub cell })
+        (G.Progress.model cell)

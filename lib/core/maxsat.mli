@@ -45,3 +45,13 @@ val solve :
 val solve_formula :
   ?config:Types.config -> algorithm -> Msu_cnf.Formula.t -> Types.result
 (** Plain MaxSAT: every clause of the CNF formula is soft. *)
+
+val solve_supervised :
+  ?config:Types.config -> algorithm -> Msu_cnf.Wcnf.t -> Types.result
+(** {!solve} under {!Msu_guard.Guard.supervise}: installs a shared guard
+    and progress cell, and converts [Stack_overflow], [Out_of_memory],
+    or any unexpected exception into a [Crashed] outcome carrying the
+    best bounds (and model) the algorithm published before dying.
+    Budget interrupts still surface as [Bounds] and caller errors
+    ([Invalid_argument]) still raise.  Armed {!Msu_guard.Fault} hooks
+    (tests only) corrupt the result here, downstream of the solve. *)

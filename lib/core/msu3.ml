@@ -44,11 +44,13 @@ let build st =
             Solver.add_clause s c);
       }
   in
-  Card.at_most sink st.config.encoding (Array.of_list st.vb) st.lambda;
+  Card.at_most ?guard:st.config.Types.guard sink st.config.encoding
+    (Array.of_list st.vb) st.lambda;
   s
 
 let solve ?(config = Types.default_config) w =
   Common.require_unit_weights w;
+  let config = Common.with_guard config in
   let t0 = Unix.gettimeofday () in
   let st =
     {
@@ -70,7 +72,7 @@ let solve ?(config = Types.default_config) w =
       finish (Types.Bounds { lb = st.lambda; ub = None }) None
     else begin
       Common.Tally.sat_call st.tally;
-      match Solver.solve ~deadline:config.deadline s with
+      match Solver.solve ~deadline:config.deadline ?guard:config.guard s with
       | Solver.Unknown -> finish (Types.Bounds { lb = st.lambda; ub = None }) None
       | Solver.Sat ->
           Common.trace config (fun () -> Printf.sprintf "SAT: optimum %d" st.lambda);
@@ -94,10 +96,13 @@ let solve ?(config = Types.default_config) w =
                   Common.Tally.blocking_var st.tally)
                 core;
               st.lambda <- st.lambda + 1;
+              Common.note_lb config st.lambda;
               Common.trace config (fun () ->
                   Printf.sprintf "UNSAT: %d newly relaxed, lambda now %d"
                     (List.length core) st.lambda);
               loop (build st))
     end
   in
-  loop (build st)
+  try loop (build st)
+  with Msu_guard.Guard.Interrupt _ ->
+    finish (Types.Bounds { lb = st.lambda; ub = None }) None

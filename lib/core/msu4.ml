@@ -46,10 +46,13 @@ let sink_of st s =
 
 let encode_bounds st s =
   let sink = sink_of st s in
+  let guard = st.config.Types.guard in
   (match st.at_most with
-  | Some (lits, k) -> Card.at_most sink st.config.encoding lits k
+  | Some (lits, k) -> Card.at_most ?guard sink st.config.encoding lits k
   | None -> ());
-  List.iter (fun (lits, k) -> Card.at_least sink st.config.encoding lits k) st.at_least
+  List.iter
+    (fun (lits, k) -> Card.at_least ?guard sink st.config.encoding lits k)
+    st.at_least
 
 (* Build phi_W from scratch: hard clauses, soft clauses in their current
    (possibly relaxed) form, and the recorded cardinality constraints.
@@ -77,6 +80,7 @@ let bounds_outcome st =
 
 let solve ?(config = Types.default_config) w =
   Common.require_unit_weights w;
+  let config = Common.with_guard config in
   let t0 = Unix.gettimeofday () in
   let st =
     {
@@ -101,7 +105,7 @@ let solve ?(config = Types.default_config) w =
     if Common.over_deadline config then finish (bounds_outcome st)
     else begin
       Common.Tally.sat_call st.tally;
-      match Solver.solve ~deadline:config.deadline s with
+      match Solver.solve ~deadline:config.deadline ?guard:config.guard s with
       | Solver.Unknown -> finish (bounds_outcome st)
       | Solver.Sat ->
           let model = Solver.model s in
@@ -116,7 +120,8 @@ let solve ?(config = Types.default_config) w =
                 (lower_bound st));
           if cost < st.ub then begin
             st.ub <- cost;
-            st.best_model <- Some model
+            st.best_model <- Some model;
+            Common.note_ub config cost (Some model)
           end;
           if st.ub = 0 || st.unsat_iters >= st.ub then finish (Types.Optimum st.ub)
           else begin
@@ -135,6 +140,7 @@ let solve ?(config = Types.default_config) w =
           | core ->
               Common.Tally.core st.tally;
               st.unsat_iters <- st.unsat_iters + 1;
+              Common.note_lb config (lower_bound st);
               let new_bs =
                 List.map
                   (fun i ->
@@ -162,7 +168,10 @@ let solve ?(config = Types.default_config) w =
     match st.at_most with
     | Some (lits, k) ->
         let sink = sink_of st s in
-        Card.at_most sink st.config.encoding lits k
+        Card.at_most ?guard:st.config.Types.guard sink st.config.encoding lits k
     | None -> ()
   in
-  loop (build st)
+  (* The guard can trip inside [build]/[encode_bounds] (the guarded sink
+     raises), not just between SAT calls: salvage the current bounds. *)
+  try loop (build st)
+  with Msu_guard.Guard.Interrupt _ -> finish (bounds_outcome st)

@@ -26,6 +26,10 @@ let tally_sink tally s =
 
 let solve ?(config = Types.default_config) w =
   Common.require_unit_weights w;
+  let config = Common.with_guard config in
+  let guarded sink =
+    match config.Types.guard with None -> sink | Some g -> Card.guarded_sink g sink
+  in
   let t0 = Unix.gettimeofday () in
   let tally = Common.Tally.create () in
   let s = Solver.create ~track_proof:false () in
@@ -51,7 +55,7 @@ let solve ?(config = Types.default_config) w =
       let assumptions =
         Array.of_seq (Seq.map fst (Hashtbl.to_seq active))
       in
-      match Solver.solve ~assumptions ~deadline:config.deadline s with
+      match Solver.solve ~assumptions ~deadline:config.deadline ?guard:config.guard s with
       | Solver.Unknown -> finish (Types.Bounds { lb = !lb; ub = None }) None
       | Solver.Sat ->
           Common.trace config (fun () -> Printf.sprintf "SAT: optimum %d" !lb);
@@ -62,6 +66,7 @@ let solve ?(config = Types.default_config) w =
           | core ->
               Common.Tally.core tally;
               incr lb;
+              Common.note_lb config !lb;
               (* Retire the core's assumptions; collect the violation
                  indicators they were guarding. *)
               let indicators =
@@ -92,7 +97,8 @@ let solve ?(config = Types.default_config) w =
               | [] | [ _ ] -> ()
               | _ ->
                   let tree =
-                    Card.Totalizer_tree.build (tally_sink tally s)
+                    Card.Totalizer_tree.build
+                      (guarded (tally_sink tally s))
                       (Array.of_list indicators)
                   in
                   let outs = Card.Totalizer_tree.outputs tree in
@@ -101,4 +107,5 @@ let solve ?(config = Types.default_config) w =
               loop ())
     end
   in
-  loop ()
+  try loop ()
+  with Msu_guard.Guard.Interrupt _ -> finish (Types.Bounds { lb = !lb; ub = None }) None

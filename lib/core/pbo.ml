@@ -34,9 +34,10 @@ let build_relaxed tally w =
    minisat+ path the paper used), generalized totalizer otherwise. *)
 let constrain_below config tally s blocks cost =
   let sink = tally_sink tally s in
+  let guard = config.Types.guard in
   if Array.for_all (fun (_, w) -> w = 1) blocks then
-    Card.at_most sink config.Types.encoding (Array.map fst blocks) (cost - 1)
-  else Gte.at_most sink blocks (cost - 1)
+    Card.at_most ?guard sink config.Types.encoding (Array.map fst blocks) (cost - 1)
+  else Gte.at_most ?guard sink blocks (cost - 1)
 
 let linear config tally w t0 =
   let s, blocks = build_relaxed tally w in
@@ -48,7 +49,7 @@ let linear config tally w t0 =
     if Common.over_deadline config then bounds ()
     else begin
       Common.Tally.sat_call tally;
-      match Solver.solve ~deadline:config.deadline s with
+      match Solver.solve ~deadline:config.deadline ?guard:config.Types.guard s with
       | Solver.Unknown -> bounds ()
       | Solver.Unsat -> (
           match !best with
@@ -61,6 +62,7 @@ let linear config tally w t0 =
           in
           Common.trace config (fun () -> Printf.sprintf "SAT: cost %d" cost);
           best := Some (cost, model);
+          Common.note_ub config cost (Some model);
           if cost = 0 then finish (Types.Optimum 0) (Some model)
           else begin
             constrain_below config tally s blocks cost;
@@ -73,7 +75,7 @@ let linear config tally w t0 =
     | Some (cost, model) ->
         finish (Types.Bounds { lb = 0; ub = Some cost }) (Some model)
   in
-  loop ()
+  try loop () with Msu_guard.Guard.Interrupt _ -> bounds ()
 
 let binary config tally w t0 =
   let s, blocks = build_relaxed tally w in
@@ -100,13 +102,15 @@ let binary config tally w t0 =
                 let cap =
                   match !best with Some (c, _) -> max c 1 | None -> assert false
                 in
-                let g = Gte.build (tally_sink tally s) ~cap blocks in
+                let g =
+                  Gte.build ?guard:config.Types.guard (tally_sink tally s) ~cap blocks
+                in
                 counter := Some g;
                 g
           in
           Array.of_list (Gte.at_most_assumptions gte k)
     in
-    Solver.solve ~assumptions ~deadline s
+    Solver.solve ~assumptions ~deadline ?guard:config.Types.guard s
   in
   let rec loop () =
     let hi = match !best with Some (c, _) -> c | None -> max_int in
@@ -130,7 +134,9 @@ let binary config tally w t0 =
                 cost);
           (match !best with
           | Some (c, _) when c <= cost -> ()
-          | _ -> best := Some (cost, model));
+          | _ ->
+              best := Some (cost, model);
+              Common.note_ub config cost (Some model));
           loop ()
       | Solver.Unsat -> (
           match probe with
@@ -138,6 +144,7 @@ let binary config tally w t0 =
           | Some p ->
               Common.trace config (fun () -> Printf.sprintf "UNSAT at bound %d" p);
               lo := p + 1;
+              Common.note_lb config !lo;
               loop ())
     end
   and bounds () =
@@ -145,9 +152,10 @@ let binary config tally w t0 =
     | None -> finish (Types.Bounds { lb = !lo; ub = None }) None
     | Some (c, m) -> finish (Types.Bounds { lb = !lo; ub = Some c }) (Some m)
   in
-  loop ()
+  try loop () with Msu_guard.Guard.Interrupt _ -> bounds ()
 
 let solve ?(config = Types.default_config) ?(search = `Linear) w =
+  let config = Common.with_guard config in
   let t0 = Unix.gettimeofday () in
   let tally = Common.Tally.create () in
   match search with

@@ -2,6 +2,7 @@ type outcome =
   | Optimum of int
   | Bounds of { lb : int; ub : int option }
   | Hard_unsat
+  | Crashed of { reason : string; lb : int; ub : int option }
 
 type stats = {
   sat_calls : int;
@@ -19,17 +20,27 @@ type result = {
 
 type config = {
   deadline : float;
+  max_conflicts : int option;
+  max_propagations : int option;
+  max_memory_words : int option;
   encoding : Msu_card.Card.encoding;
   core_geq1 : bool;
   trace : (string -> unit) option;
+  guard : Msu_guard.Guard.t option;
+  progress : Msu_guard.Guard.Progress.cell option;
 }
 
 let default_config =
   {
     deadline = infinity;
+    max_conflicts = None;
+    max_propagations = None;
+    max_memory_words = None;
     encoding = Msu_card.Card.Sortnet;
     core_geq1 = true;
     trace = None;
+    guard = None;
+    progress = None;
   }
 
 let empty_stats = { sat_calls = 0; cores = 0; blocking_vars = 0; encoding_clauses = 0 }
@@ -37,20 +48,25 @@ let empty_stats = { sat_calls = 0; cores = 0; blocking_vars = 0; encoding_clause
 let max_satisfied w r =
   match r.outcome with
   | Optimum cost -> Some (Msu_cnf.Wcnf.total_soft_weight w - cost)
-  | Bounds _ | Hard_unsat -> None
+  | Bounds _ | Hard_unsat | Crashed _ -> None
 
 let verify_model w r =
   match (r.model, r.outcome) with
   | None, _ -> true
   | Some model, Optimum cost -> Msu_cnf.Wcnf.cost_of_model w model = Some cost
-  | Some model, Bounds { ub = Some ub; _ } -> Msu_cnf.Wcnf.cost_of_model w model = Some ub
-  | Some _, (Bounds { ub = None; _ } | Hard_unsat) -> false
+  | Some model, (Bounds { ub = Some ub; _ } | Crashed { ub = Some ub; _ }) ->
+      Msu_cnf.Wcnf.cost_of_model w model = Some ub
+  | Some _, (Bounds { ub = None; _ } | Crashed { ub = None; _ } | Hard_unsat) -> false
 
 let pp_outcome ppf = function
   | Optimum c -> Format.fprintf ppf "optimum %d" c
   | Bounds { lb; ub = Some ub } -> Format.fprintf ppf "bounds [%d, %d]" lb ub
   | Bounds { lb; ub = None } -> Format.fprintf ppf "bounds [%d, ?]" lb
   | Hard_unsat -> Format.pp_print_string ppf "hard clauses unsatisfiable"
+  | Crashed { reason; lb; ub = Some ub } ->
+      Format.fprintf ppf "crashed (%s) at bounds [%d, %d]" reason lb ub
+  | Crashed { reason; lb; ub = None } ->
+      Format.fprintf ppf "crashed (%s) at bounds [%d, ?]" reason lb
 
 let pp_result ppf r =
   Format.fprintf ppf "%a (%.3fs, %d SAT calls, %d cores, %d blocking vars)" pp_outcome

@@ -11,6 +11,9 @@ type outcome =
       (** budget ran out; [lb <= cost <= ub] ([ub = None] when no model
           was found yet) *)
   | Hard_unsat  (** the hard clauses alone are unsatisfiable *)
+  | Crashed of { reason : string; lb : int; ub : int option }
+      (** the solve died ([Stack_overflow], [Out_of_memory], a bug…) but
+          the supervisor salvaged the bounds published before the crash *)
 
 type stats = {
   sat_calls : int;  (** number of SAT-solver invocations *)
@@ -31,17 +34,29 @@ type config = {
   deadline : float;
       (** absolute timestamp ([Unix.gettimeofday] scale); [infinity] for
           no limit *)
+  max_conflicts : int option;
+      (** total SAT-conflict budget across all calls of the solve *)
+  max_propagations : int option;  (** total unit-propagation budget *)
+  max_memory_words : int option;
+      (** live-heap budget, in OCaml heap words ({!Gc.quick_stat}) *)
   encoding : Msu_card.Card.encoding;
       (** cardinality encoding: [Bdd] gives msu4-v1, [Sortnet] msu4-v2 *)
   core_geq1 : bool;
       (** msu4's optional "at least one new blocking variable" constraint
           (Algorithm 1, line 19) *)
   trace : (string -> unit) option;  (** per-iteration narration *)
+  guard : Msu_guard.Guard.t option;
+      (** pre-built guard to poll instead of deriving one from the budget
+          fields; lets a harness share one guard across a whole solve and
+          read its tripped reason afterwards *)
+  progress : Msu_guard.Guard.Progress.cell option;
+      (** shared cell where algorithms publish every improved bound, so a
+          crash still surfaces the work done so far *)
 }
 
 val default_config : config
-(** No deadline, [Sortnet] encoding (the paper's stronger v2),
-    [core_geq1 = true], no trace. *)
+(** No deadline or budgets, [Sortnet] encoding (the paper's stronger
+    v2), [core_geq1 = true], no trace, no shared guard. *)
 
 val empty_stats : stats
 val max_satisfied : Msu_cnf.Wcnf.t -> result -> int option

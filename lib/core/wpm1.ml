@@ -45,6 +45,7 @@ let build st =
   s
 
 let solve ?(config = Types.default_config) w =
+  let config = Common.with_guard config in
   let t0 = Unix.gettimeofday () in
   let st =
     {
@@ -67,7 +68,7 @@ let solve ?(config = Types.default_config) w =
       finish (Types.Bounds { lb = !cost; ub = None }) None
     else begin
       Common.Tally.sat_call st.tally;
-      match Solver.solve ~deadline:config.deadline s with
+      match Solver.solve ~deadline:config.deadline ?guard:config.guard s with
       | Solver.Unknown -> finish (Types.Bounds { lb = !cost; ub = None }) None
       | Solver.Sat ->
           Common.trace config (fun () -> Printf.sprintf "SAT: optimum %d" !cost);
@@ -104,10 +105,13 @@ let solve ?(config = Types.default_config) w =
               in
               Msu_card.Card.exactly_one (aux_sink st) (Array.of_list new_bs);
               cost := !cost + wmin;
+              Common.note_lb config !cost;
               Common.trace config (fun () ->
                   Printf.sprintf "UNSAT: core of %d softs, wmin %d, cost now %d"
                     (List.length core) wmin !cost);
               loop (build st))
     end
   in
-  loop (build st)
+  try loop (build st)
+  with Msu_guard.Guard.Interrupt _ ->
+    finish (Types.Bounds { lb = !cost; ub = None }) None

@@ -1,0 +1,12 @@
+type kind = Corrupt_model_bit | Flip_sat_answer | Drop_core_clause | Crash_mid_solve
+
+let registry : (kind, unit) Hashtbl.t = Hashtbl.create 4
+let arm k = Hashtbl.replace registry k ()
+let disarm k = Hashtbl.remove registry k
+let disarm_all () = Hashtbl.reset registry
+let armed k = Hashtbl.mem registry k
+
+let consume k =
+  let a = armed k in
+  if a then disarm k;
+  a

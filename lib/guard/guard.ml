@@ -1,0 +1,122 @@
+type reason = Timeout | Conflicts | Propagations | Memory
+
+let reason_to_string = function
+  | Timeout -> "timeout"
+  | Conflicts -> "conflict budget"
+  | Propagations -> "propagation budget"
+  | Memory -> "memory budget"
+
+exception Interrupt of reason
+
+type t = {
+  deadline : float;
+  max_conflicts : int;
+  max_propagations : int;
+  max_memory_words : int;
+  mutable conflicts : int;
+  mutable propagations : int;
+  mutable polls : int;
+  mutable tripped : reason option;
+}
+
+let create ?(deadline = infinity) ?(max_conflicts = max_int)
+    ?(max_propagations = max_int) ?(max_memory_words = max_int) () =
+  {
+    deadline;
+    max_conflicts;
+    max_propagations;
+    max_memory_words;
+    conflicts = 0;
+    propagations = 0;
+    polls = 0;
+    tripped = None;
+  }
+
+let unlimited () = create ()
+let add_conflicts g n = g.conflicts <- g.conflicts + n
+let add_propagations g n = g.propagations <- g.propagations + n
+let trip g r = if g.tripped = None then g.tripped <- Some r
+let tripped g = g.tripped
+let conflicts g = g.conflicts
+let propagations g = g.propagations
+
+let remaining_conflicts g =
+  if g.max_conflicts = max_int then None else Some (max 0 (g.max_conflicts - g.conflicts))
+
+let time_left g =
+  if g.deadline = infinity then infinity else g.deadline -. Unix.gettimeofday ()
+
+let over_deadline g = g.deadline < infinity && Unix.gettimeofday () > g.deadline
+
+let over_memory g =
+  (* quick_stat reads counters without walking the heap, so it is cheap
+     enough for a sampled poll (unlike Gc.stat). *)
+  g.max_memory_words < max_int && (Gc.quick_stat ()).Gc.heap_words > g.max_memory_words
+
+let counters_breached g =
+  if g.conflicts > g.max_conflicts then Some Conflicts
+  else if g.propagations > g.max_propagations then Some Propagations
+  else None
+
+let breached g =
+  match g.tripped with
+  | Some _ as r -> r
+  | None ->
+      let r =
+        match counters_breached g with
+        | Some _ as r -> r
+        | None ->
+            if over_deadline g then Some Timeout
+            else if over_memory g then Some Memory
+            else None
+      in
+      (match r with Some reason -> trip g reason | None -> ());
+      g.tripped
+
+let poll g =
+  match g.tripped with
+  | Some _ as r -> r
+  | None -> (
+      g.polls <- g.polls + 1;
+      match counters_breached g with
+      | Some reason ->
+          trip g reason;
+          g.tripped
+      | None ->
+          if g.polls land 0x3f = 0 && over_deadline g then trip g Timeout
+          else if g.polls land 0xff = 0 && over_memory g then trip g Memory;
+          g.tripped)
+
+let check g = match poll g with None -> () | Some r -> raise (Interrupt r)
+
+module Progress = struct
+  type cell = {
+    mutable lb : int;
+    mutable ub : int option;
+    mutable model : bool array option;
+  }
+
+  let create () = { lb = 0; ub = None; model = None }
+  let note_lb c lb = if lb > c.lb then c.lb <- lb
+
+  let note_ub c ub model =
+    let better = match c.ub with None -> true | Some u -> ub < u in
+    if better then begin
+      c.ub <- Some ub;
+      match model with
+      | Some m -> c.model <- Some (Array.copy m)
+      | None -> ()
+    end
+
+  let lb c = c.lb
+  let ub c = c.ub
+  let model c = c.model
+end
+
+let supervise f =
+  try Ok (f ()) with
+  | (Interrupt _ | Invalid_argument _) as e -> raise e
+  | Stack_overflow -> Error "stack overflow"
+  | Out_of_memory -> Error "out of memory"
+  | Failure msg -> Error (Printf.sprintf "failure: %s" msg)
+  | e -> Error (Printexc.to_string e)

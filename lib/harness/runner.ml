@@ -1,7 +1,18 @@
 module Maxsat = Msu_maxsat.Maxsat
 module Types = Msu_maxsat.Types
+module Guard = Msu_guard.Guard
 
-type outcome = Solved of int | Aborted | Unsat_hard
+type abort_reason =
+  | Timeout
+  | Out_of_conflicts
+  | Out_of_propagations
+  | Out_of_memory
+  | Crash of string
+
+type outcome =
+  | Solved of int
+  | Aborted of { why : abort_reason; lb : int; ub : int option }
+  | Unsat_hard
 
 type run = {
   instance : string;
@@ -11,25 +22,147 @@ type run = {
   time : float;
 }
 
-let run_one ~timeout algorithm (instance, family, wcnf) =
+type retry_policy = { max_attempts : int; retry_conflict_budget : int option }
+
+let no_retry = { max_attempts = 1; retry_conflict_budget = None }
+
+let abort_reason_to_string = function
+  | Timeout -> "timeout"
+  | Out_of_conflicts -> "conflicts"
+  | Out_of_propagations -> "propagations"
+  | Out_of_memory -> "memory"
+  | Crash reason -> Printf.sprintf "crash:%s" reason
+
+let is_crash = function Aborted { why = Crash _; _ } -> true | _ -> false
+
+(* One supervised in-process attempt.  The guard is created here (not
+   inside the algorithm) so its tripped reason is readable afterwards
+   and classifies the abort. *)
+let attempt ~timeout ~conflict_budget algorithm wcnf =
   let t0 = Unix.gettimeofday () in
-  let config = { Types.default_config with deadline = t0 +. timeout } in
-  let result = Maxsat.solve ~config algorithm wcnf in
+  let guard =
+    Guard.create ~deadline:(t0 +. timeout) ?max_conflicts:conflict_budget ()
+  in
+  let config =
+    {
+      Types.default_config with
+      Types.deadline = t0 +. timeout;
+      max_conflicts = conflict_budget;
+      guard = Some guard;
+      progress = Some (Guard.Progress.create ());
+    }
+  in
+  let result = Maxsat.solve_supervised ~config algorithm wcnf in
   let time = Float.min (Unix.gettimeofday () -. t0) timeout in
   let outcome =
     match result.Types.outcome with
     | Types.Optimum c -> Solved c
-    | Types.Bounds _ -> Aborted
     | Types.Hard_unsat -> Unsat_hard
+    | Types.Bounds { lb; ub } ->
+        let why =
+          match Guard.tripped guard with
+          | Some Guard.Conflicts -> Out_of_conflicts
+          | Some Guard.Propagations -> Out_of_propagations
+          | Some Guard.Memory -> Out_of_memory
+          | Some Guard.Timeout | None -> Timeout
+        in
+        Aborted { why; lb; ub }
+    | Types.Crashed { reason; lb; ub } -> Aborted { why = Crash reason; lb; ub }
   in
-  { instance; family; algorithm; outcome; time = (if outcome = Aborted then timeout else time) }
+  (outcome, time)
 
-let run_suite ?(progress = fun _ -> ()) ~timeout ~algorithms instances =
+(* ---------------- process isolation ---------------- *)
+
+(* Run the attempt in a forked child; the result comes back marshaled
+   through a temp file (a pipe could deadlock past the 64K kernel
+   buffer).  The child gets a SIGALRM backstop slightly past the
+   deadline (OCaml's Unix module exposes no setrlimit); the parent
+   SIGKILLs it once [timeout + grace] passes, so not even a hung child
+   can stall the suite. *)
+let run_isolated ~timeout ~grace thunk =
+  let tmp = Filename.temp_file "msu-run" ".bin" in
+  let finally () = try Sys.remove tmp with Sys_error _ -> () in
+  Fun.protect ~finally (fun () ->
+      match Unix.fork () with
+      | 0 ->
+          (* Child: run, marshal, die without flushing inherited channels. *)
+          ignore (Unix.alarm (int_of_float (ceil (timeout +. (2. *. grace))) + 1));
+          let result =
+            try Ok (thunk ()) with e -> Error (Printexc.to_string e)
+          in
+          (try
+             let oc = open_out_bin tmp in
+             Marshal.to_channel oc
+               (result : ((outcome * float), string) result)
+               [];
+             close_out oc
+           with _ -> ());
+          Unix._exit 0
+      | pid ->
+          let kill_at = Unix.gettimeofday () +. timeout +. grace in
+          let rec wait killed =
+            match Unix.waitpid [ Unix.WNOHANG ] pid with
+            | 0, _ ->
+                if (not killed) && Unix.gettimeofday () > kill_at then begin
+                  (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+                  wait true
+                end
+                else begin
+                  Unix.sleepf 0.005;
+                  wait killed
+                end
+            | _, status -> status
+          in
+          let status = wait false in
+          let read_result () =
+            try
+              let ic = open_in_bin tmp in
+              let r =
+                (Marshal.from_channel ic : ((outcome * float), string) result)
+              in
+              close_in ic;
+              Some r
+            with _ -> None
+          in
+          let crashed reason =
+            (Aborted { why = Crash reason; lb = 0; ub = None }, timeout)
+          in
+          (match (status, read_result ()) with
+          | Unix.WEXITED 0, Some (Ok r) -> r
+          | Unix.WEXITED 0, Some (Error reason) -> crashed reason
+          | Unix.WEXITED 0, None -> crashed "child produced no result"
+          | Unix.WEXITED n, _ -> crashed (Printf.sprintf "child exit %d" n)
+          | (Unix.WSIGNALED n | Unix.WSTOPPED n), _ ->
+              crashed (Printf.sprintf "child killed (signal %d)" n)))
+
+let run_one ?(isolate = false) ?(grace = 1.0) ?(retry = no_retry) ?conflict_budget
+    ~timeout algorithm (instance, family, wcnf) =
+  let once budget =
+    let thunk () = attempt ~timeout ~conflict_budget:budget algorithm wcnf in
+    if isolate then run_isolated ~timeout ~grace thunk else thunk ()
+  in
+  let rec go n budget =
+    let outcome, time = once budget in
+    if is_crash outcome && n < retry.max_attempts then
+      (* A crash may be resource-driven: the retry runs under the
+         policy's (smaller) conflict budget so it stops before the
+         crash point and reports sound bounds instead. *)
+      go (n + 1) retry.retry_conflict_budget
+    else (outcome, time)
+  in
+  let outcome, time = go 1 conflict_budget in
+  let time = match outcome with Aborted _ -> timeout | _ -> time in
+  { instance; family; algorithm; outcome; time }
+
+let run_suite ?(progress = fun _ -> ()) ?isolate ?grace ?retry ?conflict_budget
+    ~timeout ~algorithms instances =
   List.concat_map
     (fun inst ->
       List.map
         (fun algorithm ->
-          let r = run_one ~timeout algorithm inst in
+          let r =
+            run_one ?isolate ?grace ?retry ?conflict_budget ~timeout algorithm inst
+          in
           progress r;
           r)
         algorithms)
@@ -40,10 +173,33 @@ let aborted_counts algorithms runs =
     (fun a ->
       let n =
         List.length
-          (List.filter (fun r -> r.algorithm = a && r.outcome = Aborted) runs)
+          (List.filter
+             (fun r ->
+               r.algorithm = a
+               && match r.outcome with Aborted _ -> true | _ -> false)
+             runs)
       in
       (a, n))
     algorithms
+
+(* Aborts bucketed by cause, for the table1/table2 footnotes. *)
+let aborted_breakdown runs =
+  let timeout = ref 0 and budget = ref 0 and memory = ref 0 and crash = ref 0 in
+  List.iter
+    (fun r ->
+      match r.outcome with
+      | Aborted { why = Timeout; _ } -> incr timeout
+      | Aborted { why = Out_of_conflicts | Out_of_propagations; _ } -> incr budget
+      | Aborted { why = Out_of_memory; _ } -> incr memory
+      | Aborted { why = Crash _; _ } -> incr crash
+      | Solved _ | Unsat_hard -> ())
+    runs;
+  [
+    ("timeout", !timeout);
+    ("budget", !budget);
+    ("memory", !memory);
+    ("crash", !crash);
+  ]
 
 let consistency_errors runs =
   let optima : (string, int * Maxsat.algorithm) Hashtbl.t = Hashtbl.create 64 in
@@ -63,11 +219,33 @@ let consistency_errors runs =
                     (Maxsat.algorithm_to_string a')
                     c'
                   :: !errors)
-      | Aborted | Unsat_hard -> ())
+      | Aborted _ | Unsat_hard -> ())
+    runs;
+  (* An aborted run's bounds must bracket any proven optimum: a
+     violation means a salvaged bound was unsound. *)
+  List.iter
+    (fun r ->
+      match r.outcome with
+      | Aborted { why; lb; ub } -> (
+          match Hashtbl.find_opt optima r.instance with
+          | Some (opt, _) ->
+              let bad_lb = lb > opt in
+              let bad_ub = match ub with Some u -> u < opt | None -> false in
+              if bad_lb || bad_ub then
+                errors :=
+                  Printf.sprintf "%s: %s aborted (%s) with bounds [%d, %s] outside optimum %d"
+                    r.instance
+                    (Maxsat.algorithm_to_string r.algorithm)
+                    (abort_reason_to_string why) lb
+                    (match ub with Some u -> string_of_int u | None -> "?")
+                    opt
+                  :: !errors
+          | None -> ())
+      | Solved _ | Unsat_hard -> ())
     runs;
   List.rev !errors
 
-let time_of ~timeout r = match r.outcome with Aborted -> timeout | _ -> r.time
+let time_of ~timeout r = match r.outcome with Aborted _ -> timeout | _ -> r.time
 
 let scatter ~x ~y ~timeout runs =
   let find a name =
@@ -105,16 +283,26 @@ let pp_scatter_csv ppf points =
     points
 
 let pp_runs_csv ppf runs =
-  Format.fprintf ppf "instance,family,algorithm,outcome,cost,seconds@.";
+  Format.fprintf ppf "instance,family,algorithm,outcome,cost,lb,ub,seconds@.";
   List.iter
     (fun r ->
-      let outcome, cost =
+      let outcome, cost, lb, ub =
         match r.outcome with
-        | Solved c -> ("solved", string_of_int c)
-        | Aborted -> ("aborted", "")
-        | Unsat_hard -> ("hard-unsat", "")
+        | Solved c -> ("solved", string_of_int c, "", "")
+        | Aborted { why; lb; ub } ->
+            let why =
+              (* keep the cell comma-free whatever the crash text says *)
+              String.map
+                (fun c -> if c = ',' then ';' else c)
+                (abort_reason_to_string why)
+            in
+            ( Printf.sprintf "aborted(%s)" why,
+              "",
+              string_of_int lb,
+              match ub with Some u -> string_of_int u | None -> "" )
+        | Unsat_hard -> ("hard-unsat", "", "", "")
       in
-      Format.fprintf ppf "%s,%s,%s,%s,%s,%.6f@." r.instance r.family
+      Format.fprintf ppf "%s,%s,%s,%s,%s,%s,%s,%.6f@." r.instance r.family
         (Maxsat.algorithm_to_string r.algorithm)
-        outcome cost r.time)
+        outcome cost lb ub r.time)
     runs

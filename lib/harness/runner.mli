@@ -1,14 +1,29 @@
-(** Experiment runner: the msu4 paper's evaluation protocol.
+(** Experiment runner: the msu4 paper's evaluation protocol, hardened.
 
     Each (instance, algorithm) pair runs with a wall-clock budget; runs
     that exceed it are {e aborted}, the unit Tables 1 and 2 of the paper
     count.  Scatter plots (Figures 1-3) pair per-instance runtimes of
     two algorithms, with aborted runs pinned at the timeout value, as in
-    the paper's plots. *)
+    the paper's plots.
+
+    Robustness: every run goes through {!Msu_maxsat.Maxsat.solve_supervised}
+    with a fresh {!Msu_guard.Guard}, so aborts carry the cause and the
+    best bounds seen; optional fork-based isolation and a retry policy
+    guarantee the suite finishes no matter what one instance does. *)
+
+type abort_reason =
+  | Timeout  (** wall-clock deadline *)
+  | Out_of_conflicts  (** SAT conflict budget *)
+  | Out_of_propagations
+  | Out_of_memory  (** live-heap budget *)
+  | Crash of string  (** stack overflow, OOM, killed child, solver bug… *)
 
 type outcome =
   | Solved of int  (** optimum cost *)
-  | Aborted  (** budget exhausted *)
+  | Aborted of { why : abort_reason; lb : int; ub : int option }
+      (** budget exhausted or crashed; [lb]/[ub] are the last sound
+          bounds published before the run ended (0 / [None] when the
+          run died without publishing, e.g. a SIGKILLed child) *)
   | Unsat_hard  (** hard clauses unsatisfiable (not expected here) *)
 
 type run = {
@@ -19,15 +34,41 @@ type run = {
   time : float;  (** wall seconds; capped at the budget for aborts *)
 }
 
+type retry_policy = {
+  max_attempts : int;  (** total attempts; extra attempts fire on crashes only *)
+  retry_conflict_budget : int option;
+      (** conflict budget for retry attempts — typically smaller than the
+          first attempt's, so the retry stops short of the crash point
+          and reports sound bounds instead *)
+}
+
+val no_retry : retry_policy
+(** One attempt, no retry budget. *)
+
+val abort_reason_to_string : abort_reason -> string
+
 val run_one :
+  ?isolate:bool ->
+  ?grace:float ->
+  ?retry:retry_policy ->
+  ?conflict_budget:int ->
   timeout:float ->
   Msu_maxsat.Maxsat.algorithm ->
   string * string * Msu_cnf.Wcnf.t ->
   run
-(** [run_one ~timeout alg (name, family, wcnf)]. *)
+(** [run_one ~timeout alg (name, family, wcnf)].  With [isolate] the
+    solve runs in a forked child process: the result comes back through
+    a temp file, the child carries a SIGALRM backstop, and the parent
+    SIGKILLs it [grace] seconds (default 1.0) past the timeout — an
+    infinite loop or C-level crash costs one run, never the suite.
+    [retry] (default {!no_retry}) re-runs crashed attempts. *)
 
 val run_suite :
   ?progress:(run -> unit) ->
+  ?isolate:bool ->
+  ?grace:float ->
+  ?retry:retry_policy ->
+  ?conflict_budget:int ->
   timeout:float ->
   algorithms:Msu_maxsat.Maxsat.algorithm list ->
   (string * string * Msu_cnf.Wcnf.t) list ->
@@ -37,9 +78,14 @@ val run_suite :
 val aborted_counts :
   Msu_maxsat.Maxsat.algorithm list -> run list -> (Msu_maxsat.Maxsat.algorithm * int) list
 
+val aborted_breakdown : run list -> (string * int) list
+(** Aborts bucketed by cause:
+    [("timeout", _); ("budget", _); ("memory", _); ("crash", _)]. *)
+
 val consistency_errors : run list -> string list
-(** Instances on which two algorithms solved to different optima — must
-    be empty; a non-empty result indicates a solver bug. *)
+(** Instances on which two algorithms solved to different optima, or an
+    aborted run's salvaged bounds exclude a proven optimum — must be
+    empty; a non-empty result indicates a solver bug. *)
 
 val scatter :
   x:Msu_maxsat.Maxsat.algorithm ->
@@ -58,4 +104,7 @@ val pp_aborted_table :
 (** Renders in the layout of the paper's Tables 1/2. *)
 
 val pp_scatter_csv : Format.formatter -> (string * float * float) list -> unit
+
 val pp_runs_csv : Format.formatter -> run list -> unit
+(** One row per run; aborted rows carry their cause and last-known
+    [lb]/[ub] so anytime quality is measurable from the CSV alone. *)

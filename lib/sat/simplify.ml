@@ -227,7 +227,8 @@ type result = {
   strengthened : int;
 }
 
-let simplify ?(max_occ = 10) ?(max_resolvent = 16) f =
+let simplify ?guard ?(max_occ = 10) ?(max_resolvent = 16) f =
+  let poll () = match guard with None -> () | Some g -> Msu_guard.Guard.check g in
   let n_vars = Formula.num_vars f in
   let st =
     {
@@ -267,10 +268,12 @@ let simplify ?(max_occ = 10) ?(max_resolvent = 16) f =
     let continue_ = ref true in
     while !continue_ && !rounds < 10 do
       incr rounds;
+      poll ();
       let s = subsumption_pass st in
       propagate_units st;
       let e = ref false in
       for v = 0 to n_vars - 1 do
+        if v land 0xff = 0 then poll ();
         if try_eliminate st ~max_occ ~max_resolvent v then e := true
       done;
       propagate_units st;

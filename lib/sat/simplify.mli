@@ -30,8 +30,16 @@ type result = {
 }
 
 val simplify :
-  ?max_occ:int -> ?max_resolvent:int -> Msu_cnf.Formula.t -> result option
+  ?guard:Msu_guard.Guard.t ->
+  ?max_occ:int ->
+  ?max_resolvent:int ->
+  Msu_cnf.Formula.t ->
+  result option
 (** [simplify f] returns [None] when top-level propagation refutes [f]
     (it is unsatisfiable outright).  [max_occ] (default 10) bounds the
     occurrence count of variables considered for elimination;
-    [max_resolvent] (default 16) bounds resolvent length. *)
+    [max_resolvent] (default 16) bounds resolvent length.  [guard] is
+    polled between passes and every 256 elimination candidates;
+    preprocessing can run for a long time on large inputs, and must not
+    be able to starve a deadline.
+    @raise Msu_guard.Guard.Interrupt when the guard trips. *)

@@ -63,6 +63,9 @@ type t = {
   mutable conflict_budget : int;
   mutable budget_checks : int;
   mutable deadline_hit : bool;
+  mutable guard : Msu_guard.Guard.t option;
+  mutable guard_conflicts_base : int; (* last n_conflicts synced to guard *)
+  mutable guard_props_base : int;
   (* Statistics. *)
   mutable n_decisions : int;
   mutable n_propagations : int;
@@ -110,6 +113,9 @@ let create ?(track_proof = true) () =
       conflict_budget = max_int;
       budget_checks = 0;
       deadline_hit = false;
+      guard = None;
+      guard_conflicts_base = 0;
+      guard_props_base = 0;
       n_decisions = 0;
       n_propagations = 0;
       n_conflicts = 0;
@@ -567,9 +573,22 @@ let luby i =
   let size, seq = outer 1 0 in
   float_of_int (1 lsl go size seq i)
 
+(* Keep the shared guard's cumulative counters in step with this call's
+   conflict/propagation deltas, then poll it. *)
+let guard_breached s =
+  match s.guard with
+  | None -> false
+  | Some g ->
+      Msu_guard.Guard.add_conflicts g (s.n_conflicts - s.guard_conflicts_base);
+      Msu_guard.Guard.add_propagations g (s.n_propagations - s.guard_props_base);
+      s.guard_conflicts_base <- s.n_conflicts;
+      s.guard_props_base <- s.n_propagations;
+      Msu_guard.Guard.poll g <> None
+
 let budget_exhausted s =
   if s.n_conflicts > s.conflict_budget then true
   else if s.deadline_hit then true
+  else if guard_breached s then true
   else begin
     s.budget_checks <- s.budget_checks + 1;
     if s.deadline < infinity && s.budget_checks land 0xff = 0 then begin
@@ -668,12 +687,16 @@ let search s assumptions max_conflicts =
   done;
   match !outcome with Some o -> o | None -> assert false
 
-let solve ?(assumptions = [||]) ?(deadline = infinity) ?(conflict_budget = max_int) s =
+let solve ?(assumptions = [||]) ?(deadline = infinity) ?(conflict_budget = max_int)
+    ?guard s =
   Array.iter (fun l -> ensure_vars s (Lit.var l + 1)) assumptions;
   if not s.ok then Unsat
   else begin
     s.deadline <- deadline;
     s.deadline_hit <- false;
+    s.guard <- guard;
+    s.guard_conflicts_base <- s.n_conflicts;
+    s.guard_props_base <- s.n_propagations;
     s.conflict_budget <-
       (if conflict_budget = max_int then max_int else s.n_conflicts + conflict_budget);
     s.conflict_assumps <- [];

@@ -63,10 +63,15 @@ val solve :
   ?assumptions:Msu_cnf.Lit.t array ->
   ?deadline:float ->
   ?conflict_budget:int ->
+  ?guard:Msu_guard.Guard.t ->
   t ->
   result
 (** [deadline] is an absolute [Unix.gettimeofday]-style timestamp;
-    [conflict_budget] bounds the number of conflicts of this call. *)
+    [conflict_budget] bounds the number of conflicts of this call.
+    [guard] is a shared cross-phase budget: this call charges its
+    conflicts and propagations against it and answers [Unknown] as soon
+    as it trips (the per-call [deadline]/[conflict_budget] still apply
+    independently). *)
 
 val model_value : t -> Msu_cnf.Lit.var -> bool
 (** Valid after [Sat].  Unassigned variables read as [false]. *)

@@ -1,0 +1,271 @@
+(* Robustness subsystem: budgets, supervision, fault injection,
+   certification, and the hardened runner. *)
+
+module G = Msu_guard.Guard
+module F = Msu_guard.Fault
+module M = Msu_maxsat.Maxsat
+module T = Msu_maxsat.Types
+module C = Msu_maxsat.Certify
+module R = Msu_harness.Runner
+module Wcnf = Msu_cnf.Wcnf
+open Test_util
+
+(* Hard: x1, (-x1 or -x2).  Soft: x2, x3, -x3.  Optimum 2, unique model
+   x1=T x2=F (x3 either way); flipping model bit 0 violates a hard
+   clause, which makes the model-corruption fault detectable for sure. *)
+let paper_wcnf () =
+  let w = Wcnf.create () in
+  Wcnf.ensure_vars w 3;
+  Wcnf.add_hard w (clause [ 1 ]);
+  Wcnf.add_hard w (clause [ -1; -2 ]);
+  ignore (Wcnf.add_soft w (clause [ 2 ]));
+  ignore (Wcnf.add_soft w (clause [ 3 ]));
+  ignore (Wcnf.add_soft w (clause [ -3 ]));
+  w
+
+let random_wcnf st =
+  let w = Wcnf.create () in
+  let n_vars = 3 + Random.State.int st 3 in
+  Wcnf.ensure_vars w n_vars;
+  for _ = 1 to Random.State.int st 3 do
+    Wcnf.add_hard w (random_clause st n_vars 3)
+  done;
+  for _ = 1 to 4 + Random.State.int st 5 do
+    ignore (Wcnf.add_soft w (random_clause st n_vars 3))
+  done;
+  w
+
+let property_instances () =
+  let st = Random.State.make [| 7 |] in
+  [
+    ("contradiction", Wcnf.of_formula (formula_of_clauses 1 [ [ 1 ]; [ -1 ] ]));
+    ("php3", Wcnf.of_formula (pigeonhole 3));
+    ("paper", paper_wcnf ());
+  ]
+  @ List.init 8 (fun i -> (Printf.sprintf "random-%d" i, random_wcnf st))
+
+(* ---------------- guard primitives ---------------- *)
+
+let test_guard_conflicts_trip () =
+  let g = G.create ~max_conflicts:10 () in
+  G.add_conflicts g 5;
+  Alcotest.(check bool) "under budget" true (G.poll g = None);
+  G.add_conflicts g 6;
+  Alcotest.(check bool) "over budget" true (G.poll g = Some G.Conflicts);
+  (* monotone: the reason sticks even though no more conflicts arrive *)
+  Alcotest.(check bool) "stays tripped" true (G.tripped g = Some G.Conflicts);
+  Alcotest.(check (option int)) "no conflicts left" (Some 0) (G.remaining_conflicts g)
+
+let test_guard_deadline_trip () =
+  let g = G.create ~deadline:(Unix.gettimeofday () -. 1.0) () in
+  (* the clock is sampled once every 64 polls *)
+  let rec loop n = if n > 0 && G.poll g = None then loop (n - 1) in
+  loop 200;
+  Alcotest.(check bool) "deadline tripped" true (G.tripped g = Some G.Timeout);
+  Alcotest.(check bool) "breached agrees" true (G.breached g = Some G.Timeout)
+
+let test_guard_check_raises () =
+  let g = G.unlimited () in
+  G.trip g G.Memory;
+  match G.check g with
+  | () -> Alcotest.fail "check did not raise"
+  | exception G.Interrupt G.Memory -> ()
+  | exception G.Interrupt r -> Alcotest.failf "wrong reason %s" (G.reason_to_string r)
+
+let test_progress_monotone () =
+  let c = G.Progress.create () in
+  G.Progress.note_lb c 3;
+  G.Progress.note_lb c 1;
+  Alcotest.(check int) "lb only rises" 3 (G.Progress.lb c);
+  let m5 = [| true |] and m7 = [| false |] in
+  G.Progress.note_ub c 5 (Some m5);
+  G.Progress.note_ub c 7 (Some m7);
+  Alcotest.(check (option int)) "ub only falls" (Some 5) (G.Progress.ub c);
+  (match G.Progress.model c with
+  | Some m -> Alcotest.(check bool) "model matches best ub" true m.(0)
+  | None -> Alcotest.fail "model lost");
+  m5.(0) <- false;
+  (match G.Progress.model c with
+  | Some m -> Alcotest.(check bool) "model was copied" true m.(0)
+  | None -> Alcotest.fail "model lost")
+
+let test_supervise () =
+  Alcotest.(check bool) "ok path" true (G.supervise (fun () -> 42) = Ok 42);
+  Alcotest.(check bool) "stack overflow caught" true
+    (G.supervise (fun () -> raise Stack_overflow) = Error "stack overflow");
+  (match G.supervise (fun () -> G.check (let g = G.unlimited () in G.trip g G.Timeout; g)) with
+  | exception G.Interrupt _ -> ()
+  | _ -> Alcotest.fail "Interrupt must not be swallowed");
+  match G.supervise (fun () -> invalid_arg "caller bug") with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "Invalid_argument must not be swallowed"
+
+(* ---------------- budget-soundness property ----------------
+
+   Every algorithm, starved to a 2-conflict budget, must return a sound
+   answer: the true optimum, or bounds that bracket it — and never
+   raise.  This is the paper's "anytime" contract under the new guard. *)
+
+let test_budget_soundness () =
+  List.iter
+    (fun (iname, w) ->
+      let opt = Wcnf.brute_force_min_cost w in
+      List.iter
+        (fun alg ->
+          let config = { T.default_config with T.max_conflicts = Some 2 } in
+          let r = M.solve_supervised ~config alg w in
+          let name what =
+            Printf.sprintf "%s/%s %s" iname (M.algorithm_to_string alg) what
+          in
+          match (r.T.outcome, opt) with
+          | T.Optimum c, Some o -> Alcotest.(check int) (name "optimum") o c
+          | T.Optimum _, None -> Alcotest.fail (name "optimum on hard-unsat")
+          | T.Hard_unsat, None -> ()
+          | T.Hard_unsat, Some _ -> Alcotest.fail (name "spurious hard-unsat")
+          | (T.Bounds { lb; ub } | T.Crashed { lb; ub; _ }), Some o ->
+              Alcotest.(check bool) (name "lb sound") true (lb <= o);
+              Alcotest.(check bool)
+                (name "ub sound") true
+                (match ub with Some u -> u >= o | None -> true)
+          | (T.Bounds _ | T.Crashed _), None -> ())
+        M.all_algorithms)
+    (property_instances ())
+
+(* ---------------- fault-injection matrix ----------------
+
+   Arm a lie, run a solve, and the certifier must reject the answer;
+   with nothing armed it must accept every clean answer.  Teardown
+   disarms so a failing assertion cannot poison later tests. *)
+
+let with_fault kind f =
+  F.arm kind;
+  Fun.protect ~finally:F.disarm_all f
+
+let test_certify_clean_runs () =
+  List.iter
+    (fun (iname, w) ->
+      List.iter
+        (fun alg ->
+          let r = M.solve_supervised alg w in
+          let report = C.certify w r in
+          if not (C.ok report) then
+            Alcotest.failf "%s/%s falsely rejected: %s" iname
+              (M.algorithm_to_string alg)
+              (String.concat "; " report.C.failures))
+        [ M.Msu4_v1; M.Msu4_v2; M.Msu3; M.Oll; M.Branch_bound; M.Brute ])
+    (property_instances ())
+
+let test_certify_rejects_corrupt_model () =
+  with_fault F.Corrupt_model_bit (fun () ->
+      let w = paper_wcnf () in
+      let r = M.solve_supervised M.Msu4_v2 w in
+      Alcotest.(check bool) "fault consumed" false (F.armed F.Corrupt_model_bit);
+      let report = C.certify w r in
+      Alcotest.(check bool) "corrupt model rejected" false (C.ok report))
+
+let test_certify_rejects_flipped_answer () =
+  with_fault F.Flip_sat_answer (fun () ->
+      let w = paper_wcnf () in
+      let r = M.solve_supervised M.Msu4_v2 w in
+      let report = C.certify w r in
+      Alcotest.(check bool) "flipped answer rejected" false (C.ok report))
+
+let test_certify_rejects_truncated_proof () =
+  (* Solve honestly; sabotage the refutation log the certifier replays.
+     A checker that accepted this would accept an unsound "proof". *)
+  let w = paper_wcnf () in
+  let r = M.solve_supervised M.Msu4_v2 w in
+  with_fault F.Drop_core_clause (fun () ->
+      let report = C.certify w r in
+      Alcotest.(check bool) "truncated proof rejected" false (C.ok report));
+  (* and the same result certifies once the log is honest again *)
+  Alcotest.(check bool) "clean replay accepted" true (C.ok (C.certify w r))
+
+let test_crash_salvages_bounds () =
+  with_fault F.Crash_mid_solve (fun () ->
+      let w = paper_wcnf () in
+      let r = M.solve_supervised M.Msu4_v2 w in
+      match r.T.outcome with
+      | T.Crashed { reason; lb; ub } ->
+          Alcotest.(check string) "reason" "stack overflow" reason;
+          Alcotest.(check bool) "lb sound" true (lb <= 2);
+          (match ub with
+          | Some u -> Alcotest.(check bool) "ub sound" true (u >= 2)
+          | None -> Alcotest.fail "published upper bound lost");
+          Alcotest.(check bool) "crashed result certifies" true (C.ok (C.certify w r))
+      | o -> Alcotest.failf "expected Crashed, got %s" (Format.asprintf "%a" T.pp_outcome o))
+
+(* ---------------- hardened runner ---------------- *)
+
+let test_runner_retries_crash () =
+  with_fault F.Crash_mid_solve (fun () ->
+      let retry = { R.max_attempts = 2; retry_conflict_budget = None } in
+      let r = R.run_one ~retry ~timeout:10.0 M.Msu4_v2 ("paper", "toy", paper_wcnf ()) in
+      (* the fault is one-shot: attempt 1 crashes, attempt 2 solves *)
+      Alcotest.(check bool) "second attempt solved" true (r.R.outcome = R.Solved 2))
+
+let test_runner_isolated_solve () =
+  let r =
+    R.run_one ~isolate:true ~timeout:10.0 M.Msu4_v2 ("paper", "toy", paper_wcnf ())
+  in
+  Alcotest.(check bool) "solved across the fork" true (r.R.outcome = R.Solved 2)
+
+let test_isolated_suite_survives_crashes () =
+  (* Each forked child inherits the armed fault and dies mid-solve; the
+     parent's suite must still complete, one Aborted(crash) per run. *)
+  with_fault F.Crash_mid_solve (fun () ->
+      let instances =
+        [ ("paper", "toy", paper_wcnf ()); ("paper2", "toy", paper_wcnf ()) ]
+      in
+      let runs =
+        R.run_suite ~isolate:true ~timeout:10.0 ~algorithms:[ M.Msu4_v2 ] instances
+      in
+      Alcotest.(check int) "suite completed" 2 (List.length runs);
+      List.iter
+        (fun r ->
+          match r.R.outcome with
+          | R.Aborted { why = R.Crash _; ub = Some u; _ } ->
+              Alcotest.(check bool) "salvaged ub crossed the fork" true (u >= 2)
+          | R.Aborted { why = R.Crash _; ub = None; _ } ->
+              Alcotest.fail "bounds lost in the crash report"
+          | _ -> Alcotest.fail "expected a crash abort")
+        runs;
+      Alcotest.(check int) "breakdown counts crashes" 2
+        (List.assoc "crash" (R.aborted_breakdown runs)))
+
+let test_runner_budget_abort_reason () =
+  let w = Wcnf.of_formula (pigeonhole 4) in
+  let r = R.run_one ~conflict_budget:1 ~timeout:10.0 M.Msu4_v2 ("php4", "php", w) in
+  match r.R.outcome with
+  | R.Aborted { why = R.Out_of_conflicts; _ } -> ()
+  | R.Solved _ -> Alcotest.fail "php4 cannot be solved in one conflict"
+  | o ->
+      Alcotest.failf "expected conflict abort, got %s"
+        (match o with
+        | R.Aborted { why; _ } -> R.abort_reason_to_string why
+        | R.Unsat_hard -> "hard-unsat"
+        | R.Solved _ -> "solved")
+
+let suite =
+  [
+    Alcotest.test_case "guard conflict budget" `Quick test_guard_conflicts_trip;
+    Alcotest.test_case "guard deadline" `Quick test_guard_deadline_trip;
+    Alcotest.test_case "guard check raises" `Quick test_guard_check_raises;
+    Alcotest.test_case "progress cell monotone" `Quick test_progress_monotone;
+    Alcotest.test_case "supervise exception policy" `Quick test_supervise;
+    Alcotest.test_case "budget soundness, all algorithms" `Quick test_budget_soundness;
+    Alcotest.test_case "certifier accepts clean runs" `Quick test_certify_clean_runs;
+    Alcotest.test_case "certifier rejects corrupt model" `Quick
+      test_certify_rejects_corrupt_model;
+    Alcotest.test_case "certifier rejects flipped answer" `Quick
+      test_certify_rejects_flipped_answer;
+    Alcotest.test_case "certifier rejects truncated proof" `Quick
+      test_certify_rejects_truncated_proof;
+    Alcotest.test_case "crash salvages bounds" `Quick test_crash_salvages_bounds;
+    Alcotest.test_case "runner retries a crash" `Quick test_runner_retries_crash;
+    Alcotest.test_case "runner isolated solve" `Quick test_runner_isolated_solve;
+    Alcotest.test_case "isolated suite survives crashes" `Quick
+      test_isolated_suite_survives_crashes;
+    Alcotest.test_case "runner classifies budget aborts" `Quick
+      test_runner_budget_abort_reason;
+  ]

@@ -26,7 +26,12 @@ let test_run_one_abort () =
   let w = Wcnf.of_formula (pigeonhole 5) in
   let r = R.run_one ~timeout:0.05 M.Branch_bound ("php5", "php", w) in
   match r.R.outcome with
-  | R.Aborted -> Alcotest.(check (float 0.0001)) "time = budget" 0.05 r.R.time
+  | R.Aborted { why; lb; _ } ->
+      Alcotest.(check (float 0.0001)) "time = budget" 0.05 r.R.time;
+      (match why with
+      | R.Crash reason -> Alcotest.failf "abort classified as crash: %s" reason
+      | _ -> ());
+      Alcotest.(check bool) "salvaged lb is sound" true (lb <= 5)
   | R.Solved _ -> () (* fast machines may solve php5 within 50 ms *)
   | R.Unsat_hard -> Alcotest.fail "unexpected hard-unsat"
 
@@ -63,7 +68,12 @@ let test_scatter_pins_aborts_at_timeout () =
   let mk alg outcome time =
     R.{ instance = "i"; family = "f"; algorithm = alg; outcome; time }
   in
-  let runs = [ mk M.Msu4_v2 (R.Solved 1) 0.2; mk M.Branch_bound R.Aborted 3.0 ] in
+  let runs =
+    [
+      mk M.Msu4_v2 (R.Solved 1) 0.2;
+      mk M.Branch_bound (R.Aborted { why = R.Timeout; lb = 0; ub = None }) 3.0;
+    ]
+  in
   match R.scatter ~x:M.Msu4_v2 ~y:M.Branch_bound ~timeout:3.0 runs with
   | [ (_, tx, ty) ] ->
       Alcotest.(check (float 1e-9)) "x is solve time" 0.2 tx;
@@ -91,7 +101,13 @@ let test_csv_outputs () =
   let runs =
     [
       R.{ instance = "a"; family = "f"; algorithm = M.Msu4_v2; outcome = R.Solved 1; time = 0.5 };
-      R.{ instance = "b"; family = "f"; algorithm = M.Msu4_v2; outcome = R.Aborted; time = 1.0 };
+      R.{
+          instance = "b";
+          family = "f";
+          algorithm = M.Msu4_v2;
+          outcome = R.Aborted { why = R.Out_of_conflicts; lb = 2; ub = Some 4 };
+          time = 1.0;
+        };
     ]
   in
   let out = Format.asprintf "%a" R.pp_runs_csv runs in

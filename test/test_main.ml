@@ -11,6 +11,7 @@ let () =
       ("circuit", Test_circuit.suite);
       ("maxsat", Test_maxsat.suite);
       ("gen", Test_gen.suite);
+      ("guard", Test_guard.suite);
       ("harness", Test_harness.suite);
       ("proofs", Test_proofs.suite);
       ("simplify", Test_simplify.suite);
