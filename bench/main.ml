@@ -9,6 +9,9 @@
      ablation-opt  msu4 with/without the optional line-19 constraint
      ablation-msu  msu1 / msu2 / msu3 / msu4 head to head
      ablation-wpm1 weighted algorithms on weighted debugging instances
+     ablation-incremental
+                   persistent-solver vs rebuild-per-iteration modes on the
+                   industrial and debugging suites (BENCH_incremental.json)
      micro         Bechamel micro-benchmarks, one per table/figure
      all           everything above (default)
 
@@ -30,6 +33,7 @@ let verbose = ref false
 let isolate = ref false
 let retries = ref 1
 let conflict_budget = ref 0
+let smoke = ref false
 let command = ref "all"
 
 let usage = "main.exe [COMMAND] [--scale S] [--timeout T] [--seed N] [--out DIR]"
@@ -49,6 +53,9 @@ let spec =
     ( "--conflicts",
       Arg.Set_int conflict_budget,
       "per-run SAT-conflict budget, 0 = unlimited (default 0)" );
+    ( "--smoke",
+      Arg.Set smoke,
+      "shrink suites and timeouts so the command finishes in seconds (CI mode)" );
   ]
 
 let ensure_out_dir () = if not (Sys.file_exists !out_dir) then Sys.mkdir !out_dir 0o755
@@ -295,6 +302,147 @@ let ablation_wpm1 () =
     (R.aborted_counts algorithms runs);
   write_file "ablation_wpm1_runs.csv" (Format.asprintf "%a" R.pp_runs_csv runs)
 
+(* Incremental-vs-rebuild ablation.  Each run gets a fresh guard so the
+   total SAT-conflict count can be read back; each (suite, algorithm)
+   pair is solved once per mode and the per-suite aggregates — plus an
+   optimum-equality cross-check between the modes — land in
+   BENCH_incremental.json so later PRs have a perf trajectory. *)
+
+type mode_totals = {
+  mt_wall : float;
+  mt_conflicts : int;
+  mt_rebuilds : int;
+  mt_clauses_reused : int;
+  mt_learnts_kept : int;
+  mt_solved : int;
+  mt_optima : (string * int option) list; (* instance -> optimum if proved *)
+}
+
+let run_mode ~incremental solve instances =
+  let wall = ref 0. in
+  let conflicts = ref 0 in
+  let rebuilds = ref 0 in
+  let reused = ref 0 in
+  let learnts = ref 0 in
+  let solved = ref 0 in
+  let optima =
+    List.map
+      (fun (name, _, w) ->
+        let t0 = Unix.gettimeofday () in
+        let deadline = t0 +. !timeout in
+        let g = Msu_guard.Guard.create ~deadline () in
+        let config =
+          {
+            T.default_config with
+            T.deadline;
+            T.guard = Some g;
+            T.incremental = incremental;
+          }
+        in
+        let r = solve config w in
+        wall := !wall +. (Unix.gettimeofday () -. t0);
+        conflicts := !conflicts + Msu_guard.Guard.conflicts g;
+        rebuilds := !rebuilds + r.T.stats.T.rebuilds;
+        reused := !reused + r.T.stats.T.clauses_reused;
+        learnts := !learnts + r.T.stats.T.learnts_kept;
+        match r.T.outcome with
+        | T.Optimum c ->
+            incr solved;
+            (name, Some c)
+        | _ -> (name, None))
+      instances
+  in
+  {
+    mt_wall = !wall;
+    mt_conflicts = !conflicts;
+    mt_rebuilds = !rebuilds;
+    mt_clauses_reused = !reused;
+    mt_learnts_kept = !learnts;
+    mt_solved = !solved;
+    mt_optima = optima;
+  }
+
+let optima_mismatches inc reb =
+  List.filter_map
+    (fun (name, a) ->
+      match (a, List.assoc_opt name reb.mt_optima) with
+      | Some x, Some (Some y) when x <> y -> Some (name, x, y)
+      | _ -> None)
+    inc.mt_optima
+
+let json_mode m =
+  Printf.sprintf
+    "{ \"wall_clock_s\": %.3f, \"conflicts\": %d, \"rebuilds\": %d, \
+     \"clauses_reused\": %d, \"learnts_kept\": %d, \"solved\": %d }"
+    m.mt_wall m.mt_conflicts m.mt_rebuilds m.mt_clauses_reused m.mt_learnts_kept
+    m.mt_solved
+
+let ablation_incremental () =
+  let subsample l = if !smoke then List.filteri (fun i _ -> i mod 3 = 0) l else l in
+  let suites =
+    [
+      ("industrial", subsample (to_wcnf (Suites.industrial ~scale:!scale ~seed:!seed ())));
+      ("debugging", subsample (to_wcnf (Suites.debugging ~scale:!scale ~seed:!seed ())));
+    ]
+  in
+  let algorithms =
+    [
+      ("msu1", fun config w -> Msu_maxsat.Msu1.solve ~config w);
+      ("msu3", fun config w -> Msu_maxsat.Msu3.solve ~config w);
+      ("msu4-v2", fun config w -> Msu_maxsat.Msu4.solve ~config w);
+      ("oll", fun config w -> Msu_maxsat.Oll.solve ~config w);
+      ("pbo", fun config w -> Msu_maxsat.Pbo.solve ~config w);
+    ]
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\n  \"smoke\": %b,\n  \"timeout_s\": %g,\n  \"scale\": %g,\n  \"seed\": %d,\n\
+       \  \"suites\": [\n"
+       !smoke !timeout !scale !seed);
+  List.iteri
+    (fun si (suite_name, instances) ->
+      Printf.printf
+        "\nAblation E - incremental vs rebuild: %s suite (%d instances, timeout %.1fs)\n"
+        suite_name (List.length instances) !timeout;
+      Printf.printf "  %-10s %-12s %7s %9s %11s %9s %14s %13s\n" "algorithm" "mode"
+        "solved" "wall" "conflicts" "rebuilds" "clauses-reused" "learnts-kept";
+      Buffer.add_string buf
+        (Printf.sprintf "    {\n      \"suite\": %S,\n      \"instances\": %d,\n\
+                        \      \"algorithms\": [\n"
+           suite_name (List.length instances));
+      List.iteri
+        (fun ai (alg_name, solve) ->
+          let inc = run_mode ~incremental:true solve instances in
+          let reb = run_mode ~incremental:false solve instances in
+          let show label (m : mode_totals) =
+            Printf.printf "  %-10s %-12s %3d/%-3d %8.2fs %11d %9d %14d %13d\n%!"
+              alg_name label m.mt_solved (List.length instances) m.mt_wall
+              m.mt_conflicts m.mt_rebuilds m.mt_clauses_reused m.mt_learnts_kept
+          in
+          show "incremental" inc;
+          show "rebuild" reb;
+          let mismatches = optima_mismatches inc reb in
+          List.iter
+            (fun (name, a, b) ->
+              Printf.printf
+                "  OPTIMA MISMATCH %s/%s: incremental %d vs rebuild %d\n%!" alg_name
+                name a b)
+            mismatches;
+          Buffer.add_string buf
+            (Printf.sprintf
+               "        { \"algorithm\": %S,\n          \"incremental\": %s,\n\
+               \          \"rebuild\": %s,\n          \"optima_match\": %b }%s\n"
+               alg_name (json_mode inc) (json_mode reb) (mismatches = [])
+               (if ai = List.length algorithms - 1 then "" else ",")))
+        algorithms;
+      Buffer.add_string buf
+        (Printf.sprintf "      ]\n    }%s\n"
+           (if si = List.length suites - 1 then "" else ",")))
+    suites;
+  Buffer.add_string buf "  ]\n}\n";
+  write_file "BENCH_incremental.json" (Buffer.contents buf)
+
 (* ----- Bechamel micro-benchmarks: one Test.make per table/figure ----- *)
 
 let micro () =
@@ -344,8 +492,13 @@ let micro () =
 let () =
   let anon a = command := a in
   Arg.parse spec anon usage;
-  Printf.printf "msu4 reproduction bench: command=%s scale=%.2f timeout=%.1fs seed=%d\n%!"
-    !command !scale !timeout !seed;
+  if !smoke then begin
+    scale := Float.min !scale 0.2;
+    timeout := Float.min !timeout 0.4
+  end;
+  Printf.printf "msu4 reproduction bench: command=%s scale=%.2f timeout=%.1fs seed=%d%s\n%!"
+    !command !scale !timeout !seed
+    (if !smoke then " (smoke)" else "");
   match !command with
   | "table1" -> table1 ()
   | "table2" -> table2 ()
@@ -360,6 +513,7 @@ let () =
   | "ablation-opt" -> ablation_opt ()
   | "ablation-msu" -> ablation_msu ()
   | "ablation-wpm1" -> ablation_wpm1 ()
+  | "ablation-incremental" -> ablation_incremental ()
   | "micro" -> micro ()
   | "all" ->
       table1 ();
@@ -371,6 +525,7 @@ let () =
       ablation_opt ();
       ablation_msu ();
       ablation_wpm1 ();
+      ablation_incremental ();
       micro ()
   | other ->
       Printf.eprintf "unknown command %S\n%s\n" other usage;

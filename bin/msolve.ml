@@ -39,7 +39,7 @@ let encoding_conv =
       fun ppf e -> Format.pp_print_string ppf (Card.encoding_to_string e) )
 
 let run file algorithm encoding timeout conflicts propagations memory_mb verify
-    trace no_geq1 quiet incomplete =
+    trace no_geq1 no_incremental quiet incomplete =
   let w =
     try Ok (Msu_cnf.Dimacs.parse_wcnf_file file) with
     | Msu_cnf.Dimacs.Parse_error (line, msg) ->
@@ -60,6 +60,7 @@ let run file algorithm encoding timeout conflicts propagations memory_mb verify
           T.deadline;
           T.encoding;
           T.core_geq1 = not no_geq1;
+          T.incremental = not no_incremental;
           T.trace = (if trace then Some (fun m -> print_endline ("c " ^ m)) else None);
           T.max_conflicts = conflicts;
           T.max_propagations = propagations;
@@ -202,6 +203,15 @@ let no_geq1 =
     & info [ "no-core-geq1" ]
         ~doc:"Disable msu4's optional at-least-one constraint (Algorithm 1, line 19).")
 
+let no_incremental =
+  Arg.(
+    value & flag
+    & info [ "no-incremental" ]
+        ~doc:
+          "Rebuild the SAT solver from scratch after each UNSAT iteration (the \
+           historical behaviour) instead of keeping one incremental solver with \
+           assumption selectors for the whole solve.  Mainly for ablation.")
+
 let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Suppress comment lines.")
 
 let incomplete =
@@ -230,6 +240,6 @@ let cmd =
     (Cmd.info "msolve" ~version:"1.0" ~doc ~exits)
     Term.(
       const run $ file $ algorithm $ encoding $ timeout $ conflicts $ propagations
-      $ memory_mb $ verify $ trace $ no_geq1 $ quiet $ incomplete)
+      $ memory_mb $ verify $ trace $ no_geq1 $ no_incremental $ quiet $ incomplete)
 
 let () = exit (Cmd.eval' cmd)

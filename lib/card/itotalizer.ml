@@ -1,0 +1,90 @@
+module Lit = Msu_cnf.Lit
+
+type sink = Msu_cnf.Sink.t
+
+(* One totalizer node: a unary counter over the leaves below it.  Output
+   variables exist for every position from the start (variables are
+   cheap); the le-direction merge clauses for output row [sigma] are
+   emitted lazily, the first time a bound needs that row.  [built] is the
+   highest row whose clauses exist — rows never need re-emission, so a
+   bound that later loosens or tightens within [built] costs nothing. *)
+type node = {
+  size : int; (* leaves under this node *)
+  outs : Lit.t array; (* outs.(i) <=> at least i+1 leaves true (le direction) *)
+  kids : (node * node) option; (* None for a leaf *)
+  mutable built : int; (* rows 1..built have their clauses *)
+}
+
+type t = { mutable root : node option }
+
+let leaf lit = { size = 1; outs = [| lit |]; kids = None; built = 1 }
+
+let fresh_node (sink : sink) a b =
+  let size = a.size + b.size in
+  {
+    size;
+    outs = Array.init size (fun _ -> Lit.pos (sink.fresh_var ()));
+    kids = Some (a, b);
+    built = 0;
+  }
+
+let rec build_tree sink (lits : Lit.t array) lo n =
+  if n = 1 then leaf lits.(lo)
+  else begin
+    let half = n / 2 in
+    let a = build_tree sink lits lo half in
+    let b = build_tree sink lits (lo + half) (n - half) in
+    fresh_node sink a b
+  end
+
+let create sink lits =
+  let n = Array.length lits in
+  { root = (if n = 0 then None else Some (build_tree sink lits 0 n)) }
+
+let size t = match t.root with None -> 0 | Some r -> r.size
+
+let extend sink t lits =
+  if Array.length lits > 0 then begin
+    let sub = build_tree sink lits 0 (Array.length lits) in
+    match t.root with
+    | None -> t.root <- Some sub
+    | Some r -> t.root <- Some (fresh_node sink r sub)
+  end
+
+(* Emit the missing rows up to [target].  A row [sigma] at an inner node
+   needs child outputs up to [min (child.size) sigma], so growing the
+   children to [min (child.size) target] first makes every literal the
+   new rows mention fully defined (all its own rows built).  Rows
+   <= built already have every (alpha, beta) split with
+   alpha + beta = sigma: alpha, beta never exceed sigma, which was within
+   both children's grown range when the row was emitted. *)
+let rec grow (sink : sink) node target =
+  let target = min target node.size in
+  if target > node.built then begin
+    (match node.kids with
+    | None -> ()
+    | Some (a, b) ->
+        grow sink a target;
+        grow sink b target;
+        for sigma = node.built + 1 to target do
+          for alpha = max 0 (sigma - b.size) to min a.size sigma do
+            let beta = sigma - alpha in
+            let clause = ref [ node.outs.(sigma - 1) ] in
+            if alpha > 0 then clause := Lit.neg a.outs.(alpha - 1) :: !clause;
+            if beta > 0 then clause := Lit.neg b.outs.(beta - 1) :: !clause;
+            sink.emit (Array.of_list !clause)
+          done
+        done);
+    node.built <- target
+  end
+
+let at_most sink t k =
+  if k < 0 then invalid_arg "Itotalizer.at_most: negative bound";
+  match t.root with
+  | None -> None
+  | Some root ->
+      if k >= root.size then None
+      else begin
+        grow sink root (k + 1);
+        Some (Lit.neg root.outs.(k))
+      end

@@ -428,13 +428,7 @@ let solve ?(config = Types.default_config) w =
   let t0 = Unix.gettimeofday () in
   let st = create w config in
   let stats_of st =
-    Types.
-      {
-        sat_calls = st.nodes;
-        cores = st.subsets;
-        blocking_vars = 0;
-        encoding_clauses = 0;
-      }
+    { Types.empty_stats with Types.sat_calls = st.nodes; Types.cores = st.subsets }
   in
   let timed_out =
     try

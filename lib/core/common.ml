@@ -48,13 +48,31 @@ module Tally = struct
     mutable cores : int;
     mutable blocking_vars : int;
     mutable encoding_clauses : int;
+    mutable builds : int;
+    mutable clauses_reused : int;
+    mutable learnts_kept : int;
   }
 
-  let create () = { sat_calls = 0; cores = 0; blocking_vars = 0; encoding_clauses = 0 }
+  let create () =
+    {
+      sat_calls = 0;
+      cores = 0;
+      blocking_vars = 0;
+      encoding_clauses = 0;
+      builds = 0;
+      clauses_reused = 0;
+      learnts_kept = 0;
+    }
+
   let sat_call t = t.sat_calls <- t.sat_calls + 1
   let core t = t.cores <- t.cores + 1
   let blocking_var t = t.blocking_vars <- t.blocking_vars + 1
   let encoded t n = t.encoding_clauses <- t.encoding_clauses + n
+  let build t = t.builds <- t.builds + 1
+
+  let reused t ~clauses ~learnts =
+    t.clauses_reused <- t.clauses_reused + clauses;
+    t.learnts_kept <- t.learnts_kept + learnts
 
   let snapshot (t : t) =
     Types.
@@ -63,6 +81,9 @@ module Tally = struct
         cores = t.cores;
         blocking_vars = t.blocking_vars;
         encoding_clauses = t.encoding_clauses;
+        rebuilds = max 0 (t.builds - 1);
+        clauses_reused = t.clauses_reused;
+        learnts_kept = t.learnts_kept;
       }
 end
 

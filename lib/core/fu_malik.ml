@@ -5,6 +5,108 @@ module Sink = Msu_cnf.Sink
 
 type options = { exactly_one : Msu_cnf.Sink.t -> Msu_cnf.Lit.t array -> unit }
 
+(* ------------------------------------------------------------------ *)
+(* Incremental path: one persistent solver for the whole solve.         *)
+(* ------------------------------------------------------------------ *)
+
+(* Fu & Malik rewrites a soft clause every time a core touches it (one
+   more blocking variable).  With activation literals that rewrite is:
+   retire the clause's current selector and re-add the extended clause
+   under a fresh one.  The exactly-one constraints are permanent, so
+   they go in as ordinary clauses.  Cores come from the failed
+   assumptions (every soft clause's selector is always assumed). *)
+let run_incremental opts (config : Types.config) w t0 =
+  let tally = Common.Tally.create () in
+  let s = Solver.create ~track_proof:false () in
+  Common.Tally.build tally;
+  Solver.ensure_vars s (Wcnf.num_vars w);
+  Wcnf.iter_hard (fun _ c -> Solver.add_clause s c) w;
+  let n_soft = Wcnf.num_soft w in
+  let sel = Array.make (max n_soft 1) (Lit.pos 0) in
+  let blocks = Array.make (max n_soft 1) [] in
+  let soft_of_var = Hashtbl.create (max n_soft 16) in
+  Wcnf.iter_soft
+    (fun i c _ ->
+      let l = Lit.pos (Solver.new_var s) in
+      sel.(i) <- l;
+      Hashtbl.replace soft_of_var (Lit.var l) i;
+      Solver.add_clause ~selector:l s c)
+    w;
+  let sink =
+    Sink.
+      {
+        fresh_var = (fun () -> Solver.new_var s);
+        emit =
+          (fun c ->
+            Common.Tally.encoded tally 1;
+            Solver.add_clause s c);
+      }
+  in
+  let finish outcome model =
+    Common.finish ~t0 ~stats:(Common.Tally.snapshot tally) outcome model
+  in
+  let cost = ref 0 in
+  let bounds () = finish (Types.Bounds { lb = !cost; ub = None }) None in
+  let first = ref true in
+  let rec loop () =
+    if Common.over_deadline config then bounds ()
+    else begin
+      Common.Tally.sat_call tally;
+      if !first then first := false
+      else
+        Common.Tally.reused tally ~clauses:(Solver.num_clauses s)
+          ~learnts:(Solver.num_learnts s);
+      let assumptions = Array.init n_soft (fun i -> Lit.neg sel.(i)) in
+      match
+        Solver.solve ~assumptions ~deadline:config.deadline ?guard:config.guard s
+      with
+      | Solver.Unknown -> bounds ()
+      | Solver.Sat ->
+          Common.trace config (fun () -> Printf.sprintf "SAT: optimum %d" !cost);
+          finish (Types.Optimum !cost) (Some (Solver.model s))
+      | Solver.Unsat -> (
+          let core = Solver.conflict_assumptions s in
+          let softs =
+            List.filter_map (fun a -> Hashtbl.find_opt soft_of_var (Lit.var a)) core
+          in
+          match softs with
+          | [] -> finish Types.Hard_unsat None
+          | _ ->
+              Common.Tally.core tally;
+              let new_bs =
+                List.map
+                  (fun i ->
+                    let b = Lit.pos (Solver.new_var s) in
+                    blocks.(i) <- b :: blocks.(i);
+                    Common.Tally.blocking_var tally;
+                    (* Rewrite soft clause i: retire the old selector,
+                       re-add with the extra blocking literal under a
+                       fresh one. *)
+                    Solver.retire_selector s sel.(i);
+                    Hashtbl.remove soft_of_var (Lit.var sel.(i));
+                    let l = Lit.pos (Solver.new_var s) in
+                    sel.(i) <- l;
+                    Hashtbl.replace soft_of_var (Lit.var l) i;
+                    Solver.add_clause ~selector:l s
+                      (Array.append (Wcnf.soft w i) (Array.of_list blocks.(i)));
+                    b)
+                  softs
+              in
+              opts.exactly_one sink (Array.of_list new_bs);
+              incr cost;
+              Common.note_lb config !cost;
+              Common.trace config (fun () ->
+                  Printf.sprintf "UNSAT: core of %d soft clauses, cost now %d"
+                    (List.length softs) !cost);
+              loop ())
+    end
+  in
+  try loop () with Msu_guard.Guard.Interrupt _ -> bounds ()
+
+(* ------------------------------------------------------------------ *)
+(* Rebuild path (ablation baseline).                                    *)
+(* ------------------------------------------------------------------ *)
+
 type state = {
   w : Wcnf.t;
   tally : Common.Tally.t;
@@ -30,6 +132,7 @@ let aux_sink st =
     }
 
 let build st =
+  Common.Tally.build st.tally;
   let s = Solver.create () in
   Solver.ensure_vars s st.next_var;
   Wcnf.iter_hard (fun _ c -> Solver.add_clause s c) st.w;
@@ -42,10 +145,7 @@ let build st =
   List.iter (fun c -> Solver.add_clause s c) !(st.aux);
   s
 
-let run opts (config : Types.config) w =
-  Common.require_unit_weights w;
-  let config = Common.with_guard config in
-  let t0 = Unix.gettimeofday () in
+let run_rebuild opts (config : Types.config) w t0 =
   let st =
     {
       w;
@@ -95,3 +195,10 @@ let run opts (config : Types.config) w =
   try loop (build st)
   with Msu_guard.Guard.Interrupt _ ->
     finish (Types.Bounds { lb = !cost; ub = None }) None
+
+let run opts (config : Types.config) w =
+  Common.require_unit_weights w;
+  let config = Common.with_guard config in
+  let t0 = Unix.gettimeofday () in
+  if config.Types.incremental then run_incremental opts config w t0
+  else run_rebuild opts config w t0

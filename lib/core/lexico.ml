@@ -34,8 +34,18 @@ let add_stats (a : Types.stats) (b : Types.stats) =
       cores = a.cores + b.cores;
       blocking_vars = a.blocking_vars + b.blocking_vars;
       encoding_clauses = a.encoding_clauses + b.encoding_clauses;
+      rebuilds = a.rebuilds + b.rebuilds;
+      clauses_reused = a.clauses_reused + b.clauses_reused;
+      learnts_kept = a.learnts_kept + b.learnts_kept;
     }
 
+(* Each weight level gets its own inner solve over a different soft set
+   (with the previous levels' hardenings added), so lexico keeps one
+   persistent solver {e per level} rather than one for the whole solve:
+   the instances differ in their hard clauses, which no selector
+   discipline can retract.  [config.incremental] still pays off — it is
+   inherited by every inner solve, and the per-level rebuild/reuse
+   counters aggregate into this result's stats. *)
 let solve ?(config = Types.default_config) ?(inner = fun ?config w -> Msu4.solve ?config w)
     w =
   if not (is_bmo w) then

@@ -2,7 +2,117 @@ module Lit = Msu_cnf.Lit
 module Wcnf = Msu_cnf.Wcnf
 module Solver = Msu_sat.Solver
 module Card = Msu_card.Card
+module Itotalizer = Msu_card.Itotalizer
 module Sink = Msu_cnf.Sink
+
+(* ------------------------------------------------------------------ *)
+(* Incremental path: one persistent solver for the whole solve.         *)
+(* ------------------------------------------------------------------ *)
+
+(* Every soft clause goes in under a selector; assuming the selector's
+   negation enforces the clause, so a core is read off the failed
+   assumptions instead of the resolution trace.  Relaxing a clause is
+   just dropping its assumption: the selector then plays the
+   blocking-variable role, and an incremental totalizer counts the
+   relaxed selectors, growing leaves and bound as cores arrive.  Learnt
+   clauses survive every iteration. *)
+let solve_incremental (config : Types.config) w t0 =
+  let tally = Common.Tally.create () in
+  let s = Solver.create ~track_proof:false () in
+  Common.Tally.build tally;
+  Solver.ensure_vars s (Wcnf.num_vars w);
+  Wcnf.iter_hard (fun _ c -> Solver.add_clause s c) w;
+  let n_soft = Wcnf.num_soft w in
+  let sel = Array.make (max n_soft 1) (Lit.pos 0) in
+  let soft_of_var = Hashtbl.create (max n_soft 16) in
+  Wcnf.iter_soft
+    (fun i c _ ->
+      let l = Lit.pos (Solver.new_var s) in
+      sel.(i) <- l;
+      Hashtbl.replace soft_of_var (Lit.var l) i;
+      Solver.add_clause ~selector:l s c)
+    w;
+  let relaxed = Array.make (max n_soft 1) false in
+  let sink =
+    Sink.
+      {
+        fresh_var = (fun () -> Solver.new_var s);
+        emit =
+          (fun c ->
+            Common.Tally.encoded tally 1;
+            Solver.add_clause s c);
+      }
+  in
+  let sink =
+    match config.Types.guard with None -> sink | Some g -> Card.guarded_sink g sink
+  in
+  let tot = Itotalizer.create sink [||] in
+  let lambda = ref 0 in
+  let finish outcome model =
+    Common.finish ~t0 ~stats:(Common.Tally.snapshot tally) outcome model
+  in
+  let bounds () = finish (Types.Bounds { lb = !lambda; ub = None }) None in
+  let first = ref true in
+  let rec loop () =
+    if Common.over_deadline config then bounds ()
+    else begin
+      Common.Tally.sat_call tally;
+      if !first then first := false
+      else
+        Common.Tally.reused tally ~clauses:(Solver.num_clauses s)
+          ~learnts:(Solver.num_learnts s);
+      let bound = Itotalizer.at_most sink tot !lambda in
+      let assumptions =
+        let acc = ref (match bound with None -> [] | Some l -> [ l ]) in
+        for i = n_soft - 1 downto 0 do
+          if not relaxed.(i) then acc := Lit.neg sel.(i) :: !acc
+        done;
+        Array.of_list !acc
+      in
+      match
+        Solver.solve ~assumptions ~deadline:config.deadline ?guard:config.guard s
+      with
+      | Solver.Unknown -> bounds ()
+      | Solver.Sat ->
+          Common.trace config (fun () -> Printf.sprintf "SAT: optimum %d" !lambda);
+          finish (Types.Optimum !lambda) (Some (Solver.model s))
+      | Solver.Unsat ->
+          let core = Solver.conflict_assumptions s in
+          let softs =
+            List.filter_map (fun a -> Hashtbl.find_opt soft_of_var (Lit.var a)) core
+          in
+          (* An empty failed-assumption set means the refutation needed
+             no soft clause at all (relaxed ones satisfy through their
+             free selectors): the hard clauses are contradictory. *)
+          if core = [] then finish Types.Hard_unsat None
+          else begin
+            if softs <> [] then Common.Tally.core tally;
+            let new_leaves =
+              List.filter_map
+                (fun i ->
+                  if relaxed.(i) then None
+                  else begin
+                    relaxed.(i) <- true;
+                    Common.Tally.blocking_var tally;
+                    Some sel.(i)
+                  end)
+                softs
+            in
+            Itotalizer.extend sink tot (Array.of_list new_leaves);
+            incr lambda;
+            Common.note_lb config !lambda;
+            Common.trace config (fun () ->
+                Printf.sprintf "UNSAT: %d newly relaxed, lambda now %d"
+                  (List.length new_leaves) !lambda);
+            loop ()
+          end
+    end
+  in
+  try loop () with Msu_guard.Guard.Interrupt _ -> bounds ()
+
+(* ------------------------------------------------------------------ *)
+(* Rebuild path (ablation baseline): fresh solver per iteration.        *)
+(* ------------------------------------------------------------------ *)
 
 type state = {
   w : Wcnf.t;
@@ -21,6 +131,7 @@ let fresh st =
   v
 
 let build st =
+  Common.Tally.build st.tally;
   let s = Solver.create () in
   Solver.ensure_vars s st.next_var;
   Wcnf.iter_hard (fun _ c -> Solver.add_clause s c) st.w;
@@ -48,10 +159,7 @@ let build st =
     (Array.of_list st.vb) st.lambda;
   s
 
-let solve ?(config = Types.default_config) w =
-  Common.require_unit_weights w;
-  let config = Common.with_guard config in
-  let t0 = Unix.gettimeofday () in
+let solve_rebuild config w t0 =
   let st =
     {
       w;
@@ -106,3 +214,10 @@ let solve ?(config = Types.default_config) w =
   try loop (build st)
   with Msu_guard.Guard.Interrupt _ ->
     finish (Types.Bounds { lb = st.lambda; ub = None }) None
+
+let solve ?(config = Types.default_config) w =
+  Common.require_unit_weights w;
+  let config = Common.with_guard config in
+  let t0 = Unix.gettimeofday () in
+  if config.Types.incremental then solve_incremental config w t0
+  else solve_rebuild config w t0

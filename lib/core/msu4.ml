@@ -2,12 +2,147 @@ module Lit = Msu_cnf.Lit
 module Wcnf = Msu_cnf.Wcnf
 module Solver = Msu_sat.Solver
 module Card = Msu_card.Card
+module Itotalizer = Msu_card.Itotalizer
 module Sink = Msu_cnf.Sink
+
+(* ------------------------------------------------------------------ *)
+(* Incremental path: one persistent solver for the whole solve.         *)
+(* ------------------------------------------------------------------ *)
+
+(* Soft clauses enter under selectors, so a core is the subset of failed
+   assumptions instead of a resolution trace, and relaxing a clause is
+   dropping its assumption — the selector doubles as the paper's
+   blocking variable.  The at-most bound over the blocking variables
+   (line 30: strictly fewer than the best cost) is an incremental
+   totalizer assumption, so tightening it after a better model emits
+   only the missing rows; the optional at-least-one constraint over a
+   new core's blocking variables (line 19) is a plain clause. *)
+let solve_incremental (config : Types.config) w t0 =
+  let tally = Common.Tally.create () in
+  let s = Solver.create ~track_proof:false () in
+  Common.Tally.build tally;
+  Solver.ensure_vars s (Wcnf.num_vars w);
+  Wcnf.iter_hard (fun _ c -> Solver.add_clause s c) w;
+  let n_soft = Wcnf.num_soft w in
+  let sel = Array.make (max n_soft 1) (Lit.pos 0) in
+  let soft_of_var = Hashtbl.create (max n_soft 16) in
+  Wcnf.iter_soft
+    (fun i c _ ->
+      let l = Lit.pos (Solver.new_var s) in
+      sel.(i) <- l;
+      Hashtbl.replace soft_of_var (Lit.var l) i;
+      Solver.add_clause ~selector:l s c)
+    w;
+  let relaxed = Array.make (max n_soft 1) false in
+  let sink =
+    Sink.
+      {
+        fresh_var = (fun () -> Solver.new_var s);
+        emit =
+          (fun c ->
+            Common.Tally.encoded tally 1;
+            Solver.add_clause s c);
+      }
+  in
+  let sink =
+    match config.Types.guard with None -> sink | Some g -> Card.guarded_sink g sink
+  in
+  let tot = Itotalizer.create sink [||] in
+  let ub = ref max_int in
+  let best_model = ref None in
+  let unsat_iters = ref 0 in
+  let lower_bound () = if !ub = max_int then !unsat_iters else min !unsat_iters !ub in
+  let finish outcome =
+    Common.finish ~t0 ~stats:(Common.Tally.snapshot tally) outcome !best_model
+  in
+  let bounds_outcome () =
+    Types.Bounds
+      { lb = lower_bound (); ub = (if !ub = max_int then None else Some !ub) }
+  in
+  let first = ref true in
+  let rec loop () =
+    if Common.over_deadline config then finish (bounds_outcome ())
+    else begin
+      Common.Tally.sat_call tally;
+      if !first then first := false
+      else
+        Common.Tally.reused tally ~clauses:(Solver.num_clauses s)
+          ~learnts:(Solver.num_learnts s);
+      (* Line 30: require strictly fewer blocking variables than the
+         best model needed. *)
+      let bound = if !ub = max_int then None else Itotalizer.at_most sink tot (!ub - 1) in
+      let assumptions =
+        let acc = ref (match bound with None -> [] | Some l -> [ l ]) in
+        for i = n_soft - 1 downto 0 do
+          if not relaxed.(i) then acc := Lit.neg sel.(i) :: !acc
+        done;
+        Array.of_list !acc
+      in
+      match
+        Solver.solve ~assumptions ~deadline:config.deadline ?guard:config.guard s
+      with
+      | Solver.Unknown -> finish (bounds_outcome ())
+      | Solver.Sat ->
+          let model = Solver.model s in
+          let cost =
+            match Wcnf.cost_of_model w model with
+            | Some c -> c
+            | None -> assert false (* the solver holds the hard clauses *)
+          in
+          Common.trace config (fun () ->
+              Printf.sprintf "SAT: cost %d (ub %s, lb %d)" cost
+                (if !ub = max_int then "-" else string_of_int !ub)
+                (lower_bound ()));
+          if cost < !ub then begin
+            ub := cost;
+            best_model := Some model;
+            Common.note_ub config cost (Some model)
+          end;
+          if !ub = 0 || !unsat_iters >= !ub then finish (Types.Optimum !ub)
+          else loop ()
+      | Solver.Unsat -> (
+          let core = Solver.conflict_assumptions s in
+          let softs =
+            List.filter_map (fun a -> Hashtbl.find_opt soft_of_var (Lit.var a)) core
+          in
+          match softs with
+          | [] ->
+              (* The core has no unrelaxed soft clause: the bound cannot
+                 improve (lines 21-22), or the hard clauses are refuted. *)
+              if !ub = max_int then finish Types.Hard_unsat
+              else finish (Types.Optimum !ub)
+          | _ ->
+              Common.Tally.core tally;
+              incr unsat_iters;
+              Common.note_lb config (lower_bound ());
+              let new_bs =
+                List.map
+                  (fun i ->
+                    relaxed.(i) <- true;
+                    Common.Tally.blocking_var tally;
+                    sel.(i))
+                  softs
+              in
+              Itotalizer.extend sink tot (Array.of_list new_bs);
+              Common.trace config (fun () ->
+                  Printf.sprintf "UNSAT: core with %d initial clauses (U=%d)"
+                    (List.length softs) !unsat_iters);
+              if config.core_geq1 then sink.Sink.emit (Array.of_list new_bs);
+              if !ub <> max_int && !unsat_iters >= !ub then
+                finish (Types.Optimum !ub)
+              else loop ())
+    end
+  in
+  try loop () with Msu_guard.Guard.Interrupt _ -> finish (bounds_outcome ())
+
+(* ------------------------------------------------------------------ *)
+(* Rebuild path (ablation baseline).                                    *)
+(* ------------------------------------------------------------------ *)
 
 (* Cardinality constraints are kept as abstract specifications and
    re-encoded whenever the solver is rebuilt (rebuilds happen after
-   UNSAT iterations, because relaxing a clause rewrites it, which an
-   incremental solver cannot undo).  Only the tightest at-most bound is
+   UNSAT iterations, because relaxing a clause rewrites it, which this
+   path cannot undo in place).  Only the tightest at-most bound is
    kept: later bounds are over supersets of the blocking variables with
    smaller limits, so they imply all earlier ones. *)
 type state = {
@@ -60,6 +195,7 @@ let encode_bounds st s =
    algorithm never needs to know more about a core than which initial
    clauses it contains. *)
 let build st =
+  Common.Tally.build st.tally;
   let s = Solver.create () in
   Solver.ensure_vars s st.next_var;
   Wcnf.iter_hard (fun _ c -> Solver.add_clause s c) st.w;
@@ -78,10 +214,7 @@ let bounds_outcome st =
   Types.Bounds
     { lb = lower_bound st; ub = (if st.ub = max_int then None else Some st.ub) }
 
-let solve ?(config = Types.default_config) w =
-  Common.require_unit_weights w;
-  let config = Common.with_guard config in
-  let t0 = Unix.gettimeofday () in
+let solve_rebuild config w t0 =
   let st =
     {
       w;
@@ -175,3 +308,10 @@ let solve ?(config = Types.default_config) w =
      raises), not just between SAT calls: salvage the current bounds. *)
   try loop (build st)
   with Msu_guard.Guard.Interrupt _ -> finish (bounds_outcome st)
+
+let solve ?(config = Types.default_config) w =
+  Common.require_unit_weights w;
+  let config = Common.with_guard config in
+  let t0 = Unix.gettimeofday () in
+  if config.Types.incremental then solve_incremental config w t0
+  else solve_rebuild config w t0

@@ -2,12 +2,18 @@ module Lit = Msu_cnf.Lit
 module Wcnf = Msu_cnf.Wcnf
 module Solver = Msu_sat.Solver
 module Card = Msu_card.Card
+module Itotalizer = Msu_card.Itotalizer
 module Sink = Msu_cnf.Sink
 
 (* A "sum" is a totalizer over violation indicators with a movable
    bound: assuming the negation of output [bound] allows at most
-   [bound] of its inputs to be violated. *)
-type sum = { tree : Card.Totalizer_tree.t; mutable bound : int }
+   [bound] of its inputs to be violated.  OLL holds one solver for the
+   whole solve in either mode; [config.incremental] picks the counter —
+   [Lazy_tree] emits merge rows only as the bound grows (Martins et al.
+   CP 2014), [Eager_tree] is the historical build-it-all-now encoding
+   kept for ablation. *)
+type counter = Eager_tree of Card.Totalizer_tree.t | Lazy_tree of Itotalizer.t
+type sum = { counter : counter; mutable bound : int }
 
 (* What to do when an assumption shows up in a core: a soft selector is
    simply retired; a sum assumption additionally bumps the sum's bound
@@ -33,6 +39,7 @@ let solve ?(config = Types.default_config) w =
   let t0 = Unix.gettimeofday () in
   let tally = Common.Tally.create () in
   let s = Solver.create ~track_proof:false () in
+  Common.Tally.build tally;
   Solver.ensure_vars s (Wcnf.num_vars w);
   Wcnf.iter_hard (fun _ c -> Solver.add_clause s c) w;
   let active : (Lit.t, source) Hashtbl.t = Hashtbl.create 64 in
@@ -47,11 +54,16 @@ let solve ?(config = Types.default_config) w =
     Common.finish ~t0 ~stats:(Common.Tally.snapshot tally) outcome model
   in
   let lb = ref 0 in
+  let first = ref true in
   let rec loop () =
     if Common.over_deadline config then
       finish (Types.Bounds { lb = !lb; ub = None }) None
     else begin
       Common.Tally.sat_call tally;
+      if !first then first := false
+      else
+        Common.Tally.reused tally ~clauses:(Solver.num_clauses s)
+          ~learnts:(Solver.num_learnts s);
       let assumptions =
         Array.of_seq (Seq.map fst (Hashtbl.to_seq active))
       in
@@ -80,11 +92,23 @@ let solve ?(config = Types.default_config) w =
                     Hashtbl.remove active a;
                     (match source with
                     | Soft -> ()
-                    | Sum sum ->
+                    | Sum sum -> (
                         sum.bound <- sum.bound + 1;
-                        let outs = Card.Totalizer_tree.outputs sum.tree in
-                        if sum.bound < Array.length outs then
-                          Hashtbl.replace active (Lit.neg outs.(sum.bound)) (Sum sum));
+                        match sum.counter with
+                        | Eager_tree tree ->
+                            let outs = Card.Totalizer_tree.outputs tree in
+                            if sum.bound < Array.length outs then
+                              Hashtbl.replace active
+                                (Lit.neg outs.(sum.bound))
+                                (Sum sum)
+                        | Lazy_tree tree -> (
+                            match
+                              Itotalizer.at_most
+                                (guarded (tally_sink tally s))
+                                tree sum.bound
+                            with
+                            | Some l -> Hashtbl.replace active l (Sum sum)
+                            | None -> ())));
                     Lit.neg a)
                   core
               in
@@ -95,6 +119,14 @@ let solve ?(config = Types.default_config) w =
                  violation (which the core proved unavoidable). *)
               (match indicators with
               | [] | [ _ ] -> ()
+              | _ when config.Types.incremental ->
+                  let sink = guarded (tally_sink tally s) in
+                  let tree = Itotalizer.create sink (Array.of_list indicators) in
+                  (match Itotalizer.at_most sink tree 1 with
+                  | Some l ->
+                      Hashtbl.replace active l
+                        (Sum { counter = Lazy_tree tree; bound = 1 })
+                  | None -> ())
               | _ ->
                   let tree =
                     Card.Totalizer_tree.build
@@ -103,7 +135,9 @@ let solve ?(config = Types.default_config) w =
                   in
                   let outs = Card.Totalizer_tree.outputs tree in
                   if Array.length outs > 1 then
-                    Hashtbl.replace active (Lit.neg outs.(1)) (Sum { tree; bound = 1 }));
+                    Hashtbl.replace active
+                      (Lit.neg outs.(1))
+                      (Sum { counter = Eager_tree tree; bound = 1 }));
               loop ())
     end
   in

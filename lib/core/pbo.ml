@@ -2,6 +2,7 @@ module Lit = Msu_cnf.Lit
 module Wcnf = Msu_cnf.Wcnf
 module Solver = Msu_sat.Solver
 module Card = Msu_card.Card
+module Itotalizer = Msu_card.Itotalizer
 module Gte = Msu_card.Gte
 module Sink = Msu_cnf.Sink
 
@@ -19,6 +20,7 @@ let tally_sink tally s =
    variable.  Returns the solver and the weighted blocking literals. *)
 let build_relaxed tally w =
   let s = Solver.create ~track_proof:false () in
+  Common.Tally.build tally;
   Solver.ensure_vars s (Wcnf.num_vars w);
   Wcnf.iter_hard (fun _ c -> Solver.add_clause s c) w;
   let blocks =
@@ -38,6 +40,93 @@ let constrain_below config tally s blocks cost =
   if Array.for_all (fun (_, w) -> w = 1) blocks then
     Card.at_most ?guard sink config.Types.encoding (Array.map fst blocks) (cost - 1)
   else Gte.at_most ?guard sink blocks (cost - 1)
+
+(* Linear search, incremental flavour: "objective < cost" becomes
+   assumptions over one reusable counter instead of permanently emitted
+   clauses, so each improved model adds only the counter rows the new
+   bound needs and the final Unsat answer still proves optimality (the
+   bound assumption is the only thing refuted, and it mirrors a clause
+   the rebuild path would have asserted).  Unit weights use the
+   incremental totalizer; general weights the generalized totalizer,
+   built lazily and capped at the first model's cost. *)
+let linear_incremental config tally w t0 =
+  let s, blocks = build_relaxed tally w in
+  let finish outcome model =
+    Common.finish ~t0 ~stats:(Common.Tally.snapshot tally) outcome model
+  in
+  let sink = tally_sink tally s in
+  let sink =
+    match config.Types.guard with None -> sink | Some g -> Card.guarded_sink g sink
+  in
+  let unit_weights = Array.for_all (fun (_, wt) -> wt = 1) blocks in
+  let itot = ref None in
+  let gte = ref None in
+  let assume_below cost =
+    (* cost >= 1: the cost-0 model already ended the search. *)
+    if unit_weights then begin
+      let t =
+        match !itot with
+        | Some t -> t
+        | None ->
+            let t = Itotalizer.create sink (Array.map fst blocks) in
+            itot := Some t;
+            t
+      in
+      match Itotalizer.at_most sink t (cost - 1) with None -> [] | Some l -> [ l ]
+    end
+    else begin
+      let g =
+        match !gte with
+        | Some g -> g
+        | None ->
+            let g = Gte.build ?guard:config.Types.guard sink ~cap:(max cost 1) blocks in
+            gte := Some g;
+            g
+      in
+      Gte.at_most_assumptions g (cost - 1)
+    end
+  in
+  let best = ref None in
+  let first = ref true in
+  let rec loop () =
+    if Common.over_deadline config then bounds ()
+    else begin
+      Common.Tally.sat_call tally;
+      if !first then first := false
+      else
+        Common.Tally.reused tally ~clauses:(Solver.num_clauses s)
+          ~learnts:(Solver.num_learnts s);
+      let assumptions =
+        match !best with
+        | None -> [||]
+        | Some (cost, _) -> Array.of_list (assume_below cost)
+      in
+      match
+        Solver.solve ~assumptions ~deadline:config.Types.deadline
+          ?guard:config.Types.guard s
+      with
+      | Solver.Unknown -> bounds ()
+      | Solver.Unsat -> (
+          match !best with
+          | None -> finish Types.Hard_unsat None
+          | Some (cost, model) -> finish (Types.Optimum cost) (Some model))
+      | Solver.Sat ->
+          let model = Solver.model s in
+          let cost =
+            match Wcnf.cost_of_model w model with Some c -> c | None -> assert false
+          in
+          Common.trace config (fun () -> Printf.sprintf "SAT: cost %d" cost);
+          best := Some (cost, model);
+          Common.note_ub config cost (Some model);
+          if cost = 0 then finish (Types.Optimum 0) (Some model) else loop ()
+    end
+  and bounds () =
+    match !best with
+    | None -> finish (Types.Bounds { lb = 0; ub = None }) None
+    | Some (cost, model) ->
+        finish (Types.Bounds { lb = 0; ub = Some cost }) (Some model)
+  in
+  try loop () with Msu_guard.Guard.Interrupt _ -> bounds ()
 
 let linear config tally w t0 =
   let s, blocks = build_relaxed tally w in
@@ -88,9 +177,14 @@ let binary config tally w t0 =
   let counter = ref None in
   let lo = ref 0 in
   let best = ref None in
+  let first = ref true in
   let solve_with_bound k =
     let deadline = config.Types.deadline in
     Common.Tally.sat_call tally;
+    if !first then first := false
+    else
+      Common.Tally.reused tally ~clauses:(Solver.num_clauses s)
+        ~learnts:(Solver.num_learnts s);
     let assumptions =
       match k with
       | None -> [||]
@@ -159,5 +253,7 @@ let solve ?(config = Types.default_config) ?(search = `Linear) w =
   let t0 = Unix.gettimeofday () in
   let tally = Common.Tally.create () in
   match search with
-  | `Linear -> linear config tally w t0
+  | `Linear ->
+      if config.Types.incremental then linear_incremental config tally w t0
+      else linear config tally w t0
   | `Binary -> binary config tally w t0

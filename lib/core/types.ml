@@ -9,6 +9,9 @@ type stats = {
   cores : int;
   blocking_vars : int;
   encoding_clauses : int;
+  rebuilds : int;
+  clauses_reused : int;
+  learnts_kept : int;
 }
 
 type result = {
@@ -25,6 +28,7 @@ type config = {
   max_memory_words : int option;
   encoding : Msu_card.Card.encoding;
   core_geq1 : bool;
+  incremental : bool;
   trace : (string -> unit) option;
   guard : Msu_guard.Guard.t option;
   progress : Msu_guard.Guard.Progress.cell option;
@@ -38,12 +42,22 @@ let default_config =
     max_memory_words = None;
     encoding = Msu_card.Card.Sortnet;
     core_geq1 = true;
+    incremental = true;
     trace = None;
     guard = None;
     progress = None;
   }
 
-let empty_stats = { sat_calls = 0; cores = 0; blocking_vars = 0; encoding_clauses = 0 }
+let empty_stats =
+  {
+    sat_calls = 0;
+    cores = 0;
+    blocking_vars = 0;
+    encoding_clauses = 0;
+    rebuilds = 0;
+    clauses_reused = 0;
+    learnts_kept = 0;
+  }
 
 let max_satisfied w r =
   match r.outcome with

@@ -20,6 +20,15 @@ type stats = {
   cores : int;  (** unsatisfiable cores extracted *)
   blocking_vars : int;  (** relaxation variables introduced *)
   encoding_clauses : int;  (** clauses emitted by cardinality encoders *)
+  rebuilds : int;
+      (** solver reconstructions after the first build; 0 when the solve
+          kept one solver alive throughout *)
+  clauses_reused : int;
+      (** problem clauses already in the solver at the start of each SAT
+          call after the first — work a rebuilding solve would redo *)
+  learnts_kept : int;
+      (** learnt clauses carried into each SAT call after the first —
+          rebuild-mode solves always restart from zero *)
 }
 
 type result = {
@@ -44,6 +53,10 @@ type config = {
   core_geq1 : bool;
       (** msu4's optional "at least one new blocking variable" constraint
           (Algorithm 1, line 19) *)
+  incremental : bool;
+      (** keep one SAT solver alive for the whole solve (selectors for
+          soft clauses, incremental totalizers for bounds); [false]
+          selects the historical rebuild-per-iteration path for ablation *)
   trace : (string -> unit) option;  (** per-iteration narration *)
   guard : Msu_guard.Guard.t option;
       (** pre-built guard to poll instead of deriving one from the budget
@@ -56,7 +69,8 @@ type config = {
 
 val default_config : config
 (** No deadline or budgets, [Sortnet] encoding (the paper's stronger
-    v2), [core_geq1 = true], no trace, no shared guard. *)
+    v2), [core_geq1 = true], [incremental = true], no trace, no shared
+    guard. *)
 
 val empty_stats : stats
 val max_satisfied : Msu_cnf.Wcnf.t -> result -> int option

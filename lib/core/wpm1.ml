@@ -5,8 +5,138 @@ module Sink = Msu_cnf.Sink
 
 (* Soft clauses are dynamic here: cores split them.  Each live soft
    clause carries its current weight and accumulated blocking
-   literals. *)
-type soft = { lits : Lit.t array; mutable weight : int; mutable blocks : Lit.t list }
+   literals (and, on the incremental path, its current selector). *)
+type soft = {
+  lits : Lit.t array;
+  mutable weight : int;
+  mutable blocks : Lit.t list;
+  mutable sel : Lit.t;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Incremental path: one persistent solver for the whole solve.         *)
+(* ------------------------------------------------------------------ *)
+
+(* The weighted Fu & Malik transformation, with activation literals.
+   Splitting a core clause of weight [w > wmin] pushes a fresh copy
+   (same literals and blocks, weight [w - wmin]) under its own
+   selector; the original is rewritten — retire its selector, re-add
+   with one more blocking literal under a fresh selector — exactly like
+   the unweighted engine. *)
+let solve_incremental (config : Types.config) w t0 =
+  let tally = Common.Tally.create () in
+  let s = Solver.create ~track_proof:false () in
+  Common.Tally.build tally;
+  Solver.ensure_vars s (Wcnf.num_vars w);
+  Wcnf.iter_hard (fun _ c -> Solver.add_clause s c) w;
+  let softs = Msu_cnf.Vec.create ~dummy:{ lits = [||]; weight = 0; blocks = []; sel = Lit.pos 0 } in
+  let soft_of_var = Hashtbl.create 64 in
+  let enter_soft soft =
+    let i = Msu_cnf.Vec.size softs in
+    let l = Lit.pos (Solver.new_var s) in
+    soft.sel <- l;
+    Msu_cnf.Vec.push softs soft;
+    Hashtbl.replace soft_of_var (Lit.var l) i;
+    Solver.add_clause ~selector:l s
+      (Array.append soft.lits (Array.of_list soft.blocks));
+    i
+  in
+  Wcnf.iter_soft
+    (fun _ c weight ->
+      ignore (enter_soft { lits = c; weight; blocks = []; sel = Lit.pos 0 }))
+    w;
+  let sink =
+    Sink.
+      {
+        fresh_var = (fun () -> Solver.new_var s);
+        emit =
+          (fun c ->
+            Common.Tally.encoded tally 1;
+            Solver.add_clause s c);
+      }
+  in
+  let finish outcome model =
+    Common.finish ~t0 ~stats:(Common.Tally.snapshot tally) outcome model
+  in
+  let cost = ref 0 in
+  let bounds () = finish (Types.Bounds { lb = !cost; ub = None }) None in
+  let first = ref true in
+  let rec loop () =
+    if Common.over_deadline config then bounds ()
+    else begin
+      Common.Tally.sat_call tally;
+      if !first then first := false
+      else
+        Common.Tally.reused tally ~clauses:(Solver.num_clauses s)
+          ~learnts:(Solver.num_learnts s);
+      let assumptions =
+        Array.init (Msu_cnf.Vec.size softs) (fun i ->
+            Lit.neg (Msu_cnf.Vec.get softs i).sel)
+      in
+      match
+        Solver.solve ~assumptions ~deadline:config.deadline ?guard:config.guard s
+      with
+      | Solver.Unknown -> bounds ()
+      | Solver.Sat ->
+          Common.trace config (fun () -> Printf.sprintf "SAT: optimum %d" !cost);
+          finish (Types.Optimum !cost) (Some (Solver.model s))
+      | Solver.Unsat -> (
+          let core = Solver.conflict_assumptions s in
+          let idxs =
+            List.filter_map (fun a -> Hashtbl.find_opt soft_of_var (Lit.var a)) core
+          in
+          match idxs with
+          | [] -> finish Types.Hard_unsat None
+          | _ ->
+              Common.Tally.core tally;
+              let wmin =
+                List.fold_left
+                  (fun acc i -> min acc (Msu_cnf.Vec.get softs i).weight)
+                  max_int idxs
+              in
+              let new_bs =
+                List.map
+                  (fun i ->
+                    let soft = Msu_cnf.Vec.get softs i in
+                    (* Split the weight: the remainder survives as a
+                       fresh unrelaxed copy. *)
+                    if soft.weight > wmin then
+                      ignore
+                        (enter_soft
+                           {
+                             lits = soft.lits;
+                             weight = soft.weight - wmin;
+                             blocks = soft.blocks;
+                             sel = Lit.pos 0;
+                           });
+                    let b = Lit.pos (Solver.new_var s) in
+                    soft.weight <- wmin;
+                    soft.blocks <- b :: soft.blocks;
+                    Common.Tally.blocking_var tally;
+                    Solver.retire_selector s soft.sel;
+                    Hashtbl.remove soft_of_var (Lit.var soft.sel);
+                    let l = Lit.pos (Solver.new_var s) in
+                    soft.sel <- l;
+                    Hashtbl.replace soft_of_var (Lit.var l) i;
+                    Solver.add_clause ~selector:l s
+                      (Array.append soft.lits (Array.of_list soft.blocks));
+                    b)
+                  idxs
+              in
+              Msu_card.Card.exactly_one sink (Array.of_list new_bs);
+              cost := !cost + wmin;
+              Common.note_lb config !cost;
+              Common.trace config (fun () ->
+                  Printf.sprintf "UNSAT: core of %d softs, wmin %d, cost now %d"
+                    (List.length idxs) wmin !cost);
+              loop ())
+    end
+  in
+  try loop () with Msu_guard.Guard.Interrupt _ -> bounds ()
+
+(* ------------------------------------------------------------------ *)
+(* Rebuild path (ablation baseline).                                    *)
+(* ------------------------------------------------------------------ *)
 
 type state = {
   w : Wcnf.t;
@@ -32,6 +162,7 @@ let aux_sink st =
     }
 
 let build st =
+  Common.Tally.build st.tally;
   let s = Solver.create () in
   Solver.ensure_vars s st.next_var;
   Wcnf.iter_hard (fun _ c -> Solver.add_clause s c) st.w;
@@ -44,20 +175,19 @@ let build st =
   List.iter (fun c -> Solver.add_clause s c) !(st.aux);
   s
 
-let solve ?(config = Types.default_config) w =
-  let config = Common.with_guard config in
-  let t0 = Unix.gettimeofday () in
+let solve_rebuild config w t0 =
   let st =
     {
       w;
       tally = Common.Tally.create ();
-      softs = Msu_cnf.Vec.create ~dummy:{ lits = [||]; weight = 0; blocks = [] };
+      softs = Msu_cnf.Vec.create ~dummy:{ lits = [||]; weight = 0; blocks = []; sel = Lit.pos 0 };
       aux = ref [];
       next_var = Wcnf.num_vars w;
     }
   in
   Wcnf.iter_soft
-    (fun _ c weight -> Msu_cnf.Vec.push st.softs { lits = c; weight; blocks = [] })
+    (fun _ c weight ->
+      Msu_cnf.Vec.push st.softs { lits = c; weight; blocks = []; sel = Lit.pos 0 })
     w;
   let finish outcome model =
     Common.finish ~t0 ~stats:(Common.Tally.snapshot st.tally) outcome model
@@ -95,6 +225,7 @@ let solve ?(config = Types.default_config) w =
                           lits = soft.lits;
                           weight = soft.weight - wmin;
                           blocks = soft.blocks;
+                          sel = Lit.pos 0;
                         };
                     let b = Lit.pos (fresh st) in
                     soft.weight <- wmin;
@@ -115,3 +246,9 @@ let solve ?(config = Types.default_config) w =
   try loop (build st)
   with Msu_guard.Guard.Interrupt _ ->
     finish (Types.Bounds { lb = !cost; ub = None }) None
+
+let solve ?(config = Types.default_config) w =
+  let config = Common.with_guard config in
+  let t0 = Unix.gettimeofday () in
+  if config.Types.incremental then solve_incremental config w t0
+  else solve_rebuild config w t0

@@ -18,6 +18,11 @@ and clause = {
   source : source;
 }
 
+(* A watched-clause reference with a cached "blocking" literal (MiniSat
+   2.2): when the blocker is already true the clause is satisfied and
+   propagation skips the clause dereference entirely. *)
+type watcher = { blocker : int; wc : clause }
+
 type result = Sat | Unsat | Unknown
 
 type stats = {
@@ -43,7 +48,11 @@ type t = {
   mutable activity : float array;
   mutable polarity : bool array; (* saved phase; doubles as model cache *)
   mutable seen : bool array; (* scratch for analyze *)
-  mutable watches : clause Vec.t array; (* indexed by packed literal *)
+  mutable watches : watcher Vec.t array; (* indexed by packed literal *)
+  (* Activation-literal clause groups: selector var -> clauses guarded
+     by it.  [retire_selector] satisfies the group with a unit and marks
+     its clauses removed so the watcher lists drop them lazily. *)
+  selector_groups : (int, clause list ref) Hashtbl.t;
   mutable order : Idx_heap.t;
   clauses : clause Vec.t; (* problem clauses *)
   learnts : clause Vec.t;
@@ -78,6 +87,8 @@ type t = {
 let dummy_clause =
   { uid = -1; lits = [||]; activity = 0.; learnt = false; removed = false; source = Axiom (-1) }
 
+let dummy_watcher = { blocker = 0; wc = dummy_clause }
+
 let var_decay = 1. /. 0.95
 let clause_decay = 1. /. 0.999
 let restart_base = 100
@@ -97,6 +108,7 @@ let create ?(track_proof = true) () =
       polarity = [||];
       seen = [||];
       watches = [||];
+      selector_groups = Hashtbl.create 64;
       order = Idx_heap.create ~score:(fun _ -> 0.);
       clauses = Vec.create ~dummy:dummy_clause;
       learnts = Vec.create ~dummy:dummy_clause;
@@ -129,6 +141,8 @@ let create ?(track_proof = true) () =
 
 let num_vars s = s.num_vars
 let set_drup s log = s.drup_log <- Some log
+let num_clauses s = Vec.size s.clauses
+let num_learnts s = Vec.size s.learnts
 
 let drup_add s lits =
   match s.drup_log with
@@ -169,10 +183,10 @@ let ensure_vars s n =
     s.seen <- grow_array s.seen n false;
     let wcap = 2 * Array.length s.assigns in
     if wcap > Array.length s.watches then begin
-      let watches' = Array.make wcap (Vec.create ~dummy:dummy_clause) in
+      let watches' = Array.make wcap (Vec.create ~dummy:dummy_watcher) in
       Array.blit s.watches 0 watches' 0 (Array.length s.watches);
       for i = Array.length s.watches to wcap - 1 do
-        watches'.(i) <- Vec.create ~dummy:dummy_clause
+        watches'.(i) <- Vec.create ~dummy:dummy_watcher
       done;
       s.watches <- watches'
     end;
@@ -220,16 +234,17 @@ let cla_decay_activity s = s.cla_inc <- s.cla_inc *. clause_decay
 
 (* Watched literals.  A clause watches lits.(0) and lits.(1); it is
    registered under the negation of each watched literal so that
-   assigning a literal [p] true triggers inspection of watches.(p). *)
+   assigning a literal [p] true triggers inspection of watches.(p).
+   Each watcher caches the other watched literal as its blocker. *)
 
 let attach s c =
   assert (Array.length c.lits >= 2);
-  Vec.push s.watches.(c.lits.(0) lxor 1) c;
-  Vec.push s.watches.(c.lits.(1) lxor 1) c
+  Vec.push s.watches.(c.lits.(0) lxor 1) { blocker = c.lits.(1); wc = c };
+  Vec.push s.watches.(c.lits.(1) lxor 1) { blocker = c.lits.(0); wc = c }
 
 let detach s c =
-  Vec.filter_in_place (fun c' -> c' != c) s.watches.(c.lits.(0) lxor 1);
-  Vec.filter_in_place (fun c' -> c' != c) s.watches.(c.lits.(1) lxor 1)
+  Vec.filter_in_place (fun w -> w.wc != c) s.watches.(c.lits.(0) lxor 1);
+  Vec.filter_in_place (fun w -> w.wc != c) s.watches.(c.lits.(1) lxor 1)
 
 (* Assignment trail. *)
 
@@ -290,48 +305,57 @@ let propagate s =
     let i = ref 0 and j = ref 0 in
     let false_lit = p lxor 1 in
     while !i < n do
-      let c = Vec.unsafe_get ws !i in
+      let w = Vec.unsafe_get ws !i in
       incr i;
-      if c.removed then () (* drop lazily *)
+      (* Blocking literal: if the cached literal is already true the
+         clause is satisfied — keep the watch, skip the dereference. *)
+      if value_of s w.blocker = 1 then begin
+        Vec.unsafe_set ws !j w;
+        incr j
+      end
       else begin
-        let lits = c.lits in
-        (* Normalize: the false watched literal goes to slot 1. *)
-        if lits.(0) = false_lit then begin
-          lits.(0) <- lits.(1);
-          lits.(1) <- false_lit
-        end;
-        let first = lits.(0) in
-        if value_of s first = 1 then begin
-          (* Clause already satisfied: keep the watch. *)
-          Vec.unsafe_set ws !j c;
-          incr j
-        end
+        let c = w.wc in
+        if c.removed then () (* drop lazily *)
         else begin
-          (* Look for a non-false literal to watch instead. *)
-          let len = Array.length lits in
-          let k = ref 2 in
-          while !k < len && value_of s lits.(!k) = 0 do
-            incr k
-          done;
-          if !k < len then begin
-            lits.(1) <- lits.(!k);
-            lits.(!k) <- false_lit;
-            Vec.push s.watches.(lits.(1) lxor 1) c
+          let lits = c.lits in
+          (* Normalize: the false watched literal goes to slot 1. *)
+          if lits.(0) = false_lit then begin
+            lits.(0) <- lits.(1);
+            lits.(1) <- false_lit
+          end;
+          let first = lits.(0) in
+          if value_of s first = 1 then begin
+            (* Clause already satisfied: keep the watch. *)
+            Vec.unsafe_set ws !j { blocker = first; wc = c };
+            incr j
           end
           else begin
-            (* Unit or conflicting: the watch stays. *)
-            Vec.unsafe_set ws !j c;
-            incr j;
-            if value_of s first = 0 then begin
-              conflict := Some c;
-              while !i < n do
-                Vec.unsafe_set ws !j (Vec.unsafe_get ws !i);
-                incr j;
-                incr i
-              done;
-              s.qhead <- Vec.size s.trail
+            (* Look for a non-false literal to watch instead. *)
+            let len = Array.length lits in
+            let k = ref 2 in
+            while !k < len && value_of s lits.(!k) = 0 do
+              incr k
+            done;
+            if !k < len then begin
+              lits.(1) <- lits.(!k);
+              lits.(!k) <- false_lit;
+              Vec.push s.watches.(lits.(1) lxor 1) { blocker = first; wc = c }
             end
-            else enqueue s first (Some c)
+            else begin
+              (* Unit or conflicting: the watch stays. *)
+              Vec.unsafe_set ws !j { blocker = first; wc = c };
+              incr j;
+              if value_of s first = 0 then begin
+                conflict := Some c;
+                while !i < n do
+                  Vec.unsafe_set ws !j (Vec.unsafe_get ws !i);
+                  incr j;
+                  incr i
+                done;
+                s.qhead <- Vec.size s.trail
+              end
+              else enqueue s first (Some c)
+            end
           end
         end
       end
@@ -357,13 +381,15 @@ let record_refutation s c =
 
 (* Adding clauses (only at decision level 0). *)
 
-let add_clause ?(id = -1) s lits =
+let add_clause_core ?(id = -1) s lits =
   assert (decision_level s = 0);
-  if s.ok then begin
+  if not s.ok then None
+  else begin
     Array.iter (fun l -> ensure_vars s (Lit.var l + 1)) lits;
     let lits = Array.map Lit.to_int lits in
-    (* Remove duplicates; detect tautologies. *)
-    Array.sort compare lits;
+    (* Remove duplicates; detect tautologies.  Literals are packed ints:
+       sort monomorphically. *)
+    Array.sort Int.compare lits;
     let tautology = ref false in
     let uniq = Vec.create ~dummy:0 in
     Array.iter
@@ -374,24 +400,27 @@ let add_clause ?(id = -1) s lits =
           Vec.push uniq l
         end)
       lits;
-    if not !tautology then begin
+    if !tautology then None
+    else begin
       let c = mk_clause s ~learnt:false ~source:(Axiom id) (Vec.to_array uniq) in
       (* Order the literals so the two "most assignable" come first:
          true before unassigned before false.  This keeps the watch
          invariant valid under the current level-0 prefix. *)
       let score l = match value_of s l with 1 -> 2 | -1 -> 1 | _ -> 0 in
-      Array.sort (fun a b -> compare (score b) (score a)) c.lits;
+      Array.sort (fun a b -> Int.compare (score b) (score a)) c.lits;
       let len = Array.length c.lits in
       if len = 0 then begin
         s.ok <- false;
         drup_add s [||];
         if s.track_proof then
-          s.refutation <- Some (mk_clause s ~learnt:false ~source:(Resolved [ c ]) [||])
+          s.refutation <- Some (mk_clause s ~learnt:false ~source:(Resolved [ c ]) [||]);
+        None
       end
       else if value_of s c.lits.(0) = 0 then begin
         (* All literals false under the level-0 prefix: refuted. *)
         s.ok <- false;
-        record_refutation s c
+        record_refutation s c;
+        None
       end
       else begin
         Vec.push s.clauses c;
@@ -406,12 +435,49 @@ let add_clause ?(id = -1) s lits =
           | Some confl ->
               s.ok <- false;
               record_refutation s confl
-        end
+        end;
+        Some c
       end
     end
   end
 
+let add_clause ?id ?selector s lits =
+  match selector with
+  | None -> ignore (add_clause_core ?id s lits)
+  | Some sel ->
+      (* Activation-literal discipline: the clause is stored as
+         [lits \/ sel]; assuming [neg sel] enforces it, and
+         [retire_selector] permanently satisfies the group. *)
+      ensure_vars s (Lit.var sel + 1);
+      (match add_clause_core ?id s (Array.append lits [| sel |]) with
+      | None -> ()
+      | Some c ->
+          let v = Lit.var sel in
+          let group =
+            match Hashtbl.find_opt s.selector_groups v with
+            | Some g -> g
+            | None ->
+                let g = ref [] in
+                Hashtbl.add s.selector_groups v g;
+                g
+          in
+          group := c :: !group)
+
 let add_clause_l ?id s lits = add_clause ?id s (Array.of_list lits)
+
+let retire_selector s sel =
+  assert (decision_level s = 0);
+  let v = Lit.var sel in
+  (match Hashtbl.find_opt s.selector_groups v with
+  | None -> ()
+  | Some group ->
+      (* The unit below satisfies every clause of the group; marking
+         them removed lets propagation drop their watchers lazily while
+         learnt clauses (which can only mention the selector with the
+         same sign) stay valid. *)
+      List.iter (fun c -> c.removed <- true) !group;
+      Hashtbl.remove s.selector_groups v);
+  ignore (add_clause_core s [| sel |])
 
 (* Conflict analysis: first UIP with basic self-subsumption
    minimization.  Returns the learnt clause (asserting literal first,
@@ -666,7 +732,7 @@ let search s assumptions max_conflicts =
                 let out = ref [] in
                 analyze_final s (a lxor 1) out;
                 s.conflict_assumps <-
-                  List.sort_uniq compare (List.map (fun l -> l lxor 1) !out);
+                  List.sort_uniq Int.compare (List.map (fun l -> l lxor 1) !out);
                 outcome := Some S_unsat
             | _ ->
                 s.n_decisions <- s.n_decisions + 1;
@@ -690,6 +756,10 @@ let search s assumptions max_conflicts =
 let solve ?(assumptions = [||]) ?(deadline = infinity) ?(conflict_budget = max_int)
     ?guard s =
   Array.iter (fun l -> ensure_vars s (Lit.var l + 1)) assumptions;
+  (* Clear before the [ok] bail-out: an incremental caller reading
+     [conflict_assumptions] after a top-level refutation must see the
+     empty core, not a stale one from an earlier call. *)
+  s.conflict_assumps <- [];
   if not s.ok then Unsat
   else begin
     s.deadline <- deadline;
@@ -699,7 +769,6 @@ let solve ?(assumptions = [||]) ?(deadline = infinity) ?(conflict_budget = max_i
     s.guard_props_base <- s.n_propagations;
     s.conflict_budget <-
       (if conflict_budget = max_int then max_int else s.n_conflicts + conflict_budget);
-    s.conflict_assumps <- [];
     s.max_learnts <- Float.max 1000. (float_of_int (Vec.size s.clauses) /. 3.);
     let result = ref None in
     let restart = ref 0 in
@@ -753,7 +822,7 @@ let unsat_core s =
               | Resolved ants -> List.iter (fun a -> stack := a :: !stack) ants
             end
       done;
-      List.sort_uniq compare !ids
+      List.sort_uniq Int.compare !ids
 
 let stats s =
   {

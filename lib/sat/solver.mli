@@ -19,8 +19,12 @@
        inconsistent subset (MiniSAT's [analyzeFinal]).}}
 
     The solver is incremental: clauses may be added between [solve]
-    calls.  Clauses cannot be removed; the MaxSAT layer rebuilds a fresh
-    solver whenever it rewrites clauses. *)
+    calls.  Clauses cannot be rewritten in place, but a clause added
+    with [~selector] can be {e retired} — permanently disabled by
+    unit-asserting its selector ({!retire_selector}) — which lets the
+    MaxSAT layer relax a soft clause by adding its rewritten form under
+    a fresh selector instead of rebuilding the solver, keeping every
+    learnt clause valid across iterations. *)
 
 type t
 
@@ -47,14 +51,36 @@ val new_var : t -> Msu_cnf.Lit.var
 val ensure_vars : t -> int -> unit
 val num_vars : t -> int
 
-val add_clause : ?id:int -> t -> Msu_cnf.Lit.t array -> unit
+val num_clauses : t -> int
+(** Problem clauses currently in the database (retired clauses are
+    counted until their lazy removal). *)
+
+val num_learnts : t -> int
+(** Learnt clauses currently alive — the ones an incremental caller
+    carries over to its next [solve]. *)
+
+val add_clause : ?id:int -> ?selector:Msu_cnf.Lit.t -> t -> Msu_cnf.Lit.t array -> unit
 (** Adds a clause.  [id >= 0] marks it as tracked for core extraction;
     ids need not be distinct from variable numbering but must be unique
     among tracked clauses.  Duplicate literals are removed; tautologies
     are dropped.  May set the solver unsatisfiable immediately (see
-    {!okay}). *)
+    {!okay}).
+
+    With [~selector:s] the clause is stored as [lits \/ s] and
+    registered under [s]'s variable: solving with the assumption
+    [neg s] enforces the original clause, while {!retire_selector}
+    permanently disables the whole group.  The selector variable should
+    be fresh (used by no other clause except as a selector). *)
 
 val add_clause_l : ?id:int -> t -> Msu_cnf.Lit.t list -> unit
+
+val retire_selector : t -> Msu_cnf.Lit.t -> unit
+(** [retire_selector s sel] permanently disables every clause registered
+    under [sel]: the selector literal is unit-asserted, satisfying the
+    group, and the clauses are marked removed so the watcher lists drop
+    them lazily.  Learnt clauses remain valid: conflict analysis under
+    the assumption [neg sel] can only introduce [sel] with the same sign
+    the unit asserts.  Call at decision level 0 (between [solve]s). *)
 
 val okay : t -> bool
 (** [false] once the clause set has been refuted at top level. *)

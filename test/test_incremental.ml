@@ -1,0 +1,385 @@
+(* Incremental vs rebuild: the two modes must be observationally
+   identical on optima, and individually sound when budgets or crashes
+   cut a run short.  Also unit-level checks for the two mechanisms the
+   incremental mode is built from: solver assumption selectors and the
+   lazily-emitted incremental totalizer. *)
+
+module Wcnf = Msu_cnf.Wcnf
+module Lit = Msu_cnf.Lit
+module Sink = Msu_cnf.Sink
+module Solver = Msu_sat.Solver
+module Card = Msu_card.Card
+module Itotalizer = Msu_card.Itotalizer
+module M = Msu_maxsat.Maxsat
+module T = Msu_maxsat.Types
+module F = Msu_guard.Fault
+open Test_util
+
+let incremental = T.default_config
+let rebuild = { T.default_config with T.incremental = false }
+
+let with_fault kind f =
+  F.arm kind;
+  Fun.protect ~finally:F.disarm_all f
+
+let random_wcnf st ~partial ~weighted =
+  let n_vars = 3 + Random.State.int st 7 in
+  let n_clauses = 3 + Random.State.int st 22 in
+  let w = Wcnf.create () in
+  Wcnf.ensure_vars w n_vars;
+  for _ = 1 to n_clauses do
+    let len = 1 + Random.State.int st 3 in
+    let c =
+      Array.init len (fun _ ->
+          Lit.make (Random.State.int st n_vars) (Random.State.bool st))
+    in
+    if partial && Random.State.int st 4 = 0 then Wcnf.add_hard w c
+    else
+      let weight = if weighted then 1 + Random.State.int st 6 else 1 in
+      ignore (Wcnf.add_soft w ~weight c)
+  done;
+  w
+
+(* Both modes against each other and against enumeration. *)
+let check_both_modes ~round alg w expected =
+  List.iter
+    (fun (mode, config) ->
+      let r = M.solve ~config alg w in
+      match (r.T.outcome, expected) with
+      | T.Optimum c, Some e when c = e ->
+          if not (T.verify_model w r) then
+            Alcotest.failf "round %d %s (%s): model verification failed" round
+              (M.algorithm_to_string alg) mode
+      | T.Hard_unsat, None -> ()
+      | o, _ ->
+          Alcotest.failf "round %d %s (%s): got %a expected %s" round
+            (M.algorithm_to_string alg) mode T.pp_outcome o
+            (match expected with Some e -> string_of_int e | None -> "hard-unsat"))
+    [ ("incremental", incremental); ("rebuild", rebuild) ]
+
+let unweighted_algorithms =
+  [ M.Msu1; M.Msu2; M.Msu3; M.Msu4_v1; M.Msu4_v2; M.Oll; M.Pbo_linear; M.Pbo_binary ]
+
+let cross_modes ~partial ~weighted ~algorithms ~rounds ~seed () =
+  let st = Random.State.make [| seed |] in
+  for round = 1 to rounds do
+    let w = random_wcnf st ~partial ~weighted in
+    let expected = Wcnf.brute_force_min_cost w in
+    List.iter (fun alg -> check_both_modes ~round alg w expected) algorithms
+  done
+
+let test_modes_agree_plain =
+  cross_modes ~partial:false ~weighted:false ~algorithms:unweighted_algorithms
+    ~rounds:25 ~seed:0x1AC1
+
+let test_modes_agree_partial =
+  cross_modes ~partial:true ~weighted:false ~algorithms:unweighted_algorithms
+    ~rounds:25 ~seed:0x1AC2
+
+let test_modes_agree_weighted =
+  cross_modes ~partial:true ~weighted:true
+    ~algorithms:[ M.Wpm1; M.Pbo_linear; M.Pbo_binary ]
+    ~rounds:25 ~seed:0x1AC3
+
+(* The five cardinality encodings feed msu3/msu4's rebuild path and the
+   incremental paths' plain at-most constraints; every (encoding, mode)
+   cell must agree. *)
+let test_all_encodings_both_modes () =
+  let st = Random.State.make [| 0x1AC4 |] in
+  for round = 1 to 6 do
+    let w = random_wcnf st ~partial:true ~weighted:false in
+    let expected = Wcnf.brute_force_min_cost w in
+    List.iter
+      (fun enc ->
+        List.iter
+          (fun (mode, config) ->
+            let config = { config with T.encoding = enc } in
+            List.iter
+              (fun alg ->
+                let r = M.solve ~config alg w in
+                match (r.T.outcome, expected) with
+                | T.Optimum c, Some e when c = e -> ()
+                | T.Hard_unsat, None -> ()
+                | o, _ ->
+                    Alcotest.failf "round %d %s/%s (%s): got %a" round
+                      (M.algorithm_to_string alg)
+                      (Card.encoding_to_string enc)
+                      mode T.pp_outcome o)
+              [ M.Msu3; M.Msu4_v2; M.Pbo_linear ])
+          [ ("incremental", incremental); ("rebuild", rebuild) ])
+      Card.all_encodings
+  done
+
+(* Budget-limited runs may stop early in either mode, but whatever they
+   report must bracket the true optimum. *)
+let test_budget_bounds_both_modes () =
+  let w = Wcnf.of_formula (pigeonhole 5) in
+  (* true optimum: drop exactly one clause *)
+  List.iter
+    (fun budget ->
+      List.iter
+        (fun (mode, config) ->
+          let config = { config with T.max_conflicts = Some budget } in
+          List.iter
+            (fun alg ->
+              let r = M.solve ~config alg w in
+              match r.T.outcome with
+              | T.Optimum 1 -> ()
+              | T.Bounds { lb; ub } ->
+                  Alcotest.(check bool)
+                    (Printf.sprintf "%s (%s) lb sound" (M.algorithm_to_string alg) mode)
+                    true (lb <= 1);
+                  (match ub with
+                  | Some u ->
+                      Alcotest.(check bool)
+                        (Printf.sprintf "%s (%s) ub sound" (M.algorithm_to_string alg)
+                           mode)
+                        true (u >= 1)
+                  | None -> ())
+              | o ->
+                  Alcotest.failf "%s (%s): %a" (M.algorithm_to_string alg) mode
+                    T.pp_outcome o)
+            [ M.Msu1; M.Msu3; M.Msu4_v2; M.Oll; M.Pbo_linear ])
+        [ ("incremental", incremental); ("rebuild", rebuild) ])
+    [ 1; 10; 100 ]
+
+(* A crash mid-solve must salvage sound bounds in both modes. *)
+let test_crash_salvage_both_modes () =
+  let w = Wcnf.of_formula (pigeonhole 3) in
+  List.iter
+    (fun (mode, config) ->
+      List.iter
+        (fun alg ->
+          with_fault F.Crash_mid_solve (fun () ->
+              let r = M.solve_supervised ~config alg w in
+              match r.T.outcome with
+              | T.Crashed { lb; ub; _ } ->
+                  Alcotest.(check bool)
+                    (Printf.sprintf "%s (%s) lb sound" (M.algorithm_to_string alg) mode)
+                    true (lb <= 1);
+                  (match ub with
+                  | Some u ->
+                      Alcotest.(check bool)
+                        (Printf.sprintf "%s (%s) ub sound" (M.algorithm_to_string alg)
+                           mode)
+                        true (u >= 1)
+                  | None -> ())
+              | T.Optimum 1 -> () (* crash hook never reached *)
+              | o ->
+                  Alcotest.failf "%s (%s): %a" (M.algorithm_to_string alg) mode
+                    T.pp_outcome o))
+        [ M.Msu3; M.Msu4_v2; M.Pbo_linear ])
+    [ ("incremental", incremental); ("rebuild", rebuild) ]
+
+(* ---------------- stats discipline ---------------- *)
+
+(* Multi-core instance: incremental mode builds once and reuses; rebuild
+   mode restarts the solver on every core. *)
+let test_stats_reflect_mode () =
+  let w = Wcnf.of_formula (pigeonhole 3) in
+  List.iter
+    (fun alg ->
+      let ri = M.solve ~config:incremental alg w in
+      Alcotest.(check int)
+        (M.algorithm_to_string alg ^ " incremental: no rebuilds")
+        0 ri.T.stats.T.rebuilds;
+      Alcotest.(check bool)
+        (M.algorithm_to_string alg ^ " incremental: reuses clauses")
+        true
+        (ri.T.stats.T.clauses_reused > 0);
+      let rr = M.solve ~config:rebuild alg w in
+      Alcotest.(check bool)
+        (M.algorithm_to_string alg ^ " rebuild: rebuilds counted")
+        true
+        (rr.T.stats.T.rebuilds >= 1))
+    [ M.Msu1; M.Msu3; M.Msu4_v2 ]
+
+(* ---------------- solver selectors ---------------- *)
+
+let test_selector_enforce_and_free () =
+  let s = Solver.create ~track_proof:false () in
+  Solver.ensure_vars s 1;
+  let x = Lit.pos 0 in
+  let sel = Lit.pos (Solver.new_var s) in
+  Solver.add_clause ~selector:sel s [| x |];
+  (* enforced under (neg sel): x is forced, so (neg x) contradicts *)
+  (match Solver.solve ~assumptions:[| Lit.neg sel; Lit.neg x |] s with
+  | Solver.Unsat -> ()
+  | _ -> Alcotest.fail "selector assumption did not enforce the clause");
+  (* without the assumption the clause is inert *)
+  (match Solver.solve ~assumptions:[| Lit.neg x |] s with
+  | Solver.Sat -> ()
+  | _ -> Alcotest.fail "unselected clause should not constrain")
+
+let test_selector_retire () =
+  let s = Solver.create ~track_proof:false () in
+  Solver.ensure_vars s 1;
+  let x = Lit.pos 0 in
+  let sel = Lit.pos (Solver.new_var s) in
+  Solver.add_clause ~selector:sel s [| x |];
+  Solver.retire_selector s sel;
+  (* retired: the clause can never constrain again *)
+  (match Solver.solve ~assumptions:[| Lit.neg x |] s with
+  | Solver.Sat -> ()
+  | _ -> Alcotest.fail "retired clause still constrains");
+  (* and learnt clauses mentioning sel stay satisfied: sel is now true *)
+  match Solver.solve s with
+  | Solver.Sat ->
+      let m = Solver.model s in
+      Alcotest.(check bool) "retired selector asserted" true m.(Lit.var sel)
+  | _ -> Alcotest.fail "retire made the solver unsat"
+
+let test_selector_core_maps_to_assumptions () =
+  (* Two contradictory softs under selectors: assuming both must fail
+     with a conflict naming only selector assumptions. *)
+  let s = Solver.create ~track_proof:false () in
+  Solver.ensure_vars s 1;
+  let x = Lit.pos 0 in
+  let s1 = Lit.pos (Solver.new_var s) in
+  let s2 = Lit.pos (Solver.new_var s) in
+  Solver.add_clause ~selector:s1 s [| x |];
+  Solver.add_clause ~selector:s2 s [| Lit.neg x |];
+  match Solver.solve ~assumptions:[| Lit.neg s1; Lit.neg s2 |] s with
+  | Solver.Unsat ->
+      let core = Solver.conflict_assumptions s in
+      Alcotest.(check bool) "non-empty assumption core" true (core <> []);
+      List.iter
+        (fun l ->
+          Alcotest.(check bool) "core literal is a selector assumption" true
+            (Lit.var l = Lit.var s1 || Lit.var l = Lit.var s2))
+        core
+  | _ -> Alcotest.fail "contradictory selected clauses should be unsat"
+
+(* ---------------- incremental totalizer ---------------- *)
+
+let solver_sink s =
+  Sink.{ fresh_var = (fun () -> Solver.new_var s); emit = Solver.add_clause s }
+
+let counting_sink s count =
+  Sink.
+    {
+      fresh_var = (fun () -> Solver.new_var s);
+      emit =
+        (fun c ->
+          incr count;
+          Solver.add_clause s c);
+    }
+
+(* Force exactly [m] of [lits] true via assumptions. *)
+let force lits m =
+  Array.to_list (Array.mapi (fun i l -> if i < m then l else Lit.neg l) lits)
+
+let test_itotalizer_bound_semantics () =
+  let n = 6 in
+  let s = Solver.create ~track_proof:false () in
+  Solver.ensure_vars s n;
+  let lits = Array.init n Lit.pos in
+  let t = Itotalizer.create (solver_sink s) lits in
+  Alcotest.(check int) "size" n (Itotalizer.size t);
+  for k = 0 to n - 1 do
+    match Itotalizer.at_most (solver_sink s) t k with
+    | None -> Alcotest.failf "bound %d should not be vacuous" k
+    | Some b ->
+        for m = 0 to n do
+          let assumptions = Array.of_list (b :: force lits m) in
+          let expect_sat = m <= k in
+          match Solver.solve ~assumptions s with
+          | Solver.Sat when expect_sat -> ()
+          | Solver.Unsat when not expect_sat -> ()
+          | _ -> Alcotest.failf "k=%d m=%d: wrong answer" k m
+        done
+  done;
+  (* vacuous and invalid bounds *)
+  Alcotest.(check bool) "k >= size vacuous" true
+    (Itotalizer.at_most (solver_sink s) t n = None);
+  match Itotalizer.at_most (solver_sink s) t (-1) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative bound accepted"
+
+let test_itotalizer_lazy_emission () =
+  let s = Solver.create ~track_proof:false () in
+  Solver.ensure_vars s 8;
+  let lits = Array.init 8 Lit.pos in
+  let count = ref 0 in
+  let sink = counting_sink s count in
+  let t = Itotalizer.create sink lits in
+  Alcotest.(check int) "create emits nothing" 0 !count;
+  ignore (Itotalizer.at_most sink t 2);
+  let after_first = !count in
+  Alcotest.(check bool) "first bound emits clauses" true (after_first > 0);
+  ignore (Itotalizer.at_most sink t 2);
+  Alcotest.(check int) "same bound re-queried emits nothing" after_first !count;
+  ignore (Itotalizer.at_most sink t 1);
+  Alcotest.(check int) "looser-covered bound emits nothing" after_first !count;
+  ignore (Itotalizer.at_most sink t 5);
+  Alcotest.(check bool) "tighter coverage emits only the delta" true
+    (!count > after_first)
+
+let test_itotalizer_extend () =
+  let s = Solver.create ~track_proof:false () in
+  Solver.ensure_vars s 7;
+  let all = Array.init 7 Lit.pos in
+  let first = Array.sub all 0 4 in
+  let rest = Array.sub all 4 3 in
+  let sink = solver_sink s in
+  let t = Itotalizer.create sink first in
+  ignore (Itotalizer.at_most sink t 1);
+  Itotalizer.extend sink t rest;
+  Alcotest.(check int) "size grows" 7 (Itotalizer.size t);
+  (* after extension the bound counts the union *)
+  for k = 0 to 6 do
+    match Itotalizer.at_most sink t k with
+    | None -> Alcotest.failf "bound %d vacuous after extend" k
+    | Some b ->
+        for m = 0 to 7 do
+          let assumptions = Array.of_list (b :: force all m) in
+          let expect_sat = m <= k in
+          match Solver.solve ~assumptions s with
+          | Solver.Sat when expect_sat -> ()
+          | Solver.Unsat when not expect_sat -> ()
+          | _ -> Alcotest.failf "after extend k=%d m=%d: wrong answer" k m
+        done
+  done
+
+let test_itotalizer_empty_then_extend () =
+  let s = Solver.create ~track_proof:false () in
+  Solver.ensure_vars s 3;
+  let sink = solver_sink s in
+  let t = Itotalizer.create sink [||] in
+  Alcotest.(check bool) "all bounds vacuous on empty" true
+    (Itotalizer.at_most sink t 0 = None);
+  let lits = Array.init 3 Lit.pos in
+  Itotalizer.extend sink t lits;
+  match Itotalizer.at_most sink t 0 with
+  | None -> Alcotest.fail "bound vacuous after extending the empty counter"
+  | Some b -> (
+      match Solver.solve ~assumptions:[| b; lits.(0) |] s with
+      | Solver.Unsat -> ()
+      | _ -> Alcotest.fail "at-most-0 did not forbid an input")
+
+let suite =
+  [
+    Alcotest.test_case "modes agree: plain MaxSAT" `Quick test_modes_agree_plain;
+    Alcotest.test_case "modes agree: partial MaxSAT" `Quick test_modes_agree_partial;
+    Alcotest.test_case "modes agree: weighted partial" `Quick
+      test_modes_agree_weighted;
+    Alcotest.test_case "modes agree: all five encodings" `Quick
+      test_all_encodings_both_modes;
+    Alcotest.test_case "budget runs give sound bounds" `Quick
+      test_budget_bounds_both_modes;
+    Alcotest.test_case "crash salvages sound bounds" `Quick
+      test_crash_salvage_both_modes;
+    Alcotest.test_case "stats reflect mode" `Quick test_stats_reflect_mode;
+    Alcotest.test_case "selector enforces and frees" `Quick
+      test_selector_enforce_and_free;
+    Alcotest.test_case "selector retires" `Quick test_selector_retire;
+    Alcotest.test_case "conflict core names selectors" `Quick
+      test_selector_core_maps_to_assumptions;
+    Alcotest.test_case "itotalizer bound semantics" `Quick
+      test_itotalizer_bound_semantics;
+    Alcotest.test_case "itotalizer lazy emission" `Quick
+      test_itotalizer_lazy_emission;
+    Alcotest.test_case "itotalizer extend" `Quick test_itotalizer_extend;
+    Alcotest.test_case "itotalizer empty then extend" `Quick
+      test_itotalizer_empty_then_extend;
+  ]

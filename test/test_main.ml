@@ -17,4 +17,5 @@ let () =
       ("simplify", Test_simplify.suite);
       ("aiger", Test_aiger.suite);
       ("infra", Test_infra.suite);
+      ("incremental", Test_incremental.suite);
     ]
