@@ -12,6 +12,10 @@
      ablation-incremental
                    persistent-solver vs rebuild-per-iteration modes on the
                    industrial and debugging suites (BENCH_incremental.json)
+     ablation-portfolio
+                   bound-sharing portfolio vs its constituent single
+                   algorithms, incl. a complementary-hardness mixed
+                   suite (BENCH_portfolio.json)
      micro         Bechamel micro-benchmarks, one per table/figure
      all           everything above (default)
 
@@ -23,6 +27,7 @@
 module M = Msu_maxsat.Maxsat
 module T = Msu_maxsat.Types
 module R = Msu_harness.Runner
+module P = Msu_portfolio.Portfolio
 module Suites = Msu_gen.Suites
 
 let scale = ref 1.0
@@ -443,6 +448,138 @@ let ablation_incremental () =
   Buffer.add_string buf "  ]\n}\n";
   write_file "BENCH_incremental.json" (Buffer.contents buf)
 
+(* Portfolio-vs-singles ablation.  Every instance is solved by each
+   constituent algorithm alone and by the 4-worker bound-sharing
+   portfolio (same wall-clock budget each way); optima are cross-checked
+   between the portfolio, every single that proved one, and brute-force
+   enumeration on small instances.  Aggregates land in
+   BENCH_portfolio.json. *)
+
+let ablation_portfolio () =
+  let subsample l = if !smoke then List.filteri (fun i _ -> i mod 3 = 0) l else l in
+  (* Per-suite configuration: the homogeneous suites race the four
+     core-guided algorithms; the mixed complementary-hardness suite
+     races core-guided against branch and bound, where the portfolio's
+     diversity (not raw parallelism) is what pays — two workers keep
+     the CPU-share penalty low on small machines. *)
+  let suites =
+    [
+      ( "industrial",
+        subsample (to_wcnf (Suites.industrial ~scale:!scale ~seed:!seed ())),
+        [ M.Msu4_v2; M.Msu3; M.Oll; M.Msu4_v1 ],
+        List.map P.spec [ M.Msu4_v2; M.Msu3; M.Oll; M.Msu4_v1 ] );
+      ( "debugging",
+        subsample (to_wcnf (Suites.debugging ~scale:!scale ~seed:!seed ())),
+        [ M.Msu4_v2; M.Msu3; M.Oll; M.Msu4_v1 ],
+        List.map P.spec [ M.Msu4_v2; M.Msu3; M.Oll; M.Msu4_v1 ] );
+      ( "mixed",
+        subsample (to_wcnf (Suites.mixed ~scale:!scale ~seed:!seed ())),
+        [ M.Msu4_v2; M.Msu3; M.Oll; M.Branch_bound ],
+        List.map P.spec [ M.Msu4_v2; M.Branch_bound ] );
+    ]
+  in
+  let run_single alg w =
+    let t0 = Unix.gettimeofday () in
+    let config = { T.default_config with T.deadline = t0 +. !timeout } in
+    let r = M.solve_supervised ~config alg w in
+    let wall = Float.min (Unix.gettimeofday () -. t0) !timeout in
+    (wall, match r.T.outcome with T.Optimum c -> Some c | _ -> None)
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\n  \"smoke\": %b,\n  \"timeout_s\": %g,\n  \"scale\": %g,\n  \"seed\": %d,\n\
+       \  \"suites\": [\n"
+       !smoke !timeout !scale !seed);
+  List.iteri
+    (fun si (suite_name, instances, singles, specs) ->
+      Printf.printf
+        "\nAblation F - portfolio vs singles: %s suite (%d instances, %d workers, \
+         timeout %.1fs)\n"
+        suite_name (List.length instances) (List.length specs) !timeout;
+      let mismatches = ref [] in
+      let totals = Hashtbl.create 8 in
+      (* label -> (wall, solved) *)
+      let add label wall solved =
+        let w0, s0 = Option.value ~default:(0., 0) (Hashtbl.find_opt totals label) in
+        Hashtbl.replace totals label (w0 +. wall, s0 + if solved then 1 else 0)
+      in
+      List.iter
+        (fun (name, _, w) ->
+          let single_optima =
+            List.map
+              (fun alg ->
+                let wall, opt = run_single alg w in
+                add (M.algorithm_to_string alg) wall (opt <> None);
+                (M.algorithm_to_string alg, opt))
+              singles
+          in
+          let t0 = Unix.gettimeofday () in
+          let pr = P.solve ~specs ~timeout:!timeout w in
+          let pwall = Float.min (Unix.gettimeofday () -. t0) !timeout in
+          let popt = match pr.P.outcome with T.Optimum c -> Some c | _ -> None in
+          add "portfolio" pwall (popt <> None);
+          List.iter
+            (fun d -> mismatches := Printf.sprintf "%s: %s" name d :: !mismatches)
+            pr.P.disagreements;
+          let check who a b =
+            match (a, b) with
+            | Some x, Some y when x <> y ->
+                mismatches :=
+                  Printf.sprintf "%s: portfolio optimum %d vs %s %d" name x who y
+                  :: !mismatches
+            | _ -> ()
+          in
+          List.iter (fun (who, opt) -> check who popt opt) single_optima;
+          if Msu_cnf.Wcnf.num_vars w <= 14 then begin
+            let _, bopt = run_single M.Brute w in
+            check "brute" popt bopt
+          end;
+          if !verbose then
+            Printf.printf "    %-28s portfolio %s (%.2fs)\n%!" name
+              (match popt with Some c -> string_of_int c | None -> "?")
+              pwall)
+        instances;
+      Printf.printf "  %-12s %7s %9s\n" "config" "solved" "wall";
+      let row label =
+        let wall, solved = Option.value ~default:(0., 0) (Hashtbl.find_opt totals label) in
+        Printf.printf "  %-12s %3d/%-3d %8.2fs\n%!" label solved
+          (List.length instances) wall;
+        (label, wall, solved)
+      in
+      let single_rows = List.map (fun a -> row (M.algorithm_to_string a)) singles in
+      let _, pf_wall, pf_solved = row "portfolio" in
+      let best_single_wall =
+        List.fold_left (fun acc (_, w, _) -> Float.min acc w) infinity single_rows
+      in
+      List.iter (fun m -> Printf.printf "  OPTIMA MISMATCH %s\n%!" m) !mismatches;
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\n      \"suite\": %S,\n      \"instances\": %d,\n\
+           \      \"workers\": %d,\n\
+           \      \"singles\": [\n%s      ],\n\
+           \      \"portfolio\": { \"wall_clock_s\": %.3f, \"solved\": %d },\n\
+           \      \"best_single_wall_s\": %.3f,\n\
+           \      \"portfolio_beats_best_single\": %b,\n\
+           \      \"optima_match\": %b\n    }%s\n"
+           suite_name (List.length instances) (List.length specs)
+           (String.concat ""
+              (List.mapi
+                 (fun i (label, wall, solved) ->
+                   Printf.sprintf
+                     "        { \"algorithm\": %S, \"wall_clock_s\": %.3f, \
+                      \"solved\": %d }%s\n"
+                     label wall solved
+                     (if i = List.length single_rows - 1 then "" else ","))
+                 single_rows))
+           pf_wall pf_solved best_single_wall
+           (pf_wall < best_single_wall)
+           (!mismatches = [])
+           (if si = List.length suites - 1 then "" else ",")))
+    suites;
+  Buffer.add_string buf "  ]\n}\n";
+  write_file "BENCH_portfolio.json" (Buffer.contents buf)
+
 (* ----- Bechamel micro-benchmarks: one Test.make per table/figure ----- *)
 
 let micro () =
@@ -514,6 +651,7 @@ let () =
   | "ablation-msu" -> ablation_msu ()
   | "ablation-wpm1" -> ablation_wpm1 ()
   | "ablation-incremental" -> ablation_incremental ()
+  | "ablation-portfolio" -> ablation_portfolio ()
   | "micro" -> micro ()
   | "all" ->
       table1 ();
@@ -526,6 +664,7 @@ let () =
       ablation_msu ();
       ablation_wpm1 ();
       ablation_incremental ();
+      ablation_portfolio ();
       micro ()
   | other ->
       Printf.eprintf "unknown command %S\n%s\n" other usage;

@@ -11,6 +11,7 @@ module M = Msu_maxsat.Maxsat
 module T = Msu_maxsat.Types
 module Certify = Msu_maxsat.Certify
 module Card = Msu_card.Card
+module P = Msu_portfolio.Portfolio
 
 let exit_optimum = 0
 let exit_bounds = 10
@@ -39,7 +40,7 @@ let encoding_conv =
       fun ppf e -> Format.pp_print_string ppf (Card.encoding_to_string e) )
 
 let run file algorithm encoding timeout conflicts propagations memory_mb verify
-    trace no_geq1 no_incremental quiet incomplete =
+    trace no_geq1 no_incremental quiet incomplete portfolio jobs =
   let w =
     try Ok (Msu_cnf.Dimacs.parse_wcnf_file file) with
     | Msu_cnf.Dimacs.Parse_error (line, msg) ->
@@ -71,11 +72,32 @@ let run file algorithm encoding timeout conflicts propagations memory_mb verify
       in
       if not quiet then
         Printf.printf "c msolve: %s on %s (%d vars, %d hard, %d soft)\n"
-          (M.algorithm_to_string algorithm)
+          (if portfolio then Printf.sprintf "portfolio (%d workers)" jobs
+           else M.algorithm_to_string algorithm)
           file (Msu_cnf.Wcnf.num_vars w) (Msu_cnf.Wcnf.num_hard w)
           (Msu_cnf.Wcnf.num_soft w);
       let r =
-        if incomplete then Msu_maxsat.Local_search.solve ~config w
+        if portfolio then begin
+          let pr =
+            P.solve ~jobs ?timeout ?max_conflicts:conflicts
+              ?trace:(if trace then Some print_endline else None)
+              w
+          in
+          if not quiet then
+            List.iter
+              (fun rep ->
+                Format.printf "c worker %-24s %a (%.3fs)@." rep.P.w_label
+                  T.pp_outcome rep.P.w_outcome rep.P.w_time)
+              pr.P.reports;
+          (match pr.P.winner with
+          | Some who when not quiet -> Printf.printf "c winner: %s\n" who
+          | _ -> ());
+          List.iter
+            (fun d -> Printf.printf "c DISAGREEMENT: %s\n" d)
+            pr.P.disagreements;
+          P.to_result pr
+        end
+        else if incomplete then Msu_maxsat.Local_search.solve ~config w
         else M.solve_supervised ~config algorithm w
       in
       if not quiet then
@@ -222,6 +244,22 @@ let incomplete =
           "Use the stochastic local-search solver instead of an exact algorithm \
            (reports an upper bound and a model, not a proven optimum).")
 
+let portfolio =
+  Arg.(
+    value & flag
+    & info [ "portfolio" ]
+        ~doc:
+          "Race several algorithm/encoding configurations in forked worker \
+           processes with live lower/upper-bound sharing; the first to close \
+           the gap wins and the rest are cancelled gracefully.  Ignores \
+           $(b,--algorithm) and $(b,--encoding).")
+
+let jobs =
+  Arg.(
+    value & opt int 4
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:"Number of portfolio workers (with $(b,--portfolio)).")
+
 let exits =
   [
     Cmd.Exit.info exit_optimum ~doc:"the optimum was found (s OPTIMUM FOUND).";
@@ -240,6 +278,7 @@ let cmd =
     (Cmd.info "msolve" ~version:"1.0" ~doc ~exits)
     Term.(
       const run $ file $ algorithm $ encoding $ timeout $ conflicts $ propagations
-      $ memory_mb $ verify $ trace $ no_geq1 $ no_incremental $ quiet $ incomplete)
+      $ memory_mb $ verify $ trace $ no_geq1 $ no_incremental $ quiet $ incomplete
+      $ portfolio $ jobs)
 
 let () = exit (Cmd.eval' cmd)

@@ -360,6 +360,22 @@ let pick_branch_var st =
 
 (* ---------------- main search ---------------- *)
 
+(* Pruning bound: the tighter of our own incumbent and any upper bound
+   a portfolio peer proved (installed into the shared guard by the
+   bound-sharing ticker).  Both bound the optimum from above, so
+   cutting subtrees at the minimum is sound; but when the peer's bound
+   did the cutting we no longer prove optimality of our own incumbent —
+   [solve] downgrades the claim accordingly.  The bound only ever
+   tightens, so subtrees pruned earlier (against a looser bound) are
+   covered by the final one. *)
+let effective_best st =
+  match st.config.Types.guard with
+  | Some g -> (
+      match Msu_guard.Guard.external_ub g with
+      | Some e -> min st.best_cost e
+      | None -> st.best_cost)
+  | None -> st.best_cost
+
 let record_solution st =
   let cost = st.falsified_soft in
   if st.falsified_hard = 0 && cost < st.best_cost then begin
@@ -377,7 +393,8 @@ let rec search st =
   st.nodes <- st.nodes + 1;
   let mark = Msu_cnf.Vec.size st.trail in
   infer st;
-  if st.falsified_hard > 0 || st.falsified_soft >= st.best_cost then undo_to st mark
+  if st.falsified_hard > 0 || st.falsified_soft >= effective_best st then
+    undo_to st mark
   else begin
     (* All clauses decided?  (Active clauses are neither satisfied nor
        falsified; with none left the cost is final.) *)
@@ -388,9 +405,9 @@ let rec search st =
       undo_to st mark
     end
     else begin
-      let gap = st.best_cost - st.falsified_soft in
+      let gap = effective_best st - st.falsified_soft in
       let lb_extra = up_lower_bound st gap in
-      if st.falsified_soft + lb_extra >= st.best_cost then undo_to st mark
+      if st.falsified_soft + lb_extra >= effective_best st then undo_to st mark
       else begin
         let v, first = pick_branch_var st in
         if v < 0 then begin
@@ -441,5 +458,22 @@ let solve ?(config = Types.default_config) w =
   if timed_out then
     let ub = if st.best_cost = max_int then None else Some st.best_cost in
     Common.finish ~t0 ~stats (Types.Bounds { lb = 0; ub }) st.best_model
-  else if st.best_cost = max_int then Common.finish ~t0 ~stats Types.Hard_unsat None
-  else Common.finish ~t0 ~stats (Types.Optimum st.best_cost) st.best_model
+  else begin
+    (* The search is exhaustive up to pruning at [effective_best]: no
+       solution cheaper than the final bound exists.  When our own
+       incumbent meets that bound the claim is an optimum; when a
+       peer's tighter bound did the cutting we only proved the lower
+       bound and hold no model for it — report bounds and let the
+       portfolio parent pair our proof with the peer's model. *)
+    let final_bound = effective_best st in
+    if final_bound = max_int then Common.finish ~t0 ~stats Types.Hard_unsat None
+    else if st.best_cost <= final_bound then
+      Common.finish ~t0 ~stats (Types.Optimum st.best_cost) st.best_model
+    else begin
+      Common.note_lb st.config final_bound;
+      let ub = if st.best_cost = max_int then None else Some st.best_cost in
+      Common.finish ~t0 ~stats
+        (Types.Bounds { lb = final_bound; ub })
+        st.best_model
+    end
+  end

@@ -52,6 +52,20 @@ let solve_incremental (config : Types.config) w t0 =
   let best_model = ref None in
   let unsat_iters = ref 0 in
   let lower_bound () = if !ub = max_int then !unsat_iters else min !unsat_iters !ub in
+  (* Effective pruning bound: the tighter of our best model and any
+     bound a portfolio peer proved (installed into the shared guard by
+     the bound-sharing ticker).  Both are valid upper bounds on the
+     optimum, so the line-30 constraint stays sound with either; but a
+     peer's bound is never reported as our own ub — we hold no model
+     for it, only the conclusions it lets us prove. *)
+  let effective_ub () =
+    match config.Types.guard with
+    | Some g -> (
+        match Msu_guard.Guard.external_ub g with
+        | Some e -> min !ub e
+        | None -> !ub)
+    | None -> !ub
+  in
   let finish outcome =
     Common.finish ~t0 ~stats:(Common.Tally.snapshot tally) outcome !best_model
   in
@@ -59,78 +73,98 @@ let solve_incremental (config : Types.config) w t0 =
     Types.Bounds
       { lb = lower_bound (); ub = (if !ub = max_int then None else Some !ub) }
   in
+  (* A peer's bound closed the remaining gap: we proved cost >= lb but
+     hold no model for lb, so report bounds and let the portfolio
+     parent pair our lower bound with the peer's model. *)
+  let gap_closed_by_peer lb =
+    Common.note_lb config lb;
+    Types.Bounds
+      { lb = max lb (lower_bound ());
+        ub = (if !ub = max_int then None else Some !ub) }
+  in
   let first = ref true in
   let rec loop () =
     if Common.over_deadline config then finish (bounds_outcome ())
     else begin
-      Common.Tally.sat_call tally;
-      if !first then first := false
-      else
-        Common.Tally.reused tally ~clauses:(Solver.num_clauses s)
-          ~learnts:(Solver.num_learnts s);
-      (* Line 30: require strictly fewer blocking variables than the
-         best model needed. *)
-      let bound = if !ub = max_int then None else Itotalizer.at_most sink tot (!ub - 1) in
-      let assumptions =
-        let acc = ref (match bound with None -> [] | Some l -> [ l ]) in
-        for i = n_soft - 1 downto 0 do
-          if not relaxed.(i) then acc := Lit.neg sel.(i) :: !acc
-        done;
-        Array.of_list !acc
-      in
-      match
-        Solver.solve ~assumptions ~deadline:config.deadline ?guard:config.guard s
-      with
-      | Solver.Unknown -> finish (bounds_outcome ())
-      | Solver.Sat ->
-          let model = Solver.model s in
-          let cost =
-            match Wcnf.cost_of_model w model with
-            | Some c -> c
-            | None -> assert false (* the solver holds the hard clauses *)
-          in
-          Common.trace config (fun () ->
-              Printf.sprintf "SAT: cost %d (ub %s, lb %d)" cost
-                (if !ub = max_int then "-" else string_of_int !ub)
-                (lower_bound ()));
-          if cost < !ub then begin
-            ub := cost;
-            best_model := Some model;
-            Common.note_ub config cost (Some model)
-          end;
-          if !ub = 0 || !unsat_iters >= !ub then finish (Types.Optimum !ub)
-          else loop ()
-      | Solver.Unsat -> (
-          let core = Solver.conflict_assumptions s in
-          let softs =
-            List.filter_map (fun a -> Hashtbl.find_opt soft_of_var (Lit.var a)) core
-          in
-          match softs with
-          | [] ->
-              (* The core has no unrelaxed soft clause: the bound cannot
-                 improve (lines 21-22), or the hard clauses are refuted. *)
-              if !ub = max_int then finish Types.Hard_unsat
-              else finish (Types.Optimum !ub)
-          | _ ->
-              Common.Tally.core tally;
-              incr unsat_iters;
-              Common.note_lb config (lower_bound ());
-              let new_bs =
-                List.map
-                  (fun i ->
-                    relaxed.(i) <- true;
-                    Common.Tally.blocking_var tally;
-                    sel.(i))
-                  softs
-              in
-              Itotalizer.extend sink tot (Array.of_list new_bs);
-              Common.trace config (fun () ->
-                  Printf.sprintf "UNSAT: core with %d initial clauses (U=%d)"
-                    (List.length softs) !unsat_iters);
-              if config.core_geq1 then sink.Sink.emit (Array.of_list new_bs);
-              if !ub <> max_int && !unsat_iters >= !ub then
-                finish (Types.Optimum !ub)
-              else loop ())
+      let limit = effective_ub () in
+      if limit < !ub && limit <= !unsat_iters then
+        (* Our own lower bound already meets the peer's upper bound. *)
+        finish (gap_closed_by_peer limit)
+      else begin
+        Common.Tally.sat_call tally;
+        if !first then first := false
+        else
+          Common.Tally.reused tally ~clauses:(Solver.num_clauses s)
+            ~learnts:(Solver.num_learnts s);
+        (* Line 30: require strictly fewer blocking variables than the
+           best model (ours or a peer's) needed. *)
+        let bound =
+          if limit = max_int then None else Itotalizer.at_most sink tot (limit - 1)
+        in
+        let assumptions =
+          let acc = ref (match bound with None -> [] | Some l -> [ l ]) in
+          for i = n_soft - 1 downto 0 do
+            if not relaxed.(i) then acc := Lit.neg sel.(i) :: !acc
+          done;
+          Array.of_list !acc
+        in
+        match
+          Solver.solve ~assumptions ~deadline:config.deadline ?guard:config.guard s
+        with
+        | Solver.Unknown -> finish (bounds_outcome ())
+        | Solver.Sat ->
+            let model = Solver.model s in
+            let cost =
+              match Wcnf.cost_of_model w model with
+              | Some c -> c
+              | None -> assert false (* the solver holds the hard clauses *)
+            in
+            Common.trace config (fun () ->
+                Printf.sprintf "SAT: cost %d (ub %s, lb %d)" cost
+                  (if !ub = max_int then "-" else string_of_int !ub)
+                  (lower_bound ()));
+            if cost < !ub then begin
+              ub := cost;
+              best_model := Some model;
+              Common.note_ub config cost (Some model)
+            end;
+            if !ub = 0 || !unsat_iters >= !ub then finish (Types.Optimum !ub)
+            else loop ()
+        | Solver.Unsat -> (
+            let core = Solver.conflict_assumptions s in
+            let softs =
+              List.filter_map (fun a -> Hashtbl.find_opt soft_of_var (Lit.var a)) core
+            in
+            match softs with
+            | [] ->
+                (* The core has no unrelaxed soft clause: the bound cannot
+                   improve (lines 21-22), or the hard clauses are refuted. *)
+                if limit = max_int then finish Types.Hard_unsat
+                else if limit = !ub then finish (Types.Optimum !ub)
+                else finish (gap_closed_by_peer limit)
+            | _ ->
+                Common.Tally.core tally;
+                incr unsat_iters;
+                Common.note_lb config (lower_bound ());
+                let new_bs =
+                  List.map
+                    (fun i ->
+                      relaxed.(i) <- true;
+                      Common.Tally.blocking_var tally;
+                      sel.(i))
+                    softs
+                in
+                Itotalizer.extend sink tot (Array.of_list new_bs);
+                Common.trace config (fun () ->
+                    Printf.sprintf "UNSAT: core with %d initial clauses (U=%d)"
+                      (List.length softs) !unsat_iters);
+                if config.core_geq1 then sink.Sink.emit (Array.of_list new_bs);
+                if !ub <> max_int && !unsat_iters >= !ub then
+                  finish (Types.Optimum !ub)
+                else if limit < !ub && !unsat_iters >= limit then
+                  finish (gap_closed_by_peer limit)
+                else loop ())
+      end
     end
   in
   try loop () with Msu_guard.Guard.Interrupt _ -> finish (bounds_outcome ())

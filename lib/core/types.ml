@@ -59,6 +59,22 @@ let empty_stats =
     learnts_kept = 0;
   }
 
+let merge_stats a b =
+  {
+    sat_calls = a.sat_calls + b.sat_calls;
+    cores = a.cores + b.cores;
+    blocking_vars = a.blocking_vars + b.blocking_vars;
+    encoding_clauses = a.encoding_clauses + b.encoding_clauses;
+    rebuilds = a.rebuilds + b.rebuilds;
+    clauses_reused = a.clauses_reused + b.clauses_reused;
+    learnts_kept = a.learnts_kept + b.learnts_kept;
+  }
+
+let outcome_bounds = function
+  | Optimum c -> (c, Some c)
+  | Bounds { lb; ub } | Crashed { lb; ub; _ } -> (lb, ub)
+  | Hard_unsat -> (0, None)
+
 let max_satisfied w r =
   match r.outcome with
   | Optimum cost -> Some (Msu_cnf.Wcnf.total_soft_weight w - cost)

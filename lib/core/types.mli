@@ -73,6 +73,15 @@ val default_config : config
     guard. *)
 
 val empty_stats : stats
+
+val merge_stats : stats -> stats -> stats
+(** Field-wise sum; the portfolio reports the work of all its workers. *)
+
+val outcome_bounds : outcome -> int * int option
+(** The [lb, ub] bracket an outcome establishes ([c, Some c] for a
+    proved optimum; [(0, None)] for [Hard_unsat], whose cost bracket is
+    vacuous). *)
+
 val max_satisfied : Msu_cnf.Wcnf.t -> result -> int option
 (** [m - cost] when the optimum is known (plain-MaxSAT reading). *)
 

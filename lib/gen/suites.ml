@@ -87,6 +87,39 @@ let debugging ?(scale = 1.0) ~seed () =
         formula = Msu_cnf.Wcnf.to_formula inst.Debug.wcnf;
       })
 
+(* Complementary hardness on purpose: structured debugging instances
+   (core-guided fast, branch and bound drowns), tiny-variable
+   ultra-over-constrained random 3-SAT whose optimum is in the dozens
+   (branch and bound fast, core-guided pays one unsatisfiable core per
+   unit of optimum), and pigeonhole in between.  Built for the
+   portfolio-vs-singles ablation. *)
+let mixed ?(scale = 1.0) ~seed () =
+  let st = Random.State.make [| seed; 0x31D |] in
+  let n = scaled scale in
+  let instances = ref [] in
+  let add family name formula = instances := { name; family; formula } :: !instances in
+  for i = 0 to 3 do
+    let n_gates = n (500 + (220 * i)) in
+    let inst =
+      Debug.instance st ~n_inputs:(6 + (i mod 3)) ~n_gates ~n_outputs:3
+        ~n_vectors:(4 + (i mod 2)) ~encoding:`Plain
+    in
+    add "debug"
+      (Printf.sprintf "debug-g%d-%d" n_gates i)
+      (Msu_cnf.Wcnf.to_formula inst.Debug.wcnf)
+  done;
+  List.iteri
+    (fun i (n_vars, ratio) ->
+      let n_vars = n n_vars in
+      add "rnd3sat-hard"
+        (Printf.sprintf "rnd3sat-v%d-r%g-%d" n_vars ratio i)
+        (Random_cnf.unsat_ksat st ~n_vars ~ratio ~k:3))
+    [ (12, 30.0); (13, 28.0); (14, 26.0); (14, 30.0); (15, 24.0); (15, 28.0) ];
+  List.iter
+    (fun holes -> add "php" (Printf.sprintf "php-%d" holes) (Php.formula holes))
+    (List.sort_uniq compare [ max 3 (n 7); max 3 (n 8) ]);
+  List.rev !instances
+
 let families instances =
   List.fold_left
     (fun acc { family; _ } -> if List.mem family acc then acc else acc @ [ family ])

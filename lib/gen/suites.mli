@@ -25,6 +25,15 @@ val debugging : ?scale:float -> seed:int -> unit -> instance list
 (** Design-debugging instances, plain-MaxSAT encoding (Table 2's
     family).  Default count 29, as in the paper. *)
 
+val mixed : ?scale:float -> seed:int -> unit -> instance list
+(** Complementary-hardness suite for the portfolio ablation: structured
+    design-debugging instances (fast for the core-guided algorithms,
+    hopeless for branch and bound), tiny-variable ultra-over-constrained
+    random 3-SAT with large optima (fast for branch and bound, hopeless
+    for core-guided — one core per unit of optimum), and pigeonhole
+    formulas in between.  No single algorithm handles the whole suite
+    well; a portfolio mixing both kinds does. *)
+
 val families : instance list -> string list
 (** Distinct family labels, in first-appearance order. *)
 

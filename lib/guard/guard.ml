@@ -1,10 +1,11 @@
-type reason = Timeout | Conflicts | Propagations | Memory
+type reason = Timeout | Conflicts | Propagations | Memory | Cancelled
 
 let reason_to_string = function
   | Timeout -> "timeout"
   | Conflicts -> "conflict budget"
   | Propagations -> "propagation budget"
   | Memory -> "memory budget"
+  | Cancelled -> "cancelled"
 
 exception Interrupt of reason
 
@@ -17,6 +18,11 @@ type t = {
   mutable propagations : int;
   mutable polls : int;
   mutable tripped : reason option;
+  (* Bounds proved elsewhere (another portfolio worker) and installed
+     here; sound for the instance but not backed by local work. *)
+  mutable ext_lb : int;
+  mutable ext_ub : int; (* max_int = none *)
+  mutable ticker : (unit -> unit) option;
 }
 
 let create ?(deadline = infinity) ?(max_conflicts = max_int)
@@ -30,6 +36,9 @@ let create ?(deadline = infinity) ?(max_conflicts = max_int)
     propagations = 0;
     polls = 0;
     tripped = None;
+    ext_lb = 0;
+    ext_ub = max_int;
+    ticker = None;
   }
 
 let unlimited () = create ()
@@ -37,6 +46,44 @@ let add_conflicts g n = g.conflicts <- g.conflicts + n
 let add_propagations g n = g.propagations <- g.propagations + n
 let trip g r = if g.tripped = None then g.tripped <- Some r
 let tripped g = g.tripped
+
+(* ----- externally proved bounds (portfolio bound sharing) ----- *)
+
+let install_bounds g ~lb ~ub =
+  if lb > g.ext_lb then g.ext_lb <- lb;
+  match ub with Some u when u < g.ext_ub -> g.ext_ub <- u | _ -> ()
+
+let external_lb g = g.ext_lb
+let external_ub g = if g.ext_ub = max_int then None else Some g.ext_ub
+let set_ticker g f = g.ticker <- Some f
+let tick g = match g.ticker with Some f -> f () | None -> ()
+
+(* ----- cooperative cancellation by signal ----- *)
+
+(* One guard per process is the cancellation target (a forked worker
+   runs exactly one supervised solve); the handler only flips a mutable
+   field, which is safe inside an OCaml signal handler. *)
+let cancel_target : t option ref = ref None
+
+(* A cancellation arriving before any guard is registered (e.g. SIGTERM
+   racing a freshly forked worker's setup) must not be swallowed: it is
+   remembered and trips the next registered guard. *)
+let cancel_pending = ref false
+
+let set_cancel_target g =
+  cancel_target := Some g;
+  if !cancel_pending then begin
+    cancel_pending := false;
+    trip g Cancelled
+  end
+
+let cancel_current () =
+  match !cancel_target with
+  | Some g -> trip g Cancelled
+  | None -> cancel_pending := true
+
+let install_sigterm_handler () =
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle (fun _ -> cancel_current ()))
 let conflicts g = g.conflicts
 let propagations g = g.propagations
 
@@ -62,6 +109,7 @@ let breached g =
   match g.tripped with
   | Some _ as r -> r
   | None ->
+      tick g;
       let r =
         match counters_breached g with
         | Some _ as r -> r
@@ -83,8 +131,12 @@ let poll g =
           trip g reason;
           g.tripped
       | None ->
-          if g.polls land 0x3f = 0 && over_deadline g then trip g Timeout
-          else if g.polls land 0xff = 0 && over_memory g then trip g Memory;
+          if g.polls land 0x3f = 0 then begin
+            tick g;
+            if g.tripped = None && over_deadline g then trip g Timeout
+          end;
+          if g.tripped = None && g.polls land 0xff = 0 && over_memory g then
+            trip g Memory;
           g.tripped)
 
 let check g = match poll g with None -> () | Some r -> raise (Interrupt r)

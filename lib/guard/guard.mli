@@ -20,6 +20,7 @@ type reason =
   | Conflicts  (** SAT conflict budget exhausted *)
   | Propagations  (** unit-propagation budget exhausted *)
   | Memory  (** live heap words over budget *)
+  | Cancelled  (** cooperative external cancellation (portfolio / SIGTERM) *)
 
 val reason_to_string : reason -> string
 
@@ -76,6 +77,53 @@ val remaining_conflicts : t -> int option
 
 val time_left : t -> float
 (** Seconds until the deadline ([infinity] when none). *)
+
+(** {2 Externally proved bounds}
+
+    A portfolio parent rebroadcasts the best bounds any worker proved;
+    the worker installs them here so its algorithm can prune with them
+    (e.g. msu4 tightening its at-most bound below its own best model).
+    External bounds are sound for the {e instance} but not backed by
+    local work: algorithms must never report an external upper bound as
+    their own model cost. *)
+
+val install_bounds : t -> lb:int -> ub:int option -> unit
+(** Monotone: keeps the max lower / min upper bound installed so far. *)
+
+val external_lb : t -> int
+(** Best externally proved lower bound (0 when none installed). *)
+
+val external_ub : t -> int option
+
+val set_ticker : t -> (unit -> unit) -> unit
+(** Install a callback run on the guard's sampled-poll cadence (every
+    64th {!poll}, and on every {!breached}).  Portfolio workers use it
+    to drain the parent's bound broadcasts without touching the hot
+    loop; the ticker may {!trip} the guard (e.g. when the shared bounds
+    close the gap). *)
+
+(** {2 Cooperative cancellation}
+
+    A forked worker registers its guard as the process's cancellation
+    target; a SIGTERM then trips it with {!Cancelled}, so the solve
+    unwinds through the normal bounds-salvage path and the worker can
+    flush its partial result before exiting — the fix for partial
+    bounds being lost to an immediate SIGKILL. *)
+
+val set_cancel_target : t -> unit
+(** Make this guard the one {!cancel_current} (and the SIGTERM handler)
+    trips.  Later registrations replace earlier ones.  A cancellation
+    that arrived while no guard was registered trips this one
+    immediately — a SIGTERM racing a forked worker's setup is deferred,
+    never lost. *)
+
+val cancel_current : unit -> unit
+(** Trip the registered guard with {!Cancelled}; with none registered
+    yet, the request is remembered for the next {!set_cancel_target}. *)
+
+val install_sigterm_handler : unit -> unit
+(** Route SIGTERM to {!cancel_current}.  Call only in a forked child
+    that owns the process (never in a suite/portfolio parent). *)
 
 (** Best-bounds cell shared by an algorithm and its supervisor.
 

@@ -52,6 +52,9 @@ let attempt ~timeout ~conflict_budget algorithm wcnf =
       progress = Some (Guard.Progress.create ());
     }
   in
+  (* A SIGTERM from the parent's kill ladder trips this guard, so the
+     solve unwinds with its current bounds instead of dying bound-less. *)
+  Guard.set_cancel_target guard;
   let result = Maxsat.solve_supervised ~config algorithm wcnf in
   let time = Float.min (Unix.gettimeofday () -. t0) timeout in
   let outcome =
@@ -64,7 +67,7 @@ let attempt ~timeout ~conflict_budget algorithm wcnf =
           | Some Guard.Conflicts -> Out_of_conflicts
           | Some Guard.Propagations -> Out_of_propagations
           | Some Guard.Memory -> Out_of_memory
-          | Some Guard.Timeout | None -> Timeout
+          | Some Guard.Timeout | Some Guard.Cancelled | None -> Timeout
         in
         Aborted { why; lb; ub }
     | Types.Crashed { reason; lb; ub } -> Aborted { why = Crash reason; lb; ub }
@@ -73,12 +76,77 @@ let attempt ~timeout ~conflict_budget algorithm wcnf =
 
 (* ---------------- process isolation ---------------- *)
 
-(* Run the attempt in a forked child; the result comes back marshaled
-   through a temp file (a pipe could deadlock past the 64K kernel
-   buffer).  The child gets a SIGALRM backstop slightly past the
-   deadline (OCaml's Unix module exposes no setrlimit); the parent
-   SIGKILLs it once [timeout + grace] passes, so not even a hung child
-   can stall the suite. *)
+module Subproc = struct
+  (* Fork/Marshal plumbing shared with the portfolio: results travel
+     through a temp file (a pipe could deadlock past the 64K kernel
+     buffer); cancellation is a ladder — SIGTERM trips the child's
+     guard so it can flush the bounds it computed, SIGKILL is the
+     backstop for a child that no longer polls. *)
+
+  let flush_grace grace = Float.max 0.25 (0.5 *. grace)
+
+  let write_result tmp (result : ('a, string) result) =
+    try
+      let oc = open_out_bin tmp in
+      Marshal.to_channel oc result [];
+      close_out oc
+    with _ -> ()
+
+  let read_result tmp : ('a, string) result option =
+    try
+      let ic = open_in_bin tmp in
+      let r = (Marshal.from_channel ic : ('a, string) result) in
+      close_in ic;
+      Some r
+    with _ -> None
+
+  let kill pid signal = try Unix.kill pid signal with Unix.Unix_error _ -> ()
+
+  (* Child-side preamble: route SIGTERM to the guard of the solve this
+     process is about to run, with a SIGALRM hard backstop in case the
+     child stops polling entirely. *)
+  let child_setup ~alarm_after () =
+    Msu_guard.Guard.install_sigterm_handler ();
+    if Float.is_finite alarm_after then
+      ignore (Unix.alarm (int_of_float (ceil alarm_after) + 1))
+
+  (* Reap [pid] with exponential backoff (the parent has nothing else to
+     do, but a 5 ms busy-wait for a 60 s run burns 12k wakeups): sleeps
+     double up to 50 ms, clipped so ladder deadlines are still hit
+     promptly.  At [term_at] the child gets SIGTERM and [flush] seconds
+     to write its partial result; then SIGKILL. *)
+  let wait_with_ladder ~term_at ~flush pid =
+    let kill_at = term_at +. flush in
+    let rec wait ~termed ~killed ~delay =
+      match Unix.waitpid [ Unix.WNOHANG ] pid with
+      | 0, _ ->
+          let now = Unix.gettimeofday () in
+          if (not killed) && now > kill_at then begin
+            kill pid Sys.sigkill;
+            (* A killed child cannot linger: block until reaped. *)
+            let _, status = Unix.waitpid [] pid in
+            status
+          end
+          else if (not termed) && now > term_at then begin
+            kill pid Sys.sigterm;
+            wait ~termed:true ~killed ~delay:0.002
+          end
+          else begin
+            let next_event = if termed then kill_at else term_at in
+            let pause = Float.min delay (Float.max 0.001 (next_event -. now)) in
+            Unix.sleepf pause;
+            wait ~termed ~killed ~delay:(Float.min (2. *. delay) 0.05)
+          end
+      | _, status -> status
+    in
+    wait ~termed:false ~killed:false ~delay:0.001
+end
+
+(* Run the attempt in a forked child.  The parent's ladder starts at
+   [timeout + grace]: SIGTERM first (the child's guard trips, the solve
+   unwinds and the partial bounds reach the temp file — previously an
+   immediate SIGKILL discarded them), SIGKILL after a short flush
+   window; a SIGALRM backstop in the child covers a parent that dies. *)
 let run_isolated ~timeout ~grace thunk =
   let tmp = Filename.temp_file "msu-run" ".bin" in
   let finally () = try Sys.remove tmp with Sys_error _ -> () in
@@ -86,48 +154,24 @@ let run_isolated ~timeout ~grace thunk =
       match Unix.fork () with
       | 0 ->
           (* Child: run, marshal, die without flushing inherited channels. *)
-          ignore (Unix.alarm (int_of_float (ceil (timeout +. (2. *. grace))) + 1));
+          Subproc.child_setup
+            ~alarm_after:(timeout +. (2. *. grace) +. Subproc.flush_grace grace)
+            ();
           let result =
             try Ok (thunk ()) with e -> Error (Printexc.to_string e)
           in
-          (try
-             let oc = open_out_bin tmp in
-             Marshal.to_channel oc
-               (result : ((outcome * float), string) result)
-               [];
-             close_out oc
-           with _ -> ());
+          Subproc.write_result tmp (result : ((outcome * float), string) result);
           Unix._exit 0
       | pid ->
-          let kill_at = Unix.gettimeofday () +. timeout +. grace in
-          let rec wait killed =
-            match Unix.waitpid [ Unix.WNOHANG ] pid with
-            | 0, _ ->
-                if (not killed) && Unix.gettimeofday () > kill_at then begin
-                  (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
-                  wait true
-                end
-                else begin
-                  Unix.sleepf 0.005;
-                  wait killed
-                end
-            | _, status -> status
-          in
-          let status = wait false in
-          let read_result () =
-            try
-              let ic = open_in_bin tmp in
-              let r =
-                (Marshal.from_channel ic : ((outcome * float), string) result)
-              in
-              close_in ic;
-              Some r
-            with _ -> None
+          let status =
+            Subproc.wait_with_ladder
+              ~term_at:(Unix.gettimeofday () +. timeout +. grace)
+              ~flush:(Subproc.flush_grace grace) pid
           in
           let crashed reason =
             (Aborted { why = Crash reason; lb = 0; ub = None }, timeout)
           in
-          (match (status, read_result ()) with
+          (match (status, Subproc.read_result tmp) with
           | Unix.WEXITED 0, Some (Ok r) -> r
           | Unix.WEXITED 0, Some (Error reason) -> crashed reason
           | Unix.WEXITED 0, None -> crashed "child produced no result"

@@ -47,6 +47,39 @@ val no_retry : retry_policy
 
 val abort_reason_to_string : abort_reason -> string
 
+(** Fork/Marshal plumbing shared by {!run_isolated} and the portfolio
+    solver ([Msu_portfolio]): temp-file result transport and the
+    graceful cancellation ladder (SIGTERM → flush window → SIGKILL). *)
+module Subproc : sig
+  val flush_grace : float -> float
+  (** Seconds a SIGTERMed child gets to flush its partial result before
+      SIGKILL, as a function of the configured [grace]. *)
+
+  val write_result : string -> ('a, string) result -> unit
+  (** Marshal a result to the given path; errors are swallowed (the
+      parent treats a missing file as a crash). *)
+
+  val read_result : string -> ('a, string) result option
+
+  val kill : int -> int -> unit
+  (** [kill pid signal], ignoring [ESRCH] races with exit. *)
+
+  val child_setup : alarm_after:float -> unit -> unit
+  (** Call first in a forked child: routes SIGTERM to
+      {!Msu_guard.Guard.cancel_current} (so the solve unwinds with its
+      bounds instead of dying) and arms a SIGALRM hard backstop
+      [alarm_after] seconds out (skipped when infinite). *)
+
+  val wait_with_ladder : term_at:float -> flush:float -> int -> Unix.process_status
+  (** Reap the child with exponential-backoff sleeps (no busy-wait); at
+      [term_at] send SIGTERM, [flush] seconds later SIGKILL. *)
+end
+
+val run_isolated :
+  timeout:float -> grace:float -> (unit -> outcome * float) -> outcome * float
+(** Run the thunk in a forked child with the {!Subproc} ladder; exposed
+    for tests and custom harnesses ({!run_one} [~isolate] wraps it). *)
+
 val run_one :
   ?isolate:bool ->
   ?grace:float ->
@@ -58,9 +91,12 @@ val run_one :
   run
 (** [run_one ~timeout alg (name, family, wcnf)].  With [isolate] the
     solve runs in a forked child process: the result comes back through
-    a temp file, the child carries a SIGALRM backstop, and the parent
-    SIGKILLs it [grace] seconds (default 1.0) past the timeout — an
-    infinite loop or C-level crash costs one run, never the suite.
+    a temp file, the child carries a SIGALRM backstop, and [grace]
+    seconds (default 1.0) past the timeout the parent starts the
+    cancellation ladder — SIGTERM (tripping the child's guard, which
+    flushes the partial lb/ub it computed), then SIGKILL after a short
+    flush window — so an infinite loop or C-level crash costs one run,
+    never the suite, and a timed-out run still reports its bounds.
     [retry] (default {!no_retry}) re-runs crashed attempts. *)
 
 val run_suite :

@@ -1,0 +1,577 @@
+module G = Msu_guard.Guard
+module Fault = Msu_guard.Fault
+module T = Msu_maxsat.Types
+module M = Msu_maxsat.Maxsat
+module Subproc = Msu_harness.Runner.Subproc
+
+type spec = {
+  label : string;
+  algorithm : M.algorithm;
+  encoding : Msu_card.Card.encoding;
+  incremental : bool;
+  fault : Fault.kind option;
+}
+
+let spec ?encoding ?(incremental = true) ?fault algorithm =
+  let encoding =
+    match encoding with
+    | Some e -> e
+    | None -> (
+        match algorithm with
+        | M.Msu4_v1 -> Msu_card.Card.Bdd
+        | _ -> Msu_card.Card.Sortnet)
+  in
+  let label =
+    Printf.sprintf "%s/%s%s"
+      (M.algorithm_to_string algorithm)
+      (Msu_card.Card.encoding_to_string encoding)
+      (if incremental then "" else "/rebuild")
+  in
+  { label; algorithm; encoding; incremental; fault }
+
+(* Diversity order: the paper's two msu4 variants first, then the other
+   core-guided algorithms, then encoding/rebuild ablation variants.  No
+   duplicates past the list — racing two identical configs buys
+   nothing. *)
+let default_specs n =
+  let base =
+    [
+      spec M.Msu4_v2;
+      spec M.Msu3;
+      spec M.Oll;
+      spec M.Msu4_v1;
+      spec ~encoding:Msu_card.Card.Totalizer M.Msu3;
+      spec M.Wpm1;
+      spec M.Pbo_linear;
+      spec M.Msu1;
+      spec ~incremental:false M.Msu4_v2;
+      spec M.Pbo_binary;
+      spec ~incremental:false M.Msu3;
+      spec M.Branch_bound;
+    ]
+  in
+  let rec take k = function
+    | x :: tl when k > 0 -> x :: take (k - 1) tl
+    | _ -> []
+  in
+  take (max 1 n) base
+
+type worker_report = {
+  w_label : string;
+  w_algorithm : M.algorithm;
+  w_outcome : T.outcome;
+  w_time : float;
+  w_stats : T.stats;
+}
+
+type result = {
+  outcome : T.outcome;
+  model : bool array option;
+  winner : string option;
+  lb : int;
+  ub : int option;
+  reports : worker_report list;
+  disagreements : string list;
+  stats : T.stats;
+  elapsed : float;
+}
+
+(* ---------------- wire protocol ----------------
+
+   Worker -> parent (up pipe):  "l <n>"  improved lower bound
+                                "u <n>"  improved upper bound
+   Parent -> worker (down pipe): "b <lb> <ub>"  best global bounds
+                                 (<ub> = -1 when none known yet).
+   Line-oriented; partial reads are buffered until the newline. *)
+
+let send_line fd s =
+  let b = Bytes.of_string (s ^ "\n") in
+  try ignore (Unix.write fd b 0 (Bytes.length b)) with Unix.Unix_error _ -> ()
+
+(* Complete lines accumulated in [buf]; the trailing partial line (if
+   any) stays buffered. *)
+let take_lines buf =
+  let s = Buffer.contents buf in
+  match String.rindex_opt s '\n' with
+  | None -> []
+  | Some i ->
+      Buffer.clear buf;
+      Buffer.add_substring buf s (i + 1) (String.length s - i - 1);
+      String.split_on_char '\n' (String.sub s 0 i)
+      |> List.filter (fun l -> l <> "")
+
+(* ---------------- worker (child process) ---------------- *)
+
+let run_worker ~deadline ~max_conflicts ~down ~up ~tmp sp w =
+  (match sp.fault with Some k -> Fault.arm k | None -> ());
+  Unix.set_nonblock down;
+  let guard = G.create ~deadline ?max_conflicts () in
+  G.set_cancel_target guard;
+  let cell = G.Progress.create () in
+  let inbuf = Buffer.create 128 in
+  let chunk = Bytes.create 4096 in
+  let sent_lb = ref (-1) and sent_ub = ref max_int in
+  let publish () =
+    let lb = G.Progress.lb cell in
+    if lb > !sent_lb then begin
+      sent_lb := lb;
+      send_line up ("l " ^ string_of_int lb)
+    end;
+    match G.Progress.ub cell with
+    | Some u when u < !sent_ub ->
+        sent_ub := u;
+        send_line up ("u " ^ string_of_int u)
+    | _ -> ()
+  in
+  let drain_broadcasts () =
+    let rec rd () =
+      match Unix.read down chunk 0 (Bytes.length chunk) with
+      | 0 -> ()
+      | n ->
+          Buffer.add_subbytes inbuf chunk 0 n;
+          rd ()
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+        ->
+          ()
+      | exception Unix.Unix_error _ -> ()
+    in
+    rd ();
+    take_lines inbuf
+    |> List.iter (fun line ->
+           match String.split_on_char ' ' line with
+           | [ "b"; lb; ub ] -> (
+               match (int_of_string_opt lb, int_of_string_opt ub) with
+               | Some lb, Some ub ->
+                   G.install_bounds guard ~lb
+                     ~ub:(if ub < 0 then None else Some ub)
+               | _ -> ())
+           | _ -> ())
+  in
+  let ticker () =
+    publish ();
+    drain_broadcasts ();
+    (* Stop as soon as the global bracket collapses: combining our own
+       bounds with the externally proved ones, lb = ub means the
+       portfolio as a whole is done and the parent has (or will get)
+       the winning model from whoever proved the ub. *)
+    let lb = max (G.Progress.lb cell) (G.external_lb guard) in
+    let ub =
+      match (G.Progress.ub cell, G.external_ub guard) with
+      | Some a, Some b -> min a b
+      | Some a, None | None, Some a -> a
+      | None, None -> max_int
+    in
+    if ub < max_int && lb >= ub then G.trip guard G.Cancelled
+  in
+  G.set_ticker guard ticker;
+  let config =
+    {
+      T.default_config with
+      T.deadline;
+      max_conflicts;
+      encoding = sp.encoding;
+      incremental = sp.incremental;
+      guard = Some guard;
+      progress = Some cell;
+    }
+  in
+  (* Nothing may escape a forked worker: an exception unwinding past
+     this frame would run the parent's continuation (the caller's whole
+     program) a second time in the child.  Trap everything, write what
+     we have, and _exit. *)
+  let result =
+    try
+      let r = M.solve_supervised ~config sp.algorithm w in
+      (* Terminal publication: the parent learns the final bounds from
+         the pipe even before it reaps us and reads the full report. *)
+      G.Progress.note_lb cell (fst (T.outcome_bounds r.T.outcome));
+      publish ();
+      (Ok r : (T.result, string) Stdlib.result)
+    with e -> Error (Printexc.to_string e)
+  in
+  Subproc.write_result tmp result;
+  Unix._exit (match result with Ok _ -> 0 | Error _ -> 2)
+
+(* ---------------- parent ---------------- *)
+
+type worker_state = {
+  st_spec : spec;
+  st_pid : int;
+  st_up : Unix.file_descr;  (* read end of worker's up pipe *)
+  st_down : Unix.file_descr;  (* write end of worker's down pipe *)
+  st_tmp : string;
+  st_buf : Buffer.t;
+  mutable st_lb : int;  (* best bounds this worker published *)
+  mutable st_ub : int;  (* max_int = none *)
+  mutable st_alive : bool;
+  mutable st_eof : bool;
+  mutable st_report : (T.result, string) Stdlib.result option;
+  mutable st_status : Unix.process_status option;
+}
+
+let solve ?specs ?(jobs = 4) ?timeout ?(grace = 1.0) ?max_conflicts ?trace w =
+  let specs =
+    match specs with
+    | Some [] -> invalid_arg "Portfolio.solve: empty spec list"
+    | Some s -> s
+    | None -> default_specs jobs
+  in
+  let say fmt =
+    Printf.ksprintf (fun s -> match trace with Some f -> f s | None -> ()) fmt
+  in
+  let t0 = Unix.gettimeofday () in
+  let deadline = match timeout with None -> infinity | Some t -> t0 +. t in
+  let flush = Subproc.flush_grace grace in
+  let term_at = deadline +. grace in
+  (* A worker that died mid-broadcast must not kill the parent. *)
+  let old_sigpipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+  Fun.protect ~finally:(fun () -> Sys.set_signal Sys.sigpipe old_sigpipe)
+  @@ fun () ->
+  (* All pipes are created before any fork so every child can close the
+     ends that belong to its siblings. *)
+  let plumbing =
+    List.map
+      (fun sp ->
+        let down_rd, down_wr = Unix.pipe () in
+        let up_rd, up_wr = Unix.pipe () in
+        (sp, Filename.temp_file "msu-portfolio" ".bin", down_rd, down_wr, up_rd, up_wr))
+      specs
+  in
+  (* Children inherit the SIGTERM→cancel disposition from the fork
+     itself, so a cancellation arriving before a child finishes its own
+     setup still trips its guard instead of killing it outright (the
+     parent's disposition is restored once every worker is forked; with
+     no cancel target registered the inherited handler is a no-op until
+     the worker registers its guard). *)
+  let old_sigterm =
+    Sys.signal Sys.sigterm (Sys.Signal_handle (fun _ -> G.cancel_current ()))
+  in
+  let states =
+    List.map
+      (fun (sp, tmp, down_rd, down_wr, up_rd, up_wr) ->
+        match Unix.fork () with
+        | 0 ->
+            List.iter
+              (fun (_, _, dr, dw, ur, uw) ->
+                List.iter
+                  (fun fd ->
+                    if fd <> down_rd && fd <> up_wr then
+                      try Unix.close fd with Unix.Unix_error _ -> ())
+                  [ dr; dw; ur; uw ])
+              plumbing;
+            Subproc.child_setup
+              ~alarm_after:
+                (match timeout with
+                | None -> infinity
+                | Some t -> t +. (2. *. grace) +. flush)
+              ();
+            run_worker ~deadline ~max_conflicts ~down:down_rd ~up:up_wr ~tmp sp w
+        | pid ->
+            Unix.close down_rd;
+            Unix.close up_wr;
+            Unix.set_nonblock down_wr;
+            {
+              st_spec = sp;
+              st_pid = pid;
+              st_up = up_rd;
+              st_down = down_wr;
+              st_tmp = tmp;
+              st_buf = Buffer.create 128;
+              st_lb = 0;
+              st_ub = max_int;
+              st_alive = true;
+              st_eof = false;
+              st_report = None;
+              st_status = None;
+            })
+      plumbing
+  in
+  Sys.set_signal Sys.sigterm old_sigterm;
+  let best_lb = ref 0 and best_ub = ref max_int in
+  let cancel_started = ref None in
+  let cancel_all why =
+    if !cancel_started = None then begin
+      say "c [portfolio] cancelling remaining workers (%s)" why;
+      cancel_started := Some (Unix.gettimeofday ());
+      List.iter
+        (fun st -> if st.st_alive then Subproc.kill st.st_pid Sys.sigterm)
+        states
+    end
+  in
+  let broadcast () =
+    let line =
+      Printf.sprintf "b %d %d" !best_lb
+        (if !best_ub = max_int then -1 else !best_ub)
+    in
+    List.iter (fun st -> if st.st_alive then send_line st.st_down line) states
+  in
+  (* Fold worker bounds into the global bracket; rebroadcast on
+     improvement and start cancellation once the bracket collapses. *)
+  let note_bounds st lb ub =
+    if lb > st.st_lb then st.st_lb <- lb;
+    (match ub with Some u when u < st.st_ub -> st.st_ub <- u | _ -> ());
+    let improved = ref false in
+    if st.st_lb > !best_lb then begin
+      best_lb := st.st_lb;
+      improved := true
+    end;
+    if st.st_ub < !best_ub then begin
+      best_ub := st.st_ub;
+      improved := true
+    end;
+    if !improved then begin
+      say "c [portfolio] %s -> global bounds [%d, %s]" st.st_spec.label !best_lb
+        (if !best_ub = max_int then "?" else string_of_int !best_ub);
+      broadcast ();
+      if !best_ub < max_int && !best_lb >= !best_ub then
+        cancel_all "bounds met"
+    end
+  in
+  let read_worker st =
+    let chunk = Bytes.create 1024 in
+    match Unix.read st.st_up chunk 0 (Bytes.length chunk) with
+    | 0 -> st.st_eof <- true
+    | n ->
+        Buffer.add_subbytes st.st_buf chunk 0 n;
+        take_lines st.st_buf
+        |> List.iter (fun line ->
+               match String.split_on_char ' ' line with
+               | [ "l"; v ] -> (
+                   match int_of_string_opt v with
+                   | Some lb -> note_bounds st lb None
+                   | None -> ())
+               | [ "u"; v ] -> (
+                   match int_of_string_opt v with
+                   | Some ub -> note_bounds st 0 (Some ub)
+                   | None -> ())
+               | _ -> ())
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+      ->
+        ()
+  in
+  let reap st =
+    match Unix.waitpid [ Unix.WNOHANG ] st.st_pid with
+    | 0, _ -> ()
+    | _, status ->
+        st.st_alive <- false;
+        st.st_status <- Some status;
+        st.st_report <- Subproc.read_result st.st_tmp;
+        (match st.st_report with
+        | Some (Ok r) -> (
+            let lb, ub = T.outcome_bounds r.T.outcome in
+            note_bounds st lb ub;
+            match r.T.outcome with
+            | T.Optimum _ | T.Hard_unsat ->
+                cancel_all ("decided by " ^ st.st_spec.label)
+            | T.Bounds _ | T.Crashed _ -> ())
+        | Some (Error _) | None -> ())
+    | exception Unix.Unix_error _ ->
+        st.st_alive <- false;
+        st.st_report <- Subproc.read_result st.st_tmp
+  in
+  let rec pump () =
+    List.iter (fun st -> if st.st_alive then reap st) states;
+    if List.exists (fun st -> st.st_alive) states then begin
+      let fds =
+        List.filter_map
+          (fun st -> if st.st_alive && not st.st_eof then Some st.st_up else None)
+          states
+      in
+      let now = Unix.gettimeofday () in
+      let till_ladder =
+        match !cancel_started with
+        | Some t -> t +. flush -. now
+        | None -> term_at -. now
+      in
+      let tmo =
+        if Float.is_finite till_ladder then Float.min 0.05 (Float.max 0.0 till_ladder)
+        else 0.05
+      in
+      (match Unix.select fds [] [] tmo with
+      | readable, _, _ ->
+          List.iter
+            (fun st -> if List.mem st.st_up readable then read_worker st)
+            states
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      let now = Unix.gettimeofday () in
+      (match !cancel_started with
+      | Some t ->
+          if now > t +. flush then
+            List.iter
+              (fun st -> if st.st_alive then Subproc.kill st.st_pid Sys.sigkill)
+              states
+      | None -> if now > term_at then cancel_all "timeout");
+      pump ()
+    end
+  in
+  pump ();
+  List.iter
+    (fun st ->
+      (try Unix.close st.st_up with Unix.Unix_error _ -> ());
+      (try Unix.close st.st_down with Unix.Unix_error _ -> ());
+      try Sys.remove st.st_tmp with Sys_error _ -> ())
+    states;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  (* ---- merge ---- *)
+  let report_of st =
+    match st.st_report with
+    | Some (Ok r) ->
+        {
+          w_label = st.st_spec.label;
+          w_algorithm = st.st_spec.algorithm;
+          w_outcome = r.T.outcome;
+          w_time = r.T.elapsed;
+          w_stats = r.T.stats;
+        }
+    | Some (Error _) | None ->
+        let reason =
+          match (st.st_report, st.st_status) with
+          | Some (Error reason), _ -> reason
+          | _, Some (Unix.WSIGNALED n) ->
+              Printf.sprintf "worker killed (signal %d)" n
+          | _, Some (Unix.WEXITED n) -> Printf.sprintf "worker exit %d" n
+          | _, _ -> "worker produced no result"
+        in
+        {
+          w_label = st.st_spec.label;
+          w_algorithm = st.st_spec.algorithm;
+          w_outcome =
+            T.Crashed
+              {
+                reason;
+                lb = st.st_lb;
+                ub = (if st.st_ub = max_int then None else Some st.st_ub);
+              };
+          w_time = elapsed;
+          w_stats = T.empty_stats;
+        }
+  in
+  let reports = List.map report_of states in
+  let stats =
+    List.fold_left (fun acc r -> T.merge_stats acc r.w_stats) T.empty_stats reports
+  in
+  let optima =
+    List.filter_map
+      (fun r ->
+        match r.w_outcome with T.Optimum c -> Some (r.w_label, c) | _ -> None)
+      reports
+  in
+  let hard_unsat =
+    List.filter_map
+      (fun r ->
+        match r.w_outcome with T.Hard_unsat -> Some r.w_label | _ -> None)
+      reports
+  in
+  (* Model-backed upper-bound candidates: only these may decide an
+     optimum — a peer's published ub without a surviving model never
+     masquerades as a solution. *)
+  let candidates =
+    List.filter_map
+      (fun st ->
+        match st.st_report with
+        | Some (Ok r) -> (
+            match (r.T.model, snd (T.outcome_bounds r.T.outcome)) with
+            | Some m, Some u -> Some (u, m, st.st_spec.label)
+            | _ -> None)
+        | _ -> None)
+      states
+  in
+  let best_candidate =
+    List.fold_left
+      (fun acc (u, m, l) ->
+        match acc with
+        | Some (u', _, _) when u' <= u -> acc
+        | _ -> Some (u, m, l))
+      None candidates
+  in
+  let disagreements = ref [] in
+  let disagree fmt = Printf.ksprintf (fun s -> disagreements := s :: !disagreements) fmt in
+  (match optima with
+  | (l0, c0) :: rest ->
+      List.iter
+        (fun (l, c) ->
+          if c <> c0 then disagree "%s proved optimum %d but %s proved %d" l0 c0 l c)
+        rest;
+      if !best_ub < c0 then
+        disagree "%s proved optimum %d but a peer published ub %d" l0 c0 !best_ub;
+      if !best_lb > c0 then
+        disagree "%s proved optimum %d but a peer published lb %d" l0 c0 !best_lb;
+      if hard_unsat <> [] then
+        disagree "%s proved an optimum but %s reported hard-unsat" l0
+          (List.hd hard_unsat)
+  | [] ->
+      if hard_unsat <> [] && candidates <> [] then
+        disagree "%s reported hard-unsat but a peer found a model"
+          (List.hd hard_unsat);
+      if !best_ub < max_int && !best_lb > !best_ub then
+        disagree "published bounds crossed: lb %d > ub %d" !best_lb !best_ub);
+  let outcome, model, winner =
+    match optima with
+    | (l, c) :: rest ->
+        let l, c =
+          List.fold_left (fun (l, c) (l', c') -> if c' < c then (l', c') else (l, c))
+            (l, c) rest
+        in
+        let model =
+          List.find_map
+            (fun st ->
+              match st.st_report with
+              | Some (Ok { T.outcome = T.Optimum c'; model = Some m; _ })
+                when c' = c ->
+                  Some m
+              | _ -> None)
+            states
+        in
+        (T.Optimum c, model, Some l)
+    | [] when hard_unsat <> [] -> (T.Hard_unsat, None, Some (List.hd hard_unsat))
+    | [] ->
+        let lb = !best_lb in
+        let all_crashed =
+          List.for_all
+            (fun r -> match r.w_outcome with T.Crashed _ -> true | _ -> false)
+            reports
+        in
+        if all_crashed then begin
+          let ub = if !best_ub = max_int then None else Some !best_ub in
+          (* Attach a salvaged model only when its cost matches the
+             reported ub, so the merged Crashed still certifies. *)
+          let model =
+            match (best_candidate, ub) with
+            | Some (u, m, _), Some b when u = b -> Some m
+            | _ -> None
+          in
+          (T.Crashed { reason = "all workers crashed"; lb; ub }, model, None)
+        end
+        else (
+          match best_candidate with
+          | Some (u, m, l) when lb >= u ->
+              (* Gap closed across workers: one proved the lower bound,
+                 another holds a model at that cost. *)
+              (T.Optimum u, Some m, Some l)
+          | Some (u, m, _) -> (T.Bounds { lb; ub = Some u }, Some m, None)
+          | None ->
+              let ub = if !best_ub = max_int then None else Some !best_ub in
+              ( T.Bounds
+                  { lb = (match ub with Some u -> min lb u | None -> lb); ub },
+                None,
+                None ))
+  in
+  {
+    outcome;
+    model;
+    winner;
+    lb = !best_lb;
+    ub = (if !best_ub = max_int then None else Some !best_ub);
+    reports;
+    disagreements = List.rev !disagreements;
+    stats;
+    elapsed;
+  }
+
+let to_result r =
+  { T.outcome = r.outcome; model = r.model; stats = r.stats; elapsed = r.elapsed }
+
+let pp_result ppf r =
+  Format.fprintf ppf "%a (%.3fs, %d workers%s)" T.pp_outcome r.outcome r.elapsed
+    (List.length r.reports)
+    (match r.winner with Some w -> ", winner " ^ w | None -> "")

@@ -1,0 +1,93 @@
+(** Process-parallel algorithm portfolio with live bound sharing.
+
+    One instance, [N] forked workers, each running a different
+    algorithm/encoding configuration.  Workers publish every improved
+    lower/upper bound to the parent over a pipe; the parent keeps the
+    best global bracket and rebroadcasts it, and each worker installs
+    the broadcast through its {!Msu_guard.Guard} — msu4 tightens its
+    at-most bound with a peer's upper bound, and any worker stops the
+    moment the shared bounds close the gap.  The first worker to close
+    the gap wins; the parent cancels the rest through the graceful
+    ladder (SIGTERM → flush window → SIGKILL), merges their statistics,
+    and salvages the partial bounds of workers that timed out or
+    crashed.
+
+    Soundness: an external upper bound is a bound on the {e instance}
+    but is not backed by a local model, so the merged result only
+    reports [Optimum] at a cost some worker's recovered model actually
+    achieves — external bounds prune the search and tighten the
+    reported bracket, never replace a model. *)
+
+type spec = {
+  label : string;
+  algorithm : Msu_maxsat.Maxsat.algorithm;
+  encoding : Msu_card.Card.encoding;
+  incremental : bool;
+  fault : Msu_guard.Fault.kind option;
+      (** armed inside the worker before solving — tests inject worker
+          crashes with this *)
+}
+
+val spec :
+  ?encoding:Msu_card.Card.encoding ->
+  ?incremental:bool ->
+  ?fault:Msu_guard.Fault.kind ->
+  Msu_maxsat.Maxsat.algorithm ->
+  spec
+(** Encoding defaults to the algorithm's paper configuration (BDD for
+    msu4-v1, sorting networks otherwise); [incremental] defaults to
+    [true]. *)
+
+val default_specs : int -> spec list
+(** The first [n] of a fixed diversity order (msu4-v2, msu3, oll,
+    msu4-v1, …, rebuild variants); capped at the number of distinct
+    configurations. *)
+
+type worker_report = {
+  w_label : string;
+  w_algorithm : Msu_maxsat.Maxsat.algorithm;
+  w_outcome : Msu_maxsat.Types.outcome;
+  w_time : float;
+  w_stats : Msu_maxsat.Types.stats;
+}
+
+type result = {
+  outcome : Msu_maxsat.Types.outcome;
+  model : bool array option;  (** backs [outcome]'s optimum/ub *)
+  winner : string option;
+      (** label of the worker whose result decided the outcome *)
+  lb : int;  (** best global lower bound, over all workers *)
+  ub : int option;
+      (** best global upper bound published by any worker — may be
+          tighter than [outcome]'s when the matching model was lost *)
+  reports : worker_report list;  (** one per worker, spec order *)
+  disagreements : string list;
+      (** workers proving contradictory optima / inconsistent bounds —
+          must be empty; non-empty means a solver bug *)
+  stats : Msu_maxsat.Types.stats;  (** merged over all workers *)
+  elapsed : float;
+}
+
+val solve :
+  ?specs:spec list ->
+  ?jobs:int ->
+  ?timeout:float ->
+  ?grace:float ->
+  ?max_conflicts:int ->
+  ?trace:(string -> unit) ->
+  Msu_cnf.Wcnf.t ->
+  result
+(** Fork one worker per spec ([default_specs jobs] when [specs] is
+    omitted; [jobs] defaults to 4) and race them with live bound
+    sharing.  [timeout] is wall seconds for the whole portfolio
+    ([grace], default 1.0, pads the cancellation ladder exactly as in
+    {!Msu_harness.Runner.run_one}); [max_conflicts] is a per-worker
+    conflict budget.  Never raises on worker crashes: a crashed worker
+    contributes its salvaged bounds and the rest keep racing. *)
+
+val to_result : result -> Msu_maxsat.Types.result
+(** Collapse to the sequential result type (outcome, winning model,
+    merged stats) so [Certify] and the output pipeline apply
+    unchanged. *)
+
+val pp_result : Format.formatter -> result -> unit

@@ -292,6 +292,26 @@ let cancel_until s lvl =
     s.qhead <- Vec.size s.trail
   end
 
+(* Keep the shared guard's cumulative counters in step with this call's
+   conflict/propagation deltas, then poll it. *)
+let sync_guard s =
+  match s.guard with
+  | None -> false
+  | Some g ->
+      Msu_guard.Guard.add_conflicts g (s.n_conflicts - s.guard_conflicts_base);
+      Msu_guard.Guard.add_propagations g (s.n_propagations - s.guard_props_base);
+      s.guard_conflicts_base <- s.n_conflicts;
+      s.guard_props_base <- s.n_propagations;
+      Msu_guard.Guard.poll g <> None
+
+(* Full budget sample, latching [deadline_hit] on any breach so the next
+   [budget_exhausted] check stops the search. *)
+let sample_budgets s =
+  if not s.deadline_hit then
+    if sync_guard s then s.deadline_hit <- true
+    else if s.deadline < infinity && Unix.gettimeofday () > s.deadline then
+      s.deadline_hit <- true
+
 (* Unit propagation. *)
 
 let propagate s =
@@ -300,6 +320,11 @@ let propagate s =
     let p = Vec.get s.trail s.qhead in
     s.qhead <- s.qhead + 1;
     s.n_propagations <- s.n_propagations + 1;
+    (* Budget checks otherwise run only at conflict/decision boundaries,
+       so a propagation-heavy episode (huge watcher lists, long
+       implication chains) could overshoot the deadline unboundedly;
+       sample on a propagation-count cadence too. *)
+    if s.n_propagations land 0x1fff = 0 then sample_budgets s;
     let ws = s.watches.(p) in
     let n = Vec.size ws in
     let i = ref 0 and j = ref 0 in
@@ -639,25 +664,22 @@ let luby i =
   let size, seq = outer 1 0 in
   float_of_int (1 lsl go size seq i)
 
-(* Keep the shared guard's cumulative counters in step with this call's
-   conflict/propagation deltas, then poll it. *)
-let guard_breached s =
-  match s.guard with
-  | None -> false
-  | Some g ->
-      Msu_guard.Guard.add_conflicts g (s.n_conflicts - s.guard_conflicts_base);
-      Msu_guard.Guard.add_propagations g (s.n_propagations - s.guard_props_base);
-      s.guard_conflicts_base <- s.n_conflicts;
-      s.guard_props_base <- s.n_propagations;
-      Msu_guard.Guard.poll g <> None
-
+(* Called at every conflict and decision: counter budgets are exact;
+   the wall clock is observed through the shared guard's sampled poll
+   (every 64 guard polls — a conflict-count cadence here) or, without a
+   guard, a standalone sample every 64 checks; [propagate] adds its own
+   propagation-count cadence in between, so no phase of the search can
+   overshoot the deadline by more than one sampling window. *)
 let budget_exhausted s =
   if s.n_conflicts > s.conflict_budget then true
   else if s.deadline_hit then true
-  else if guard_breached s then true
+  else if sync_guard s then begin
+    s.deadline_hit <- true;
+    true
+  end
   else begin
     s.budget_checks <- s.budget_checks + 1;
-    if s.deadline < infinity && s.budget_checks land 0xff = 0 then begin
+    if s.deadline < infinity && s.budget_checks land 0x3f = 0 then begin
       s.deadline_hit <- Unix.gettimeofday () > s.deadline;
       s.deadline_hit
     end

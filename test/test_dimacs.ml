@@ -43,6 +43,40 @@ let test_parse_wcnf_from_cnf () =
   Alcotest.(check int) "all soft" 2 (Wcnf.num_soft w);
   Alcotest.(check bool) "plain" true (Wcnf.is_plain w)
 
+(* The old-style wcnf header is detected by peeking at the rest of the
+   header line; these pin the peek against messy-but-legal inputs. *)
+
+let test_wcnf_header_crlf () =
+  (* CRLF endings: the bare '\r' left on the header line must not read
+     as a top weight. *)
+  let w = Dimacs.parse_wcnf "p wcnf 2 2\r\n3 1 0\r\n2 -1 2 0\r\n" in
+  Alcotest.(check int) "old-style: no hard" 0 (Wcnf.num_hard w);
+  Alcotest.(check int) "old-style: two soft" 2 (Wcnf.num_soft w);
+  Alcotest.(check int) "old-style: weights" 5 (Wcnf.total_soft_weight w);
+  let w = Dimacs.parse_wcnf "p wcnf 2 3 10\r\n10 1 0\r\n3 -1 2 0\r\n1 -2 0\r\n" in
+  Alcotest.(check int) "top-style: hard" 1 (Wcnf.num_hard w);
+  Alcotest.(check int) "top-style: soft" 2 (Wcnf.num_soft w)
+
+let test_wcnf_header_comment_after () =
+  (* A comment line directly after the header: the peek must not read
+     the comment as the top weight, and the clause reader must still
+     skip it. *)
+  let w = Dimacs.parse_wcnf "p wcnf 2 2\nc weights follow\n3 1 0\n2 -1 2 0\n" in
+  Alcotest.(check int) "no hard" 0 (Wcnf.num_hard w);
+  Alcotest.(check int) "two soft" 2 (Wcnf.num_soft w);
+  Alcotest.(check int) "weights" 5 (Wcnf.total_soft_weight w)
+
+let test_wcnf_header_trailing_whitespace () =
+  (* Trailing blanks/tabs before the newline look like "more header";
+     they must not flip an old-style header to top-style. *)
+  let w = Dimacs.parse_wcnf "p wcnf 2 2 \t \n3 1 0\n2 -1 2 0\n" in
+  Alcotest.(check int) "no hard" 0 (Wcnf.num_hard w);
+  Alcotest.(check int) "two soft" 2 (Wcnf.num_soft w);
+  (* ... and trailing whitespace after a real top weight keeps it. *)
+  let w = Dimacs.parse_wcnf "p wcnf 2 3 10 \t\n10 1 0\n3 -1 2 0\n1 -2 0\n" in
+  Alcotest.(check int) "hard kept" 1 (Wcnf.num_hard w);
+  Alcotest.(check int) "soft kept" 2 (Wcnf.num_soft w)
+
 let test_cnf_roundtrip () =
   let f = formula_of_clauses 4 [ [ 1; -2 ]; [ 3; 4; -1 ]; [ -4 ] ] in
   let text = Format.asprintf "%a" Formula.pp f in
@@ -95,6 +129,10 @@ let suite =
     Alcotest.test_case "parse errors" `Quick test_parse_errors;
     Alcotest.test_case "parse wcnf with top" `Quick test_parse_wcnf_top;
     Alcotest.test_case "parse old-style wcnf" `Quick test_parse_wcnf_old;
+    Alcotest.test_case "wcnf header with CRLF" `Quick test_wcnf_header_crlf;
+    Alcotest.test_case "wcnf header then comment" `Quick test_wcnf_header_comment_after;
+    Alcotest.test_case "wcnf header trailing blanks" `Quick
+      test_wcnf_header_trailing_whitespace;
     Alcotest.test_case "parse cnf as wcnf" `Quick test_parse_wcnf_from_cnf;
     Alcotest.test_case "cnf round trip" `Quick test_cnf_roundtrip;
     Alcotest.test_case "wcnf round trip" `Quick test_wcnf_roundtrip;

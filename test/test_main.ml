@@ -18,4 +18,5 @@ let () =
       ("aiger", Test_aiger.suite);
       ("infra", Test_infra.suite);
       ("incremental", Test_incremental.suite);
+      ("portfolio", Test_portfolio.suite);
     ]

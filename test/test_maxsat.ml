@@ -218,6 +218,33 @@ let test_deadline_gives_bounds () =
       | o -> Alcotest.failf "%s: %a" (M.algorithm_to_string alg) T.pp_outcome o)
     [ M.Msu4_v1; M.Msu4_v2; M.Msu1; M.Msu3; M.Pbo_linear; M.Branch_bound ]
 
+let test_branch_bound_external_ub () =
+  (* A peer-installed upper bound prunes branch and bound's search but
+     is never claimed as its own.  The instance is built so the greedy
+     seed lands on a cost-3 model (x0 loses the polarity vote) while
+     the optimum is 2: with an external ub of 2 installed, every
+     improving leaf costs >= 2 and is pruned, so a completed run must
+     downgrade to Bounds {lb = 2; ub = Some 3} — the lower-bound proof
+     survives, the optimal model belongs to the peer.  Without the
+     external bound the same run proves the optimum outright. *)
+  let w =
+    wcnf_of_clauses 3
+      [ [ 1 ]; [ 1 ]; [ 1 ]; [ -1; 2 ]; [ -1; 3 ]; [ -1; -2 ]; [ -1; -3 ] ]
+  in
+  let guard = Msu_guard.Guard.unlimited () in
+  Msu_guard.Guard.install_bounds guard ~lb:0 ~ub:(Some 2);
+  let config = { T.default_config with T.guard = Some guard } in
+  let r = Msu_maxsat.Branch_bound.solve ~config w in
+  (match r.T.outcome with
+  | T.Bounds { lb = 2; ub = Some 3 } -> ()
+  | o -> Alcotest.failf "with external ub: %a" T.pp_outcome o);
+  Alcotest.(check bool) "cost-3 model still attached" true
+    (T.verify_model w r);
+  let r = Msu_maxsat.Branch_bound.solve w in
+  match r.T.outcome with
+  | T.Optimum 2 -> ()
+  | o -> Alcotest.failf "without external ub: %a" T.pp_outcome o
+
 let test_msu4_without_optional_constraint () =
   (* Line 19's >=1 constraint is optional; correctness must not depend
      on it. *)
@@ -435,6 +462,8 @@ let suite =
     Alcotest.test_case "weighted cross-check" `Quick test_weighted_cross_check;
     Alcotest.test_case "wpm1 weighted example" `Quick test_wpm1_weighted_example;
     Alcotest.test_case "pigeonhole optimum" `Quick test_pigeonhole_optimum;
+    Alcotest.test_case "branch and bound external ub" `Quick
+      test_branch_bound_external_ub;
     Alcotest.test_case "random plain cross-check" `Slow
       (cross_check ~partial:false ~rounds:60 ~seed:0xAA);
     Alcotest.test_case "random partial cross-check" `Slow

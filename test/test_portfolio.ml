@@ -1,0 +1,217 @@
+module Wcnf = Msu_cnf.Wcnf
+module M = Msu_maxsat.Maxsat
+module T = Msu_maxsat.Types
+module P = Msu_portfolio.Portfolio
+module Fault = Msu_guard.Fault
+open Test_util
+
+let wcnf_of_clauses ?(hard = []) n_vars soft =
+  let w = Wcnf.create () in
+  Wcnf.ensure_vars w n_vars;
+  List.iter (fun c -> Wcnf.add_hard w (clause c)) hard;
+  List.iter (fun c -> ignore (Wcnf.add_soft w (clause c))) soft;
+  w
+
+(* The paper's Example 2: optimum cost 2. *)
+let example2 () =
+  wcnf_of_clauses 4
+    [ [ 1 ]; [ -1; -2 ]; [ 2 ]; [ -1; -3 ]; [ 3 ]; [ -2; -3 ]; [ 1; -4 ]; [ -1; 4 ] ]
+
+let random_wcnf st =
+  let n_vars = 3 + Random.State.int st 6 in
+  let n_clauses = 4 + Random.State.int st 18 in
+  let w = Wcnf.create () in
+  Wcnf.ensure_vars w n_vars;
+  for _ = 1 to n_clauses do
+    let len = 1 + Random.State.int st 3 in
+    let c =
+      Array.init len (fun _ ->
+          Msu_cnf.Lit.make (Random.State.int st n_vars) (Random.State.bool st))
+    in
+    if Random.State.int st 6 = 0 then Wcnf.add_hard w c
+    else ignore (Wcnf.add_soft w c)
+  done;
+  w
+
+let check_against_reference name w (pr : P.result) =
+  Alcotest.(check (list string)) (name ^ ": no disagreements") [] pr.P.disagreements;
+  let r = P.to_result pr in
+  Alcotest.(check bool) (name ^ ": model verifies") true (T.verify_model w r);
+  match (pr.P.outcome, Wcnf.brute_force_min_cost w) with
+  | T.Optimum c, Some e ->
+      Alcotest.(check int) (name ^ ": optimum matches brute force") e c
+  | T.Hard_unsat, None -> ()
+  | o, e ->
+      Alcotest.failf "%s: portfolio says %a, brute force says %s" name T.pp_outcome o
+        (match e with Some c -> string_of_int c | None -> "hard-unsat")
+
+(* Mode equivalence: the portfolio proves the same optimum as brute
+   force (and hence as every sequential algorithm, which test_maxsat
+   pins to brute force) on paper examples and random instances across
+   seeds. *)
+let test_matches_brute_force () =
+  check_against_reference "example2" (example2 ())
+    (P.solve ~jobs:4 (example2 ()));
+  let w = wcnf_of_clauses 1 [ [ 1 ]; [ -1 ] ] in
+  check_against_reference "contradiction" w (P.solve ~jobs:4 w);
+  let w = wcnf_of_clauses ~hard:[ [ 1 ] ] 2 [ [ -1 ]; [ 2 ]; [ -2 ] ] in
+  check_against_reference "partial" w (P.solve ~jobs:4 w);
+  List.iter
+    (fun seed ->
+      let st = Random.State.make [| seed |] in
+      for round = 1 to 6 do
+        let w = random_wcnf st in
+        let name = Printf.sprintf "seed %d round %d" seed round in
+        check_against_reference name w (P.solve ~jobs:3 w)
+      done)
+    [ 11; 42 ]
+
+(* Every single-worker portfolio agrees too: the spec plumbing
+   (algorithm, encoding, incremental mode) reaches the worker intact. *)
+let test_singleton_specs_agree () =
+  let w = example2 () in
+  List.iter
+    (fun sp ->
+      let pr = P.solve ~specs:[ sp ] w in
+      match pr.P.outcome with
+      | T.Optimum 2 ->
+          Alcotest.(check bool)
+            (sp.P.label ^ " model verifies")
+            true
+            (T.verify_model w (P.to_result pr))
+      | o -> Alcotest.failf "%s: %a" sp.P.label T.pp_outcome o)
+    [
+      P.spec M.Msu4_v2;
+      P.spec M.Msu3;
+      P.spec M.Oll;
+      P.spec M.Msu4_v1;
+      P.spec ~encoding:Msu_card.Card.Totalizer M.Msu3;
+      P.spec ~incremental:false M.Msu4_v2;
+    ]
+
+(* A crashing worker must not poison the race: the survivor decides, the
+   crashed worker's report says so, and the optimum is unchanged. *)
+let test_injected_worker_crash () =
+  let w = example2 () in
+  let pr =
+    P.solve
+      ~specs:[ P.spec ~fault:Fault.Crash_mid_solve M.Msu4_v2; P.spec M.Msu3 ]
+      w
+  in
+  Alcotest.(check (list string)) "no disagreements" [] pr.P.disagreements;
+  (match pr.P.outcome with
+  | T.Optimum 2 -> ()
+  | o -> Alcotest.failf "expected optimum 2, got %a" T.pp_outcome o);
+  Alcotest.(check bool) "model verifies" true (T.verify_model w (P.to_result pr));
+  let crashed =
+    List.exists
+      (fun rep ->
+        match rep.P.w_outcome with T.Crashed _ -> true | _ -> false)
+      pr.P.reports
+  in
+  Alcotest.(check bool) "the faulted worker is reported crashed" true crashed
+
+(* All workers crashing yields a Crashed outcome that still carries the
+   bounds (and, cost permitting, the model) salvaged before the crash.
+   One worker makes this deterministic; with several, a worker that
+   crashes *after* publishing its bound can legitimately let the rest
+   finish early through bound sharing (covered below). *)
+let test_all_workers_crash () =
+  let w = example2 () in
+  let pr = P.solve ~specs:[ P.spec ~fault:Fault.Crash_mid_solve M.Msu4_v2 ] w in
+  match pr.P.outcome with
+  | T.Crashed { lb; ub; _ } ->
+      Alcotest.(check bool) "lb sound" true (lb <= 2);
+      (match ub with
+      | Some u -> Alcotest.(check bool) "ub sound" true (u >= 2)
+      | None -> ());
+      Alcotest.(check bool) "model still verifies" true
+        (T.verify_model w (P.to_result pr))
+  | o -> Alcotest.failf "expected crashed, got %a" T.pp_outcome o
+
+(* Every worker faulted: the race between crash-salvage and bound
+   sharing may still assemble the optimum (a worker that crashed after
+   publishing ub=2 seeds the survivors' early exit); whatever happens,
+   the result must be sound and certified. *)
+let test_every_worker_faulted_sound () =
+  let w = example2 () in
+  let pr =
+    P.solve
+      ~specs:
+        [
+          P.spec ~fault:Fault.Crash_mid_solve M.Msu4_v2;
+          P.spec ~fault:Fault.Crash_mid_solve M.Msu3;
+        ]
+      w
+  in
+  Alcotest.(check (list string)) "no disagreements" [] pr.P.disagreements;
+  Alcotest.(check bool) "model verifies" true (T.verify_model w (P.to_result pr));
+  match pr.P.outcome with
+  | T.Optimum c -> Alcotest.(check int) "optimum exact" 2 c
+  | T.Bounds { lb; ub } | T.Crashed { lb; ub; _ } ->
+      Alcotest.(check bool) "lb sound" true (lb <= 2);
+      (match ub with
+      | Some u -> Alcotest.(check bool) "ub sound" true (u >= 2)
+      | None -> ())
+  | T.Hard_unsat -> Alcotest.fail "example2 is not hard-unsat"
+
+let test_hard_unsat () =
+  let w = wcnf_of_clauses ~hard:[ [ 1 ]; [ -1 ] ] 1 [ [ 1 ] ] in
+  let pr = P.solve ~jobs:3 w in
+  match pr.P.outcome with
+  | T.Hard_unsat -> ()
+  | o -> Alcotest.failf "expected hard-unsat, got %a" T.pp_outcome o
+
+(* Timeout: every worker runs out of budget, and the merged result keeps
+   the best bounds any of them published — the portfolio version of the
+   lost-partial-bounds bugfix. *)
+let test_timeout_merges_partial_bounds () =
+  (* PHP(6,5) as plain MaxSAT: 30 vars, branch and bound cannot finish
+     in the budget, the core-guided worker publishes lower bounds
+     quickly. *)
+  let w = Wcnf.of_formula (pigeonhole 5) in
+  let pr =
+    P.solve
+      ~specs:[ P.spec M.Msu3; P.spec M.Branch_bound ]
+      ~timeout:0.5 ~grace:0.2 w
+  in
+  Alcotest.(check (list string)) "no disagreements" [] pr.P.disagreements;
+  (match pr.P.outcome with
+  | T.Bounds { lb; _ } ->
+      Alcotest.(check bool) "a worker's partial lb survives" true (lb >= 1)
+  | T.Optimum c ->
+      (* a fast machine may actually finish *)
+      Alcotest.(check bool) "optimum sound" true (c >= 1)
+  | o -> Alcotest.failf "expected bounds, got %a" T.pp_outcome o);
+  (* The merged bracket is at least as tight as every worker's own. *)
+  List.iter
+    (fun rep ->
+      let lb, _ = T.outcome_bounds rep.P.w_outcome in
+      Alcotest.(check bool)
+        (rep.P.w_label ^ " lb folded into the merge")
+        true (pr.P.lb >= lb))
+    pr.P.reports
+
+(* default_specs: labels are distinct and the requested count is
+   honoured up to the diversity cap. *)
+let test_default_specs () =
+  let specs = P.default_specs 4 in
+  Alcotest.(check int) "four specs" 4 (List.length specs);
+  let labels = List.map (fun sp -> sp.P.label) specs in
+  Alcotest.(check int) "labels distinct" 4
+    (List.length (List.sort_uniq compare labels));
+  Alcotest.(check bool) "cap holds" true (List.length (P.default_specs 99) <= 16)
+
+let suite =
+  [
+    Alcotest.test_case "portfolio matches brute force" `Quick test_matches_brute_force;
+    Alcotest.test_case "singleton specs agree" `Quick test_singleton_specs_agree;
+    Alcotest.test_case "injected worker crash" `Quick test_injected_worker_crash;
+    Alcotest.test_case "all workers crash" `Quick test_all_workers_crash;
+    Alcotest.test_case "every worker faulted is sound" `Quick
+      test_every_worker_faulted_sound;
+    Alcotest.test_case "hard unsat" `Quick test_hard_unsat;
+    Alcotest.test_case "timeout merges partial bounds" `Quick
+      test_timeout_merges_partial_bounds;
+    Alcotest.test_case "default specs" `Quick test_default_specs;
+  ]

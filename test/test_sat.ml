@@ -208,6 +208,24 @@ let test_deadline () =
   | Solver.Unknown | Solver.Unsat -> ()
   | Solver.Sat -> Alcotest.fail "php cannot be sat"
 
+let test_deadline_overshoot_bounded () =
+  (* Regression: the no-other-budget path only re-sampled the clock
+     every 256 budget checks, so slow-conflict searches could overshoot
+     a short deadline by seconds.  The deadline is now also sampled on
+     a propagation-count cadence; a 50 ms deadline on a hard instance
+     must come back well under half a second. *)
+  let f = pigeonhole 10 in
+  let s = solver_of_formula f in
+  let t0 = Unix.gettimeofday () in
+  let r = Solver.solve ~deadline:(t0 +. 0.05) s in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "overshoot bounded (%.3fs)" elapsed)
+    true (elapsed < 0.5);
+  match r with
+  | Solver.Unknown | Solver.Unsat -> ()
+  | Solver.Sat -> Alcotest.fail "php cannot be sat"
+
 let test_stats_progress () =
   let f = pigeonhole 4 in
   let s = solver_of_formula f in
@@ -268,6 +286,7 @@ let suite =
     Alcotest.test_case "incremental solving" `Quick test_incremental_use;
     Alcotest.test_case "conflict budget" `Quick test_conflict_budget;
     Alcotest.test_case "deadline" `Quick test_deadline;
+    Alcotest.test_case "deadline overshoot bounded" `Quick test_deadline_overshoot_bounded;
     Alcotest.test_case "statistics progress" `Quick test_stats_progress;
     Alcotest.test_case "duplicate literals" `Quick test_duplicate_literals;
     Alcotest.test_case "core contains only tracked ids" `Quick
