@@ -16,8 +16,16 @@
                    bound-sharing portfolio vs its constituent single
                    algorithms, incl. a complementary-hardness mixed
                    suite (BENCH_portfolio.json)
+     ablation-service
+                   closed-loop load test of the mserve daemon: duplicate-
+                   heavy mixed workload, cache hit-rate and latency
+                   percentiles vs cold solves (BENCH_service.json)
      micro         Bechamel micro-benchmarks, one per table/figure
      all           everything above (default)
+
+   Every ablation-* mode writes results/BENCH_<name>.json through one
+   shared JSON emitter (write_bench_json), so the artifacts are
+   uniformly shaped and comparable across PRs.
 
    The paper ran 691 instances with a 1000 s timeout on 2007 hardware;
    the defaults here are scaled down (--scale/--timeout raise them) so
@@ -72,6 +80,60 @@ let write_file name content =
   output_string oc content;
   close_out oc;
   Printf.printf "  [wrote %s]\n%!" path
+
+(* ----- shared JSON emission for the BENCH_* artifacts -----
+
+   Every ablation writes its aggregates through [write_bench_json] so
+   the artifacts share one shape: a top-level object carrying the knobs
+   that shaped the run (smoke/timeout/scale/seed — without them numbers
+   from different PRs are not comparable) plus the mode's own fields. *)
+
+module Json = struct
+  type t =
+    | Int of int
+    | Num of float
+    | Bool of bool
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  let rec render ~ind t =
+    let pad n = String.make n ' ' in
+    match t with
+    | Int i -> string_of_int i
+    | Num f -> Printf.sprintf "%g" f
+    | Bool b -> string_of_bool b
+    | Str s -> Printf.sprintf "%S" s
+    | List [] -> "[]"
+    | List xs ->
+        "[\n"
+        ^ String.concat ",\n"
+            (List.map (fun x -> pad (ind + 2) ^ render ~ind:(ind + 2) x) xs)
+        ^ "\n" ^ pad ind ^ "]"
+    | Obj [] -> "{}"
+    | Obj kvs ->
+        "{\n"
+        ^ String.concat ",\n"
+            (List.map
+               (fun (k, v) ->
+                 Printf.sprintf "%s%S: %s" (pad (ind + 2)) k
+                   (render ~ind:(ind + 2) v))
+               kvs)
+        ^ "\n" ^ pad ind ^ "}"
+end
+
+let write_bench_json name fields =
+  let doc =
+    Json.Obj
+      ([
+         ("smoke", Json.Bool !smoke);
+         ("timeout_s", Json.Num !timeout);
+         ("scale", Json.Num !scale);
+         ("seed", Json.Int !seed);
+       ]
+      @ fields)
+  in
+  write_file ("BENCH_" ^ name ^ ".json") (Json.render ~ind:0 doc ^ "\n")
 
 let paper_algorithms = [ M.Branch_bound; M.Pbo_linear; M.Msu4_v1; M.Msu4_v2 ]
 
@@ -217,7 +279,7 @@ let fig3 = figure 3 ~x:M.Msu4_v2 ~y:M.Msu4_v1
 
 (* ----- ablations (extensions; indexed in DESIGN.md) ----- *)
 
-let generic_suite_run name solvers =
+let generic_suite_run ~tag name solvers =
   (* Ablations subsample every other instance to keep total time down. *)
   let instances =
     to_wcnf (Suites.industrial ~scale:!scale ~seed:!seed ())
@@ -253,12 +315,27 @@ let generic_suite_run name solvers =
   List.iter
     (fun (label, aborted, time) ->
       Printf.printf "  %-22s %8d %11.1fs\n%!" label aborted time)
-    results
+    results;
+  write_bench_json tag
+    [
+      ("instances", Json.Int (List.length instances));
+      ( "variants",
+        Json.List
+          (List.map
+             (fun (label, aborted, time) ->
+               Json.Obj
+                 [
+                   ("variant", Json.Str label);
+                   ("aborted", Json.Int aborted);
+                   ("wall_clock_s", Json.Num time);
+                 ])
+             results) );
+    ]
 
 let ablation_card () =
   (* Binomial is excluded up front: it is Theta(n^(k+1)) clauses and
      overflows on every industrial-size core, which is the finding. *)
-  generic_suite_run "Ablation A - msu4 across cardinality encodings"
+  generic_suite_run ~tag:"card" "Ablation A - msu4 across cardinality encodings"
     (List.map
        (fun enc ->
          ( "msu4/" ^ Msu_card.Card.encoding_to_string enc,
@@ -267,7 +344,7 @@ let ablation_card () =
        Msu_card.Card.[ Bdd; Sortnet; Seqcounter; Totalizer ])
 
 let ablation_opt () =
-  generic_suite_run "Ablation B - msu4 line-19 optional constraint"
+  generic_suite_run ~tag:"opt" "Ablation B - msu4 line-19 optional constraint"
     [
       ( "msu4-v2/geq1 on",
         fun (config : T.config) w ->
@@ -278,7 +355,7 @@ let ablation_opt () =
     ]
 
 let ablation_msu () =
-  generic_suite_run "Ablation C - core-guided algorithm generations"
+  generic_suite_run ~tag:"msu" "Ablation C - core-guided algorithm generations"
     [
       ("msu1", fun config w -> Msu_maxsat.Msu1.solve ~config w);
       ("msu2", fun config w -> Msu_maxsat.Msu2.solve ~config w);
@@ -305,7 +382,17 @@ let ablation_wpm1 () =
   | errors -> List.iter (fun e -> Printf.printf "  CONSISTENCY ERROR: %s\n" e) errors);
   R.pp_aborted_table ~total:(List.length instances) Format.std_formatter
     (R.aborted_counts algorithms runs);
-  write_file "ablation_wpm1_runs.csv" (Format.asprintf "%a" R.pp_runs_csv runs)
+  write_file "ablation_wpm1_runs.csv" (Format.asprintf "%a" R.pp_runs_csv runs);
+  write_bench_json "wpm1"
+    [
+      ("instances", Json.Int (List.length instances));
+      ( "aborted",
+        Json.Obj
+          (List.map
+             (fun (alg, n) -> (M.algorithm_to_string alg, Json.Int n))
+             (R.aborted_counts algorithms runs)) );
+      ("consistency_errors", Json.Int (List.length (R.consistency_errors runs)));
+    ]
 
 (* Incremental-vs-rebuild ablation.  Each run gets a fresh guard so the
    total SAT-conflict count can be read back; each (suite, algorithm)
@@ -376,11 +463,15 @@ let optima_mismatches inc reb =
     inc.mt_optima
 
 let json_mode m =
-  Printf.sprintf
-    "{ \"wall_clock_s\": %.3f, \"conflicts\": %d, \"rebuilds\": %d, \
-     \"clauses_reused\": %d, \"learnts_kept\": %d, \"solved\": %d }"
-    m.mt_wall m.mt_conflicts m.mt_rebuilds m.mt_clauses_reused m.mt_learnts_kept
-    m.mt_solved
+  Json.Obj
+    [
+      ("wall_clock_s", Json.Num m.mt_wall);
+      ("conflicts", Json.Int m.mt_conflicts);
+      ("rebuilds", Json.Int m.mt_rebuilds);
+      ("clauses_reused", Json.Int m.mt_clauses_reused);
+      ("learnts_kept", Json.Int m.mt_learnts_kept);
+      ("solved", Json.Int m.mt_solved);
+    ]
 
 let ablation_incremental () =
   let subsample l = if !smoke then List.filteri (fun i _ -> i mod 3 = 0) l else l in
@@ -399,54 +490,51 @@ let ablation_incremental () =
       ("pbo", fun config w -> Msu_maxsat.Pbo.solve ~config w);
     ]
   in
-  let buf = Buffer.create 4096 in
-  Buffer.add_string buf
-    (Printf.sprintf
-       "{\n  \"smoke\": %b,\n  \"timeout_s\": %g,\n  \"scale\": %g,\n  \"seed\": %d,\n\
-       \  \"suites\": [\n"
-       !smoke !timeout !scale !seed);
-  List.iteri
-    (fun si (suite_name, instances) ->
-      Printf.printf
-        "\nAblation E - incremental vs rebuild: %s suite (%d instances, timeout %.1fs)\n"
-        suite_name (List.length instances) !timeout;
-      Printf.printf "  %-10s %-12s %7s %9s %11s %9s %14s %13s\n" "algorithm" "mode"
-        "solved" "wall" "conflicts" "rebuilds" "clauses-reused" "learnts-kept";
-      Buffer.add_string buf
-        (Printf.sprintf "    {\n      \"suite\": %S,\n      \"instances\": %d,\n\
-                        \      \"algorithms\": [\n"
-           suite_name (List.length instances));
-      List.iteri
-        (fun ai (alg_name, solve) ->
-          let inc = run_mode ~incremental:true solve instances in
-          let reb = run_mode ~incremental:false solve instances in
-          let show label (m : mode_totals) =
-            Printf.printf "  %-10s %-12s %3d/%-3d %8.2fs %11d %9d %14d %13d\n%!"
-              alg_name label m.mt_solved (List.length instances) m.mt_wall
-              m.mt_conflicts m.mt_rebuilds m.mt_clauses_reused m.mt_learnts_kept
-          in
-          show "incremental" inc;
-          show "rebuild" reb;
-          let mismatches = optima_mismatches inc reb in
-          List.iter
-            (fun (name, a, b) ->
-              Printf.printf
-                "  OPTIMA MISMATCH %s/%s: incremental %d vs rebuild %d\n%!" alg_name
-                name a b)
-            mismatches;
-          Buffer.add_string buf
-            (Printf.sprintf
-               "        { \"algorithm\": %S,\n          \"incremental\": %s,\n\
-               \          \"rebuild\": %s,\n          \"optima_match\": %b }%s\n"
-               alg_name (json_mode inc) (json_mode reb) (mismatches = [])
-               (if ai = List.length algorithms - 1 then "" else ",")))
-        algorithms;
-      Buffer.add_string buf
-        (Printf.sprintf "      ]\n    }%s\n"
-           (if si = List.length suites - 1 then "" else ",")))
-    suites;
-  Buffer.add_string buf "  ]\n}\n";
-  write_file "BENCH_incremental.json" (Buffer.contents buf)
+  let suite_docs =
+    List.map
+      (fun (suite_name, instances) ->
+        Printf.printf
+          "\nAblation E - incremental vs rebuild: %s suite (%d instances, timeout %.1fs)\n"
+          suite_name (List.length instances) !timeout;
+        Printf.printf "  %-10s %-12s %7s %9s %11s %9s %14s %13s\n" "algorithm" "mode"
+          "solved" "wall" "conflicts" "rebuilds" "clauses-reused" "learnts-kept";
+        let alg_docs =
+          List.map
+            (fun (alg_name, solve) ->
+              let inc = run_mode ~incremental:true solve instances in
+              let reb = run_mode ~incremental:false solve instances in
+              let show label (m : mode_totals) =
+                Printf.printf "  %-10s %-12s %3d/%-3d %8.2fs %11d %9d %14d %13d\n%!"
+                  alg_name label m.mt_solved (List.length instances) m.mt_wall
+                  m.mt_conflicts m.mt_rebuilds m.mt_clauses_reused m.mt_learnts_kept
+              in
+              show "incremental" inc;
+              show "rebuild" reb;
+              let mismatches = optima_mismatches inc reb in
+              List.iter
+                (fun (name, a, b) ->
+                  Printf.printf
+                    "  OPTIMA MISMATCH %s/%s: incremental %d vs rebuild %d\n%!" alg_name
+                    name a b)
+                mismatches;
+              Json.Obj
+                [
+                  ("algorithm", Json.Str alg_name);
+                  ("incremental", json_mode inc);
+                  ("rebuild", json_mode reb);
+                  ("optima_match", Json.Bool (mismatches = []));
+                ])
+            algorithms
+        in
+        Json.Obj
+          [
+            ("suite", Json.Str suite_name);
+            ("instances", Json.Int (List.length instances));
+            ("algorithms", Json.List alg_docs);
+          ])
+      suites
+  in
+  write_bench_json "incremental" [ ("suites", Json.List suite_docs) ]
 
 (* Portfolio-vs-singles ablation.  Every instance is solved by each
    constituent algorithm alone and by the 4-worker bound-sharing
@@ -485,14 +573,9 @@ let ablation_portfolio () =
     let wall = Float.min (Unix.gettimeofday () -. t0) !timeout in
     (wall, match r.T.outcome with T.Optimum c -> Some c | _ -> None)
   in
-  let buf = Buffer.create 4096 in
-  Buffer.add_string buf
-    (Printf.sprintf
-       "{\n  \"smoke\": %b,\n  \"timeout_s\": %g,\n  \"scale\": %g,\n  \"seed\": %d,\n\
-       \  \"suites\": [\n"
-       !smoke !timeout !scale !seed);
-  List.iteri
-    (fun si (suite_name, instances, singles, specs) ->
+  let suite_docs =
+    List.map
+      (fun (suite_name, instances, singles, specs) ->
       Printf.printf
         "\nAblation F - portfolio vs singles: %s suite (%d instances, %d workers, \
          timeout %.1fs)\n"
@@ -553,32 +636,225 @@ let ablation_portfolio () =
         List.fold_left (fun acc (_, w, _) -> Float.min acc w) infinity single_rows
       in
       List.iter (fun m -> Printf.printf "  OPTIMA MISMATCH %s\n%!" m) !mismatches;
-      Buffer.add_string buf
-        (Printf.sprintf
-           "    {\n      \"suite\": %S,\n      \"instances\": %d,\n\
-           \      \"workers\": %d,\n\
-           \      \"singles\": [\n%s      ],\n\
-           \      \"portfolio\": { \"wall_clock_s\": %.3f, \"solved\": %d },\n\
-           \      \"best_single_wall_s\": %.3f,\n\
-           \      \"portfolio_beats_best_single\": %b,\n\
-           \      \"optima_match\": %b\n    }%s\n"
-           suite_name (List.length instances) (List.length specs)
-           (String.concat ""
-              (List.mapi
-                 (fun i (label, wall, solved) ->
-                   Printf.sprintf
-                     "        { \"algorithm\": %S, \"wall_clock_s\": %.3f, \
-                      \"solved\": %d }%s\n"
-                     label wall solved
-                     (if i = List.length single_rows - 1 then "" else ","))
-                 single_rows))
-           pf_wall pf_solved best_single_wall
-           (pf_wall < best_single_wall)
-           (!mismatches = [])
-           (if si = List.length suites - 1 then "" else ",")))
-    suites;
-  Buffer.add_string buf "  ]\n}\n";
-  write_file "BENCH_portfolio.json" (Buffer.contents buf)
+      Json.Obj
+        [
+          ("suite", Json.Str suite_name);
+          ("instances", Json.Int (List.length instances));
+          ("workers", Json.Int (List.length specs));
+          ( "singles",
+            Json.List
+              (List.map
+                 (fun (label, wall, solved) ->
+                   Json.Obj
+                     [
+                       ("algorithm", Json.Str label);
+                       ("wall_clock_s", Json.Num wall);
+                       ("solved", Json.Int solved);
+                     ])
+                 single_rows) );
+          ( "portfolio",
+            Json.Obj
+              [ ("wall_clock_s", Json.Num pf_wall); ("solved", Json.Int pf_solved) ]
+          );
+          ("best_single_wall_s", Json.Num best_single_wall);
+          ("portfolio_beats_best_single", Json.Bool (pf_wall < best_single_wall));
+          ("optima_match", Json.Bool (!mismatches = []));
+        ])
+      suites
+  in
+  write_bench_json "portfolio" [ ("suites", Json.List suite_docs) ]
+
+(* Service closed-loop load test.  One forked daemon on a temp socket,
+   [n_clients] forked closed-loop clients (each waits for a result
+   before submitting the next request) replaying the mixed suite with
+   every instance duplicated [dup] times, so the fingerprint cache sees
+   real repeats.  Per-request latencies come back from the clients as
+   Marshal temp files; the daemon's own stats give the hit-rate; every
+   distinct instance is also solved cold in-process and the optima are
+   cross-checked.  Aggregates land in BENCH_service.json. *)
+
+let sorted_latencies l =
+  let a = Array.of_list l in
+  Array.sort compare a;
+  a
+
+let percentile a q =
+  match Array.length a with
+  | 0 -> 0.
+  | n ->
+      let i = int_of_float ((q *. float_of_int (n - 1)) +. 0.5) in
+      a.(max 0 (min (n - 1) i))
+
+let mean a =
+  match Array.length a with
+  | 0 -> 0.
+  | n -> Array.fold_left ( +. ) 0. a /. float_of_int n
+
+let latency_doc a =
+  Json.Obj
+    [
+      ("count", Json.Int (Array.length a));
+      ("mean_s", Json.Num (mean a));
+      ("p50_s", Json.Num (percentile a 0.5));
+      ("p95_s", Json.Num (percentile a 0.95));
+    ]
+
+let ablation_service () =
+  let module Service = Msu_service.Service in
+  let module Client = Msu_service.Client in
+  let module Proto = Msu_service.Protocol in
+  let subsample l = if !smoke then List.filteri (fun i _ -> i mod 3 = 0) l else l in
+  let instances = subsample (to_wcnf (Suites.mixed ~scale:!scale ~seed:!seed ())) in
+  let n_clients = 2 and dup = 3 in
+  Printf.printf
+    "\nAblation G - solve service: %d distinct instances x %d duplicates x %d \
+     closed-loop clients (timeout %.1fs)\n%!"
+    (List.length instances) dup n_clients !timeout;
+  let sock = Filename.temp_file "msu-bench-service" ".sock" in
+  let client_files =
+    List.init n_clients (fun ci ->
+        Filename.temp_file (Printf.sprintf "msu-bench-client%d-" ci) ".bin")
+  in
+  (* Each client submits an instance's duplicates consecutively: the
+     first solve populates the cache, the repeats should hit it. *)
+  let requests =
+    List.concat_map
+      (fun (name, _, w) -> List.init dup (fun _ -> (name, w)))
+      instances
+  in
+  flush stdout;
+  flush stderr;
+  let server_pid = Unix.fork () in
+  if server_pid = 0 then begin
+    let cfg =
+      {
+        (Service.default_config ~socket_path:sock) with
+        Service.workers = 2;
+        default_timeout = !timeout;
+        grace = 0.5;
+      }
+    in
+    (try Service.run cfg with _ -> ());
+    Unix._exit 0
+  end;
+  let client_pids =
+    List.map
+      (fun out_path ->
+        let pid = Unix.fork () in
+        if pid = 0 then begin
+          let results =
+            try
+              let fd = Client.connect sock in
+              let rs =
+                List.map
+                  (fun (name, w) ->
+                    let t0 = Unix.gettimeofday () in
+                    let options =
+                      { Proto.default_options with Proto.timeout = Some !timeout }
+                    in
+                    match Client.submit fd ~options w with
+                    | Ok id ->
+                        let r = Client.wait fd id in
+                        ( name,
+                          Unix.gettimeofday () -. t0,
+                          r.Client.cached,
+                          match r.Client.outcome with
+                          | T.Optimum c -> Some c
+                          | _ -> None )
+                    | Error _ -> (name, Unix.gettimeofday () -. t0, false, None))
+                  requests
+              in
+              Client.close fd;
+              rs
+            with _ -> []
+          in
+          let oc = open_out_bin out_path in
+          Marshal.to_channel oc
+            (results : (string * float * bool * int option) list)
+            [];
+          close_out oc;
+          Unix._exit 0
+        end
+        else pid)
+      client_files
+  in
+  List.iter (fun pid -> ignore (Unix.waitpid [] pid)) client_pids;
+  let stats = Client.stats ~socket:sock in
+  Client.shutdown ~drain:true ~socket:sock ();
+  ignore (Unix.waitpid [] server_pid);
+  (try Sys.remove sock with Sys_error _ -> ());
+  let client_results =
+    List.concat_map
+      (fun path ->
+        let ic = open_in_bin path in
+        let (r : (string * float * bool * int option) list) =
+          try Marshal.from_channel ic with _ -> []
+        in
+        close_in ic;
+        (try Sys.remove path with Sys_error _ -> ());
+        r)
+      client_files
+  in
+  let cold =
+    List.map
+      (fun (name, _, w) ->
+        let t0 = Unix.gettimeofday () in
+        let config = { T.default_config with T.deadline = t0 +. !timeout } in
+        let r = M.solve_supervised ~config M.Msu4_v2 w in
+        ( name,
+          Unix.gettimeofday () -. t0,
+          match r.T.outcome with T.Optimum c -> Some c | _ -> None ))
+      instances
+  in
+  let cold_optima = List.map (fun (n, _, o) -> (n, o)) cold in
+  let mismatches =
+    List.filter_map
+      (fun (name, _, _, opt) ->
+        match (opt, List.assoc_opt name cold_optima) with
+        | Some a, Some (Some b) when a <> b ->
+            Some (Printf.sprintf "%s: service %d vs cold %d" name a b)
+        | _ -> None)
+      client_results
+  in
+  List.iter (fun m -> Printf.printf "  OPTIMA MISMATCH %s\n%!" m) mismatches;
+  let all_lat = sorted_latencies (List.map (fun (_, t, _, _) -> t) client_results) in
+  let hit_lat =
+    sorted_latencies
+      (List.filter_map (fun (_, t, c, _) -> if c then Some t else None) client_results)
+  in
+  let cold_lat = sorted_latencies (List.map (fun (_, t, _) -> t) cold) in
+  let hit_rate =
+    float_of_int stats.Proto.hits
+    /. float_of_int (max 1 (stats.Proto.hits + stats.Proto.misses))
+  in
+  Printf.printf
+    "  service: %d results, hit-rate %.2f (%d hits / %d misses), %d crashes, %d \
+     rejected\n"
+    (List.length client_results) hit_rate stats.Proto.hits stats.Proto.misses
+    stats.Proto.crashes stats.Proto.rejected;
+  Printf.printf "  latency: service p50 %.4fs p95 %.4fs | cache hits p50 %.4fs | \
+                 cold in-process p50 %.4fs p95 %.4fs\n%!"
+    (percentile all_lat 0.5) (percentile all_lat 0.95) (percentile hit_lat 0.5)
+    (percentile cold_lat 0.5) (percentile cold_lat 0.95);
+  write_bench_json "service"
+    [
+      ("clients", Json.Int n_clients);
+      ("dup_factor", Json.Int dup);
+      ("distinct_instances", Json.Int (List.length instances));
+      ("requests_sent", Json.Int (n_clients * List.length requests));
+      ("results_received", Json.Int (List.length client_results));
+      ("server_requests", Json.Int stats.Proto.requests);
+      ("server_completed", Json.Int stats.Proto.completed);
+      ("hits", Json.Int stats.Proto.hits);
+      ("misses", Json.Int stats.Proto.misses);
+      ("hit_rate", Json.Num hit_rate);
+      ("rejected", Json.Int stats.Proto.rejected);
+      ("crashes", Json.Int stats.Proto.crashes);
+      ("service_latency", latency_doc all_lat);
+      ("cache_hit_latency", latency_doc hit_lat);
+      ("cold_latency", latency_doc cold_lat);
+      ("optima_match", Json.Bool (mismatches = []));
+    ]
 
 (* ----- Bechamel micro-benchmarks: one Test.make per table/figure ----- *)
 
@@ -652,6 +928,7 @@ let () =
   | "ablation-wpm1" -> ablation_wpm1 ()
   | "ablation-incremental" -> ablation_incremental ()
   | "ablation-portfolio" -> ablation_portfolio ()
+  | "ablation-service" -> ablation_service ()
   | "micro" -> micro ()
   | "all" ->
       table1 ();
@@ -665,6 +942,7 @@ let () =
       ablation_wpm1 ();
       ablation_incremental ();
       ablation_portfolio ();
+      ablation_service ();
       micro ()
   | other ->
       Printf.eprintf "unknown command %S\n%s\n" other usage;

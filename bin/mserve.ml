@@ -1,0 +1,112 @@
+(* mserve: the persistent MaxSAT solve daemon.
+
+   Listens on a Unix-domain socket for msolve --connect clients (and
+   anything else speaking the Msu_service protocol): solve requests
+   are fingerprint-cached, queued with admission control, and solved
+   in a pool of crash-isolated forked workers.
+
+   Exit codes: 0 clean shutdown (drained or signalled), 2 startup
+   error (unusable socket path, bad flags). *)
+
+module Service = Msu_service.Service
+
+let run socket workers queue_cap cache_cap cache_file timeout grace quiet =
+  let cfg =
+    {
+      (Service.default_config ~socket_path:socket) with
+      Service.workers;
+      queue_capacity = queue_cap;
+      cache_capacity = cache_cap;
+      cache_file;
+      default_timeout = timeout;
+      grace;
+      trace =
+        (if quiet then None
+         else Some (fun m -> Printf.printf "c [mserve] %s\n%!" m));
+    }
+  in
+  match Service.run ~handle_signals:true cfg with
+  | () -> 0
+  | exception Unix.Unix_error (e, fn, arg) ->
+      Printf.eprintf "c error: %s(%s): %s\n" fn arg (Unix.error_message e);
+      2
+  | exception Invalid_argument msg ->
+      Printf.eprintf "c error: %s\n" msg;
+      2
+
+open Cmdliner
+
+let socket =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"SOCKET" ~doc:"Unix-domain socket path to listen on.")
+
+let workers =
+  Arg.(
+    value & opt int 2
+    & info [ "w"; "workers" ] ~docv:"N"
+        ~doc:"Concurrent solve workers (forked, crash-isolated).")
+
+let queue_cap =
+  Arg.(
+    value & opt int 64
+    & info [ "queue" ] ~docv:"N"
+        ~doc:
+          "Job-queue capacity; requests beyond it are rejected with a reason \
+           (admission control).")
+
+let cache_cap =
+  Arg.(
+    value & opt int 1024
+    & info [ "cache" ] ~docv:"N" ~doc:"Instance-cache entries (LRU).")
+
+let cache_file =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache-file" ] ~docv:"PATH"
+        ~doc:
+          "Persist the instance cache here across restarts (loaded at \
+           startup, saved at shutdown).")
+
+let timeout =
+  Arg.(
+    value & opt float 10.0
+    & info [ "t"; "timeout" ] ~docv:"SECONDS"
+        ~doc:"Default per-request wall-clock budget (requests may lower it).")
+
+let grace =
+  Arg.(
+    value & opt float 1.0
+    & info [ "grace" ] ~docv:"SECONDS"
+        ~doc:
+          "Cancellation-ladder grace: a worker gets this long past its budget \
+           before SIGTERM, then a flush window, then SIGKILL.")
+
+let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"No per-request log lines.")
+
+let cmd =
+  let doc = "persistent MaxSAT solve service (fingerprint cache, worker pool)" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Serves MaxSAT solve requests over a Unix-domain socket.  Repeated \
+         instances are answered from a canonicalization-based fingerprint \
+         cache (every hit is re-verified by re-costing the cached model \
+         against the incoming instance); misses are queued and dispatched to \
+         forked workers whose crashes and timeouts are isolated and reported \
+         per-request.  Use $(b,msolve --connect SOCKET FILE) as a client.";
+      `P "SIGINT/SIGTERM shut the daemon down through the same path as a \
+          client $(b,shutdown) request: workers are cancelled via the \
+          SIGTERM/flush/SIGKILL ladder and the cache is persisted.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "mserve" ~version:"1.0" ~doc ~man)
+    Term.(
+      const run $ socket $ workers $ queue_cap $ cache_cap $ cache_file
+      $ timeout $ grace $ quiet)
+
+let () = exit (Cmd.eval' cmd)

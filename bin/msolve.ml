@@ -12,6 +12,8 @@ module T = Msu_maxsat.Types
 module Certify = Msu_maxsat.Certify
 module Card = Msu_card.Card
 module P = Msu_portfolio.Portfolio
+module Client = Msu_service.Client
+module Proto = Msu_service.Protocol
 
 let exit_optimum = 0
 let exit_bounds = 10
@@ -39,8 +41,43 @@ let encoding_conv =
         Card.encoding_to_string,
       fun ppf e -> Format.pp_print_string ppf (Card.encoding_to_string e) )
 
+(* Client mode: ship the instance to a running mserve daemon instead of
+   solving in-process.  Ctrl-C while waiting sends a cancel for our job
+   id over a fresh connection — the daemon walks the worker through the
+   SIGTERM/flush/SIGKILL ladder and still delivers salvaged bounds. *)
+let solve_remote ~quiet ~sock ~options w =
+  let fd = Client.connect sock in
+  Fun.protect ~finally:(fun () -> Client.close fd) @@ fun () ->
+  match Client.submit fd ~options w with
+  | Error reason -> Error (Printf.sprintf "service rejected request: %s" reason)
+  | Ok id ->
+      if not quiet then Printf.printf "c service accepted job %d\n%!" id;
+      let cancelling = ref false in
+      let old_sigint =
+        Sys.signal Sys.sigint
+          (Sys.Signal_handle
+             (fun _ ->
+               if not !cancelling then begin
+                 cancelling := true;
+                 ignore (try Client.cancel ~socket:sock id with _ -> false)
+               end))
+      in
+      Fun.protect ~finally:(fun () -> Sys.set_signal Sys.sigint old_sigint)
+      @@ fun () ->
+      let resp = Client.wait fd id in
+      if resp.Client.cached && not quiet then
+        print_endline "c served from cache";
+      Ok
+        {
+          T.outcome = resp.Client.outcome;
+          T.model = resp.Client.model;
+          T.stats = T.empty_stats;
+          T.elapsed = resp.Client.elapsed;
+        }
+
 let run file algorithm encoding timeout conflicts propagations memory_mb verify
-    trace no_geq1 no_incremental quiet incomplete portfolio jobs =
+    trace no_geq1 no_incremental quiet incomplete portfolio jobs connect
+    priority no_cache =
   let w =
     try Ok (Msu_cnf.Dimacs.parse_wcnf_file file) with
     | Msu_cnf.Dimacs.Parse_error (line, msg) ->
@@ -72,34 +109,59 @@ let run file algorithm encoding timeout conflicts propagations memory_mb verify
       in
       if not quiet then
         Printf.printf "c msolve: %s on %s (%d vars, %d hard, %d soft)\n"
-          (if portfolio then Printf.sprintf "portfolio (%d workers)" jobs
-           else M.algorithm_to_string algorithm)
+          (match connect with
+          | Some sock -> Printf.sprintf "service at %s" sock
+          | None ->
+              if portfolio then Printf.sprintf "portfolio (%d workers)" jobs
+              else M.algorithm_to_string algorithm)
           file (Msu_cnf.Wcnf.num_vars w) (Msu_cnf.Wcnf.num_hard w)
           (Msu_cnf.Wcnf.num_soft w);
-      let r =
-        if portfolio then begin
-          let pr =
-            P.solve ~jobs ?timeout ?max_conflicts:conflicts
-              ?trace:(if trace then Some print_endline else None)
-              w
-          in
-          if not quiet then
-            List.iter
-              (fun rep ->
-                Format.printf "c worker %-24s %a (%.3fs)@." rep.P.w_label
-                  T.pp_outcome rep.P.w_outcome rep.P.w_time)
-              pr.P.reports;
-          (match pr.P.winner with
-          | Some who when not quiet -> Printf.printf "c winner: %s\n" who
-          | _ -> ());
-          List.iter
-            (fun d -> Printf.printf "c DISAGREEMENT: %s\n" d)
-            pr.P.disagreements;
-          P.to_result pr
-        end
-        else if incomplete then Msu_maxsat.Local_search.solve ~config w
-        else M.solve_supervised ~config algorithm w
+      let solved =
+        match connect with
+        | Some sock ->
+            let options =
+              {
+                Proto.default_options with
+                Proto.algorithm;
+                encoding = Some encoding;
+                timeout;
+                max_conflicts = conflicts;
+                priority;
+                use_cache = not no_cache;
+              }
+            in
+            (try solve_remote ~quiet ~sock ~options w
+             with Client.Error msg -> Error msg)
+        | None ->
+            Ok
+              (if portfolio then begin
+                 let pr =
+                   P.solve ~jobs ?timeout ?max_conflicts:conflicts
+                     ?trace:(if trace then Some print_endline else None)
+                     ~handle_sigint:true w
+                 in
+                 if not quiet then
+                   List.iter
+                     (fun rep ->
+                       Format.printf "c worker %-24s %a (%.3fs)@." rep.P.w_label
+                         T.pp_outcome rep.P.w_outcome rep.P.w_time)
+                     pr.P.reports;
+                 (match pr.P.winner with
+                 | Some who when not quiet -> Printf.printf "c winner: %s\n" who
+                 | _ -> ());
+                 List.iter
+                   (fun d -> Printf.printf "c DISAGREEMENT: %s\n" d)
+                   pr.P.disagreements;
+                 P.to_result pr
+               end
+               else if incomplete then Msu_maxsat.Local_search.solve ~config w
+               else M.solve_supervised ~config algorithm w)
       in
+      match solved with
+      | Error msg ->
+          prerr_endline ("c error: " ^ msg);
+          exit_error
+      | Ok r -> (
       if not quiet then
         Printf.printf "c stats: %d sat calls, %d cores, %d blocking vars, %.3fs\n"
           r.T.stats.T.sat_calls r.T.stats.T.cores r.T.stats.T.blocking_vars r.T.elapsed;
@@ -157,7 +219,7 @@ let run file algorithm encoding timeout conflicts propagations memory_mb verify
           exit_error
         end
       end
-      else code
+      else code)
 
 open Cmdliner
 
@@ -260,6 +322,35 @@ let jobs =
     & info [ "j"; "jobs" ] ~docv:"N"
         ~doc:"Number of portfolio workers (with $(b,--portfolio)).")
 
+let connect =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "connect" ] ~docv:"SOCKET"
+        ~doc:
+          "Client mode: send the instance to the $(b,mserve) daemon listening \
+           on this Unix-domain socket instead of solving in-process.  \
+           $(b,--algorithm), $(b,--encoding), $(b,--timeout) and \
+           $(b,--conflicts) travel with the request; Ctrl-C cancels the \
+           remote job (salvaged bounds still come back).  $(b,--verify) \
+           certifies the returned result locally.")
+
+let priority =
+  Arg.(
+    value & opt int 0
+    & info [ "priority" ] ~docv:"N"
+        ~doc:
+          "Queue priority with $(b,--connect): higher pops sooner, FIFO \
+           within one priority.")
+
+let no_cache =
+  Arg.(
+    value & flag
+    & info [ "no-cache" ]
+        ~doc:
+          "With $(b,--connect): bypass the server's instance cache and force \
+           a fresh solve.")
+
 let exits =
   [
     Cmd.Exit.info exit_optimum ~doc:"the optimum was found (s OPTIMUM FOUND).";
@@ -279,6 +370,6 @@ let cmd =
     Term.(
       const run $ file $ algorithm $ encoding $ timeout $ conflicts $ propagations
       $ memory_mb $ verify $ trace $ no_geq1 $ no_incremental $ quiet $ incomplete
-      $ portfolio $ jobs)
+      $ portfolio $ jobs $ connect $ priority $ no_cache)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,87 @@
+(* Canonicalization maps every syntactic presentation of the same
+   instance — clause order, literal order within a clause, duplicated
+   clauses, declared-but-unused variables — to one normal form, so a
+   fingerprint equality implies the two instances have the *same cost
+   function* over models.  That is the property the service cache
+   depends on: a hit may serve the cached optimum and model, and a
+   model re-cost on the requesting instance is a complete check. *)
+
+let compare_clause a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then compare la lb
+  else begin
+    let rec go i =
+      if i = la then 0
+      else
+        let c = Lit.compare a.(i) b.(i) in
+        if c <> 0 then c else go (i + 1)
+    in
+    go 0
+  end
+
+(* Sort the literals of one clause and drop duplicated literals.
+   Tautologies (l and not l) are kept: removing them would also be
+   sound, but keeping the transform minimal makes it auditable. *)
+let norm_clause c =
+  let c = Array.copy c in
+  Array.sort Lit.compare c;
+  let n = Array.length c in
+  let out = ref [] in
+  for i = n - 1 downto 0 do
+    if i = 0 || not (Lit.equal c.(i) c.(i - 1)) then out := c.(i) :: !out
+  done;
+  Array.of_list !out
+
+let canonical w =
+  let hard =
+    let cs = ref [] in
+    Wcnf.iter_hard (fun _ c -> cs := norm_clause c :: !cs) w;
+    List.sort_uniq compare_clause !cs
+  in
+  (* Duplicated soft clauses merge by summing weights: k copies of C at
+     weights w1..wk falsify together, so one copy at weight w1+..+wk
+     gives every model the identical cost. *)
+  let soft = Hashtbl.create 64 in
+  Wcnf.iter_soft
+    (fun _ c weight ->
+      let c = norm_clause c in
+      let prev = Option.value ~default:0 (Hashtbl.find_opt soft c) in
+      Hashtbl.replace soft c (prev + weight))
+    w;
+  let soft =
+    Hashtbl.fold (fun c weight acc -> (c, weight) :: acc) soft []
+    |> List.sort (fun (a, wa) (b, wb) ->
+           let c = compare_clause a b in
+           if c <> 0 then c else compare wa wb)
+  in
+  (* Variables never referenced by a clause are free: they cannot change
+     any model's cost, so the canonical form forgets them. *)
+  let max_var = ref (-1) in
+  let note c = Array.iter (fun l -> max_var := max !max_var (Lit.var l)) c in
+  List.iter note hard;
+  List.iter (fun (c, _) -> note c) soft;
+  let out = Wcnf.create () in
+  Wcnf.ensure_vars out (!max_var + 1);
+  List.iter (fun c -> Wcnf.add_hard out c) hard;
+  List.iter (fun (c, weight) -> ignore (Wcnf.add_soft out ~weight c)) soft;
+  out
+
+let render w =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "p wcnf %d %d\n" (Wcnf.num_vars w)
+       (Wcnf.num_hard w + Wcnf.num_soft w));
+  let add_clause prefix c =
+    Buffer.add_string buf prefix;
+    Array.iter
+      (fun l ->
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf (string_of_int (Lit.to_dimacs l)))
+      c;
+    Buffer.add_string buf " 0\n"
+  in
+  Wcnf.iter_hard (fun _ c -> add_clause "h" c) w;
+  Wcnf.iter_soft (fun _ c weight -> add_clause (Printf.sprintf "s %d" weight) c) w;
+  Buffer.contents buf
+
+let fingerprint w = Digest.to_hex (Digest.string (render (canonical w)))

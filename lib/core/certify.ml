@@ -98,6 +98,32 @@ let load_hard w =
   Wcnf.iter_hard (fun _ c -> add c) w;
   (f, s, log)
 
+let check_model_cost w claim model =
+  match Wcnf.cost_of_model w model with
+  | Some c when c = claim -> Ok ()
+  | Some c -> Error (Printf.sprintf "model costs %d, result claims %d" c claim)
+  | None -> Error "model violates a hard clause"
+
+(* The cheap subset of [certify] a cache hit can afford: re-cost the
+   model against the requesting instance, no solver probes.  Sufficient
+   for served cache entries because fingerprint equality already means
+   the instances share one cost function — the re-cost catches a stale,
+   corrupted, or colliding entry. *)
+let recost w (r : Types.result) =
+  let passed = ref [] and failures = ref [] in
+  let record name result =
+    match result with
+    | Ok () -> passed := name :: !passed
+    | Error msg -> failures := Printf.sprintf "%s: %s" name msg :: !failures
+  in
+  (match (r.Types.outcome, r.Types.model) with
+  | Types.Optimum claim, Some m -> record "model-cost" (check_model_cost w claim m)
+  | Types.Optimum _, None -> record "model-cost" (Error "optimum claimed without a model")
+  | (Types.Bounds { ub = Some u; _ } | Types.Crashed { ub = Some u; _ }), Some m ->
+      record "model-cost" (check_model_cost w u m)
+  | (Types.Bounds _ | Types.Crashed _ | Types.Hard_unsat), _ -> ());
+  { passed = List.rev !passed; failures = List.rev !failures }
+
 let certify ?(encoding = Msu_card.Card.Sortnet) ?(brute_limit = 16)
     ?(max_conflicts = 200_000) w (r : Types.result) =
   let passed = ref [] and failures = ref [] in
@@ -106,12 +132,7 @@ let certify ?(encoding = Msu_card.Card.Sortnet) ?(brute_limit = 16)
     | Ok () -> passed := name :: !passed
     | Error msg -> failures := Printf.sprintf "%s: %s" name msg :: !failures
   in
-  let check_model_cost claim model =
-    match Wcnf.cost_of_model w model with
-    | Some c when c = claim -> Ok ()
-    | Some c -> Error (Printf.sprintf "model costs %d, result claims %d" c claim)
-    | None -> Error "model violates a hard clause"
-  in
+  let check_model_cost claim model = check_model_cost w claim model in
   (match (r.Types.outcome, r.Types.model) with
   | Types.Optimum claim, model -> (
       (match model with

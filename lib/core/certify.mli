@@ -35,6 +35,13 @@ val ok : report -> bool
 
 val pp : Format.formatter -> report -> unit
 
+val recost : Msu_cnf.Wcnf.t -> Types.result -> report
+(** Model re-cost only — the cheap subset of {!certify} with no solver
+    probes.  Checks that the reported model's cost on [w] equals the
+    claimed optimum (or upper bound).  The solve service runs this on
+    every cache hit before serving the cached result, so a stale or
+    corrupted cache entry can never return a wrong optimum. *)
+
 val certify :
   ?encoding:Msu_card.Card.encoding ->
   ?brute_limit:int ->

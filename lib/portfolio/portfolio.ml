@@ -209,7 +209,8 @@ type worker_state = {
   mutable st_status : Unix.process_status option;
 }
 
-let solve ?specs ?(jobs = 4) ?timeout ?(grace = 1.0) ?max_conflicts ?trace w =
+let solve ?specs ?(jobs = 4) ?timeout ?(grace = 1.0) ?max_conflicts ?trace
+    ?(handle_sigint = false) w =
   let specs =
     match specs with
     | Some [] -> invalid_arg "Portfolio.solve: empty spec list"
@@ -251,6 +252,11 @@ let solve ?specs ?(jobs = 4) ?timeout ?(grace = 1.0) ?max_conflicts ?trace w =
       (fun (sp, tmp, down_rd, down_wr, up_rd, up_wr) ->
         match Unix.fork () with
         | 0 ->
+            (* When the parent fields Ctrl-C for the whole portfolio,
+               the terminal's SIGINT must not also kill the workers
+               directly — the parent's SIGTERM ladder is what lets them
+               flush their partial bounds first. *)
+            if handle_sigint then Sys.set_signal Sys.sigint Sys.Signal_ignore;
             List.iter
               (fun (_, _, dr, dw, ur, uw) ->
                 List.iter
@@ -297,6 +303,21 @@ let solve ?specs ?(jobs = 4) ?timeout ?(grace = 1.0) ?max_conflicts ?trace w =
         (fun st -> if st.st_alive then Subproc.kill st.st_pid Sys.sigterm)
         states
     end
+  in
+  (* Ctrl-C in the parent cancels the whole race through the ladder:
+     workers get SIGTERM, flush their bounds, and the normal merge
+     still runs — no orphaned children, no lost partial bounds. *)
+  let old_sigint =
+    if handle_sigint then
+      Some
+        (Sys.signal Sys.sigint
+           (Sys.Signal_handle (fun _ -> cancel_all "interrupt")))
+    else None
+  in
+  let restore_sigint () =
+    match old_sigint with
+    | Some h -> Sys.set_signal Sys.sigint h
+    | None -> ()
   in
   let broadcast () =
     let line =
@@ -404,7 +425,7 @@ let solve ?specs ?(jobs = 4) ?timeout ?(grace = 1.0) ?max_conflicts ?trace w =
       pump ()
     end
   in
-  pump ();
+  Fun.protect ~finally:restore_sigint pump;
   List.iter
     (fun st ->
       (try Unix.close st.st_up with Unix.Unix_error _ -> ());

@@ -75,6 +75,7 @@ val solve :
   ?grace:float ->
   ?max_conflicts:int ->
   ?trace:(string -> unit) ->
+  ?handle_sigint:bool ->
   Msu_cnf.Wcnf.t ->
   result
 (** Fork one worker per spec ([default_specs jobs] when [specs] is
@@ -83,7 +84,13 @@ val solve :
     ([grace], default 1.0, pads the cancellation ladder exactly as in
     {!Msu_harness.Runner.run_one}); [max_conflicts] is a per-worker
     conflict budget.  Never raises on worker crashes: a crashed worker
-    contributes its salvaged bounds and the rest keep racing. *)
+    contributes its salvaged bounds and the rest keep racing.
+
+    With [handle_sigint] (default false — library callers keep their
+    own signal policy) the parent fields Ctrl-C for the whole race:
+    workers ignore the terminal's SIGINT and are cancelled through the
+    SIGTERM → flush-grace → SIGKILL ladder instead, so the merge still
+    reports every salvaged bound.  [msolve --portfolio] sets it. *)
 
 val to_result : result -> Msu_maxsat.Types.result
 (** Collapse to the sequential result type (outcome, winning model,

@@ -1,0 +1,120 @@
+module Wcnf = Msu_cnf.Wcnf
+module T = Msu_maxsat.Types
+module Certify = Msu_maxsat.Certify
+
+(* Only proven optima with a surviving model are cached: they are the
+   only entries a hit can re-verify without solving (re-cost the model,
+   compare to the claimed cost).  Bounds and crashes are cheap to
+   reproduce relative to their budgets and carry no proof worth
+   reusing. *)
+type entry = { e_cost : int; e_model : bool array; mutable e_tick : int }
+
+type t = {
+  capacity : int;
+  tbl : (string, entry) Hashtbl.t;
+  mutable tick : int;  (* logical clock for LRU eviction *)
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Cache.create: capacity < 1";
+  { capacity; tbl = Hashtbl.create 256; tick = 0 }
+
+let length t = Hashtbl.length t.tbl
+
+let touch t e =
+  t.tick <- t.tick + 1;
+  e.e_tick <- t.tick
+
+let evict_lru t =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun fp e ->
+      match !victim with
+      | Some (_, tick) when tick <= e.e_tick -> ()
+      | _ -> victim := Some (fp, e.e_tick))
+    t.tbl;
+  match !victim with Some (fp, _) -> Hashtbl.remove t.tbl fp | None -> ()
+
+let store t ~fingerprint ~cost ~model =
+  (match Hashtbl.find_opt t.tbl fingerprint with
+  | Some _ -> ()
+  | None -> if Hashtbl.length t.tbl >= t.capacity then evict_lru t);
+  let e = { e_cost = cost; e_model = Array.copy model; e_tick = 0 } in
+  touch t e;
+  Hashtbl.replace t.tbl fingerprint e
+
+(* Serve a hit only after the certifier's model re-cost accepts it on
+   the *requesting* instance: a corrupted disk entry, a fingerprint
+   collision, or a bug upstream surfaces as a miss, never as a wrong
+   optimum.  The model is padded to the request's variable count —
+   canonical fingerprints forget unreferenced variables, so a request
+   may declare more of them than the instance that populated the
+   entry. *)
+let find t ~fingerprint w =
+  match Hashtbl.find_opt t.tbl fingerprint with
+  | None -> None
+  | Some e ->
+      let n = Wcnf.num_vars w in
+      let model =
+        if Array.length e.e_model >= n then Array.sub e.e_model 0 (max n 1)
+        else
+          Array.init (max n 1) (fun v ->
+              v < Array.length e.e_model && e.e_model.(v))
+      in
+      let candidate =
+        {
+          T.outcome = T.Optimum e.e_cost;
+          model = Some model;
+          stats = T.empty_stats;
+          elapsed = 0.;
+        }
+      in
+      if Certify.ok (Certify.recost w candidate) then begin
+        touch t e;
+        Some (e.e_cost, model)
+      end
+      else begin
+        Hashtbl.remove t.tbl fingerprint;
+        None
+      end
+
+(* ---------------- disk persistence ----------------
+
+   The on-disk form is a plain (fingerprint, cost, model) list written
+   atomically (temp file + rename).  Nothing on the load path is
+   trusted: a corrupt or alien file yields an empty cache, and every
+   entry it did deliver still passes through the re-cost check before
+   being served. *)
+
+type snapshot = (string * int * bool array) list
+
+let save t path =
+  let snap : snapshot =
+    Hashtbl.fold (fun fp e acc -> (fp, e.e_cost, e.e_model) :: acc) t.tbl []
+  in
+  let tmp = path ^ ".tmp" in
+  (try
+     let oc = open_out_bin tmp in
+     Marshal.to_channel oc snap [];
+     close_out oc;
+     Sys.rename tmp path
+   with Sys_error _ | Unix.Unix_error _ -> ());
+  ()
+
+let load ~capacity path =
+  let t = create ~capacity in
+  (try
+     let ic = open_in_bin path in
+     let snap = (Marshal.from_channel ic : snapshot) in
+     close_in ic;
+     List.iter
+       (fun (fp, cost, model) ->
+         if
+           Hashtbl.length t.tbl < capacity
+           && String.length fp > 0
+           && cost >= 0
+         then store t ~fingerprint:fp ~cost ~model)
+       snap
+   with
+  | Sys_error _ | End_of_file | Failure _ -> ());
+  t

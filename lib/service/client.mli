@@ -1,0 +1,56 @@
+(** Client side of the solve service.
+
+    Thin blocking wrappers over {!Protocol} frames, used by
+    [msolve --connect], the bench load generator, and the tests. *)
+
+exception Error of string
+(** Connection, framing, or unexpected-reply failure. *)
+
+val connect : ?retries:int -> string -> Unix.file_descr
+(** Connect to the server socket, retrying [ENOENT]/[ECONNREFUSED]
+    every 50 ms up to [retries] times (default 100, i.e. ~5 s) so a
+    freshly forked server can finish binding. *)
+
+val close : Unix.file_descr -> unit
+
+val send : Unix.file_descr -> Protocol.request -> unit
+val recv : Unix.file_descr -> Protocol.reply option
+
+val submit :
+  Unix.file_descr ->
+  ?options:Protocol.options ->
+  Msu_cnf.Wcnf.t ->
+  (int, string) result
+(** Send a solve request; [Ok id] on admission, [Error reason] when the
+    server rejected it (queue full, draining). *)
+
+type response = {
+  id : int;
+  outcome : Msu_maxsat.Types.outcome;
+  model : bool array option;
+  cached : bool;
+  elapsed : float;  (** server-side seconds from accept to result *)
+}
+
+val wait :
+  ?other:(Protocol.reply -> unit) -> Unix.file_descr -> int -> response
+(** Block until the [Result] for the given job id arrives; results for
+    other ids interleaved on the same connection go to [other]. *)
+
+val solve :
+  ?options:Protocol.options ->
+  socket:string ->
+  Msu_cnf.Wcnf.t ->
+  (response, string) result
+(** [submit] + [wait] on a fresh connection; [Error reason] on
+    rejection. *)
+
+val cancel : socket:string -> int -> bool
+(** Cancel a job by id from a fresh connection; [true] if the server
+    still knew the id (queued or running). *)
+
+val stats : socket:string -> Protocol.stats
+
+val shutdown : ?drain:bool -> socket:string -> unit -> unit
+(** Ask the server to exit; [drain] (default true) finishes accepted
+    work first. *)

@@ -1,0 +1,63 @@
+(* Bounded priority queue with admission control.  The queue is the
+   service's back-pressure point: capacities are small (tens of jobs),
+   so a sorted list beats a heap on constant factors and keeps
+   [remove] (cancellation) trivial. *)
+
+type 'a t = {
+  capacity : int;
+  mutable seq : int;  (* submission order; FIFO tie-break *)
+  mutable items : (int * int * 'a) list;  (* (priority, seq), sorted *)
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Jobq.create: capacity < 1";
+  { capacity; seq = 0; items = [] }
+
+let length t = List.length t.items
+let is_empty t = t.items = []
+let is_full t = length t >= t.capacity
+let capacity t = t.capacity
+
+(* Higher priority first; earlier submission first within a priority. *)
+let before (p1, s1) (p2, s2) = p1 > p2 || (p1 = p2 && s1 < s2)
+
+let push t ~priority x =
+  if is_full t then false
+  else begin
+    let seq = t.seq in
+    t.seq <- seq + 1;
+    let rec insert = function
+      | [] -> [ (priority, seq, x) ]
+      | ((p, s, _) as hd) :: tl ->
+          if before (priority, seq) (p, s) then (priority, seq, x) :: hd :: tl
+          else hd :: insert tl
+    in
+    t.items <- insert t.items;
+    true
+  end
+
+let pop t =
+  match t.items with
+  | [] -> None
+  | (_, _, x) :: tl ->
+      t.items <- tl;
+      Some x
+
+let remove t pred =
+  let rec go acc = function
+    | [] -> None
+    | ((_, _, x) as hd) :: tl ->
+        if pred x then begin
+          t.items <- List.rev_append acc tl;
+          Some x
+        end
+        else go (hd :: acc) tl
+  in
+  go [] t.items
+
+let drain t =
+  let xs = List.map (fun (_, _, x) -> x) t.items in
+  t.items <- [];
+  xs
+
+let iter f t = List.iter (fun (_, _, x) -> f x) t.items

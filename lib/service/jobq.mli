@@ -1,0 +1,32 @@
+(** Bounded priority job queue with admission control.
+
+    Higher priorities pop first; submissions of equal priority pop in
+    FIFO order.  [push] refuses new work once the capacity is reached —
+    the caller turns that into a reject-with-reason reply instead of
+    letting the backlog (and client-visible latency) grow without
+    bound. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** @raise Invalid_argument when [capacity < 1]. *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val is_full : 'a t -> bool
+val capacity : 'a t -> int
+
+val push : 'a t -> priority:int -> 'a -> bool
+(** [false] when the queue is full (the item was not admitted). *)
+
+val pop : 'a t -> 'a option
+(** Highest priority, FIFO within a priority. *)
+
+val remove : 'a t -> ('a -> bool) -> 'a option
+(** Remove and return the first queued item satisfying the predicate
+    (cancellation of a queued job). *)
+
+val drain : 'a t -> 'a list
+(** Remove and return everything, pop order. *)
+
+val iter : ('a -> unit) -> 'a t -> unit

@@ -1,0 +1,555 @@
+module Wcnf = Msu_cnf.Wcnf
+module Canon = Msu_cnf.Canon
+module M = Msu_maxsat.Maxsat
+module T = Msu_maxsat.Types
+module G = Msu_guard.Guard
+module Fault = Msu_guard.Fault
+module Subproc = Msu_harness.Runner.Subproc
+module P = Protocol
+
+type config = {
+  socket_path : string;
+  workers : int;
+  queue_capacity : int;
+  cache_capacity : int;
+  cache_file : string option;
+  default_timeout : float;
+  grace : float;
+  trace : (string -> unit) option;
+}
+
+let default_config ~socket_path =
+  {
+    socket_path;
+    workers = 2;
+    queue_capacity = 64;
+    cache_capacity = 1024;
+    cache_file = None;
+    default_timeout = 10.0;
+    grace = 1.0;
+    trace = None;
+  }
+
+(* ---------------- internal state ---------------- *)
+
+type conn = {
+  c_fd : Unix.file_descr;
+  c_buf : Buffer.t;  (* partial inbound frame *)
+  mutable c_alive : bool;
+}
+
+type job = {
+  j_id : int;
+  j_wcnf : Wcnf.t;
+  j_fingerprint : string;
+  j_options : P.options;
+  j_conn : conn;  (* reply target; may die before the result is ready *)
+  j_submitted : float;
+}
+
+type slot = {
+  sl_job : job;
+  sl_pid : int;
+  sl_tmp : string;
+  sl_started : float;
+  mutable sl_term_at : float;  (* when the SIGTERM rung fires *)
+  mutable sl_termed : bool;
+  mutable sl_killed : bool;
+  mutable sl_cancelled : bool;
+}
+
+type state = {
+  cfg : config;
+  listen_fd : Unix.file_descr;
+  started : float;
+  mutable conns : conn list;
+  queue : job Jobq.t;
+  mutable slots : slot list;
+  cache : Cache.t;
+  mutable next_id : int;
+  mutable draining : bool;
+  mutable requests : int;
+  mutable completed : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable rejected : int;
+  mutable crashes : int;
+  mutable cancelled : int;
+  latencies : (string, float list ref) Hashtbl.t;
+}
+
+let say st fmt =
+  Printf.ksprintf
+    (fun s -> match st.cfg.trace with Some f -> f s | None -> ())
+    fmt
+
+let record_latency st algorithm seconds =
+  let key = M.algorithm_to_string algorithm in
+  match Hashtbl.find_opt st.latencies key with
+  | Some cell -> cell := seconds :: !cell
+  | None -> Hashtbl.add st.latencies key (ref [ seconds ])
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else sorted.(min (n - 1) (int_of_float (Float.of_int (n - 1) *. q +. 0.5)))
+
+let latency_summary samples =
+  let a = Array.of_list samples in
+  Array.sort compare a;
+  let n = Array.length a in
+  {
+    P.l_count = n;
+    l_mean = (if n = 0 then 0. else Array.fold_left ( +. ) 0. a /. float_of_int n);
+    l_p50 = percentile a 0.5;
+    l_p95 = percentile a 0.95;
+  }
+
+let snapshot st =
+  {
+    P.uptime = Unix.gettimeofday () -. st.started;
+    requests = st.requests;
+    completed = st.completed;
+    hits = st.hits;
+    misses = st.misses;
+    rejected = st.rejected;
+    crashes = st.crashes;
+    cancelled = st.cancelled;
+    queue_depth = Jobq.length st.queue;
+    running = List.length st.slots;
+    cache_entries = Cache.length st.cache;
+    per_algorithm =
+      Hashtbl.fold
+        (fun alg cell acc -> (alg, latency_summary !cell) :: acc)
+        st.latencies []
+      |> List.sort compare;
+  }
+
+(* Replies are best-effort: a client that vanished (EPIPE, reset, send
+   timeout) loses its answer, never the daemon. *)
+let send st conn reply =
+  if conn.c_alive then
+    try P.write_value conn.c_fd reply
+    with Unix.Unix_error _ | P.Protocol_error _ | Sys_error _ ->
+      conn.c_alive <- false;
+      say st "dropped reply to a dead connection"
+
+(* ---------------- worker pool ---------------- *)
+
+let spawn st job =
+  let timeout =
+    Option.value job.j_options.P.timeout ~default:st.cfg.default_timeout
+  in
+  let flush = Subproc.flush_grace st.cfg.grace in
+  let tmp = Filename.temp_file "msu-serve" ".bin" in
+  match Unix.fork () with
+  | 0 ->
+      (* The worker owns nothing of the daemon: close the listener and
+         every client connection, then detach from the terminal's
+         Ctrl-C — the parent's SIGTERM ladder governs this process. *)
+      List.iter
+        (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (st.listen_fd :: List.map (fun c -> c.c_fd) st.conns);
+      Sys.set_signal Sys.sigint Sys.Signal_ignore;
+      Subproc.child_setup
+        ~alarm_after:(timeout +. (2. *. st.cfg.grace) +. flush)
+        ();
+      (match job.j_options.P.fault with Some k -> Fault.arm k | None -> ());
+      let t0 = Unix.gettimeofday () in
+      let deadline = t0 +. timeout in
+      let guard =
+        G.create ~deadline ?max_conflicts:job.j_options.P.max_conflicts ()
+      in
+      G.set_cancel_target guard;
+      let config =
+        {
+          T.default_config with
+          T.deadline;
+          max_conflicts = job.j_options.P.max_conflicts;
+          encoding =
+            Option.value job.j_options.P.encoding
+              ~default:T.default_config.T.encoding;
+          guard = Some guard;
+          progress = Some (G.Progress.create ());
+        }
+      in
+      let result =
+        try
+          Ok (M.solve_supervised ~config job.j_options.P.algorithm job.j_wcnf)
+        with e -> Error (Printexc.to_string e)
+      in
+      Subproc.write_result tmp (result : (T.result, string) result);
+      Unix._exit 0
+  | pid ->
+      let now = Unix.gettimeofday () in
+      say st "job %d -> worker %d (%s, timeout %.1fs)" job.j_id pid
+        (M.algorithm_to_string job.j_options.P.algorithm)
+        timeout;
+      st.slots <-
+        {
+          sl_job = job;
+          sl_pid = pid;
+          sl_tmp = tmp;
+          sl_started = now;
+          sl_term_at = now +. timeout +. st.cfg.grace;
+          sl_termed = false;
+          sl_killed = false;
+          sl_cancelled = false;
+        }
+        :: st.slots
+
+let complete st ?(was_cancelled = false) job (r : T.result) =
+  let elapsed = Unix.gettimeofday () -. job.j_submitted in
+  st.completed <- st.completed + 1;
+  (match r.T.outcome with
+  | T.Crashed _ ->
+      if was_cancelled then st.cancelled <- st.cancelled + 1
+      else st.crashes <- st.crashes + 1
+  | _ when was_cancelled -> st.cancelled <- st.cancelled + 1
+  | _ -> ());
+  record_latency st job.j_options.P.algorithm elapsed;
+  (* Models leave the service truncated to the instance's own variables:
+     solver-internal auxiliaries mean nothing to the client, and cold
+     and cache-hit replies for one instance must be identical. *)
+  let model =
+    Option.map
+      (fun m ->
+        let n = Wcnf.num_vars job.j_wcnf in
+        if Array.length m > n then Array.sub m 0 n else m)
+      r.T.model
+  in
+  (* Only proven optima enter the cache; the model is the proof a
+     future hit re-checks. *)
+  (match (r.T.outcome, model) with
+  | T.Optimum cost, Some model ->
+      Cache.store st.cache ~fingerprint:job.j_fingerprint ~cost ~model
+  | _ -> ());
+  send st job.j_conn
+    (P.Result
+       { id = job.j_id; outcome = r.T.outcome; model; cached = false; elapsed })
+
+let reap st =
+  let still_running = ref [] in
+  List.iter
+    (fun sl ->
+      let finished =
+        match Unix.waitpid [ Unix.WNOHANG ] sl.sl_pid with
+        | 0, _ -> None
+        | _, status -> Some status
+        | exception Unix.Unix_error _ -> Some (Unix.WEXITED 255)
+      in
+      match finished with
+      | None -> still_running := sl :: !still_running
+      | Some status ->
+          let result = Subproc.read_result sl.sl_tmp in
+          (try Sys.remove sl.sl_tmp with Sys_error _ -> ());
+          let crashed reason =
+            {
+              T.outcome = T.Crashed { reason; lb = 0; ub = None };
+              model = None;
+              stats = T.empty_stats;
+              elapsed = Unix.gettimeofday () -. sl.sl_started;
+            }
+          in
+          let r =
+            match (status, result) with
+            | Unix.WEXITED 0, Some (Ok r) -> r
+            | _, Some (Ok r) -> r  (* flushed result survives a late kill *)
+            | _, Some (Error reason) -> crashed reason
+            | Unix.WEXITED n, None ->
+                crashed (Printf.sprintf "worker exit %d" n)
+            | (Unix.WSIGNALED n | Unix.WSTOPPED n), None ->
+                crashed (Printf.sprintf "worker killed (signal %d)" n)
+          in
+          say st "job %d done: %s" sl.sl_job.j_id
+            (Format.asprintf "%a" T.pp_outcome r.T.outcome);
+          complete st ~was_cancelled:sl.sl_cancelled sl.sl_job r)
+    st.slots;
+  st.slots <- !still_running
+
+(* SIGTERM first (the worker's guard trips, the solve unwinds and
+   flushes its bounds), SIGKILL once the flush window closes — the same
+   ladder the harness and portfolio use. *)
+let ladder st =
+  let now = Unix.gettimeofday () in
+  let flush = Subproc.flush_grace st.cfg.grace in
+  List.iter
+    (fun sl ->
+      if (not sl.sl_termed) && now > sl.sl_term_at then begin
+        sl.sl_termed <- true;
+        Subproc.kill sl.sl_pid Sys.sigterm
+      end;
+      if sl.sl_termed && (not sl.sl_killed) && now > sl.sl_term_at +. flush
+      then begin
+        sl.sl_killed <- true;
+        Subproc.kill sl.sl_pid Sys.sigkill
+      end)
+    st.slots
+
+let dispatch st =
+  while
+    List.length st.slots < st.cfg.workers && not (Jobq.is_empty st.queue)
+  do
+    match Jobq.pop st.queue with Some job -> spawn st job | None -> ()
+  done
+
+(* ---------------- request handling ---------------- *)
+
+let cancelled_result id =
+  P.Result
+    {
+      id;
+      outcome = T.Crashed { reason = "cancelled"; lb = 0; ub = None };
+      model = None;
+      cached = false;
+      elapsed = 0.;
+    }
+
+let handle_solve st conn (wire : P.wire_wcnf) (options : P.options) =
+  st.requests <- st.requests + 1;
+  if st.draining then begin
+    st.rejected <- st.rejected + 1;
+    send st conn (P.Rejected { reason = "server shutting down" })
+  end
+  else begin
+    match P.of_wire wire with
+    | exception _ ->
+        st.rejected <- st.rejected + 1;
+        send st conn (P.Rejected { reason = "malformed instance" })
+    | w ->
+        let fingerprint = Canon.fingerprint w in
+        let id = st.next_id in
+        st.next_id <- id + 1;
+        let submitted = Unix.gettimeofday () in
+        let serve_hit (cost, model) =
+          st.hits <- st.hits + 1;
+          st.completed <- st.completed + 1;
+          let elapsed = Unix.gettimeofday () -. submitted in
+          record_latency st options.P.algorithm elapsed;
+          say st "job %d: cache hit (%s, cost %d)" id
+            (String.sub fingerprint 0 8)
+            cost;
+          send st conn (P.Accepted { id });
+          send st conn
+            (P.Result
+               {
+                 id;
+                 outcome = T.Optimum cost;
+                 model = Some model;
+                 cached = true;
+                 elapsed;
+               })
+        in
+        let enqueue () =
+          st.misses <- st.misses + 1;
+          let job =
+            {
+              j_id = id;
+              j_wcnf = w;
+              j_fingerprint = fingerprint;
+              j_options = options;
+              j_conn = conn;
+              j_submitted = submitted;
+            }
+          in
+          if Jobq.push st.queue ~priority:options.P.priority job then
+            send st conn (P.Accepted { id })
+          else begin
+            st.rejected <- st.rejected + 1;
+            send st conn
+              (P.Rejected
+                 {
+                   reason =
+                     Printf.sprintf "queue full (capacity %d)"
+                       (Jobq.capacity st.queue);
+                 })
+          end
+        in
+        if options.P.use_cache then
+          match Cache.find st.cache ~fingerprint w with
+          | Some hit -> serve_hit hit
+          | None -> enqueue ()
+        else enqueue ()
+  end
+
+let handle_cancel st conn id =
+  match Jobq.remove st.queue (fun j -> j.j_id = id) with
+  | Some job ->
+      st.cancelled <- st.cancelled + 1;
+      send st job.j_conn (cancelled_result id);
+      send st conn (P.Cancel_ack { id; found = true })
+  | None -> (
+      match List.find_opt (fun sl -> sl.sl_job.j_id = id) st.slots with
+      | Some sl ->
+          (* Start the ladder now: the worker flushes its partial
+             bounds, and the normal reap path delivers them to the
+             submitting client. *)
+          sl.sl_cancelled <- true;
+          sl.sl_term_at <- Float.min sl.sl_term_at (Unix.gettimeofday ());
+          send st conn (P.Cancel_ack { id; found = true })
+      | None -> send st conn (P.Cancel_ack { id; found = false }))
+
+let start_shutdown st ~drain =
+  st.draining <- true;
+  if not drain then begin
+    List.iter
+      (fun job ->
+        st.cancelled <- st.cancelled + 1;
+        send st job.j_conn (cancelled_result job.j_id))
+      (Jobq.drain st.queue);
+    let now = Unix.gettimeofday () in
+    List.iter
+      (fun sl ->
+        sl.sl_cancelled <- true;
+        sl.sl_term_at <- Float.min sl.sl_term_at now)
+      st.slots
+  end
+
+let handle_request st conn = function
+  | P.Solve { wcnf; options } -> handle_solve st conn wcnf options
+  | P.Stats -> send st conn (P.Stats_report (snapshot st))
+  | P.Cancel id -> handle_cancel st conn id
+  | P.Shutdown { drain } ->
+      say st "shutdown requested (drain=%b)" drain;
+      send st conn P.Bye;
+      start_shutdown st ~drain
+
+(* ---------------- connection plumbing ---------------- *)
+
+let accept_new st =
+  match Unix.accept st.listen_fd with
+  | fd, _ ->
+      Unix.set_nonblock fd;
+      (* A client that stops reading must stall its own replies, not
+         the daemon: bound every send. *)
+      (try Unix.setsockopt_float fd Unix.SO_SNDTIMEO 5.0
+       with Unix.Unix_error _ -> ());
+      st.conns <- { c_fd = fd; c_buf = Buffer.create 256; c_alive = true } :: st.conns
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+    ->
+      ()
+
+let read_conn st conn =
+  let chunk = Bytes.create 65536 in
+  let closed = ref false in
+  (try
+     let rec rd () =
+       match Unix.read conn.c_fd chunk 0 (Bytes.length chunk) with
+       | 0 -> closed := true
+       | n ->
+           Buffer.add_subbytes conn.c_buf chunk 0 n;
+           rd ()
+       | exception
+           Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+         ->
+           ()
+     in
+     rd ();
+     List.iter
+       (fun req -> handle_request st conn req)
+       (P.decode_frames conn.c_buf : P.request list)
+   with
+  | P.Protocol_error _ | Failure _ | Unix.Unix_error _ ->
+      (* Garbage on the wire: drop the connection, keep the daemon. *)
+      closed := true);
+  if !closed then conn.c_alive <- false
+
+let close_dead st =
+  let dead, alive = List.partition (fun c -> not c.c_alive) st.conns in
+  List.iter
+    (fun c -> try Unix.close c.c_fd with Unix.Unix_error _ -> ())
+    dead;
+  st.conns <- alive
+
+(* ---------------- main loop ---------------- *)
+
+let signal_shutdown = ref false
+
+let run ?(handle_signals = false) cfg =
+  (try Unix.unlink cfg.socket_path with Unix.Unix_error _ -> ());
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listen_fd (Unix.ADDR_UNIX cfg.socket_path);
+  Unix.listen listen_fd 64;
+  Unix.set_nonblock listen_fd;
+  let cache =
+    match cfg.cache_file with
+    | Some path when Sys.file_exists path ->
+        Cache.load ~capacity:cfg.cache_capacity path
+    | _ -> Cache.create ~capacity:cfg.cache_capacity
+  in
+  let st =
+    {
+      cfg;
+      listen_fd;
+      started = Unix.gettimeofday ();
+      conns = [];
+      queue = Jobq.create ~capacity:cfg.queue_capacity;
+      slots = [];
+      cache;
+      next_id = 1;
+      draining = false;
+      requests = 0;
+      completed = 0;
+      hits = 0;
+      misses = 0;
+      rejected = 0;
+      crashes = 0;
+      cancelled = 0;
+      latencies = Hashtbl.create 8;
+    }
+  in
+  say st "listening on %s (%d workers, queue %d, cache %d%s)" cfg.socket_path
+    cfg.workers cfg.queue_capacity cfg.cache_capacity
+    (match cfg.cache_file with
+    | Some f -> Printf.sprintf ", persisted to %s (%d loaded)" f (Cache.length cache)
+    | None -> "");
+  let old_sigpipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+  let old_handlers =
+    if handle_signals then begin
+      signal_shutdown := false;
+      let h = Sys.Signal_handle (fun _ -> signal_shutdown := true) in
+      Some (Sys.signal Sys.sigint h, Sys.signal Sys.sigterm h)
+    end
+    else None
+  in
+  let finally () =
+    Sys.set_signal Sys.sigpipe old_sigpipe;
+    (match old_handlers with
+    | Some (oi, ot) ->
+        Sys.set_signal Sys.sigint oi;
+        Sys.set_signal Sys.sigterm ot
+    | None -> ());
+    List.iter
+      (fun c -> try Unix.close c.c_fd with Unix.Unix_error _ -> ())
+      st.conns;
+    (try Unix.close st.listen_fd with Unix.Unix_error _ -> ());
+    (try Unix.unlink cfg.socket_path with Unix.Unix_error _ -> ());
+    match cfg.cache_file with
+    | Some path -> Cache.save st.cache path
+    | None -> ()
+  in
+  Fun.protect ~finally @@ fun () ->
+  let rec loop () =
+    if !signal_shutdown && not st.draining then begin
+      say st "signal: shutting down";
+      start_shutdown st ~drain:false
+    end;
+    reap st;
+    ladder st;
+    dispatch st;
+    close_dead st;
+    if st.draining && Jobq.is_empty st.queue && st.slots = [] then
+      say st "drained; exiting"
+    else begin
+      let fds = st.listen_fd :: List.map (fun c -> c.c_fd) st.conns in
+      (match Unix.select fds [] [] 0.02 with
+      | readable, _, _ ->
+          if List.mem st.listen_fd readable then accept_new st;
+          List.iter
+            (fun c -> if c.c_alive && List.mem c.c_fd readable then read_conn st c)
+            st.conns
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      loop ()
+    end
+  in
+  loop ()

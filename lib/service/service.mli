@@ -1,0 +1,43 @@
+(** Persistent MaxSAT solve daemon.
+
+    One process listens on a Unix-domain socket and serves
+    length-prefixed {!Protocol} requests.  A solve request is first
+    canonicalized and fingerprinted ({!Msu_cnf.Canon}); a cache hit —
+    re-verified by {!Msu_maxsat.Certify.recost} against the requesting
+    instance — is answered immediately.  Misses enter a bounded
+    priority queue ({!Jobq}; a full queue answers [Rejected] with a
+    reason) and are dispatched to a pool of forked workers that reuse
+    the harness's isolation machinery: per-job {!Msu_guard.Guard}
+    budgets, SIGTERM → flush-grace → SIGKILL cancellation, and
+    bounds-salvaging crash reports.  A worker that crashes or times out
+    costs its own request a [Crashed]/[Bounds] result, never the
+    daemon.
+
+    The daemon is single-threaded (select loop + forked workers), so
+    every piece of shared state — cache, queue, stats — is touched from
+    one place only. *)
+
+type config = {
+  socket_path : string;
+  workers : int;  (** concurrent forked solves *)
+  queue_capacity : int;  (** admission-control bound *)
+  cache_capacity : int;  (** LRU entries *)
+  cache_file : string option;
+      (** persist the cache across restarts (loaded at startup, saved
+          at shutdown) *)
+  default_timeout : float;  (** per-request budget when none given *)
+  grace : float;  (** ladder grace, as in {!Msu_harness.Runner} *)
+  trace : (string -> unit) option;
+}
+
+val default_config : socket_path:string -> config
+(** 2 workers, queue 64, cache 1024, 10 s default timeout, 1 s grace,
+    no persistence, no trace. *)
+
+val run : ?handle_signals:bool -> config -> unit
+(** Serve until a [Shutdown] request completes.  With [handle_signals]
+    (the [mserve] binary sets it), SIGINT/SIGTERM trigger the same path
+    as [Shutdown { drain = false }]: queued jobs are answered
+    [cancelled], running workers go through the kill ladder, the cache
+    is persisted, and the socket is unlinked.  Blocks the calling
+    process; embedders fork first. *)

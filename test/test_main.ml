@@ -19,4 +19,5 @@ let () =
       ("infra", Test_infra.suite);
       ("incremental", Test_incremental.suite);
       ("portfolio", Test_portfolio.suite);
+      ("service", Test_service.suite);
     ]

@@ -1,0 +1,372 @@
+(* The solve service: canonical fingerprints, the bounded priority
+   queue, the verified instance cache, and end-to-end daemon behaviour
+   (cache hits, crash isolation, cancellation, admission control)
+   against a forked server on a temp socket. *)
+
+module Wcnf = Msu_cnf.Wcnf
+module Canon = Msu_cnf.Canon
+module M = Msu_maxsat.Maxsat
+module T = Msu_maxsat.Types
+module Fault = Msu_guard.Fault
+module Service = Msu_service.Service
+module Client = Msu_service.Client
+module Proto = Msu_service.Protocol
+module Jobq = Msu_service.Jobq
+module Cache = Msu_service.Cache
+open Test_util
+
+(* The paper's Example 2: optimum cost 2. *)
+let example2_clauses =
+  [ [ 1 ]; [ -1; -2 ]; [ 2 ]; [ -1; -3 ]; [ 3 ]; [ -2; -3 ]; [ 1; -4 ]; [ -1; 4 ] ]
+
+let example2 () =
+  let w = Wcnf.create () in
+  Wcnf.ensure_vars w 4;
+  List.iter (fun c -> ignore (Wcnf.add_soft w (clause c))) example2_clauses;
+  w
+
+(* ----- canonical fingerprints ----- *)
+
+let fp = Canon.fingerprint
+
+(* Permuting the clause list, permuting literals inside clauses, and
+   duplicating a literal inside a clause all leave the cost function —
+   and hence the fingerprint — unchanged. *)
+let test_fingerprint_invariances () =
+  let base = example2 () in
+  let permuted = Wcnf.create () in
+  Wcnf.ensure_vars permuted 4;
+  List.iter
+    (fun c -> ignore (Wcnf.add_soft permuted (clause (List.rev c))))
+    (List.rev example2_clauses);
+  Alcotest.(check string) "clause and literal order is canonicalized" (fp base)
+    (fp permuted);
+  let doubled_lit = Wcnf.create () in
+  Wcnf.ensure_vars doubled_lit 4;
+  List.iter
+    (fun c -> ignore (Wcnf.add_soft doubled_lit (clause (c @ c))))
+    example2_clauses;
+  Alcotest.(check string) "duplicated literals are dropped" (fp base)
+    (fp doubled_lit);
+  (* Declared-but-unreferenced variables are free and cost-irrelevant. *)
+  let padded = example2 () in
+  Wcnf.ensure_vars padded 12;
+  Alcotest.(check string) "unreferenced variables are forgotten" (fp base)
+    (fp padded)
+
+(* One soft clause of weight 2 is the same cost function as the clause
+   twice at weight 1; duplicated hard clauses collapse. *)
+let test_fingerprint_merges_duplicates () =
+  let twice = Wcnf.create () in
+  Wcnf.ensure_vars twice 2;
+  ignore (Wcnf.add_soft twice (clause [ 1; 2 ]));
+  ignore (Wcnf.add_soft twice (clause [ 2; 1 ]));
+  let once = Wcnf.create () in
+  Wcnf.ensure_vars once 2;
+  ignore (Wcnf.add_soft once ~weight:2 (clause [ 1; 2 ]));
+  Alcotest.(check string) "duplicate softs merge by summing weights"
+    (fp twice) (fp once);
+  let dup_hard = Wcnf.create () in
+  Wcnf.ensure_vars dup_hard 2;
+  Wcnf.add_hard dup_hard (clause [ 1; 2 ]);
+  Wcnf.add_hard dup_hard (clause [ 2; 1 ]);
+  ignore (Wcnf.add_soft dup_hard (clause [ -1 ]));
+  let one_hard = Wcnf.create () in
+  Wcnf.ensure_vars one_hard 2;
+  Wcnf.add_hard one_hard (clause [ 1; 2 ]);
+  ignore (Wcnf.add_soft one_hard (clause [ -1 ]));
+  Alcotest.(check string) "duplicate hards collapse" (fp dup_hard) (fp one_hard)
+
+(* Distinct cost functions must not collide: a flipped literal, a
+   changed weight, and a hard/soft swap each change the digest. *)
+let test_fingerprint_distinguishes () =
+  let mk soft_weight lit1 =
+    let w = Wcnf.create () in
+    Wcnf.ensure_vars w 3;
+    Wcnf.add_hard w (clause [ lit1; 2 ]);
+    ignore (Wcnf.add_soft w ~weight:soft_weight (clause [ -2; 3 ]));
+    w
+  in
+  let base = mk 1 1 in
+  Alcotest.(check bool) "flipped literal differs" false
+    (fp base = fp (mk 1 (-1)));
+  Alcotest.(check bool) "changed weight differs" false (fp base = fp (mk 2 1));
+  let swapped = Wcnf.create () in
+  Wcnf.ensure_vars swapped 3;
+  ignore (Wcnf.add_soft swapped (clause [ 1; 2 ]));
+  Wcnf.add_hard swapped (clause [ -2; 3 ]);
+  Alcotest.(check bool) "hard/soft swap differs" false (fp base = fp swapped)
+
+(* ----- bounded priority queue ----- *)
+
+let test_jobq () =
+  let q = Jobq.create ~capacity:3 in
+  Alcotest.(check bool) "p1 admitted" true (Jobq.push q ~priority:0 "a");
+  Alcotest.(check bool) "p2 admitted" true (Jobq.push q ~priority:5 "b");
+  Alcotest.(check bool) "p3 admitted" true (Jobq.push q ~priority:0 "c");
+  Alcotest.(check bool) "full" true (Jobq.is_full q);
+  Alcotest.(check bool) "admission control rejects at capacity" false
+    (Jobq.push q ~priority:9 "d");
+  Alcotest.(check (option string)) "higher priority first" (Some "b")
+    (Jobq.pop q);
+  Alcotest.(check (option string)) "FIFO within a priority" (Some "a")
+    (Jobq.pop q);
+  Alcotest.(check bool) "room again" true (Jobq.push q ~priority:0 "e");
+  Alcotest.(check (option string)) "remove finds a queued item" (Some "e")
+    (Jobq.remove q (fun x -> x = "e"));
+  Alcotest.(check (option string)) "removed item is gone" None
+    (Jobq.remove q (fun x -> x = "e"));
+  Alcotest.(check (list string)) "drain empties in pop order" [ "c" ]
+    (Jobq.drain q);
+  Alcotest.(check bool) "empty after drain" true (Jobq.is_empty q)
+
+(* ----- verified instance cache ----- *)
+
+let optimum_model_of w =
+  match M.solve_supervised M.Msu4_v2 w with
+  | { T.outcome = T.Optimum c; model = Some m; _ } -> (c, m)
+  | r -> Alcotest.failf "setup solve failed: %a" T.pp_outcome r.T.outcome
+
+let test_cache_hit_and_verify () =
+  let w = example2 () in
+  let cost, model = optimum_model_of w in
+  let c = Cache.create ~capacity:4 in
+  Alcotest.(check (option (pair int reject))) "empty cache misses" None
+    (Cache.find c ~fingerprint:(fp w) w);
+  Cache.store c ~fingerprint:(fp w) ~cost ~model;
+  (match Cache.find c ~fingerprint:(fp w) w with
+  | Some (c', m') ->
+      Alcotest.(check int) "hit returns the optimum" cost c';
+      Alcotest.(check (option int)) "hit's model achieves it" (Some cost)
+        (Wcnf.cost_of_model w m')
+  | None -> Alcotest.fail "expected a cache hit");
+  (* A poisoned entry — wrong claimed cost for the stored model — must
+     fail the re-cost, be evicted, and degrade to a miss. *)
+  Cache.store c ~fingerprint:"poisoned" ~cost:(cost + 1) ~model;
+  Alcotest.(check int) "two entries stored" 2 (Cache.length c);
+  let w2 = example2 () in
+  Alcotest.(check (option (pair int reject))) "poisoned entry is a miss" None
+    (Cache.find c ~fingerprint:"poisoned" w2);
+  Alcotest.(check int) "poisoned entry evicted" 1 (Cache.length c)
+
+let test_cache_lru_and_persistence () =
+  let c = Cache.create ~capacity:2 in
+  let w = example2 () in
+  let cost, model = optimum_model_of w in
+  Cache.store c ~fingerprint:"a" ~cost ~model;
+  Cache.store c ~fingerprint:"b" ~cost ~model;
+  (* Touch "a" so "b" is the least recently used when "c" arrives. *)
+  ignore (Cache.find c ~fingerprint:"a" w);
+  Cache.store c ~fingerprint:"c" ~cost ~model;
+  Alcotest.(check int) "capacity holds" 2 (Cache.length c);
+  Alcotest.(check bool) "recently used entry survives" true
+    (Cache.find c ~fingerprint:"a" w <> None);
+  Alcotest.(check bool) "LRU entry evicted" true
+    (Cache.find c ~fingerprint:"b" w = None);
+  let path = Filename.temp_file "msu-test-cache" ".bin" in
+  Cache.save c path;
+  let c2 = Cache.load ~capacity:2 path in
+  Alcotest.(check int) "snapshot round-trips" (Cache.length c)
+    (Cache.length c2);
+  Alcotest.(check bool) "loaded entry still serves (and re-verifies)" true
+    (Cache.find c2 ~fingerprint:"a" w <> None);
+  let oc = open_out path in
+  output_string oc "not a marshal snapshot";
+  close_out oc;
+  let c3 = Cache.load ~capacity:2 path in
+  Alcotest.(check int) "corrupt snapshot loads as empty" 0 (Cache.length c3);
+  Sys.remove path
+
+(* ----- end-to-end, against a forked daemon ----- *)
+
+let with_server ?(workers = 1) ?(queue_capacity = 64) ?(timeout = 10.0) f =
+  let sock = Filename.temp_file "msu-test-service" ".sock" in
+  flush stdout;
+  flush stderr;
+  let pid = Unix.fork () in
+  if pid = 0 then begin
+    let cfg =
+      {
+        (Service.default_config ~socket_path:sock) with
+        Service.workers;
+        queue_capacity;
+        default_timeout = timeout;
+        grace = 0.5;
+      }
+    in
+    (try Service.run cfg with _ -> ());
+    Unix._exit 0
+  end
+  else
+    Fun.protect
+      ~finally:(fun () ->
+        (try Client.shutdown ~drain:false ~socket:sock () with _ -> ());
+        (try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ());
+        try Sys.remove sock with Sys_error _ -> ())
+      (fun () -> f sock)
+
+let solve_ok ?options sock w =
+  match Client.solve ?options ~socket:sock w with
+  | Ok r -> r
+  | Error reason -> Alcotest.failf "service rejected the request: %s" reason
+
+(* The acceptance scenario: the same instance twice — the second answer
+   comes from the cache, both match brute force, and a permuted
+   presentation of the instance hits too. *)
+let test_e2e_cache_hit () =
+  with_server @@ fun sock ->
+  let w = example2 () in
+  let expected =
+    match Wcnf.brute_force_min_cost w with
+    | Some c -> c
+    | None -> Alcotest.fail "example2 has satisfiable hard clauses"
+  in
+  let r1 = solve_ok sock w in
+  Alcotest.(check bool) "first solve is cold" false r1.Client.cached;
+  (match r1.Client.outcome with
+  | T.Optimum c -> Alcotest.(check int) "cold optimum = brute force" expected c
+  | o -> Alcotest.failf "cold solve: %a" T.pp_outcome o);
+  (* Same instance again, under a different algorithm: the cache is
+     keyed on the instance, and the answer must be byte-identical. *)
+  let r2 =
+    solve_ok
+      ~options:{ Proto.default_options with Proto.algorithm = M.Msu3 }
+      sock w
+  in
+  Alcotest.(check bool) "second solve is a cache hit" true r2.Client.cached;
+  Alcotest.(check bool) "hit outcome equals cold outcome" true
+    (r1.Client.outcome = r2.Client.outcome);
+  Alcotest.(check bool) "hit model equals cold model" true
+    (r1.Client.model = r2.Client.model);
+  (* A permuted presentation fingerprints identically and hits too. *)
+  let permuted = Wcnf.create () in
+  Wcnf.ensure_vars permuted 4;
+  List.iter
+    (fun c -> ignore (Wcnf.add_soft permuted (clause (List.rev c))))
+    (List.rev example2_clauses);
+  let r3 = solve_ok sock permuted in
+  Alcotest.(check bool) "permuted instance hits" true r3.Client.cached;
+  (match r3.Client.outcome with
+  | T.Optimum c -> Alcotest.(check int) "hit optimum" expected c
+  | o -> Alcotest.failf "permuted hit: %a" T.pp_outcome o);
+  (* --no-cache forces a fresh solve of a cached instance. *)
+  let r4 =
+    solve_ok
+      ~options:{ Proto.default_options with Proto.use_cache = false }
+      sock w
+  in
+  Alcotest.(check bool) "use_cache=false bypasses the cache" false
+    r4.Client.cached;
+  let s = Client.stats ~socket:sock in
+  Alcotest.(check bool) "stats count the hits" true (s.Proto.hits >= 2);
+  Alcotest.(check bool) "stats count the misses" true (s.Proto.misses >= 2)
+
+(* A worker crash is the requesting client's problem only: its reply is
+   Crashed, and the daemon immediately serves the next request. *)
+let test_e2e_crash_isolation () =
+  with_server @@ fun sock ->
+  let w = example2 () in
+  let crashing =
+    {
+      Proto.default_options with
+      Proto.fault = Some Fault.Crash_mid_solve;
+      use_cache = false;
+    }
+  in
+  let r = solve_ok ~options:crashing sock w in
+  (match r.Client.outcome with
+  | T.Crashed _ -> ()
+  | o -> Alcotest.failf "expected a crash report, got %a" T.pp_outcome o);
+  let r2 = solve_ok sock w in
+  (match r2.Client.outcome with
+  | T.Optimum 2 -> ()
+  | o -> Alcotest.failf "daemon did not survive the crash: %a" T.pp_outcome o);
+  let s = Client.stats ~socket:sock in
+  Alcotest.(check bool) "crash counted" true (s.Proto.crashes >= 1)
+
+(* Cancelling queued and running jobs returns salvaged (non-optimum)
+   results to the submitter, and the daemon keeps serving.  One worker:
+   the first job occupies it, so the second is deterministically still
+   queued when its cancel arrives; the first — branch and bound on
+   PHP(10,9), whose optimality proof is a pigeonhole refutation far
+   beyond the test's patience — is deterministically still running. *)
+let test_e2e_cancel () =
+  with_server ~timeout:60.0 @@ fun sock ->
+  let hard = Wcnf.of_formula (pigeonhole 9) in
+  let options =
+    {
+      Proto.default_options with
+      Proto.algorithm = M.Branch_bound;
+      use_cache = false;
+    }
+  in
+  let fd = Client.connect sock in
+  Fun.protect ~finally:(fun () -> Client.close fd) @@ fun () ->
+  let submit () =
+    match Client.submit fd ~options hard with
+    | Ok id -> id
+    | Error reason -> Alcotest.failf "rejected: %s" reason
+  in
+  let id1 = submit () in
+  let id2 = submit () in
+  Unix.sleepf 0.1;
+  Alcotest.(check bool) "cancel finds the queued job" true
+    (Client.cancel ~socket:sock id2);
+  let r2 = Client.wait fd id2 in
+  (match r2.Client.outcome with
+  | T.Optimum _ -> Alcotest.fail "cancelled queued job reported an optimum"
+  | T.Crashed _ | T.Bounds _ | T.Hard_unsat -> ());
+  Alcotest.(check bool) "cancel finds the running job" true
+    (Client.cancel ~socket:sock id1);
+  let r1 = Client.wait fd id1 in
+  (match r1.Client.outcome with
+  | T.Optimum _ -> Alcotest.fail "cancelled running job reported an optimum"
+  | T.Crashed _ | T.Bounds _ | T.Hard_unsat -> ());
+  let r3 = solve_ok sock (example2 ()) in
+  match r3.Client.outcome with
+  | T.Optimum 2 -> ()
+  | o -> Alcotest.failf "daemon dead after cancel: %a" T.pp_outcome o
+
+(* Admission control: with one worker busy and a one-slot queue, a third
+   concurrent submission is rejected with a reason, not queued forever. *)
+let test_e2e_queue_full () =
+  with_server ~queue_capacity:1 ~timeout:60.0 @@ fun sock ->
+  let hard = Wcnf.of_formula (pigeonhole 9) in
+  let options =
+    {
+      Proto.default_options with
+      Proto.algorithm = M.Branch_bound;
+      use_cache = false;
+    }
+  in
+  let fds = List.init 3 (fun _ -> Client.connect sock) in
+  Fun.protect ~finally:(fun () -> List.iter Client.close fds) @@ fun () ->
+  let replies = List.map (fun fd -> Client.submit fd ~options hard) fds in
+  let accepted, rejected =
+    List.partition (function Ok _ -> true | Error _ -> false) replies
+  in
+  Alcotest.(check int) "worker + one queue slot admitted" 2
+    (List.length accepted);
+  Alcotest.(check int) "third concurrent request rejected" 1
+    (List.length rejected);
+  let s = Client.stats ~socket:sock in
+  Alcotest.(check bool) "rejection counted" true (s.Proto.rejected >= 1)
+
+let suite =
+  [
+    Alcotest.test_case "fingerprint invariances" `Quick
+      test_fingerprint_invariances;
+    Alcotest.test_case "fingerprint merges duplicates" `Quick
+      test_fingerprint_merges_duplicates;
+    Alcotest.test_case "fingerprint distinguishes" `Quick
+      test_fingerprint_distinguishes;
+    Alcotest.test_case "job queue" `Quick test_jobq;
+    Alcotest.test_case "cache hit is re-verified" `Quick
+      test_cache_hit_and_verify;
+    Alcotest.test_case "cache LRU and persistence" `Quick
+      test_cache_lru_and_persistence;
+    Alcotest.test_case "e2e cache hit" `Quick test_e2e_cache_hit;
+    Alcotest.test_case "e2e crash isolation" `Quick test_e2e_crash_isolation;
+    Alcotest.test_case "e2e cancel" `Quick test_e2e_cancel;
+    Alcotest.test_case "e2e queue full" `Quick test_e2e_queue_full;
+  ]
