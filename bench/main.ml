@@ -20,6 +20,11 @@
                    closed-loop load test of the mserve daemon: duplicate-
                    heavy mixed workload, cache hit-rate and latency
                    percentiles vs cold solves (BENCH_service.json)
+     ablation-trace
+                   observability cross-check: per-instance LB/UB-vs-time
+                   convergence timelines reconstructed from the typed
+                   event stream, checked monotone and consistent with
+                   the stats records (BENCH_trace.json)
      micro         Bechamel micro-benchmarks, one per table/figure
      all           everything above (default)
 
@@ -37,6 +42,7 @@ module T = Msu_maxsat.Types
 module R = Msu_harness.Runner
 module P = Msu_portfolio.Portfolio
 module Suites = Msu_gen.Suites
+module Obs = Msu_obs.Obs
 
 let scale = ref 1.0
 let timeout = ref 2.0
@@ -902,6 +908,133 @@ let micro () =
       | _ -> Printf.printf "  %-36s (no estimate)\n" name)
     (List.sort compare !rows)
 
+(* Observability trace ablation.  Every (core-guided algorithm x
+   instance) pair is solved once with a collector sink; the event
+   stream is folded into an LB/UB-vs-time timeline and cross-checked:
+
+     - the timeline is monotone (LB nondecreasing, UB nonincreasing,
+       timestamps nondecreasing) — the progress-cell filter at work;
+     - a solve that proves an optimum ends its timeline exactly at the
+       certified bracket [opt, opt];
+     - the event-derived SAT-call and core counts equal the stats
+       record's (counting and emission share call sites, so any drift
+       is a bug).
+
+   The per-instance series land in BENCH_trace.json, and one
+   representative solve is also written as a JSONL trace
+   (trace_smoke.trace.jsonl) so CI archives a parseable specimen of the
+   schema documented in DESIGN.md §12. *)
+
+let trace_algorithms =
+  [ M.Msu1; M.Msu2; M.Msu3; M.Msu4_v1; M.Msu4_v2; M.Oll; M.Wpm1; M.Pbo_linear ]
+
+let ablation_trace () =
+  Printf.printf "\nAblation - event timelines vs stats (observability cross-check)\n";
+  Printf.printf "---------------------------------------------------------------\n";
+  let instances = to_wcnf (Suites.debugging ~scale:!scale ~seed:!seed ()) in
+  let violations = ref [] in
+  let complain fmt = Printf.ksprintf (fun m -> violations := m :: !violations) fmt in
+  let smoke_trace_written = ref false in
+  let series =
+    List.concat_map
+      (fun (name, family, w) ->
+        List.map
+          (fun alg ->
+            let col = Obs.Collector.create () in
+            let deadline = Unix.gettimeofday () +. !timeout in
+            let config =
+              {
+                T.default_config with
+                T.deadline;
+                T.sink = Obs.Collector.sink col;
+              }
+            in
+            let t0 = Unix.gettimeofday () in
+            let r = M.solve ~config alg w in
+            let events = Obs.Collector.events col in
+            let tl = Obs.Timeline.of_events events in
+            let label = Printf.sprintf "%s/%s" name (M.algorithm_to_string alg) in
+            if not (Obs.Timeline.monotone tl) then
+              complain "%s: timeline not monotone" label;
+            if tl.Obs.Timeline.sat_calls <> r.T.stats.T.sat_calls then
+              complain "%s: %d Sat_call events vs %d stats.sat_calls" label
+                tl.Obs.Timeline.sat_calls r.T.stats.T.sat_calls;
+            if tl.Obs.Timeline.cores <> r.T.stats.T.cores then
+              complain "%s: %d Core events vs %d stats.cores" label
+                tl.Obs.Timeline.cores r.T.stats.T.cores;
+            (match r.T.outcome with
+            | T.Optimum c -> (
+                match Obs.Timeline.final tl with
+                | Some lb, Some ub when lb = c && ub = c -> ()
+                | lb, ub ->
+                    complain "%s: optimum %d but timeline ends at [%s, %s]" label c
+                      (match lb with Some v -> string_of_int v | None -> "?")
+                      (match ub with Some v -> string_of_int v | None -> "?"))
+            | _ -> ());
+            if (not !smoke_trace_written) && events <> [] then begin
+              smoke_trace_written := true;
+              ensure_out_dir ();
+              let path = Filename.concat !out_dir "trace_smoke.trace.jsonl" in
+              let oc = open_out path in
+              List.iter (Obs.Jsonl.write oc) events;
+              close_out oc;
+              Printf.printf "  [wrote %s]\n%!" path
+            end;
+            let points =
+              List.map
+                (fun (p : Obs.Timeline.point) ->
+                  Json.Obj
+                    (("t", Json.Num (Float.max 0. (p.Obs.Timeline.at -. t0)))
+                     :: List.filter_map
+                          (fun (k, v) -> Option.map (fun v -> (k, Json.Int v)) v)
+                          [ ("lb", p.Obs.Timeline.lb); ("ub", p.Obs.Timeline.ub) ]))
+                tl.Obs.Timeline.points
+            in
+            if !verbose then
+              Printf.printf "    %-24s %-10s %4d events, %3d points\n%!" name
+                (M.algorithm_to_string alg)
+                (List.length events) (List.length points)
+            else begin
+              print_char '.';
+              flush stdout
+            end;
+            Json.Obj
+              [
+                ("instance", Json.Str name);
+                ("family", Json.Str family);
+                ("algorithm", Json.Str (M.algorithm_to_string alg));
+                ( "outcome",
+                  Json.Str
+                    (match r.T.outcome with
+                    | T.Optimum c -> Printf.sprintf "optimum %d" c
+                    | T.Bounds _ -> "bounds"
+                    | T.Hard_unsat -> "hard_unsat"
+                    | T.Crashed _ -> "crashed") );
+                ("sat_calls", Json.Int r.T.stats.T.sat_calls);
+                ("cores", Json.Int r.T.stats.T.cores);
+                ("events", Json.Int (List.length events));
+                ("timeline", Json.List points);
+              ])
+          trace_algorithms)
+      instances
+  in
+  print_newline ();
+  write_bench_json "trace"
+    [
+      ("algorithms", Json.Int (List.length trace_algorithms));
+      ("instances", Json.Int (List.length instances));
+      ("violations", Json.List (List.map (fun m -> Json.Str m) !violations));
+      ("series", Json.List series);
+    ];
+  if !violations <> [] then begin
+    Printf.printf "  OBSERVABILITY VIOLATIONS:\n";
+    List.iter (fun m -> Printf.printf "    %s\n" m) (List.rev !violations);
+    exit 1
+  end
+  else
+    Printf.printf "  %d series checked: timelines monotone, counts match stats\n%!"
+      (List.length series)
+
 let () =
   let anon a = command := a in
   Arg.parse spec anon usage;
@@ -929,6 +1062,7 @@ let () =
   | "ablation-incremental" -> ablation_incremental ()
   | "ablation-portfolio" -> ablation_portfolio ()
   | "ablation-service" -> ablation_service ()
+  | "ablation-trace" -> ablation_trace ()
   | "micro" -> micro ()
   | "all" ->
       table1 ();
@@ -943,6 +1077,7 @@ let () =
       ablation_incremental ();
       ablation_portfolio ();
       ablation_service ();
+      ablation_trace ();
       micro ()
   | other ->
       Printf.eprintf "unknown command %S\n%s\n" other usage;

@@ -9,8 +9,16 @@
    error (unusable socket path, bad flags). *)
 
 module Service = Msu_service.Service
+module Obs = Msu_obs.Obs
 
-let run socket workers queue_cap cache_cap cache_file timeout grace quiet =
+let run socket workers queue_cap cache_cap cache_file timeout grace quiet
+    metrics_file events =
+  let sink =
+    if events then
+      Obs.of_fn (fun e ->
+          Printf.printf "c [mserve:ev] %s\n%!" (Obs.Event.to_string e))
+    else Obs.null
+  in
   let cfg =
     {
       (Service.default_config ~socket_path:socket) with
@@ -23,6 +31,8 @@ let run socket workers queue_cap cache_cap cache_file timeout grace quiet =
       trace =
         (if quiet then None
          else Some (fun m -> Printf.printf "c [mserve] %s\n%!" m));
+      sink;
+      metrics_file;
     }
   in
   match Service.run ~handle_signals:true cfg with
@@ -86,6 +96,25 @@ let grace =
 
 let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"No per-request log lines.")
 
+let metrics_file =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-file" ] ~docv:"PATH"
+        ~doc:
+          "Render the metrics registry (counters, gauges, histograms) to \
+           $(docv) in Prometheus text exposition format every few seconds \
+           and at shutdown; written atomically, so a scraper's file_sd or \
+           node_exporter textfile collector can pick it up.")
+
+let events =
+  Arg.(
+    value & flag
+    & info [ "events" ]
+        ~doc:
+          "Log every observability event (queue, cache, worker life cycle \
+           and each worker's forwarded solve events) as comment lines.")
+
 let cmd =
   let doc = "persistent MaxSAT solve service (fingerprint cache, worker pool)" in
   let man =
@@ -107,6 +136,6 @@ let cmd =
     (Cmd.info "mserve" ~version:"1.0" ~doc ~man)
     Term.(
       const run $ socket $ workers $ queue_cap $ cache_cap $ cache_file
-      $ timeout $ grace $ quiet)
+      $ timeout $ grace $ quiet $ metrics_file $ events)
 
 let () = exit (Cmd.eval' cmd)

@@ -14,6 +14,7 @@ module Card = Msu_card.Card
 module P = Msu_portfolio.Portfolio
 module Client = Msu_service.Client
 module Proto = Msu_service.Protocol
+module Obs = Msu_obs.Obs
 
 let exit_optimum = 0
 let exit_bounds = 10
@@ -76,8 +77,8 @@ let solve_remote ~quiet ~sock ~options w =
         }
 
 let run file algorithm encoding timeout conflicts propagations memory_mb verify
-    trace no_geq1 no_incremental quiet incomplete portfolio jobs connect
-    priority no_cache =
+    verbose trace_file stats_json no_geq1 no_incremental quiet incomplete
+    portfolio jobs connect priority no_cache =
   let w =
     try Ok (Msu_cnf.Dimacs.parse_wcnf_file file) with
     | Msu_cnf.Dimacs.Parse_error (line, msg) ->
@@ -92,6 +93,24 @@ let run file algorithm encoding timeout conflicts propagations memory_mb verify
       let deadline =
         match timeout with None -> infinity | Some t -> Unix.gettimeofday () +. t
       in
+      (* The event sink feeds up to two consumers: the verbose compat
+         shim (events rendered to "c" comment lines, the old --trace
+         behaviour) and a JSONL trace file. *)
+      let trace_oc = Option.map open_out trace_file in
+      let sink =
+        let verbose_sink =
+          if verbose then
+            Obs.of_fn (fun e -> print_endline ("c " ^ Obs.Event.to_string e))
+          else Obs.null
+        in
+        let file_sink =
+          match trace_oc with Some oc -> Obs.Jsonl.sink oc | None -> Obs.null
+        in
+        Obs.tee verbose_sink file_sink
+      in
+      Fun.protect ~finally:(fun () ->
+          match trace_oc with Some oc -> close_out oc | None -> ())
+      @@ fun () ->
       let config =
         {
           T.default_config with
@@ -99,7 +118,7 @@ let run file algorithm encoding timeout conflicts propagations memory_mb verify
           T.encoding;
           T.core_geq1 = not no_geq1;
           T.incremental = not no_incremental;
-          T.trace = (if trace then Some (fun m -> print_endline ("c " ^ m)) else None);
+          T.sink = sink;
           T.max_conflicts = conflicts;
           T.max_propagations = propagations;
           T.max_memory_words =
@@ -137,8 +156,11 @@ let run file algorithm encoding timeout conflicts propagations memory_mb verify
               (if portfolio then begin
                  let pr =
                    P.solve ~jobs ?timeout ?max_conflicts:conflicts
-                     ?trace:(if trace then Some print_endline else None)
-                     ~handle_sigint:true w
+                     ?trace:
+                       (if verbose then
+                          Some (fun m -> print_endline ("c " ^ m))
+                        else None)
+                     ~sink ~handle_sigint:true w
                  in
                  if not quiet then
                    List.iter
@@ -165,6 +187,26 @@ let run file algorithm encoding timeout conflicts propagations memory_mb verify
       if not quiet then
         Printf.printf "c stats: %d sat calls, %d cores, %d blocking vars, %.3fs\n"
           r.T.stats.T.sat_calls r.T.stats.T.cores r.T.stats.T.blocking_vars r.T.elapsed;
+      if stats_json then begin
+        (* One JSON object on stdout: the run's stats record plus the
+           process-wide metrics registry. *)
+        let outcome_tag =
+          match r.T.outcome with
+          | T.Optimum _ -> "optimum"
+          | T.Bounds _ -> "bounds"
+          | T.Hard_unsat -> "hard_unsat"
+          | T.Crashed _ -> "crashed"
+        in
+        let lb, ub = T.outcome_bounds r.T.outcome in
+        Printf.printf
+          "{\"file\":%S,\"outcome\":%S,\"lb\":%d,\"ub\":%s,\"elapsed\":%.6f,\"stats\":{\"sat_calls\":%d,\"cores\":%d,\"blocking_vars\":%d,\"encoding_clauses\":%d,\"rebuilds\":%d},\"metrics\":%s}\n"
+          file outcome_tag lb
+          (match ub with Some u -> string_of_int u | None -> "null")
+          r.T.elapsed r.T.stats.T.sat_calls r.T.stats.T.cores
+          r.T.stats.T.blocking_vars r.T.stats.T.encoding_clauses
+          r.T.stats.T.rebuilds
+          (Obs.Metrics.to_json Obs.Metrics.default)
+      end;
       let print_model () =
         match r.T.model with
         | None -> ()
@@ -279,7 +321,31 @@ let verify =
            optimality on a fresh solver with a DRUP-checked refutation, and \
            cross-check small instances by enumeration.  A failed check exits 2.")
 
-let trace = Arg.(value & flag & info [ "trace" ] ~doc:"Narrate iterations as comments.")
+let verbose =
+  Arg.(
+    value & flag
+    & info [ "v"; "verbose" ]
+        ~doc:
+          "Narrate the solve as comment lines: every observability event \
+           (SAT calls, cores, bounds, cardinality constraints, restarts) \
+           rendered one per line.")
+
+let trace_file =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write the typed event stream to $(docv) as JSON Lines (one \
+           event object per line; schema in DESIGN.md §12).")
+
+let stats_json =
+  Arg.(
+    value & flag
+    & info [ "stats-json" ]
+        ~doc:
+          "After solving, print one JSON object with the outcome, bounds, \
+           solve statistics and the process metrics registry.")
 
 let no_geq1 =
   Arg.(
@@ -369,7 +435,8 @@ let cmd =
     (Cmd.info "msolve" ~version:"1.0" ~doc ~exits)
     Term.(
       const run $ file $ algorithm $ encoding $ timeout $ conflicts $ propagations
-      $ memory_mb $ verify $ trace $ no_geq1 $ no_incremental $ quiet $ incomplete
-      $ portfolio $ jobs $ connect $ priority $ no_cache)
+      $ memory_mb $ verify $ verbose $ trace_file $ stats_json $ no_geq1
+      $ no_incremental $ quiet $ incomplete $ portfolio $ jobs $ connect
+      $ priority $ no_cache)
 
 let () = exit (Cmd.eval' cmd)

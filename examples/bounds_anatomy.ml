@@ -22,7 +22,12 @@ let () =
   Printf.printf "msu4 on PHP(5,4) — %d clauses, optimum drops exactly one:\n"
     (Msu_cnf.Wcnf.num_soft w);
   let config =
-    { T.default_config with T.trace = Some (fun m -> Printf.printf "  %s\n" m) }
+    {
+      T.default_config with
+      T.sink =
+        Msu_obs.Obs.of_fn (fun e ->
+            Printf.printf "  %s\n" (Msu_obs.Obs.Event.to_string e));
+    }
   in
   let r = Msu_maxsat.Msu4.solve ~config w in
   Format.printf "  => %a@.@." T.pp_outcome r.T.outcome;

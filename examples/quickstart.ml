@@ -22,7 +22,12 @@ let () =
 
   Printf.printf "Running msu4 (sorting-network encoding, the paper's v2):\n";
   let config =
-    { T.default_config with T.trace = Some (fun m -> Printf.printf "  %s\n" m) }
+    {
+      T.default_config with
+      T.sink =
+        Msu_obs.Obs.of_fn (fun e ->
+            Printf.printf "  %s\n" (Msu_obs.Obs.Event.to_string e));
+    }
   in
   let r = M.solve ~config M.Msu4_v2 w in
   Format.printf "\nResult: %a@." T.pp_result r;

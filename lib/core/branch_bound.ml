@@ -457,7 +457,7 @@ let solve ?(config = Types.default_config) w =
   let stats = stats_of st in
   if timed_out then
     let ub = if st.best_cost = max_int then None else Some st.best_cost in
-    Common.finish ~t0 ~stats (Types.Bounds { lb = 0; ub }) st.best_model
+    Common.finish config ~t0 ~stats (Types.Bounds { lb = 0; ub }) st.best_model
   else begin
     (* The search is exhaustive up to pruning at [effective_best]: no
        solution cheaper than the final bound exists.  When our own
@@ -466,13 +466,13 @@ let solve ?(config = Types.default_config) w =
        bound and hold no model for it — report bounds and let the
        portfolio parent pair our proof with the peer's model. *)
     let final_bound = effective_best st in
-    if final_bound = max_int then Common.finish ~t0 ~stats Types.Hard_unsat None
+    if final_bound = max_int then Common.finish config ~t0 ~stats Types.Hard_unsat None
     else if st.best_cost <= final_bound then
-      Common.finish ~t0 ~stats (Types.Optimum st.best_cost) st.best_model
+      Common.finish config ~t0 ~stats (Types.Optimum st.best_cost) st.best_model
     else begin
       Common.note_lb st.config final_bound;
       let ub = if st.best_cost = max_int then None else Some st.best_cost in
-      Common.finish ~t0 ~stats
+      Common.finish config ~t0 ~stats
         (Types.Bounds { lb = final_bound; ub })
         st.best_model
     end

@@ -27,8 +27,8 @@ let solve ?(config = Types.default_config) w =
   done;
   let stats = Types.empty_stats in
   match (!best, !interrupted) with
-  | Some (c, m), false -> Common.finish ~t0 ~stats (Types.Optimum c) (Some m)
+  | Some (c, m), false -> Common.finish config ~t0 ~stats (Types.Optimum c) (Some m)
   | Some (c, m), true ->
-      Common.finish ~t0 ~stats (Types.Bounds { lb = 0; ub = Some c }) (Some m)
-  | None, false -> Common.finish ~t0 ~stats Types.Hard_unsat None
-  | None, true -> Common.finish ~t0 ~stats (Types.Bounds { lb = 0; ub = None }) None
+      Common.finish config ~t0 ~stats (Types.Bounds { lb = 0; ub = Some c }) (Some m)
+  | None, false -> Common.finish config ~t0 ~stats Types.Hard_unsat None
+  | None, true -> Common.finish config ~t0 ~stats (Types.Bounds { lb = 0; ub = None }) None

@@ -1,5 +1,6 @@
 module Guard = Msu_guard.Guard
 module Fault = Msu_guard.Fault
+module Obs = Msu_obs.Obs
 
 let require_unit_weights w =
   let ok = ref true in
@@ -22,28 +23,97 @@ let guard (cfg : Types.config) =
   match cfg.guard with Some g -> g | None -> make_guard cfg
 
 let with_guard (cfg : Types.config) =
-  match cfg.guard with
-  | Some _ -> cfg
-  | None -> { cfg with guard = Some (make_guard cfg) }
-
-let note_lb (cfg : Types.config) lb =
+  let cfg =
+    match cfg.guard with
+    | Some _ -> cfg
+    | None -> { cfg with guard = Some (make_guard cfg) }
+  in
+  (* A progress cell always rides along: it is both the crash-salvage
+     channel and the monotonicity filter for Lb/Ub events. *)
   match cfg.progress with
-  | Some cell -> Guard.Progress.note_lb cell lb
-  | None -> ()
+  | Some _ -> cfg
+  | None -> { cfg with progress = Some (Guard.Progress.create ()) }
+
+let event (cfg : Types.config) kind = Obs.emit cfg.sink ~id:cfg.solve_id kind
+let trace (cfg : Types.config) msg = Obs.note cfg.sink ~id:cfg.solve_id msg
+
+(* Bound publication routes through the progress cell so the emitted
+   Lb/Ub events are strictly improving — the timeline-monotonicity
+   guarantee lives here, not in each algorithm. *)
+let publish_lb (cfg : Types.config) lb =
+  match cfg.progress with
+  | Some cell ->
+      if lb > Guard.Progress.lb cell then begin
+        Guard.Progress.note_lb cell lb;
+        event cfg (Obs.Event.Lb lb)
+      end
+  | None -> event cfg (Obs.Event.Lb lb)
+
+let publish_ub (cfg : Types.config) ub model =
+  match cfg.progress with
+  | Some cell ->
+      let improved =
+        match Guard.Progress.ub cell with None -> true | Some u -> ub < u
+      in
+      Guard.Progress.note_ub cell ub model;
+      if improved then event cfg (Obs.Event.Ub ub)
+  | None -> event cfg (Obs.Event.Ub ub)
+
+let note_lb = publish_lb
 
 let note_ub (cfg : Types.config) ub model =
-  (match cfg.progress with
-  | Some cell -> Guard.Progress.note_ub cell ub model
-  | None -> ());
+  publish_ub cfg ub model;
   (* Fault hook: a crash right after the first published bound exercises
      the supervisor's partial-result salvage end to end. *)
   if Fault.consume Fault.Crash_mid_solve then raise Stack_overflow
 
-let finish ~t0 ~stats outcome model =
-  Types.{ outcome; model; stats; elapsed = Unix.gettimeofday () -. t0 }
+(* Process-wide solve metrics, fed once per finished solve from the
+   final stats record (cheap and overflow-proof, unlike per-event
+   counting). *)
+let m_solves = Obs.Metrics.counter ~help:"finished MaxSAT solves" "msu_solves_total"
+let m_sat_calls = Obs.Metrics.counter ~help:"SAT-solver invocations" "msu_sat_calls_total"
+let m_cores = Obs.Metrics.counter ~help:"unsatisfiable cores extracted" "msu_cores_total"
+
+let m_blocking =
+  Obs.Metrics.counter ~help:"relaxation variables introduced" "msu_blocking_vars_total"
+
+let m_encoding =
+  Obs.Metrics.counter ~help:"clauses emitted by cardinality encoders"
+    "msu_encoding_clauses_total"
+
+let m_rebuilds = Obs.Metrics.counter ~help:"solver reconstructions" "msu_rebuilds_total"
+
+let m_solve_seconds =
+  Obs.Metrics.histogram ~help:"wall-clock seconds per solve" "msu_solve_seconds"
+
+let m_core_size =
+  Obs.Metrics.histogram ~help:"literals per extracted core"
+    ~buckets:(Obs.Metrics.log_buckets ~lo:1.0 ~hi:1024.0 11)
+    "msu_core_size"
+
+let finish (cfg : Types.config) ~t0 ~stats outcome model =
+  (* Terminal bound publication: algorithms that prove an optimum
+     without ever improving their incumbent (pure-LB solvers ending on a
+     SAT answer) still close their timeline at the certified bracket. *)
+  (match outcome with
+  | Types.Hard_unsat -> ()
+  | outcome ->
+      let lb, ub = Types.outcome_bounds outcome in
+      publish_lb cfg lb;
+      (match ub with Some ub -> publish_ub cfg ub model | None -> ()));
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Obs.Metrics.inc m_solves;
+  Obs.Metrics.inc ~by:stats.Types.sat_calls m_sat_calls;
+  Obs.Metrics.inc ~by:stats.Types.cores m_cores;
+  Obs.Metrics.inc ~by:stats.Types.blocking_vars m_blocking;
+  Obs.Metrics.inc ~by:stats.Types.encoding_clauses m_encoding;
+  Obs.Metrics.inc ~by:stats.Types.rebuilds m_rebuilds;
+  Obs.Metrics.observe m_solve_seconds elapsed;
+  Types.{ outcome; model; stats; elapsed }
 
 module Tally = struct
   type t = {
+    emit : Obs.Event.kind -> unit;
     mutable sat_calls : int;
     mutable cores : int;
     mutable blocking_vars : int;
@@ -53,8 +123,9 @@ module Tally = struct
     mutable learnts_kept : int;
   }
 
-  let create () =
+  let create ?(emit = fun (_ : Obs.Event.kind) -> ()) () =
     {
+      emit;
       sat_calls = 0;
       cores = 0;
       blocking_vars = 0;
@@ -64,11 +135,21 @@ module Tally = struct
       learnts_kept = 0;
     }
 
-  let sat_call t = t.sat_calls <- t.sat_calls + 1
-  let core t = t.cores <- t.cores + 1
+  let sat_call t =
+    t.sat_calls <- t.sat_calls + 1;
+    t.emit Obs.Event.Sat_call
+
+  let core ?(size = 0) ?(fresh_blocking = 0) t =
+    t.cores <- t.cores + 1;
+    Obs.Metrics.observe m_core_size (float_of_int size);
+    t.emit (Obs.Event.Core { size; fresh_blocking })
+
   let blocking_var t = t.blocking_vars <- t.blocking_vars + 1
   let encoded t n = t.encoding_clauses <- t.encoding_clauses + n
-  let build t = t.builds <- t.builds + 1
+
+  let build t =
+    t.builds <- t.builds + 1;
+    if t.builds > 1 then t.emit Obs.Event.Rebuild
 
   let reused t ~clauses ~learnts =
     t.clauses_reused <- t.clauses_reused + clauses;
@@ -87,5 +168,7 @@ module Tally = struct
       }
 end
 
-let trace (cfg : Types.config) msg =
-  match cfg.trace with None -> () | Some f -> f (msg ())
+let tally (cfg : Types.config) = Tally.create ~emit:(event cfg) ()
+
+let card_event (cfg : Types.config) ~arity ~bound =
+  event cfg (Obs.Event.Card_constraint { arity; bound })

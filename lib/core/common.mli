@@ -15,33 +15,67 @@ val guard : Types.config -> Msu_guard.Guard.t
 (** The installed shared guard, or a fresh one from the budget fields. *)
 
 val with_guard : Types.config -> Types.config
-(** Ensure [cfg.guard] is populated (idempotent); called once at each
-    solve entry so every phase below polls the same guard. *)
+(** Ensure [cfg.guard] {e and} [cfg.progress] are populated
+    (idempotent); called once at each solve entry so every phase below
+    polls the same guard and every published bound is filtered through
+    the same monotone progress cell. *)
+
+val event : Types.config -> Msu_obs.Obs.Event.kind -> unit
+(** Emit a typed event into the config's sink, stamped with
+    [cfg.solve_id] and a monotonic timestamp. *)
+
+val trace : Types.config -> (unit -> string) -> unit
+(** Lazily formatted {!Msu_obs.Obs.Event.Note} — the narration channel;
+    the thunk only runs on a live sink. *)
 
 val note_lb : Types.config -> int -> unit
-(** Publish an improved lower bound to the shared progress cell. *)
+(** Publish an improved lower bound to the shared progress cell,
+    emitting an [Lb] event only when it actually improves — timelines
+    stay monotone even when algorithms re-publish. *)
 
 val note_ub : Types.config -> int -> bool array option -> unit
-(** Publish an improved upper bound (and its model) to the shared
-    progress cell. *)
+(** Publish an improved upper bound (and its model); emits [Ub] on
+    improvement.  Also the crash-fault injection point. *)
+
+val card_event : Types.config -> arity:int -> bound:int -> unit
+(** Record a cardinality constraint encoded over [arity] literals. *)
 
 val finish :
-  t0:float -> stats:Types.stats -> Types.outcome -> bool array option -> Types.result
+  Types.config ->
+  t0:float ->
+  stats:Types.stats ->
+  Types.outcome ->
+  bool array option ->
+  Types.result
+(** Assemble the result; also closes the event timeline (publishes the
+    outcome's final bounds through the monotone filter, so streams end
+    at the certified bracket) and feeds the process-wide solve metrics
+    ([msu_solves_total], [msu_sat_calls_total], …). *)
 
-(** A mutable statistics accumulator threaded through an algorithm run. *)
+(** A mutable statistics accumulator threaded through an algorithm run.
+    Counting and event emission share call sites, so the event stream
+    and the [stats] record can never disagree. *)
 module Tally : sig
   type t
 
-  val create : unit -> t
+  val create : ?emit:(Msu_obs.Obs.Event.kind -> unit) -> unit -> t
+  (** Prefer {!val:tally}, which wires [emit] to the config's sink. *)
+
   val sat_call : t -> unit
-  val core : t -> unit
+  (** Count one SAT call and emit [Sat_call]. *)
+
+  val core : ?size:int -> ?fresh_blocking:int -> t -> unit
+  (** Count one extracted core and emit [Core {size; fresh_blocking}];
+      also feeds the [msu_core_size] histogram. *)
+
   val blocking_var : t -> unit
   val encoded : t -> int -> unit
 
   val build : t -> unit
   (** Record one solver construction.  {!snapshot} reports
       [stats.rebuilds = builds - 1], so an incremental solve that builds
-      once shows zero rebuilds. *)
+      once shows zero rebuilds.  Emits [Rebuild] from the second build
+      on. *)
 
   val reused : t -> clauses:int -> learnts:int -> unit
   (** Record, just before a SAT call on an already-built solver, how many
@@ -50,5 +84,5 @@ module Tally : sig
   val snapshot : t -> Types.stats
 end
 
-val trace : Types.config -> (unit -> string) -> unit
-(** Lazily formats the message when tracing is enabled. *)
+val tally : Types.config -> Tally.t
+(** A tally whose events flow into [cfg.sink] under [cfg.solve_id]. *)

@@ -16,8 +16,9 @@ type options = { exactly_one : Msu_cnf.Sink.t -> Msu_cnf.Lit.t array -> unit }
    they go in as ordinary clauses.  Cores come from the failed
    assumptions (every soft clause's selector is always assumed). *)
 let run_incremental opts (config : Types.config) w t0 =
-  let tally = Common.Tally.create () in
+  let tally = Common.tally config in
   let s = Solver.create ~track_proof:false () in
+  Solver.on_event s (Common.event config);
   Common.Tally.build tally;
   Solver.ensure_vars s (Wcnf.num_vars w);
   Wcnf.iter_hard (fun _ c -> Solver.add_clause s c) w;
@@ -43,7 +44,7 @@ let run_incremental opts (config : Types.config) w t0 =
       }
   in
   let finish outcome model =
-    Common.finish ~t0 ~stats:(Common.Tally.snapshot tally) outcome model
+    Common.finish config ~t0 ~stats:(Common.Tally.snapshot tally) outcome model
   in
   let cost = ref 0 in
   let bounds () = finish (Types.Bounds { lb = !cost; ub = None }) None in
@@ -72,7 +73,8 @@ let run_incremental opts (config : Types.config) w t0 =
           match softs with
           | [] -> finish Types.Hard_unsat None
           | _ ->
-              Common.Tally.core tally;
+              Common.Tally.core ~size:(List.length softs)
+                ~fresh_blocking:(List.length softs) tally;
               let new_bs =
                 List.map
                   (fun i ->
@@ -92,6 +94,7 @@ let run_incremental opts (config : Types.config) w t0 =
                     b)
                   softs
               in
+              Common.card_event config ~arity:(List.length new_bs) ~bound:1;
               opts.exactly_one sink (Array.of_list new_bs);
               incr cost;
               Common.note_lb config !cost;
@@ -149,14 +152,19 @@ let run_rebuild opts (config : Types.config) w t0 =
   let st =
     {
       w;
-      tally = Common.Tally.create ();
+      tally = Common.tally config;
       blocks = Array.make (max (Wcnf.num_soft w) 1) [];
       aux = ref [];
       next_var = Wcnf.num_vars w;
     }
   in
+  let build st =
+    let s = build st in
+    Solver.on_event s (Common.event config);
+    s
+  in
   let finish outcome model =
-    Common.finish ~t0 ~stats:(Common.Tally.snapshot st.tally) outcome model
+    Common.finish config ~t0 ~stats:(Common.Tally.snapshot st.tally) outcome model
   in
   let cost = ref 0 in
   let rec loop s =
@@ -173,7 +181,8 @@ let run_rebuild opts (config : Types.config) w t0 =
           match Solver.unsat_core s with
           | [] -> finish Types.Hard_unsat None
           | core ->
-              Common.Tally.core st.tally;
+              Common.Tally.core ~size:(List.length core)
+                ~fresh_blocking:(List.length core) st.tally;
               let new_bs =
                 List.map
                   (fun i ->
@@ -183,6 +192,7 @@ let run_rebuild opts (config : Types.config) w t0 =
                     b)
                   core
               in
+              Common.card_event config ~arity:(List.length new_bs) ~bound:1;
               opts.exactly_one (aux_sink st) (Array.of_list new_bs);
               incr cost;
               Common.note_lb config !cost;

@@ -91,7 +91,7 @@ let solve ?(config = Types.default_config) ?(inner = fun ?config w -> Msu4.solve
   let rec go levels total stats last_model =
     match levels with
     | [] ->
-        Common.finish ~t0 ~stats (Types.Optimum total) last_model
+        Common.finish config ~t0 ~stats (Types.Optimum total) last_model
     | (weight, idxs) :: rest -> (
         let sub = sub_instance idxs in
         let r = inner ~config sub in
@@ -103,16 +103,16 @@ let solve ?(config = Types.default_config) ?(inner = fun ?config w -> Msu4.solve
                   (List.length idxs));
             if rest <> [] then harden idxs opt;
             go rest (total + (weight * opt)) stats r.Types.model
-        | Types.Hard_unsat -> Common.finish ~t0 ~stats Types.Hard_unsat None
+        | Types.Hard_unsat -> Common.finish config ~t0 ~stats Types.Hard_unsat None
         | Types.Bounds { lb; _ } ->
             (* Budget ran out inside a level: report what is proven. *)
-            Common.finish ~t0 ~stats
+            Common.finish config ~t0 ~stats
               (Types.Bounds { lb = total + (weight * lb); ub = None })
               None
         | Types.Crashed { reason; lb; _ } ->
             (* The inner solve died; scale its salvaged lower bound into
                this level's weight like the Bounds case. *)
-            Common.finish ~t0 ~stats
+            Common.finish config ~t0 ~stats
               (Types.Crashed { reason; lb = total + (weight * lb); ub = None })
               None)
   in

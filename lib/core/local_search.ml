@@ -156,10 +156,10 @@ let solve ?(config = Types.default_config) ?(max_flips = 100_000) ?(noise = 0.2)
   let best = run w ~config ~max_flips ~noise ~seed in
   let stats = Types.empty_stats in
   match best with
-  | Some (0, model) -> Common.finish ~t0 ~stats (Types.Optimum 0) (Some model)
+  | Some (0, model) -> Common.finish config ~t0 ~stats (Types.Optimum 0) (Some model)
   | Some (c, model) ->
-      Common.finish ~t0 ~stats (Types.Bounds { lb = 0; ub = Some c }) (Some model)
-  | None -> Common.finish ~t0 ~stats (Types.Bounds { lb = 0; ub = None }) None
+      Common.finish config ~t0 ~stats (Types.Bounds { lb = 0; ub = Some c }) (Some model)
+  | None -> Common.finish config ~t0 ~stats (Types.Bounds { lb = 0; ub = None }) None
 
 let best_cost ?(max_flips = 100_000) ?(seed = 0) w =
   run w ~config:Types.default_config ~max_flips ~noise:0.2 ~seed

@@ -124,7 +124,7 @@ let solve_supervised ?(config = Types.default_config) algorithm w =
   | Ok r -> apply_faults r
   | Error reason ->
       (* The solve died; report the bounds it published before crashing. *)
-      Common.finish ~t0 ~stats:Types.empty_stats
+      Common.finish config ~t0 ~stats:Types.empty_stats
         (Types.Crashed
            { reason; lb = G.Progress.lb cell; ub = G.Progress.ub cell })
         (G.Progress.model cell)

@@ -17,8 +17,9 @@ module Sink = Msu_cnf.Sink
    relaxed selectors, growing leaves and bound as cores arrive.  Learnt
    clauses survive every iteration. *)
 let solve_incremental (config : Types.config) w t0 =
-  let tally = Common.Tally.create () in
+  let tally = Common.tally config in
   let s = Solver.create ~track_proof:false () in
+  Solver.on_event s (Common.event config);
   Common.Tally.build tally;
   Solver.ensure_vars s (Wcnf.num_vars w);
   Wcnf.iter_hard (fun _ c -> Solver.add_clause s c) w;
@@ -49,7 +50,7 @@ let solve_incremental (config : Types.config) w t0 =
   let tot = Itotalizer.create sink [||] in
   let lambda = ref 0 in
   let finish outcome model =
-    Common.finish ~t0 ~stats:(Common.Tally.snapshot tally) outcome model
+    Common.finish config ~t0 ~stats:(Common.Tally.snapshot tally) outcome model
   in
   let bounds () = finish (Types.Bounds { lb = !lambda; ub = None }) None in
   let first = ref true in
@@ -86,7 +87,6 @@ let solve_incremental (config : Types.config) w t0 =
              free selectors): the hard clauses are contradictory. *)
           if core = [] then finish Types.Hard_unsat None
           else begin
-            if softs <> [] then Common.Tally.core tally;
             let new_leaves =
               List.filter_map
                 (fun i ->
@@ -98,7 +98,11 @@ let solve_incremental (config : Types.config) w t0 =
                   end)
                 softs
             in
+            if softs <> [] then
+              Common.Tally.core ~size:(List.length softs)
+                ~fresh_blocking:(List.length new_leaves) tally;
             Itotalizer.extend sink tot (Array.of_list new_leaves);
+            Common.card_event config ~arity:(List.length new_leaves) ~bound:(!lambda + 1);
             incr lambda;
             Common.note_lb config !lambda;
             Common.trace config (fun () ->
@@ -155,8 +159,10 @@ let build st =
             Solver.add_clause s c);
       }
   in
+  Common.card_event st.config ~arity:(List.length st.vb) ~bound:st.lambda;
   Card.at_most ?guard:st.config.Types.guard sink st.config.encoding
     (Array.of_list st.vb) st.lambda;
+  Solver.on_event s (Common.event st.config);
   s
 
 let solve_rebuild config w t0 =
@@ -164,7 +170,7 @@ let solve_rebuild config w t0 =
     {
       w;
       config;
-      tally = Common.Tally.create ();
+      tally = Common.tally config;
       block = Array.make (max (Wcnf.num_soft w) 1) None;
       next_var = Wcnf.num_vars w;
       vb = [];
@@ -173,7 +179,7 @@ let solve_rebuild config w t0 =
     }
   in
   let finish outcome model =
-    Common.finish ~t0 ~stats:(Common.Tally.snapshot st.tally) outcome model
+    Common.finish config ~t0 ~stats:(Common.Tally.snapshot st.tally) outcome model
   in
   let rec loop s =
     if Common.over_deadline config then
@@ -194,7 +200,9 @@ let solve_rebuild config w t0 =
                  clauses alone are contradictory. *)
               finish Types.Hard_unsat None
           | core ->
-              if core <> [] then Common.Tally.core st.tally;
+              if core <> [] then
+                Common.Tally.core ~size:(List.length core)
+                  ~fresh_blocking:(List.length core) st.tally;
               List.iter
                 (fun i ->
                   let b = fresh st in

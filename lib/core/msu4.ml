@@ -18,8 +18,9 @@ module Sink = Msu_cnf.Sink
    only the missing rows; the optional at-least-one constraint over a
    new core's blocking variables (line 19) is a plain clause. *)
 let solve_incremental (config : Types.config) w t0 =
-  let tally = Common.Tally.create () in
+  let tally = Common.tally config in
   let s = Solver.create ~track_proof:false () in
+  Solver.on_event s (Common.event config);
   Common.Tally.build tally;
   Solver.ensure_vars s (Wcnf.num_vars w);
   Wcnf.iter_hard (fun _ c -> Solver.add_clause s c) w;
@@ -67,7 +68,7 @@ let solve_incremental (config : Types.config) w t0 =
     | None -> !ub
   in
   let finish outcome =
-    Common.finish ~t0 ~stats:(Common.Tally.snapshot tally) outcome !best_model
+    Common.finish config ~t0 ~stats:(Common.Tally.snapshot tally) outcome !best_model
   in
   let bounds_outcome () =
     Types.Bounds
@@ -83,6 +84,7 @@ let solve_incremental (config : Types.config) w t0 =
         ub = (if !ub = max_int then None else Some !ub) }
   in
   let first = ref true in
+  let last_card = ref None in
   let rec loop () =
     if Common.over_deadline config then finish (bounds_outcome ())
     else begin
@@ -99,7 +101,14 @@ let solve_incremental (config : Types.config) w t0 =
         (* Line 30: require strictly fewer blocking variables than the
            best model (ours or a peer's) needed. *)
         let bound =
-          if limit = max_int then None else Itotalizer.at_most sink tot (limit - 1)
+          if limit = max_int then None
+          else begin
+            if Some (limit - 1) <> !last_card then begin
+              last_card := Some (limit - 1);
+              Common.card_event config ~arity:(Itotalizer.size tot) ~bound:(limit - 1)
+            end;
+            Itotalizer.at_most sink tot (limit - 1)
+          end
         in
         let assumptions =
           let acc = ref (match bound with None -> [] | Some l -> [ l ]) in
@@ -143,7 +152,8 @@ let solve_incremental (config : Types.config) w t0 =
                 else if limit = !ub then finish (Types.Optimum !ub)
                 else finish (gap_closed_by_peer limit)
             | _ ->
-                Common.Tally.core tally;
+                Common.Tally.core ~size:(List.length softs)
+                  ~fresh_blocking:(List.length softs) tally;
                 incr unsat_iters;
                 Common.note_lb config (lower_bound ());
                 let new_bs =
@@ -217,7 +227,9 @@ let encode_bounds st s =
   let sink = sink_of st s in
   let guard = st.config.Types.guard in
   (match st.at_most with
-  | Some (lits, k) -> Card.at_most ?guard sink st.config.encoding lits k
+  | Some (lits, k) ->
+      Common.card_event st.config ~arity:(Array.length lits) ~bound:k;
+      Card.at_most ?guard sink st.config.encoding lits k
   | None -> ());
   List.iter
     (fun (lits, k) -> Card.at_least ?guard sink st.config.encoding lits k)
@@ -231,6 +243,7 @@ let encode_bounds st s =
 let build st =
   Common.Tally.build st.tally;
   let s = Solver.create () in
+  Solver.on_event s (Common.event st.config);
   Solver.ensure_vars s st.next_var;
   Wcnf.iter_hard (fun _ c -> Solver.add_clause s c) st.w;
   Wcnf.iter_soft
@@ -253,7 +266,7 @@ let solve_rebuild config w t0 =
     {
       w;
       config;
-      tally = Common.Tally.create ();
+      tally = Common.tally config;
       block = Array.make (max (Wcnf.num_soft w) 1) None;
       next_var = Wcnf.num_vars w;
       vb = [];
@@ -266,7 +279,7 @@ let solve_rebuild config w t0 =
     }
   in
   let finish outcome =
-    Common.finish ~t0 ~stats:(Common.Tally.snapshot st.tally) outcome st.best_model
+    Common.finish config ~t0 ~stats:(Common.Tally.snapshot st.tally) outcome st.best_model
   in
   let rec loop s =
     if Common.over_deadline config then finish (bounds_outcome st)
@@ -305,7 +318,8 @@ let solve_rebuild config w t0 =
               if st.ub = max_int then finish Types.Hard_unsat
               else finish (Types.Optimum st.ub)
           | core ->
-              Common.Tally.core st.tally;
+              Common.Tally.core ~size:(List.length core)
+                ~fresh_blocking:(List.length core) st.tally;
               st.unsat_iters <- st.unsat_iters + 1;
               Common.note_lb config (lower_bound st);
               let new_bs =
@@ -335,6 +349,7 @@ let solve_rebuild config w t0 =
     match st.at_most with
     | Some (lits, k) ->
         let sink = sink_of st s in
+        Common.card_event st.config ~arity:(Array.length lits) ~bound:k;
         Card.at_most ?guard:st.config.Types.guard sink st.config.encoding lits k
     | None -> ()
   in

@@ -37,8 +37,9 @@ let solve ?(config = Types.default_config) w =
     match config.Types.guard with None -> sink | Some g -> Card.guarded_sink g sink
   in
   let t0 = Unix.gettimeofday () in
-  let tally = Common.Tally.create () in
+  let tally = Common.tally config in
   let s = Solver.create ~track_proof:false () in
+  Solver.on_event s (Common.event config);
   Common.Tally.build tally;
   Solver.ensure_vars s (Wcnf.num_vars w);
   Wcnf.iter_hard (fun _ c -> Solver.add_clause s c) w;
@@ -51,7 +52,7 @@ let solve ?(config = Types.default_config) w =
       Hashtbl.replace active (Lit.neg r) Soft)
     w;
   let finish outcome model =
-    Common.finish ~t0 ~stats:(Common.Tally.snapshot tally) outcome model
+    Common.finish config ~t0 ~stats:(Common.Tally.snapshot tally) outcome model
   in
   let lb = ref 0 in
   let first = ref true in
@@ -76,7 +77,7 @@ let solve ?(config = Types.default_config) w =
           match Solver.conflict_assumptions s with
           | [] -> finish Types.Hard_unsat None
           | core ->
-              Common.Tally.core tally;
+              Common.Tally.core ~size:(List.length core) tally;
               incr lb;
               Common.note_lb config !lb;
               (* Retire the core's assumptions; collect the violation
@@ -120,6 +121,7 @@ let solve ?(config = Types.default_config) w =
               (match indicators with
               | [] | [ _ ] -> ()
               | _ when config.Types.incremental ->
+                  Common.card_event config ~arity:(List.length indicators) ~bound:1;
                   let sink = guarded (tally_sink tally s) in
                   let tree = Itotalizer.create sink (Array.of_list indicators) in
                   (match Itotalizer.at_most sink tree 1 with
@@ -128,6 +130,7 @@ let solve ?(config = Types.default_config) w =
                         (Sum { counter = Lazy_tree tree; bound = 1 })
                   | None -> ())
               | _ ->
+                  Common.card_event config ~arity:(List.length indicators) ~bound:1;
                   let tree =
                     Card.Totalizer_tree.build
                       (guarded (tally_sink tally s))

@@ -18,8 +18,9 @@ let tally_sink tally s =
 
 (* Build the relaxed formula: every soft clause gets its blocking
    variable.  Returns the solver and the weighted blocking literals. *)
-let build_relaxed tally w =
+let build_relaxed config tally w =
   let s = Solver.create ~track_proof:false () in
+  Solver.on_event s (Common.event config);
   Common.Tally.build tally;
   Solver.ensure_vars s (Wcnf.num_vars w);
   Wcnf.iter_hard (fun _ c -> Solver.add_clause s c) w;
@@ -37,6 +38,7 @@ let build_relaxed tally w =
 let constrain_below config tally s blocks cost =
   let sink = tally_sink tally s in
   let guard = config.Types.guard in
+  Common.card_event config ~arity:(Array.length blocks) ~bound:(cost - 1);
   if Array.for_all (fun (_, w) -> w = 1) blocks then
     Card.at_most ?guard sink config.Types.encoding (Array.map fst blocks) (cost - 1)
   else Gte.at_most ?guard sink blocks (cost - 1)
@@ -50,9 +52,9 @@ let constrain_below config tally s blocks cost =
    incremental totalizer; general weights the generalized totalizer,
    built lazily and capped at the first model's cost. *)
 let linear_incremental config tally w t0 =
-  let s, blocks = build_relaxed tally w in
+  let s, blocks = build_relaxed config tally w in
   let finish outcome model =
-    Common.finish ~t0 ~stats:(Common.Tally.snapshot tally) outcome model
+    Common.finish config ~t0 ~stats:(Common.Tally.snapshot tally) outcome model
   in
   let sink = tally_sink tally s in
   let sink =
@@ -63,6 +65,7 @@ let linear_incremental config tally w t0 =
   let gte = ref None in
   let assume_below cost =
     (* cost >= 1: the cost-0 model already ended the search. *)
+    Common.card_event config ~arity:(Array.length blocks) ~bound:(cost - 1);
     if unit_weights then begin
       let t =
         match !itot with
@@ -129,9 +132,9 @@ let linear_incremental config tally w t0 =
   try loop () with Msu_guard.Guard.Interrupt _ -> bounds ()
 
 let linear config tally w t0 =
-  let s, blocks = build_relaxed tally w in
+  let s, blocks = build_relaxed config tally w in
   let finish outcome model =
-    Common.finish ~t0 ~stats:(Common.Tally.snapshot tally) outcome model
+    Common.finish config ~t0 ~stats:(Common.Tally.snapshot tally) outcome model
   in
   let best = ref None in
   let rec loop () =
@@ -167,9 +170,9 @@ let linear config tally w t0 =
   try loop () with Msu_guard.Guard.Interrupt _ -> bounds ()
 
 let binary config tally w t0 =
-  let s, blocks = build_relaxed tally w in
+  let s, blocks = build_relaxed config tally w in
   let finish outcome model =
-    Common.finish ~t0 ~stats:(Common.Tally.snapshot tally) outcome model
+    Common.finish config ~t0 ~stats:(Common.Tally.snapshot tally) outcome model
   in
   (* One counter reused across probes; bounds become assumptions.  The
      counter is built lazily, capped at the first model's cost, since no
@@ -251,7 +254,7 @@ let binary config tally w t0 =
 let solve ?(config = Types.default_config) ?(search = `Linear) w =
   let config = Common.with_guard config in
   let t0 = Unix.gettimeofday () in
-  let tally = Common.Tally.create () in
+  let tally = Common.tally config in
   match search with
   | `Linear ->
       if config.Types.incremental then linear_incremental config tally w t0

@@ -29,7 +29,8 @@ type config = {
   encoding : Msu_card.Card.encoding;
   core_geq1 : bool;
   incremental : bool;
-  trace : (string -> unit) option;
+  sink : Msu_obs.Obs.sink;
+  solve_id : int;
   guard : Msu_guard.Guard.t option;
   progress : Msu_guard.Guard.Progress.cell option;
 }
@@ -43,7 +44,8 @@ let default_config =
     encoding = Msu_card.Card.Sortnet;
     core_geq1 = true;
     incremental = true;
-    trace = None;
+    sink = Msu_obs.Obs.null;
+    solve_id = 0;
     guard = None;
     progress = None;
   }

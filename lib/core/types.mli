@@ -57,7 +57,12 @@ type config = {
       (** keep one SAT solver alive for the whole solve (selectors for
           soft clauses, incremental totalizers for bounds); [false]
           selects the historical rebuild-per-iteration path for ablation *)
-  trace : (string -> unit) option;  (** per-iteration narration *)
+  sink : Msu_obs.Obs.sink;
+      (** where the solve publishes its typed event stream ({!Msu_obs.Obs.Event});
+          [Obs.null] disables observability at one branch per event *)
+  solve_id : int;
+      (** stamped into every emitted event so multiplexed streams (one
+          pipe, many workers) demultiplex into per-solve timelines *)
   guard : Msu_guard.Guard.t option;
       (** pre-built guard to poll instead of deriving one from the budget
           fields; lets a harness share one guard across a whole solve and
@@ -69,8 +74,8 @@ type config = {
 
 val default_config : config
 (** No deadline or budgets, [Sortnet] encoding (the paper's stronger
-    v2), [core_geq1 = true], [incremental = true], no trace, no shared
-    guard. *)
+    v2), [core_geq1 = true], [incremental = true], null event sink, no
+    shared guard. *)
 
 val empty_stats : stats
 

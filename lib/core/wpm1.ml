@@ -24,8 +24,9 @@ type soft = {
    with one more blocking literal under a fresh selector — exactly like
    the unweighted engine. *)
 let solve_incremental (config : Types.config) w t0 =
-  let tally = Common.Tally.create () in
+  let tally = Common.tally config in
   let s = Solver.create ~track_proof:false () in
+  Solver.on_event s (Common.event config);
   Common.Tally.build tally;
   Solver.ensure_vars s (Wcnf.num_vars w);
   Wcnf.iter_hard (fun _ c -> Solver.add_clause s c) w;
@@ -56,7 +57,7 @@ let solve_incremental (config : Types.config) w t0 =
       }
   in
   let finish outcome model =
-    Common.finish ~t0 ~stats:(Common.Tally.snapshot tally) outcome model
+    Common.finish config ~t0 ~stats:(Common.Tally.snapshot tally) outcome model
   in
   let cost = ref 0 in
   let bounds () = finish (Types.Bounds { lb = !cost; ub = None }) None in
@@ -88,7 +89,8 @@ let solve_incremental (config : Types.config) w t0 =
           match idxs with
           | [] -> finish Types.Hard_unsat None
           | _ ->
-              Common.Tally.core tally;
+              Common.Tally.core ~size:(List.length idxs)
+                ~fresh_blocking:(List.length idxs) tally;
               let wmin =
                 List.fold_left
                   (fun acc i -> min acc (Msu_cnf.Vec.get softs i).weight)
@@ -123,6 +125,7 @@ let solve_incremental (config : Types.config) w t0 =
                     b)
                   idxs
               in
+              Common.card_event config ~arity:(List.length new_bs) ~bound:1;
               Msu_card.Card.exactly_one sink (Array.of_list new_bs);
               cost := !cost + wmin;
               Common.note_lb config !cost;
@@ -179,7 +182,7 @@ let solve_rebuild config w t0 =
   let st =
     {
       w;
-      tally = Common.Tally.create ();
+      tally = Common.tally config;
       softs = Msu_cnf.Vec.create ~dummy:{ lits = [||]; weight = 0; blocks = []; sel = Lit.pos 0 };
       aux = ref [];
       next_var = Wcnf.num_vars w;
@@ -189,8 +192,13 @@ let solve_rebuild config w t0 =
     (fun _ c weight ->
       Msu_cnf.Vec.push st.softs { lits = c; weight; blocks = []; sel = Lit.pos 0 })
     w;
+  let build st =
+    let s = build st in
+    Solver.on_event s (Common.event config);
+    s
+  in
   let finish outcome model =
-    Common.finish ~t0 ~stats:(Common.Tally.snapshot st.tally) outcome model
+    Common.finish config ~t0 ~stats:(Common.Tally.snapshot st.tally) outcome model
   in
   let cost = ref 0 in
   let rec loop s =
@@ -207,7 +215,8 @@ let solve_rebuild config w t0 =
           match Solver.unsat_core s with
           | [] -> finish Types.Hard_unsat None
           | core ->
-              Common.Tally.core st.tally;
+              Common.Tally.core ~size:(List.length core)
+                ~fresh_blocking:(List.length core) st.tally;
               let wmin =
                 List.fold_left
                   (fun acc i -> min acc (Msu_cnf.Vec.get st.softs i).weight)
@@ -234,6 +243,7 @@ let solve_rebuild config w t0 =
                     b)
                   core
               in
+              Common.card_event config ~arity:(List.length new_bs) ~bound:1;
               Msu_card.Card.exactly_one (aux_sink st) (Array.of_list new_bs);
               cost := !cost + wmin;
               Common.note_lb config !cost;

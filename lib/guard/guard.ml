@@ -44,7 +44,27 @@ let create ?(deadline = infinity) ?(max_conflicts = max_int)
 let unlimited () = create ()
 let add_conflicts g n = g.conflicts <- g.conflicts + n
 let add_propagations g n = g.propagations <- g.propagations + n
-let trip g r = if g.tripped = None then g.tripped <- Some r
+
+(* One counter per trip reason: a fleet-wide view of *why* solves stop
+   (timeout-bound vs. conflict-bound workloads look identical in the
+   result record but not here). *)
+let m_trips =
+  let mk r =
+    ( r,
+      Msu_obs.Obs.Metrics.counter
+        ~help:("guard trips: " ^ reason_to_string r)
+        ("msu_guard_trips_total_"
+        ^ String.map (function ' ' -> '_' | c -> c) (reason_to_string r)) )
+  in
+  [ mk Timeout; mk Conflicts; mk Propagations; mk Memory; mk Cancelled ]
+
+let trip g r =
+  if g.tripped = None then begin
+    g.tripped <- Some r;
+    match List.assoc_opt r m_trips with
+    | Some c -> Msu_obs.Obs.Metrics.inc c
+    | None -> ()
+  end
 let tripped g = g.tripped
 
 (* ----- externally proved bounds (portfolio bound sharing) ----- *)

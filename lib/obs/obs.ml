@@ -1,0 +1,625 @@
+(* Typed solve events, sinks, convergence timelines, and a metrics
+   registry.  This module sits at the very bottom of the stack (it
+   depends only on [Unix]) so every layer — solver, guard, algorithms,
+   portfolio, service — can emit into the same sink. *)
+
+(* Monotonic per-process clock: [Unix.gettimeofday] clamped to be
+   nondecreasing, so event streams order correctly even across NTP
+   steps.  The CAS loop keeps the clamp race-free without a lock. *)
+let last_t = Atomic.make 0.0
+
+let rec now () =
+  let t = Unix.gettimeofday () in
+  let last = Atomic.get last_t in
+  if t <= last then last
+  else if Atomic.compare_and_set last_t last t then t
+  else now ()
+
+module Event = struct
+  type kind =
+    | Sat_call
+    | Core of { size : int; fresh_blocking : int }
+    | Lb of int
+    | Ub of int
+    | Card_constraint of { arity : int; bound : int }
+    | Restart
+    | Reduce_db of { kept : int }
+    | Rebuild
+    | Cache_hit
+    | Cache_miss
+    | Queue_enqueue of { depth : int }
+    | Queue_dequeue of { depth : int }
+    | Worker_spawn of { pid : int }
+    | Worker_exit of { pid : int; status : int }
+    | Note of string
+
+  type t = { id : int; at : float; kind : kind }
+
+  let kind_to_string = function
+    | Sat_call -> "sat call"
+    | Core { size; fresh_blocking } ->
+        Printf.sprintf "core: size %d, %d fresh blocking" size fresh_blocking
+    | Lb n -> Printf.sprintf "lb <- %d" n
+    | Ub n -> Printf.sprintf "ub <- %d" n
+    | Card_constraint { arity; bound } ->
+        Printf.sprintf "card: at-most %d over %d lits" bound arity
+    | Restart -> "restart"
+    | Reduce_db { kept } -> Printf.sprintf "reduce db: kept %d learnts" kept
+    | Rebuild -> "rebuild"
+    | Cache_hit -> "cache hit"
+    | Cache_miss -> "cache miss"
+    | Queue_enqueue { depth } -> Printf.sprintf "enqueue (depth %d)" depth
+    | Queue_dequeue { depth } -> Printf.sprintf "dequeue (depth %d)" depth
+    | Worker_spawn { pid } -> Printf.sprintf "worker spawn (pid %d)" pid
+    | Worker_exit { pid; status } ->
+        Printf.sprintf "worker exit (pid %d, status %d)" pid status
+    | Note s -> s
+
+  let to_string ev = Printf.sprintf "[%d] %s" ev.id (kind_to_string ev.kind)
+
+  (* Compact space-separated form for the portfolio/service pipes:
+     "<id> <t> <tag> [args…]".  A [Note] payload runs to end of line
+     (embedded newlines are flattened so one event stays one line). *)
+  let flatten s = String.map (function '\n' | '\r' -> ' ' | c -> c) s
+
+  let to_wire ev =
+    let payload =
+      match ev.kind with
+      | Sat_call -> "sat_call"
+      | Core { size; fresh_blocking } ->
+          Printf.sprintf "core %d %d" size fresh_blocking
+      | Lb n -> Printf.sprintf "lb %d" n
+      | Ub n -> Printf.sprintf "ub %d" n
+      | Card_constraint { arity; bound } -> Printf.sprintf "card %d %d" arity bound
+      | Restart -> "restart"
+      | Reduce_db { kept } -> Printf.sprintf "reduce_db %d" kept
+      | Rebuild -> "rebuild"
+      | Cache_hit -> "cache_hit"
+      | Cache_miss -> "cache_miss"
+      | Queue_enqueue { depth } -> Printf.sprintf "enqueue %d" depth
+      | Queue_dequeue { depth } -> Printf.sprintf "dequeue %d" depth
+      | Worker_spawn { pid } -> Printf.sprintf "worker_spawn %d" pid
+      | Worker_exit { pid; status } ->
+          Printf.sprintf "worker_exit %d %d" pid status
+      | Note s -> "note " ^ flatten s
+    in
+    Printf.sprintf "%d %.6f %s" ev.id ev.at payload
+
+  let kind_of_wire tag args =
+    let int1 () = Scanf.sscanf args " %d" (fun a -> a) in
+    let int2 k = Scanf.sscanf args " %d %d" k in
+    match tag with
+    | "sat_call" -> Some Sat_call
+    | "core" -> Some (int2 (fun size fresh_blocking -> Core { size; fresh_blocking }))
+    | "lb" -> Some (Lb (int1 ()))
+    | "ub" -> Some (Ub (int1 ()))
+    | "card" -> Some (int2 (fun arity bound -> Card_constraint { arity; bound }))
+    | "restart" -> Some Restart
+    | "reduce_db" -> Some (Reduce_db { kept = int1 () })
+    | "rebuild" -> Some Rebuild
+    | "cache_hit" -> Some Cache_hit
+    | "cache_miss" -> Some Cache_miss
+    | "enqueue" -> Some (Queue_enqueue { depth = int1 () })
+    | "dequeue" -> Some (Queue_dequeue { depth = int1 () })
+    | "worker_spawn" -> Some (Worker_spawn { pid = int1 () })
+    | "worker_exit" -> Some (int2 (fun pid status -> Worker_exit { pid; status }))
+    | "note" -> Some (Note args)
+    | _ -> None
+
+  let of_wire line =
+    try
+      let sp1 = String.index line ' ' in
+      let sp2 = String.index_from line (sp1 + 1) ' ' in
+      let id = int_of_string (String.sub line 0 sp1) in
+      let at = float_of_string (String.sub line (sp1 + 1) (sp2 - sp1 - 1)) in
+      let rest = String.sub line (sp2 + 1) (String.length line - sp2 - 1) in
+      let tag, args =
+        match String.index_opt rest ' ' with
+        | None -> (rest, "")
+        | Some i ->
+            (String.sub rest 0 i, String.sub rest (i + 1) (String.length rest - i - 1))
+      in
+      match kind_of_wire tag args with
+      | Some kind -> Some { id; at; kind }
+      | None -> None
+    with _ -> None
+
+  (* JSONL schema (one object per line, flat):
+       {"id":0,"t":1723.456789,"ev":"core","size":5,"fresh":2}
+     Every event carries "id" (solve/request id), "t" (monotonic
+     timestamp, seconds) and "ev" (tag); payload fields follow. *)
+  let json_escape s =
+    let b = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | '\r' -> Buffer.add_string b "\\r"
+        | '\t' -> Buffer.add_string b "\\t"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+
+  let to_json ev =
+    let payload =
+      match ev.kind with
+      | Sat_call -> {|"ev":"sat_call"|}
+      | Core { size; fresh_blocking } ->
+          Printf.sprintf {|"ev":"core","size":%d,"fresh":%d|} size fresh_blocking
+      | Lb n -> Printf.sprintf {|"ev":"lb","bound":%d|} n
+      | Ub n -> Printf.sprintf {|"ev":"ub","bound":%d|} n
+      | Card_constraint { arity; bound } ->
+          Printf.sprintf {|"ev":"card","arity":%d,"bound":%d|} arity bound
+      | Restart -> {|"ev":"restart"|}
+      | Reduce_db { kept } -> Printf.sprintf {|"ev":"reduce_db","kept":%d|} kept
+      | Rebuild -> {|"ev":"rebuild"|}
+      | Cache_hit -> {|"ev":"cache_hit"|}
+      | Cache_miss -> {|"ev":"cache_miss"|}
+      | Queue_enqueue { depth } ->
+          Printf.sprintf {|"ev":"enqueue","depth":%d|} depth
+      | Queue_dequeue { depth } ->
+          Printf.sprintf {|"ev":"dequeue","depth":%d|} depth
+      | Worker_spawn { pid } -> Printf.sprintf {|"ev":"worker_spawn","pid":%d|} pid
+      | Worker_exit { pid; status } ->
+          Printf.sprintf {|"ev":"worker_exit","pid":%d,"status":%d|} pid status
+      | Note s -> Printf.sprintf {|"ev":"note","msg":"%s"|} (json_escape s)
+    in
+    Printf.sprintf {|{"id":%d,"t":%.6f,%s}|} ev.id ev.at payload
+
+  (* Minimal parser for the flat objects {!to_json} emits; returns
+     [None] on anything it does not recognise. *)
+  let of_json line =
+    let n = String.length line in
+    let pos = ref 0 in
+    let skip_ws () = while !pos < n && (line.[!pos] = ' ' || line.[!pos] = '\t') do incr pos done in
+    let expect c = skip_ws (); if !pos < n && line.[!pos] = c then (incr pos; true) else false in
+    let parse_string () =
+      if not (expect '"') then None
+      else begin
+        let b = Buffer.create 16 in
+        let rec go () =
+          if !pos >= n then None
+          else
+            match line.[!pos] with
+            | '"' -> incr pos; Some (Buffer.contents b)
+            | '\\' when !pos + 1 < n ->
+                let c = line.[!pos + 1] in
+                pos := !pos + 2;
+                (match c with
+                | 'n' -> Buffer.add_char b '\n'
+                | 'r' -> Buffer.add_char b '\r'
+                | 't' -> Buffer.add_char b '\t'
+                | 'u' when !pos + 4 <= n ->
+                    (try
+                       let code = int_of_string ("0x" ^ String.sub line !pos 4) in
+                       pos := !pos + 4;
+                       if code < 0x80 then Buffer.add_char b (Char.chr code)
+                       else Buffer.add_char b '?'
+                     with _ -> Buffer.add_char b '?')
+                | c -> Buffer.add_char b c);
+                go ()
+            | c -> incr pos; Buffer.add_char b c; go ()
+        in
+        go ()
+      end
+    in
+    let parse_number () =
+      skip_ws ();
+      let start = !pos in
+      while
+        !pos < n
+        && (match line.[!pos] with
+           | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+           | _ -> false)
+      do incr pos done;
+      if !pos = start then None else float_of_string_opt (String.sub line start (!pos - start))
+    in
+    let fields = Hashtbl.create 8 in
+    let strings = Hashtbl.create 4 in
+    let ok =
+      if not (expect '{') then false
+      else begin
+        let rec members () =
+          skip_ws ();
+          if !pos < n && line.[!pos] = '}' then true
+          else
+            match parse_string () with
+            | None -> false
+            | Some key ->
+                if not (expect ':') then false
+                else begin
+                  skip_ws ();
+                  let stored =
+                    if !pos < n && line.[!pos] = '"' then
+                      match parse_string () with
+                      | Some v -> Hashtbl.replace strings key v; true
+                      | None -> false
+                    else
+                      match parse_number () with
+                      | Some v -> Hashtbl.replace fields key v; true
+                      | None -> false
+                  in
+                  if not stored then false
+                  else begin
+                    skip_ws ();
+                    if !pos < n && line.[!pos] = ',' then (incr pos; members ())
+                    else true
+                  end
+                end
+        in
+        members ()
+      end
+    in
+    if not ok then None
+    else
+      let int_field k =
+        match Hashtbl.find_opt fields k with
+        | Some v -> Some (int_of_float v)
+        | None -> None
+      in
+      let ( let* ) = Option.bind in
+      let* id = int_field "id" in
+      let* at = Hashtbl.find_opt fields "t" in
+      let* tag = Hashtbl.find_opt strings "ev" in
+      let* kind =
+        match tag with
+        | "sat_call" -> Some Sat_call
+        | "core" ->
+            let* size = int_field "size" in
+            let* fresh_blocking = int_field "fresh" in
+            Some (Core { size; fresh_blocking })
+        | "lb" ->
+            let* b = int_field "bound" in
+            Some (Lb b)
+        | "ub" ->
+            let* b = int_field "bound" in
+            Some (Ub b)
+        | "card" ->
+            let* arity = int_field "arity" in
+            let* bound = int_field "bound" in
+            Some (Card_constraint { arity; bound })
+        | "restart" -> Some Restart
+        | "reduce_db" ->
+            let* kept = int_field "kept" in
+            Some (Reduce_db { kept })
+        | "rebuild" -> Some Rebuild
+        | "cache_hit" -> Some Cache_hit
+        | "cache_miss" -> Some Cache_miss
+        | "enqueue" ->
+            let* depth = int_field "depth" in
+            Some (Queue_enqueue { depth })
+        | "dequeue" ->
+            let* depth = int_field "depth" in
+            Some (Queue_dequeue { depth })
+        | "worker_spawn" ->
+            let* pid = int_field "pid" in
+            Some (Worker_spawn { pid })
+        | "worker_exit" ->
+            let* pid = int_field "pid" in
+            let* status = int_field "status" in
+            Some (Worker_exit { pid; status })
+        | "note" ->
+            let* msg = Hashtbl.find_opt strings "msg" in
+            Some (Note msg)
+        | _ -> None
+      in
+      Some { id; at; kind }
+end
+
+(* A sink is pattern-matchable so that disabled observability costs one
+   branch per would-be event and never formats anything. *)
+type sink = Null | Emit of (Event.t -> unit)
+
+let null = Null
+let of_fn f = Emit f
+let is_null = function Null -> true | Emit _ -> false
+let emit sink ~id kind = match sink with Null -> () | Emit f -> f { Event.id; at = now (); kind }
+let feed sink ev = match sink with Null -> () | Emit f -> f ev
+
+let note sink ~id msg =
+  match sink with Null -> () | Emit f -> f { Event.id; at = now (); kind = Event.Note (msg ()) }
+
+let tee a b =
+  match (a, b) with
+  | Null, s | s, Null -> s
+  | Emit f, Emit g -> Emit (fun ev -> f ev; g ev)
+
+(* Lock-free bounded ring: a fetch-and-add claims a slot, the slot write
+   is a single atomic store.  Overwrites the oldest events once full;
+   [total] keeps counting so overflow is detectable. *)
+module Ring = struct
+  type t = { cells : Event.t option Atomic.t array; head : int Atomic.t }
+
+  let create capacity =
+    if capacity < 1 then invalid_arg "Ring.create: capacity < 1";
+    { cells = Array.init capacity (fun _ -> Atomic.make None); head = Atomic.make 0 }
+
+  let capacity r = Array.length r.cells
+  let total r = Atomic.get r.head
+
+  let push r ev =
+    let i = Atomic.fetch_and_add r.head 1 in
+    Atomic.set r.cells.(i mod Array.length r.cells) (Some ev)
+
+  let length r = min (total r) (capacity r)
+
+  let contents r =
+    let cap = capacity r in
+    let n = total r in
+    let len = min n cap in
+    let start = n - len in
+    List.filter_map
+      (fun k -> Atomic.get r.cells.((start + k) mod cap))
+      (List.init len Fun.id)
+
+  let sink r = Emit (push r)
+end
+
+(* Unbounded in-order collector for tests and bench, where losing events
+   to ring wraparound would break the event-vs-stats oracle. *)
+module Collector = struct
+  type t = { mutable rev : Event.t list; mutable n : int }
+
+  let create () = { rev = []; n = 0 }
+  let sink c = Emit (fun ev -> c.rev <- ev :: c.rev; c.n <- c.n + 1)
+  let events c = List.rev c.rev
+  let length c = c.n
+  let clear c = c.rev <- []; c.n <- 0
+end
+
+module Jsonl = struct
+  let write oc ev =
+    output_string oc (Event.to_json ev);
+    output_char oc '\n'
+
+  let sink ?(flush_each = true) oc =
+    Emit (fun ev -> write oc ev; if flush_each then flush oc)
+
+  let read_all ic =
+    let rec go acc =
+      match input_line ic with
+      | line ->
+          let acc = match Event.of_json line with Some ev -> ev :: acc | None -> acc in
+          go acc
+      | exception End_of_file -> List.rev acc
+    in
+    go []
+end
+
+(* LB/UB-vs-time series reconstructed from an event stream; the bench
+   and the consistency oracle both run on this. *)
+module Timeline = struct
+  type point = { at : float; lb : int option; ub : int option }
+
+  type t = {
+    points : point list;  (* chronological; one per published bound *)
+    sat_calls : int;
+    cores : int;
+  }
+
+  let of_events ?id events =
+    let keep ev = match id with None -> true | Some i -> ev.Event.id = i in
+    let points, sat_calls, cores, _, _ =
+      List.fold_left
+        (fun ((pts, calls, cores, lb, ub) as acc) ev ->
+          if not (keep ev) then acc
+          else
+            match ev.Event.kind with
+            | Event.Sat_call -> (pts, calls + 1, cores, lb, ub)
+            | Event.Core _ -> (pts, calls, cores + 1, lb, ub)
+            | Event.Lb n ->
+                let lb = Some n in
+                ({ at = ev.Event.at; lb; ub } :: pts, calls, cores, lb, ub)
+            | Event.Ub n ->
+                let ub = Some n in
+                ({ at = ev.Event.at; lb; ub } :: pts, calls, cores, lb, ub)
+            | _ -> acc)
+        ([], 0, 0, None, None)
+        events
+    in
+    { points = List.rev points; sat_calls; cores }
+
+  let final t =
+    match List.rev t.points with [] -> (None, None) | p :: _ -> (p.lb, p.ub)
+
+  (* LB nondecreasing, UB nonincreasing, timestamps nondecreasing. *)
+  let monotone t =
+    let ok_step a b =
+      b.at >= a.at
+      && (match (a.lb, b.lb) with Some x, Some y -> y >= x | Some _, None -> false | _ -> true)
+      && (match (a.ub, b.ub) with Some x, Some y -> y <= x | Some _, None -> false | _ -> true)
+    in
+    let rec go = function
+      | a :: (b :: _ as rest) -> ok_step a b && go rest
+      | _ -> true
+    in
+    go t.points
+end
+
+(* Named counters / gauges / histograms.  Registration is idempotent so
+   call sites can look metrics up by name without threading handles. *)
+module Metrics = struct
+  type hist = {
+    bounds : float array;  (* ascending upper bounds; +Inf slot implicit *)
+    counts : int array;  (* length = Array.length bounds + 1 *)
+    mutable sum : float;
+    mutable count : int;
+  }
+
+  type value = Counter of int ref | Gauge of float ref | Histogram of hist
+  type metric = { help : string; value : value }
+
+  type registry = {
+    tbl : (string, metric) Hashtbl.t;
+    mutable order : string list;  (* reverse registration order *)
+  }
+
+  let create () = { tbl = Hashtbl.create 64; order = [] }
+  let default = create ()
+
+  let find_or_add registry name help mk =
+    let registry = match registry with Some r -> r | None -> default in
+    match Hashtbl.find_opt registry.tbl name with
+    | Some m -> m.value
+    | None ->
+        let value = mk () in
+        Hashtbl.replace registry.tbl name { help; value };
+        registry.order <- name :: registry.order;
+        value
+
+  type counter = int ref
+
+  let counter ?registry ?(help = "") name : counter =
+    match find_or_add registry name help (fun () -> Counter (ref 0)) with
+    | Counter r -> r
+    | _ -> invalid_arg ("Metrics.counter: " ^ name ^ " registered as another type")
+
+  let inc ?(by = 1) (c : counter) = c := !c + by
+  let counter_value (c : counter) = !c
+
+  type gauge = float ref
+
+  let gauge ?registry ?(help = "") name : gauge =
+    match find_or_add registry name help (fun () -> Gauge (ref 0.0)) with
+    | Gauge r -> r
+    | _ -> invalid_arg ("Metrics.gauge: " ^ name ^ " registered as another type")
+
+  let set (g : gauge) v = g := v
+  let gauge_value (g : gauge) = !g
+
+  type histogram = hist
+
+  (* [n] geometric bucket bounds from [lo] to [hi] inclusive. *)
+  let log_buckets ~lo ~hi n =
+    if n < 2 || lo <= 0.0 || hi <= lo then invalid_arg "Metrics.log_buckets";
+    let ratio = hi /. lo in
+    Array.init n (fun i -> lo *. (ratio ** (float_of_int i /. float_of_int (n - 1))))
+
+  (* 1e-4 s … 100 s, two buckets per decade: fits SAT-call latencies and
+     whole-solve times alike. *)
+  let default_buckets = log_buckets ~lo:1e-4 ~hi:100.0 13
+
+  let histogram ?registry ?(help = "") ?(buckets = default_buckets) name : histogram =
+    match
+      find_or_add registry name help (fun () ->
+          Histogram
+            {
+              bounds = Array.copy buckets;
+              counts = Array.make (Array.length buckets + 1) 0;
+              sum = 0.0;
+              count = 0;
+            })
+    with
+    | Histogram h -> h
+    | _ -> invalid_arg ("Metrics.histogram: " ^ name ^ " registered as another type")
+
+  let observe (h : histogram) x =
+    let n = Array.length h.bounds in
+    let rec slot i = if i >= n then n else if x <= h.bounds.(i) then i else slot (i + 1) in
+    let i = slot 0 in
+    h.counts.(i) <- h.counts.(i) + 1;
+    h.sum <- h.sum +. x;
+    h.count <- h.count + 1
+
+  let histogram_count (h : histogram) = h.count
+  let histogram_sum (h : histogram) = h.sum
+  let histogram_counts (h : histogram) = Array.copy h.counts
+
+  let names registry = List.rev registry.order
+
+  let reset registry =
+    Hashtbl.iter
+      (fun _ m ->
+        match m.value with
+        | Counter r -> r := 0
+        | Gauge r -> r := 0.0
+        | Histogram h ->
+            Array.fill h.counts 0 (Array.length h.counts) 0;
+            h.sum <- 0.0;
+            h.count <- 0)
+      registry.tbl
+
+  let float_str v =
+    if Float.is_integer v && Float.abs v < 1e15 then
+      Printf.sprintf "%.0f" v
+    else Printf.sprintf "%.9g" v
+
+  let to_json registry =
+    let b = Buffer.create 1024 in
+    let counters = ref [] and gauges = ref [] and hists = ref [] in
+    List.iter
+      (fun name ->
+        match (Hashtbl.find registry.tbl name).value with
+        | Counter r -> counters := (name, !r) :: !counters
+        | Gauge r -> gauges := (name, !r) :: !gauges
+        | Histogram h -> hists := (name, h) :: !hists)
+      (names registry);
+    let comma_sep f xs =
+      List.iteri (fun i x -> if i > 0 then Buffer.add_char b ','; f x) (List.rev xs)
+    in
+    Buffer.add_string b {|{"counters":{|};
+    comma_sep (fun (n, v) -> Buffer.add_string b (Printf.sprintf {|"%s":%d|} n v)) !counters;
+    Buffer.add_string b {|},"gauges":{|};
+    comma_sep
+      (fun (n, v) -> Buffer.add_string b (Printf.sprintf {|"%s":%s|} n (float_str v)))
+      !gauges;
+    Buffer.add_string b {|},"histograms":{|};
+    comma_sep
+      (fun (n, h) ->
+        Buffer.add_string b (Printf.sprintf {|"%s":{"count":%d,"sum":%s,"buckets":[|} n h.count (float_str h.sum));
+        let cum = ref 0 in
+        Array.iteri
+          (fun i c ->
+            cum := !cum + c;
+            if i > 0 then Buffer.add_char b ',';
+            let le =
+              if i < Array.length h.bounds then float_str h.bounds.(i) else {|"+Inf"|}
+            in
+            Buffer.add_string b (Printf.sprintf {|{"le":%s,"n":%d}|} le !cum))
+          h.counts;
+        Buffer.add_string b "]}")
+      !hists;
+    Buffer.add_string b "}}";
+    Buffer.contents b
+
+  let prom_name name =
+    String.map
+      (fun c ->
+        match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c | _ -> '_')
+      name
+
+  let to_prometheus registry =
+    let b = Buffer.create 1024 in
+    List.iter
+      (fun name ->
+        let m = Hashtbl.find registry.tbl name in
+        let pname = prom_name name in
+        if m.help <> "" then
+          Buffer.add_string b (Printf.sprintf "# HELP %s %s\n" pname (Event.flatten m.help));
+        match m.value with
+        | Counter r ->
+            Buffer.add_string b (Printf.sprintf "# TYPE %s counter\n%s %d\n" pname pname !r)
+        | Gauge r ->
+            Buffer.add_string b
+              (Printf.sprintf "# TYPE %s gauge\n%s %s\n" pname pname (float_str !r))
+        | Histogram h ->
+            Buffer.add_string b (Printf.sprintf "# TYPE %s histogram\n" pname);
+            let cum = ref 0 in
+            Array.iteri
+              (fun i c ->
+                cum := !cum + c;
+                let le =
+                  if i < Array.length h.bounds then float_str h.bounds.(i) else "+Inf"
+                in
+                Buffer.add_string b
+                  (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" pname le !cum))
+              h.counts;
+            Buffer.add_string b (Printf.sprintf "%s_sum %s\n" pname (float_str h.sum));
+            Buffer.add_string b (Printf.sprintf "%s_count %d\n" pname h.count))
+      (names registry);
+    Buffer.contents b
+end

@@ -1,0 +1,199 @@
+(** Typed solve events, sinks, convergence timelines, and a metrics
+    registry.
+
+    The observability layer sits at the bottom of the stack (it depends
+    only on [Unix]).  Algorithms and services emit {!Event.t} values
+    into a {!sink}; sinks include a lock-free {!Ring} buffer, an
+    unbounded {!Collector} (tests/bench), and a {!Jsonl} writer.  Events
+    carry a monotonic timestamp and a solve/request id, so per-worker
+    streams can be multiplexed over one pipe and demultiplexed into
+    per-solve {!Timeline}s.  {!Metrics} is a process-wide registry of
+    named counters, gauges and log-bucket histograms exportable as JSON
+    and Prometheus text. *)
+
+val now : unit -> float
+(** [Unix.gettimeofday] clamped nondecreasing process-wide, so event
+    streams always order by timestamp. *)
+
+module Event : sig
+  type kind =
+    | Sat_call  (** one SAT-solver invocation *)
+    | Core of { size : int; fresh_blocking : int }
+        (** unsatisfiable core extracted; [fresh_blocking] counts the
+            relaxation variables it introduced *)
+    | Lb of int  (** improved lower bound (strictly better than before) *)
+    | Ub of int  (** improved upper bound *)
+    | Card_constraint of { arity : int; bound : int }
+        (** cardinality constraint [≤ bound] encoded over [arity] literals *)
+    | Restart  (** CDCL restart *)
+    | Reduce_db of { kept : int }  (** learnt-clause DB reduction *)
+    | Rebuild  (** solver reconstructed (non-incremental path) *)
+    | Cache_hit
+    | Cache_miss
+    | Queue_enqueue of { depth : int }  (** depth {e after} the push *)
+    | Queue_dequeue of { depth : int }  (** depth {e after} the pop *)
+    | Worker_spawn of { pid : int }
+    | Worker_exit of { pid : int; status : int }
+    | Note of string  (** free-form narration (compat with the old trace) *)
+
+  type t = { id : int; at : float; kind : kind }
+  (** [id] is the solve id (standalone solves use 0; portfolio workers
+      their spec index; the service its request id); [at] comes from
+      {!now}. *)
+
+  val kind_to_string : kind -> string
+  val to_string : t -> string
+  (** Human-readable one-liner, used by the [msolve -v] compat shim. *)
+
+  val to_wire : t -> string
+  (** Compact single-line form for the portfolio/service pipes. *)
+
+  val of_wire : string -> t option
+
+  val to_json : t -> string
+  (** Flat single-line JSON object; the JSONL trace schema (documented
+      in DESIGN.md §12). *)
+
+  val of_json : string -> t option
+end
+
+type sink = Null | Emit of (Event.t -> unit)
+(** [Null] costs one branch per would-be event and never formats. *)
+
+val null : sink
+val of_fn : (Event.t -> unit) -> sink
+val is_null : sink -> bool
+
+val emit : sink -> id:int -> Event.kind -> unit
+(** Stamp [kind] with {!now} and the solve id, and deliver it. *)
+
+val feed : sink -> Event.t -> unit
+(** Deliver an already-stamped event (pipe forwarding). *)
+
+val note : sink -> id:int -> (unit -> string) -> unit
+(** Lazily formatted {!Event.Note}; the thunk runs only on a live sink. *)
+
+val tee : sink -> sink -> sink
+
+(** Lock-free bounded ring buffer: concurrent pushes claim slots with a
+    fetch-and-add; once full, the oldest events are overwritten. *)
+module Ring : sig
+  type t
+
+  val create : int -> t
+  (** @raise Invalid_argument when capacity < 1. *)
+
+  val push : t -> Event.t -> unit
+  val sink : t -> sink
+  val capacity : t -> int
+
+  val total : t -> int
+  (** Events ever pushed; [total > capacity] means wraparound dropped
+      [total - capacity] of them. *)
+
+  val length : t -> int
+  (** Events currently retained ([min total capacity]). *)
+
+  val contents : t -> Event.t list
+  (** Retained events, oldest first. *)
+end
+
+(** Unbounded in-order event collector, for tests and bench where ring
+    wraparound would break the event-vs-stats consistency oracle. *)
+module Collector : sig
+  type t
+
+  val create : unit -> t
+  val sink : t -> sink
+  val events : t -> Event.t list
+  val length : t -> int
+  val clear : t -> unit
+end
+
+module Jsonl : sig
+  val write : out_channel -> Event.t -> unit
+
+  val sink : ?flush_each:bool -> out_channel -> sink
+  (** One JSON object per line; [flush_each] (default true) makes traces
+      tail-able and crash-complete. *)
+
+  val read_all : in_channel -> Event.t list
+  (** Parse a JSONL trace back, skipping unparseable lines. *)
+end
+
+(** LB/UB-vs-time series reconstructed from an event stream. *)
+module Timeline : sig
+  type point = { at : float; lb : int option; ub : int option }
+
+  type t = {
+    points : point list;  (** chronological; one per published bound *)
+    sat_calls : int;
+    cores : int;
+  }
+
+  val of_events : ?id:int -> Event.t list -> t
+  (** Fold a stream (restricted to solve [id] when given) into a
+      timeline; [sat_calls]/[cores] count the corresponding events for
+      the consistency oracle against [stats]. *)
+
+  val final : t -> int option * int option
+  (** Last published (lb, ub). *)
+
+  val monotone : t -> bool
+  (** LB nondecreasing, UB nonincreasing, timestamps nondecreasing. *)
+end
+
+(** Process-wide registry of named metrics.  Registration is idempotent:
+    looking a name up again returns the same metric, so call sites need
+    not thread handles.  Names follow [msu_<subsystem>_<what>[_<unit>]]
+    (see DESIGN.md §12). *)
+module Metrics : sig
+  type registry
+
+  val create : unit -> registry
+
+  val default : registry
+  (** The process-wide registry everything registers into by default. *)
+
+  type counter
+
+  val counter : ?registry:registry -> ?help:string -> string -> counter
+  val inc : ?by:int -> counter -> unit
+  val counter_value : counter -> int
+
+  type gauge
+
+  val gauge : ?registry:registry -> ?help:string -> string -> gauge
+  val set : gauge -> float -> unit
+  val gauge_value : gauge -> float
+
+  type histogram
+
+  val log_buckets : lo:float -> hi:float -> int -> float array
+  (** [n >= 2] geometric bucket upper bounds from [lo] to [hi]. *)
+
+  val default_buckets : float array
+  (** 1e-4 s … 100 s, two buckets per decade. *)
+
+  val histogram :
+    ?registry:registry -> ?help:string -> ?buckets:float array -> string -> histogram
+
+  val observe : histogram -> float -> unit
+  val histogram_count : histogram -> int
+  val histogram_sum : histogram -> float
+
+  val histogram_counts : histogram -> int array
+  (** Per-bucket (non-cumulative) counts; last slot is the +Inf bucket. *)
+
+  val names : registry -> string list
+  (** Registration order — stable across exports. *)
+
+  val reset : registry -> unit
+  (** Zero every metric (tests). *)
+
+  val to_json : registry -> string
+
+  val to_prometheus : registry -> string
+  (** Prometheus text exposition format (counters, gauges, cumulative
+      histogram buckets with [+Inf]). *)
+end

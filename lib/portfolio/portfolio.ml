@@ -1,5 +1,6 @@
 module G = Msu_guard.Guard
 module Fault = Msu_guard.Fault
+module Obs = Msu_obs.Obs
 module T = Msu_maxsat.Types
 module M = Msu_maxsat.Maxsat
 module Subproc = Msu_harness.Runner.Subproc
@@ -80,6 +81,8 @@ type result = {
 
    Worker -> parent (up pipe):  "l <n>"  improved lower bound
                                 "u <n>"  improved upper bound
+                                "e <event>"  observability event
+                                             (Obs.Event.to_wire form)
    Parent -> worker (down pipe): "b <lb> <ub>"  best global bounds
                                  (<ub> = -1 when none known yet).
    Line-oriented; partial reads are buffered until the newline. *)
@@ -102,7 +105,7 @@ let take_lines buf =
 
 (* ---------------- worker (child process) ---------------- *)
 
-let run_worker ~deadline ~max_conflicts ~down ~up ~tmp sp w =
+let run_worker ~deadline ~max_conflicts ~down ~up ~tmp ~index ~observe sp w =
   (match sp.fault with Some k -> Fault.arm k | None -> ());
   Unix.set_nonblock down;
   let guard = G.create ~deadline ?max_conflicts () in
@@ -164,6 +167,13 @@ let run_worker ~deadline ~max_conflicts ~down ~up ~tmp sp w =
     if ub < max_int && lb >= ub then G.trip guard G.Cancelled
   in
   G.set_ticker guard ticker;
+  (* Event forwarding rides the existing up pipe: each event becomes one
+     "e <wire>" line, demultiplexed in the parent by its solve id (the
+     worker's spec index). *)
+  let sink =
+    if observe then Obs.of_fn (fun ev -> send_line up ("e " ^ Obs.Event.to_wire ev))
+    else Obs.null
+  in
   let config =
     {
       T.default_config with
@@ -171,6 +181,8 @@ let run_worker ~deadline ~max_conflicts ~down ~up ~tmp sp w =
       max_conflicts;
       encoding = sp.encoding;
       incremental = sp.incremental;
+      sink;
+      solve_id = index;
       guard = Some guard;
       progress = Some cell;
     }
@@ -195,6 +207,7 @@ let run_worker ~deadline ~max_conflicts ~down ~up ~tmp sp w =
 (* ---------------- parent ---------------- *)
 
 type worker_state = {
+  st_index : int;
   st_spec : spec;
   st_pid : int;
   st_up : Unix.file_descr;  (* read end of worker's up pipe *)
@@ -210,7 +223,7 @@ type worker_state = {
 }
 
 let solve ?specs ?(jobs = 4) ?timeout ?(grace = 1.0) ?max_conflicts ?trace
-    ?(handle_sigint = false) w =
+    ?(sink = Obs.null) ?(handle_sigint = false) w =
   let specs =
     match specs with
     | Some [] -> invalid_arg "Portfolio.solve: empty spec list"
@@ -230,12 +243,14 @@ let solve ?specs ?(jobs = 4) ?timeout ?(grace = 1.0) ?max_conflicts ?trace
   @@ fun () ->
   (* All pipes are created before any fork so every child can close the
      ends that belong to its siblings. *)
+  let observe = not (Obs.is_null sink) in
   let plumbing =
-    List.map
-      (fun sp ->
+    List.mapi
+      (fun index sp ->
         let down_rd, down_wr = Unix.pipe () in
         let up_rd, up_wr = Unix.pipe () in
-        (sp, Filename.temp_file "msu-portfolio" ".bin", down_rd, down_wr, up_rd, up_wr))
+        (index, sp, Filename.temp_file "msu-portfolio" ".bin", down_rd, down_wr,
+         up_rd, up_wr))
       specs
   in
   (* Children inherit the SIGTERM→cancel disposition from the fork
@@ -249,7 +264,7 @@ let solve ?specs ?(jobs = 4) ?timeout ?(grace = 1.0) ?max_conflicts ?trace
   in
   let states =
     List.map
-      (fun (sp, tmp, down_rd, down_wr, up_rd, up_wr) ->
+      (fun (index, sp, tmp, down_rd, down_wr, up_rd, up_wr) ->
         match Unix.fork () with
         | 0 ->
             (* When the parent fields Ctrl-C for the whole portfolio,
@@ -258,7 +273,7 @@ let solve ?specs ?(jobs = 4) ?timeout ?(grace = 1.0) ?max_conflicts ?trace
                flush their partial bounds first. *)
             if handle_sigint then Sys.set_signal Sys.sigint Sys.Signal_ignore;
             List.iter
-              (fun (_, _, dr, dw, ur, uw) ->
+              (fun (_, _, _, dr, dw, ur, uw) ->
                 List.iter
                   (fun fd ->
                     if fd <> down_rd && fd <> up_wr then
@@ -271,12 +286,15 @@ let solve ?specs ?(jobs = 4) ?timeout ?(grace = 1.0) ?max_conflicts ?trace
                 | None -> infinity
                 | Some t -> t +. (2. *. grace) +. flush)
               ();
-            run_worker ~deadline ~max_conflicts ~down:down_rd ~up:up_wr ~tmp sp w
+            run_worker ~deadline ~max_conflicts ~down:down_rd ~up:up_wr ~tmp ~index
+              ~observe sp w
         | pid ->
             Unix.close down_rd;
             Unix.close up_wr;
             Unix.set_nonblock down_wr;
+            Obs.emit sink ~id:index (Obs.Event.Worker_spawn { pid });
             {
+              st_index = index;
               st_spec = sp;
               st_pid = pid;
               st_up = up_rd;
@@ -365,6 +383,13 @@ let solve ?specs ?(jobs = 4) ?timeout ?(grace = 1.0) ?max_conflicts ?trace
                    match int_of_string_opt v with
                    | Some ub -> note_bounds st 0 (Some ub)
                    | None -> ())
+               | "e" :: _ -> (
+                   (* Forwarded child event: re-emit into the parent's
+                      sink with the child's own id and timestamp. *)
+                   let wire = String.sub line 2 (String.length line - 2) in
+                   match Obs.Event.of_wire wire with
+                   | Some ev -> Obs.feed sink ev
+                   | None -> ())
                | _ -> ())
     | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
       ->
@@ -376,6 +401,14 @@ let solve ?specs ?(jobs = 4) ?timeout ?(grace = 1.0) ?max_conflicts ?trace
     | _, status ->
         st.st_alive <- false;
         st.st_status <- Some status;
+        (* Drain any events still buffered in the pipe before reporting
+           the exit, so the stream stays causally ordered. *)
+        read_worker st;
+        let code =
+          match status with Unix.WEXITED n -> n | Unix.WSIGNALED n | Unix.WSTOPPED n -> 128 + n
+        in
+        Obs.emit sink ~id:st.st_index
+          (Obs.Event.Worker_exit { pid = st.st_pid; status = code });
         st.st_report <- Subproc.read_result st.st_tmp;
         (match st.st_report with
         | Some (Ok r) -> (

@@ -75,6 +75,7 @@ val solve :
   ?grace:float ->
   ?max_conflicts:int ->
   ?trace:(string -> unit) ->
+  ?sink:Msu_obs.Obs.sink ->
   ?handle_sigint:bool ->
   Msu_cnf.Wcnf.t ->
   result
@@ -85,6 +86,11 @@ val solve :
     {!Msu_harness.Runner.run_one}); [max_conflicts] is a per-worker
     conflict budget.  Never raises on worker crashes: a crashed worker
     contributes its salvaged bounds and the rest keep racing.
+
+    With [sink] the workers' typed event streams ({!Msu_obs.Obs.Event})
+    are forwarded over the existing up pipes and re-emitted into the
+    parent's sink; each event carries the worker's spec index as its
+    solve id, and the parent adds [Worker_spawn]/[Worker_exit] markers.
 
     With [handle_sigint] (default false — library callers keep their
     own signal policy) the parent fields Ctrl-C for the whole race:

@@ -82,6 +82,7 @@ type t = {
   mutable n_restarts : int;
   mutable n_learnt_literals : int;
   mutable n_deleted : int;
+  mutable event_hook : Msu_obs.Obs.Event.kind -> unit;
 }
 
 let dummy_clause =
@@ -92,6 +93,24 @@ let dummy_watcher = { blocker = 0; wc = dummy_clause }
 let var_decay = 1. /. 0.95
 let clause_decay = 1. /. 0.999
 let restart_base = 100
+
+(* Process-wide CDCL metrics (Msu_obs registry). *)
+let m_calls = Msu_obs.Obs.Metrics.counter ~help:"SAT solve calls" "msu_solver_calls_total"
+
+let m_restarts =
+  Msu_obs.Obs.Metrics.counter ~help:"CDCL restarts" "msu_solver_restarts_total"
+
+let m_reduce_db =
+  Msu_obs.Obs.Metrics.counter ~help:"learnt-DB reductions" "msu_solver_reduce_db_total"
+
+let m_call_seconds =
+  Msu_obs.Obs.Metrics.histogram ~help:"wall-clock seconds per SAT call"
+    "msu_solver_call_seconds"
+
+let m_call_conflicts =
+  Msu_obs.Obs.Metrics.histogram ~help:"conflicts per SAT call"
+    ~buckets:(Msu_obs.Obs.Metrics.log_buckets ~lo:1.0 ~hi:1e6 13)
+    "msu_solver_call_conflicts"
 
 let create ?(track_proof = true) () =
   let s =
@@ -134,6 +153,7 @@ let create ?(track_proof = true) () =
       n_restarts = 0;
       n_learnt_literals = 0;
       n_deleted = 0;
+      event_hook = (fun _ -> ());
     }
   in
   s.order <- Idx_heap.create ~score:(fun v -> s.activity.(v));
@@ -647,7 +667,9 @@ let reduce_db s =
       else Vec.push keep c)
     s.learnts;
   Vec.clear s.learnts;
-  Vec.iter (Vec.push s.learnts) keep
+  Vec.iter (Vec.push s.learnts) keep;
+  Msu_obs.Obs.Metrics.inc m_reduce_db;
+  s.event_hook (Msu_obs.Obs.Event.Reduce_db { kept = Vec.size s.learnts })
 
 (* Luby restart sequence (Een & Sorensson's formulation). *)
 
@@ -737,6 +759,8 @@ let search s assumptions max_conflicts =
         if !conflicts_here >= max_conflicts then begin
           cancel_until s 0;
           s.n_restarts <- s.n_restarts + 1;
+          Msu_obs.Obs.Metrics.inc m_restarts;
+          s.event_hook Msu_obs.Obs.Event.Restart;
           outcome := Some S_restart
         end
         else if budget_exhausted s then outcome := Some S_budget
@@ -777,6 +801,9 @@ let search s assumptions max_conflicts =
 
 let solve ?(assumptions = [||]) ?(deadline = infinity) ?(conflict_budget = max_int)
     ?guard s =
+  let call_t0 = Unix.gettimeofday () in
+  let call_conflicts0 = s.n_conflicts in
+  Msu_obs.Obs.Metrics.inc m_calls;
   Array.iter (fun l -> ensure_vars s (Lit.var l + 1)) assumptions;
   (* Clear before the [ok] bail-out: an incremental caller reading
      [conflict_assumptions] after a top-level refutation must see the
@@ -814,9 +841,13 @@ let solve ?(assumptions = [||]) ?(deadline = infinity) ?(conflict_budget = max_i
         done
     | Unsat | Unknown -> ());
     cancel_until s 0;
+    Msu_obs.Obs.Metrics.observe m_call_seconds (Unix.gettimeofday () -. call_t0);
+    Msu_obs.Obs.Metrics.observe m_call_conflicts
+      (float_of_int (s.n_conflicts - call_conflicts0));
     r
   end
 
+let on_event s f = s.event_hook <- f
 let model_value s v = v < s.num_vars && s.polarity.(v)
 let model s = Array.init s.num_vars (fun v -> model_value s v)
 let okay s = s.ok

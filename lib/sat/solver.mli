@@ -85,6 +85,11 @@ val retire_selector : t -> Msu_cnf.Lit.t -> unit
 val okay : t -> bool
 (** [false] once the clause set has been refuted at top level. *)
 
+val on_event : t -> (Msu_obs.Obs.Event.kind -> unit) -> unit
+(** Install the observability hook: the solver reports [Restart] and
+    [Reduce_db] through it (the caller stamps ids/timestamps).  Replaces
+    any previous hook; defaults to a no-op. *)
+
 val solve :
   ?assumptions:Msu_cnf.Lit.t array ->
   ?deadline:float ->

@@ -9,6 +9,20 @@ module Certify = Msu_maxsat.Certify
    reusing. *)
 type entry = { e_cost : int; e_model : bool array; mutable e_tick : int }
 
+module Obs = Msu_obs.Obs
+
+let m_hits = Obs.Metrics.counter ~help:"cache lookups served" "msu_cache_hits_total"
+
+let m_misses =
+  Obs.Metrics.counter ~help:"cache lookups missed (or re-cost failed)"
+    "msu_cache_misses_total"
+
+let m_evict =
+  Obs.Metrics.counter ~help:"entries evicted (LRU or failed re-cost)"
+    "msu_cache_evictions_total"
+
+let m_entries = Obs.Metrics.gauge ~help:"live cache entries" "msu_cache_entries"
+
 type t = {
   capacity : int;
   tbl : (string, entry) Hashtbl.t;
@@ -33,7 +47,11 @@ let evict_lru t =
       | Some (_, tick) when tick <= e.e_tick -> ()
       | _ -> victim := Some (fp, e.e_tick))
     t.tbl;
-  match !victim with Some (fp, _) -> Hashtbl.remove t.tbl fp | None -> ()
+  match !victim with
+  | Some (fp, _) ->
+      Hashtbl.remove t.tbl fp;
+      Obs.Metrics.inc m_evict
+  | None -> ()
 
 let store t ~fingerprint ~cost ~model =
   (match Hashtbl.find_opt t.tbl fingerprint with
@@ -41,7 +59,8 @@ let store t ~fingerprint ~cost ~model =
   | None -> if Hashtbl.length t.tbl >= t.capacity then evict_lru t);
   let e = { e_cost = cost; e_model = Array.copy model; e_tick = 0 } in
   touch t e;
-  Hashtbl.replace t.tbl fingerprint e
+  Hashtbl.replace t.tbl fingerprint e;
+  Obs.Metrics.set m_entries (float_of_int (Hashtbl.length t.tbl))
 
 (* Serve a hit only after the certifier's model re-cost accepts it on
    the *requesting* instance: a corrupted disk entry, a fingerprint
@@ -52,7 +71,9 @@ let store t ~fingerprint ~cost ~model =
    entry. *)
 let find t ~fingerprint w =
   match Hashtbl.find_opt t.tbl fingerprint with
-  | None -> None
+  | None ->
+      Obs.Metrics.inc m_misses;
+      None
   | Some e ->
       let n = Wcnf.num_vars w in
       let model =
@@ -71,10 +92,14 @@ let find t ~fingerprint w =
       in
       if Certify.ok (Certify.recost w candidate) then begin
         touch t e;
+        Obs.Metrics.inc m_hits;
         Some (e.e_cost, model)
       end
       else begin
         Hashtbl.remove t.tbl fingerprint;
+        Obs.Metrics.inc m_misses;
+        Obs.Metrics.inc m_evict;
+        Obs.Metrics.set m_entries (float_of_int (Hashtbl.length t.tbl));
         None
       end
 

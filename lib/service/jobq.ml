@@ -3,6 +3,22 @@
    so a sorted list beats a heap on constant factors and keeps
    [remove] (cancellation) trivial. *)
 
+module Obs = Msu_obs.Obs
+
+(* Pool-wide gauges/counters: every queue instance feeds the same
+   metrics (the service runs exactly one). *)
+let m_depth = Obs.Metrics.gauge ~help:"jobs waiting in the queue" "msu_jobq_depth"
+
+let m_enq =
+  Obs.Metrics.counter ~help:"jobs admitted to the queue" "msu_jobq_enqueued_total"
+
+let m_deq =
+  Obs.Metrics.counter ~help:"jobs popped for execution" "msu_jobq_dequeued_total"
+
+let m_rej =
+  Obs.Metrics.counter ~help:"jobs rejected by admission control"
+    "msu_jobq_rejected_total"
+
 type 'a t = {
   capacity : int;
   mutable seq : int;  (* submission order; FIFO tie-break *)
@@ -22,7 +38,10 @@ let capacity t = t.capacity
 let before (p1, s1) (p2, s2) = p1 > p2 || (p1 = p2 && s1 < s2)
 
 let push t ~priority x =
-  if is_full t then false
+  if is_full t then begin
+    Obs.Metrics.inc m_rej;
+    false
+  end
   else begin
     let seq = t.seq in
     t.seq <- seq + 1;
@@ -33,6 +52,8 @@ let push t ~priority x =
           else hd :: insert tl
     in
     t.items <- insert t.items;
+    Obs.Metrics.inc m_enq;
+    Obs.Metrics.set m_depth (float_of_int (length t));
     true
   end
 
@@ -41,6 +62,8 @@ let pop t =
   | [] -> None
   | (_, _, x) :: tl ->
       t.items <- tl;
+      Obs.Metrics.inc m_deq;
+      Obs.Metrics.set m_depth (float_of_int (length t));
       Some x
 
 let remove t pred =
@@ -49,6 +72,7 @@ let remove t pred =
     | ((_, _, x) as hd) :: tl ->
         if pred x then begin
           t.items <- List.rev_append acc tl;
+          Obs.Metrics.set m_depth (float_of_int (length t));
           Some x
         end
         else go (hd :: acc) tl
@@ -58,6 +82,7 @@ let remove t pred =
 let drain t =
   let xs = List.map (fun (_, _, x) -> x) t.items in
   t.items <- [];
+  Obs.Metrics.set m_depth 0.;
   xs
 
 let iter f t = List.iter (fun (_, _, x) -> f x) t.items

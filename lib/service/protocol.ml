@@ -81,8 +81,12 @@ type stats = {
   cancelled : int;
   queue_depth : int;
   running : int;
+  workers_total : int;
+  hit_rate : float;
   cache_entries : int;
+  outcomes : (string * int) list;
   per_algorithm : (string * latency) list;
+  prometheus : string;
 }
 
 type reply =

@@ -55,11 +55,20 @@ type stats = {
   crashes : int;  (** workers that died without a sound result *)
   cancelled : int;
   queue_depth : int;
-  running : int;
+  running : int;  (** workers busy right now *)
+  workers_total : int;  (** pool size (busy + idle) *)
+  hit_rate : float;
+      (** hits / (hits + misses), 0 before the first lookup *)
   cache_entries : int;
+  outcomes : (string * int) list;
+      (** delivered results per outcome label ("optimum", "bounds",
+          "hard_unsat", "crashed") *)
   per_algorithm : (string * latency) list;
       (** client-visible solve latency (seconds) per algorithm label;
           cache hits land under the requested algorithm *)
+  prometheus : string;
+      (** the server's metrics registry rendered in Prometheus text
+          exposition format — what [mserve --metrics-file] writes *)
 }
 
 type reply =

@@ -6,6 +6,7 @@ module G = Msu_guard.Guard
 module Fault = Msu_guard.Fault
 module Subproc = Msu_harness.Runner.Subproc
 module P = Protocol
+module Obs = Msu_obs.Obs
 
 type config = {
   socket_path : string;
@@ -16,6 +17,13 @@ type config = {
   default_timeout : float;
   grace : float;
   trace : (string -> unit) option;
+  sink : Obs.sink;
+      (* the daemon's own event stream: queue/cache/worker life cycle
+         plus the forwarded per-solve events of every worker, keyed by
+         job id *)
+  metrics_file : string option;
+      (* when set, the metrics registry is rendered to this path in
+         Prometheus text format every few seconds and at shutdown *)
 }
 
 let default_config ~socket_path =
@@ -28,6 +36,8 @@ let default_config ~socket_path =
     default_timeout = 10.0;
     grace = 1.0;
     trace = None;
+    sink = Obs.null;
+    metrics_file = None;
   }
 
 (* ---------------- internal state ---------------- *)
@@ -51,6 +61,8 @@ type slot = {
   sl_job : job;
   sl_pid : int;
   sl_tmp : string;
+  sl_ev : Unix.file_descr option;  (* worker's event pipe (read end) *)
+  sl_ev_buf : Buffer.t;
   sl_started : float;
   mutable sl_term_at : float;  (* when the SIGTERM rung fires *)
   mutable sl_termed : bool;
@@ -76,7 +88,74 @@ type state = {
   mutable crashes : int;
   mutable cancelled : int;
   latencies : (string, float list ref) Hashtbl.t;
+  outcome_counts : (string, int ref) Hashtbl.t;
+  mutable last_metrics_write : float;
 }
+
+(* ---------------- observability ---------------- *)
+
+let m_requests =
+  Obs.Metrics.counter ~help:"solve requests received" "msu_service_requests_total"
+
+let m_results =
+  Obs.Metrics.counter ~help:"results delivered (cached or solved)"
+    "msu_service_results_total"
+
+let m_rejected =
+  Obs.Metrics.counter ~help:"admission-control rejections"
+    "msu_service_rejected_total"
+
+let m_workers_busy =
+  Obs.Metrics.gauge ~help:"forked solve workers running" "msu_service_workers_busy"
+
+let m_workers_total =
+  Obs.Metrics.gauge ~help:"worker pool size" "msu_service_workers_total"
+
+let m_hit_rate =
+  Obs.Metrics.gauge ~help:"cache hits / lookups since start"
+    "msu_service_cache_hit_rate"
+
+let ev st ~id kind = Obs.emit st.cfg.sink ~id kind
+
+let outcome_label = function
+  | T.Optimum _ -> "optimum"
+  | T.Bounds _ -> "bounds"
+  | T.Hard_unsat -> "hard_unsat"
+  | T.Crashed _ -> "crashed"
+
+let note_outcome st outcome =
+  let label = outcome_label outcome in
+  (match Hashtbl.find_opt st.outcome_counts label with
+  | Some c -> incr c
+  | None -> Hashtbl.add st.outcome_counts label (ref 1));
+  Obs.Metrics.inc
+    (Obs.Metrics.counter
+       ~help:"results delivered with this outcome"
+       ("msu_service_outcome_" ^ label ^ "_total"))
+
+let hit_rate st =
+  let looked = st.hits + st.misses in
+  if looked = 0 then 0. else float_of_int st.hits /. float_of_int looked
+
+(* Live gauges are refreshed on every loop turn — cheap, and a metrics
+   scrape (Stats RPC or --metrics-file) always sees current values. *)
+let refresh_gauges st =
+  Obs.Metrics.set m_workers_busy (float_of_int (List.length st.slots));
+  Obs.Metrics.set m_workers_total (float_of_int st.cfg.workers);
+  Obs.Metrics.set m_hit_rate (hit_rate st)
+
+let write_metrics_file st =
+  match st.cfg.metrics_file with
+  | None -> ()
+  | Some path -> (
+      refresh_gauges st;
+      let tmp = path ^ ".tmp" in
+      try
+        let oc = open_out tmp in
+        output_string oc (Obs.Metrics.to_prometheus Obs.Metrics.default);
+        close_out oc;
+        Sys.rename tmp path
+      with Sys_error _ | Unix.Unix_error _ -> ())
 
 let say st fmt =
   Printf.ksprintf
@@ -106,6 +185,7 @@ let latency_summary samples =
   }
 
 let snapshot st =
+  refresh_gauges st;
   {
     P.uptime = Unix.gettimeofday () -. st.started;
     requests = st.requests;
@@ -117,12 +197,18 @@ let snapshot st =
     cancelled = st.cancelled;
     queue_depth = Jobq.length st.queue;
     running = List.length st.slots;
+    workers_total = st.cfg.workers;
+    hit_rate = hit_rate st;
     cache_entries = Cache.length st.cache;
+    outcomes =
+      Hashtbl.fold (fun k c acc -> (k, !c) :: acc) st.outcome_counts []
+      |> List.sort compare;
     per_algorithm =
       Hashtbl.fold
         (fun alg cell acc -> (alg, latency_summary !cell) :: acc)
         st.latencies []
       |> List.sort compare;
+    prometheus = Obs.Metrics.to_prometheus Obs.Metrics.default;
   }
 
 (* Replies are best-effort: a client that vanished (EPIPE, reset, send
@@ -142,6 +228,12 @@ let spawn st job =
   in
   let flush = Subproc.flush_grace st.cfg.grace in
   let tmp = Filename.temp_file "msu-serve" ".bin" in
+  (* Event pipe: the worker's typed events cross to the daemon as one
+     "wire" line each, stamped with the job id so the daemon's single
+     sink demultiplexes by request. *)
+  let ev_pipe =
+    if Obs.is_null st.cfg.sink then None else Some (Unix.pipe ())
+  in
   match Unix.fork () with
   | 0 ->
       (* The worker owns nothing of the daemon: close the listener and
@@ -151,6 +243,9 @@ let spawn st job =
         (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
         (st.listen_fd :: List.map (fun c -> c.c_fd) st.conns);
       Sys.set_signal Sys.sigint Sys.Signal_ignore;
+      (match ev_pipe with
+      | Some (rd, _) -> ( try Unix.close rd with Unix.Unix_error _ -> ())
+      | None -> ());
       Subproc.child_setup
         ~alarm_after:(timeout +. (2. *. st.cfg.grace) +. flush)
         ();
@@ -161,6 +256,16 @@ let spawn st job =
         G.create ~deadline ?max_conflicts:job.j_options.P.max_conflicts ()
       in
       G.set_cancel_target guard;
+      let sink =
+        match ev_pipe with
+        | None -> Obs.null
+        | Some (_, wr) ->
+            Obs.of_fn (fun e ->
+                let line = Obs.Event.to_wire e ^ "\n" in
+                let b = Bytes.of_string line in
+                try ignore (Unix.write wr b 0 (Bytes.length b))
+                with Unix.Unix_error _ -> ())
+      in
       let config =
         {
           T.default_config with
@@ -169,6 +274,8 @@ let spawn st job =
           encoding =
             Option.value job.j_options.P.encoding
               ~default:T.default_config.T.encoding;
+          sink;
+          solve_id = job.j_id;
           guard = Some guard;
           progress = Some (G.Progress.create ());
         }
@@ -185,11 +292,22 @@ let spawn st job =
       say st "job %d -> worker %d (%s, timeout %.1fs)" job.j_id pid
         (M.algorithm_to_string job.j_options.P.algorithm)
         timeout;
+      let ev_fd =
+        match ev_pipe with
+        | None -> None
+        | Some (rd, wr) ->
+            (try Unix.close wr with Unix.Unix_error _ -> ());
+            Unix.set_nonblock rd;
+            Some rd
+      in
+      ev st ~id:job.j_id (Obs.Event.Worker_spawn { pid });
       st.slots <-
         {
           sl_job = job;
           sl_pid = pid;
           sl_tmp = tmp;
+          sl_ev = ev_fd;
+          sl_ev_buf = Buffer.create 256;
           sl_started = now;
           sl_term_at = now +. timeout +. st.cfg.grace;
           sl_termed = false;
@@ -201,6 +319,8 @@ let spawn st job =
 let complete st ?(was_cancelled = false) job (r : T.result) =
   let elapsed = Unix.gettimeofday () -. job.j_submitted in
   st.completed <- st.completed + 1;
+  Obs.Metrics.inc m_results;
+  note_outcome st r.T.outcome;
   (match r.T.outcome with
   | T.Crashed _ ->
       if was_cancelled then st.cancelled <- st.cancelled + 1
@@ -228,6 +348,43 @@ let complete st ?(was_cancelled = false) job (r : T.result) =
     (P.Result
        { id = job.j_id; outcome = r.T.outcome; model; cached = false; elapsed })
 
+(* Drain the worker's event pipe and re-emit every complete line into
+   the daemon's sink; events keep the worker-side id (the job id) and
+   timestamp. *)
+let read_events st sl =
+  match sl.sl_ev with
+  | None -> ()
+  | Some fd ->
+      let chunk = Bytes.create 8192 in
+      (try
+         let rec rd () =
+           match Unix.read fd chunk 0 (Bytes.length chunk) with
+           | 0 -> ()
+           | n ->
+               Buffer.add_subbytes sl.sl_ev_buf chunk 0 n;
+               rd ()
+           | exception
+               Unix.Unix_error
+                 ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+               ()
+         in
+         rd ()
+       with Unix.Unix_error _ -> ());
+      let data = Buffer.contents sl.sl_ev_buf in
+      Buffer.clear sl.sl_ev_buf;
+      let rec go start =
+        match String.index_from_opt data start '\n' with
+        | None ->
+            Buffer.add_substring sl.sl_ev_buf data start
+              (String.length data - start)
+        | Some nl ->
+            (match Obs.Event.of_wire (String.sub data start (nl - start)) with
+            | Some e -> Obs.feed st.cfg.sink e
+            | None -> ());
+            go (nl + 1)
+      in
+      go 0
+
 let reap st =
   let still_running = ref [] in
   List.iter
@@ -239,8 +396,23 @@ let reap st =
         | exception Unix.Unix_error _ -> Some (Unix.WEXITED 255)
       in
       match finished with
-      | None -> still_running := sl :: !still_running
+      | None ->
+          read_events st sl;
+          still_running := sl :: !still_running
       | Some status ->
+          (* Final drain before the exit marker so the per-job stream
+             stays causally ordered, then release the pipe. *)
+          read_events st sl;
+          (match sl.sl_ev with
+          | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+          | None -> ());
+          let code =
+            match status with
+            | Unix.WEXITED n -> n
+            | Unix.WSIGNALED n | Unix.WSTOPPED n -> 128 + n
+          in
+          ev st ~id:sl.sl_job.j_id
+            (Obs.Event.Worker_exit { pid = sl.sl_pid; status = code });
           let result = Subproc.read_result sl.sl_tmp in
           (try Sys.remove sl.sl_tmp with Sys_error _ -> ());
           let crashed reason =
@@ -290,7 +462,12 @@ let dispatch st =
   while
     List.length st.slots < st.cfg.workers && not (Jobq.is_empty st.queue)
   do
-    match Jobq.pop st.queue with Some job -> spawn st job | None -> ()
+    match Jobq.pop st.queue with
+    | Some job ->
+        ev st ~id:job.j_id
+          (Obs.Event.Queue_dequeue { depth = Jobq.length st.queue });
+        spawn st job
+    | None -> ()
   done
 
 (* ---------------- request handling ---------------- *)
@@ -307,14 +484,17 @@ let cancelled_result id =
 
 let handle_solve st conn (wire : P.wire_wcnf) (options : P.options) =
   st.requests <- st.requests + 1;
+  Obs.Metrics.inc m_requests;
   if st.draining then begin
     st.rejected <- st.rejected + 1;
+    Obs.Metrics.inc m_rejected;
     send st conn (P.Rejected { reason = "server shutting down" })
   end
   else begin
     match P.of_wire wire with
     | exception _ ->
         st.rejected <- st.rejected + 1;
+        Obs.Metrics.inc m_rejected;
         send st conn (P.Rejected { reason = "malformed instance" })
     | w ->
         let fingerprint = Canon.fingerprint w in
@@ -324,6 +504,9 @@ let handle_solve st conn (wire : P.wire_wcnf) (options : P.options) =
         let serve_hit (cost, model) =
           st.hits <- st.hits + 1;
           st.completed <- st.completed + 1;
+          ev st ~id Obs.Event.Cache_hit;
+          Obs.Metrics.inc m_results;
+          note_outcome st (T.Optimum cost);
           let elapsed = Unix.gettimeofday () -. submitted in
           record_latency st options.P.algorithm elapsed;
           say st "job %d: cache hit (%s, cost %d)" id
@@ -342,6 +525,7 @@ let handle_solve st conn (wire : P.wire_wcnf) (options : P.options) =
         in
         let enqueue () =
           st.misses <- st.misses + 1;
+          if options.P.use_cache then ev st ~id Obs.Event.Cache_miss;
           let job =
             {
               j_id = id;
@@ -352,10 +536,14 @@ let handle_solve st conn (wire : P.wire_wcnf) (options : P.options) =
               j_submitted = submitted;
             }
           in
-          if Jobq.push st.queue ~priority:options.P.priority job then
+          if Jobq.push st.queue ~priority:options.P.priority job then begin
+            ev st ~id
+              (Obs.Event.Queue_enqueue { depth = Jobq.length st.queue });
             send st conn (P.Accepted { id })
+          end
           else begin
             st.rejected <- st.rejected + 1;
+            Obs.Metrics.inc m_rejected;
             send st conn
               (P.Rejected
                  {
@@ -496,6 +684,8 @@ let run ?(handle_signals = false) cfg =
       crashes = 0;
       cancelled = 0;
       latencies = Hashtbl.create 8;
+      outcome_counts = Hashtbl.create 4;
+      last_metrics_write = 0.;
     }
   in
   say st "listening on %s (%d workers, queue %d, cache %d%s)" cfg.socket_path
@@ -524,6 +714,7 @@ let run ?(handle_signals = false) cfg =
       st.conns;
     (try Unix.close st.listen_fd with Unix.Unix_error _ -> ());
     (try Unix.unlink cfg.socket_path with Unix.Unix_error _ -> ());
+    write_metrics_file st;
     match cfg.cache_file with
     | Some path -> Cache.save st.cache path
     | None -> ()
@@ -538,16 +729,30 @@ let run ?(handle_signals = false) cfg =
     ladder st;
     dispatch st;
     close_dead st;
+    (let now = Unix.gettimeofday () in
+     if now -. st.last_metrics_write > 2.0 then begin
+       st.last_metrics_write <- now;
+       write_metrics_file st
+     end);
     if st.draining && Jobq.is_empty st.queue && st.slots = [] then
       say st "drained; exiting"
     else begin
-      let fds = st.listen_fd :: List.map (fun c -> c.c_fd) st.conns in
+      let ev_fds = List.filter_map (fun sl -> sl.sl_ev) st.slots in
+      let fds =
+        (st.listen_fd :: List.map (fun c -> c.c_fd) st.conns) @ ev_fds
+      in
       (match Unix.select fds [] [] 0.02 with
       | readable, _, _ ->
           if List.mem st.listen_fd readable then accept_new st;
           List.iter
             (fun c -> if c.c_alive && List.mem c.c_fd readable then read_conn st c)
-            st.conns
+            st.conns;
+          List.iter
+            (fun sl ->
+              match sl.sl_ev with
+              | Some fd when List.mem fd readable -> read_events st sl
+              | _ -> ())
+            st.slots
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
       loop ()
     end

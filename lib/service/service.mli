@@ -28,11 +28,18 @@ type config = {
   default_timeout : float;  (** per-request budget when none given *)
   grace : float;  (** ladder grace, as in {!Msu_harness.Runner} *)
   trace : (string -> unit) option;
+  sink : Msu_obs.Obs.sink;
+      (** the daemon's typed event stream: queue, cache and worker
+          life-cycle events plus every worker's forwarded per-solve
+          events, each stamped with its job id *)
+  metrics_file : string option;
+      (** render the metrics registry to this path (Prometheus text
+          format, atomic rename) every few seconds and at shutdown *)
 }
 
 val default_config : socket_path:string -> config
 (** 2 workers, queue 64, cache 1024, 10 s default timeout, 1 s grace,
-    no persistence, no trace. *)
+    no persistence, no trace, null sink, no metrics file. *)
 
 val run : ?handle_signals:bool -> config -> unit
 (** Serve until a [Shutdown] request completes.  With [handle_signals]

@@ -20,4 +20,5 @@ let () =
       ("incremental", Test_incremental.suite);
       ("portfolio", Test_portfolio.suite);
       ("service", Test_service.suite);
+      ("obs", Test_obs.suite);
     ]

@@ -291,10 +291,16 @@ let test_algorithm_names () =
     M.all_algorithms
 
 let test_trace_hook () =
-  let messages = ref 0 in
-  let config = { T.default_config with T.trace = Some (fun _ -> incr messages) } in
+  (* The old string-trace hook is now the typed event sink; a solve on a
+     non-trivial instance must narrate SAT calls, cores and bounds. *)
+  let col = Msu_obs.Obs.Collector.create () in
+  let config =
+    { T.default_config with T.sink = Msu_obs.Obs.Collector.sink col }
+  in
   ignore (Msu_maxsat.Msu4.solve ~config (example2 ()));
-  Alcotest.(check bool) "trace messages emitted" true (!messages >= 3)
+  Alcotest.(check bool)
+    "events emitted" true
+    (Msu_obs.Obs.Collector.length col >= 3)
 
 let test_stats_populated () =
   let r = M.solve M.Msu4_v2 (example2 ()) in

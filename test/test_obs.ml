@@ -1,0 +1,304 @@
+(* Observability layer: ring buffer semantics, histogram bucketing,
+   JSONL round-tripping, event forwarding from a forked worker, and the
+   event-vs-stats consistency oracle over the core-guided algorithms. *)
+
+module Obs = Msu_obs.Obs
+module Event = Obs.Event
+module M = Msu_maxsat.Maxsat
+module T = Msu_maxsat.Types
+module Wcnf = Msu_cnf.Wcnf
+module Lit = Msu_cnf.Lit
+
+let ev ?(id = 0) kind = { Event.id; at = Obs.now (); kind }
+
+(* ----- ring buffer ----- *)
+
+let test_ring_basic () =
+  let r = Obs.Ring.create 8 in
+  Alcotest.(check int) "capacity" 8 (Obs.Ring.capacity r);
+  Alcotest.(check int) "empty length" 0 (Obs.Ring.length r);
+  Obs.Ring.push r (ev Event.Sat_call);
+  Obs.Ring.push r (ev (Event.Lb 1));
+  Alcotest.(check int) "two retained" 2 (Obs.Ring.length r);
+  Alcotest.(check int) "two ever" 2 (Obs.Ring.total r);
+  match List.map (fun e -> e.Event.kind) (Obs.Ring.contents r) with
+  | [ Event.Sat_call; Event.Lb 1 ] -> ()
+  | _ -> Alcotest.fail "contents should be oldest-first"
+
+let test_ring_wraparound () =
+  let r = Obs.Ring.create 4 in
+  for i = 1 to 10 do
+    Obs.Ring.push r (ev (Event.Lb i))
+  done;
+  Alcotest.(check int) "total counts past capacity" 10 (Obs.Ring.total r);
+  Alcotest.(check int) "length clamps at capacity" 4 (Obs.Ring.length r);
+  (* The four youngest survive, oldest first. *)
+  let kinds = List.map (fun e -> e.Event.kind) (Obs.Ring.contents r) in
+  Alcotest.(check bool)
+    "retains the last four pushes" true
+    (kinds = [ Event.Lb 7; Event.Lb 8; Event.Lb 9; Event.Lb 10 ])
+
+let test_ring_sink () =
+  let r = Obs.Ring.create 4 in
+  let s = Obs.Ring.sink r in
+  Obs.emit s ~id:3 Event.Sat_call;
+  match Obs.Ring.contents r with
+  | [ e ] ->
+      Alcotest.(check int) "sink stamps the id" 3 e.Event.id;
+      Alcotest.(check bool) "timestamped" true (e.Event.at > 0.)
+  | _ -> Alcotest.fail "one event expected"
+
+(* ----- histogram buckets ----- *)
+
+let test_log_buckets () =
+  let b = Obs.Metrics.log_buckets ~lo:1.0 ~hi:16.0 5 in
+  Alcotest.(check int) "bucket count" 5 (Array.length b);
+  Array.iteri
+    (fun i expected ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "geometric bound %d" i)
+        expected b.(i))
+    [| 1.0; 2.0; 4.0; 8.0; 16.0 |]
+
+let test_histogram_boundaries () =
+  let h =
+    Obs.Metrics.histogram
+      ~registry:(Obs.Metrics.create ())
+      ~buckets:[| 1.0; 10.0; 100.0 |]
+      "test_hist"
+  in
+  (* le semantics: a value exactly on a bound lands in that bucket; one
+     past the last bound lands in +Inf. *)
+  List.iter (Obs.Metrics.observe h) [ 0.5; 1.0; 1.5; 10.0; 99.0; 101.0 ];
+  Alcotest.(check int) "count" 6 (Obs.Metrics.histogram_count h);
+  Alcotest.(check (float 1e-9)) "sum" 213.0 (Obs.Metrics.histogram_sum h);
+  Alcotest.(check (array int))
+    "per-bucket counts (le 1, le 10, le 100, +Inf)"
+    [| 2; 2; 1; 1 |]
+    (Obs.Metrics.histogram_counts h)
+
+let test_metrics_export () =
+  let reg = Obs.Metrics.create () in
+  let c = Obs.Metrics.counter ~registry:reg ~help:"a counter" "test_total" in
+  let g = Obs.Metrics.gauge ~registry:reg "test_depth" in
+  Obs.Metrics.inc ~by:3 c;
+  Obs.Metrics.set g 2.5;
+  let prom = Obs.Metrics.to_prometheus reg in
+  Alcotest.(check bool)
+    "prometheus counter line" true
+    (let needle = "test_total 3" in
+     let rec find i =
+       i + String.length needle <= String.length prom
+       && (String.sub prom i (String.length needle) = needle || find (i + 1))
+     in
+     find 0);
+  let json = Obs.Metrics.to_json reg in
+  Alcotest.(check bool)
+    "json mentions the gauge" true
+    (let needle = "\"test_depth\"" in
+     let rec find i =
+       i + String.length needle <= String.length json
+       && (String.sub json i (String.length needle) = needle || find (i + 1))
+     in
+     find 0);
+  (* Registration is idempotent by name: re-registering returns the
+     live metric, not a fresh zero. *)
+  let c' = Obs.Metrics.counter ~registry:reg "test_total" in
+  Alcotest.(check int) "same counter" 3 (Obs.Metrics.counter_value c')
+
+(* ----- wire and JSONL round-trips ----- *)
+
+let all_kinds =
+  [
+    Event.Sat_call;
+    Event.Core { size = 17; fresh_blocking = 4 };
+    Event.Lb 3;
+    Event.Ub 9;
+    Event.Card_constraint { arity = 12; bound = 2 };
+    Event.Restart;
+    Event.Reduce_db { kept = 105 };
+    Event.Rebuild;
+    Event.Cache_hit;
+    Event.Cache_miss;
+    Event.Queue_enqueue { depth = 5 };
+    Event.Queue_dequeue { depth = 4 };
+    Event.Worker_spawn { pid = 4242 };
+    Event.Worker_exit { pid = 4242; status = 0 };
+    Event.Note "free-form narration, with spaces";
+  ]
+
+let test_wire_round_trip () =
+  List.iteri
+    (fun i kind ->
+      let e = { Event.id = i; at = 1234.5 +. float_of_int i; kind } in
+      match Event.of_wire (Event.to_wire e) with
+      | None -> Alcotest.fail ("of_wire failed on: " ^ Event.to_wire e)
+      | Some e' ->
+          Alcotest.(check int) "id survives" e.Event.id e'.Event.id;
+          Alcotest.(check bool)
+            ("kind survives: " ^ Event.kind_to_string kind)
+            true
+            (e'.Event.kind = kind))
+    all_kinds
+
+let test_jsonl_round_trip () =
+  let events =
+    List.mapi
+      (fun i kind -> { Event.id = i; at = 99.0 +. float_of_int i; kind })
+      all_kinds
+  in
+  let path = Filename.temp_file "msu-obs" ".trace.jsonl" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  let oc = open_out path in
+  let s = Obs.Jsonl.sink oc in
+  List.iter (Obs.feed s) events;
+  close_out oc;
+  let ic = open_in path in
+  let back = Obs.Jsonl.read_all ic in
+  close_in ic;
+  Alcotest.(check int) "all lines parsed" (List.length events) (List.length back);
+  List.iter2
+    (fun e e' ->
+      Alcotest.(check int) "id" e.Event.id e'.Event.id;
+      Alcotest.(check bool)
+        ("kind: " ^ Event.kind_to_string e.Event.kind)
+        true
+        (e.Event.kind = e'.Event.kind))
+    events back
+
+(* ----- event ordering across a fork ----- *)
+
+(* A forked worker emits over a pipe in wire form, the parent feeds the
+   lines back into a sink — the portfolio/service forwarding path in
+   miniature.  Order and payloads must survive. *)
+let test_forked_worker_ordering () =
+  let rd, wr = Unix.pipe () in
+  match Unix.fork () with
+  | 0 ->
+      Unix.close rd;
+      let oc = Unix.out_channel_of_descr wr in
+      let sink =
+        Obs.of_fn (fun e -> output_string oc (Event.to_wire e ^ "\n"))
+      in
+      for i = 1 to 50 do
+        Obs.emit sink ~id:7 (Event.Lb i)
+      done;
+      Obs.emit sink ~id:7 (Event.Ub 50);
+      close_out oc;
+      Unix._exit 0
+  | pid ->
+      Unix.close wr;
+      let ic = Unix.in_channel_of_descr rd in
+      let col = Obs.Collector.create () in
+      let parent = Obs.Collector.sink col in
+      (try
+         while true do
+           match Event.of_wire (input_line ic) with
+           | Some e -> Obs.feed parent e
+           | None -> Alcotest.fail "unparseable wire line"
+         done
+       with End_of_file -> ());
+      close_in ic;
+      ignore (Unix.waitpid [] pid);
+      let events = Obs.Collector.events col in
+      Alcotest.(check int) "all events crossed the pipe" 51 (List.length events);
+      List.iter
+        (fun e -> Alcotest.(check int) "id preserved" 7 e.Event.id)
+        events;
+      let bounds =
+        List.filter_map
+          (fun e -> match e.Event.kind with Event.Lb v -> Some v | _ -> None)
+          events
+      in
+      Alcotest.(check (list int))
+        "lower bounds arrive in emission order"
+        (List.init 50 (fun i -> i + 1))
+        bounds;
+      let tl = Obs.Timeline.of_events events in
+      Alcotest.(check bool) "timeline monotone" true (Obs.Timeline.monotone tl);
+      Alcotest.(check bool)
+        "final bracket" true
+        (Obs.Timeline.final tl = (Some 50, Some 50))
+
+(* ----- event-vs-stats consistency oracle ----- *)
+
+let example () =
+  (* The paper's running example (8 unit-weight soft clauses, optimum
+     cost 2) — small enough for every algorithm, large enough to force
+     several cores. *)
+  let w = Wcnf.create () in
+  let lit d = Lit.of_dimacs d in
+  List.iter
+    (fun c -> ignore (Wcnf.add_soft w (Array.of_list (List.map lit c))))
+    [
+      [ 1 ]; [ -1; -2 ]; [ 2 ]; [ -1; -3 ]; [ 3 ]; [ -2; -3 ]; [ 1; -4 ]; [ -1; 4 ];
+    ];
+  w
+
+let oracle_algorithms =
+  [ M.Msu1; M.Msu2; M.Msu3; M.Msu4_v1; M.Msu4_v2; M.Oll; M.Wpm1; M.Pbo_linear ]
+
+let test_consistency_oracle () =
+  List.iter
+    (fun alg ->
+      let name = M.algorithm_to_string alg in
+      let col = Obs.Collector.create () in
+      let config =
+        { T.default_config with T.sink = Obs.Collector.sink col }
+      in
+      let r = M.solve ~config alg (example ()) in
+      let tl = Obs.Timeline.of_events (Obs.Collector.events col) in
+      Alcotest.(check int)
+        (name ^ ": Sat_call events = stats.sat_calls")
+        r.T.stats.T.sat_calls tl.Obs.Timeline.sat_calls;
+      Alcotest.(check int)
+        (name ^ ": Core events = stats.cores")
+        r.T.stats.T.cores tl.Obs.Timeline.cores;
+      Alcotest.(check bool)
+        (name ^ ": timeline monotone")
+        true
+        (Obs.Timeline.monotone tl);
+      match r.T.outcome with
+      | T.Optimum c ->
+          Alcotest.(check bool)
+            (name ^ ": timeline ends at the certified optimum")
+            true
+            (Obs.Timeline.final tl = (Some c, Some c))
+      | _ -> Alcotest.fail (name ^ ": expected an optimum"))
+    oracle_algorithms
+
+(* Rebuild-mode solves must narrate their reconstructions. *)
+let test_rebuild_events () =
+  let col = Obs.Collector.create () in
+  let config =
+    {
+      T.default_config with
+      T.incremental = false;
+      T.sink = Obs.Collector.sink col;
+    }
+  in
+  let r = M.solve ~config M.Msu4_v2 (example ()) in
+  let rebuilds =
+    List.length
+      (List.filter
+         (fun e -> e.Event.kind = Event.Rebuild)
+         (Obs.Collector.events col))
+  in
+  Alcotest.(check int)
+    "Rebuild events = stats.rebuilds" r.T.stats.T.rebuilds rebuilds
+
+let suite =
+  [
+    Alcotest.test_case "ring basic" `Quick test_ring_basic;
+    Alcotest.test_case "ring wraparound" `Quick test_ring_wraparound;
+    Alcotest.test_case "ring sink stamps" `Quick test_ring_sink;
+    Alcotest.test_case "log buckets" `Quick test_log_buckets;
+    Alcotest.test_case "histogram boundaries" `Quick test_histogram_boundaries;
+    Alcotest.test_case "metrics export" `Quick test_metrics_export;
+    Alcotest.test_case "wire round-trip" `Quick test_wire_round_trip;
+    Alcotest.test_case "jsonl round-trip" `Quick test_jsonl_round_trip;
+    Alcotest.test_case "forked worker ordering" `Quick test_forked_worker_ordering;
+    Alcotest.test_case "consistency oracle" `Quick test_consistency_oracle;
+    Alcotest.test_case "rebuild events" `Quick test_rebuild_events;
+  ]

@@ -259,7 +259,28 @@ let test_e2e_cache_hit () =
     r4.Client.cached;
   let s = Client.stats ~socket:sock in
   Alcotest.(check bool) "stats count the hits" true (s.Proto.hits >= 2);
-  Alcotest.(check bool) "stats count the misses" true (s.Proto.misses >= 2)
+  Alcotest.(check bool) "stats count the misses" true (s.Proto.misses >= 2);
+  (* Live observability riding the Stats reply. *)
+  Alcotest.(check int) "pool size reported" 1 s.Proto.workers_total;
+  Alcotest.(check bool)
+    "hit rate between 0 and 1" true
+    (s.Proto.hit_rate > 0. && s.Proto.hit_rate <= 1.);
+  Alcotest.(check bool)
+    "optimum outcomes counted" true
+    (match List.assoc_opt "optimum" s.Proto.outcomes with
+    | Some n -> n >= 3
+    | None -> false);
+  let contains hay needle =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool)
+    "prometheus text carries the hit-rate gauge" true
+    (contains s.Proto.prometheus "msu_service_cache_hit_rate");
+  Alcotest.(check bool)
+    "prometheus text carries the queue-depth gauge" true
+    (contains s.Proto.prometheus "msu_jobq_depth")
 
 (* A worker crash is the requesting client's problem only: its reply is
    Crashed, and the daemon immediately serves the next request. *)
