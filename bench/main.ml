@@ -25,6 +25,11 @@
                    convergence timelines reconstructed from the typed
                    event stream, checked monotone and consistent with
                    the stats records (BENCH_trace.json)
+     ablation-chaos
+                   crash-recovery closed loop: warm-resume vs cold SAT
+                   calls, a journalling daemon SIGKILL'd mid-load and
+                   replayed with zero lost jobs, corrupt-file
+                   tolerance (BENCH_chaos.json)
      micro         Bechamel micro-benchmarks, one per table/figure
      all           everything above (default)
 
@@ -862,6 +867,381 @@ let ablation_service () =
       ("optima_match", Json.Bool (mismatches = []));
     ]
 
+(* Chaos ablation.  Closed-loop abuse of the crash-recovery subsystem:
+
+     1. warm-vs-cold — every instance is solved cold, then re-solved
+        seeded with its own certified checkpoint; the warm solve must
+        spend strictly fewer SAT calls (the measurable payoff of
+        checkpoint resume);
+     2. daemon chaos — a journalling daemon is loaded up (the first
+        job's worker is SIGKILL'd mid-solve by an armed fault), then
+        SIGKILL'd itself with the queue still full; a second daemon on
+        the same journal must replay and finish every admitted job,
+        crash-retry probes must come back as optima, every resubmitted
+        instance must match the cold optimum and pass Certify.recost,
+        and the journal must end with zero pending records — no
+        accepted job lost;
+     3. corruption — torn, bit-flipped, and alien journals, a corrupt
+        cache snapshot, and a torn checkpoint frame must degrade
+        (shorter replay, empty cache, dropped frame), never crash.
+
+   Emits BENCH_chaos.json plus the mid-crash journal as a CI specimen;
+   exits nonzero on any violation. *)
+
+let ablation_chaos () =
+  let module Service = Msu_service.Service in
+  let module Client = Msu_service.Client in
+  let module Proto = Msu_service.Protocol in
+  let module Journal = Msu_service.Journal in
+  let module Cache = Msu_service.Cache in
+  let module Ck = Msu_guard.Checkpoint in
+  let module Certify = Msu_maxsat.Certify in
+  let violations = ref [] in
+  let complain fmt = Printf.ksprintf (fun m -> violations := m :: !violations) fmt in
+  let subsample l = if !smoke then List.filteri (fun i _ -> i mod 3 = 0) l else l in
+  let instances = subsample (to_wcnf (Suites.mixed ~scale:!scale ~seed:!seed ())) in
+  Printf.printf
+    "\nAblation H - chaos: crash recovery under worker kills, daemon kills, and \
+     corrupt files (%d instances, timeout %.1fs)\n%!"
+    (List.length instances) !timeout;
+
+  (* -- phase 1: a warm-resumed solve must beat its cold run ----------- *)
+  let cold =
+    List.map
+      (fun (name, _, w) ->
+        let config =
+          { T.default_config with T.deadline = Unix.gettimeofday () +. !timeout }
+        in
+        (name, w, M.solve_supervised ~config M.Pbo_linear w))
+      instances
+  in
+  let reference =
+    List.filter_map
+      (fun (name, _, r) ->
+        match r.T.outcome with T.Optimum c -> Some (name, c) | _ -> None)
+      cold
+  in
+  let warm_pairs =
+    List.filter_map
+      (fun (name, w, r) ->
+        match (r.T.outcome, r.T.model) with
+        | T.Optimum c, Some m when r.T.stats.T.sat_calls > 1 ->
+            let ck =
+              {
+                Ck.lb = c;
+                ub = Some c;
+                model = Some m;
+                marker = Msu_guard.Guard.Progress.No_marker;
+              }
+            in
+            let config =
+              {
+                T.default_config with
+                T.deadline = Unix.gettimeofday () +. !timeout;
+                resume = Some ck;
+              }
+            in
+            let wr = M.solve_supervised ~config M.Pbo_linear w in
+            (match wr.T.outcome with
+            | T.Optimum c' when c' <> c ->
+                complain "%s: warm resume changed the optimum (%d vs %d)" name c' c
+            | T.Optimum _ -> ()
+            | _ -> complain "%s: warm resume failed to re-prove the optimum" name);
+            Some (name, r.T.stats.T.sat_calls, wr.T.stats.T.sat_calls)
+        | _ -> None)
+      cold
+  in
+  let warm_wins = List.length (List.filter (fun (_, c, w) -> w < c) warm_pairs) in
+  if warm_pairs <> [] && warm_wins = 0 then
+    complain "no warm-resumed solve spent fewer SAT calls than its cold run";
+  let cold_calls = List.fold_left (fun a (_, c, _) -> a + c) 0 warm_pairs in
+  let warm_calls = List.fold_left (fun a (_, _, w) -> a + w) 0 warm_pairs in
+  Printf.printf
+    "  warm resume: %d/%d instances strictly cheaper (%d cold SAT calls -> %d warm)\n%!"
+    warm_wins (List.length warm_pairs) cold_calls warm_calls;
+
+  (* -- phase 2: kill a worker, then SIGKILL the daemon mid-load ------- *)
+  let sock = Filename.temp_file "msu-bench-chaos" ".sock" in
+  let jpath = Filename.temp_file "msu-bench-chaos" ".wal" in
+  let spawn_daemon () =
+    flush stdout;
+    flush stderr;
+    let pid = Unix.fork () in
+    if pid = 0 then begin
+      let cfg =
+        {
+          (Service.default_config ~socket_path:sock) with
+          Service.workers = 2;
+          default_timeout = !timeout;
+          grace = 0.3;
+          journal_file = Some jpath;
+          max_attempts = 3;
+          retry_backoff = 0.2;
+        }
+      in
+      (try Service.run cfg with _ -> ());
+      Unix._exit 0
+    end;
+    pid
+  in
+  let pid_a = spawn_daemon () in
+  let fd = Client.connect sock in
+  let accepted = ref 0 in
+  List.iteri
+    (fun i (name, _, w) ->
+      let options =
+        {
+          Proto.default_options with
+          Proto.timeout = Some !timeout;
+          fault = (if i = 0 then Some Msu_guard.Fault.Kill_mid_solve else None);
+        }
+      in
+      match Client.submit fd ~options w with
+      | Ok _ -> incr accepted
+      | Error e -> complain "daemon A rejected %s: %s" name e)
+    instances;
+  (* The queue is still full and job 0's worker was just SIGKILL'd by
+     its armed fault (its retry parked on a 0.2 s backoff): kill the
+     daemon outright — the no-flush crash the journal exists for. *)
+  Unix.kill pid_a Sys.sigkill;
+  ignore (Unix.waitpid [] pid_a);
+  (try Client.close fd with Unix.Unix_error _ -> ());
+  let replayed0 = Journal.replay jpath in
+  let admitted0 =
+    List.length
+      (List.filter
+         (function Journal.Admitted _ -> true | Journal.Completed _ -> false)
+         replayed0)
+  in
+  let pending0 = Journal.pending replayed0 in
+  Printf.printf
+    "  daemon A SIGKILL'd mid-load: journal holds %d records (%d admitted), %d \
+     jobs pending\n%!"
+    (List.length replayed0) admitted0 (List.length pending0);
+  if admitted0 <> !accepted then
+    complain "journal lost admitted records: %d accepted, %d journalled" !accepted
+      admitted0;
+  if pending0 = [] then
+    complain "daemon A finished everything before the kill - nothing exercised replay";
+  (* Archive the mid-crash journal as a CI specimen before daemon B
+     compacts it away. *)
+  let specimen =
+    let ic = open_in_bin jpath in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  in
+  write_file "chaos_journal_specimen.wal" specimen;
+  let pid_b = spawn_daemon () in
+  let deadline = Unix.gettimeofday () +. 60.0 in
+  let rec settle () =
+    let s = Client.stats ~socket:sock in
+    if
+      s.Proto.queue_depth = 0 && s.Proto.running = 0
+      && s.Proto.completed >= List.length pending0
+    then s
+    else if Unix.gettimeofday () > deadline then begin
+      complain "daemon B failed to drain the replayed jobs within 60 s";
+      s
+    end
+    else begin
+      Unix.sleepf 0.05;
+      settle ()
+    end
+  in
+  let s_replay = settle () in
+  Printf.printf "  daemon B replayed the journal: %d jobs completed\n%!"
+    s_replay.Proto.completed;
+  (* Crash-retry probes: a worker is SIGKILL'd mid-solve, the retry
+     must warm-resume from its checkpoint and still prove the optimum. *)
+  List.iteri
+    (fun i (name, _, w) ->
+      if i < 2 then
+        let options =
+          {
+            Proto.default_options with
+            Proto.timeout = Some !timeout;
+            use_cache = false;
+            fault = Some Msu_guard.Fault.Kill_mid_solve;
+          }
+        in
+        match Client.solve ~options ~socket:sock w with
+        | Error e -> complain "crash probe %s rejected: %s" name e
+        | Ok r -> (
+            match (r.Client.outcome, List.assoc_opt name reference) with
+            | T.Optimum c, Some c' when c <> c' ->
+                complain "crash probe %s: optimum %d after retry, cold proved %d"
+                  name c c'
+            | T.Optimum _, _ -> ()
+            | _, None -> ()
+            | o, _ ->
+                complain "crash probe %s: retry did not re-prove the optimum (%s)"
+                  name
+                  (Format.asprintf "%a" T.pp_outcome o)))
+    instances;
+  (* Every admitted instance, resubmitted: the answer (replayed into
+     the cache or re-solved) must match the cold optimum and survive
+     re-costing against the instance. *)
+  let resubmitted = ref 0 and certified = ref 0 in
+  List.iter
+    (fun (name, _, w) ->
+      let options = { Proto.default_options with Proto.timeout = Some !timeout } in
+      match Client.solve ~options ~socket:sock w with
+      | Error e -> complain "resubmit %s rejected: %s" name e
+      | Ok r -> (
+          incr resubmitted;
+          match r.Client.outcome with
+          | T.Optimum c ->
+              (match List.assoc_opt name reference with
+              | Some c' when c <> c' ->
+                  complain "%s: served optimum %d, cold solve proved %d" name c c'
+              | _ -> ());
+              let report =
+                Certify.recost w
+                  {
+                    T.outcome = r.Client.outcome;
+                    model = r.Client.model;
+                    stats = T.empty_stats;
+                    elapsed = r.Client.elapsed;
+                  }
+              in
+              if Certify.ok report then incr certified
+              else complain "%s: served result failed certification" name
+          | T.Bounds { lb; ub } -> (
+              match List.assoc_opt name reference with
+              | Some c'
+                when lb > c'
+                     || (match ub with Some u -> u < c' | None -> false) ->
+                  complain "%s: served bounds [%d, %s] exclude the optimum %d" name
+                    lb
+                    (match ub with Some u -> string_of_int u | None -> "?")
+                    c'
+              | _ -> ())
+          | o ->
+              complain "%s: resubmission served %s" name
+                (Format.asprintf "%a" T.pp_outcome o)))
+    instances;
+  let s_final = Client.stats ~socket:sock in
+  if s_final.Proto.crashes < 1 then
+    complain "no worker crash recorded despite Kill_mid_solve probes";
+  Client.shutdown ~drain:true ~socket:sock ();
+  ignore (Unix.waitpid [] pid_b);
+  let final_pending = Journal.pending (Journal.replay jpath) in
+  if final_pending <> [] then
+    complain "%d accepted jobs still pending in the journal after drain - lost work"
+      (List.length final_pending);
+  Printf.printf
+    "  resubmitted %d instances: %d certified optima, %d worker crashes survived, \
+     %d jobs pending at exit\n%!"
+    !resubmitted !certified s_final.Proto.crashes
+    (List.length final_pending);
+  (try Sys.remove sock with Sys_error _ -> ());
+
+  (* -- phase 3: corrupt files must degrade, never crash --------------- *)
+  let w0 = match instances with (_, _, w) :: _ -> w | [] -> assert false in
+  let admitted id =
+    Journal.Admitted
+      {
+        id;
+        wcnf = Proto.to_wire w0;
+        options = Proto.default_options;
+        submitted = 0.0;
+      }
+  in
+  let mk_journal records =
+    let j = Journal.restart jpath ~keep:[] in
+    List.iter (Journal.append j) records;
+    Journal.close j
+  in
+  let file_size p = (Unix.stat p).Unix.st_size in
+  mk_journal [ admitted 1; admitted 2; admitted 3 ];
+  let fdj = Unix.openfile jpath [ Unix.O_WRONLY ] 0o644 in
+  Unix.ftruncate fdj (file_size jpath - 5);
+  Unix.close fdj;
+  let ok_torn = List.length (Journal.replay jpath) = 2 in
+  if not ok_torn then complain "torn journal tail lost more than the torn record";
+  mk_journal [ admitted 1; admitted 2; admitted 3 ];
+  let fdj = Unix.openfile jpath [ Unix.O_RDWR ] 0o644 in
+  let mid = file_size jpath / 2 in
+  ignore (Unix.lseek fdj mid Unix.SEEK_SET);
+  let b = Bytes.create 1 in
+  ignore (Unix.read fdj b 0 1);
+  ignore (Unix.lseek fdj mid Unix.SEEK_SET);
+  Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0xff));
+  ignore (Unix.write fdj b 0 1);
+  Unix.close fdj;
+  let ok_flip =
+    match Journal.replay jpath with l -> List.length l < 3 | exception _ -> false
+  in
+  if not ok_flip then complain "bit-flipped journal was not detected";
+  let oc = open_out jpath in
+  output_string oc "not a journal at all\n";
+  close_out oc;
+  let ok_alien = Journal.replay jpath = [] in
+  if not ok_alien then complain "alien journal file replayed as non-empty";
+  let ok_cache =
+    match Cache.load ~capacity:8 jpath with
+    | c -> Cache.length c = 0
+    | exception _ -> false
+  in
+  if not ok_cache then complain "corrupt cache snapshot did not load as empty";
+  (try Sys.remove jpath with Sys_error _ -> ());
+  let rd = Ck.reader () in
+  let ck =
+    { Ck.lb = 1; ub = Some 3; model = None; marker = Msu_guard.Guard.Progress.No_marker }
+  in
+  let wire = Ck.to_wire ck in
+  Ck.feed rd (wire ^ "\n");
+  Ck.feed rd (String.sub wire 0 (String.length wire / 2) ^ "\n");
+  let ok_ck = Ck.latest rd = Some ck && Ck.dropped rd = 1 in
+  if not ok_ck then complain "torn checkpoint frame corrupted the kept checkpoint";
+  Printf.printf "  corruption: torn/flipped/alien journals, cache, checkpoint all \
+                 degraded cleanly\n%!";
+
+  write_bench_json "chaos"
+    [
+      ("instances", Json.Int (List.length instances));
+      ( "warm_resume",
+        Json.Obj
+          [
+            ("compared", Json.Int (List.length warm_pairs));
+            ("strictly_cheaper", Json.Int warm_wins);
+            ("cold_sat_calls", Json.Int cold_calls);
+            ("warm_sat_calls", Json.Int warm_calls);
+          ] );
+      ( "daemon",
+        Json.Obj
+          [
+            ("accepted", Json.Int !accepted);
+            ("journal_records_at_kill", Json.Int (List.length replayed0));
+            ("pending_at_kill", Json.Int (List.length pending0));
+            ("completed_after_restart", Json.Int s_replay.Proto.completed);
+            ("worker_crashes", Json.Int s_final.Proto.crashes);
+            ("resubmitted", Json.Int !resubmitted);
+            ("certified", Json.Int !certified);
+            ("final_pending", Json.Int (List.length final_pending));
+          ] );
+      ( "corruption",
+        Json.Obj
+          [
+            ("journal_torn_tail", Json.Bool ok_torn);
+            ("journal_bit_flip", Json.Bool ok_flip);
+            ("journal_alien", Json.Bool ok_alien);
+            ("cache_snapshot", Json.Bool ok_cache);
+            ("checkpoint_frame", Json.Bool ok_ck);
+          ] );
+      ("violations", Json.List (List.map (fun m -> Json.Str m) (List.rev !violations)));
+    ];
+  if !violations <> [] then begin
+    Printf.printf "  CHAOS VIOLATIONS:\n";
+    List.iter (fun m -> Printf.printf "    %s\n" m) (List.rev !violations);
+    exit 1
+  end
+  else
+    Printf.printf
+      "  chaos: no accepted job lost, every served optimum certified, corrupt \
+       files tolerated\n%!"
+
 (* ----- Bechamel micro-benchmarks: one Test.make per table/figure ----- *)
 
 let micro () =
@@ -1063,6 +1443,7 @@ let () =
   | "ablation-portfolio" -> ablation_portfolio ()
   | "ablation-service" -> ablation_service ()
   | "ablation-trace" -> ablation_trace ()
+  | "ablation-chaos" -> ablation_chaos ()
   | "micro" -> micro ()
   | "all" ->
       table1 ();
@@ -1078,6 +1459,7 @@ let () =
       ablation_portfolio ();
       ablation_service ();
       ablation_trace ();
+      ablation_chaos ();
       micro ()
   | other ->
       Printf.eprintf "unknown command %S\n%s\n" other usage;

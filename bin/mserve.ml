@@ -12,7 +12,7 @@ module Service = Msu_service.Service
 module Obs = Msu_obs.Obs
 
 let run socket workers queue_cap cache_cap cache_file timeout grace quiet
-    metrics_file events =
+    metrics_file events journal_file max_attempts retry_backoff =
   let sink =
     if events then
       Obs.of_fn (fun e ->
@@ -33,6 +33,9 @@ let run socket workers queue_cap cache_cap cache_file timeout grace quiet
          else Some (fun m -> Printf.printf "c [mserve] %s\n%!" m));
       sink;
       metrics_file;
+      journal_file;
+      max_attempts;
+      retry_backoff;
     }
   in
   match Service.run ~handle_signals:true cfg with
@@ -115,6 +118,35 @@ let events =
           "Log every observability event (queue, cache, worker life cycle \
            and each worker's forwarded solve events) as comment lines.")
 
+let journal_file =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "journal" ] ~docv:"PATH"
+        ~doc:
+          "Write-ahead journal: every admitted job is recorded (fsync'd) \
+           before the client sees Accepted and marked done when its result \
+           is delivered.  After a crash, restarting with the same $(docv) \
+           replays and re-runs every unfinished job.")
+
+let max_attempts =
+  Arg.(
+    value & opt int 2
+    & info [ "max-attempts" ] ~docv:"N"
+        ~doc:
+          "Total workers one job may consume.  Attempts past the first fire \
+           only when a worker dies spontaneously (crash, OOM-kill) and \
+           warm-resume from the dead worker's last checkpoint; exhausted \
+           attempts degrade to the checkpointed bounds.")
+
+let retry_backoff =
+  Arg.(
+    value & opt float 0.25
+    & info [ "retry-backoff" ] ~docv:"SECONDS"
+        ~doc:
+          "Base delay before respawning a crashed job's worker, doubled for \
+           each attempt already made.")
+
 let cmd =
   let doc = "persistent MaxSAT solve service (fingerprint cache, worker pool)" in
   let man =
@@ -130,12 +162,18 @@ let cmd =
       `P "SIGINT/SIGTERM shut the daemon down through the same path as a \
           client $(b,shutdown) request: workers are cancelled via the \
           SIGTERM/flush/SIGKILL ladder and the cache is persisted.";
+      `P
+        "With $(b,--journal), a daemon killed outright (SIGKILL, power \
+         loss) loses no accepted work: restart it with the same journal \
+         path and every admitted-but-unfinished job is replayed, solved, \
+         and its optimum parked in the cache for the resubmitting client.";
     ]
   in
   Cmd.v
     (Cmd.info "mserve" ~version:"1.0" ~doc ~man)
     Term.(
       const run $ socket $ workers $ queue_cap $ cache_cap $ cache_file
-      $ timeout $ grace $ quiet $ metrics_file $ events)
+      $ timeout $ grace $ quiet $ metrics_file $ events $ journal_file
+      $ max_attempts $ retry_backoff)
 
 let () = exit (Cmd.eval' cmd)

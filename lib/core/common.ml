@@ -37,6 +37,12 @@ let with_guard (cfg : Types.config) =
 let event (cfg : Types.config) kind = Obs.emit cfg.sink ~id:cfg.solve_id kind
 let trace (cfg : Types.config) msg = Obs.note cfg.sink ~id:cfg.solve_id msg
 
+(* Every improved bound forces a guard tick so the checkpoint writer /
+   portfolio broadcaster flushes it immediately — a worker killed right
+   after proving a bound must not lose it to the sampled cadence. *)
+let force_tick (cfg : Types.config) =
+  match cfg.guard with Some g -> Guard.tick g | None -> ()
+
 (* Bound publication routes through the progress cell so the emitted
    Lb/Ub events are strictly improving — the timeline-monotonicity
    guarantee lives here, not in each algorithm. *)
@@ -45,7 +51,8 @@ let publish_lb (cfg : Types.config) lb =
   | Some cell ->
       if lb > Guard.Progress.lb cell then begin
         Guard.Progress.note_lb cell lb;
-        event cfg (Obs.Event.Lb lb)
+        event cfg (Obs.Event.Lb lb);
+        force_tick cfg
       end
   | None -> event cfg (Obs.Event.Lb lb)
 
@@ -56,16 +63,57 @@ let publish_ub (cfg : Types.config) ub model =
         match Guard.Progress.ub cell with None -> true | Some u -> ub < u
       in
       Guard.Progress.note_ub cell ub model;
-      if improved then event cfg (Obs.Event.Ub ub)
+      if improved then begin
+        event cfg (Obs.Event.Ub ub);
+        force_tick cfg
+      end
   | None -> event cfg (Obs.Event.Ub ub)
 
 let note_lb = publish_lb
 
 let note_ub (cfg : Types.config) ub model =
   publish_ub cfg ub model;
-  (* Fault hook: a crash right after the first published bound exercises
-     the supervisor's partial-result salvage end to end. *)
-  if Fault.consume Fault.Crash_mid_solve then raise Stack_overflow
+  (* Fault hooks: a crash right after the first published bound
+     exercises the supervisor's partial-result salvage; a raw SIGKILL
+     (no flush, no unwind) exercises the checkpoint pipe — the forced
+     tick above already streamed the bound out. *)
+  if Fault.consume Fault.Crash_mid_solve then raise Stack_overflow;
+  if Fault.consume Fault.Kill_mid_solve then
+    Unix.kill (Unix.getpid ()) Sys.sigkill
+
+let note_marker (cfg : Types.config) m =
+  match cfg.progress with
+  | Some cell -> Guard.Progress.note_marker cell m
+  | None -> ()
+
+(* Re-verify a checkpointed incumbent against an instance.  Published
+   models carry auxiliary solver variables past the instance's, so the
+   model is truncated to [num_vars] before costing; anything that does
+   not re-cost to exactly the checkpointed ub is rejected — the process
+   that wrote the frame may have been corrupted. *)
+let checkpoint_incumbent w (ck : Msu_guard.Checkpoint.t) =
+  match (ck.Msu_guard.Checkpoint.model, ck.Msu_guard.Checkpoint.ub) with
+  | Some m, Some ub ->
+      let n = Msu_cnf.Wcnf.num_vars w in
+      if Array.length m < n then None
+      else
+        let m = if Array.length m = n then Array.copy m else Array.sub m 0 n in
+        if Msu_cnf.Wcnf.cost_of_model w m = Some ub then Some (ub, m) else None
+  | _ -> None
+
+(* The verified half of a warm resume: the checkpointed incumbent is
+   only trusted after re-costing it against this instance.  Returns the
+   (cost, model) to seed the algorithm's incumbent with, and publishes
+   it so the bracket is live from the first iteration. *)
+let resume_incumbent (cfg : Types.config) w =
+  match cfg.resume with
+  | Some ck -> (
+      match checkpoint_incumbent w ck with
+      | Some (ub, model) ->
+          publish_ub cfg ub (Some model);
+          Some (ub, model)
+      | None -> None)
+  | None -> None
 
 (* Process-wide solve metrics, fed once per finished solve from the
    final stats record (cheap and overflow-proof, unlike per-event

@@ -35,7 +35,25 @@ val note_lb : Types.config -> int -> unit
 
 val note_ub : Types.config -> int -> bool array option -> unit
 (** Publish an improved upper bound (and its model); emits [Ub] on
-    improvement.  Also the crash-fault injection point. *)
+    improvement.  Also the crash-fault injection point.  Every improved
+    bound forces a guard tick so checkpoint writers flush it before the
+    algorithm can die. *)
+
+val note_marker : Types.config -> Msu_guard.Guard.Progress.marker -> unit
+(** Record where in its iteration scheme the algorithm is; rides along
+    in warm-resume checkpoints. *)
+
+val checkpoint_incumbent :
+  Msu_cnf.Wcnf.t -> Msu_guard.Checkpoint.t -> (int * bool array) option
+(** Re-verify a checkpointed incumbent against an instance: truncate the
+    model to the instance's variables and require it to re-cost to
+    exactly the checkpointed ub.  [None] on any mismatch. *)
+
+val resume_incumbent : Types.config -> Msu_cnf.Wcnf.t -> (int * bool array) option
+(** The checkpointed incumbent from [cfg.resume], re-verified against
+    this instance ([cost_of_model w m = Some ub]); publishes it and
+    returns the [(cost, model)] to seed the algorithm's incumbent with.
+    [None] when there is no checkpoint or verification fails. *)
 
 val card_event : Types.config -> arity:int -> bound:int -> unit
 (** Record a cardinality constraint encoded over [arity] literals. *)

@@ -119,6 +119,22 @@ let solve_supervised ?(config = Types.default_config) algorithm w =
     | None -> { config with Types.progress = Some (G.Progress.create ()) }
   in
   let cell = match config.Types.progress with Some c -> c | None -> assert false in
+  (* Warm resume: the checkpointed bracket was certified by a previous
+     attempt, so it goes into the guard as external bounds (algorithms
+     prune with it) and pre-seeds the progress cell (a second crash
+     still reports at least the resumed bracket).  The incumbent model
+     is only seeded after re-costing it against this instance. *)
+  (match config.Types.resume with
+  | Some ck ->
+      (match config.Types.guard with
+      | Some g -> Msu_guard.Checkpoint.install ck g
+      | None -> ());
+      G.Progress.note_lb cell ck.Msu_guard.Checkpoint.lb;
+      (match Common.checkpoint_incumbent w ck with
+      | Some (ub, m) -> G.Progress.note_ub cell ub (Some m)
+      | None -> ());
+      G.Progress.note_marker cell ck.Msu_guard.Checkpoint.marker
+  | None -> ());
   let t0 = Unix.gettimeofday () in
   match G.supervise (fun () -> solve ~config algorithm w) with
   | Ok r -> apply_faults r

@@ -53,9 +53,20 @@ let solve_incremental (config : Types.config) w t0 =
     Common.finish config ~t0 ~stats:(Common.Tally.snapshot tally) outcome model
   in
   let bounds () = finish (Types.Bounds { lb = !lambda; ub = None }) None in
+  (* A peer (portfolio worker / resumed checkpoint) already holds a
+     model at cost <= lambda: our lower bound meets it, so the gap is
+     closed — stop and let the parent merge the two halves. *)
+  let peer_closed () =
+    match config.Types.guard with
+    | Some g -> (
+        match Msu_guard.Guard.external_ub g with
+        | Some u -> !lambda >= u
+        | None -> false)
+    | None -> false
+  in
   let first = ref true in
   let rec loop () =
-    if Common.over_deadline config then bounds ()
+    if Common.over_deadline config || peer_closed () then bounds ()
     else begin
       Common.Tally.sat_call tally;
       if !first then first := false
@@ -105,6 +116,7 @@ let solve_incremental (config : Types.config) w t0 =
             Common.card_event config ~arity:(List.length new_leaves) ~bound:(!lambda + 1);
             incr lambda;
             Common.note_lb config !lambda;
+            Common.note_marker config (Msu_guard.Guard.Progress.Core_rounds !lambda);
             Common.trace config (fun () ->
                 Printf.sprintf "UNSAT: %d newly relaxed, lambda now %d"
                   (List.length new_leaves) !lambda);
@@ -213,6 +225,8 @@ let solve_rebuild config w t0 =
                 core;
               st.lambda <- st.lambda + 1;
               Common.note_lb config st.lambda;
+              Common.note_marker config
+                (Msu_guard.Guard.Progress.Core_rounds st.lambda);
               Common.trace config (fun () ->
                   Printf.sprintf "UNSAT: %d newly relaxed, lambda now %d"
                     (List.length core) st.lambda);

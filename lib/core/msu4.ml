@@ -51,6 +51,14 @@ let solve_incremental (config : Types.config) w t0 =
   let tot = Itotalizer.create sink [||] in
   let ub = ref max_int in
   let best_model = ref None in
+  (* Warm resume: a re-verified checkpointed incumbent becomes our own
+     model (not merely an external bound), so line 30 starts tight and
+     the ub can be reported as ours. *)
+  (match Common.resume_incumbent config w with
+  | Some (cost, model) ->
+      ub := cost;
+      best_model := Some model
+  | None -> ());
   let unsat_iters = ref 0 in
   let lower_bound () = if !ub = max_int then !unsat_iters else min !unsat_iters !ub in
   (* Effective pruning bound: the tighter of our best model and any
@@ -156,6 +164,8 @@ let solve_incremental (config : Types.config) w t0 =
                   ~fresh_blocking:(List.length softs) tally;
                 incr unsat_iters;
                 Common.note_lb config (lower_bound ());
+                Common.note_marker config
+                  (Msu_guard.Guard.Progress.Core_rounds !unsat_iters);
                 let new_bs =
                   List.map
                     (fun i ->
@@ -278,6 +288,11 @@ let solve_rebuild config w t0 =
       unsat_iters = 0;
     }
   in
+  (match Common.resume_incumbent config w with
+  | Some (cost, model) ->
+      st.ub <- cost;
+      st.best_model <- Some model
+  | None -> ());
   let finish outcome =
     Common.finish config ~t0 ~stats:(Common.Tally.snapshot st.tally) outcome st.best_model
   in
@@ -322,6 +337,8 @@ let solve_rebuild config w t0 =
                 ~fresh_blocking:(List.length core) st.tally;
               st.unsat_iters <- st.unsat_iters + 1;
               Common.note_lb config (lower_bound st);
+              Common.note_marker config
+                (Msu_guard.Guard.Progress.Core_rounds st.unsat_iters);
               let new_bs =
                 List.map
                   (fun i ->

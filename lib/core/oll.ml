@@ -55,9 +55,19 @@ let solve ?(config = Types.default_config) w =
     Common.finish config ~t0 ~stats:(Common.Tally.snapshot tally) outcome model
   in
   let lb = ref 0 in
+  (* A peer (portfolio worker / resumed checkpoint) holds a model at
+     cost <= lb: the gap is closed, the parent merges the two halves. *)
+  let peer_closed () =
+    match config.Types.guard with
+    | Some g -> (
+        match Msu_guard.Guard.external_ub g with
+        | Some u -> !lb >= u
+        | None -> false)
+    | None -> false
+  in
   let first = ref true in
   let rec loop () =
-    if Common.over_deadline config then
+    if Common.over_deadline config || peer_closed () then
       finish (Types.Bounds { lb = !lb; ub = None }) None
     else begin
       Common.Tally.sat_call tally;
@@ -80,6 +90,7 @@ let solve ?(config = Types.default_config) w =
               Common.Tally.core ~size:(List.length core) tally;
               incr lb;
               Common.note_lb config !lb;
+              Common.note_marker config (Msu_guard.Guard.Progress.Core_rounds !lb);
               (* Retire the core's assumptions; collect the violation
                  indicators they were guarding. *)
               let indicators =

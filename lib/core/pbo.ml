@@ -90,6 +90,15 @@ let linear_incremental config tally w t0 =
     end
   in
   let best = ref None in
+  (* Warm resume: a re-verified incumbent becomes the starting point, so
+     the first SAT call already assumes "objective < checkpointed cost"
+     — and an immediate Unsat proves that cost optimal in one call. *)
+  (match Common.resume_incumbent config w with
+  | Some (cost, model) when cost > 0 ->
+      (* cost 0 would have ended the previous solve; assume_below needs >= 1 *)
+      best := Some (cost, model);
+      Common.note_marker config (Msu_guard.Guard.Progress.At_most cost)
+  | _ -> ());
   let first = ref true in
   let rec loop () =
     if Common.over_deadline config then bounds ()
@@ -121,6 +130,7 @@ let linear_incremental config tally w t0 =
           Common.trace config (fun () -> Printf.sprintf "SAT: cost %d" cost);
           best := Some (cost, model);
           Common.note_ub config cost (Some model);
+          Common.note_marker config (Msu_guard.Guard.Progress.At_most cost);
           if cost = 0 then finish (Types.Optimum 0) (Some model) else loop ()
     end
   and bounds () =
@@ -137,6 +147,15 @@ let linear config tally w t0 =
     Common.finish config ~t0 ~stats:(Common.Tally.snapshot tally) outcome model
   in
   let best = ref None in
+  (* Warm resume: constrain below the re-verified incumbent right away
+     so every model found is a strict improvement (the loop's invariant)
+     and an immediate Unsat proves the checkpointed cost optimal. *)
+  (match Common.resume_incumbent config w with
+  | Some (cost, model) when cost > 0 ->
+      best := Some (cost, model);
+      Common.note_marker config (Msu_guard.Guard.Progress.At_most cost);
+      constrain_below config tally s blocks cost
+  | _ -> ());
   let rec loop () =
     if Common.over_deadline config then bounds ()
     else begin
@@ -155,6 +174,7 @@ let linear config tally w t0 =
           Common.trace config (fun () -> Printf.sprintf "SAT: cost %d" cost);
           best := Some (cost, model);
           Common.note_ub config cost (Some model);
+          Common.note_marker config (Msu_guard.Guard.Progress.At_most cost);
           if cost = 0 then finish (Types.Optimum 0) (Some model)
           else begin
             constrain_below config tally s blocks cost;
@@ -180,6 +200,15 @@ let binary config tally w t0 =
   let counter = ref None in
   let lo = ref 0 in
   let best = ref None in
+  (* Warm resume: both halves of the checkpointed bracket narrow the
+     binary search — the certified lb raises [lo], the re-verified
+     incumbent caps [hi].  A collapsed bracket finishes immediately. *)
+  (match Common.resume_incumbent config w with
+  | Some (cost, model) when cost > 0 -> best := Some (cost, model)
+  | _ -> ());
+  (match config.Types.resume with
+  | Some ck -> lo := max !lo ck.Msu_guard.Checkpoint.lb
+  | None -> ());
   let first = ref true in
   let solve_with_bound k =
     let deadline = config.Types.deadline in
@@ -233,7 +262,8 @@ let binary config tally w t0 =
           | Some (c, _) when c <= cost -> ()
           | _ ->
               best := Some (cost, model);
-              Common.note_ub config cost (Some model));
+              Common.note_ub config cost (Some model);
+              Common.note_marker config (Msu_guard.Guard.Progress.At_most cost));
           loop ()
       | Solver.Unsat -> (
           match probe with
@@ -242,6 +272,7 @@ let binary config tally w t0 =
               Common.trace config (fun () -> Printf.sprintf "UNSAT at bound %d" p);
               lo := p + 1;
               Common.note_lb config !lo;
+              Common.note_marker config (Msu_guard.Guard.Progress.At_most p);
               loop ())
     end
   and bounds () =

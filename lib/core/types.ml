@@ -33,6 +33,10 @@ type config = {
   solve_id : int;
   guard : Msu_guard.Guard.t option;
   progress : Msu_guard.Guard.Progress.cell option;
+  resume : Msu_guard.Checkpoint.t option;
+      (* warm-resume checkpoint from a previous (crashed) attempt: the
+         bracket is installed as external bounds and the incumbent model
+         re-verified and seeded before the algorithm starts *)
 }
 
 let default_config =
@@ -48,6 +52,7 @@ let default_config =
     solve_id = 0;
     guard = None;
     progress = None;
+    resume = None;
   }
 
 let empty_stats =

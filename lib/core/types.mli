@@ -70,6 +70,11 @@ type config = {
   progress : Msu_guard.Guard.Progress.cell option;
       (** shared cell where algorithms publish every improved bound, so a
           crash still surfaces the work done so far *)
+  resume : Msu_guard.Checkpoint.t option;
+      (** warm-resume checkpoint from a previous (crashed) attempt: its
+          bracket is installed as external bounds on the guard and its
+          incumbent model is re-verified and seeded into algorithms that
+          keep one, so a retry never redoes certified work *)
 }
 
 val default_config : config

@@ -60,10 +60,21 @@ let solve_incremental (config : Types.config) w t0 =
     Common.finish config ~t0 ~stats:(Common.Tally.snapshot tally) outcome model
   in
   let cost = ref 0 in
+  let rounds = ref 0 in
   let bounds () = finish (Types.Bounds { lb = !cost; ub = None }) None in
+  (* A peer (portfolio worker / resumed checkpoint) holds a model at
+     cost <= our lower bound: the gap is closed, the parent merges. *)
+  let peer_closed () =
+    match config.Types.guard with
+    | Some g -> (
+        match Msu_guard.Guard.external_ub g with
+        | Some u -> !cost >= u
+        | None -> false)
+    | None -> false
+  in
   let first = ref true in
   let rec loop () =
-    if Common.over_deadline config then bounds ()
+    if Common.over_deadline config || peer_closed () then bounds ()
     else begin
       Common.Tally.sat_call tally;
       if !first then first := false
@@ -128,7 +139,10 @@ let solve_incremental (config : Types.config) w t0 =
               Common.card_event config ~arity:(List.length new_bs) ~bound:1;
               Msu_card.Card.exactly_one sink (Array.of_list new_bs);
               cost := !cost + wmin;
+              incr rounds;
               Common.note_lb config !cost;
+              Common.note_marker config
+                (Msu_guard.Guard.Progress.Core_rounds !rounds);
               Common.trace config (fun () ->
                   Printf.sprintf "UNSAT: core of %d softs, wmin %d, cost now %d"
                     (List.length idxs) wmin !cost);
@@ -201,6 +215,7 @@ let solve_rebuild config w t0 =
     Common.finish config ~t0 ~stats:(Common.Tally.snapshot st.tally) outcome model
   in
   let cost = ref 0 in
+  let rounds = ref 0 in
   let rec loop s =
     if Common.over_deadline config then
       finish (Types.Bounds { lb = !cost; ub = None }) None
@@ -246,7 +261,10 @@ let solve_rebuild config w t0 =
               Common.card_event config ~arity:(List.length new_bs) ~bound:1;
               Msu_card.Card.exactly_one (aux_sink st) (Array.of_list new_bs);
               cost := !cost + wmin;
+              incr rounds;
               Common.note_lb config !cost;
+              Common.note_marker config
+                (Msu_guard.Guard.Progress.Core_rounds !rounds);
               Common.trace config (fun () ->
                   Printf.sprintf "UNSAT: core of %d softs, wmin %d, cost now %d"
                     (List.length core) wmin !cost);

@@ -1,0 +1,56 @@
+(** Warm-resume checkpoints.
+
+    The crash-survivable digest of one solve: the certified lb/ub
+    bracket, the incumbent model backing the upper bound, and an
+    informational {!Guard.Progress.marker}.  A worker streams frames
+    over a pipe on the guard ticker cadence; the parent keeps the last
+    intact frame and re-seeds a retried solve from it, so monotone work
+    (cores counted, models found) survives process death.
+
+    Soundness: the bracket was proved before it was published, so a
+    retry may install it as {e external} bounds on a fresh guard; the
+    incumbent model must be re-verified against the instance before
+    being trusted (the dying worker may have been corrupted after the
+    frame was written). *)
+
+type t = {
+  lb : int;
+  ub : int option;
+  model : bool array option;  (** incumbent achieving [ub], when known *)
+  marker : Guard.Progress.marker;
+}
+
+val empty : t
+val is_empty : t -> bool
+
+val of_cell : Guard.Progress.cell -> t
+(** Snapshot the supervisor's progress cell. *)
+
+val merge : t -> t -> t
+(** Best certified bracket across both; the model follows the winning
+    upper bound, the marker follows the second argument when set. *)
+
+val install : t -> Guard.t -> unit
+(** Install the bracket as external bounds ({!Guard.install_bounds}) so
+    the resumed algorithm prunes with it. *)
+
+val to_wire : t -> string
+(** One checksummed line (no trailing newline). *)
+
+val of_wire : string -> t option
+(** [None] on a torn or corrupted frame — the digest must match. *)
+
+val writer : Unix.file_descr -> Guard.Progress.cell -> unit -> unit
+(** [writer fd cell] is a guard-ticker thunk that streams deduplicated
+    frames of [cell] to [fd].  EPIPE stops the stream silently; an armed
+    {!Fault.Torn_checkpoint} makes it die mid-frame (after at least one
+    intact frame) to exercise the reader's tear tolerance. *)
+
+(** Parent-side accumulator: feed raw pipe bytes, keep the newest
+    intact frame, count torn/corrupt ones. *)
+type reader
+
+val reader : unit -> reader
+val feed : reader -> string -> unit
+val latest : reader -> t option
+val dropped : reader -> int

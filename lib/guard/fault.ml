@@ -1,4 +1,10 @@
-type kind = Corrupt_model_bit | Flip_sat_answer | Drop_core_clause | Crash_mid_solve
+type kind =
+  | Corrupt_model_bit
+  | Flip_sat_answer
+  | Drop_core_clause
+  | Crash_mid_solve
+  | Kill_mid_solve
+  | Torn_checkpoint
 
 let registry : (kind, unit) Hashtbl.t = Hashtbl.create 4
 let arm k = Hashtbl.replace registry k ()

@@ -12,6 +12,12 @@ type kind =
   | Flip_sat_answer  (** misreport the final outcome (off-by-one cost) *)
   | Drop_core_clause  (** truncate the DRUP refutation log *)
   | Crash_mid_solve  (** raise [Stack_overflow] after the first bound *)
+  | Kill_mid_solve
+      (** SIGKILL the worker process right after it publishes a bound —
+          the no-flush crash the checkpoint pipe must survive *)
+  | Torn_checkpoint
+      (** die mid-write of a checkpoint frame (after at least one intact
+          frame): the parent must keep the previous checkpoint *)
 
 val arm : kind -> unit
 val disarm : kind -> unit

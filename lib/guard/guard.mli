@@ -99,8 +99,14 @@ val set_ticker : t -> (unit -> unit) -> unit
 (** Install a callback run on the guard's sampled-poll cadence (every
     64th {!poll}, and on every {!breached}).  Portfolio workers use it
     to drain the parent's bound broadcasts without touching the hot
-    loop; the ticker may {!trip} the guard (e.g. when the shared bounds
+    loop; checkpoint writers use it to stream warm-resume snapshots.
+    The ticker may {!trip} the guard (e.g. when the shared bounds
     close the gap). *)
+
+val tick : t -> unit
+(** Run the installed ticker immediately (no-op without one).  Bound
+    publication forces a tick so every improved bound is checkpointed /
+    broadcast at once instead of waiting for the sampled cadence. *)
 
 (** {2 Cooperative cancellation}
 
@@ -131,6 +137,16 @@ val install_sigterm_handler : unit -> unit
     it is proved, so that a crash or budget interrupt anywhere in the
     stack still surfaces the work done so far. *)
 module Progress : sig
+  (** Where in its iteration scheme the algorithm currently is; rides
+      along in warm-resume checkpoints.  Informational — the sound
+      resume channel is the certified bracket plus incumbent model. *)
+  type marker =
+    | No_marker
+    | Core_rounds of int  (** relaxation rounds completed (msu3/msu4/oll/wpm1) *)
+    | Stratum of { index : int; hardened : int }
+        (** weight stratum + hardened count (reserved for stratified wpm1) *)
+    | At_most of int  (** current at-most / objective probe (pbo) *)
+
   type cell
 
   val create : unit -> cell
@@ -148,6 +164,9 @@ module Progress : sig
   val ub : cell -> int option
   val model : cell -> bool array option
   (** The model achieving {!ub}, when one was published. *)
+
+  val note_marker : cell -> marker -> unit
+  val marker : cell -> marker
 end
 
 val supervise : (unit -> 'a) -> ('a, string) result

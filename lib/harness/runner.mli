@@ -32,6 +32,7 @@ type run = {
   algorithm : Msu_maxsat.Maxsat.algorithm;
   outcome : outcome;
   time : float;  (** wall seconds; capped at the budget for aborts *)
+  attempts : int;  (** attempts actually made (> 1 after crash retries) *)
 }
 
 type retry_policy = {
@@ -70,15 +71,35 @@ module Subproc : sig
       bounds instead of dying) and arms a SIGALRM hard backstop
       [alarm_after] seconds out (skipped when infinite). *)
 
-  val wait_with_ladder : term_at:float -> flush:float -> int -> Unix.process_status
+  val wait_with_ladder :
+    ?drain:(unit -> unit) -> term_at:float -> flush:float -> int -> Unix.process_status
   (** Reap the child with exponential-backoff sleeps (no busy-wait); at
-      [term_at] send SIGTERM, [flush] seconds later SIGKILL. *)
+      [term_at] send SIGTERM, [flush] seconds later SIGKILL.  [drain]
+      runs on every wakeup and once after the reap (checkpoint-pipe
+      pump).  All blocking calls retry on EINTR. *)
 end
 
 val run_isolated :
   timeout:float -> grace:float -> (unit -> outcome * float) -> outcome * float
 (** Run the thunk in a forked child with the {!Subproc} ladder; exposed
-    for tests and custom harnesses ({!run_one} [~isolate] wraps it). *)
+    for tests and custom harnesses ({!run_one} [~isolate] wraps
+    {!run_isolated_ck}). *)
+
+val run_isolated_ck :
+  timeout:float ->
+  grace:float ->
+  (Unix.file_descr -> outcome * float) ->
+  (outcome * float) * Msu_guard.Checkpoint.t option
+(** Like {!run_isolated}, but the thunk receives the write end of a
+    checkpoint pipe (pass it to the solve as [checkpoint_fd]); the
+    parent pumps the pipe while reaping and returns the newest intact
+    checkpoint — the only progress that survives a SIGKILLed child. *)
+
+val merge_checkpoint :
+  Msu_cnf.Wcnf.t -> outcome -> Msu_guard.Checkpoint.t -> outcome
+(** Fold a checkpointed bracket into an aborted outcome.  Collapses to
+    [Solved] only when the bracket closes on an upper bound whose model
+    re-verifies against the instance. *)
 
 val run_one :
   ?isolate:bool ->

@@ -119,9 +119,21 @@ let save t path =
   in
   let tmp = path ^ ".tmp" in
   (try
-     let oc = open_out_bin tmp in
-     Marshal.to_channel oc snap [];
-     close_out oc;
+     let payload = Marshal.to_bytes snap [] in
+     let fd =
+       Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+     in
+     let finally () = try Unix.close fd with Unix.Unix_error _ -> () in
+     Fun.protect ~finally (fun () ->
+         let len = Bytes.length payload in
+         let rec go off =
+           if off < len then go (off + Unix.write fd payload off (len - off))
+         in
+         go 0;
+         (* fsync before rename: a crash between the two must expose
+            either the old snapshot or the complete new one, never a
+            renamed-into-place truncation. *)
+         Unix.fsync fd);
      Sys.rename tmp path
    with Sys_error _ | Unix.Unix_error _ -> ());
   ()
@@ -130,16 +142,21 @@ let load ~capacity path =
   let t = create ~capacity in
   (try
      let ic = open_in_bin path in
-     let snap = (Marshal.from_channel ic : snapshot) in
-     close_in ic;
-     List.iter
-       (fun (fp, cost, model) ->
-         if
-           Hashtbl.length t.tbl < capacity
-           && String.length fp > 0
-           && cost >= 0
-         then store t ~fingerprint:fp ~cost ~model)
-       snap
+     let finally () = try close_in ic with Sys_error _ -> () in
+     Fun.protect ~finally (fun () ->
+         let snap = (Marshal.from_channel ic : snapshot) in
+         List.iter
+           (fun (fp, cost, model) ->
+             if
+               Hashtbl.length t.tbl < capacity
+               && String.length fp > 0
+               && cost >= 0
+             then store t ~fingerprint:fp ~cost ~model)
+           snap)
    with
-  | Sys_error _ | End_of_file | Failure _ -> ());
+  (* A corrupt, truncated, or alien snapshot is a cache miss, not a
+     crash: the daemon must come back up after losing its disk state. *)
+  | Sys_error _ | End_of_file | Failure _ | Invalid_argument _
+  | Unix.Unix_error _ ->
+    ());
   t

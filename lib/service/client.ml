@@ -29,8 +29,14 @@ let send fd req =
     raise (Error ("send: " ^ msg))
 
 let recv fd : P.reply option =
-  try P.read_value fd
-  with P.Protocol_error msg -> raise (Error ("recv: " ^ msg))
+  try P.read_value fd with
+  | P.Protocol_error msg -> raise (Error ("recv: " ^ msg))
+  | P.Version_mismatch v ->
+      raise
+        (Error
+           (Printf.sprintf
+              "recv: server speaks protocol v%d, this client speaks v%d" v
+              P.version))
 
 let submit fd ?(options = P.default_options) w =
   send fd (P.Solve { wcnf = P.to_wire w; options });

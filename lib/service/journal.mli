@@ -1,0 +1,50 @@
+(** Durable write-ahead journal of admitted service jobs.
+
+    Every job the daemon accepts is appended (and fsync'd) as an
+    [Admitted] record {e before} the client sees [Accepted]; delivering
+    its result appends [Completed].  A daemon killed mid-load replays
+    the journal on restart and re-enqueues every admitted-but-not-
+    completed job, so accepting a job really is a durable promise.
+
+    On-disk format: an 8-byte header (magic word + format version),
+    then one frame per record — 4-byte big-endian payload length,
+    16-byte MD5 digest of the payload, Marshal payload.  Replay stops
+    at the first truncated or corrupt frame (the torn tail a crash
+    mid-append leaves), keeping every record before it.  A missing
+    file, or one with an alien header, replays as empty.
+
+    {!restart} compacts: the replayed pending records are rewritten to
+    a fresh journal (atomic temp file + fsync + rename), so completed
+    history never accumulates across restarts. *)
+
+type record =
+  | Admitted of {
+      id : int;
+      wcnf : Protocol.wire_wcnf;
+      options : Protocol.options;
+      submitted : float;
+    }
+  | Completed of { id : int }
+
+type t
+
+val replay : string -> record list
+(** Every intact record, file order.  Missing file, alien header, or a
+    corrupt first record give []; a torn tail only loses the tail. *)
+
+val pending : record list -> record list
+(** The [Admitted] records with no matching [Completed] — the jobs a
+    restarted daemon owes results for, admission order. *)
+
+val restart : string -> keep:record list -> t
+(** Rewrite the journal to hold exactly [keep] (compaction), then open
+    it for appending.  @raise Unix.Unix_error when the path is
+    unusable — a daemon asked to journal must fail loudly if it
+    can't. *)
+
+val append : t -> record -> unit
+(** Append one record and fsync.  Write errors (disk full, …) mark the
+    journal dead and are swallowed: durability degrades, the daemon
+    survives. *)
+
+val close : t -> unit

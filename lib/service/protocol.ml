@@ -105,22 +105,41 @@ type reply =
 
 (* ---------------- framing ----------------
 
-   Each message is a 4-byte big-endian length followed by that many
-   bytes of Marshal payload.  The cap rejects a corrupt or hostile
-   length before it turns into an allocation. *)
+   Each message is a 12-byte header — magic word, protocol version,
+   big-endian payload length — followed by that many bytes of Marshal
+   payload.  The magic rejects random garbage; the version word lets a
+   restarted daemon running a different binary answer a stale client
+   with a clean [Rejected] instead of a Marshal failure tearing down
+   the connection (Marshal layouts are not stable across binaries).
+   The length cap rejects a corrupt or hostile length before it turns
+   into an allocation. *)
 
 let max_frame = 1 lsl 28
+let magic = 0x4D535355 (* "MSSU" *)
+let version = 1
 
 exception Protocol_error of string
+
+exception Version_mismatch of int
+(** Peer speaks the framed protocol but a different version (payload
+    carried alongside). *)
+
+let header_bytes = 12
 
 let encode v =
   let payload = Marshal.to_string v [] in
   let n = String.length payload in
   if n > max_frame then raise (Protocol_error "frame too large");
-  let b = Bytes.create (4 + n) in
-  Bytes.set_int32_be b 0 (Int32.of_int n);
-  Bytes.blit_string payload 0 b 4 n;
+  let b = Bytes.create (header_bytes + n) in
+  Bytes.set_int32_be b 0 (Int32.of_int magic);
+  Bytes.set_int32_be b 4 (Int32.of_int version);
+  Bytes.set_int32_be b 8 (Int32.of_int n);
+  Bytes.blit_string payload 0 b header_bytes n;
   b
+
+let check_header ~magic_word ~ver =
+  if magic_word <> magic then raise (Protocol_error "bad magic");
+  if ver <> version then raise (Version_mismatch ver)
 
 let write_value fd v =
   let b = encode v in
@@ -148,10 +167,13 @@ let read_value fd =
     in
     go 0
   in
-  match read_exactly 4 with
+  match read_exactly header_bytes with
   | None -> None
   | Some hdr ->
-      let n = Int32.to_int (Bytes.get_int32_be hdr 0) in
+      check_header
+        ~magic_word:(Int32.to_int (Bytes.get_int32_be hdr 0))
+        ~ver:(Int32.to_int (Bytes.get_int32_be hdr 4));
+      let n = Int32.to_int (Bytes.get_int32_be hdr 8) in
       if n < 0 || n > max_frame then raise (Protocol_error "bad frame length");
       (match read_exactly n with
       | None -> raise (Protocol_error "truncated frame")
@@ -163,15 +185,18 @@ let decode_frames buf =
   let rec go acc =
     let s = Buffer.contents buf in
     let have = String.length s in
-    if have < 4 then List.rev acc
+    if have < header_bytes then List.rev acc
     else begin
-      let n = Int32.to_int (String.get_int32_be s 0) in
+      check_header
+        ~magic_word:(Int32.to_int (String.get_int32_be s 0))
+        ~ver:(Int32.to_int (String.get_int32_be s 4));
+      let n = Int32.to_int (String.get_int32_be s 8) in
       if n < 0 || n > max_frame then raise (Protocol_error "bad frame length");
-      if have < 4 + n then List.rev acc
+      if have < header_bytes + n then List.rev acc
       else begin
-        let v = Marshal.from_string (String.sub s 4 n) 0 in
+        let v = Marshal.from_string (String.sub s header_bytes n) 0 in
         Buffer.clear buf;
-        Buffer.add_substring buf s (4 + n) (have - 4 - n);
+        Buffer.add_substring buf s (header_bytes + n) (have - header_bytes - n);
         go (v :: acc)
       end
     end

@@ -1,10 +1,14 @@
 (** Wire protocol of the solve service.
 
     Requests and replies travel over a Unix-domain stream socket as
-    length-prefixed Marshal frames: a 4-byte big-endian payload length,
-    then the payload.  All transported types are closure-free mirrors
-    built from scalars and arrays, so the separately-linked [mserve]
-    and [msolve] binaries round-trip them safely.
+    framed Marshal values: a 12-byte header (magic word, protocol
+    version, 4-byte big-endian payload length), then the payload.  All
+    transported types are closure-free mirrors built from scalars and
+    arrays, so the separately-linked [mserve] and [msolve] binaries
+    round-trip them safely.  The magic/version words let a restarted
+    daemon running a different binary reject a stale client with a
+    clean error reply instead of a [Marshal] failure tearing down the
+    connection.
 
     One connection may carry any number of requests; [Result] replies
     are tagged with the job id from the matching [Accepted], so a
@@ -86,12 +90,25 @@ type reply =
   | Bye  (** shutdown acknowledged *)
 
 exception Protocol_error of string
-(** Bad frame length, truncated frame, or mid-write disconnect. *)
+(** Bad magic, bad frame length, truncated frame, or mid-write
+    disconnect. *)
+
+exception Version_mismatch of int
+(** The peer speaks the framed protocol — magic word matched — but at
+    a different version (the payload).  The server answers with
+    [Rejected] before closing; a client surfaces it as a clean
+    error. *)
 
 val max_frame : int
 
+val magic : int
+(** Frame magic word; anything else on the wire is garbage. *)
+
+val version : int
+(** Protocol version stamped on every frame this binary emits. *)
+
 val encode : 'a -> bytes
-(** Length-prefixed Marshal frame for one value. *)
+(** Header-prefixed Marshal frame for one value. *)
 
 val write_value : Unix.file_descr -> 'a -> unit
 (** Write one frame, handling short writes.

@@ -5,6 +5,7 @@ module T = Msu_maxsat.Types
 module G = Msu_guard.Guard
 module Fault = Msu_guard.Fault
 module Subproc = Msu_harness.Runner.Subproc
+module Ck = Msu_guard.Checkpoint
 module P = Protocol
 module Obs = Msu_obs.Obs
 
@@ -24,6 +25,16 @@ type config = {
   metrics_file : string option;
       (* when set, the metrics registry is rendered to this path in
          Prometheus text format every few seconds and at shutdown *)
+  journal_file : string option;
+      (* when set, admitted jobs are journaled (fsync'd) before the
+         client sees Accepted, and replayed on restart *)
+  max_attempts : int;
+      (* total workers a job may consume; attempts past the first fire
+         only on spontaneous worker deaths, warm-resumed from the last
+         checkpoint *)
+  retry_backoff : float;
+      (* seconds before respawning a crashed job, doubling per prior
+         attempt *)
 }
 
 let default_config ~socket_path =
@@ -38,6 +49,9 @@ let default_config ~socket_path =
     trace = None;
     sink = Obs.null;
     metrics_file = None;
+    journal_file = None;
+    max_attempts = 2;
+    retry_backoff = 0.25;
   }
 
 (* ---------------- internal state ---------------- *)
@@ -51,10 +65,14 @@ type conn = {
 type job = {
   j_id : int;
   j_wcnf : Wcnf.t;
+  j_wire : P.wire_wcnf;  (* as submitted; what the journal records *)
   j_fingerprint : string;
-  j_options : P.options;
+  mutable j_options : P.options;  (* fault injection is stripped on retry *)
   j_conn : conn;  (* reply target; may die before the result is ready *)
   j_submitted : float;
+  mutable j_attempts : int;  (* workers spawned for this job so far *)
+  mutable j_not_before : float;  (* retry backoff gate *)
+  mutable j_ck : Ck.t;  (* best checkpoint across all attempts *)
 }
 
 type slot = {
@@ -63,6 +81,8 @@ type slot = {
   sl_tmp : string;
   sl_ev : Unix.file_descr option;  (* worker's event pipe (read end) *)
   sl_ev_buf : Buffer.t;
+  sl_ck : Unix.file_descr;  (* worker's checkpoint pipe (read end) *)
+  sl_ck_reader : Ck.reader;
   sl_started : float;
   mutable sl_term_at : float;  (* when the SIGTERM rung fires *)
   mutable sl_termed : bool;
@@ -77,7 +97,9 @@ type state = {
   mutable conns : conn list;
   queue : job Jobq.t;
   mutable slots : slot list;
+  mutable retries : job list;  (* crashed jobs awaiting their backoff *)
   cache : Cache.t;
+  journal : Journal.t option;
   mutable next_id : int;
   mutable draining : bool;
   mutable requests : int;
@@ -115,7 +137,17 @@ let m_hit_rate =
   Obs.Metrics.gauge ~help:"cache hits / lookups since start"
     "msu_service_cache_hit_rate"
 
+let m_retries =
+  Obs.Metrics.counter ~help:"crashed workers respawned with a warm checkpoint"
+    "msu_service_retries_total"
+
+let m_replayed =
+  Obs.Metrics.counter ~help:"jobs re-enqueued from the journal at startup"
+    "msu_service_replayed_total"
+
 let ev st ~id kind = Obs.emit st.cfg.sink ~id kind
+
+let journal st r = match st.journal with Some j -> Journal.append j r | None -> ()
 
 let outcome_label = function
   | T.Optimum _ -> "optimum"
@@ -234,18 +266,30 @@ let spawn st job =
   let ev_pipe =
     if Obs.is_null st.cfg.sink then None else Some (Unix.pipe ())
   in
+  let ck_rd, ck_wr = Unix.pipe () in
+  job.j_attempts <- job.j_attempts + 1;
   match Unix.fork () with
   | 0 ->
-      (* The worker owns nothing of the daemon: close the listener and
-         every client connection, then detach from the terminal's
-         Ctrl-C — the parent's SIGTERM ladder governs this process. *)
+      (* The worker owns nothing of the daemon: close the listener,
+         every client connection, the journal, and the sibling workers'
+         pipes, then detach from the terminal's Ctrl-C — the parent's
+         SIGTERM ladder governs this process. *)
       List.iter
         (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
         (st.listen_fd :: List.map (fun c -> c.c_fd) st.conns);
+      List.iter
+        (fun sl ->
+          (match sl.sl_ev with
+          | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+          | None -> ());
+          try Unix.close sl.sl_ck with Unix.Unix_error _ -> ())
+        st.slots;
+      (match st.journal with Some j -> Journal.close j | None -> ());
       Sys.set_signal Sys.sigint Sys.Signal_ignore;
       (match ev_pipe with
       | Some (rd, _) -> ( try Unix.close rd with Unix.Unix_error _ -> ())
       | None -> ());
+      (try Unix.close ck_rd with Unix.Unix_error _ -> ());
       Subproc.child_setup
         ~alarm_after:(timeout +. (2. *. st.cfg.grace) +. flush)
         ();
@@ -266,6 +310,11 @@ let spawn st job =
                 try ignore (Unix.write wr b 0 (Bytes.length b))
                 with Unix.Unix_error _ -> ())
       in
+      let cell = G.Progress.create () in
+      (* Stream warm-resume checkpoints to the daemon on the guard's
+         ticker cadence; a retried attempt starts from the best bracket
+         the previous one managed to flush. *)
+      G.set_ticker guard (Ck.writer ck_wr cell);
       let config =
         {
           T.default_config with
@@ -277,7 +326,8 @@ let spawn st job =
           sink;
           solve_id = job.j_id;
           guard = Some guard;
-          progress = Some (G.Progress.create ());
+          progress = Some cell;
+          resume = (if Ck.is_empty job.j_ck then None else Some job.j_ck);
         }
       in
       let result =
@@ -289,9 +339,18 @@ let spawn st job =
       Unix._exit 0
   | pid ->
       let now = Unix.gettimeofday () in
-      say st "job %d -> worker %d (%s, timeout %.1fs)" job.j_id pid
+      say st "job %d -> worker %d (%s, timeout %.1fs%s)" job.j_id pid
         (M.algorithm_to_string job.j_options.P.algorithm)
-        timeout;
+        timeout
+        (if job.j_attempts > 1 then
+           Printf.sprintf ", attempt %d%s" job.j_attempts
+             (if Ck.is_empty job.j_ck then ""
+              else
+                Printf.sprintf ", warm lb=%d%s" job.j_ck.Ck.lb
+                  (match job.j_ck.Ck.ub with
+                  | Some u -> Printf.sprintf " ub=%d" u
+                  | None -> ""))
+         else "");
       let ev_fd =
         match ev_pipe with
         | None -> None
@@ -300,6 +359,8 @@ let spawn st job =
             Unix.set_nonblock rd;
             Some rd
       in
+      (try Unix.close ck_wr with Unix.Unix_error _ -> ());
+      Unix.set_nonblock ck_rd;
       ev st ~id:job.j_id (Obs.Event.Worker_spawn { pid });
       st.slots <-
         {
@@ -308,6 +369,8 @@ let spawn st job =
           sl_tmp = tmp;
           sl_ev = ev_fd;
           sl_ev_buf = Buffer.create 256;
+          sl_ck = ck_rd;
+          sl_ck_reader = Ck.reader ();
           sl_started = now;
           sl_term_at = now +. timeout +. st.cfg.grace;
           sl_termed = false;
@@ -321,12 +384,7 @@ let complete st ?(was_cancelled = false) job (r : T.result) =
   st.completed <- st.completed + 1;
   Obs.Metrics.inc m_results;
   note_outcome st r.T.outcome;
-  (match r.T.outcome with
-  | T.Crashed _ ->
-      if was_cancelled then st.cancelled <- st.cancelled + 1
-      else st.crashes <- st.crashes + 1
-  | _ when was_cancelled -> st.cancelled <- st.cancelled + 1
-  | _ -> ());
+  if was_cancelled then st.cancelled <- st.cancelled + 1;
   record_latency st job.j_options.P.algorithm elapsed;
   (* Models leave the service truncated to the instance's own variables:
      solver-internal auxiliaries mean nothing to the client, and cold
@@ -344,6 +402,7 @@ let complete st ?(was_cancelled = false) job (r : T.result) =
   | T.Optimum cost, Some model ->
       Cache.store st.cache ~fingerprint:job.j_fingerprint ~cost ~model
   | _ -> ());
+  journal st (Journal.Completed { id = job.j_id });
   send st job.j_conn
     (P.Result
        { id = job.j_id; outcome = r.T.outcome; model; cached = false; elapsed })
@@ -385,6 +444,49 @@ let read_events st sl =
       in
       go 0
 
+(* Pump the worker's checkpoint pipe; the reader keeps the newest
+   intact frame and drops torn ones. *)
+let read_ck sl =
+  let chunk = Bytes.create 4096 in
+  try
+    let rec rd () =
+      match Unix.read sl.sl_ck chunk 0 (Bytes.length chunk) with
+      | 0 -> ()
+      | n ->
+          Ck.feed sl.sl_ck_reader (Bytes.sub_string chunk 0 n);
+          rd ()
+      | exception
+          Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+        ->
+          ()
+    in
+    rd ()
+  with Unix.Unix_error _ -> ()
+
+(* Exhausted retries degrade to the checkpointed bracket instead of a
+   bare crash report: the lb is certified, and the ub survives only
+   when its incumbent model re-verifies against the instance (the dying
+   worker may have been arbitrarily corrupted).  A bracket that closes
+   on a verified incumbent is a proven optimum. *)
+let salvage wcnf ck (r : T.result) =
+  match r.T.outcome with
+  | T.Crashed { lb; ub; _ } -> (
+      let ck = Ck.merge ck { Ck.empty with Ck.lb; ub } in
+      if Ck.is_empty ck then r
+      else
+        match Msu_maxsat.Common.checkpoint_incumbent wcnf ck with
+        | Some (u, m) when ck.Ck.lb >= u ->
+            { r with T.outcome = T.Optimum u; model = Some m }
+        | Some (u, m) ->
+            {
+              r with
+              T.outcome = T.Bounds { lb = ck.Ck.lb; ub = Some u };
+              model = Some m;
+            }
+        | None ->
+            { r with T.outcome = T.Bounds { lb = ck.Ck.lb; ub = None }; model = None })
+  | _ -> r
+
 let reap st =
   let still_running = ref [] in
   List.iter
@@ -398,20 +500,27 @@ let reap st =
       match finished with
       | None ->
           read_events st sl;
+          read_ck sl;
           still_running := sl :: !still_running
       | Some status ->
           (* Final drain before the exit marker so the per-job stream
-             stays causally ordered, then release the pipe. *)
+             stays causally ordered, then release the pipes. *)
           read_events st sl;
+          read_ck sl;
           (match sl.sl_ev with
           | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+          | None -> ());
+          (try Unix.close sl.sl_ck with Unix.Unix_error _ -> ());
+          let job = sl.sl_job in
+          (match Ck.latest sl.sl_ck_reader with
+          | Some ck -> job.j_ck <- Ck.merge job.j_ck ck
           | None -> ());
           let code =
             match status with
             | Unix.WEXITED n -> n
             | Unix.WSIGNALED n | Unix.WSTOPPED n -> 128 + n
           in
-          ev st ~id:sl.sl_job.j_id
+          ev st ~id:job.j_id
             (Obs.Event.Worker_exit { pid = sl.sl_pid; status = code });
           let result = Subproc.read_result sl.sl_tmp in
           (try Sys.remove sl.sl_tmp with Sys_error _ -> ());
@@ -433,9 +542,39 @@ let reap st =
             | (Unix.WSIGNALED n | Unix.WSTOPPED n), None ->
                 crashed (Printf.sprintf "worker killed (signal %d)" n)
           in
-          say st "job %d done: %s" sl.sl_job.j_id
-            (Format.asprintf "%a" T.pp_outcome r.T.outcome);
-          complete st ~was_cancelled:sl.sl_cancelled sl.sl_job r)
+          (* A worker that died on its own (not the daemon's budget
+             ladder, not a cancel) gets another attempt, warm-resumed
+             from its checkpoint, until the attempt cap.  Fault
+             injection is stripped so a test-armed crash cannot recur
+             forever. *)
+          let died_spontaneously = (not sl.sl_termed) && not sl.sl_cancelled in
+          let unsound = match r.T.outcome with T.Crashed _ -> true | _ -> false in
+          (* crashes count worker deaths, not final outcomes: a crash
+             the checkpoint salvages into Bounds (or a retry solves)
+             still happened *)
+          if unsound && not sl.sl_cancelled then st.crashes <- st.crashes + 1;
+          if
+            unsound && died_spontaneously
+            && job.j_attempts < st.cfg.max_attempts
+          then begin
+            job.j_options <- { job.j_options with P.fault = None };
+            job.j_not_before <-
+              Unix.gettimeofday ()
+              +. (st.cfg.retry_backoff
+                 *. (2. ** float_of_int (job.j_attempts - 1)));
+            Obs.Metrics.inc m_retries;
+            say st "job %d: worker died (attempt %d/%d), respawning%s" job.j_id
+              job.j_attempts st.cfg.max_attempts
+              (if Ck.is_empty job.j_ck then ""
+               else Printf.sprintf " from checkpoint lb=%d" job.j_ck.Ck.lb);
+            st.retries <- st.retries @ [ job ]
+          end
+          else begin
+            let r = if sl.sl_cancelled then r else salvage job.j_wcnf job.j_ck r in
+            say st "job %d done: %s" job.j_id
+              (Format.asprintf "%a" T.pp_outcome r.T.outcome);
+            complete st ~was_cancelled:sl.sl_cancelled job r
+          end)
     st.slots;
   st.slots <- !still_running
 
@@ -459,6 +598,17 @@ let ladder st =
     st.slots
 
 let dispatch st =
+  (* Due retries first: they already passed admission once, and their
+     checkpoint goes stale while they wait. *)
+  let now = Unix.gettimeofday () in
+  let held = ref [] in
+  List.iter
+    (fun job ->
+      if job.j_not_before <= now && List.length st.slots < st.cfg.workers then
+        spawn st job
+      else held := job :: !held)
+    st.retries;
+  st.retries <- List.rev !held;
   while
     List.length st.slots < st.cfg.workers && not (Jobq.is_empty st.queue)
   do
@@ -530,13 +680,22 @@ let handle_solve st conn (wire : P.wire_wcnf) (options : P.options) =
             {
               j_id = id;
               j_wcnf = w;
+              j_wire = wire;
               j_fingerprint = fingerprint;
               j_options = options;
               j_conn = conn;
               j_submitted = submitted;
+              j_attempts = 0;
+              j_not_before = 0.;
+              j_ck = Ck.empty;
             }
           in
           if Jobq.push st.queue ~priority:options.P.priority job then begin
+            (* Journal before the client hears [Accepted]: once the
+               accept is on the wire, the job survives a daemon
+               crash. *)
+            journal st
+              (Journal.Admitted { id; wcnf = wire; options; submitted });
             ev st ~id
               (Obs.Event.Queue_enqueue { depth = Jobq.length st.queue });
             send st conn (P.Accepted { id })
@@ -561,9 +720,19 @@ let handle_solve st conn (wire : P.wire_wcnf) (options : P.options) =
   end
 
 let handle_cancel st conn id =
-  match Jobq.remove st.queue (fun j -> j.j_id = id) with
+  match
+    match Jobq.remove st.queue (fun j -> j.j_id = id) with
+    | Some _ as found -> found
+    | None -> (
+        match List.partition (fun j -> j.j_id = id) st.retries with
+        | [ job ], rest ->
+            st.retries <- rest;
+            Some job
+        | _ -> None)
+  with
   | Some job ->
       st.cancelled <- st.cancelled + 1;
+      journal st (Journal.Completed { id });
       send st job.j_conn (cancelled_result id);
       send st conn (P.Cancel_ack { id; found = true })
   | None -> (
@@ -583,8 +752,10 @@ let start_shutdown st ~drain =
     List.iter
       (fun job ->
         st.cancelled <- st.cancelled + 1;
+        journal st (Journal.Completed { id = job.j_id });
         send st job.j_conn (cancelled_result job.j_id))
-      (Jobq.drain st.queue);
+      (Jobq.drain st.queue @ st.retries);
+    st.retries <- [];
     let now = Unix.gettimeofday () in
     List.iter
       (fun sl ->
@@ -637,6 +808,19 @@ let read_conn st conn =
        (fun req -> handle_request st conn req)
        (P.decode_frames conn.c_buf : P.request list)
    with
+  | P.Version_mismatch v ->
+      (* A client built against a different protocol: answer before
+         Marshal ever touches the payload, then drop the connection. *)
+      send st conn
+        (P.Rejected
+           {
+             reason =
+               Printf.sprintf
+                 "protocol version mismatch (client %d, server %d)" v
+                 P.version;
+           });
+      say st "rejected client speaking protocol v%d (server v%d)" v P.version;
+      closed := true
   | P.Protocol_error _ | Failure _ | Unix.Unix_error _ ->
       (* Garbage on the wire: drop the connection, keep the daemon. *)
       closed := true);
@@ -665,6 +849,25 @@ let run ?(handle_signals = false) cfg =
         Cache.load ~capacity:cfg.cache_capacity path
     | _ -> Cache.create ~capacity:cfg.cache_capacity
   in
+  (* Replay the journal: every job admitted by a previous incarnation
+     and never completed is owed a result.  The journal is compacted to
+     exactly those records before appending resumes. *)
+  let jnl, replayed, replayed_max_id =
+    match cfg.journal_file with
+    | None -> (None, [], 0)
+    | Some path ->
+        let past = Journal.replay path in
+        let keep = Journal.pending past in
+        let max_id =
+          List.fold_left
+            (fun acc r ->
+              match r with
+              | Journal.Admitted { id; _ } | Journal.Completed { id } ->
+                  max acc id)
+            0 past
+        in
+        (Some (Journal.restart path ~keep), keep, max_id)
+  in
   let st =
     {
       cfg;
@@ -673,8 +876,10 @@ let run ?(handle_signals = false) cfg =
       conns = [];
       queue = Jobq.create ~capacity:cfg.queue_capacity;
       slots = [];
+      retries = [];
       cache;
-      next_id = 1;
+      journal = jnl;
+      next_id = replayed_max_id + 1;
       draining = false;
       requests = 0;
       completed = 0;
@@ -693,6 +898,43 @@ let run ?(handle_signals = false) cfg =
     (match cfg.cache_file with
     | Some f -> Printf.sprintf ", persisted to %s (%d loaded)" f (Cache.length cache)
     | None -> "");
+  (* Re-enqueue the replayed jobs.  Their submitting connections are
+     gone; results land in the cache (and the journal's Completed
+     record), where a resubmitting client finds them. *)
+  List.iter
+    (fun r ->
+      match r with
+      | Journal.Admitted { id; wcnf; options; submitted } -> (
+          match P.of_wire wcnf with
+          | exception _ -> journal st (Journal.Completed { id })
+          | w ->
+              let job =
+                {
+                  j_id = id;
+                  j_wcnf = w;
+                  j_wire = wcnf;
+                  j_fingerprint = Canon.fingerprint w;
+                  j_options = { options with P.fault = None };
+                  j_conn =
+                    { c_fd = Unix.stdin; c_buf = Buffer.create 1; c_alive = false };
+                  j_submitted = submitted;
+                  j_attempts = 0;
+                  j_not_before = 0.;
+                  j_ck = Ck.empty;
+                }
+              in
+              if Jobq.push st.queue ~priority:options.P.priority job then begin
+                Obs.Metrics.inc m_replayed;
+                say st "job %d replayed from the journal" id
+              end
+              else begin
+                (* Queue shrank across the restart: give the job up
+                   rather than wedge the daemon on it forever. *)
+                journal st (Journal.Completed { id });
+                say st "job %d replayed but dropped (queue full)" id
+              end)
+      | Journal.Completed _ -> ())
+    replayed;
   let old_sigpipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
   let old_handlers =
     if handle_signals then begin
@@ -715,6 +957,7 @@ let run ?(handle_signals = false) cfg =
     (try Unix.close st.listen_fd with Unix.Unix_error _ -> ());
     (try Unix.unlink cfg.socket_path with Unix.Unix_error _ -> ());
     write_metrics_file st;
+    (match st.journal with Some j -> Journal.close j | None -> ());
     match cfg.cache_file with
     | Some path -> Cache.save st.cache path
     | None -> ()
@@ -734,12 +977,13 @@ let run ?(handle_signals = false) cfg =
        st.last_metrics_write <- now;
        write_metrics_file st
      end);
-    if st.draining && Jobq.is_empty st.queue && st.slots = [] then
-      say st "drained; exiting"
+    if st.draining && Jobq.is_empty st.queue && st.slots = [] && st.retries = []
+    then say st "drained; exiting"
     else begin
       let ev_fds = List.filter_map (fun sl -> sl.sl_ev) st.slots in
+      let ck_fds = List.map (fun sl -> sl.sl_ck) st.slots in
       let fds =
-        (st.listen_fd :: List.map (fun c -> c.c_fd) st.conns) @ ev_fds
+        (st.listen_fd :: List.map (fun c -> c.c_fd) st.conns) @ ev_fds @ ck_fds
       in
       (match Unix.select fds [] [] 0.02 with
       | readable, _, _ ->
@@ -749,9 +993,10 @@ let run ?(handle_signals = false) cfg =
             st.conns;
           List.iter
             (fun sl ->
-              match sl.sl_ev with
+              (match sl.sl_ev with
               | Some fd when List.mem fd readable -> read_events st sl
-              | _ -> ())
+              | _ -> ());
+              if List.mem sl.sl_ck readable then read_ck sl)
             st.slots
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
       loop ()

@@ -13,6 +13,18 @@
     costs its own request a [Crashed]/[Bounds] result, never the
     daemon.
 
+    Crash recovery: workers stream {!Msu_guard.Checkpoint} frames
+    (certified lb/ub bracket plus incumbent model) over a pipe; a
+    worker that dies spontaneously is respawned — with exponential
+    backoff, up to [max_attempts] — warm-resumed from its last intact
+    checkpoint, and exhausted retries degrade to a sound [Bounds]
+    result carrying the checkpointed bracket.  With [journal_file]
+    set, every admitted job is journaled (fsync'd) before the client
+    sees [Accepted] and marked completed when its result is delivered;
+    a daemon killed mid-load replays the journal on restart and
+    re-runs every admitted-but-unfinished job, so no accepted job is
+    ever silently lost.
+
     The daemon is single-threaded (select loop + forked workers), so
     every piece of shared state — cache, queue, stats — is touched from
     one place only. *)
@@ -35,11 +47,22 @@ type config = {
   metrics_file : string option;
       (** render the metrics registry to this path (Prometheus text
           format, atomic rename) every few seconds and at shutdown *)
+  journal_file : string option;
+      (** write-ahead journal of admitted jobs ({!Journal}); replayed
+          on restart, compacted at startup *)
+  max_attempts : int;
+      (** total workers one job may consume; attempts past the first
+          fire only on spontaneous worker deaths (never on the daemon's
+          own budget ladder) and warm-resume from the last checkpoint *)
+  retry_backoff : float;
+      (** seconds before respawning a crashed job's worker, doubled for
+          each attempt already made *)
 }
 
 val default_config : socket_path:string -> config
 (** 2 workers, queue 64, cache 1024, 10 s default timeout, 1 s grace,
-    no persistence, no trace, null sink, no metrics file. *)
+    no persistence, no trace, null sink, no metrics file, no journal,
+    2 attempts with 0.25 s base backoff. *)
 
 val run : ?handle_signals:bool -> config -> unit
 (** Serve until a [Shutdown] request completes.  With [handle_signals]

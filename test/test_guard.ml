@@ -212,7 +212,10 @@ let test_runner_isolated_solve () =
 
 let test_isolated_suite_survives_crashes () =
   (* Each forked child inherits the armed fault and dies mid-solve; the
-     parent's suite must still complete, one Aborted(crash) per run. *)
+     parent's suite must still complete.  On this instance the child has
+     already certified lb = ub = 2 by the time the crash fires, and the
+     checkpoint pipe carries the bracket and its model across the fork —
+     so the salvage collapses the crash into a verified Solved 2. *)
   with_fault F.Crash_mid_solve (fun () ->
       let instances =
         [ ("paper", "toy", paper_wcnf ()); ("paper2", "toy", paper_wcnf ()) ]
@@ -224,14 +227,197 @@ let test_isolated_suite_survives_crashes () =
       List.iter
         (fun r ->
           match r.R.outcome with
+          | R.Solved c ->
+              Alcotest.(check int) "checkpoint salvage proved the optimum" 2 c
           | R.Aborted { why = R.Crash _; ub = Some u; _ } ->
               Alcotest.(check bool) "salvaged ub crossed the fork" true (u >= 2)
           | R.Aborted { why = R.Crash _; ub = None; _ } ->
               Alcotest.fail "bounds lost in the crash report"
-          | _ -> Alcotest.fail "expected a crash abort")
-        runs;
-      Alcotest.(check int) "breakdown counts crashes" 2
-        (List.assoc "crash" (R.aborted_breakdown runs)))
+          | _ -> Alcotest.fail "expected a crash abort or salvaged solve")
+        runs)
+
+(* ---------------- warm-resume checkpoints ---------------- *)
+
+module Ck = Msu_guard.Checkpoint
+
+let test_checkpoint_wire () =
+  let ck =
+    {
+      Ck.lb = 3;
+      ub = Some 5;
+      model = Some [| true; false; true |];
+      marker = G.Progress.Core_rounds 4;
+    }
+  in
+  (match Ck.of_wire (Ck.to_wire ck) with
+  | Some c -> Alcotest.(check bool) "round-trips" true (c = ck)
+  | None -> Alcotest.fail "round-trip rejected");
+  (* flipping one model bit breaks the digest *)
+  let line = Ck.to_wire ck in
+  let corrupt = Bytes.of_string line in
+  let last = String.length line - 1 in
+  Bytes.set corrupt last (if Bytes.get corrupt last = '1' then '0' else '1');
+  Alcotest.(check bool) "bit flip rejected" true
+    (Ck.of_wire (Bytes.to_string corrupt) = None);
+  Alcotest.(check bool) "short line rejected" true (Ck.of_wire "ck deadbeef 1" = None);
+  Alcotest.(check bool) "garbage rejected" true (Ck.of_wire "hello world" = None)
+
+let test_checkpoint_reader_keeps_intact () =
+  let r = Ck.reader () in
+  let a = { Ck.empty with Ck.lb = 1; ub = Some 4 } in
+  let b = { a with Ck.lb = 2 } in
+  Ck.feed r (Ck.to_wire a ^ "\n");
+  Alcotest.(check bool) "first frame lands" true (Ck.latest r = Some a);
+  Ck.feed r (Ck.to_wire b ^ "\n");
+  Alcotest.(check bool) "newest intact frame wins" true (Ck.latest r = Some b);
+  (* a frame torn mid-write (no newline yet) must not displace b... *)
+  let c = { b with Ck.lb = 3 } in
+  let line = Ck.to_wire c in
+  Ck.feed r (String.sub line 0 (String.length line / 2));
+  Alcotest.(check bool) "torn frame ignored while buffered" true
+    (Ck.latest r = Some b);
+  (* ...nor when the writer dies and the stream ends mid-line: the
+     newline that eventually follows closes an undecodable line *)
+  Ck.feed r "\n";
+  Alcotest.(check bool) "torn frame dropped at line end" true
+    (Ck.latest r = Some b);
+  Alcotest.(check int) "torn frame counted" 1 (Ck.dropped r);
+  (* the pipe keeps working afterwards *)
+  Ck.feed r (Ck.to_wire c ^ "\n");
+  Alcotest.(check bool) "stream recovers" true (Ck.latest r = Some c)
+
+let test_checkpoint_merge () =
+  let a =
+    { Ck.lb = 2; ub = Some 5; model = Some [| true |]; marker = G.Progress.No_marker }
+  in
+  let b =
+    {
+      Ck.lb = 3;
+      ub = Some 6;
+      model = Some [| false |];
+      marker = G.Progress.Core_rounds 1;
+    }
+  in
+  let m = Ck.merge a b in
+  Alcotest.(check int) "max lb" 3 m.Ck.lb;
+  Alcotest.(check bool) "min ub" true (m.Ck.ub = Some 5);
+  Alcotest.(check bool) "model follows the winning ub" true
+    (m.Ck.model = Some [| true |]);
+  Alcotest.(check bool) "newest marker wins" true
+    (m.Ck.marker = G.Progress.Core_rounds 1);
+  (* an ub tie keeps whichever side actually holds the incumbent *)
+  let bare = { Ck.lb = 0; ub = Some 5; model = None; marker = G.Progress.No_marker } in
+  Alcotest.(check bool) "tie keeps the model" true
+    ((Ck.merge a bare).Ck.model = Some [| true |]
+    && (Ck.merge bare a).Ck.model = Some [| true |])
+
+(* The Torn_checkpoint fault SIGKILLs the worker halfway through a
+   frame — after at least one intact frame went out.  Whatever the
+   parent salvages must come from an intact frame, so the run either
+   solves (collapsed bracket) or aborts with a sound bracket; a torn
+   tail must never surface as bounds. *)
+let test_torn_checkpoint_crash () =
+  with_fault F.Torn_checkpoint (fun () ->
+      let retry = { R.max_attempts = 2; retry_conflict_budget = None } in
+      let r =
+        R.run_one ~isolate:true ~retry ~timeout:10.0 M.Msu4_v2
+          ("paper", "toy", paper_wcnf ())
+      in
+      match r.R.outcome with
+      | R.Solved c -> Alcotest.(check int) "optimum" 2 c
+      | R.Aborted { why = R.Crash _; lb; ub } ->
+          Alcotest.(check bool) "an intact frame crossed the torn stream" true
+            (lb > 0 || ub <> None);
+          Alcotest.(check bool) "lb sound" true (lb <= 2);
+          (match ub with
+          | Some u -> Alcotest.(check bool) "ub sound" true (u >= 2)
+          | None -> ())
+      | o ->
+          Alcotest.failf "expected solve or crash abort, got %s"
+            (match o with
+            | R.Aborted { why; _ } -> R.abort_reason_to_string why
+            | R.Unsat_hard -> "hard-unsat"
+            | R.Solved _ -> "solved"))
+
+(* Warm resume must measurably reuse checkpointed progress: seeding a
+   fresh linear-search solve with the certified bracket of a finished
+   one turns the descent into a single UNSAT probe. *)
+let test_warm_resume_reuses_progress () =
+  let w = paper_wcnf () in
+  let cold = M.solve_supervised M.Pbo_linear w in
+  match (cold.T.outcome, cold.T.model) with
+  | T.Optimum opt, Some model ->
+      let ck =
+        { Ck.lb = opt; ub = Some opt; model = Some model; marker = G.Progress.No_marker }
+      in
+      let config = { T.default_config with T.resume = Some ck } in
+      let warm = M.solve_supervised ~config M.Pbo_linear w in
+      (match warm.T.outcome with
+      | T.Optimum c -> Alcotest.(check int) "warm optimum agrees" opt c
+      | o -> Alcotest.failf "warm run: %s" (Format.asprintf "%a" T.pp_outcome o));
+      Alcotest.(check bool)
+        (Printf.sprintf "warm run does less SAT work (%d < %d)"
+           warm.T.stats.T.sat_calls cold.T.stats.T.sat_calls)
+        true
+        (warm.T.stats.T.sat_calls < cold.T.stats.T.sat_calls)
+  | _ -> Alcotest.fail "cold pbo solve did not reach the optimum"
+
+(* The reaping ladder must survive a signal storm: waitpid/sleep race
+   EINTR from a 200 Hz itimer while (1) a child exits on its own and
+   (2) a SIGTERM-deaf child is walked down the SIGTERM -> flush ->
+   SIGKILL ladder. *)
+let test_wait_ladder_eintr () =
+  let old_alrm = Sys.signal Sys.sigalrm (Sys.Signal_handle (fun _ -> ())) in
+  ignore
+    (Unix.setitimer Unix.ITIMER_REAL
+       { Unix.it_interval = 0.005; it_value = 0.005 });
+  Fun.protect
+    ~finally:(fun () ->
+      ignore
+        (Unix.setitimer Unix.ITIMER_REAL { Unix.it_interval = 0.; it_value = 0. });
+      Sys.set_signal Sys.sigalrm old_alrm)
+    (fun () ->
+      (* EINTR-proof sleep for the children (the parent's itimer dies
+         with the fork, but the handler is inherited). *)
+      let nap seconds =
+        let until = Unix.gettimeofday () +. seconds in
+        let rec go () =
+          let left = until -. Unix.gettimeofday () in
+          if left > 0. then (
+            (try Unix.sleepf left
+             with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+            go ())
+        in
+        go ()
+      in
+      flush stdout;
+      flush stderr;
+      (match Unix.fork () with
+      | 0 ->
+          nap 0.2;
+          Unix._exit 42
+      | pid -> (
+          let now = Unix.gettimeofday () in
+          match R.Subproc.wait_with_ladder ~term_at:(now +. 5.) ~flush:1.0 pid with
+          | Unix.WEXITED 42 -> ()
+          | _ -> Alcotest.fail "well-behaved child lost under EINTR fire"));
+      flush stdout;
+      flush stderr;
+      (* Ignore SIGTERM before forking so the child is deaf from its
+         first instruction — installing it after fork races the
+         ladder's immediate SIGTERM. *)
+      let old_term = Sys.signal Sys.sigterm Sys.Signal_ignore in
+      match Unix.fork () with
+      | 0 ->
+          nap 30.;
+          Unix._exit 0
+      | pid -> (
+          Sys.set_signal Sys.sigterm old_term;
+          let now = Unix.gettimeofday () in
+          match R.Subproc.wait_with_ladder ~term_at:now ~flush:0.1 pid with
+          | Unix.WSIGNALED s when s = Sys.sigkill -> ()
+          | Unix.WEXITED _ | Unix.WSIGNALED _ | Unix.WSTOPPED _ ->
+              Alcotest.fail "SIGTERM-deaf child escaped the ladder"))
 
 let test_runner_budget_abort_reason () =
   let w = Wcnf.of_formula (pigeonhole 4) in
@@ -262,6 +448,14 @@ let suite =
     Alcotest.test_case "certifier rejects truncated proof" `Quick
       test_certify_rejects_truncated_proof;
     Alcotest.test_case "crash salvages bounds" `Quick test_crash_salvages_bounds;
+    Alcotest.test_case "checkpoint wire codec" `Quick test_checkpoint_wire;
+    Alcotest.test_case "checkpoint reader keeps intact frames" `Quick
+      test_checkpoint_reader_keeps_intact;
+    Alcotest.test_case "checkpoint merge" `Quick test_checkpoint_merge;
+    Alcotest.test_case "torn checkpoint frame" `Quick test_torn_checkpoint_crash;
+    Alcotest.test_case "warm resume reuses progress" `Quick
+      test_warm_resume_reuses_progress;
+    Alcotest.test_case "wait ladder survives EINTR" `Quick test_wait_ladder_eintr;
     Alcotest.test_case "runner retries a crash" `Quick test_runner_retries_crash;
     Alcotest.test_case "runner isolated solve" `Quick test_runner_isolated_solve;
     Alcotest.test_case "isolated suite survives crashes" `Quick

@@ -49,7 +49,7 @@ let test_run_suite_and_counts () =
 
 let test_consistency_detection () =
   let mk alg outcome =
-    R.{ instance = "i"; family = "f"; algorithm = alg; outcome; time = 0.1 }
+    R.{ instance = "i"; family = "f"; algorithm = alg; outcome; time = 0.1; attempts = 1 }
   in
   let runs = [ mk M.Msu4_v2 (R.Solved 2); mk M.Pbo_linear (R.Solved 3) ] in
   Alcotest.(check int) "disagreement flagged" 1 (List.length (R.consistency_errors runs))
@@ -66,7 +66,7 @@ let test_scatter () =
 
 let test_scatter_pins_aborts_at_timeout () =
   let mk alg outcome time =
-    R.{ instance = "i"; family = "f"; algorithm = alg; outcome; time }
+    R.{ instance = "i"; family = "f"; algorithm = alg; outcome; time; attempts = 1 }
   in
   let runs =
     [
@@ -147,13 +147,14 @@ let test_csv_outputs () =
     (String.length out > 0 && String.sub out 0 8 = "instance");
   let runs =
     [
-      R.{ instance = "a"; family = "f"; algorithm = M.Msu4_v2; outcome = R.Solved 1; time = 0.5 };
+      R.{ instance = "a"; family = "f"; algorithm = M.Msu4_v2; outcome = R.Solved 1; time = 0.5; attempts = 1 };
       R.{
           instance = "b";
           family = "f";
           algorithm = M.Msu4_v2;
           outcome = R.Aborted { why = R.Out_of_conflicts; lb = 2; ub = Some 4 };
           time = 1.0;
+          attempts = 1;
         };
     ]
   in
