@@ -30,6 +30,13 @@
                    calls, a journalling daemon SIGKILL'd mid-load and
                    replayed with zero lost jobs, corrupt-file
                    tolerance (BENCH_chaos.json)
+     ablation-propagation
+                   CDCL hot-path microbenchmark on conflict-heavy
+                   instances: propagations/sec, conflicts/sec and GC
+                   minor words per SAT call, with per-instance answers
+                   asserted byte-equal against a committed baseline and
+                   a soft throughput regression guard
+                   (BENCH_propagation.json)
      micro         Bechamel micro-benchmarks, one per table/figure
      all           everything above (default)
 
@@ -58,6 +65,8 @@ let isolate = ref false
 let retries = ref 1
 let conflict_budget = ref 0
 let smoke = ref false
+let baseline_file = ref ""
+let guard_perf = ref false
 let command = ref "all"
 
 let usage = "main.exe [COMMAND] [--scale S] [--timeout T] [--seed N] [--out DIR]"
@@ -80,6 +89,14 @@ let spec =
     ( "--smoke",
       Arg.Set smoke,
       "shrink suites and timeouts so the command finishes in seconds (CI mode)" );
+    ( "--baseline",
+      Arg.Set_string baseline_file,
+      "committed baseline for ablation-propagation (answers + throughput guard)" );
+    ( "--guard-perf",
+      Arg.Set guard_perf,
+      "fail if propagations/sec drops >20% below the baseline (answers and minor \
+       words are always guarded; the wall-clock guard is opt-in because it is \
+       machine-dependent)" );
   ]
 
 let ensure_out_dir () = if not (Sys.file_exists !out_dir) then Sys.mkdir !out_dir 0o755
@@ -1415,6 +1432,260 @@ let ablation_trace () =
     Printf.printf "  %d series checked: timelines monotone, counts match stats\n%!"
       (List.length series)
 
+(* Propagation microbenchmark.  Raw CDCL throughput on conflict-heavy
+   instances (pigeonhole + over-constrained random 3-SAT), measured
+   directly against [Msu_sat.Solver] — no MaxSAT layer in the way.
+
+   Three numbers per variant: propagations/sec, conflicts/sec, and GC
+   minor words per SAT call ([Gc.minor_words] delta across [solve]).
+   Instances are deterministic in [--seed] and bounded by a *conflict*
+   budget (not a deadline), so the per-instance answers are
+   machine-independent; they are asserted byte-equal against the
+   committed baseline file ([--baseline]), which also carries the
+   reference throughput for a soft regression guard: the run fails if
+   propagations/sec drops more than 20% below the baseline.  Answers
+   differing is a hard failure either way — that is the
+   result-equivalence oracle every later hot-path PR must pass. *)
+
+let ablation_propagation () =
+  let module S = Msu_sat.Solver in
+  let module F = Msu_cnf.Formula in
+  let st = Random.State.make [| !seed; 0x9E3779B9 |] in
+  (* The smoke suite still needs a second or so of wall clock per
+     variant: the regression guard divides by measured time, and
+     sub-millisecond runs would make the props/sec ratio pure noise. *)
+  let php_sizes = if !smoke then [ 6 ] else [ 7; 8 ] in
+  let rand_specs =
+    (* (n_vars, clauses-per-var ratio, instance count): at or above the
+       3-SAT threshold, so conflict-heavy (mostly UNSAT) refutations.
+       Instances the conflict budget caps still measure throughput —
+       the budget, not the clock, bounds them, so the "unknown" answer
+       is deterministic. *)
+    if !smoke then [ (200, 4.6, 2) ] else [ (200, 4.8, 4); (250, 4.4, 4) ]
+  in
+  let conflict_budget = if !smoke then 40_000 else 150_000 in
+  let instances =
+    List.map
+      (fun n -> (Printf.sprintf "php-%d" n, "php", Msu_gen.Php.formula n))
+      php_sizes
+    @ List.concat_map
+        (fun (n, ratio, count) ->
+          List.init count (fun i ->
+              let n_clauses = int_of_float (ratio *. float_of_int n) in
+              let f = Msu_gen.Random_cnf.ksat st ~n_vars:n ~n_clauses ~k:3 in
+              (Printf.sprintf "rnd%d-%.1f-%d" n ratio i, "random", f)))
+        rand_specs
+  in
+  Printf.printf "\nAblation H - propagation microbench (%d instances, %d-conflict budget)\n%!"
+    (List.length instances) conflict_budget;
+  let result_string = function
+    | S.Sat -> "sat"
+    | S.Unsat -> "unsat"
+    | S.Unknown -> "unknown"
+  in
+  (* One run = fresh solver, load, solve once under the conflict budget. *)
+  let run_one ~track_proof f =
+    let s = S.create ~track_proof () in
+    S.ensure_vars s (F.num_vars f);
+    F.iter_clauses (fun _ c -> S.add_clause s c) f;
+    let mw0 = Gc.minor_words () in
+    let t0 = Unix.gettimeofday () in
+    let r = S.solve ~conflict_budget s in
+    let dt = Unix.gettimeofday () -. t0 in
+    let mw = Gc.minor_words () -. mw0 in
+    let model_ok =
+      match r with
+      | S.Sat -> F.count_satisfied f (S.model s) = F.num_clauses f
+      | S.Unsat | S.Unknown -> true
+    in
+    (r, dt, mw, S.stats s, model_ok)
+  in
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun m -> failures := m :: !failures) fmt in
+  let variants = [ ("proof", true); ("noproof", false) ] in
+  let rows =
+    (* (variant, instance, family, result, dt, minor_words, stats) *)
+    List.concat_map
+      (fun (vname, track_proof) ->
+        List.map
+          (fun (iname, family, f) ->
+            let r, dt, mw, stats, model_ok = run_one ~track_proof f in
+            if not model_ok then
+              fail "SAT model of %s does not satisfy the formula" iname;
+            if !verbose then
+              Printf.printf "    %-14s %-16s %-7s %8.3fs %12d props %10.0f minor\n%!"
+                vname iname (result_string r) dt stats.S.propagations mw;
+            (iname, family, vname, r, dt, mw, stats))
+          instances)
+      variants
+  in
+  (* The proof/noproof variants must agree instance by instance (proof
+     tracking may not change the search). *)
+  List.iter
+    (fun (iname, _, _, r, _, _, _) ->
+      List.iter
+        (fun (iname', _, _, r', _, _, _) ->
+          if String.equal iname iname' && r <> r' then
+            fail "variant disagreement on %s" iname)
+        rows)
+    rows;
+  let aggregate pred =
+    let sel = List.filter pred rows in
+    let calls = List.length sel in
+    let tot f = List.fold_left (fun acc r -> acc +. f r) 0. sel in
+    let time = tot (fun (_, _, _, _, dt, _, _) -> dt) in
+    let props = tot (fun (_, _, _, _, _, _, st) -> float_of_int st.S.propagations) in
+    let confls = tot (fun (_, _, _, _, _, _, st) -> float_of_int st.S.conflicts) in
+    let minor = tot (fun (_, _, _, _, _, mw, _) -> mw) in
+    let per t = if time > 0. then t /. time else 0. in
+    ( calls,
+      per props,
+      per confls,
+      (if calls > 0 then minor /. float_of_int calls else 0.),
+      time )
+  in
+  let headline = aggregate (fun (_, _, v, _, _, _, _) -> String.equal v "proof") in
+  let _, props_sec, confls_sec, minor_per_call, total_time = headline in
+  Printf.printf "  %-10s %14s %14s %16s %8s\n" "variant" "props/sec" "conflicts/sec"
+    "minor words/call" "time";
+  let variant_rows =
+    List.map
+      (fun (vname, _) ->
+        let _, ps, cs, mw, t =
+          aggregate (fun (_, _, v, _, _, _, _) -> String.equal v vname)
+        in
+        Printf.printf "  %-10s %14.3e %14.3e %16.1f %7.2fs\n%!" vname ps cs mw t;
+        (vname, ps, cs, mw))
+      variants
+  in
+  (* Per-instance answers, from the "proof" variant. *)
+  let answers =
+    List.filter_map
+      (fun (iname, _, v, r, _, _, _) ->
+        if String.equal v "proof" then Some (iname, result_string r) else None)
+      rows
+  in
+  (* ----- committed-baseline comparison (answers + throughput) ----- *)
+  let mode = if !smoke then "smoke" else "full" in
+  let baseline =
+    (* Flat key-value file next to the JSON artifact: trivially
+       parseable without a JSON reader.  Regenerated by every run into
+       [--out]; the committed copy under results/ is the reference. *)
+    if !baseline_file = "" || not (Sys.file_exists !baseline_file) then None
+    else begin
+      let ic = open_in !baseline_file in
+      let tbl = Hashtbl.create 64 in
+      (try
+         while true do
+           match String.split_on_char ' ' (input_line ic) with
+           | [ "answer"; name; r ] -> Hashtbl.replace tbl ("answer " ^ name) r
+           | [ key; v ] -> Hashtbl.replace tbl key v
+           | _ -> ()
+         done
+       with End_of_file -> close_in ic);
+      Some tbl
+    end
+  in
+  let baseline_props = ref None in
+  let baseline_minor = ref None in
+  (match baseline with
+  | None ->
+      Printf.printf "  (no baseline file%s: guard skipped)\n%!"
+        (if !baseline_file = "" then "" else " " ^ !baseline_file)
+  | Some tbl ->
+      let find k = Hashtbl.find_opt tbl k in
+      if find "mode" <> Some mode || find "seed" <> Some (string_of_int !seed) then
+        Printf.printf "  (baseline mode/seed mismatch: guard skipped)\n%!"
+      else begin
+        List.iter
+          (fun (iname, r) ->
+            match find ("answer " ^ iname) with
+            | Some r' when r' <> r ->
+                fail "answer changed vs baseline on %s: %s -> %s" iname r' r
+            | _ -> ())
+          answers;
+        (match find "props_per_sec" with
+        | Some v ->
+            let bp = float_of_string v in
+            baseline_props := Some bp;
+            let ratio = props_sec /. bp in
+            Printf.printf "  baseline props/sec %.3e -> %.3e (%.2fx)%s\n%!" bp
+              props_sec ratio
+              (if (not !guard_perf) && ratio < 0.8 then
+                 "  ** >20% below baseline (soft: pass --guard-perf to enforce) **"
+               else "");
+            if !guard_perf && ratio < 0.8 then
+              fail "propagation throughput regressed >20%% vs baseline (%.2fx)" ratio
+        | None -> ());
+        match find "minor_words_per_call" with
+        | Some v ->
+            let bm = float_of_string v in
+            baseline_minor := Some bm;
+            Printf.printf "  baseline minor words/call %.0f -> %.0f (%.1fx fewer)\n%!"
+              bm minor_per_call
+              (if minor_per_call > 0. then bm /. minor_per_call else infinity);
+            (* Allocation counts are deterministic for a fixed seed and
+               code, so unlike wall-clock throughput this guard is safe
+               to enforce everywhere, including `dune runtest`. *)
+            if minor_per_call > bm *. 1.2 then
+              fail "minor words/call regressed >20%% vs baseline (%.0f -> %.0f)" bm
+                minor_per_call
+        | None -> ()
+      end);
+  (* Fresh baseline snapshot into --out (commit it under results/ to
+     ratchet the reference). *)
+  let buf = Buffer.create 1024 in
+  Printf.bprintf buf "mode %s\nseed %d\nconflict_budget %d\n" mode !seed conflict_budget;
+  Printf.bprintf buf "props_per_sec %.6e\nminor_words_per_call %.6e\n" props_sec
+    minor_per_call;
+  List.iter (fun (n, r) -> Printf.bprintf buf "answer %s %s\n" n r) answers;
+  write_file
+    (if !smoke then "propagation_answers_smoke.txt" else "propagation_answers.txt")
+    (Buffer.contents buf);
+  write_bench_json "propagation"
+    [
+      ("mode", Json.Str mode);
+      ("conflict_budget", Json.Int conflict_budget);
+      ("instances", Json.Int (List.length instances));
+      ("props_per_sec", Json.Num props_sec);
+      ("conflicts_per_sec", Json.Num confls_sec);
+      ("minor_words_per_call", Json.Num minor_per_call);
+      ("total_time_s", Json.Num total_time);
+      ( "baseline",
+        match (!baseline_props, !baseline_minor) with
+        | Some bp, Some bm ->
+            Json.Obj
+              [
+                ("props_per_sec", Json.Num bp);
+                ("minor_words_per_call", Json.Num bm);
+                ("speedup", Json.Num (props_sec /. bp));
+                ( "minor_words_reduction",
+                  Json.Num (if minor_per_call > 0. then bm /. minor_per_call else 0.)
+                );
+              ]
+        | _ -> Json.Str "none" );
+      ( "variants",
+        Json.List
+          (List.map
+             (fun (vname, ps, cs, mw) ->
+               Json.Obj
+                 [
+                   ("variant", Json.Str vname);
+                   ("props_per_sec", Json.Num ps);
+                   ("conflicts_per_sec", Json.Num cs);
+                   ("minor_words_per_call", Json.Num mw);
+                 ])
+             variant_rows) );
+      ( "answers",
+        Json.Obj (List.map (fun (n, r) -> (n, Json.Str r)) answers) );
+    ];
+  if !failures <> [] then begin
+    Printf.printf "  PROPAGATION BENCH FAILURES:\n";
+    List.iter (fun m -> Printf.printf "    %s\n" m) (List.rev !failures);
+    exit 1
+  end
+  else Printf.printf "  answers stable, models verified, guard satisfied\n%!"
+
 let () =
   let anon a = command := a in
   Arg.parse spec anon usage;
@@ -1444,6 +1715,7 @@ let () =
   | "ablation-service" -> ablation_service ()
   | "ablation-trace" -> ablation_trace ()
   | "ablation-chaos" -> ablation_chaos ()
+  | "ablation-propagation" -> ablation_propagation ()
   | "micro" -> micro ()
   | "all" ->
       table1 ();
@@ -1460,6 +1732,7 @@ let () =
       ablation_service ();
       ablation_trace ();
       ablation_chaos ();
+      ablation_propagation ();
       micro ()
   | other ->
       Printf.eprintf "unknown command %S\n%s\n" other usage;

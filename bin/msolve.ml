@@ -126,6 +126,12 @@ let run file algorithm encoding timeout conflicts propagations memory_mb verify
             Option.map (fun mb -> mb * 1024 * 1024 / 8) memory_mb;
         }
       in
+      (* Snapshot for the GC-pressure delta reported by --stats-json.
+         The minor-words delta uses [Gc.minor_words] (exact) rather
+         than [quick_stat.minor_words] (updated only at minor
+         collections). *)
+      let gc0 = Gc.quick_stat () in
+      let gc0_minor = Gc.minor_words () in
       if not quiet then
         Printf.printf "c msolve: %s on %s (%d vars, %d hard, %d soft)\n"
           (match connect with
@@ -198,13 +204,21 @@ let run file algorithm encoding timeout conflicts propagations memory_mb verify
           | T.Crashed _ -> "crashed"
         in
         let lb, ub = T.outcome_bounds r.T.outcome in
+        Obs.Gc_metrics.sample ();
+        let gc1 = Gc.quick_stat () in
         Printf.printf
-          "{\"file\":%S,\"outcome\":%S,\"lb\":%d,\"ub\":%s,\"elapsed\":%.6f,\"stats\":{\"sat_calls\":%d,\"cores\":%d,\"blocking_vars\":%d,\"encoding_clauses\":%d,\"rebuilds\":%d},\"metrics\":%s}\n"
+          "{\"file\":%S,\"outcome\":%S,\"lb\":%d,\"ub\":%s,\"elapsed\":%.6f,\"stats\":{\"sat_calls\":%d,\"cores\":%d,\"blocking_vars\":%d,\"encoding_clauses\":%d,\"rebuilds\":%d},\"gc\":{\"minor_words\":%.0f,\"major_words\":%.0f,\"promoted_words\":%.0f,\"heap_words\":%d,\"minor_collections\":%d,\"major_collections\":%d},\"metrics\":%s}\n"
           file outcome_tag lb
           (match ub with Some u -> string_of_int u | None -> "null")
           r.T.elapsed r.T.stats.T.sat_calls r.T.stats.T.cores
           r.T.stats.T.blocking_vars r.T.stats.T.encoding_clauses
           r.T.stats.T.rebuilds
+          (Gc.minor_words () -. gc0_minor)
+          (gc1.Gc.major_words -. gc0.Gc.major_words)
+          (gc1.Gc.promoted_words -. gc0.Gc.promoted_words)
+          gc1.Gc.heap_words
+          (gc1.Gc.minor_collections - gc0.Gc.minor_collections)
+          (gc1.Gc.major_collections - gc0.Gc.major_collections)
           (Obs.Metrics.to_json Obs.Metrics.default)
       end;
       let print_model () =

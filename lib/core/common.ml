@@ -157,6 +157,7 @@ let finish (cfg : Types.config) ~t0 ~stats outcome model =
   Obs.Metrics.inc ~by:stats.Types.encoding_clauses m_encoding;
   Obs.Metrics.inc ~by:stats.Types.rebuilds m_rebuilds;
   Obs.Metrics.observe m_solve_seconds elapsed;
+  Obs.Gc_metrics.sample ();
   Types.{ outcome; model; stats; elapsed }
 
 module Tally = struct

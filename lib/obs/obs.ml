@@ -623,3 +623,34 @@ module Metrics = struct
       (names registry);
     Buffer.contents b
 end
+
+module Gc_metrics = struct
+  let minor_words =
+    Metrics.gauge ~help:"cumulative minor-heap words allocated" "msu_gc_minor_words"
+
+  let major_words =
+    Metrics.gauge ~help:"cumulative major-heap words allocated" "msu_gc_major_words"
+
+  let promoted_words =
+    Metrics.gauge ~help:"cumulative words promoted minor->major" "msu_gc_promoted_words"
+
+  let heap_words = Metrics.gauge ~help:"major heap size in words" "msu_gc_heap_words"
+
+  let minor_collections =
+    Metrics.gauge ~help:"minor collections so far" "msu_gc_minor_collections"
+
+  let major_collections =
+    Metrics.gauge ~help:"major collection cycles so far" "msu_gc_major_collections"
+
+  let sample () =
+    let q = Gc.quick_stat () in
+    (* [quick_stat.minor_words] only counts through completed minor
+       collections; [Gc.minor_words ()] also reads the live young
+       pointer, so it is exact. *)
+    Metrics.set minor_words (Gc.minor_words ());
+    Metrics.set major_words q.Gc.major_words;
+    Metrics.set promoted_words q.Gc.promoted_words;
+    Metrics.set heap_words (float_of_int q.Gc.heap_words);
+    Metrics.set minor_collections (float_of_int q.Gc.minor_collections);
+    Metrics.set major_collections (float_of_int q.Gc.major_collections)
+end

@@ -197,3 +197,19 @@ module Metrics : sig
   (** Prometheus text exposition format (counters, gauges, cumulative
       histogram buckets with [+Inf]). *)
 end
+
+(** GC-pressure gauges in the default {!Metrics} registry, refreshed
+    from [Gc.quick_stat] on every {!Gc_metrics.sample}.  The solver
+    stack samples after each MaxSAT solve, so [--stats-json] and the
+    Prometheus export carry the allocation story of the run. *)
+module Gc_metrics : sig
+  val minor_words : Metrics.gauge
+  val major_words : Metrics.gauge
+  val promoted_words : Metrics.gauge
+  val heap_words : Metrics.gauge
+  val minor_collections : Metrics.gauge
+  val major_collections : Metrics.gauge
+
+  val sample : unit -> unit
+  (** Refresh all six gauges from [Gc.quick_stat] (cheap: no heap walk). *)
+end

@@ -1,10 +1,25 @@
 type t = {
   score : int -> float;
+  (* When non-empty, scores are read straight from this unboxed float
+     array instead of through [score]: a closure returning [float] boxes
+     its result on every comparison (no flambda), which on the solver's
+     hot path means two minor-heap allocations per sift step.  The
+     caller re-[retarget]s whenever it reallocates the array. *)
+  mutable scores : float array;
   heap : int Msu_cnf.Vec.t; (* heap.(i) = element at heap position i *)
   mutable pos : int array; (* pos.(e) = heap position of e, or -1 *)
 }
 
-let create ~score = { score; heap = Msu_cnf.Vec.create ~dummy:(-1); pos = Array.make 16 (-1) }
+let create ~score =
+  { score; scores = [||]; heap = Msu_cnf.Vec.create ~dummy:(-1); pos = Array.make 16 (-1) }
+
+let retarget h scores = h.scores <- scores
+
+(* [gt h a b] is score(a) > score(b), allocation-free on the array path. *)
+let gt h a b =
+  let s = h.scores in
+  if Array.length s > 0 then Array.unsafe_get s a > Array.unsafe_get s b
+  else h.score a > h.score b
 
 let ensure h n =
   let cap = Array.length h.pos in
@@ -29,7 +44,7 @@ let rec percolate_up h e i =
   if i > 0 then begin
     let p = parent i in
     let ep = Msu_cnf.Vec.get h.heap p in
-    if h.score e > h.score ep then begin
+    if gt h e ep then begin
       place h ep i;
       percolate_up h e p
     end
@@ -43,14 +58,14 @@ let rec percolate_down h e i =
   let best = ref i and best_e = ref e in
   if l < n then begin
     let el = Msu_cnf.Vec.get h.heap l in
-    if h.score el > h.score !best_e then begin
+    if gt h el !best_e then begin
       best := l;
       best_e := el
     end
   end;
   if r < n then begin
     let er = Msu_cnf.Vec.get h.heap r in
-    if h.score er > h.score !best_e then begin
+    if gt h er !best_e then begin
       best := r;
       best_e := er
     end

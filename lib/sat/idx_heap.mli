@@ -11,6 +11,13 @@ val create : score:(int -> float) -> t
 (** [create ~score] is an empty heap ordered by [score].  The function is
     consulted on every comparison, so it must be cheap (an array read). *)
 
+val retarget : t -> float array -> unit
+(** [retarget h scores] switches comparisons to direct reads of
+    [scores] — allocation-free, unlike the [score] closure, whose boxed
+    float return costs two minor-heap words per comparison.  The array
+    must cover every element ever inserted; call again whenever the
+    caller reallocates it. *)
+
 val ensure : t -> int -> unit
 (** [ensure h n] makes elements [0 .. n-1] addressable (not inserted). *)
 

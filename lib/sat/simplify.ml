@@ -92,7 +92,7 @@ let rec propagate_units st =
               changed := true
           | ls ->
               let ls = Array.of_list ls in
-              Array.sort compare ls;
+              Array.sort Int.compare ls;
               if Array.length ls < Array.length c.lits then begin
                 c.lits <- ls;
                 c.sig_ <- signature ls;
@@ -161,7 +161,7 @@ let subsumption_pass st =
 let resolve a b v =
   (* Resolvent of sorted clauses on variable v; None if tautological. *)
   let keep c = List.filter (fun l -> l lsr 1 <> v) (Array.to_list c) in
-  let merged = List.sort_uniq compare (keep a @ keep b) in
+  let merged = List.sort_uniq Int.compare (keep a @ keep b) in
   let tautology =
     let rec go = function
       | x :: (y :: _ as rest) -> (x lxor 1 = y && x lsr 1 = y lsr 1) || go rest
@@ -246,9 +246,9 @@ let simplify ?guard ?(max_occ = 10) ?(max_resolvent = 16) f =
     Formula.iter_clauses
       (fun _ c ->
         let lits = Array.map Lit.to_int c in
-        Array.sort compare lits;
+        Array.sort Int.compare lits;
         (* Dedup; drop tautologies. *)
-        let uniq = Array.of_list (List.sort_uniq compare (Array.to_list lits)) in
+        let uniq = Array.of_list (List.sort_uniq Int.compare (Array.to_list lits)) in
         let tautology =
           let rec go i =
             i + 1 < Array.length uniq

@@ -3,25 +3,32 @@ module Lit = Msu_cnf.Lit
 
 (* Literal values: 1 = true, 0 = false, -1 = unassigned.  Literals are
    stored packed (Lit.to_int); [value_of] XORs the variable value with
-   the literal's sign bit so negation costs one instruction. *)
+   the literal's sign bit so negation costs one instruction.
 
-type source =
-  | Axiom of int (* as-given clause; id >= 0 when tracked, -1 otherwise *)
-  | Resolved of clause list (* derived; complete antecedent list *)
+   The clause database lives in a flat int arena: one growable int
+   array of packed literals with a 4-word inline header per clause, and
+   clauses addressed by integer offsets ("clause refs", [cr]) instead
+   of pointers.  Unit propagation therefore touches only unboxed int
+   arrays — no clause records, no watcher records, no GC pressure on
+   the hot path.  Offsets survive arena growth (growth reallocates the
+   backing array but offsets are positions, not addresses); compaction
+   (see [compact]) is the only operation that moves clauses, and it
+   rewrites every live reference (watchers, reasons, clause lists,
+   selector groups).
 
-and clause = {
-  uid : int;
-  mutable lits : int array; (* packed literals; watched lits at 0 and 1 *)
-  mutable activity : float;
-  learnt : bool;
-  mutable removed : bool;
-  source : source;
-}
+   Arena layout, clause at offset [cr]:
+     arena.(cr)     size (number of literals)
+     arena.(cr+1)   info word: bit 0 = learnt, bit 1 = removed,
+                    bit 2 = relocated (transient, inside [compact] only),
+                    bits 3.. = LBD (literal block distance)
+     arena.(cr+2)   activity as IEEE-754 bits (sign dropped: always >= 0);
+                    during [compact], forwarding offset of relocated clauses
+     arena.(cr+3)   proof uid (-1 when untracked)
+     arena.(cr+4..) the literals; watched literals at slots 0 and 1 *)
 
-(* A watched-clause reference with a cached "blocking" literal (MiniSat
-   2.2): when the blocker is already true the clause is satisfied and
-   propagation skips the clause dereference entirely. *)
-type watcher = { blocker : int; wc : clause }
+type psource =
+  | P_axiom of int (* as-given clause; id >= 0 when tracked, -1 otherwise *)
+  | P_resolved of int list (* derived; complete antecedent uid list *)
 
 type result = Sat | Unsat | Unknown
 
@@ -32,39 +39,59 @@ type stats = {
   restarts : int;
   learnt_literals : int;
   deleted_clauses : int;
+  compactions : int;
 }
 
 type t = {
   track_proof : bool;
+  debug : bool; (* run [check_invariants] after every compaction *)
   mutable num_vars : int;
   mutable ok : bool;
-  mutable next_uid : int;
+  (* Flat clause storage. *)
+  mutable arena : int array;
+  mutable arena_size : int; (* first free word *)
+  mutable wasted : int; (* words owned by removed clauses *)
   (* Per-variable state; arrays are resized in [ensure_vars]. *)
   mutable assigns : int array; (* -1 / 0 / 1, indexed by var *)
   mutable level : int array;
-  mutable reason : clause option array;
-  mutable unit_proof : clause option array;
-  (* closed derivation of the level-0 unit fact for this var *)
+  mutable reason : int array; (* clause ref or -1, indexed by var *)
+  mutable unit_proof : int array;
+  (* proof uid (-1 = none) closing the derivation of the level-0 unit
+     fact for this var *)
   mutable activity : float array;
-  mutable polarity : bool array; (* saved phase; doubles as model cache *)
-  mutable seen : bool array; (* scratch for analyze *)
-  mutable watches : watcher Vec.t array; (* indexed by packed literal *)
-  (* Activation-literal clause groups: selector var -> clauses guarded
-     by it.  [retire_selector] satisfies the group with a unit and marks
-     its clauses removed so the watcher lists drop them lazily. *)
-  selector_groups : (int, clause list ref) Hashtbl.t;
+  mutable polarity : Bytes.t; (* saved phase; doubles as model cache *)
+  mutable seen : Bytes.t; (* scratch for analyze *)
+  mutable lbd_stamp : int array; (* per-level scratch for LBD counting *)
+  mutable lbd_tick : int;
+  (* Watcher lists, indexed by packed literal: flat (clause ref,
+     blocking literal) int pairs, stride 2.  MiniSat 2.2 blocking
+     literals: when the blocker is already true the clause is satisfied
+     and propagation skips the arena dereference entirely. *)
+  mutable watch_data : int array array;
+  mutable watch_size : int array; (* used ints (2 x watcher count) *)
+  (* Activation-literal clause groups: selector var -> clause refs
+     guarded by it.  [retire_selector] satisfies the group with a unit
+     and marks its clauses removed; the next compaction reclaims them
+     and drops their watchers. *)
+  selector_groups : (int, int list ref) Hashtbl.t;
   mutable order : Idx_heap.t;
-  clauses : clause Vec.t; (* problem clauses *)
-  learnts : clause Vec.t;
+  clauses : int Vec.t; (* problem clause refs *)
+  learnts : int Vec.t; (* learnt clause refs *)
+  (* Proof store: uid -> derivation.  Pseudo-clauses (level-0 unit
+     proofs, the refutation) are uids with no arena presence, so the
+     proof DAG survives clause deletion and compaction untouched. *)
+  proof : psource Vec.t;
   trail : int Vec.t; (* packed literals, assignment order *)
   trail_lim : int Vec.t; (* trail size at each decision level *)
+  scratch_learnt : int Vec.t; (* reused per-conflict learnt-clause buffer *)
+  scratch_clear : int Vec.t; (* vars whose [seen] bit awaits clearing *)
   mutable qhead : int;
   mutable var_inc : float;
   mutable cla_inc : float;
   mutable max_learnts : float;
-  (* Refutation certificate: a pseudo-clause whose antecedents derive the
-     empty clause, set on a level-0 conflict. *)
-  mutable refutation : clause option;
+  (* Refutation certificate: a pseudo-clause (proof uid) whose
+     antecedents derive the empty clause, set on a level-0 conflict. *)
+  mutable refutation : int; (* proof uid, -1 = none *)
   mutable conflict_assumps : int list; (* packed lits *)
   mutable drup_log : Drup.log option;
   (* Budgets for the current [solve] call. *)
@@ -82,17 +109,16 @@ type t = {
   mutable n_restarts : int;
   mutable n_learnt_literals : int;
   mutable n_deleted : int;
+  mutable n_compactions : int;
   mutable event_hook : Msu_obs.Obs.Event.kind -> unit;
 }
-
-let dummy_clause =
-  { uid = -1; lits = [||]; activity = 0.; learnt = false; removed = false; source = Axiom (-1) }
-
-let dummy_watcher = { blocker = 0; wc = dummy_clause }
 
 let var_decay = 1. /. 0.95
 let clause_decay = 1. /. 0.999
 let restart_base = 100
+let header_words = 4
+let clause_words size = size + header_words
+let lbd_max = (1 lsl 24) - 1
 
 (* Process-wide CDCL metrics (Msu_obs registry). *)
 let m_calls = Msu_obs.Obs.Metrics.counter ~help:"SAT solve calls" "msu_solver_calls_total"
@@ -103,6 +129,10 @@ let m_restarts =
 let m_reduce_db =
   Msu_obs.Obs.Metrics.counter ~help:"learnt-DB reductions" "msu_solver_reduce_db_total"
 
+let m_compactions =
+  Msu_obs.Obs.Metrics.counter ~help:"clause-arena compactions"
+    "msu_solver_arena_compactions_total"
+
 let m_call_seconds =
   Msu_obs.Obs.Metrics.histogram ~help:"wall-clock seconds per SAT call"
     "msu_solver_call_seconds"
@@ -112,32 +142,46 @@ let m_call_conflicts =
     ~buckets:(Msu_obs.Obs.Metrics.log_buckets ~lo:1.0 ~hi:1e6 13)
     "msu_solver_call_conflicts"
 
-let create ?(track_proof = true) () =
+let m_call_minor_words =
+  Msu_obs.Obs.Metrics.histogram ~help:"GC minor words allocated per SAT call"
+    ~buckets:(Msu_obs.Obs.Metrics.log_buckets ~lo:1e2 ~hi:1e9 15)
+    "msu_solver_call_minor_words"
+
+let create ?(track_proof = true) ?(debug = false) () =
   let s =
     {
       track_proof;
+      debug;
       num_vars = 0;
       ok = true;
-      next_uid = 0;
+      arena = Array.make 1024 0;
+      arena_size = 0;
+      wasted = 0;
       assigns = [||];
       level = [||];
       reason = [||];
       unit_proof = [||];
       activity = [||];
-      polarity = [||];
-      seen = [||];
-      watches = [||];
+      polarity = Bytes.empty;
+      seen = Bytes.empty;
+      lbd_stamp = [||];
+      lbd_tick = 0;
+      watch_data = [||];
+      watch_size = [||];
       selector_groups = Hashtbl.create 64;
       order = Idx_heap.create ~score:(fun _ -> 0.);
-      clauses = Vec.create ~dummy:dummy_clause;
-      learnts = Vec.create ~dummy:dummy_clause;
+      clauses = Vec.create ~dummy:0;
+      learnts = Vec.create ~dummy:0;
+      proof = Vec.create ~dummy:(P_axiom (-1));
       trail = Vec.create ~dummy:0;
       trail_lim = Vec.create ~dummy:0;
+      scratch_learnt = Vec.create ~dummy:0;
+      scratch_clear = Vec.create ~dummy:0;
       qhead = 0;
       var_inc = 1.;
       cla_inc = 1.;
       max_learnts = 1000.;
-      refutation = None;
+      refutation = -1;
       conflict_assumps = [];
       drup_log = None;
       deadline = infinity;
@@ -153,6 +197,7 @@ let create ?(track_proof = true) () =
       n_restarts = 0;
       n_learnt_literals = 0;
       n_deleted = 0;
+      n_compactions = 0;
       event_hook = (fun _ -> ());
     }
   in
@@ -163,24 +208,84 @@ let num_vars s = s.num_vars
 let set_drup s log = s.drup_log <- Some log
 let num_clauses s = Vec.size s.clauses
 let num_learnts s = Vec.size s.learnts
+let arena_words s = s.arena_size
+let arena_wasted s = s.wasted
+
+let live_watchers s =
+  let n = ref 0 in
+  for lit = 0 to (2 * s.num_vars) - 1 do
+    n := !n + (s.watch_size.(lit) / 2)
+  done;
+  !n
+
+(* ----- clause header accessors ----- *)
+
+let c_size (a : int array) cr = Array.unsafe_get a cr
+let c_info (a : int array) cr = Array.unsafe_get a (cr + 1)
+let c_learnt a cr = c_info a cr land 1 <> 0
+let c_removed a cr = c_info a cr land 2 <> 0
+let c_lbd a cr = c_info a cr lsr 3
+let set_lbd (a : int array) cr lbd = a.(cr + 1) <- (c_info a cr land 7) lor (lbd lsl 3)
+let c_uid a cr = Array.unsafe_get a (cr + 3)
+let c_lit (a : int array) cr i = Array.unsafe_get a (cr + header_words + i)
+
+(* Activity as float bits in one arena word.  Activities are >= 0, so
+   the IEEE sign bit is 0 and the 63-bit native int keeps the value
+   exactly; restoring masks the sign bit the int64 sign extension may
+   have smeared. *)
+let c_activity a cr =
+  Int64.float_of_bits (Int64.logand (Int64.of_int (Array.unsafe_get a (cr + 2))) Int64.max_int)
+
+let set_activity (a : int array) cr (f : float) = a.(cr + 2) <- Int64.to_int (Int64.bits_of_float f)
 
 let drup_add s lits =
   match s.drup_log with
   | None -> ()
   | Some log -> Drup.log_add log (Array.map Lit.of_int_unsafe lits)
 
-let drup_delete s lits =
+let drup_delete_cr s cr =
   match s.drup_log with
   | None -> ()
-  | Some log -> Drup.log_delete log (Array.map Lit.of_int_unsafe lits)
+  | Some log ->
+      let a = s.arena in
+      Drup.log_delete log
+        (Array.init (c_size a cr) (fun i -> Lit.of_int_unsafe (c_lit a cr i)))
 
-let fresh_uid s =
-  let u = s.next_uid in
-  s.next_uid <- u + 1;
+let new_proof s src =
+  let u = Vec.size s.proof in
+  Vec.push s.proof src;
   u
 
-let mk_clause s ~learnt ~source lits =
-  { uid = fresh_uid s; lits; activity = 0.; learnt; removed = false; source }
+(* ----- arena allocation ----- *)
+
+let ensure_arena s extra =
+  let need = s.arena_size + extra in
+  let cap = Array.length s.arena in
+  if need > cap then begin
+    let a' = Array.make (max need (2 * cap)) 0 in
+    Array.blit s.arena 0 a' 0 s.arena_size;
+    s.arena <- a'
+  end
+
+let alloc_clause s ~learnt ~uid (lits : int array) =
+  let size = Array.length lits in
+  ensure_arena s (clause_words size);
+  let cr = s.arena_size in
+  let a = s.arena in
+  a.(cr) <- size;
+  a.(cr + 1) <- (if learnt then 1 else 0);
+  a.(cr + 2) <- 0 (* activity 0.0 *);
+  a.(cr + 3) <- uid;
+  Array.blit lits 0 a (cr + header_words) size;
+  s.arena_size <- cr + clause_words size;
+  cr
+
+let mark_removed s cr =
+  let a = s.arena in
+  if not (c_removed a cr) then begin
+    a.(cr + 1) <- c_info a cr lor 2;
+    s.wasted <- s.wasted + clause_words (c_size a cr)
+  end
 
 let grow_array a n dummy =
   let cap = Array.length a in
@@ -191,29 +296,38 @@ let grow_array a n dummy =
     a'
   end
 
+let grow_bytes b n =
+  let cap = Bytes.length b in
+  if n <= cap then b
+  else begin
+    let b' = Bytes.make (max n ((2 * cap) + 2)) '\000' in
+    Bytes.blit b 0 b' 0 cap;
+    b'
+  end
+
 let ensure_vars s n =
   if n > s.num_vars then begin
     let old = s.num_vars in
     s.assigns <- grow_array s.assigns n (-1);
     s.level <- grow_array s.level n (-1);
-    s.reason <- grow_array s.reason n None;
-    s.unit_proof <- grow_array s.unit_proof n None;
+    s.reason <- grow_array s.reason n (-1);
+    s.unit_proof <- grow_array s.unit_proof n (-1);
     s.activity <- grow_array s.activity n 0.;
-    s.polarity <- grow_array s.polarity n false;
-    s.seen <- grow_array s.seen n false;
+    Idx_heap.retarget s.order s.activity;
+    s.polarity <- grow_bytes s.polarity n;
+    s.seen <- grow_bytes s.seen n;
+    s.lbd_stamp <- grow_array s.lbd_stamp (n + 1) 0;
     let wcap = 2 * Array.length s.assigns in
-    if wcap > Array.length s.watches then begin
-      let watches' = Array.make wcap (Vec.create ~dummy:dummy_watcher) in
-      Array.blit s.watches 0 watches' 0 (Array.length s.watches);
-      for i = Array.length s.watches to wcap - 1 do
-        watches'.(i) <- Vec.create ~dummy:dummy_watcher
-      done;
-      s.watches <- watches'
+    if wcap > Array.length s.watch_data then begin
+      s.watch_data <- grow_array s.watch_data wcap [||];
+      s.watch_size <- grow_array s.watch_size wcap 0
     end;
     Idx_heap.ensure s.order n;
     s.num_vars <- n;
     for v = old to n - 1 do
       s.assigns.(v) <- -1;
+      s.reason.(v) <- -1;
+      s.unit_proof.(v) <- -1;
       Idx_heap.insert s.order v
     done
   end
@@ -224,10 +338,13 @@ let new_var s =
   v
 
 let value_of s l =
-  let a = s.assigns.(l lsr 1) in
+  let a = Array.unsafe_get s.assigns (l lsr 1) in
   if a < 0 then -1 else a lxor (l land 1)
 
 let decision_level s = Vec.size s.trail_lim
+
+let seen_get s v = Bytes.unsafe_get s.seen v <> '\000'
+let seen_set s v b = Bytes.unsafe_set s.seen v (if b then '\001' else '\000')
 
 (* Variable / clause activity bookkeeping (VSIDS). *)
 
@@ -243,28 +360,68 @@ let var_bump s v =
 
 let var_decay_activity s = s.var_inc <- s.var_inc *. var_decay
 
-let cla_bump s (c : clause) =
-  c.activity <- c.activity +. s.cla_inc;
-  if c.activity > 1e20 then begin
-    Vec.iter (fun (c : clause) -> c.activity <- c.activity *. 1e-20) s.learnts;
+let cla_bump s cr =
+  let a = s.arena in
+  let act = c_activity a cr +. s.cla_inc in
+  set_activity a cr act;
+  if act > 1e20 then begin
+    Vec.iter (fun cr -> set_activity a cr (c_activity a cr *. 1e-20)) s.learnts;
     s.cla_inc <- s.cla_inc *. 1e-20
   end
 
 let cla_decay_activity s = s.cla_inc <- s.cla_inc *. clause_decay
 
+(* LBD: number of distinct decision levels among a clause's literals
+   (Glucose).  Level-0 literals don't count; a stamp-per-level scratch
+   avoids clearing between calls. *)
+
+let lbd_begin s =
+  s.lbd_tick <- s.lbd_tick + 1;
+  s.lbd_tick
+
+let lbd_count s tick lvl n =
+  if lvl > 0 && s.lbd_stamp.(lvl) <> tick then begin
+    s.lbd_stamp.(lvl) <- tick;
+    n + 1
+  end
+  else n
+
+let compute_lbd_clause s cr =
+  let a = s.arena in
+  let tick = lbd_begin s in
+  let n = ref 0 in
+  for i = 0 to c_size a cr - 1 do
+    n := lbd_count s tick s.level.(c_lit a cr i lsr 1) !n
+  done;
+  min !n lbd_max
+
 (* Watched literals.  A clause watches lits.(0) and lits.(1); it is
    registered under the negation of each watched literal so that
-   assigning a literal [p] true triggers inspection of watches.(p).
+   assigning a literal [p] true triggers inspection of watches p.
    Each watcher caches the other watched literal as its blocker. *)
 
-let attach s c =
-  assert (Array.length c.lits >= 2);
-  Vec.push s.watches.(c.lits.(0) lxor 1) { blocker = c.lits.(1); wc = c };
-  Vec.push s.watches.(c.lits.(1) lxor 1) { blocker = c.lits.(0); wc = c }
+let push_watch s lit cr blocker =
+  let d = s.watch_data.(lit) in
+  let n = s.watch_size.(lit) in
+  let d =
+    if n + 2 > Array.length d then begin
+      let d' = Array.make (max 8 (2 * Array.length d)) 0 in
+      Array.blit d 0 d' 0 n;
+      s.watch_data.(lit) <- d';
+      d'
+    end
+    else d
+  in
+  d.(n) <- cr;
+  d.(n + 1) <- blocker;
+  s.watch_size.(lit) <- n + 2
 
-let detach s c =
-  Vec.filter_in_place (fun w -> w.wc != c) s.watches.(c.lits.(0) lxor 1);
-  Vec.filter_in_place (fun w -> w.wc != c) s.watches.(c.lits.(1) lxor 1)
+let attach s cr =
+  let a = s.arena in
+  assert (c_size a cr >= 2);
+  let l0 = c_lit a cr 0 and l1 = c_lit a cr 1 in
+  push_watch s (l0 lxor 1) cr l1;
+  push_watch s (l1 lxor 1) cr l0
 
 (* Assignment trail. *)
 
@@ -279,20 +436,19 @@ let enqueue s l reason =
      conflict analysis and core extraction can cite it wholesale. *)
   if s.track_proof && decision_level s = 0 then
     s.unit_proof.(v) <-
-      (match reason with
-      | None -> None
-      | Some r ->
-          let ants =
-            Array.fold_left
-              (fun acc q ->
-                if q lsr 1 = v then acc
-                else
-                  match s.unit_proof.(q lsr 1) with
-                  | Some p -> p :: acc
-                  | None -> acc)
-              [ r ] r.lits
-          in
-          Some (mk_clause s ~learnt:false ~source:(Resolved ants) [| l |]))
+      (if reason < 0 then -1
+       else begin
+         let a = s.arena in
+         let ants = ref [ c_uid a reason ] in
+         for i = 0 to c_size a reason - 1 do
+           let q = c_lit a reason i in
+           if q lsr 1 <> v then begin
+             let p = s.unit_proof.(q lsr 1) in
+             if p >= 0 then ants := p :: !ants
+           end
+         done;
+         new_proof s (P_resolved !ants)
+       end)
 
 let new_decision_level s = Vec.push s.trail_lim (Vec.size s.trail)
 
@@ -302,9 +458,9 @@ let cancel_until s lvl =
     for i = Vec.size s.trail - 1 downto bound do
       let l = Vec.get s.trail i in
       let v = l lsr 1 in
-      s.polarity.(v) <- s.assigns.(v) = 1;
+      Bytes.unsafe_set s.polarity v (if s.assigns.(v) = 1 then '\001' else '\000');
       s.assigns.(v) <- -1;
-      s.reason.(v) <- None;
+      s.reason.(v) <- -1;
       if not (Idx_heap.in_heap s.order v) then Idx_heap.insert s.order v
     done;
     Vec.shrink s.trail bound;
@@ -332,11 +488,14 @@ let sample_budgets s =
     else if s.deadline < infinity && Unix.gettimeofday () > s.deadline then
       s.deadline_hit <- true
 
-(* Unit propagation. *)
+(* Unit propagation.  Returns the conflicting clause ref, or -1.  The
+   whole loop works on raw int arrays: watcher pairs in [watch_data],
+   clause literals in the arena; nothing here allocates. *)
 
 let propagate s =
-  let conflict = ref None in
-  while !conflict = None && s.qhead < Vec.size s.trail do
+  let conflict = ref (-1) in
+  let a = s.arena in
+  while !conflict < 0 && s.qhead < Vec.size s.trail do
     let p = Vec.get s.trail s.qhead in
     s.qhead <- s.qhead + 1;
     s.n_propagations <- s.n_propagations + 1;
@@ -345,90 +504,251 @@ let propagate s =
        implication chains) could overshoot the deadline unboundedly;
        sample on a propagation-count cadence too. *)
     if s.n_propagations land 0x1fff = 0 then sample_budgets s;
-    let ws = s.watches.(p) in
-    let n = Vec.size ws in
+    let wd = s.watch_data.(p) in
+    let n = s.watch_size.(p) in
     let i = ref 0 and j = ref 0 in
     let false_lit = p lxor 1 in
     while !i < n do
-      let w = Vec.unsafe_get ws !i in
-      incr i;
+      let cr = Array.unsafe_get wd !i in
+      let blocker = Array.unsafe_get wd (!i + 1) in
+      i := !i + 2;
       (* Blocking literal: if the cached literal is already true the
          clause is satisfied — keep the watch, skip the dereference. *)
-      if value_of s w.blocker = 1 then begin
-        Vec.unsafe_set ws !j w;
-        incr j
+      if value_of s blocker = 1 then begin
+        Array.unsafe_set wd !j cr;
+        Array.unsafe_set wd (!j + 1) blocker;
+        j := !j + 2
       end
+      else if c_removed a cr then () (* drop lazily; compaction reclaims *)
       else begin
-        let c = w.wc in
-        if c.removed then () (* drop lazily *)
+        let base = cr + header_words in
+        (* Normalize: the false watched literal goes to slot 1. *)
+        let l0 = Array.unsafe_get a base in
+        let first =
+          if l0 = false_lit then begin
+            let l1 = Array.unsafe_get a (base + 1) in
+            Array.unsafe_set a base l1;
+            Array.unsafe_set a (base + 1) false_lit;
+            l1
+          end
+          else l0
+        in
+        if value_of s first = 1 then begin
+          (* Clause already satisfied: keep the watch. *)
+          Array.unsafe_set wd !j cr;
+          Array.unsafe_set wd (!j + 1) first;
+          j := !j + 2
+        end
         else begin
-          let lits = c.lits in
-          (* Normalize: the false watched literal goes to slot 1. *)
-          if lits.(0) = false_lit then begin
-            lits.(0) <- lits.(1);
-            lits.(1) <- false_lit
-          end;
-          let first = lits.(0) in
-          if value_of s first = 1 then begin
-            (* Clause already satisfied: keep the watch. *)
-            Vec.unsafe_set ws !j { blocker = first; wc = c };
-            incr j
+          (* Look for a non-false literal to watch instead. *)
+          let size = Array.unsafe_get a cr in
+          let k = ref 2 in
+          while !k < size && value_of s (Array.unsafe_get a (base + !k)) = 0 do
+            incr k
+          done;
+          if !k < size then begin
+            let w = Array.unsafe_get a (base + !k) in
+            Array.unsafe_set a (base + 1) w;
+            Array.unsafe_set a (base + !k) false_lit;
+            push_watch s (w lxor 1) cr first
           end
           else begin
-            (* Look for a non-false literal to watch instead. *)
-            let len = Array.length lits in
-            let k = ref 2 in
-            while !k < len && value_of s lits.(!k) = 0 do
-              incr k
-            done;
-            if !k < len then begin
-              lits.(1) <- lits.(!k);
-              lits.(!k) <- false_lit;
-              Vec.push s.watches.(lits.(1) lxor 1) { blocker = first; wc = c }
+            (* Unit or conflicting: the watch stays. *)
+            Array.unsafe_set wd !j cr;
+            Array.unsafe_set wd (!j + 1) first;
+            j := !j + 2;
+            if value_of s first = 0 then begin
+              conflict := cr;
+              while !i < n do
+                Array.unsafe_set wd !j (Array.unsafe_get wd !i);
+                incr i;
+                incr j
+              done;
+              s.qhead <- Vec.size s.trail
             end
-            else begin
-              (* Unit or conflicting: the watch stays. *)
-              Vec.unsafe_set ws !j { blocker = first; wc = c };
-              incr j;
-              if value_of s first = 0 then begin
-                conflict := Some c;
-                while !i < n do
-                  Vec.unsafe_set ws !j (Vec.unsafe_get ws !i);
-                  incr j;
-                  incr i
-                done;
-                s.qhead <- Vec.size s.trail
-              end
-              else enqueue s first (Some c)
-            end
+            else enqueue s first cr
           end
         end
       end
     done;
-    Vec.shrink ws !j
+    s.watch_size.(p) <- !j
   done;
   !conflict
+
+(* ----- arena compaction -----
+
+   Copying collector over the arena: live clauses move to a fresh
+   backing array, every live reference (trail reasons first — they keep
+   removed-but-locked clauses alive — then the clause lists and the
+   selector groups) is rewritten through a forwarding offset stamped
+   into the old header, and the watcher lists are rebuilt from the
+   surviving clauses, which finally drops the lazily-retained watchers
+   of retired/deleted clauses.  Must run at a propagation fixpoint
+   (after a conflict-free [propagate]): the watched-literal invariant
+   is what makes reattach-by-slots-0/1 correct. *)
+
+let rec compact s =
+  let old = s.arena in
+  let na = Array.make (Array.length old) 0 in
+  let nsize = ref 0 in
+  let reloc cr =
+    if old.(cr + 1) land 4 <> 0 then old.(cr + 2) (* forwarded *)
+    else begin
+      let words = clause_words old.(cr) in
+      let ncr = !nsize in
+      Array.blit old cr na ncr words;
+      nsize := ncr + words;
+      old.(cr + 1) <- old.(cr + 1) lor 4;
+      old.(cr + 2) <- ncr;
+      ncr
+    end
+  in
+  for i = 0 to Vec.size s.trail - 1 do
+    let v = Vec.get s.trail i lsr 1 in
+    if s.reason.(v) >= 0 then s.reason.(v) <- reloc s.reason.(v)
+  done;
+  let sweep vec =
+    let j = ref 0 in
+    for i = 0 to Vec.size vec - 1 do
+      let cr = Vec.get vec i in
+      if old.(cr + 1) land 2 = 0 then begin
+        Vec.set vec !j (reloc cr);
+        incr j
+      end
+    done;
+    Vec.shrink vec !j
+  in
+  sweep s.clauses;
+  sweep s.learnts;
+  Hashtbl.iter (fun _ group -> group := List.map reloc !group) s.selector_groups;
+  let reclaimed = s.arena_size - !nsize in
+  s.arena <- na;
+  s.arena_size <- !nsize;
+  s.wasted <- 0;
+  Array.fill s.watch_size 0 (Array.length s.watch_size) 0;
+  let reattach cr = if na.(cr) >= 2 then attach s cr in
+  Vec.iter reattach s.clauses;
+  Vec.iter reattach s.learnts;
+  s.n_compactions <- s.n_compactions + 1;
+  Msu_obs.Obs.Metrics.inc m_compactions;
+  s.event_hook
+    (Msu_obs.Obs.Event.Note
+       (Printf.sprintf "arena_gc live=%d reclaimed=%d" !nsize reclaimed));
+  if s.debug then check_invariants ~strict:true s
+
+(* Arena/watcher invariant checker (tests, debug builds, post-compaction
+   self-check).  Valid at any quiescent point — decision boundaries or
+   level 0 — where propagation has reached a fixpoint.  [strict]
+   additionally requires the lazily-dropped garbage to be gone: no
+   watcher or selector group may reference a removed clause, and no
+   wasted words may remain (true immediately after [compact]). *)
+and check_invariants ?(strict = false) s =
+  let a = s.arena in
+  let failf fmt = Printf.ksprintf failwith fmt in
+  let check_cr what cr =
+    if cr < 0 || cr + header_words > s.arena_size then
+      failf "solver invariant: %s ref %d outside arena (size %d)" what cr s.arena_size;
+    let size = a.(cr) in
+    if size < 0 || cr + clause_words size > s.arena_size then
+      failf "solver invariant: %s ref %d has size %d overflowing arena" what cr size;
+    if a.(cr + 1) land 4 <> 0 then
+      failf "solver invariant: %s ref %d still carries a relocation mark" what cr
+  in
+  Vec.iter (check_cr "problem clause") s.clauses;
+  Vec.iter (check_cr "learnt clause") s.learnts;
+  let watch_count = Hashtbl.create 1024 in
+  for lit = 0 to (2 * s.num_vars) - 1 do
+    let wd = s.watch_data.(lit) in
+    let n = s.watch_size.(lit) in
+    let i = ref 0 in
+    while !i < n do
+      let cr = wd.(!i) in
+      i := !i + 2;
+      check_cr "watcher" cr;
+      if c_removed a cr then begin
+        if strict then
+          failf "solver invariant: watcher of literal %d references removed clause %d"
+            lit cr
+      end
+      else begin
+        if lit <> c_lit a cr 0 lxor 1 && lit <> c_lit a cr 1 lxor 1 then
+          failf
+            "solver invariant: clause %d watched under literal %d but its watched \
+             slots are %d/%d"
+            cr lit (c_lit a cr 0) (c_lit a cr 1);
+        Hashtbl.replace watch_count cr
+          (1 + Option.value ~default:0 (Hashtbl.find_opt watch_count cr))
+      end
+    done
+  done;
+  let check_watched what cr =
+    if (not (c_removed a cr)) && c_size a cr >= 2 then
+      match Hashtbl.find_opt watch_count cr with
+      | Some 2 -> ()
+      | other ->
+          failf "solver invariant: %s %d has %d watchers (expected 2)" what cr
+            (Option.value ~default:0 other)
+  in
+  Vec.iter (check_watched "problem clause") s.clauses;
+  Vec.iter (check_watched "learnt clause") s.learnts;
+  for i = 0 to Vec.size s.trail - 1 do
+    let l = Vec.get s.trail i in
+    let v = l lsr 1 in
+    let r = s.reason.(v) in
+    if r >= 0 then begin
+      check_cr "reason" r;
+      if c_lit a r 0 <> l then
+        failf "solver invariant: reason of trail literal %d does not assert it" l
+    end
+  done;
+  Hashtbl.iter
+    (fun sel group ->
+      List.iter
+        (fun cr ->
+          check_cr "selector group member" cr;
+          if strict && c_removed a cr then
+            failf "solver invariant: selector %d group references removed clause %d"
+              sel cr)
+        !group)
+    s.selector_groups;
+  if strict && s.wasted <> 0 then
+    failf "solver invariant: %d wasted words right after compaction" s.wasted
+
+(* Compact when more than 20%% of the arena is garbage — the MiniSat
+   garbage_frac policy.  Callers guarantee a propagation fixpoint. *)
+let maybe_compact s = if s.wasted * 5 > s.arena_size then compact s
+
+let gc_arena s =
+  assert (decision_level s = 0);
+  if s.ok && s.wasted > 0 then compact s
 
 (* Refutation bookkeeping for level-0 conflicts: the conflicting clause
    resolved against the unit proofs of its (all false, level-0)
    literals derives the empty clause. *)
 
-let record_refutation s c =
+let refutation_ants s ~uid lits =
+  let ants =
+    Array.fold_left
+      (fun acc q ->
+        let p = s.unit_proof.(q lsr 1) in
+        if p >= 0 then p :: acc else acc)
+      [ uid ] lits
+  in
+  s.refutation <- new_proof s (P_resolved ants)
+
+let record_refutation s cr =
   drup_add s [||];
   if s.track_proof then begin
-    let ants =
-      Array.fold_left
-        (fun acc q -> match s.unit_proof.(q lsr 1) with Some p -> p :: acc | None -> acc)
-        [ c ] c.lits
-    in
-    s.refutation <- Some (mk_clause s ~learnt:false ~source:(Resolved ants) [||])
+    let a = s.arena in
+    refutation_ants s ~uid:(c_uid a cr)
+      (Array.init (c_size a cr) (fun i -> c_lit a cr i))
   end
 
 (* Adding clauses (only at decision level 0). *)
 
 let add_clause_core ?(id = -1) s lits =
   assert (decision_level s = 0);
-  if not s.ok then None
+  if not s.ok then -1
   else begin
     Array.iter (fun l -> ensure_vars s (Lit.var l + 1)) lits;
     let lits = Array.map Lit.to_int lits in
@@ -441,47 +761,49 @@ let add_clause_core ?(id = -1) s lits =
       (fun l ->
         if Vec.size uniq > 0 && Vec.last uniq = l then ()
         else begin
-          if Vec.size uniq > 0 && Vec.last uniq = (l lxor 1) then tautology := true;
+          if Vec.size uniq > 0 && Vec.last uniq = l lxor 1 then tautology := true;
           Vec.push uniq l
         end)
       lits;
-    if !tautology then None
+    if !tautology then -1
     else begin
-      let c = mk_clause s ~learnt:false ~source:(Axiom id) (Vec.to_array uniq) in
+      let lits = Vec.to_array uniq in
       (* Order the literals so the two "most assignable" come first:
          true before unassigned before false.  This keeps the watch
          invariant valid under the current level-0 prefix. *)
       let score l = match value_of s l with 1 -> 2 | -1 -> 1 | _ -> 0 in
-      Array.sort (fun a b -> Int.compare (score b) (score a)) c.lits;
-      let len = Array.length c.lits in
+      Array.sort (fun a b -> Int.compare (score b) (score a)) lits;
+      let len = Array.length lits in
+      let uid = if s.track_proof then new_proof s (P_axiom id) else -1 in
       if len = 0 then begin
         s.ok <- false;
         drup_add s [||];
-        if s.track_proof then
-          s.refutation <- Some (mk_clause s ~learnt:false ~source:(Resolved [ c ]) [||]);
-        None
+        if s.track_proof then s.refutation <- new_proof s (P_resolved [ uid ]);
+        -1
       end
-      else if value_of s c.lits.(0) = 0 then begin
+      else if value_of s lits.(0) = 0 then begin
         (* All literals false under the level-0 prefix: refuted. *)
         s.ok <- false;
-        record_refutation s c;
-        None
+        drup_add s [||];
+        if s.track_proof then refutation_ants s ~uid lits;
+        -1
       end
       else begin
-        Vec.push s.clauses c;
-        if len >= 2 then attach s c;
+        let cr = alloc_clause s ~learnt:false ~uid lits in
+        Vec.push s.clauses cr;
+        if len >= 2 then attach s cr;
         let unit_now =
-          value_of s c.lits.(0) < 0 && (len = 1 || value_of s c.lits.(1) = 0)
+          value_of s lits.(0) < 0 && (len = 1 || value_of s lits.(1) = 0)
         in
         if unit_now then begin
-          enqueue s c.lits.(0) (Some c);
-          match propagate s with
-          | None -> ()
-          | Some confl ->
-              s.ok <- false;
-              record_refutation s confl
+          enqueue s lits.(0) cr;
+          let confl = propagate s in
+          if confl >= 0 then begin
+            s.ok <- false;
+            record_refutation s confl
+          end
         end;
-        Some c
+        cr
       end
     end
   end
@@ -494,19 +816,19 @@ let add_clause ?id ?selector s lits =
          [lits \/ sel]; assuming [neg sel] enforces it, and
          [retire_selector] permanently satisfies the group. *)
       ensure_vars s (Lit.var sel + 1);
-      (match add_clause_core ?id s (Array.append lits [| sel |]) with
-      | None -> ()
-      | Some c ->
-          let v = Lit.var sel in
-          let group =
-            match Hashtbl.find_opt s.selector_groups v with
-            | Some g -> g
-            | None ->
-                let g = ref [] in
-                Hashtbl.add s.selector_groups v g;
-                g
-          in
-          group := c :: !group)
+      let cr = add_clause_core ?id s (Array.append lits [| sel |]) in
+      if cr >= 0 then begin
+        let v = Lit.var sel in
+        let group =
+          match Hashtbl.find_opt s.selector_groups v with
+          | Some g -> g
+          | None ->
+              let g = ref [] in
+              Hashtbl.add s.selector_groups v g;
+              g
+        in
+        group := cr :: !group
+      end
 
 let add_clause_l ?id s lits = add_clause ?id s (Array.of_list lits)
 
@@ -519,51 +841,67 @@ let retire_selector s sel =
       (* The unit below satisfies every clause of the group; marking
          them removed lets propagation drop their watchers lazily while
          learnt clauses (which can only mention the selector with the
-         same sign) stay valid. *)
-      List.iter (fun c -> c.removed <- true) !group;
+         same sign) stay valid.  The next compaction reclaims the
+         arena words and compacts the watcher lists, so retire-heavy
+         incremental schedules no longer grow them monotonically. *)
+      List.iter (fun cr -> mark_removed s cr) !group;
       Hashtbl.remove s.selector_groups v);
-  ignore (add_clause_core s [| sel |])
+  ignore (add_clause_core s [| sel |]);
+  if s.ok then maybe_compact s
 
 (* Conflict analysis: first UIP with basic self-subsumption
-   minimization.  Returns the learnt clause (asserting literal first,
-   highest-level other literal second), the backtrack level, and the
-   complete antecedent list for proof tracking. *)
+   minimization.  Fills [s.scratch_learnt] with the learnt clause
+   (asserting literal first, highest-level other literal second) and
+   returns the backtrack level and the complete antecedent uid list for
+   proof tracking.  The scratch buffer is reused across conflicts so the
+   whole pass allocates only the proof conses (nothing in noproof
+   mode). *)
 
-let analyze s confl =
-  let learnt = Vec.create ~dummy:0 in
+let analyze s confl0 =
+  let a = s.arena in
+  let learnt = s.scratch_learnt in
+  Vec.clear learnt;
   Vec.push learnt 0 (* slot for the asserting literal *);
   let ants = ref [] in
   let path = ref 0 in
   let p = ref (-1) in
   let index = ref (Vec.size s.trail - 1) in
-  let confl = ref (Some confl) in
+  let confl = ref confl0 in
   let continue = ref true in
   while !continue do
-    let c = match !confl with Some c -> c | None -> assert false in
-    if c.learnt then cla_bump s c;
-    if s.track_proof then ants := c :: !ants;
+    let cr = !confl in
+    assert (cr >= 0);
+    if c_learnt a cr then begin
+      cla_bump s cr;
+      (* Glucose-style refresh: a reused learnt clause whose literals
+         now span fewer levels gets its LBD tightened. *)
+      let lbd = compute_lbd_clause s cr in
+      if lbd < c_lbd a cr then set_lbd a cr lbd
+    end;
+    if s.track_proof then ants := c_uid a cr :: !ants;
     let start = if !p < 0 then 0 else 1 in
-    for j = start to Array.length c.lits - 1 do
-      let q = c.lits.(j) in
+    for j = start to c_size a cr - 1 do
+      let q = c_lit a cr j in
       let v = q lsr 1 in
-      if not s.seen.(v) then
+      if not (seen_get s v) then
         if s.level.(v) > 0 then begin
-          s.seen.(v) <- true;
+          seen_set s v true;
           var_bump s v;
           if s.level.(v) >= decision_level s then incr path else Vec.push learnt q
         end
         else if s.track_proof then begin
           (* Resolving away a level-0 literal uses its unit proof. *)
-          match s.unit_proof.(v) with Some pr -> ants := pr :: !ants | None -> ()
+          let pr = s.unit_proof.(v) in
+          if pr >= 0 then ants := pr :: !ants
         end
     done;
-    while not s.seen.((Vec.get s.trail !index) lsr 1) do
+    while not (seen_get s (Vec.get s.trail !index lsr 1)) do
       decr index
     done;
     p := Vec.get s.trail !index;
     decr index;
     let v = !p lsr 1 in
-    s.seen.(v) <- false;
+    seen_set s v false;
     decr path;
     if !path > 0 then confl := s.reason.(v) else continue := false
   done;
@@ -572,48 +910,60 @@ let analyze s confl =
      already in the clause (or at level 0) is redundant. *)
   let removable q =
     let v = q lsr 1 in
-    match s.reason.(v) with
-    | None -> false
-    | Some r ->
-        let ok = ref true in
-        Array.iter
-          (fun l ->
-            let w = l lsr 1 in
-            if w <> v && s.level.(w) > 0 && not s.seen.(w) then ok := false)
-          r.lits;
-        if !ok && s.track_proof then begin
-          ants := r :: !ants;
-          Array.iter
-            (fun l ->
-              let w = l lsr 1 in
-              if w <> v && s.level.(w) = 0 then
-                match s.unit_proof.(w) with Some pr -> ants := pr :: !ants | None -> ())
-            r.lits
-        end;
-        !ok
-  in
-  let kept = Vec.create ~dummy:0 in
-  Vec.push kept (Vec.get learnt 0);
-  for i = 1 to Vec.size learnt - 1 do
-    let q = Vec.get learnt i in
-    if not (removable q) then Vec.push kept q
-  done;
-  Vec.iter (fun q -> s.seen.(q lsr 1) <- false) learnt;
-  let lits = Vec.to_array kept in
-  let back_level =
-    if Array.length lits <= 1 then 0
+    let r = s.reason.(v) in
+    if r < 0 then false
     else begin
-      let max_i = ref 1 in
-      for i = 2 to Array.length lits - 1 do
-        if s.level.(lits.(i) lsr 1) > s.level.(lits.(!max_i) lsr 1) then max_i := i
+      let ok = ref true in
+      for i = 0 to c_size a r - 1 do
+        let w = c_lit a r i lsr 1 in
+        if w <> v && s.level.(w) > 0 && not (seen_get s w) then ok := false
       done;
-      let tmp = lits.(1) in
-      lits.(1) <- lits.(!max_i);
-      lits.(!max_i) <- tmp;
-      s.level.(lits.(1) lsr 1)
+      if !ok && s.track_proof then begin
+        ants := c_uid a r :: !ants;
+        for i = 0 to c_size a r - 1 do
+          let w = c_lit a r i lsr 1 in
+          if w <> v && s.level.(w) = 0 then begin
+            let pr = s.unit_proof.(w) in
+            if pr >= 0 then ants := pr :: !ants
+          end
+        done
+      end;
+      !ok
     end
   in
-  (lits, back_level, !ants)
+  (* In-place minimization.  [seen] flags must stay set for the whole
+     pass — [removable] consults them for every original literal,
+     including ones already dropped — so dropped vars are parked in
+     [scratch_clear] and all flags are cleared together at the end. *)
+  Vec.clear s.scratch_clear;
+  let j = ref 1 in
+  for i = 1 to Vec.size learnt - 1 do
+    let q = Vec.get learnt i in
+    if not (removable q) then begin
+      Vec.set learnt !j q;
+      incr j
+    end
+    else Vec.push s.scratch_clear (q lsr 1)
+  done;
+  Vec.shrink learnt !j;
+  Vec.iter (fun v -> seen_set s v false) s.scratch_clear;
+  Vec.iter (fun q -> seen_set s (q lsr 1) false) learnt;
+  let n = Vec.size learnt in
+  let back_level =
+    if n <= 1 then 0
+    else begin
+      let max_i = ref 1 in
+      for i = 2 to n - 1 do
+        if s.level.(Vec.get learnt i lsr 1) > s.level.(Vec.get learnt !max_i lsr 1)
+        then max_i := i
+      done;
+      let tmp = Vec.get learnt 1 in
+      Vec.set learnt 1 (Vec.get learnt !max_i);
+      Vec.set learnt !max_i tmp;
+      s.level.(Vec.get learnt 1 lsr 1)
+    end
+  in
+  (back_level, !ants)
 
 (* analyzeFinal: the subset of assumption decisions that force the
    falsified literal [p]. *)
@@ -621,55 +971,70 @@ let analyze s confl =
 let analyze_final s p out =
   out := [ p ];
   if decision_level s > 0 then begin
-    s.seen.(p lsr 1) <- true;
+    let a = s.arena in
+    seen_set s (p lsr 1) true;
     let bottom = Vec.get s.trail_lim 0 in
     for i = Vec.size s.trail - 1 downto bottom do
       let l = Vec.get s.trail i in
       let v = l lsr 1 in
-      if s.seen.(v) then begin
-        (match s.reason.(v) with
-        | None -> out := (l lxor 1) :: !out
-        | Some r ->
-            Array.iter
-              (fun q ->
-                let w = q lsr 1 in
-                if w <> v && s.level.(w) > 0 then s.seen.(w) <- true)
-              r.lits);
-        s.seen.(v) <- false
+      if seen_get s v then begin
+        let r = s.reason.(v) in
+        if r < 0 then out := (l lxor 1) :: !out
+        else
+          for k = 0 to c_size a r - 1 do
+            let w = c_lit a r k lsr 1 in
+            if w <> v && s.level.(w) > 0 then seen_set s w true
+          done;
+        seen_set s v false
       end
     done;
-    s.seen.(p lsr 1) <- false
+    seen_set s (p lsr 1) false
   end
 
-(* Learnt clause database reduction. *)
+(* Learnt clause database reduction: Glucose-style.  Keep binaries,
+   locked clauses and glue (LBD <= 2); sort the rest worst-first (high
+   LBD, then low activity as tie-break) and delete the worst half. *)
 
-let locked s c =
-  Array.length c.lits > 0
+let locked s cr =
+  let a = s.arena in
+  c_size a cr > 0
   &&
-  let v = c.lits.(0) lsr 1 in
-  match s.reason.(v) with Some r -> r == c | None -> false
+  let v = c_lit a cr 0 lsr 1 in
+  s.reason.(v) = cr
 
 let reduce_db s =
-  let cmp (a : clause) (b : clause) = compare a.activity b.activity in
+  let a = s.arena in
+  let cmp cr1 cr2 =
+    let l1 = c_lbd a cr1 and l2 = c_lbd a cr2 in
+    if l1 <> l2 then Int.compare l2 l1
+    else Float.compare (c_activity a cr1) (c_activity a cr2)
+  in
   Vec.sort cmp s.learnts;
   let n = Vec.size s.learnts in
   let lim = s.cla_inc /. float_of_int (max n 1) in
-  let keep = Vec.create ~dummy:dummy_clause in
+  let keep = Vec.create ~dummy:0 in
   Vec.iteri
-    (fun i c ->
-      let small = Array.length c.lits <= 2 in
-      if (not small) && (not (locked s c)) && (i < n / 2 || c.activity < lim) then begin
-        c.removed <- true;
-        detach s c;
-        drup_delete s c.lits;
+    (fun i cr ->
+      let protected_ =
+        c_size a cr <= 2 || c_lbd a cr <= 2 || locked s cr
+      in
+      if (not protected_) && (i < n / 2 || c_activity a cr < lim) then begin
+        mark_removed s cr;
+        drup_delete_cr s cr;
         s.n_deleted <- s.n_deleted + 1
       end
-      else Vec.push keep c)
+      else Vec.push keep cr)
     s.learnts;
   Vec.clear s.learnts;
   Vec.iter (Vec.push s.learnts) keep;
+  (* If the protected set alone exceeds the limit, raise the limit:
+     otherwise the search would re-trigger reduce_db on every conflict
+     and spend its time sorting. *)
+  if float_of_int (Vec.size s.learnts) > 0.9 *. s.max_learnts then
+    s.max_learnts <- s.max_learnts *. 1.3;
   Msu_obs.Obs.Metrics.inc m_reduce_db;
-  s.event_hook (Msu_obs.Obs.Event.Reduce_db { kept = Vec.size s.learnts })
+  s.event_hook (Msu_obs.Obs.Event.Reduce_db { kept = Vec.size s.learnts });
+  maybe_compact s
 
 (* Luby restart sequence (Een & Sorensson's formulation). *)
 
@@ -721,81 +1086,106 @@ let pick_branch_var s =
   in
   loop ()
 
-let record_learnt s lits ants =
-  drup_add s lits;
-  let source = if s.track_proof then Resolved ants else Resolved [] in
-  let c = mk_clause s ~learnt:true ~source lits in
-  s.n_learnt_literals <- s.n_learnt_literals + Array.length lits;
-  if Array.length lits >= 2 then begin
-    Vec.push s.learnts c;
-    attach s c;
-    cla_bump s c
+(* Record the learnt clause sitting in [s.scratch_learnt]: straight
+   Vec-to-arena copy, no intermediate array (the DRUP log, when
+   attached, is the only consumer that materializes one). *)
+let record_learnt s ants =
+  let lits = s.scratch_learnt in
+  let size = Vec.size lits in
+  (match s.drup_log with
+  | None -> ()
+  | Some _ -> drup_add s (Vec.to_array lits));
+  let uid = if s.track_proof then new_proof s (P_resolved ants) else -1 in
+  s.n_learnt_literals <- s.n_learnt_literals + size;
+  let tick = lbd_begin s in
+  let lbd = ref 0 in
+  Vec.iter (fun l -> lbd := lbd_count s tick s.level.(l lsr 1) !lbd) lits;
+  let lbd = min !lbd lbd_max in
+  ensure_arena s (clause_words size);
+  let cr = s.arena_size in
+  let a = s.arena in
+  a.(cr) <- size;
+  a.(cr + 1) <- 1 (* learnt *);
+  a.(cr + 2) <- 0 (* activity 0.0 *);
+  a.(cr + 3) <- uid;
+  for i = 0 to size - 1 do
+    a.(cr + header_words + i) <- Vec.get lits i
+  done;
+  s.arena_size <- cr + clause_words size;
+  set_lbd a cr lbd;
+  if size >= 2 then begin
+    Vec.push s.learnts cr;
+    attach s cr;
+    cla_bump s cr
   end;
-  c
+  cr
 
 let search s assumptions max_conflicts =
   let conflicts_here = ref 0 in
   let outcome = ref None in
-  while !outcome = None do
-    match propagate s with
-    | Some confl ->
-        s.n_conflicts <- s.n_conflicts + 1;
-        incr conflicts_here;
-        if decision_level s = 0 then begin
-          s.ok <- false;
-          record_refutation s confl;
-          outcome := Some S_unsat
-        end
+  (* [= None] would go through polymorphic compare (a C call per
+     iteration of the solver's outermost hot loop); match instead. *)
+  while (match !outcome with None -> true | Some _ -> false) do
+    let confl = propagate s in
+    if confl >= 0 then begin
+      s.n_conflicts <- s.n_conflicts + 1;
+      incr conflicts_here;
+      if decision_level s = 0 then begin
+        s.ok <- false;
+        record_refutation s confl;
+        outcome := Some S_unsat
+      end
+      else begin
+        let back_level, ants = analyze s confl in
+        cancel_until s back_level;
+        let cr = record_learnt s ants in
+        enqueue s (Vec.get s.scratch_learnt 0) cr;
+        var_decay_activity s;
+        cla_decay_activity s;
+        if budget_exhausted s then outcome := Some S_budget
+      end
+    end
+    else if !conflicts_here >= max_conflicts then begin
+      cancel_until s 0;
+      s.n_restarts <- s.n_restarts + 1;
+      Msu_obs.Obs.Metrics.inc m_restarts;
+      s.event_hook Msu_obs.Obs.Event.Restart;
+      outcome := Some S_restart
+    end
+    else if budget_exhausted s then outcome := Some S_budget
+    else begin
+      if float_of_int (Vec.size s.learnts - Vec.size s.trail) > s.max_learnts then
+        reduce_db s;
+      (* Assumptions become the first decisions. *)
+      let dl = decision_level s in
+      if dl < Array.length assumptions then begin
+        let a = Lit.to_int assumptions.(dl) in
+        match value_of s a with
+        | 1 -> new_decision_level s (* already true: empty level *)
+        | 0 ->
+            let out = ref [] in
+            analyze_final s (a lxor 1) out;
+            s.conflict_assumps <-
+              List.sort_uniq Int.compare (List.map (fun l -> l lxor 1) !out);
+            outcome := Some S_unsat
+        | _ ->
+            s.n_decisions <- s.n_decisions + 1;
+            new_decision_level s;
+            enqueue s a (-1)
+      end
+      else begin
+        let v = pick_branch_var s in
+        if v < 0 then outcome := Some S_sat
         else begin
-          let lits, back_level, ants = analyze s confl in
-          cancel_until s back_level;
-          let c = record_learnt s lits ants in
-          enqueue s lits.(0) (Some c);
-          var_decay_activity s;
-          cla_decay_activity s;
-          if budget_exhausted s then outcome := Some S_budget
+          s.n_decisions <- s.n_decisions + 1;
+          new_decision_level s;
+          let l =
+            if Bytes.unsafe_get s.polarity v <> '\000' then 2 * v else (2 * v) + 1
+          in
+          enqueue s l (-1)
         end
-    | None ->
-        if !conflicts_here >= max_conflicts then begin
-          cancel_until s 0;
-          s.n_restarts <- s.n_restarts + 1;
-          Msu_obs.Obs.Metrics.inc m_restarts;
-          s.event_hook Msu_obs.Obs.Event.Restart;
-          outcome := Some S_restart
-        end
-        else if budget_exhausted s then outcome := Some S_budget
-        else begin
-          if
-            float_of_int (Vec.size s.learnts - Vec.size s.trail) > s.max_learnts
-          then reduce_db s;
-          (* Assumptions become the first decisions. *)
-          let dl = decision_level s in
-          if dl < Array.length assumptions then begin
-            let a = Lit.to_int assumptions.(dl) in
-            match value_of s a with
-            | 1 -> new_decision_level s (* already true: empty level *)
-            | 0 ->
-                let out = ref [] in
-                analyze_final s (a lxor 1) out;
-                s.conflict_assumps <-
-                  List.sort_uniq Int.compare (List.map (fun l -> l lxor 1) !out);
-                outcome := Some S_unsat
-            | _ ->
-                s.n_decisions <- s.n_decisions + 1;
-                new_decision_level s;
-                enqueue s a None
-          end
-          else begin
-            let v = pick_branch_var s in
-            if v < 0 then outcome := Some S_sat
-            else begin
-              s.n_decisions <- s.n_decisions + 1;
-              new_decision_level s;
-              let l = if s.polarity.(v) then 2 * v else (2 * v) + 1 in
-              enqueue s l None
-            end
-          end
-        end
+      end
+    end
   done;
   match !outcome with Some o -> o | None -> assert false
 
@@ -803,6 +1193,7 @@ let solve ?(assumptions = [||]) ?(deadline = infinity) ?(conflict_budget = max_i
     ?guard s =
   let call_t0 = Unix.gettimeofday () in
   let call_conflicts0 = s.n_conflicts in
+  let call_minor0 = Gc.minor_words () in
   Msu_obs.Obs.Metrics.inc m_calls;
   Array.iter (fun l -> ensure_vars s (Lit.var l + 1)) assumptions;
   (* Clear before the [ok] bail-out: an incremental caller reading
@@ -818,10 +1209,12 @@ let solve ?(assumptions = [||]) ?(deadline = infinity) ?(conflict_budget = max_i
     s.guard_props_base <- s.n_propagations;
     s.conflict_budget <-
       (if conflict_budget = max_int then max_int else s.n_conflicts + conflict_budget);
-    s.max_learnts <- Float.max 1000. (float_of_int (Vec.size s.clauses) /. 3.);
+    s.max_learnts <-
+      Float.max s.max_learnts
+        (Float.max 1000. (float_of_int (Vec.size s.clauses) /. 3.));
     let result = ref None in
     let restart = ref 0 in
-    while !result = None do
+    while (match !result with None -> true | Some _ -> false) do
       let window = int_of_float (luby !restart *. float_of_int restart_base) in
       incr restart;
       s.max_learnts <- s.max_learnts *. 1.05;
@@ -837,45 +1230,46 @@ let solve ?(assumptions = [||]) ?(deadline = infinity) ?(conflict_budget = max_i
         (* Snapshot the model: phase saving doubles as the model cache,
            valid until the next solve call. *)
         for v = 0 to s.num_vars - 1 do
-          s.polarity.(v) <- s.assigns.(v) = 1
+          Bytes.unsafe_set s.polarity v (if s.assigns.(v) = 1 then '\001' else '\000')
         done
     | Unsat | Unknown -> ());
     cancel_until s 0;
     Msu_obs.Obs.Metrics.observe m_call_seconds (Unix.gettimeofday () -. call_t0);
     Msu_obs.Obs.Metrics.observe m_call_conflicts
       (float_of_int (s.n_conflicts - call_conflicts0));
+    Msu_obs.Obs.Metrics.observe m_call_minor_words (Gc.minor_words () -. call_minor0);
     r
   end
 
 let on_event s f = s.event_hook <- f
-let model_value s v = v < s.num_vars && s.polarity.(v)
+let model_value s v = v < s.num_vars && Bytes.get s.polarity v <> '\000'
 let model s = Array.init s.num_vars (fun v -> model_value s v)
 let okay s = s.ok
 let conflict_assumptions s = List.map Lit.of_int_unsafe s.conflict_assumps
 
-(* Core extraction: walk the antecedent DAG of the refutation. *)
+(* Core extraction: walk the antecedent DAG of the refutation.  The DAG
+   lives in the uid-indexed proof store, not the arena, so deletion and
+   compaction of the clause database cannot invalidate it. *)
 
 let unsat_core s =
   if not s.track_proof then invalid_arg "Solver.unsat_core: proof tracking disabled";
-  match s.refutation with
-  | None -> invalid_arg "Solver.unsat_core: no refutation recorded"
-  | Some root ->
-      let visited = Hashtbl.create 4096 in
-      let ids = ref [] in
-      let stack = ref [ root ] in
-      while !stack <> [] do
-        match !stack with
-        | [] -> ()
-        | c :: rest ->
-            stack := rest;
-            if not (Hashtbl.mem visited c.uid) then begin
-              Hashtbl.add visited c.uid ();
-              match c.source with
-              | Axiom id -> if id >= 0 then ids := id :: !ids
-              | Resolved ants -> List.iter (fun a -> stack := a :: !stack) ants
-            end
-      done;
-      List.sort_uniq Int.compare !ids
+  if s.refutation < 0 then invalid_arg "Solver.unsat_core: no refutation recorded";
+  let visited = Hashtbl.create 4096 in
+  let ids = ref [] in
+  let stack = ref [ s.refutation ] in
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | u :: rest ->
+        stack := rest;
+        if not (Hashtbl.mem visited u) then begin
+          Hashtbl.add visited u ();
+          match Vec.get s.proof u with
+          | P_axiom id -> if id >= 0 then ids := id :: !ids
+          | P_resolved ants -> List.iter (fun v -> stack := v :: !stack) ants
+        end
+  done;
+  List.sort_uniq Int.compare !ids
 
 let stats s =
   {
@@ -885,13 +1279,15 @@ let stats s =
     restarts = s.n_restarts;
     learnt_literals = s.n_learnt_literals;
     deleted_clauses = s.n_deleted;
+    compactions = s.n_compactions;
   }
 
 let pp_stats ppf st =
   Format.fprintf ppf
-    "decisions=%d propagations=%d conflicts=%d restarts=%d learnt_lits=%d deleted=%d"
+    "decisions=%d propagations=%d conflicts=%d restarts=%d learnt_lits=%d deleted=%d \
+     compactions=%d"
     st.decisions st.propagations st.conflicts st.restarts st.learnt_literals
-    st.deleted_clauses
+    st.deleted_clauses st.compactions
 
 let sink s =
   Msu_cnf.Sink.

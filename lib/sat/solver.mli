@@ -40,12 +40,14 @@ type stats = {
   restarts : int;
   learnt_literals : int;
   deleted_clauses : int;
+  compactions : int;  (** clause-arena compaction passes *)
 }
 
-val create : ?track_proof:bool -> unit -> t
+val create : ?track_proof:bool -> ?debug:bool -> unit -> t
 (** [track_proof] (default [true]) records antecedents of learnt clauses
     so that {!unsat_core} works; disable to save memory when cores are
-    not needed. *)
+    not needed.  [debug] (default [false]) runs {!check_invariants}
+    after every arena compaction. *)
 
 val new_var : t -> Msu_cnf.Lit.var
 val ensure_vars : t -> int -> unit
@@ -123,6 +125,37 @@ val conflict_assumptions : t -> Msu_cnf.Lit.t list
 
 val stats : t -> stats
 val pp_stats : Format.formatter -> stats -> unit
+
+(** {2 Clause arena}
+
+    Clauses live in a flat int arena addressed by integer offsets;
+    retiring or deleting a clause only marks it, and a compaction pass
+    (automatic when over 20% of the arena is garbage, or explicit via
+    {!gc_arena}) copies the survivors, rewrites every offset and
+    rebuilds the watcher lists — reclaiming both the arena words and the
+    lazily-dropped watchers of retired clauses. *)
+
+val arena_words : t -> int
+(** Words of the arena currently in use (live + garbage). *)
+
+val arena_wasted : t -> int
+(** Words owned by removed clauses, reclaimed by the next compaction. *)
+
+val live_watchers : t -> int
+(** Total watcher entries across all literals, including stale entries
+    for removed clauses awaiting lazy drop or compaction. *)
+
+val gc_arena : t -> unit
+(** Force a compaction (no-op when nothing is wasted).  Call at decision
+    level 0, between [solve]s. *)
+
+val check_invariants : ?strict:bool -> t -> unit
+(** Validate the arena/watcher invariants: every clause and watcher
+    offset in bounds, live clauses of size >= 2 watched exactly twice
+    under the negations of their slot-0/1 literals, trail reasons
+    asserting their literal.  [strict] additionally requires all
+    lazily-dropped garbage to be gone (valid right after a compaction).
+    @raise Failure describing the first violation found. *)
 
 val sink : t -> Msu_cnf.Sink.t
 (** A clause sink backed by this solver: fresh variables come from
