@@ -78,7 +78,7 @@ let solve_remote ~quiet ~sock ~options w =
 
 let run file algorithm encoding timeout conflicts propagations memory_mb verify
     verbose trace_file stats_json no_geq1 no_incremental quiet incomplete
-    portfolio jobs connect priority no_cache =
+    portfolio jobs share_clauses sls_worker connect priority no_cache =
   let w =
     try Ok (Msu_cnf.Dimacs.parse_wcnf_file file) with
     | Msu_cnf.Dimacs.Parse_error (line, msg) ->
@@ -166,7 +166,8 @@ let run file algorithm encoding timeout conflicts propagations memory_mb verify
                        (if verbose then
                           Some (fun m -> print_endline ("c " ^ m))
                         else None)
-                     ~sink ~handle_sigint:true w
+                     ~sink ~handle_sigint:true ~share_clauses
+                     ~sls_worker w
                  in
                  if not quiet then
                    List.iter
@@ -402,6 +403,25 @@ let jobs =
     & info [ "j"; "jobs" ] ~docv:"N"
         ~doc:"Number of portfolio workers (with $(b,--portfolio)).")
 
+let share_clauses =
+  Arg.(
+    value & flag
+    & info [ "share-clauses" ]
+        ~doc:
+          "With $(b,--portfolio): exchange short, low-LBD learnt clauses \
+           between workers.  Only clauses derived from the instance's hard \
+           clauses alone are exported; the parent deduplicates and \
+           rebroadcasts them.")
+
+let sls_worker =
+  Arg.(
+    value & flag
+    & info [ "sls-worker" ]
+        ~doc:
+          "With $(b,--portfolio): add a stochastic local-search worker that \
+           streams every improving feasible model as an incumbent; the parent \
+           re-costs each model before it tightens the shared upper bound.")
+
 let connect =
   Arg.(
     value
@@ -450,7 +470,7 @@ let cmd =
     Term.(
       const run $ file $ algorithm $ encoding $ timeout $ conflicts $ propagations
       $ memory_mb $ verify $ verbose $ trace_file $ stats_json $ no_geq1
-      $ no_incremental $ quiet $ incomplete $ portfolio $ jobs $ connect
-      $ priority $ no_cache)
+      $ no_incremental $ quiet $ incomplete $ portfolio $ jobs $ share_clauses
+      $ sls_worker $ connect $ priority $ no_cache)
 
 let () = exit (Cmd.eval' cmd)

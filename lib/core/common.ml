@@ -81,6 +81,16 @@ let note_ub (cfg : Types.config) ub model =
   if Fault.consume Fault.Kill_mid_solve then
     Unix.kill (Unix.getpid ()) Sys.sigkill
 
+(* Wire a solver into the portfolio's clause-sharing endpoints.  Only
+   meaningful on solvers whose hard clauses were added with
+   [~shareable:true]; a no-op for standalone solves (share = None). *)
+let attach_share (cfg : Types.config) s =
+  match cfg.share with
+  | None -> ()
+  | Some sh ->
+      Msu_sat.Solver.on_export s sh.Types.sh_export;
+      Msu_sat.Solver.set_importer s sh.Types.sh_drain
+
 let note_marker (cfg : Types.config) m =
   match cfg.progress with
   | Some cell -> Guard.Progress.note_marker cell m

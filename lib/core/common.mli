@@ -39,6 +39,14 @@ val note_ub : Types.config -> int -> bool array option -> unit
     bound forces a guard tick so checkpoint writers flush it before the
     algorithm can die. *)
 
+val attach_share : Types.config -> Msu_sat.Solver.t -> unit
+(** Wire the config's clause-sharing endpoints (if any) into a solver:
+    share-safe learnts flow out through [sh_export], and foreign clauses
+    from [sh_drain] are imported at restart boundaries.  Callers must
+    add the instance's hard clauses with [~shareable:true] so the
+    share-safety taint tracking has its axioms.  No-op when
+    [cfg.share = None]. *)
+
 val note_marker : Types.config -> Msu_guard.Guard.Progress.marker -> unit
 (** Record where in its iteration scheme the algorithm is; rides along
     in warm-resume checkpoints. *)

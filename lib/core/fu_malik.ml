@@ -19,9 +19,10 @@ let run_incremental opts (config : Types.config) w t0 =
   let tally = Common.tally config in
   let s = Solver.create ~track_proof:false () in
   Solver.on_event s (Common.event config);
+  Common.attach_share config s;
   Common.Tally.build tally;
   Solver.ensure_vars s (Wcnf.num_vars w);
-  Wcnf.iter_hard (fun _ c -> Solver.add_clause s c) w;
+  Wcnf.iter_hard (fun _ c -> Solver.add_clause ~shareable:true s c) w;
   let n_soft = Wcnf.num_soft w in
   let sel = Array.make (max n_soft 1) (Lit.pos 0) in
   let blocks = Array.make (max n_soft 1) [] in

@@ -122,23 +122,35 @@ let feasible_cost st =
   (* cost counts hards at hard_weight; feasible iff below it *)
   if st.cost < st.hard_weight then Some st.cost else None
 
-let run w ~config ~max_flips ~noise ~seed =
+let run w ~config ~max_flips ~stagnation ~noise ~seed =
   let st = create w seed in
   let best = ref None in
+  let flips = ref 0 in
+  let last_gain = ref 0 in
   let note () =
     match feasible_cost st with
     | Some c -> (
         match !best with
         | Some (b, _) when b <= c -> ()
-        | _ -> best := Some (c, Array.copy st.value))
+        | _ ->
+            let model = Array.copy st.value in
+            best := Some (c, model);
+            last_gain := !flips;
+            (* Stream every improving feasible model out immediately: in
+               a portfolio the parent re-costs it and tightens best_ub
+               while the flips continue. *)
+            Common.note_ub config c (Some model))
     | None -> ()
   in
   note ();
-  let flips = ref 0 in
   while
     !flips < max_flips
+    && !flips - !last_gain < stagnation
     && (match !best with Some (0, _) -> false | _ -> true)
-    && not (!flips land 0xfff = 0 && Common.over_deadline config)
+    (* 256-flip granularity: a pre-seed sprint runs on a ~10ms budget,
+       so the coarser 4096-flip check could overshoot it several-fold
+       on large instances. *)
+    && not (!flips land 0xff = 0 && Common.over_deadline config)
     && not (Vec.is_empty st.falsified)
   do
     incr flips;
@@ -150,10 +162,10 @@ let run w ~config ~max_flips ~noise ~seed =
   done;
   !best
 
-let solve ?(config = Types.default_config) ?(max_flips = 100_000) ?(noise = 0.2)
-    ?(seed = 0) w =
+let solve ?(config = Types.default_config) ?(max_flips = 100_000)
+    ?(stagnation = max_int) ?(noise = 0.2) ?(seed = 0) w =
   let t0 = Unix.gettimeofday () in
-  let best = run w ~config ~max_flips ~noise ~seed in
+  let best = run w ~config ~max_flips ~stagnation ~noise ~seed in
   let stats = Types.empty_stats in
   match best with
   | Some (0, model) -> Common.finish config ~t0 ~stats (Types.Optimum 0) (Some model)
@@ -161,5 +173,12 @@ let solve ?(config = Types.default_config) ?(max_flips = 100_000) ?(noise = 0.2)
       Common.finish config ~t0 ~stats (Types.Bounds { lb = 0; ub = Some c }) (Some model)
   | None -> Common.finish config ~t0 ~stats (Types.Bounds { lb = 0; ub = None }) None
 
-let best_cost ?(max_flips = 100_000) ?(seed = 0) w =
-  run w ~config:Types.default_config ~max_flips ~noise:0.2 ~seed
+let best_cost ?(max_flips = 100_000) ?(stagnation = max_int) ?budget ?(seed = 0)
+    w =
+  let config =
+    match budget with
+    | None -> Types.default_config
+    | Some b ->
+        { Types.default_config with Types.deadline = Unix.gettimeofday () +. b }
+  in
+  run w ~config ~max_flips ~stagnation ~noise:0.2 ~seed

@@ -18,13 +18,37 @@
 val solve :
   ?config:Types.config ->
   ?max_flips:int ->
+  ?stagnation:int ->
   ?noise:float ->
   ?seed:int ->
   Msu_cnf.Wcnf.t ->
   Types.result
-(** [max_flips] defaults to [100_000]; [noise] is the random-walk
-    probability (default 0.2); [seed] fixes the run (default 0). *)
+(** [max_flips] defaults to [100_000]; [stagnation] (default unbounded)
+    stops the search once that many consecutive flips pass without a new
+    best feasible cost — the sprinter profile a portfolio worker wants,
+    publishing its incumbents early and then freeing its CPU share to
+    the exact solvers; [noise] is the random-walk probability (default
+    0.2); [seed] fixes the run (default 0).
+
+    Deterministic for a given [seed] independent of the global [Random]
+    state: all randomness comes from a private [Random.State.t] seeded
+    from [seed] alone.
+
+    Every improving feasible model is published through the config's
+    progress cell as it is found ([Common.note_ub]), so a supervisor or
+    portfolio parent sees the incumbent stream live rather than only at
+    return. *)
 
 val best_cost :
-  ?max_flips:int -> ?seed:int -> Msu_cnf.Wcnf.t -> (int * bool array) option
-(** Convenience: the best feasible (cost, model) found, if any. *)
+  ?max_flips:int ->
+  ?stagnation:int ->
+  ?budget:float ->
+  ?seed:int ->
+  Msu_cnf.Wcnf.t ->
+  (int * bool array) option
+(** Convenience: the best feasible (cost, model) found, if any.
+    [stagnation] as in {!solve}; [budget] is a wall-clock cap in
+    seconds.  A pre-seed sprint passes small values for both so the
+    cost of seeding stays in the low milliseconds regardless of
+    instance size — flip budgets alone scale with the formula, wall
+    budgets do not. *)

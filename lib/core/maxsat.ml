@@ -10,7 +10,12 @@ type algorithm =
   | Pbo_binary
   | Branch_bound
   | Brute
+  | Sls
 
+(* The exact algorithms — every member proves optima, so tests and the
+   bench can demand agreement across the whole list.  [Sls] is
+   deliberately absent: it is incomplete (bounds only) and joins solves
+   as a portfolio incumbent-seeder, not as an exact solver. *)
 let all_algorithms =
   [
     Msu4_v1;
@@ -38,6 +43,7 @@ let algorithm_to_string = function
   | Pbo_binary -> "pbo-binary"
   | Branch_bound -> "maxsatz"
   | Brute -> "brute"
+  | Sls -> "sls"
 
 let algorithm_of_string = function
   | "msu4-v1" -> Some Msu4_v1
@@ -51,6 +57,7 @@ let algorithm_of_string = function
   | "pbo-binary" -> Some Pbo_binary
   | "maxsatz" | "branch-bound" | "bb" -> Some Branch_bound
   | "brute" -> Some Brute
+  | "sls" | "local-search" -> Some Sls
   | _ -> None
 
 let describe = function
@@ -65,6 +72,7 @@ let describe = function
   | Pbo_binary -> "PBO formulation, binary search over a totalizer"
   | Branch_bound -> "maxsatz-style branch and bound with UP lower bounds"
   | Brute -> "exhaustive enumeration (reference)"
+  | Sls -> "WalkSAT-style stochastic local search (incomplete; streams upper bounds)"
 
 let solve ?(config = Types.default_config) algorithm w =
   match algorithm with
@@ -79,6 +87,22 @@ let solve ?(config = Types.default_config) algorithm w =
   | Pbo_binary -> Pbo.solve ~config ~search:`Binary w
   | Branch_bound -> Branch_bound.solve ~config w
   | Brute -> Brute.solve ~config w
+  | Sls ->
+      (* Under a guard or deadline (supervised runs, the portfolio) the
+         flip budget is unbounded but improvement-gated: keep flipping
+         while new incumbents arrive, return once the search stalls.  A
+         sprinter, not a marathoner — on a loaded box an SLS worker that
+         runs to the deadline steals CPU share from the exact workers
+         for no further gain.  A bare solve terminates on the flip
+         budget alone. *)
+      let supervised =
+        config.Types.deadline < infinity
+        || (match config.Types.guard with Some _ -> true | None -> false)
+      in
+      Local_search.solve ~config
+        ~max_flips:(if supervised then max_int else 100_000)
+        ~stagnation:(if supervised then 200_000 else max_int)
+        ~seed:config.Types.solve_id w
 
 let solve_formula ?config algorithm f = solve ?config algorithm (Msu_cnf.Wcnf.of_formula f)
 

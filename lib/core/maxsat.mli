@@ -31,7 +31,15 @@ type algorithm =
   | Pbo_binary
   | Branch_bound
   | Brute
+  | Sls
+      (** WalkSAT-style stochastic local search ({!Local_search});
+          incomplete — answers [Bounds], streaming every improving
+          incumbent, and is used by the portfolio as an upper-bound
+          seeder.  Under a guard or deadline it flips until the budget
+          trips; a bare solve stops after its flip budget. *)
 
+(** The {e exact} algorithms — each proves optima, so callers may demand
+    agreement across the list.  [Sls] is excluded (incomplete). *)
 val all_algorithms : algorithm list
 val algorithm_to_string : algorithm -> string
 val algorithm_of_string : string -> algorithm option

@@ -21,9 +21,10 @@ let solve_incremental (config : Types.config) w t0 =
   let tally = Common.tally config in
   let s = Solver.create ~track_proof:false () in
   Solver.on_event s (Common.event config);
+  Common.attach_share config s;
   Common.Tally.build tally;
   Solver.ensure_vars s (Wcnf.num_vars w);
-  Wcnf.iter_hard (fun _ c -> Solver.add_clause s c) w;
+  Wcnf.iter_hard (fun _ c -> Solver.add_clause ~shareable:true s c) w;
   let n_soft = Wcnf.num_soft w in
   let sel = Array.make (max n_soft 1) (Lit.pos 0) in
   let soft_of_var = Hashtbl.create (max n_soft 16) in
@@ -254,8 +255,9 @@ let build st =
   Common.Tally.build st.tally;
   let s = Solver.create () in
   Solver.on_event s (Common.event st.config);
+  Common.attach_share st.config s;
   Solver.ensure_vars s st.next_var;
-  Wcnf.iter_hard (fun _ c -> Solver.add_clause s c) st.w;
+  Wcnf.iter_hard (fun _ c -> Solver.add_clause ~shareable:true s c) st.w;
   Wcnf.iter_soft
     (fun i c _ ->
       match st.block.(i) with

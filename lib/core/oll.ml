@@ -40,9 +40,10 @@ let solve ?(config = Types.default_config) w =
   let tally = Common.tally config in
   let s = Solver.create ~track_proof:false () in
   Solver.on_event s (Common.event config);
+  Common.attach_share config s;
   Common.Tally.build tally;
   Solver.ensure_vars s (Wcnf.num_vars w);
-  Wcnf.iter_hard (fun _ c -> Solver.add_clause s c) w;
+  Wcnf.iter_hard (fun _ c -> Solver.add_clause ~shareable:true s c) w;
   let active : (Lit.t, source) Hashtbl.t = Hashtbl.create 64 in
   Wcnf.iter_soft
     (fun _ c _ ->

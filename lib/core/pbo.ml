@@ -21,9 +21,10 @@ let tally_sink tally s =
 let build_relaxed config tally w =
   let s = Solver.create ~track_proof:false () in
   Solver.on_event s (Common.event config);
+  Common.attach_share config s;
   Common.Tally.build tally;
   Solver.ensure_vars s (Wcnf.num_vars w);
-  Wcnf.iter_hard (fun _ c -> Solver.add_clause s c) w;
+  Wcnf.iter_hard (fun _ c -> Solver.add_clause ~shareable:true s c) w;
   let blocks =
     Array.init (Wcnf.num_soft w) (fun i ->
         let b = Lit.pos (Solver.new_var s) in

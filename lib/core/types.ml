@@ -21,6 +21,11 @@ type result = {
   elapsed : float;
 }
 
+type share = {
+  sh_export : lbd:int -> Msu_cnf.Lit.t array -> unit;
+  sh_drain : unit -> Msu_cnf.Lit.t array list;
+}
+
 type config = {
   deadline : float;
   max_conflicts : int option;
@@ -37,6 +42,9 @@ type config = {
       (* warm-resume checkpoint from a previous (crashed) attempt: the
          bracket is installed as external bounds and the incumbent model
          re-verified and seeded before the algorithm starts *)
+  share : share option;
+      (* portfolio clause-sharing endpoints; algorithms wire them into
+         their solvers via Common.attach_share *)
 }
 
 let default_config =
@@ -53,6 +61,7 @@ let default_config =
     guard = None;
     progress = None;
     resume = None;
+    share = None;
   }
 
 let empty_stats =

@@ -39,6 +39,20 @@ type result = {
   elapsed : float;  (** wall-clock seconds *)
 }
 
+type share = {
+  sh_export : lbd:int -> Msu_cnf.Lit.t array -> unit;
+      (** receives every share-safe learnt the solver is willing to
+          export (LBD <= 4, length <= 8, derived from hard clauses
+          alone) *)
+  sh_drain : unit -> Msu_cnf.Lit.t array list;
+      (** returns foreign clauses to import, drained at restart
+          boundaries; must be non-blocking *)
+}
+(** Portfolio clause-sharing endpoints.  Clauses crossing them must be
+    implied by the instance's hard clauses alone — the SAT layer's
+    share-safety tracking guarantees this for exports, and importers
+    trust it. *)
+
 type config = {
   deadline : float;
       (** absolute timestamp ([Unix.gettimeofday] scale); [infinity] for
@@ -75,6 +89,10 @@ type config = {
           bracket is installed as external bounds on the guard and its
           incumbent model is re-verified and seeded into algorithms that
           keep one, so a retry never redoes certified work *)
+  share : share option;
+      (** clause-sharing endpoints provided by the portfolio; algorithms
+          wire them into their solvers via [Common.attach_share], [None]
+          for standalone solves *)
 }
 
 val default_config : config

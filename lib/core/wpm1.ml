@@ -27,9 +27,10 @@ let solve_incremental (config : Types.config) w t0 =
   let tally = Common.tally config in
   let s = Solver.create ~track_proof:false () in
   Solver.on_event s (Common.event config);
+  Common.attach_share config s;
   Common.Tally.build tally;
   Solver.ensure_vars s (Wcnf.num_vars w);
-  Wcnf.iter_hard (fun _ c -> Solver.add_clause s c) w;
+  Wcnf.iter_hard (fun _ c -> Solver.add_clause ~shareable:true s c) w;
   let softs = Msu_cnf.Vec.create ~dummy:{ lits = [||]; weight = 0; blocks = []; sel = Lit.pos 0 } in
   let soft_of_var = Hashtbl.create 64 in
   let enter_soft soft =

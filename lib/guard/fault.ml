@@ -5,6 +5,7 @@ type kind =
   | Crash_mid_solve
   | Kill_mid_solve
   | Torn_checkpoint
+  | Torn_publish
 
 let registry : (kind, unit) Hashtbl.t = Hashtbl.create 4
 let arm k = Hashtbl.replace registry k ()

@@ -18,6 +18,12 @@ type kind =
   | Torn_checkpoint
       (** die mid-write of a checkpoint frame (after at least one intact
           frame): the parent must keep the previous checkpoint *)
+  | Torn_publish
+      (** portfolio worker dies right after writing a bound frame whose
+          trailing newline never made it out, leaving no report file —
+          only the parent's EOF residual flush can salvage the bound.
+          The frame is ["l 1"], so arm it only on instances whose
+          optimum is at least 1. *)
 
 val arm : kind -> unit
 val disarm : kind -> unit

@@ -31,6 +31,8 @@ module Event = struct
     | Queue_dequeue of { depth : int }
     | Worker_spawn of { pid : int }
     | Worker_exit of { pid : int; status : int }
+    | Clause_shared of { lbd : int; size : int }
+    | Incumbent of { cost : int }
     | Note of string
 
   type t = { id : int; at : float; kind : kind }
@@ -53,6 +55,9 @@ module Event = struct
     | Worker_spawn { pid } -> Printf.sprintf "worker spawn (pid %d)" pid
     | Worker_exit { pid; status } ->
         Printf.sprintf "worker exit (pid %d, status %d)" pid status
+    | Clause_shared { lbd; size } ->
+        Printf.sprintf "clause shared (lbd %d, %d lits)" lbd size
+    | Incumbent { cost } -> Printf.sprintf "incumbent model at cost %d" cost
     | Note s -> s
 
   let to_string ev = Printf.sprintf "[%d] %s" ev.id (kind_to_string ev.kind)
@@ -81,6 +86,8 @@ module Event = struct
       | Worker_spawn { pid } -> Printf.sprintf "worker_spawn %d" pid
       | Worker_exit { pid; status } ->
           Printf.sprintf "worker_exit %d %d" pid status
+      | Clause_shared { lbd; size } -> Printf.sprintf "clause_shared %d %d" lbd size
+      | Incumbent { cost } -> Printf.sprintf "incumbent %d" cost
       | Note s -> "note " ^ flatten s
     in
     Printf.sprintf "%d %.6f %s" ev.id ev.at payload
@@ -103,6 +110,8 @@ module Event = struct
     | "dequeue" -> Some (Queue_dequeue { depth = int1 () })
     | "worker_spawn" -> Some (Worker_spawn { pid = int1 () })
     | "worker_exit" -> Some (int2 (fun pid status -> Worker_exit { pid; status }))
+    | "clause_shared" -> Some (int2 (fun lbd size -> Clause_shared { lbd; size }))
+    | "incumbent" -> Some (Incumbent { cost = int1 () })
     | "note" -> Some (Note args)
     | _ -> None
 
@@ -166,6 +175,9 @@ module Event = struct
       | Worker_spawn { pid } -> Printf.sprintf {|"ev":"worker_spawn","pid":%d|} pid
       | Worker_exit { pid; status } ->
           Printf.sprintf {|"ev":"worker_exit","pid":%d,"status":%d|} pid status
+      | Clause_shared { lbd; size } ->
+          Printf.sprintf {|"ev":"clause_shared","lbd":%d,"size":%d|} lbd size
+      | Incumbent { cost } -> Printf.sprintf {|"ev":"incumbent","cost":%d|} cost
       | Note s -> Printf.sprintf {|"ev":"note","msg":"%s"|} (json_escape s)
     in
     Printf.sprintf {|{"id":%d,"t":%.6f,%s}|} ev.id ev.at payload
@@ -302,6 +314,13 @@ module Event = struct
             let* pid = int_field "pid" in
             let* status = int_field "status" in
             Some (Worker_exit { pid; status })
+        | "clause_shared" ->
+            let* lbd = int_field "lbd" in
+            let* size = int_field "size" in
+            Some (Clause_shared { lbd; size })
+        | "incumbent" ->
+            let* cost = int_field "cost" in
+            Some (Incumbent { cost })
         | "note" ->
             let* msg = Hashtbl.find_opt strings "msg" in
             Some (Note msg)

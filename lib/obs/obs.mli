@@ -34,6 +34,12 @@ module Event : sig
     | Queue_dequeue of { depth : int }  (** depth {e after} the pop *)
     | Worker_spawn of { pid : int }
     | Worker_exit of { pid : int; status : int }
+    | Clause_shared of { lbd : int; size : int }
+        (** a learnt clause accepted into the portfolio's shared pool
+            (deduplicated — re-exports of the same clause don't count) *)
+    | Incumbent of { cost : int }
+        (** a streamed model re-costed by the portfolio parent and
+            certified at [cost] *)
     | Note of string  (** free-form narration (compat with the old trace) *)
 
   type t = { id : int; at : float; kind : kind }

@@ -4,6 +4,8 @@ module Obs = Msu_obs.Obs
 module T = Msu_maxsat.Types
 module M = Msu_maxsat.Maxsat
 module Subproc = Msu_harness.Runner.Subproc
+module Lit = Msu_cnf.Lit
+module Wcnf = Msu_cnf.Wcnf
 
 type spec = {
   label : string;
@@ -23,10 +25,13 @@ let spec ?encoding ?(incremental = true) ?fault algorithm =
         | _ -> Msu_card.Card.Sortnet)
   in
   let label =
-    Printf.sprintf "%s/%s%s"
-      (M.algorithm_to_string algorithm)
-      (Msu_card.Card.encoding_to_string encoding)
-      (if incremental then "" else "/rebuild")
+    match algorithm with
+    | M.Sls -> "sls" (* no encoding, no solver: the suffix would only mislead *)
+    | _ ->
+        Printf.sprintf "%s/%s%s"
+          (M.algorithm_to_string algorithm)
+          (Msu_card.Card.encoding_to_string encoding)
+          (if incremental then "" else "/rebuild")
   in
   { label; algorithm; encoding; incremental; fault }
 
@@ -81,35 +86,217 @@ type result = {
 
    Worker -> parent (up pipe):  "l <n>"  improved lower bound
                                 "u <n>"  improved upper bound
+                                "m <cost> <bits>"  improved incumbent
+                                             model ('0'/'1' per var); the
+                                             parent re-costs it before
+                                             trusting it
+                                "c <lbd> <lits>"  share-safe learnt
+                                             clause (packed literals)
                                 "e <event>"  observability event
                                              (Obs.Event.to_wire form)
    Parent -> worker (down pipe): "b <lb> <ub>"  best global bounds
-                                 (<ub> = -1 when none known yet).
-   Line-oriented; partial reads are buffered until the newline. *)
+                                 (<ub> = -1 when none known yet), and
+                                 rebroadcast "c" frames from peers.
+   Line-oriented; partial reads are buffered until the newline.  All
+   frames are validated on receipt — junk tokens, torn frames, negative
+   or crossed bounds are dropped, never installed. *)
+
+module Wire = struct
+  let bounds_line ~lb ~ub =
+    Printf.sprintf "b %d %d" lb (match ub with None -> -1 | Some u -> u)
+
+  (* "b <lb> <ub>": [ub < 0] encodes "none known yet" and must never be
+     installed as a real upper bound; a crossed bracket ([lb > ub]) is a
+     corrupt frame, not a bound. *)
+  let parse_bounds line =
+    match String.split_on_char ' ' line with
+    | [ "b"; lb; ub ] -> (
+        match (int_of_string_opt lb, int_of_string_opt ub) with
+        | Some lb, Some ub when lb >= 0 ->
+            let ub = if ub < 0 then None else Some ub in
+            (match ub with
+            | Some u when lb > u -> None
+            | _ -> Some (lb, ub))
+        | _ -> None)
+    | _ -> None
+
+  let clause_line ~lbd lits =
+    let b = Buffer.create 64 in
+    Buffer.add_string b "c ";
+    Buffer.add_string b (string_of_int lbd);
+    Array.iter
+      (fun l ->
+        Buffer.add_char b ' ';
+        Buffer.add_string b (string_of_int l))
+      lits;
+    Buffer.contents b
+
+  (* "c <lbd> <packed-lits…>": packed literals are nonnegative ints; the
+     exporter caps length at 8, so anything much longer is junk. *)
+  let max_clause_lits = 64
+
+  let parse_clause line =
+    match String.split_on_char ' ' line with
+    | "c" :: lbd :: (_ :: _ as lits) when List.length lits <= max_clause_lits -> (
+        match int_of_string_opt lbd with
+        | Some lbd when lbd >= 0 -> (
+            let ok = ref true in
+            let arr =
+              Array.of_list
+                (List.map
+                   (fun t ->
+                     match int_of_string_opt t with
+                     | Some l when l >= 0 -> l
+                     | _ ->
+                         ok := false;
+                         0)
+                   lits)
+            in
+            match !ok with true -> Some (lbd, arr) | false -> None)
+        | _ -> None)
+    | _ -> None
+
+  let model_line ~cost m =
+    Printf.sprintf "m %d %s" cost
+      (String.init (Array.length m) (fun i -> if m.(i) then '1' else '0'))
+
+  let parse_model line =
+    match String.split_on_char ' ' line with
+    | [ "m"; cost; bits ] -> (
+        match int_of_string_opt cost with
+        | Some c when c >= 0 && bits <> "" ->
+            let ok = ref true in
+            let m =
+              Array.init (String.length bits) (fun i ->
+                  match bits.[i] with
+                  | '1' -> true
+                  | '0' -> false
+                  | _ ->
+                      ok := false;
+                      false)
+            in
+            if !ok then Some (c, m) else None
+        | _ -> None)
+    | _ -> None
+
+  (* Dedup key: the clause as a set of literals.  Sorted packed ints, so
+     permutations of the same clause collide. *)
+  let digest lits =
+    let s = Array.copy lits in
+    Array.sort compare s;
+    String.concat "," (Array.to_list (Array.map string_of_int s))
+
+  (* Complete lines accumulated in [buf]; the trailing partial line (if
+     any) stays buffered. *)
+  let take_lines buf =
+    let s = Buffer.contents buf in
+    match String.rindex_opt s '\n' with
+    | None -> []
+    | Some i ->
+        Buffer.clear buf;
+        Buffer.add_substring buf s (i + 1) (String.length s - i - 1);
+        String.split_on_char '\n' (String.sub s 0 i)
+        |> List.filter (fun l -> l <> "")
+
+  (* Per-peer output buffer for a nonblocking pipe: a short write or
+     EAGAIN keeps the unsent tail queued, and the next [flush] (on the
+     select loop's writable round) resumes exactly where the kernel
+     stopped — a broadcast is never torn mid-line or silently dropped. *)
+  module Outbuf = struct
+    type t = { mutable data : Bytes.t; mutable pos : int; mutable len : int }
+
+    let create () = { data = Bytes.create 256; pos = 0; len = 0 }
+    let pending t = t.len > t.pos
+
+    let compact t =
+      if t.pos > 0 then begin
+        Bytes.blit t.data t.pos t.data 0 (t.len - t.pos);
+        t.len <- t.len - t.pos;
+        t.pos <- 0
+      end
+
+    let queue t line =
+      compact t;
+      let n = String.length line + 1 in
+      if t.len + n > Bytes.length t.data then begin
+        let cap = ref (max 256 (Bytes.length t.data)) in
+        while t.len + n > !cap do
+          cap := !cap * 2
+        done;
+        let d = Bytes.create !cap in
+        Bytes.blit t.data 0 d 0 t.len;
+        t.data <- d
+      end;
+      Bytes.blit_string line 0 t.data t.len (n - 1);
+      Bytes.set t.data (t.len + n - 1) '\n';
+      t.len <- t.len + n
+
+    let flush t fd =
+      let continue = ref true in
+      while !continue && pending t do
+        match Unix.write fd t.data t.pos (t.len - t.pos) with
+        | 0 -> continue := false
+        | n -> t.pos <- t.pos + n
+        | exception
+            Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+          ->
+            continue := false
+        | exception Unix.Unix_error _ ->
+            (* Dead peer (EPIPE with SIGPIPE ignored): drop the backlog. *)
+            t.pos <- 0;
+            t.len <- 0;
+            continue := false
+      done
+  end
+end
 
 let send_line fd s =
   let b = Bytes.of_string (s ^ "\n") in
   try ignore (Unix.write fd b 0 (Bytes.length b)) with Unix.Unix_error _ -> ()
 
-(* Complete lines accumulated in [buf]; the trailing partial line (if
-   any) stays buffered. *)
-let take_lines buf =
-  let s = Buffer.contents buf in
-  match String.rindex_opt s '\n' with
-  | None -> []
-  | Some i ->
-      Buffer.clear buf;
-      Buffer.add_substring buf s (i + 1) (String.length s - i - 1);
-      String.split_on_char '\n' (String.sub s 0 i)
-      |> List.filter (fun l -> l <> "")
+let take_lines = Wire.take_lines
+
+(* Parent-side sharing metrics (the workers are forked, so their
+   process-local registries never reach this process). *)
+let m_shared =
+  Obs.Metrics.counter ~help:"learnt clauses accepted into the shared pool"
+    "msu_shared_clauses_total"
+
+let m_shared_dup =
+  Obs.Metrics.counter ~help:"re-exports dropped by the dedup digest"
+    "msu_shared_duplicates_total"
+
+let m_shared_rej =
+  Obs.Metrics.counter ~help:"malformed or out-of-range shared frames dropped"
+    "msu_shared_rejected_total"
+
+let m_incumbents =
+  Obs.Metrics.counter ~help:"streamed models accepted after parent re-costing"
+    "msu_shared_incumbents_total"
 
 (* ---------------- worker (child process) ---------------- *)
 
-let run_worker ~deadline ~max_conflicts ~down ~up ~tmp ~index ~observe sp w =
+let run_worker ~deadline ~max_conflicts ~down ~up ~tmp ~index ~observe ~share
+    ~seed_ub sp w =
   (match sp.fault with Some k -> Fault.arm k | None -> ());
+  (* Kill-mid-flush harness: the frame's trailing newline never leaves
+     the worker and no report file is written, so the bound survives
+     only if the parent's EOF residual flush parses the torn line. *)
+  if Fault.consume Fault.Torn_publish then begin
+    ignore (Unix.write_substring up "l 1" 0 3);
+    Unix._exit 2
+  end;
   Unix.set_nonblock down;
   let guard = G.create ~deadline ?max_conflicts () in
   G.set_cancel_target guard;
+  (* The parent's pre-seeded upper bound goes straight into the guard
+     before the solve starts — same channel a warm-resume checkpoint
+     uses.  Waiting for the first "b" broadcast instead would let the
+     solver burn its opening iterations (often the expensive ones)
+     without the bound. *)
+  (match seed_ub with
+  | Some u -> G.install_bounds guard ~lb:0 ~ub:(Some u)
+  | None -> ());
   let cell = G.Progress.create () in
   let inbuf = Buffer.create 128 in
   let chunk = Bytes.create 4096 in
@@ -123,9 +310,18 @@ let run_worker ~deadline ~max_conflicts ~down ~up ~tmp ~index ~observe sp w =
     match G.Progress.ub cell with
     | Some u when u < !sent_ub ->
         sent_ub := u;
-        send_line up ("u " ^ string_of_int u)
+        send_line up ("u " ^ string_of_int u);
+        (* Stream the incumbent itself alongside the bound: the parent
+           re-costs it, so a model-backed ub survives even a SIGKILL and
+           can close a cross-worker gap the bare "u" frame cannot. *)
+        (match G.Progress.model cell with
+        | Some m -> send_line up (Wire.model_line ~cost:u m)
+        | None -> ())
     | _ -> ()
   in
+  (* Foreign clauses received from the parent, drained by the solver at
+     its next restart boundary (Solver.set_importer). *)
+  let imports = ref [] in
   let drain_broadcasts () =
     let rec rd () =
       match Unix.read down chunk 0 (Bytes.length chunk) with
@@ -141,14 +337,14 @@ let run_worker ~deadline ~max_conflicts ~down ~up ~tmp ~index ~observe sp w =
     rd ();
     take_lines inbuf
     |> List.iter (fun line ->
-           match String.split_on_char ' ' line with
-           | [ "b"; lb; ub ] -> (
-               match (int_of_string_opt lb, int_of_string_opt ub) with
-               | Some lb, Some ub ->
-                   G.install_bounds guard ~lb
-                     ~ub:(if ub < 0 then None else Some ub)
-               | _ -> ())
-           | _ -> ())
+           match Wire.parse_bounds line with
+           | Some (lb, ub) -> G.install_bounds guard ~lb ~ub
+           | None -> (
+               if share then
+                 match Wire.parse_clause line with
+                 | Some (_, lits) ->
+                     imports := Array.map Lit.of_int_unsafe lits :: !imports
+                 | None -> ()))
   in
   let ticker () =
     publish ();
@@ -174,6 +370,24 @@ let run_worker ~deadline ~max_conflicts ~down ~up ~tmp ~index ~observe sp w =
     if observe then Obs.of_fn (fun ev -> send_line up ("e " ^ Obs.Event.to_wire ev))
     else Obs.null
   in
+  (* Clause sharing endpoints: exports go straight up the pipe (the up
+     fd is blocking, so frames are never torn); imports come from the
+     broadcast queue filled above. *)
+  let share_endpoints =
+    if share then
+      Some
+        {
+          T.sh_export =
+            (fun ~lbd lits ->
+              send_line up (Wire.clause_line ~lbd (Array.map Lit.to_int lits)));
+          T.sh_drain =
+            (fun () ->
+              let l = !imports in
+              imports := [];
+              List.rev l);
+        }
+    else None
+  in
   let config =
     {
       T.default_config with
@@ -185,6 +399,7 @@ let run_worker ~deadline ~max_conflicts ~down ~up ~tmp ~index ~observe sp w =
       solve_id = index;
       guard = Some guard;
       progress = Some cell;
+      share = share_endpoints;
     }
   in
   (* Nothing may escape a forked worker: an exception unwinding past
@@ -214,8 +429,11 @@ type worker_state = {
   st_down : Unix.file_descr;  (* write end of worker's down pipe *)
   st_tmp : string;
   st_buf : Buffer.t;
+  st_out : Wire.Outbuf.t;  (* unsent down-pipe bytes, flushed on select *)
   mutable st_lb : int;  (* best bounds this worker published *)
   mutable st_ub : int;  (* max_int = none *)
+  mutable st_model : (int * bool array) option;
+      (* best streamed incumbent, re-costed by the parent *)
   mutable st_alive : bool;
   mutable st_eof : bool;
   mutable st_report : (T.result, string) Stdlib.result option;
@@ -223,7 +441,8 @@ type worker_state = {
 }
 
 let solve ?specs ?(jobs = 4) ?timeout ?(grace = 1.0) ?max_conflicts ?trace
-    ?(sink = Obs.null) ?(handle_sigint = false) w =
+    ?(sink = Obs.null) ?(handle_sigint = false) ?(share_clauses = false)
+    ?(sls_worker = false) w =
   let specs =
     match specs with
     | Some [] -> invalid_arg "Portfolio.solve: empty spec list"
@@ -234,6 +453,36 @@ let solve ?specs ?(jobs = 4) ?timeout ?(grace = 1.0) ?max_conflicts ?trace
     Printf.ksprintf (fun s -> match trace with Some f -> f s | None -> ()) fmt
   in
   let t0 = Unix.gettimeofday () in
+  (* SLS runs in two roles, both additive (it proves nothing, so it never
+     replaces an exact spec).  First a pre-seed sprint, in-process and
+     before any fork: a few tens of milliseconds of flips whose best
+     feasible model seeds [best_ub] and rides out in the very first "b"
+     broadcast, so every exact worker starts with a real incumbent to
+     prune against instead of discovering one independently.  Second, a
+     rider process forked lazily in the pump only once the race has
+     outlived a startup delay — an incomplete solver racing the exact
+     workers from t=0 pays pure CPU-share tax on instances they decide
+     quickly (it can never decide the race itself), so easy instances
+     pay nothing at all for it. *)
+  let seed_incumbent =
+    (* The sprint's cost floor is building the flip state over every
+       clause, so past a few thousand clauses even zero flips would
+       blow the wall budget — skip outright; on instances that big the
+       exact workers find their own first incumbent faster than the
+       sprint could return one. *)
+    if sls_worker && Wcnf.num_hard w + Wcnf.num_soft w <= 4_000 then
+      match
+        Msu_maxsat.Local_search.best_cost ~max_flips:10_000 ~stagnation:3_000
+          ~budget:0.012 ~seed:1 w
+      with
+      | Some (_, m) -> (
+          (* Re-cost before trusting, same as any streamed incumbent. *)
+          match Wcnf.cost_of_model w m with
+          | Some c -> Some (c, m)
+          | None -> None)
+      | None -> None
+    else None
+  in
   let deadline = match timeout with None -> infinity | Some t -> t0 +. t in
   let flush = Subproc.flush_grace grace in
   let term_at = deadline +. grace in
@@ -262,8 +511,11 @@ let solve ?specs ?(jobs = 4) ?timeout ?(grace = 1.0) ?max_conflicts ?trace
   let old_sigterm =
     Sys.signal Sys.sigterm (Sys.Signal_handle (fun _ -> G.cancel_current ()))
   in
+  (* Mutable: the lazy SLS rider (below) appends a late-forked worker
+     while the pump is already running. *)
   let states =
-    List.map
+    ref
+    @@ List.map
       (fun (index, sp, tmp, down_rd, down_wr, up_rd, up_wr) ->
         match Unix.fork () with
         | 0 ->
@@ -287,7 +539,9 @@ let solve ?specs ?(jobs = 4) ?timeout ?(grace = 1.0) ?max_conflicts ?trace
                 | Some t -> t +. (2. *. grace) +. flush)
               ();
             run_worker ~deadline ~max_conflicts ~down:down_rd ~up:up_wr ~tmp ~index
-              ~observe sp w
+              ~observe ~share:share_clauses
+              ~seed_ub:(Option.map fst seed_incumbent)
+              sp w
         | pid ->
             Unix.close down_rd;
             Unix.close up_wr;
@@ -301,8 +555,10 @@ let solve ?specs ?(jobs = 4) ?timeout ?(grace = 1.0) ?max_conflicts ?trace
               st_down = down_wr;
               st_tmp = tmp;
               st_buf = Buffer.create 128;
+              st_out = Wire.Outbuf.create ();
               st_lb = 0;
               st_ub = max_int;
+              st_model = None;
               st_alive = true;
               st_eof = false;
               st_report = None;
@@ -311,7 +567,16 @@ let solve ?specs ?(jobs = 4) ?timeout ?(grace = 1.0) ?max_conflicts ?trace
       plumbing
   in
   Sys.set_signal Sys.sigterm old_sigterm;
-  let best_lb = ref 0 and best_ub = ref max_int in
+  let num_specs = List.length specs in
+  let best_lb = ref 0
+  and best_ub =
+    (* The pre-seed is the bracket's starting point: the workers got it
+       installed at fork, and the merge pairs it with the seed model. *)
+    ref (match seed_incumbent with Some (c, _) -> c | None -> max_int)
+  in
+  (match seed_incumbent with
+  | Some (c, _) -> say "c [portfolio] sls pre-seed -> ub %d (installed at fork)" c
+  | None -> ());
   let cancel_started = ref None in
   let cancel_all why =
     if !cancel_started = None then begin
@@ -319,7 +584,7 @@ let solve ?specs ?(jobs = 4) ?timeout ?(grace = 1.0) ?max_conflicts ?trace
       cancel_started := Some (Unix.gettimeofday ());
       List.iter
         (fun st -> if st.st_alive then Subproc.kill st.st_pid Sys.sigterm)
-        states
+        !states
     end
   in
   (* Ctrl-C in the parent cancels the whole race through the ladder:
@@ -337,12 +602,20 @@ let solve ?specs ?(jobs = 4) ?timeout ?(grace = 1.0) ?max_conflicts ?trace
     | Some h -> Sys.set_signal Sys.sigint h
     | None -> ()
   in
+  (* All parent->worker traffic goes through the per-worker out-buffer:
+     the down pipes are nonblocking, so a full pipe (or a short write)
+     parks the tail in the buffer and the pump's writable-select round
+     finishes the job — no torn or dropped broadcast. *)
+  let send st line =
+    Wire.Outbuf.queue st.st_out line;
+    Wire.Outbuf.flush st.st_out st.st_down
+  in
   let broadcast () =
     let line =
-      Printf.sprintf "b %d %d" !best_lb
-        (if !best_ub = max_int then -1 else !best_ub)
+      Wire.bounds_line ~lb:!best_lb
+        ~ub:(if !best_ub = max_int then None else Some !best_ub)
     in
-    List.iter (fun st -> if st.st_alive then send_line st.st_down line) states
+    List.iter (fun st -> if st.st_alive then send st line) !states
   in
   (* Fold worker bounds into the global bracket; rebroadcast on
      improvement and start cancellation once the bracket collapses. *)
@@ -366,31 +639,94 @@ let solve ?specs ?(jobs = 4) ?timeout ?(grace = 1.0) ?max_conflicts ?trace
         cancel_all "bounds met"
     end
   in
+  let num_vars_w = Wcnf.num_vars w in
+  (* Dedup digest over every clause ever accepted into the shared pool:
+     re-exports (from any worker) are dropped, so the rebroadcast fan-out
+     is linear in the number of distinct clauses. *)
+  let seen_clauses : (string, unit) Hashtbl.t = Hashtbl.create 97 in
+  let handle_line st line =
+    match String.split_on_char ' ' line with
+    | [ "l"; v ] -> (
+        match int_of_string_opt v with
+        | Some lb when lb >= 0 -> note_bounds st lb None
+        | _ -> ())
+    | [ "u"; v ] -> (
+        match int_of_string_opt v with
+        | Some ub when ub >= 0 -> note_bounds st 0 (Some ub)
+        | _ -> ())
+    | "m" :: _ -> (
+        (* Streamed incumbent: certified by re-costing against the
+           instance here — the claimed cost is only a hint, and a model
+           that falsifies a hard clause is rejected outright. *)
+        match Wire.parse_model line with
+        | Some (_claimed, bits) when Array.length bits >= num_vars_w -> (
+            let m =
+              if Array.length bits = num_vars_w then bits
+              else Array.sub bits 0 num_vars_w
+            in
+            match Wcnf.cost_of_model w m with
+            | Some c ->
+                let improved =
+                  match st.st_model with Some (c0, _) -> c < c0 | None -> true
+                in
+                if improved then begin
+                  st.st_model <- Some (c, m);
+                  Obs.emit sink ~id:st.st_index (Obs.Event.Incumbent { cost = c });
+                  Obs.Metrics.inc m_incumbents;
+                  note_bounds st 0 (Some c)
+                end
+            | None -> Obs.Metrics.inc m_shared_rej)
+        | Some _ | None -> Obs.Metrics.inc m_shared_rej)
+    | "c" :: _ when share_clauses -> (
+        match Wire.parse_clause line with
+        | Some (lbd, lits)
+          when Array.for_all (fun l -> l lsr 1 < num_vars_w) lits ->
+            (* The var bound is a soundness fence: a clause mentioning
+               variables past the instance's (selectors, totalizer
+               internals) escaped a worker's share-safety tracking and
+               must not reach its peers. *)
+            let key = Wire.digest lits in
+            if Hashtbl.mem seen_clauses key then Obs.Metrics.inc m_shared_dup
+            else begin
+              Hashtbl.add seen_clauses key ();
+              Obs.emit sink ~id:st.st_index
+                (Obs.Event.Clause_shared { lbd; size = Array.length lits });
+              Obs.Metrics.inc m_shared;
+              let frame = Wire.clause_line ~lbd lits in
+              List.iter
+                (fun st' ->
+                  if st'.st_alive && st'.st_index <> st.st_index then
+                    send st' frame)
+                !states
+            end
+        | Some _ -> Obs.Metrics.inc m_shared_rej
+        | None -> Obs.Metrics.inc m_shared_rej)
+    | "e" :: _ -> (
+        (* Forwarded child event: re-emit into the parent's
+           sink with the child's own id and timestamp. *)
+        let wire = String.sub line 2 (String.length line - 2) in
+        match Obs.Event.of_wire wire with
+        | Some ev -> Obs.feed sink ev
+        | None -> ())
+    | _ -> ()
+  in
   let read_worker st =
     let chunk = Bytes.create 1024 in
     match Unix.read st.st_up chunk 0 (Bytes.length chunk) with
-    | 0 -> st.st_eof <- true
+    | 0 ->
+        st.st_eof <- true;
+        (* EOF flush: a worker killed mid-write leaves its last frame
+           without the trailing newline — it is still a complete
+           prefix-validated line more often than not, and dropping it
+           here would lose the final certified bound. *)
+        let rest = Buffer.contents st.st_buf in
+        Buffer.clear st.st_buf;
+        if rest <> "" then
+          String.split_on_char '\n' rest
+          |> List.iter (fun l -> if l <> "" then handle_line st l)
     | n ->
         Buffer.add_subbytes st.st_buf chunk 0 n;
-        take_lines st.st_buf
-        |> List.iter (fun line ->
-               match String.split_on_char ' ' line with
-               | [ "l"; v ] -> (
-                   match int_of_string_opt v with
-                   | Some lb -> note_bounds st lb None
-                   | None -> ())
-               | [ "u"; v ] -> (
-                   match int_of_string_opt v with
-                   | Some ub -> note_bounds st 0 (Some ub)
-                   | None -> ())
-               | "e" :: _ -> (
-                   (* Forwarded child event: re-emit into the parent's
-                      sink with the child's own id and timestamp. *)
-                   let wire = String.sub line 2 (String.length line - 2) in
-                   match Obs.Event.of_wire wire with
-                   | Some ev -> Obs.feed sink ev
-                   | None -> ())
-               | _ -> ())
+        take_lines st.st_buf |> List.iter (handle_line st)
     | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
       ->
         ()
@@ -401,9 +737,17 @@ let solve ?specs ?(jobs = 4) ?timeout ?(grace = 1.0) ?max_conflicts ?trace
     | _, status ->
         st.st_alive <- false;
         st.st_status <- Some status;
-        (* Drain any events still buffered in the pipe before reporting
-           the exit, so the stream stays causally ordered. *)
-        read_worker st;
+        (* Drain the pipe all the way to EOF before reporting the exit:
+           the event stream stays causally ordered, and a frame torn by
+           the death — bytes with no trailing newline — still reaches
+           the EOF residual flush below.  A single read is not enough:
+           it can return the torn bytes without the EOF, and a dead
+           worker never re-enters the select set, so the residual would
+           sit in the buffer forever.  Looping is safe because the child
+           was the pipe's last writer, so reads return data then 0. *)
+        while not st.st_eof do
+          read_worker st
+        done;
         let code =
           match status with Unix.WEXITED n -> n | Unix.WSIGNALED n | Unix.WSTOPPED n -> 128 + n
         in
@@ -423,13 +767,105 @@ let solve ?specs ?(jobs = 4) ?timeout ?(grace = 1.0) ?max_conflicts ?trace
         st.st_alive <- false;
         st.st_report <- Subproc.read_result st.st_tmp
   in
+  (* Lazy SLS rider.  Forked only if the race outlives the startup
+     delay AND nobody holds a model-backed incumbent by then: an
+     incomplete solver's one comparative advantage is finding a first
+     feasible model fast, so once the pre-seed sprint or a streamed
+     incumbent supplies one, further flips on a shared core are pure
+     CPU tax against the exact provers.  Instances decided quickly pay
+     nothing at all — no fork, no pipes, no reap. *)
+  let rider_delay =
+    if deadline = infinity then 0.5
+    else Float.min 0.5 (0.25 *. Float.max 0. (deadline -. t0))
+  in
+  let rider_spawned = ref (not sls_worker) in
+  let spawn_rider () =
+    let sp = spec M.Sls in
+    let index = num_specs in
+    let tmp = Filename.temp_file "msu-portfolio" ".bin" in
+    let down_rd, down_wr = Unix.pipe () in
+    let up_rd, up_wr = Unix.pipe () in
+    let siblings = !states in
+    (* Same SIGTERM-inheritance dance as the main fork loop: a cancel
+       racing the fork must trip the child's guard, not kill it raw. *)
+    let prev_sigterm =
+      Sys.signal Sys.sigterm (Sys.Signal_handle (fun _ -> G.cancel_current ()))
+    in
+    match Unix.fork () with
+    | 0 ->
+        if handle_sigint then Sys.set_signal Sys.sigint Sys.Signal_ignore;
+        List.iter
+          (fun st ->
+            List.iter
+              (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+              [ st.st_up; st.st_down ])
+          siblings;
+        (try Unix.close down_wr with Unix.Unix_error _ -> ());
+        (try Unix.close up_rd with Unix.Unix_error _ -> ());
+        Subproc.child_setup
+          ~alarm_after:
+            (match timeout with
+            | None -> infinity
+            | Some t -> t +. (2. *. grace) +. flush)
+          ();
+        run_worker ~deadline ~max_conflicts ~down:down_rd ~up:up_wr ~tmp ~index
+          ~observe ~share:share_clauses
+          ~seed_ub:(if !best_ub = max_int then None else Some !best_ub)
+          sp w
+    | pid ->
+        Sys.set_signal Sys.sigterm prev_sigterm;
+        Unix.close down_rd;
+        Unix.close up_wr;
+        Unix.set_nonblock down_wr;
+        Obs.emit sink ~id:index (Obs.Event.Worker_spawn { pid });
+        let st =
+          {
+            st_index = index;
+            st_spec = sp;
+            st_pid = pid;
+            st_up = up_rd;
+            st_down = down_wr;
+            st_tmp = tmp;
+            st_buf = Buffer.create 128;
+            st_out = Wire.Outbuf.create ();
+            st_lb = 0;
+            st_ub = max_int;
+            st_model = None;
+            st_alive = true;
+            st_eof = false;
+            st_report = None;
+            st_status = None;
+          }
+        in
+        states := !states @ [ st ];
+        say "c [portfolio] sls rider forked at +%.2fs"
+          (Unix.gettimeofday () -. t0);
+        (* Catch the rider up on the bracket it missed. *)
+        send st
+          (Wire.bounds_line ~lb:!best_lb
+             ~ub:(if !best_ub = max_int then None else Some !best_ub))
+  in
   let rec pump () =
-    List.iter (fun st -> if st.st_alive then reap st) states;
-    if List.exists (fun st -> st.st_alive) states then begin
+    if
+      (not !rider_spawned)
+      && !cancel_started = None
+      && List.exists (fun st -> st.st_alive) !states
+      && Unix.gettimeofday () -. t0 >= rider_delay
+    then begin
+      (* Decided once, at the delay boundary: incumbents only ever
+         accumulate, so "somebody already has one" never reverses. *)
+      rider_spawned := true;
+      if
+        seed_incumbent = None
+        && List.for_all (fun st -> st.st_model = None) !states
+      then spawn_rider ()
+    end;
+    List.iter (fun st -> if st.st_alive then reap st) !states;
+    if List.exists (fun st -> st.st_alive) !states then begin
       let fds =
         List.filter_map
           (fun st -> if st.st_alive && not st.st_eof then Some st.st_up else None)
-          states
+          !states
       in
       let now = Unix.gettimeofday () in
       let till_ladder =
@@ -441,11 +877,23 @@ let solve ?specs ?(jobs = 4) ?timeout ?(grace = 1.0) ?max_conflicts ?trace
         if Float.is_finite till_ladder then Float.min 0.05 (Float.max 0.0 till_ladder)
         else 0.05
       in
-      (match Unix.select fds [] [] tmo with
-      | readable, _, _ ->
+      let wfds =
+        List.filter_map
+          (fun st ->
+            if st.st_alive && Wire.Outbuf.pending st.st_out then Some st.st_down
+            else None)
+          !states
+      in
+      (match Unix.select fds wfds [] tmo with
+      | readable, writable, _ ->
           List.iter
             (fun st -> if List.mem st.st_up readable then read_worker st)
-            states
+            !states;
+          List.iter
+            (fun st ->
+              if List.mem st.st_down writable then
+                Wire.Outbuf.flush st.st_out st.st_down)
+            !states
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
       let now = Unix.gettimeofday () in
       (match !cancel_started with
@@ -453,7 +901,7 @@ let solve ?specs ?(jobs = 4) ?timeout ?(grace = 1.0) ?max_conflicts ?trace
           if now > t +. flush then
             List.iter
               (fun st -> if st.st_alive then Subproc.kill st.st_pid Sys.sigkill)
-              states
+              !states
       | None -> if now > term_at then cancel_all "timeout");
       pump ()
     end
@@ -464,7 +912,7 @@ let solve ?specs ?(jobs = 4) ?timeout ?(grace = 1.0) ?max_conflicts ?trace
       (try Unix.close st.st_up with Unix.Unix_error _ -> ());
       (try Unix.close st.st_down with Unix.Unix_error _ -> ());
       try Sys.remove st.st_tmp with Sys_error _ -> ())
-    states;
+    !states;
   let elapsed = Unix.gettimeofday () -. t0 in
   (* ---- merge ---- *)
   let report_of st =
@@ -500,7 +948,7 @@ let solve ?specs ?(jobs = 4) ?timeout ?(grace = 1.0) ?max_conflicts ?trace
           w_stats = T.empty_stats;
         }
   in
-  let reports = List.map report_of states in
+  let reports = List.map report_of !states in
   let stats =
     List.fold_left (fun acc r -> T.merge_stats acc r.w_stats) T.empty_stats reports
   in
@@ -518,7 +966,12 @@ let solve ?specs ?(jobs = 4) ?timeout ?(grace = 1.0) ?max_conflicts ?trace
   in
   (* Model-backed upper-bound candidates: only these may decide an
      optimum — a peer's published ub without a surviving model never
-     masquerades as a solution. *)
+     masquerades as a solution.  Streamed incumbents count: they were
+     re-costed against the instance on receipt, so they are certified
+     even when the worker that found them died before writing a
+     report.  The pre-seed sprint's model joins on the same terms: it
+     was re-costed at birth, and a worker that proves lb up to the seed
+     cost closes the gap through it. *)
   let candidates =
     List.filter_map
       (fun st ->
@@ -528,7 +981,16 @@ let solve ?specs ?(jobs = 4) ?timeout ?(grace = 1.0) ?max_conflicts ?trace
             | Some m, Some u -> Some (u, m, st.st_spec.label)
             | _ -> None)
         | _ -> None)
-      states
+      !states
+    @ List.filter_map
+        (fun st ->
+          match st.st_model with
+          | Some (c, m) -> Some (c, m, st.st_spec.label)
+          | None -> None)
+        !states
+    @ (match seed_incumbent with
+      | Some (c, m) -> [ (c, m, "sls-seed") ]
+      | None -> [])
   in
   let best_candidate =
     List.fold_left
@@ -574,7 +1036,7 @@ let solve ?specs ?(jobs = 4) ?timeout ?(grace = 1.0) ?max_conflicts ?trace
                 when c' = c ->
                   Some m
               | _ -> None)
-            states
+            !states
         in
         (T.Optimum c, model, Some l)
     | [] when hard_unsat <> [] -> (T.Hard_unsat, None, Some (List.hd hard_unsat))

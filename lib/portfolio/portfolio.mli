@@ -12,11 +12,73 @@
     and salvages the partial bounds of workers that timed out or
     crashed.
 
+    Two optional v2 channels ride the same pipes:
+
+    {ul
+    {- {b Clause sharing} ([share_clauses]): workers export share-safe
+       learnt clauses (LBD <= 4, <= 8 literals, derived from the
+       instance's hard clauses alone — see {!Msu_sat.Solver.on_export});
+       the parent dedupes them by a sorted-literal digest, checks every
+       variable is the instance's own, and rebroadcasts to the other
+       workers, which import at restart boundaries.}
+    {- {b Incumbent streaming}: every worker sends each improving
+       model up the pipe; the parent {e re-costs it against the
+       instance} before trusting it, so a flip-found SLS model (add one
+       with [sls_worker]) tightens [best_ub] — and survives even a
+       SIGKILL — only if it really has that cost.}}
+
     Soundness: an external upper bound is a bound on the {e instance}
     but is not backed by a local model, so the merged result only
     reports [Optimum] at a cost some worker's recovered model actually
     achieves — external bounds prune the search and tighten the
-    reported bracket, never replace a model. *)
+    reported bracket, never replace a model.  Streamed incumbents are
+    model-backed by construction (the parent re-costed them) and may
+    decide an optimum when a peer proves the matching lower bound. *)
+
+(** The line-oriented pipe protocol: encoders, validating parsers, the
+    dedup digest, and the retrying output buffer.  Exposed for the wire
+    fuzz tests; {!solve} is the only intended production entry. *)
+module Wire : sig
+  val bounds_line : lb:int -> ub:int option -> string
+
+  val parse_bounds : string -> (int * int option) option
+  (** Validating parse of a ["b <lb> <ub>"] frame: junk tokens, huge
+      ints, negative [lb] and crossed brackets ([lb > ub]) all yield
+      [None]; [ub < 0] means "none known" and comes back as [None] in
+      the pair — it can never be installed as a real upper bound. *)
+
+  val clause_line : lbd:int -> int array -> string
+  (** ["c <lbd> <packed-lits…>"]; literals in {!Msu_cnf.Lit.to_int}
+      form. *)
+
+  val parse_clause : string -> (int * int array) option
+  (** [None] on junk, negative literals, empty or oversized clauses. *)
+
+  val model_line : cost:int -> bool array -> string
+  (** ["m <cost> <bits>"] with one ['0']/['1'] per variable. *)
+
+  val parse_model : string -> (int * bool array) option
+
+  val digest : int array -> string
+  (** Order-independent dedup key: the sorted packed literals. *)
+
+  val take_lines : Buffer.t -> string list
+  (** Complete lines accumulated in the buffer; the trailing partial
+      line (if any) stays buffered for the next read. *)
+
+  (** Output buffering for a nonblocking pipe: [queue] appends a line,
+      [flush] writes as much as the kernel accepts and keeps the rest
+      for the next round — short writes and [EAGAIN] never tear or drop
+      a frame. *)
+  module Outbuf : sig
+    type t
+
+    val create : unit -> t
+    val queue : t -> string -> unit
+    val flush : t -> Unix.file_descr -> unit
+    val pending : t -> bool
+  end
+end
 
 type spec = {
   label : string;
@@ -60,7 +122,9 @@ type result = {
   ub : int option;
       (** best global upper bound published by any worker — may be
           tighter than [outcome]'s when the matching model was lost *)
-  reports : worker_report list;  (** one per worker, spec order *)
+  reports : worker_report list;
+      (** one per forked worker, spec order; the lazily-forked SLS
+          rider appears last and only when it actually spawned *)
   disagreements : string list;
       (** workers proving contradictory optima / inconsistent bounds —
           must be empty; non-empty means a solver bug *)
@@ -77,6 +141,8 @@ val solve :
   ?trace:(string -> unit) ->
   ?sink:Msu_obs.Obs.sink ->
   ?handle_sigint:bool ->
+  ?share_clauses:bool ->
+  ?sls_worker:bool ->
   Msu_cnf.Wcnf.t ->
   result
 (** Fork one worker per spec ([default_specs jobs] when [specs] is
@@ -96,7 +162,26 @@ val solve :
     own signal policy) the parent fields Ctrl-C for the whole race:
     workers ignore the terminal's SIGINT and are cancelled through the
     SIGTERM → flush-grace → SIGKILL ladder instead, so the merge still
-    reports every salvaged bound.  [msolve --portfolio] sets it. *)
+    reports every salvaged bound.  [msolve --portfolio] sets it.
+
+    [share_clauses] (default false) turns on learnt-clause sharing:
+    accepted clauses are counted in [msu_shared_clauses_total] (dup /
+    rejected frames in their own counters) and surface as
+    [Clause_shared] events on [sink].
+
+    [sls_worker] (default false) adds stochastic local search in two
+    additive roles.  Before any fork the parent runs a short in-process
+    pre-seed sprint; its best feasible model (re-costed) seeds the
+    global upper bound, rides out in the first ["b"] broadcast so every
+    exact worker starts pruning against a real incumbent, and joins the
+    merge as a model-backed candidate (winner label ["sls-seed"] when a
+    worker's lower bound closes the gap through it).  Then, only if the
+    race outlives a short startup delay, an SLS rider process (spec
+    label ["sls"]) is forked lazily and streams improving models up as
+    parent-certified incumbents ([Incumbent] events,
+    [msu_shared_incumbents_total]); instances decided before the delay
+    never pay for the rider at all, so [reports] includes it only when
+    it actually ran. *)
 
 val to_result : result -> Msu_maxsat.Types.result
 (** Collapse to the sequential result type (outcome, winning model,

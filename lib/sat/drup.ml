@@ -20,32 +20,101 @@ let num_events log = log.count
 (* ------------------------------------------------------------------ *)
 
 (* Clause database for the replay: clauses are stored as sorted literal
-   arrays so that deletions can find their target. *)
+   arrays so that deletions can find their target.  Propagation uses its
+   own two-watched-literal scheme — still fully independent of the
+   solver's arena machinery — because the naive scan-to-fixpoint
+   alternative is quadratic in the proof length, which made replaying
+   full-scale refutations (hundreds of thousands of events) take hours
+   in the certification bench. *)
 type db = {
   mutable clauses : Lit.t array array;
   mutable live : bool array;
+  mutable wa : int array;  (* index of first watched literal, len >= 2 *)
+  mutable wb : int array;  (* index of second watched literal *)
   mutable size : int;
   index : (Lit.t array, int list ref) Hashtbl.t; (* sorted lits -> ids *)
+  mutable watch : int list array;  (* Lit.to_int -> clause ids, lazy *)
+  mutable value : Bytes.t;  (* var -> '\000' unset / '\001' true / '\002' false *)
+  mutable nvars : int;  (* value/watch are sized for vars < nvars *)
+  mutable units : int list;  (* ids of unit clauses, dead ones pruned lazily *)
+  mutable empties : int;  (* live empty clauses *)
+  mutable trail : Lit.t array;  (* literals assigned true by the current rup *)
+  mutable trail_len : int;
 }
 
 let db_create () =
-  { clauses = Array.make 64 [||]; live = Array.make 64 false; size = 0;
-    index = Hashtbl.create 256 }
+  {
+    clauses = Array.make 64 [||];
+    live = Array.make 64 false;
+    wa = Array.make 64 (-1);
+    wb = Array.make 64 (-1);
+    size = 0;
+    index = Hashtbl.create 256;
+    watch = [||];
+    value = Bytes.create 0;
+    nvars = 0;
+    units = [];
+    empties = 0;
+    trail = [||];
+    trail_len = 0;
+  }
 
+(* Sort and deduplicate.  Deduplication matters twice over: a clause
+   with a repeated literal would count the repeat as two distinct
+   unassigned literals and never be recognized as unit during replay,
+   and a Delete event logged from the solver (which dedupes at add
+   time) must still find the raw clause the formula mirror recorded. *)
 let normalize c =
   let c = Array.copy c in
   Array.sort Lit.compare c;
-  c
+  let n = Array.length c in
+  if n <= 1 then c
+  else begin
+    let k = ref 1 in
+    for i = 1 to n - 1 do
+      if Lit.compare c.(i) c.(!k - 1) <> 0 then begin
+        c.(!k) <- c.(i);
+        incr k
+      end
+    done;
+    if !k = n then c else Array.sub c 0 !k
+  end
+
+let ensure_var db v =
+  if v >= db.nvars then begin
+    let n = ref (max 64 db.nvars) in
+    while v >= !n do
+      n := 2 * !n
+    done;
+    let value = Bytes.make !n '\000' in
+    Bytes.blit db.value 0 value 0 db.nvars;
+    let watch = Array.make (2 * !n) [] in
+    Array.blit db.watch 0 watch 0 (2 * db.nvars);
+    db.value <- value;
+    db.watch <- watch;
+    db.nvars <- !n
+  end
+
+(* Value of a literal under the current transient assignment:
+   0 unset, 1 true, 2 false. *)
+let lit_value db l =
+  match Bytes.unsafe_get db.value (Lit.var l) with
+  | '\000' -> 0
+  | '\001' -> if Lit.sign l then 1 else 2
+  | _ -> if Lit.sign l then 2 else 1
 
 let db_add db c =
   let c = normalize c in
   if db.size = Array.length db.clauses then begin
-    let clauses = Array.make (2 * db.size) [||] in
-    let live = Array.make (2 * db.size) false in
-    Array.blit db.clauses 0 clauses 0 db.size;
-    Array.blit db.live 0 live 0 db.size;
-    db.clauses <- clauses;
-    db.live <- live
+    let grow a fill =
+      let b = Array.make (2 * db.size) fill in
+      Array.blit a 0 b 0 db.size;
+      b
+    in
+    db.clauses <- grow db.clauses [||];
+    db.live <- grow db.live false;
+    db.wa <- grow db.wa (-1);
+    db.wb <- grow db.wb (-1)
   end;
   let id = db.size in
   db.clauses.(id) <- c;
@@ -59,7 +128,19 @@ let db_add db c =
         Hashtbl.add db.index c b;
         b
   in
-  bucket := id :: !bucket
+  bucket := id :: !bucket;
+  Array.iter (fun l -> ensure_var db (Lit.var l)) c;
+  match Array.length c with
+  | 0 -> db.empties <- db.empties + 1
+  | 1 -> db.units <- id :: db.units
+  | _ ->
+      (* db_add only runs between rup calls, when no assignment is
+         active, so any two distinct literals are valid watches. *)
+      db.wa.(id) <- 0;
+      db.wb.(id) <- 1;
+      let wl l = db.watch.(Lit.to_int l) <- id :: db.watch.(Lit.to_int l) in
+      wl c.(0);
+      wl c.(1)
 
 let db_delete db c =
   let c = normalize c in
@@ -70,58 +151,96 @@ let db_delete db c =
       | None -> false
       | Some id ->
           db.live.(id) <- false;
+          if Array.length db.clauses.(id) = 0 then db.empties <- db.empties - 1;
           true)
 
-(* Unit propagation by repeated scanning — a deliberately simple
-   checker, independent of the solver's machinery. *)
-let propagates_to_conflict db assignment =
-  (* assignment: Hashtbl var -> bool *)
-  let value l =
-    match Hashtbl.find_opt assignment (Lit.var l) with
-    | None -> None
-    | Some b -> Some (if Lit.sign l then b else not b)
-  in
-  let conflict = ref false in
-  let changed = ref true in
-  while !changed && not !conflict do
-    changed := false;
-    for id = 0 to db.size - 1 do
-      if db.live.(id) && not !conflict then begin
-        let c = db.clauses.(id) in
-        let satisfied = ref false in
-        let unassigned = ref [] in
-        Array.iter
-          (fun l ->
-            match value l with
-            | Some true -> satisfied := true
-            | Some false -> ()
-            | None -> unassigned := l :: !unassigned)
-          c;
-        if not !satisfied then begin
-          match !unassigned with
-          | [] -> conflict := true
-          | [ l ] ->
-              Hashtbl.replace assignment (Lit.var l) (Lit.sign l);
-              changed := true
-          | _ -> ()
+exception Conflict
+
+let enqueue db l =
+  match lit_value db l with
+  | 1 -> ()
+  | 2 -> raise Conflict
+  | _ ->
+      Bytes.unsafe_set db.value (Lit.var l)
+        (if Lit.sign l then '\001' else '\002');
+      db.trail.(db.trail_len) <- l;
+      db.trail_len <- db.trail_len + 1
+
+(* [fl] just became false: visit its watchers, moving each watch to a
+   non-false literal where possible; a clause with no replacement is
+   unit (enqueue the other watch) or in conflict.  The watch list is
+   rebuilt in place; on conflict the unvisited suffix is retained so the
+   lists stay consistent for the next rup. *)
+let process_falsified db fl =
+  let fcode = Lit.to_int fl in
+  let rec go acc = function
+    | [] -> db.watch.(fcode) <- acc
+    | cid :: rest ->
+        if not db.live.(cid) then go acc rest
+        else begin
+          let c = db.clauses.(cid) in
+          let wai = db.wa.(cid) and wbi = db.wb.(cid) in
+          let fi, oi =
+            if Lit.equal c.(wai) fl then (wai, wbi) else (wbi, wai)
+          in
+          let len = Array.length c in
+          let j = ref (-1) in
+          let k = ref 0 in
+          while !j < 0 && !k < len do
+            if !k <> fi && !k <> oi && lit_value db c.(!k) <> 2 then j := !k;
+            incr k
+          done;
+          if !j >= 0 then begin
+            if fi = wai then db.wa.(cid) <- !j else db.wb.(cid) <- !j;
+            let code = Lit.to_int c.(!j) in
+            db.watch.(code) <- cid :: db.watch.(code);
+            go acc rest
+          end
+          else
+            match lit_value db c.(oi) with
+            | 2 ->
+                db.watch.(fcode) <- List.rev_append acc (cid :: rest);
+                raise Conflict
+            | 0 ->
+                (* Cannot raise: the other watch is unset. *)
+                enqueue db c.(oi);
+                go (cid :: acc) rest
+            | _ -> go (cid :: acc) rest
         end
-      end
-    done
-  done;
-  !conflict
+  in
+  let old = db.watch.(fcode) in
+  db.watch.(fcode) <- [];
+  go [] old
 
 let rup db c =
-  let assignment = Hashtbl.create 64 in
-  let consistent = ref true in
-  Array.iter
-    (fun l ->
-      (* Assert the negation of the clause. *)
-      let v = Lit.var l and b = not (Lit.sign l) in
-      match Hashtbl.find_opt assignment v with
-      | Some b' when b' <> b -> consistent := false (* tautology: trivially RUP *)
-      | _ -> Hashtbl.replace assignment v b)
-    c;
-  (not !consistent) || propagates_to_conflict db assignment
+  if db.empties > 0 then true
+  else begin
+    Array.iter (fun l -> ensure_var db (Lit.var l)) c;
+    if Array.length db.trail < db.nvars then
+      db.trail <- Array.make db.nvars (Lit.pos 0);
+    db.trail_len <- 0;
+    db.units <- List.filter (fun id -> db.live.(id)) db.units;
+    let conflict =
+      try
+        (* Assert the negation of the clause; a tautology contradicts
+           itself here and is trivially RUP. *)
+        Array.iter (fun l -> enqueue db (Lit.neg l)) c;
+        List.iter (fun id -> enqueue db db.clauses.(id).(0)) db.units;
+        let head = ref 0 in
+        while !head < db.trail_len do
+          let t = db.trail.(!head) in
+          incr head;
+          process_falsified db (Lit.neg t)
+        done;
+        false
+      with Conflict -> true
+    in
+    for i = 0 to db.trail_len - 1 do
+      Bytes.unsafe_set db.value (Lit.var db.trail.(i)) '\000'
+    done;
+    db.trail_len <- 0;
+    conflict
+  end
 
 let check ?(require_empty = false) f log =
   let db = db_create () in

@@ -20,7 +20,10 @@ module Lit = Msu_cnf.Lit
      arena.(cr)     size (number of literals)
      arena.(cr+1)   info word: bit 0 = learnt, bit 1 = removed,
                     bit 2 = relocated (transient, inside [compact] only),
-                    bits 3.. = LBD (literal block distance)
+                    bit 3 = share-safe (derivable from shareable axioms
+                    alone, so the clause is sound for the whole instance
+                    and may be exported to portfolio peers),
+                    bits 4.. = LBD (literal block distance)
      arena.(cr+2)   activity as IEEE-754 bits (sign dropped: always >= 0);
                     during [compact], forwarding offset of relocated clauses
      arena.(cr+3)   proof uid (-1 when untracked)
@@ -58,6 +61,9 @@ type t = {
   mutable unit_proof : int array;
   (* proof uid (-1 = none) closing the derivation of the level-0 unit
      fact for this var *)
+  mutable unit_safe : Bytes.t;
+  (* '\001' when the level-0 unit fact for this var is derivable from
+     shareable axioms alone (see the share-safe info bit) *)
   mutable activity : float array;
   mutable polarity : Bytes.t; (* saved phase; doubles as model cache *)
   mutable seen : Bytes.t; (* scratch for analyze *)
@@ -111,6 +117,14 @@ type t = {
   mutable n_deleted : int;
   mutable n_compactions : int;
   mutable event_hook : Msu_obs.Obs.Event.kind -> unit;
+  (* Portfolio clause sharing: [export_hook] fires for every share-safe
+     learnt passing the LBD/length filter; [importer] is drained at
+     restart boundaries (decision level 0), where attaching foreign
+     clauses cannot break the watcher invariants. *)
+  mutable export_hook : (lbd:int -> Lit.t array -> unit) option;
+  mutable importer : (unit -> Lit.t array list) option;
+  mutable n_exported : int;
+  mutable n_imported : int;
 }
 
 let var_decay = 1. /. 0.95
@@ -119,6 +133,10 @@ let restart_base = 100
 let header_words = 4
 let clause_words size = size + header_words
 let lbd_max = (1 lsl 24) - 1
+
+(* Standard parallel-SAT export filter: short, low-LBD learnts only. *)
+let export_max_lbd = 4
+let export_max_len = 8
 
 (* Process-wide CDCL metrics (Msu_obs registry). *)
 let m_calls = Msu_obs.Obs.Metrics.counter ~help:"SAT solve calls" "msu_solver_calls_total"
@@ -161,6 +179,7 @@ let create ?(track_proof = true) ?(debug = false) () =
       level = [||];
       reason = [||];
       unit_proof = [||];
+      unit_safe = Bytes.empty;
       activity = [||];
       polarity = Bytes.empty;
       seen = Bytes.empty;
@@ -199,6 +218,10 @@ let create ?(track_proof = true) ?(debug = false) () =
       n_deleted = 0;
       n_compactions = 0;
       event_hook = (fun _ -> ());
+      export_hook = None;
+      importer = None;
+      n_exported = 0;
+      n_imported = 0;
     }
   in
   s.order <- Idx_heap.create ~score:(fun v -> s.activity.(v));
@@ -224,8 +247,9 @@ let c_size (a : int array) cr = Array.unsafe_get a cr
 let c_info (a : int array) cr = Array.unsafe_get a (cr + 1)
 let c_learnt a cr = c_info a cr land 1 <> 0
 let c_removed a cr = c_info a cr land 2 <> 0
-let c_lbd a cr = c_info a cr lsr 3
-let set_lbd (a : int array) cr lbd = a.(cr + 1) <- (c_info a cr land 7) lor (lbd lsl 3)
+let c_safe a cr = c_info a cr land 8 <> 0
+let c_lbd a cr = c_info a cr lsr 4
+let set_lbd (a : int array) cr lbd = a.(cr + 1) <- (c_info a cr land 15) lor (lbd lsl 4)
 let c_uid a cr = Array.unsafe_get a (cr + 3)
 let c_lit (a : int array) cr i = Array.unsafe_get a (cr + header_words + i)
 
@@ -267,13 +291,13 @@ let ensure_arena s extra =
     s.arena <- a'
   end
 
-let alloc_clause s ~learnt ~uid (lits : int array) =
+let alloc_clause s ~learnt ~safe ~uid (lits : int array) =
   let size = Array.length lits in
   ensure_arena s (clause_words size);
   let cr = s.arena_size in
   let a = s.arena in
   a.(cr) <- size;
-  a.(cr + 1) <- (if learnt then 1 else 0);
+  a.(cr + 1) <- (if learnt then 1 else 0) lor (if safe then 8 else 0);
   a.(cr + 2) <- 0 (* activity 0.0 *);
   a.(cr + 3) <- uid;
   Array.blit lits 0 a (cr + header_words) size;
@@ -312,6 +336,7 @@ let ensure_vars s n =
     s.level <- grow_array s.level n (-1);
     s.reason <- grow_array s.reason n (-1);
     s.unit_proof <- grow_array s.unit_proof n (-1);
+    s.unit_safe <- grow_bytes s.unit_safe n;
     s.activity <- grow_array s.activity n 0.;
     Idx_heap.retarget s.order s.activity;
     s.polarity <- grow_bytes s.polarity n;
@@ -328,6 +353,7 @@ let ensure_vars s n =
       s.assigns.(v) <- -1;
       s.reason.(v) <- -1;
       s.unit_proof.(v) <- -1;
+      Bytes.unsafe_set s.unit_safe v '\000';
       Idx_heap.insert s.order v
     done
   end
@@ -433,22 +459,36 @@ let enqueue s l reason =
   s.reason.(v) <- reason;
   Vec.push s.trail l;
   (* At level 0 the literal is a proved unit; close its derivation so
-     conflict analysis and core extraction can cite it wholesale. *)
-  if s.track_proof && decision_level s = 0 then
-    s.unit_proof.(v) <-
-      (if reason < 0 then -1
-       else begin
-         let a = s.arena in
-         let ants = ref [ c_uid a reason ] in
-         for i = 0 to c_size a reason - 1 do
-           let q = c_lit a reason i in
-           if q lsr 1 <> v then begin
-             let p = s.unit_proof.(q lsr 1) in
-             if p >= 0 then ants := p :: !ants
-           end
-         done;
-         new_proof s (P_resolved !ants)
-       end)
+     conflict analysis and core extraction can cite it wholesale, and
+     record whether the derivation used shareable axioms only. *)
+  if decision_level s = 0 then begin
+    (if reason < 0 then Bytes.unsafe_set s.unit_safe v '\000'
+     else begin
+       let a = s.arena in
+       let safe = ref (c_safe a reason) in
+       for i = 0 to c_size a reason - 1 do
+         let q = c_lit a reason i in
+         if q lsr 1 <> v && Bytes.unsafe_get s.unit_safe (q lsr 1) = '\000' then
+           safe := false
+       done;
+       Bytes.unsafe_set s.unit_safe v (if !safe then '\001' else '\000')
+     end);
+    if s.track_proof then
+      s.unit_proof.(v) <-
+        (if reason < 0 then -1
+         else begin
+           let a = s.arena in
+           let ants = ref [ c_uid a reason ] in
+           for i = 0 to c_size a reason - 1 do
+             let q = c_lit a reason i in
+             if q lsr 1 <> v then begin
+               let p = s.unit_proof.(q lsr 1) in
+               if p >= 0 then ants := p :: !ants
+             end
+           done;
+           new_proof s (P_resolved !ants)
+         end)
+  end
 
 let new_decision_level s = Vec.push s.trail_lim (Vec.size s.trail)
 
@@ -746,7 +786,7 @@ let record_refutation s cr =
 
 (* Adding clauses (only at decision level 0). *)
 
-let add_clause_core ?(id = -1) s lits =
+let add_clause_core ?(id = -1) ?(shareable = false) s lits =
   assert (decision_level s = 0);
   if not s.ok then -1
   else begin
@@ -789,7 +829,7 @@ let add_clause_core ?(id = -1) s lits =
         -1
       end
       else begin
-        let cr = alloc_clause s ~learnt:false ~uid lits in
+        let cr = alloc_clause s ~learnt:false ~safe:shareable ~uid lits in
         Vec.push s.clauses cr;
         if len >= 2 then attach s cr;
         let unit_now =
@@ -808,9 +848,9 @@ let add_clause_core ?(id = -1) s lits =
     end
   end
 
-let add_clause ?id ?selector s lits =
+let add_clause ?id ?shareable ?selector s lits =
   match selector with
-  | None -> ignore (add_clause_core ?id s lits)
+  | None -> ignore (add_clause_core ?id ?shareable s lits)
   | Some sel ->
       (* Activation-literal discipline: the clause is stored as
          [lits \/ sel]; assuming [neg sel] enforces it, and
@@ -831,6 +871,78 @@ let add_clause ?id ?selector s lits =
       end
 
 let add_clause_l ?id s lits = add_clause ?id s (Array.of_list lits)
+
+(* Attach a clause learnt by a portfolio peer.  The caller guarantees the
+   clause is implied by this instance's hard clauses (the exporter's
+   share-safety taint guarantees it), so it is sound for any relaxation
+   of the instance this solver happens to be working on.  Must run at
+   decision level 0 — between [solve]s or at a restart boundary — where
+   establishing the watcher invariant is the same score-sort used by
+   [add_clause].  The clause goes in as a share-safe learnt: reduce-db
+   may drop it again, and derivations through it stay exportable.
+
+   Skipped entirely when a DRUP log is attached: a foreign clause is not
+   unit-derivable from this solver's own formula, so logging it would
+   invalidate the certificate. *)
+let import_clause s lits =
+  assert (decision_level s = 0);
+  if s.ok && s.drup_log = None && Array.length lits > 0 then begin
+    Array.iter (fun l -> ensure_vars s (Lit.var l + 1)) lits;
+    let lits = Array.map Lit.to_int lits in
+    Array.sort Int.compare lits;
+    let tautology = ref false in
+    let uniq = Vec.create ~dummy:0 in
+    Array.iter
+      (fun l ->
+        if Vec.size uniq > 0 && Vec.last uniq = l then ()
+        else begin
+          if Vec.size uniq > 0 && Vec.last uniq = l lxor 1 then tautology := true;
+          Vec.push uniq l
+        end)
+      lits;
+    if not !tautology then begin
+      let lits = Vec.to_array uniq in
+      let score l = match value_of s l with 1 -> 2 | -1 -> 1 | _ -> 0 in
+      Array.sort (fun a b -> Int.compare (score b) (score a)) lits;
+      let len = Array.length lits in
+      let uid = if s.track_proof then new_proof s (P_axiom (-1)) else -1 in
+      s.n_imported <- s.n_imported + 1;
+      if value_of s lits.(0) = 0 then begin
+        (* All literals false under the level-0 prefix.  The import is
+           implied by the instance's hard clauses (a subset of this
+           formula), so the formula is refuted outright. *)
+        s.ok <- false;
+        if s.track_proof then refutation_ants s ~uid lits
+      end
+      else begin
+        let cr = alloc_clause s ~learnt:true ~safe:true ~uid lits in
+        set_lbd s.arena cr (min len lbd_max);
+        Vec.push s.learnts cr;
+        if len >= 2 then attach s cr;
+        let unit_now =
+          value_of s lits.(0) < 0 && (len = 1 || value_of s lits.(1) = 0)
+        in
+        if unit_now then begin
+          enqueue s lits.(0) cr;
+          let confl = propagate s in
+          if confl >= 0 then begin
+            s.ok <- false;
+            record_refutation s confl
+          end
+        end
+      end
+    end
+  end
+
+let on_export s f = s.export_hook <- Some f
+let set_importer s f = s.importer <- Some f
+let exported_clauses s = s.n_exported
+let imported_clauses s = s.n_imported
+
+let drain_imports s =
+  match s.importer with
+  | None -> ()
+  | Some f -> List.iter (fun c -> if s.ok then import_clause s c) (f ())
 
 let retire_selector s sel =
   assert (decision_level s = 0);
@@ -863,6 +975,9 @@ let analyze s confl0 =
   Vec.clear learnt;
   Vec.push learnt 0 (* slot for the asserting literal *);
   let ants = ref [] in
+  (* Share-safety of the resolvent: the conjunction over every clause
+     and level-0 unit the derivation touches. *)
+  let safe = ref true in
   let path = ref 0 in
   let p = ref (-1) in
   let index = ref (Vec.size s.trail - 1) in
@@ -879,6 +994,7 @@ let analyze s confl0 =
       if lbd < c_lbd a cr then set_lbd a cr lbd
     end;
     if s.track_proof then ants := c_uid a cr :: !ants;
+    if not (c_safe a cr) then safe := false;
     let start = if !p < 0 then 0 else 1 in
     for j = start to c_size a cr - 1 do
       let q = c_lit a cr j in
@@ -889,10 +1005,13 @@ let analyze s confl0 =
           var_bump s v;
           if s.level.(v) >= decision_level s then incr path else Vec.push learnt q
         end
-        else if s.track_proof then begin
+        else begin
           (* Resolving away a level-0 literal uses its unit proof. *)
-          let pr = s.unit_proof.(v) in
-          if pr >= 0 then ants := pr :: !ants
+          if Bytes.unsafe_get s.unit_safe v = '\000' then safe := false;
+          if s.track_proof then begin
+            let pr = s.unit_proof.(v) in
+            if pr >= 0 then ants := pr :: !ants
+          end
         end
     done;
     while not (seen_get s (Vec.get s.trail !index lsr 1)) do
@@ -918,15 +1037,21 @@ let analyze s confl0 =
         let w = c_lit a r i lsr 1 in
         if w <> v && s.level.(w) > 0 && not (seen_get s w) then ok := false
       done;
-      if !ok && s.track_proof then begin
-        ants := c_uid a r :: !ants;
+      if !ok then begin
+        (* The minimization resolves with [r] (and the unit proofs of its
+           level-0 literals), so they join the derivation too. *)
+        if not (c_safe a r) then safe := false;
         for i = 0 to c_size a r - 1 do
           let w = c_lit a r i lsr 1 in
           if w <> v && s.level.(w) = 0 then begin
-            let pr = s.unit_proof.(w) in
-            if pr >= 0 then ants := pr :: !ants
+            if Bytes.unsafe_get s.unit_safe w = '\000' then safe := false;
+            if s.track_proof then begin
+              let pr = s.unit_proof.(w) in
+              if pr >= 0 then ants := pr :: !ants
+            end
           end
-        done
+        done;
+        if s.track_proof then ants := c_uid a r :: !ants
       end;
       !ok
     end
@@ -963,7 +1088,7 @@ let analyze s confl0 =
       s.level.(Vec.get learnt 1 lsr 1)
     end
   in
-  (back_level, !ants)
+  (back_level, !ants, !safe)
 
 (* analyzeFinal: the subset of assumption decisions that force the
    falsified literal [p]. *)
@@ -1089,7 +1214,7 @@ let pick_branch_var s =
 (* Record the learnt clause sitting in [s.scratch_learnt]: straight
    Vec-to-arena copy, no intermediate array (the DRUP log, when
    attached, is the only consumer that materializes one). *)
-let record_learnt s ants =
+let record_learnt s ants ~safe =
   let lits = s.scratch_learnt in
   let size = Vec.size lits in
   (match s.drup_log with
@@ -1105,7 +1230,7 @@ let record_learnt s ants =
   let cr = s.arena_size in
   let a = s.arena in
   a.(cr) <- size;
-  a.(cr + 1) <- 1 (* learnt *);
+  a.(cr + 1) <- 1 (* learnt *) lor (if safe then 8 else 0);
   a.(cr + 2) <- 0 (* activity 0.0 *);
   a.(cr + 3) <- uid;
   for i = 0 to size - 1 do
@@ -1118,6 +1243,15 @@ let record_learnt s ants =
     attach s cr;
     cla_bump s cr
   end;
+  (* Export: share-safe learnts are implied by the shareable axioms
+     (the instance's hard clauses), so a peer solving any relaxation of
+     the same instance may attach them soundly. *)
+  (match s.export_hook with
+  | Some f when safe && size > 0 && size <= export_max_len && lbd <= export_max_lbd
+    ->
+      s.n_exported <- s.n_exported + 1;
+      f ~lbd (Array.init size (fun i -> Lit.of_int_unsafe (Vec.get lits i)))
+  | _ -> ());
   cr
 
 let search s assumptions max_conflicts =
@@ -1136,9 +1270,9 @@ let search s assumptions max_conflicts =
         outcome := Some S_unsat
       end
       else begin
-        let back_level, ants = analyze s confl in
+        let back_level, ants, safe = analyze s confl in
         cancel_until s back_level;
-        let cr = record_learnt s ants in
+        let cr = record_learnt s ants ~safe in
         enqueue s (Vec.get s.scratch_learnt 0) cr;
         var_decay_activity s;
         cla_decay_activity s;
@@ -1212,7 +1346,10 @@ let solve ?(assumptions = [||]) ?(deadline = infinity) ?(conflict_budget = max_i
     s.max_learnts <-
       Float.max s.max_learnts
         (Float.max 1000. (float_of_int (Vec.size s.clauses) /. 3.));
-    let result = ref None in
+    (* Foreign clauses from portfolio peers attach at level 0 only: here,
+       before the first restart window, and between windows below. *)
+    drain_imports s;
+    let result = ref (if s.ok then None else Some Unsat) in
     let restart = ref 0 in
     while (match !result with None -> true | Some _ -> false) do
       let window = int_of_float (luby !restart *. float_of_int restart_base) in
@@ -1222,7 +1359,9 @@ let solve ?(assumptions = [||]) ?(deadline = infinity) ?(conflict_budget = max_i
       | S_sat -> result := Some Sat
       | S_unsat -> result := Some Unsat
       | S_budget -> result := Some Unknown
-      | S_restart -> ()
+      | S_restart ->
+          drain_imports s;
+          if not s.ok then result := Some Unsat
     done;
     let r = match !result with Some r -> r | None -> assert false in
     (match r with

@@ -61,18 +61,28 @@ val num_learnts : t -> int
 (** Learnt clauses currently alive — the ones an incremental caller
     carries over to its next [solve]. *)
 
-val add_clause : ?id:int -> ?selector:Msu_cnf.Lit.t -> t -> Msu_cnf.Lit.t array -> unit
+val add_clause :
+  ?id:int -> ?shareable:bool -> ?selector:Msu_cnf.Lit.t -> t -> Msu_cnf.Lit.t array -> unit
 (** Adds a clause.  [id >= 0] marks it as tracked for core extraction;
     ids need not be distinct from variable numbering but must be unique
     among tracked clauses.  Duplicate literals are removed; tautologies
     are dropped.  May set the solver unsatisfiable immediately (see
     {!okay}).
 
+    [shareable] (default [false]) marks the clause as an axiom valid for
+    the {e whole instance} — in the MaxSAT setting, an original hard
+    clause, as opposed to relaxed softs, cardinality encodings or
+    retirement units, which are artifacts of one solver's current
+    relaxation.  Learnt clauses derived from shareable axioms alone are
+    tagged share-safe and offered to the {!on_export} hook; everything
+    else never leaves this solver.
+
     With [~selector:s] the clause is stored as [lits \/ s] and
     registered under [s]'s variable: solving with the assumption
     [neg s] enforces the original clause, while {!retire_selector}
     permanently disables the whole group.  The selector variable should
-    be fresh (used by no other clause except as a selector). *)
+    be fresh (used by no other clause except as a selector).  Selector
+    clauses are never shareable. *)
 
 val add_clause_l : ?id:int -> t -> Msu_cnf.Lit.t list -> unit
 
@@ -91,6 +101,47 @@ val on_event : t -> (Msu_obs.Obs.Event.kind -> unit) -> unit
 (** Install the observability hook: the solver reports [Restart] and
     [Reduce_db] through it (the caller stamps ids/timestamps).  Replaces
     any previous hook; defaults to a no-op. *)
+
+(** {2 Portfolio clause sharing}
+
+    Workers racing on the same instance exchange short, low-LBD learnt
+    clauses.  Soundness rests on a taint discipline: every clause
+    carries a {e share-safe} bit — set for axioms added with
+    [~shareable:true] (the instance's hard clauses) and for learnts
+    whose entire derivation (conflict antecedents, minimization reasons,
+    resolved level-0 units) is share-safe.  A share-safe clause is
+    implied by the hard clauses alone, so it holds for the instance
+    itself, independent of any worker's relaxation variables, selectors
+    or cardinality encodings — which is exactly what makes it sound to
+    attach in a peer. *)
+
+val on_export : t -> (lbd:int -> Msu_cnf.Lit.t array -> unit) -> unit
+(** Install the learnt-clause export hook: called (synchronously, from
+    conflict analysis) for every share-safe learnt with LBD <= 4 and at
+    most 8 literals.  The array is fresh — the callee owns it. *)
+
+val set_importer : t -> (unit -> Msu_cnf.Lit.t array list) -> unit
+(** Install the import source.  The solver drains it at decision level 0
+    only — on [solve] entry and at every restart boundary — and attaches
+    each clause with {!import_clause}, so watcher invariants are never
+    touched mid-search. *)
+
+val import_clause : t -> Msu_cnf.Lit.t array -> unit
+(** Attach a clause learnt by a peer solving the same instance.  The
+    caller asserts the clause is implied by the instance's hard clauses.
+    Must be called at decision level 0.  The clause is attached as a
+    share-safe learnt (the reduce-db policy may drop it again); empty or
+    level-0-falsified imports refute the solver ({!okay} turns false);
+    unit imports propagate immediately.  A no-op when a DRUP log is
+    attached (foreign clauses would invalidate the certificate) or when
+    the solver is already refuted. *)
+
+val exported_clauses : t -> int
+(** Learnt clauses offered to the {!on_export} hook so far. *)
+
+val imported_clauses : t -> int
+(** Foreign clauses accepted by {!import_clause} so far (tautologies and
+    duplicates within the clause removed before counting). *)
 
 val solve :
   ?assumptions:Msu_cnf.Lit.t array ->

@@ -124,6 +124,8 @@ let all_kinds =
     Event.Queue_dequeue { depth = 4 };
     Event.Worker_spawn { pid = 4242 };
     Event.Worker_exit { pid = 4242; status = 0 };
+    Event.Clause_shared { lbd = 2; size = 5 };
+    Event.Incumbent { cost = 7 };
     Event.Note "free-form narration, with spaces";
   ]
 

@@ -179,6 +179,25 @@ let test_drup_text_format () =
   let text = Format.asprintf "%a" Drup.pp log in
   Alcotest.(check string) "drup text" "1 -2 0\nd 1 -2 0\n0\n" text
 
+let test_drup_duplicate_literals () =
+  (* Regression: the formula mirror records clauses verbatim, including
+     repeated literals, while the solver dedupes at add time.  The
+     replay must not count a repeat as two distinct unassigned literals
+     (which would hide unit propagations and fail sound refutations),
+     and deletions logged from the solver's deduped form must still
+     find the raw mirrored clause. *)
+  let f = formula_of_clauses 2 [ [ 1; 1 ]; [ -1; 2; 2 ]; [ -2; -2 ] ] in
+  let result, log = refute_with_log f in
+  Alcotest.(check bool) "refuted" true (result = Solver.Unsat);
+  Alcotest.(check bool) "proof with duplicate-literal clauses checks" true
+    (Drup.check ~require_empty:true f log);
+  let log = Drup.create () in
+  Drup.log_delete log (clause [ 1 ]);
+  (* [1 1] is gone, so the empty clause is underivable. *)
+  Drup.log_add log [||];
+  Alcotest.(check bool) "deduped delete removes the raw clause" false
+    (Drup.check f log)
+
 let prop_drup_valid_on_unsat =
   QCheck.Test.make ~name:"drup proofs check on random refutations" ~count:30
     QCheck.small_int
@@ -314,6 +333,8 @@ let suite =
     Alcotest.test_case "drup rejects bogus proofs" `Quick test_drup_rejects_bogus;
     Alcotest.test_case "drup respects deletions" `Quick test_drup_deletion_then_use;
     Alcotest.test_case "drup text format" `Quick test_drup_text_format;
+    Alcotest.test_case "drup with duplicate literals" `Quick
+      test_drup_duplicate_literals;
     QCheck_alcotest.to_alcotest prop_drup_valid_on_unsat;
     Alcotest.test_case "mcs simple pair" `Quick test_mcs_simple;
     Alcotest.test_case "mcs of satisfiable" `Quick test_mcs_satisfiable;
