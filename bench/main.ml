@@ -12,6 +12,12 @@
      ablation-incremental
                    persistent-solver vs rebuild-per-iteration modes on the
                    industrial and debugging suites (BENCH_incremental.json)
+     ablation-inprocess
+                   inprocessing (BVE, subsumption, failed-literal
+                   probing at restart boundaries) on vs off across the
+                   core-guided algorithms, with pass counters, optima
+                   cross-checks and a per-suite conflicts+propagations /
+                   wall-clock gate (BENCH_inprocess.json)
      ablation-portfolio
                    bound-sharing portfolio vs its constituent single
                    algorithms, incl. a complementary-hardness mixed
@@ -563,6 +569,205 @@ let ablation_incremental () =
       suites
   in
   write_bench_json "incremental" [ ("suites", Json.List suite_docs) ]
+
+(* Inprocessing ablation.  Every instance is solved by each core-guided
+   algorithm twice — inprocessing (BVE + subsumption + failed-literal
+   probing at restart boundaries) on and off, both in incremental mode —
+   under identical per-instance guards.  Wall clock, guard conflicts and
+   propagations are aggregated per mode, the engine's pass counters are
+   read as deltas from the Msu_obs registry, and optima are cross-checked
+   per instance.  The per-suite "improved" flag is the acceptance gate:
+   inprocessing must strictly reduce conflicts+propagations (or wall
+   clock) on at least one suite with optima identical.  Aggregates land
+   in BENCH_inprocess.json. *)
+
+type inpro_totals = {
+  ip_wall : float;
+  ip_conflicts : int;
+  ip_propagations : int;
+  ip_solved : int;
+  ip_optima : (string * int option) list;
+  ip_passes : int;
+  ip_eliminated : int;
+  ip_subsumed : int;
+  ip_strengthened : int;
+  ip_failed : int;
+}
+
+(* Handles onto the counters Msu_sat.Inprocess bumps; [Metrics.counter]
+   is idempotent per name, so these alias the solver's own counters. *)
+let inpro_counters =
+  lazy
+    (List.map
+       (fun name -> Obs.Metrics.counter name)
+       [
+         "msu_inprocess_passes_total";
+         "msu_inprocess_eliminated_vars_total";
+         "msu_inprocess_subsumed_clauses_total";
+         "msu_inprocess_strengthened_lits_total";
+         "msu_inprocess_failed_literals_total";
+       ])
+
+let run_inpro ~inprocess solve instances =
+  let snapshot () = List.map Obs.Metrics.counter_value (Lazy.force inpro_counters) in
+  let before = snapshot () in
+  let wall = ref 0. in
+  let conflicts = ref 0 in
+  let props = ref 0 in
+  let solved = ref 0 in
+  let optima =
+    List.map
+      (fun (name, _, w) ->
+        let t0 = Unix.gettimeofday () in
+        let deadline = t0 +. !timeout in
+        let g = Msu_guard.Guard.create ~deadline () in
+        let config =
+          {
+            T.default_config with
+            T.deadline;
+            T.guard = Some g;
+            T.incremental = true;
+            T.inprocess = inprocess;
+          }
+        in
+        let r = solve config w in
+        wall := !wall +. (Unix.gettimeofday () -. t0);
+        conflicts := !conflicts + Msu_guard.Guard.conflicts g;
+        props := !props + Msu_guard.Guard.propagations g;
+        match r.T.outcome with
+        | T.Optimum c ->
+            incr solved;
+            (name, Some c)
+        | _ -> (name, None))
+      instances
+  in
+  let deltas = List.map2 (fun a b -> a - b) (snapshot ()) before in
+  match deltas with
+  | [ passes; eliminated; subsumed; strengthened; failed ] ->
+      {
+        ip_wall = !wall;
+        ip_conflicts = !conflicts;
+        ip_propagations = !props;
+        ip_solved = !solved;
+        ip_optima = optima;
+        ip_passes = passes;
+        ip_eliminated = eliminated;
+        ip_subsumed = subsumed;
+        ip_strengthened = strengthened;
+        ip_failed = failed;
+      }
+  | _ -> assert false
+
+let inpro_mismatches on off =
+  List.filter_map
+    (fun (name, a) ->
+      match (a, List.assoc_opt name off.ip_optima) with
+      | Some x, Some (Some y) when x <> y -> Some (name, x, y)
+      | _ -> None)
+    on.ip_optima
+
+let json_inpro m =
+  Json.Obj
+    [
+      ("wall_clock_s", Json.Num m.ip_wall);
+      ("conflicts", Json.Int m.ip_conflicts);
+      ("propagations", Json.Int m.ip_propagations);
+      ("solved", Json.Int m.ip_solved);
+      ("passes", Json.Int m.ip_passes);
+      ("eliminated_vars", Json.Int m.ip_eliminated);
+      ("subsumed_clauses", Json.Int m.ip_subsumed);
+      ("strengthened_lits", Json.Int m.ip_strengthened);
+      ("failed_literals", Json.Int m.ip_failed);
+    ]
+
+let ablation_inprocess () =
+  let subsample l = if !smoke then List.filteri (fun i _ -> i mod 3 = 0) l else l in
+  let suites =
+    [
+      ("industrial", subsample (to_wcnf (Suites.industrial ~scale:!scale ~seed:!seed ())));
+      ("debugging", subsample (to_wcnf (Suites.debugging ~scale:!scale ~seed:!seed ())));
+    ]
+  in
+  let algorithms =
+    [
+      ("msu1", fun config w -> Msu_maxsat.Msu1.solve ~config w);
+      ("msu3", fun config w -> Msu_maxsat.Msu3.solve ~config w);
+      ("msu4-v2", fun config w -> Msu_maxsat.Msu4.solve ~config w);
+      ("oll", fun config w -> Msu_maxsat.Oll.solve ~config w);
+      ("wpm1", fun config w -> Msu_maxsat.Wpm1.solve ~config w);
+    ]
+  in
+  let suite_docs =
+    List.map
+      (fun (suite_name, instances) ->
+        Printf.printf
+          "\nAblation I - inprocessing on vs off: %s suite (%d instances, timeout %.1fs)\n"
+          suite_name (List.length instances) !timeout;
+        Printf.printf "  %-10s %-5s %7s %9s %11s %13s %6s %6s %6s %6s %6s\n" "algorithm"
+          "mode" "solved" "wall" "conflicts" "propagations" "passes" "elim" "subs"
+          "str" "fail";
+        let on_wall = ref 0. and off_wall = ref 0. in
+        let on_work = ref 0 and off_work = ref 0 in
+        let all_match = ref true in
+        let alg_docs =
+          List.map
+            (fun (alg_name, solve) ->
+              let on = run_inpro ~inprocess:true solve instances in
+              let off = run_inpro ~inprocess:false solve instances in
+              let show label (m : inpro_totals) =
+                Printf.printf "  %-10s %-5s %3d/%-3d %8.2fs %11d %13d %6d %6d %6d %6d %6d\n%!"
+                  alg_name label m.ip_solved (List.length instances) m.ip_wall
+                  m.ip_conflicts m.ip_propagations m.ip_passes m.ip_eliminated
+                  m.ip_subsumed m.ip_strengthened m.ip_failed
+              in
+              show "on" on;
+              show "off" off;
+              on_wall := !on_wall +. on.ip_wall;
+              off_wall := !off_wall +. off.ip_wall;
+              on_work := !on_work + on.ip_conflicts + on.ip_propagations;
+              off_work := !off_work + off.ip_conflicts + off.ip_propagations;
+              let mismatches = inpro_mismatches on off in
+              if mismatches <> [] then all_match := false;
+              List.iter
+                (fun (name, a, b) ->
+                  Printf.printf "  OPTIMA MISMATCH %s/%s: inprocess-on %d vs off %d\n%!"
+                    alg_name name a b)
+                mismatches;
+              Json.Obj
+                [
+                  ("algorithm", Json.Str alg_name);
+                  ("inprocess_on", json_inpro on);
+                  ("inprocess_off", json_inpro off);
+                  ("optima_match", Json.Bool (mismatches = []));
+                ])
+            algorithms
+        in
+        let improved =
+          !all_match && (!on_work < !off_work || !on_wall < !off_wall)
+        in
+        Printf.printf
+          "  suite totals: on %.2fs / %d conflicts+propagations, off %.2fs / %d -> %s\n%!"
+          !on_wall !on_work !off_wall !off_work
+          (if improved then "IMPROVED" else "not improved");
+        Json.Obj
+          [
+            ("suite", Json.Str suite_name);
+            ("instances", Json.Int (List.length instances));
+            ("algorithms", Json.List alg_docs);
+            ( "totals",
+              Json.Obj
+                [
+                  ("on_wall_clock_s", Json.Num !on_wall);
+                  ("on_conflicts_plus_propagations", Json.Int !on_work);
+                  ("off_wall_clock_s", Json.Num !off_wall);
+                  ("off_conflicts_plus_propagations", Json.Int !off_work);
+                ] );
+            ("optima_match", Json.Bool !all_match);
+            ("improved", Json.Bool improved);
+          ])
+      suites
+  in
+  write_bench_json "inprocess" [ ("suites", Json.List suite_docs) ]
 
 (* Portfolio-vs-singles ablation, v2.  Every instance is solved by each
    constituent algorithm alone and by the portfolio in four variants —
@@ -1827,6 +2032,7 @@ let () =
   | "ablation-msu" -> ablation_msu ()
   | "ablation-wpm1" -> ablation_wpm1 ()
   | "ablation-incremental" -> ablation_incremental ()
+  | "ablation-inprocess" -> ablation_inprocess ()
   | "ablation-portfolio" -> ablation_portfolio ()
   | "ablation-service" -> ablation_service ()
   | "ablation-trace" -> ablation_trace ()
@@ -1844,6 +2050,7 @@ let () =
       ablation_msu ();
       ablation_wpm1 ();
       ablation_incremental ();
+      ablation_inprocess ();
       ablation_portfolio ();
       ablation_service ();
       ablation_trace ();

@@ -76,9 +76,48 @@ let solve_remote ~quiet ~sock ~options w =
           T.elapsed = resp.Client.elapsed;
         }
 
+(* --presimplify: SatELite-style preprocessing of the hard clauses with
+   every soft-clause variable frozen, so the optimum is preserved.
+   Returns the instance to solve plus a model-restore function back to
+   the original variables; [None] when preprocessing refutes the hard
+   clauses outright. *)
+let presimplify_instance ~quiet w =
+  let module F = Msu_cnf.Formula in
+  let module W = Msu_cnf.Wcnf in
+  let f = F.create () in
+  F.ensure_vars f (W.num_vars w);
+  W.iter_hard (fun _ c -> ignore (F.add_clause f c)) w;
+  let seen = Hashtbl.create 256 in
+  let frozen = ref [] in
+  W.iter_soft
+    (fun _ c _ ->
+      Array.iter
+        (fun l ->
+          let v = Msu_cnf.Lit.var l in
+          if not (Hashtbl.mem seen v) then begin
+            Hashtbl.add seen v ();
+            frozen := v :: !frozen
+          end)
+        c)
+    w;
+  match Msu_sat.Simplify.simplify ~frozen:!frozen f with
+  | None -> None
+  | Some r ->
+      let w' = W.create () in
+      W.ensure_vars w' (W.num_vars w);
+      F.iter_clauses (fun _ c -> W.add_hard w' c) r.Msu_sat.Simplify.formula;
+      W.iter_soft (fun _ c wt -> ignore (W.add_soft w' ~weight:wt c)) w;
+      if not quiet then
+        Printf.printf
+          "c presimplify: %d vars eliminated, %d clauses removed, %d literals strengthened\n"
+          r.Msu_sat.Simplify.eliminated_vars r.Msu_sat.Simplify.removed_clauses
+          r.Msu_sat.Simplify.strengthened;
+      Some (w', r.Msu_sat.Simplify.restore_model)
+
 let run file algorithm encoding timeout conflicts propagations memory_mb verify
     verbose trace_file stats_json no_geq1 no_incremental quiet incomplete
-    portfolio jobs share_clauses sls_worker connect priority no_cache =
+    portfolio jobs share_clauses sls_worker connect priority no_cache
+    no_inprocess presimplify =
   let w =
     try Ok (Msu_cnf.Dimacs.parse_wcnf_file file) with
     | Msu_cnf.Dimacs.Parse_error (line, msg) ->
@@ -89,7 +128,16 @@ let run file algorithm encoding timeout conflicts propagations memory_mb verify
   | Error msg ->
       prerr_endline ("c error: " ^ msg);
       exit_error
-  | Ok w ->
+  | Ok w -> (
+      let pre =
+        if presimplify then presimplify_instance ~quiet w
+        else Some (w, fun m -> m)
+      in
+      match pre with
+      | None ->
+          print_endline "s UNSATISFIABLE";
+          exit_hard_unsat
+      | Some (w_solve, restore) ->
       let deadline =
         match timeout with None -> infinity | Some t -> Unix.gettimeofday () +. t
       in
@@ -124,6 +172,7 @@ let run file algorithm encoding timeout conflicts propagations memory_mb verify
           T.max_memory_words =
             (* bytes -> words on a 64-bit runtime *)
             Option.map (fun mb -> mb * 1024 * 1024 / 8) memory_mb;
+          T.inprocess = not no_inprocess;
         }
       in
       (* Snapshot for the GC-pressure delta reported by --stats-json.
@@ -155,7 +204,7 @@ let run file algorithm encoding timeout conflicts propagations memory_mb verify
                 use_cache = not no_cache;
               }
             in
-            (try solve_remote ~quiet ~sock ~options w
+            (try solve_remote ~quiet ~sock ~options w_solve
              with Client.Error msg -> Error msg)
         | None ->
             Ok
@@ -167,7 +216,7 @@ let run file algorithm encoding timeout conflicts propagations memory_mb verify
                           Some (fun m -> print_endline ("c " ^ m))
                         else None)
                      ~sink ~handle_sigint:true ~share_clauses
-                     ~sls_worker w
+                     ~sls_worker w_solve
                  in
                  if not quiet then
                    List.iter
@@ -183,14 +232,17 @@ let run file algorithm encoding timeout conflicts propagations memory_mb verify
                    pr.P.disagreements;
                  P.to_result pr
                end
-               else if incomplete then Msu_maxsat.Local_search.solve ~config w
-               else M.solve_supervised ~config algorithm w)
+               else if incomplete then Msu_maxsat.Local_search.solve ~config w_solve
+               else M.solve_supervised ~config algorithm w_solve)
       in
       match solved with
       | Error msg ->
           prerr_endline ("c error: " ^ msg);
           exit_error
       | Ok r -> (
+      (* Map the model back through the preprocessing eliminations so
+         printing and verification see the original variables. *)
+      let r = { r with T.model = Option.map restore r.T.model } in
       if not quiet then
         Printf.printf "c stats: %d sat calls, %d cores, %d blocking vars, %.3fs\n"
           r.T.stats.T.sat_calls r.T.stats.T.cores r.T.stats.T.blocking_vars r.T.elapsed;
@@ -276,7 +328,7 @@ let run file algorithm encoding timeout conflicts propagations memory_mb verify
           exit_error
         end
       end
-      else code)
+      else code))
 
 open Cmdliner
 
@@ -451,6 +503,25 @@ let no_cache =
           "With $(b,--connect): bypass the server's instance cache and force \
            a fresh solve.")
 
+let no_inprocess =
+  Arg.(
+    value & flag
+    & info [ "no-inprocess" ]
+        ~doc:
+          "Disable inprocessing (bounded variable elimination, subsumption, \
+           failed-literal probing) inside the incremental solver between \
+           core iterations.  Mainly for ablation.")
+
+let presimplify =
+  Arg.(
+    value & flag
+    & info [ "presimplify" ]
+        ~doc:
+          "SatELite-style preprocessing of the hard clauses before solving; \
+           variables occurring in soft clauses are frozen so the optimum is \
+           preserved, and the model is mapped back to the original variables \
+           before printing and verification.")
+
 let exits =
   [
     Cmd.Exit.info exit_optimum ~doc:"the optimum was found (s OPTIMUM FOUND).";
@@ -471,6 +542,6 @@ let cmd =
       const run $ file $ algorithm $ encoding $ timeout $ conflicts $ propagations
       $ memory_mb $ verify $ verbose $ trace_file $ stats_json $ no_geq1
       $ no_incremental $ quiet $ incomplete $ portfolio $ jobs $ share_clauses
-      $ sls_worker $ connect $ priority $ no_cache)
+      $ sls_worker $ connect $ priority $ no_cache $ no_inprocess $ presimplify)
 
 let () = exit (Cmd.eval' cmd)

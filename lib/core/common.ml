@@ -91,6 +91,30 @@ let attach_share (cfg : Types.config) s =
       Msu_sat.Solver.on_export s sh.Types.sh_export;
       Msu_sat.Solver.set_importer s sh.Types.sh_drain
 
+(* Wire a persistent solver for inprocessing: enable the automatic
+   restart-boundary pass per [config.inprocess], and wrap its fresh-var
+   source so every encoding variable (totalizer internals and outputs,
+   exactly-one auxiliaries) is frozen on creation — none of them may be
+   eliminated or probed, since the algorithm can re-reference or assume
+   any of them in a later round. *)
+let setup_inprocess (cfg : Types.config) s =
+  Msu_sat.Solver.set_inprocess s cfg.Types.inprocess
+
+let frozen_var s () =
+  let v = Msu_sat.Solver.new_var s in
+  Msu_sat.Solver.freeze s v;
+  v
+
+(* Explicit between-round pass: cheap no-op unless the solver saw real
+   structural change (retired selectors, new encoding clauses) since the
+   last pass.  The threshold scales with database size because a pass
+   sweeps every live clause — on big instances a pass must be earned by
+   proportionally more churn or its overhead dwarfs the search. *)
+let maybe_inprocess (cfg : Types.config) s =
+  if cfg.Types.inprocess then
+    let min_dirty = max 8 (Msu_sat.Solver.num_clauses s / 4) in
+    ignore (Msu_sat.Solver.inprocess ?guard:cfg.Types.guard ~min_dirty s)
+
 let note_marker (cfg : Types.config) m =
   match cfg.progress with
   | Some cell -> Guard.Progress.note_marker cell m

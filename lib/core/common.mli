@@ -47,6 +47,22 @@ val attach_share : Types.config -> Msu_sat.Solver.t -> unit
     share-safety taint tracking has its axioms.  No-op when
     [cfg.share = None]. *)
 
+val setup_inprocess : Types.config -> Msu_sat.Solver.t -> unit
+(** Enable (or not, per [cfg.inprocess]) the solver's automatic
+    restart-boundary inprocessing pass.  Call right after creating a
+    persistent solver. *)
+
+val frozen_var : Msu_sat.Solver.t -> unit -> Msu_cnf.Lit.var
+(** Fresh-variable source for encoding sinks: every variable is frozen
+    on creation, so cardinality-encoding internals and outputs are
+    never eliminated or probed. *)
+
+val maybe_inprocess : Types.config -> Msu_sat.Solver.t -> unit
+(** Run an explicit inprocessing pass on a persistent solver between
+    core rounds, when [cfg.inprocess] is set and enough structural
+    change accumulated since the last pass.  Guard-polled; a deadline
+    aborts the pass cleanly. *)
+
 val note_marker : Types.config -> Msu_guard.Guard.Progress.marker -> unit
 (** Record where in its iteration scheme the algorithm is; rides along
     in warm-resume checkpoints. *)

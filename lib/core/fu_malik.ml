@@ -20,6 +20,7 @@ let run_incremental opts (config : Types.config) w t0 =
   let s = Solver.create ~track_proof:false () in
   Solver.on_event s (Common.event config);
   Common.attach_share config s;
+  Common.setup_inprocess config s;
   Common.Tally.build tally;
   Solver.ensure_vars s (Wcnf.num_vars w);
   Wcnf.iter_hard (fun _ c -> Solver.add_clause ~shareable:true s c) w;
@@ -32,12 +33,17 @@ let run_incremental opts (config : Types.config) w t0 =
       let l = Lit.pos (Solver.new_var s) in
       sel.(i) <- l;
       Hashtbl.replace soft_of_var (Lit.var l) i;
+      (* The rewrite loop re-adds this clause with its original literals
+         every time a core touches it, so its variables are effectively
+         external: letting inprocessing eliminate one just forces a
+         resurrection (and a re-elimination) on the next rewrite. *)
+      Array.iter (fun lit -> Solver.freeze s (Lit.var lit)) c;
       Solver.add_clause ~selector:l s c)
     w;
   let sink =
     Sink.
       {
-        fresh_var = (fun () -> Solver.new_var s);
+        fresh_var = Common.frozen_var s;
         emit =
           (fun c ->
             Common.Tally.encoded tally 1;
@@ -79,7 +85,7 @@ let run_incremental opts (config : Types.config) w t0 =
               let new_bs =
                 List.map
                   (fun i ->
-                    let b = Lit.pos (Solver.new_var s) in
+                    let b = Lit.pos (Common.frozen_var s ()) in
                     blocks.(i) <- b :: blocks.(i);
                     Common.Tally.blocking_var tally;
                     (* Rewrite soft clause i: retire the old selector,
@@ -97,6 +103,7 @@ let run_incremental opts (config : Types.config) w t0 =
               in
               Common.card_event config ~arity:(List.length new_bs) ~bound:1;
               opts.exactly_one sink (Array.of_list new_bs);
+              Common.maybe_inprocess config s;
               incr cost;
               Common.note_lb config !cost;
               Common.trace config (fun () ->

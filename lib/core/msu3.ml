@@ -21,6 +21,7 @@ let solve_incremental (config : Types.config) w t0 =
   let s = Solver.create ~track_proof:false () in
   Solver.on_event s (Common.event config);
   Common.attach_share config s;
+  Common.setup_inprocess config s;
   Common.Tally.build tally;
   Solver.ensure_vars s (Wcnf.num_vars w);
   Wcnf.iter_hard (fun _ c -> Solver.add_clause ~shareable:true s c) w;
@@ -38,7 +39,7 @@ let solve_incremental (config : Types.config) w t0 =
   let sink =
     Sink.
       {
-        fresh_var = (fun () -> Solver.new_var s);
+        fresh_var = Common.frozen_var s;
         emit =
           (fun c ->
             Common.Tally.encoded tally 1;
@@ -114,6 +115,7 @@ let solve_incremental (config : Types.config) w t0 =
               Common.Tally.core ~size:(List.length softs)
                 ~fresh_blocking:(List.length new_leaves) tally;
             Itotalizer.extend sink tot (Array.of_list new_leaves);
+            Common.maybe_inprocess config s;
             Common.card_event config ~arity:(List.length new_leaves) ~bound:(!lambda + 1);
             incr lambda;
             Common.note_lb config !lambda;

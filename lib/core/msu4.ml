@@ -22,6 +22,7 @@ let solve_incremental (config : Types.config) w t0 =
   let s = Solver.create ~track_proof:false () in
   Solver.on_event s (Common.event config);
   Common.attach_share config s;
+  Common.setup_inprocess config s;
   Common.Tally.build tally;
   Solver.ensure_vars s (Wcnf.num_vars w);
   Wcnf.iter_hard (fun _ c -> Solver.add_clause ~shareable:true s c) w;
@@ -39,7 +40,7 @@ let solve_incremental (config : Types.config) w t0 =
   let sink =
     Sink.
       {
-        fresh_var = (fun () -> Solver.new_var s);
+        fresh_var = Common.frozen_var s;
         emit =
           (fun c ->
             Common.Tally.encoded tally 1;
@@ -176,6 +177,7 @@ let solve_incremental (config : Types.config) w t0 =
                     softs
                 in
                 Itotalizer.extend sink tot (Array.of_list new_bs);
+                Common.maybe_inprocess config s;
                 Common.trace config (fun () ->
                     Printf.sprintf "UNSAT: core with %d initial clauses (U=%d)"
                       (List.length softs) !unsat_iters);

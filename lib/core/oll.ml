@@ -23,7 +23,7 @@ type source = Soft | Sum of sum
 let tally_sink tally s =
   Sink.
     {
-      fresh_var = (fun () -> Solver.new_var s);
+      fresh_var = Common.frozen_var s;
       emit =
         (fun c ->
           Common.Tally.encoded tally 1;
@@ -41,13 +41,14 @@ let solve ?(config = Types.default_config) w =
   let s = Solver.create ~track_proof:false () in
   Solver.on_event s (Common.event config);
   Common.attach_share config s;
+  Common.setup_inprocess config s;
   Common.Tally.build tally;
   Solver.ensure_vars s (Wcnf.num_vars w);
   Wcnf.iter_hard (fun _ c -> Solver.add_clause ~shareable:true s c) w;
   let active : (Lit.t, source) Hashtbl.t = Hashtbl.create 64 in
   Wcnf.iter_soft
     (fun _ c _ ->
-      let r = Lit.pos (Solver.new_var s) in
+      let r = Lit.pos (Common.frozen_var s ()) in
       Common.Tally.blocking_var tally;
       Solver.add_clause s (Array.append c [| r |]);
       Hashtbl.replace active (Lit.neg r) Soft)
@@ -153,6 +154,7 @@ let solve ?(config = Types.default_config) w =
                     Hashtbl.replace active
                       (Lit.neg outs.(1))
                       (Sum { counter = Eager_tree tree; bound = 1 }));
+              Common.maybe_inprocess config s;
               loop ())
     end
   in

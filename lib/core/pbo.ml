@@ -9,7 +9,7 @@ module Sink = Msu_cnf.Sink
 let tally_sink tally s =
   Sink.
     {
-      fresh_var = (fun () -> Solver.new_var s);
+      fresh_var = Common.frozen_var s;
       emit =
         (fun c ->
           Common.Tally.encoded tally 1;
@@ -22,12 +22,13 @@ let build_relaxed config tally w =
   let s = Solver.create ~track_proof:false () in
   Solver.on_event s (Common.event config);
   Common.attach_share config s;
+  Common.setup_inprocess config s;
   Common.Tally.build tally;
   Solver.ensure_vars s (Wcnf.num_vars w);
   Wcnf.iter_hard (fun _ c -> Solver.add_clause ~shareable:true s c) w;
   let blocks =
     Array.init (Wcnf.num_soft w) (fun i ->
-        let b = Lit.pos (Solver.new_var s) in
+        let b = Lit.pos (Common.frozen_var s ()) in
         Common.Tally.blocking_var tally;
         Solver.add_clause s (Array.append (Wcnf.soft w i) [| b |]);
         (b, Wcnf.weight w i))
@@ -132,7 +133,11 @@ let linear_incremental config tally w t0 =
           best := Some (cost, model);
           Common.note_ub config cost (Some model);
           Common.note_marker config (Msu_guard.Guard.Progress.At_most cost);
-          if cost = 0 then finish (Types.Optimum 0) (Some model) else loop ()
+          if cost = 0 then finish (Types.Optimum 0) (Some model)
+          else begin
+            Common.maybe_inprocess config s;
+            loop ()
+          end
     end
   and bounds () =
     match !best with

@@ -34,6 +34,10 @@ type config = {
   encoding : Msu_card.Card.encoding;
   core_geq1 : bool;
   incremental : bool;
+  inprocess : bool;
+      (* let the persistent solver run inprocessing passes (BVE,
+         subsumption, probing) at restart boundaries and after core
+         rounds; freezing protects selectors and encoding variables *)
   sink : Msu_obs.Obs.sink;
   solve_id : int;
   guard : Msu_guard.Guard.t option;
@@ -56,6 +60,7 @@ let default_config =
     encoding = Msu_card.Card.Sortnet;
     core_geq1 = true;
     incremental = true;
+    inprocess = true;
     sink = Msu_obs.Obs.null;
     solve_id = 0;
     guard = None;

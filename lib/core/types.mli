@@ -71,6 +71,12 @@ type config = {
       (** keep one SAT solver alive for the whole solve (selectors for
           soft clauses, incremental totalizers for bounds); [false]
           selects the historical rebuild-per-iteration path for ablation *)
+  inprocess : bool;
+      (** let the persistent solver simplify its clause database between
+          core rounds and at restart boundaries (bounded variable
+          elimination, subsumption, failed-literal probing); selectors
+          and encoding variables are frozen, so optima are unaffected.
+          Ignored on the non-incremental paths and under DRUP logging *)
   sink : Msu_obs.Obs.sink;
       (** where the solve publishes its typed event stream ({!Msu_obs.Obs.Event});
           [Obs.null] disables observability at one branch per event *)

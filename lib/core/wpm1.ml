@@ -28,6 +28,7 @@ let solve_incremental (config : Types.config) w t0 =
   let s = Solver.create ~track_proof:false () in
   Solver.on_event s (Common.event config);
   Common.attach_share config s;
+  Common.setup_inprocess config s;
   Common.Tally.build tally;
   Solver.ensure_vars s (Wcnf.num_vars w);
   Wcnf.iter_hard (fun _ c -> Solver.add_clause ~shareable:true s c) w;
@@ -39,6 +40,10 @@ let solve_incremental (config : Types.config) w t0 =
     soft.sel <- l;
     Msu_cnf.Vec.push softs soft;
     Hashtbl.replace soft_of_var (Lit.var l) i;
+    (* Core splits re-add this clause with its original literals, so the
+       variables are effectively external: an eliminated one would only
+       be resurrected (and re-eliminated) on the next split. *)
+    Array.iter (fun lit -> Solver.freeze s (Lit.var lit)) soft.lits;
     Solver.add_clause ~selector:l s
       (Array.append soft.lits (Array.of_list soft.blocks));
     i
@@ -50,7 +55,7 @@ let solve_incremental (config : Types.config) w t0 =
   let sink =
     Sink.
       {
-        fresh_var = (fun () -> Solver.new_var s);
+        fresh_var = Common.frozen_var s;
         emit =
           (fun c ->
             Common.Tally.encoded tally 1;
@@ -123,7 +128,7 @@ let solve_incremental (config : Types.config) w t0 =
                              blocks = soft.blocks;
                              sel = Lit.pos 0;
                            });
-                    let b = Lit.pos (Solver.new_var s) in
+                    let b = Lit.pos (Common.frozen_var s ()) in
                     soft.weight <- wmin;
                     soft.blocks <- b :: soft.blocks;
                     Common.Tally.blocking_var tally;
@@ -139,6 +144,7 @@ let solve_incremental (config : Types.config) w t0 =
               in
               Common.card_event config ~arity:(List.length new_bs) ~bound:1;
               Msu_card.Card.exactly_one sink (Array.of_list new_bs);
+              Common.maybe_inprocess config s;
               cost := !cost + wmin;
               incr rounds;
               Common.note_lb config !cost;

@@ -171,8 +171,8 @@ let resolve a b v =
   in
   if tautology then None else Some (Array.of_list merged)
 
-let try_eliminate st ~max_occ ~max_resolvent v =
-  if st.fixed.(v) >= 0 then false
+let try_eliminate st ~protect ~max_occ ~max_resolvent v =
+  if protect.(v) || st.fixed.(v) >= 0 then false
   else begin
     let pos = occurrences st (2 * v) and neg = occurrences st ((2 * v) + 1) in
     let np = List.length pos and nn = List.length neg in
@@ -227,9 +227,16 @@ type result = {
   strengthened : int;
 }
 
-let simplify ?guard ?(max_occ = 10) ?(max_resolvent = 16) f =
+let simplify ?guard ?(frozen = []) ?(max_occ = 10) ?(max_resolvent = 16) f =
   let poll () = match guard with None -> () | Some g -> Msu_guard.Guard.check g in
   let n_vars = Formula.num_vars f in
+  (* Frozen variables keep their semantics for the caller (they appear
+     in clauses held outside the formula, e.g. the softs of a MaxSAT
+     instance), so elimination must never resolve them away.  Unit
+     propagation and subsumption are still fine: they preserve logical
+     equivalence over all variables. *)
+  let protect = Array.make (max n_vars 1) false in
+  List.iter (fun v -> if v >= 0 && v < n_vars then protect.(v) <- true) frozen;
   let st =
     {
       n_vars;
@@ -274,7 +281,7 @@ let simplify ?guard ?(max_occ = 10) ?(max_resolvent = 16) f =
       let e = ref false in
       for v = 0 to n_vars - 1 do
         if v land 0xff = 0 then poll ();
-        if try_eliminate st ~max_occ ~max_resolvent v then e := true
+        if try_eliminate st ~protect ~max_occ ~max_resolvent v then e := true
       done;
       propagate_units st;
       continue_ := s || !e
@@ -287,6 +294,15 @@ let simplify ?guard ?(max_occ = 10) ?(max_resolvent = 16) f =
         if c.alive then
           ignore (Formula.add_clause out (Array.map Lit.of_int_unsafe c.lits)))
       st.clauses;
+    (* A frozen variable fixed by top-level propagation must stay forced
+       in the output: the caller holds clauses mentioning it outside
+       [f], and without the unit a model of the output could flip it. *)
+    for v = 0 to n_vars - 1 do
+      if protect.(v) && st.fixed.(v) >= 0 then
+        ignore
+          (Formula.add_clause out
+             [| Lit.of_int_unsafe ((2 * v) + if st.fixed.(v) = 1 then 0 else 1) |])
+    done;
     let fixed = Array.copy st.fixed in
     let eliminations = st.eliminations in
     let restore_model model =

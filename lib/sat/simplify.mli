@@ -31,15 +31,21 @@ type result = {
 
 val simplify :
   ?guard:Msu_guard.Guard.t ->
+  ?frozen:int list ->
   ?max_occ:int ->
   ?max_resolvent:int ->
   Msu_cnf.Formula.t ->
   result option
 (** [simplify f] returns [None] when top-level propagation refutes [f]
-    (it is unsatisfiable outright).  [max_occ] (default 10) bounds the
-    occurrence count of variables considered for elimination;
-    [max_resolvent] (default 16) bounds resolvent length.  [guard] is
-    polled between passes and every 256 elimination candidates;
-    preprocessing can run for a long time on large inputs, and must not
-    be able to starve a deadline.
+    (it is unsatisfiable outright).  [frozen] lists variables that must
+    never be eliminated — use it for variables that also occur in
+    clauses the caller holds outside [f] (e.g. the soft clauses of a
+    MaxSAT instance, whose cost would silently change if a variable
+    they mention were resolved away).  Unit propagation and subsumption
+    still apply to frozen variables; only elimination is blocked.
+    [max_occ] (default 10) bounds the occurrence count of variables
+    considered for elimination; [max_resolvent] (default 16) bounds
+    resolvent length.  [guard] is polled between passes and every 256
+    elimination candidates; preprocessing can run for a long time on
+    large inputs, and must not be able to starve a deadline.
     @raise Msu_guard.Guard.Interrupt when the guard trips. *)

@@ -35,6 +35,18 @@ type psource =
 
 type result = Sat | Unsat | Unknown
 
+(* Resolution witness of an eliminated variable: the original clauses
+   that contained it, saved (with their proof uids and share-safety) so
+   [model] can extend assignments over the variable and a later
+   [add_clause] naming it can re-introduce them verbatim.  [wlive] goes
+   false on re-introduction; the entry stays in the stack so replay
+   order is preserved for the variables still eliminated. *)
+type witness = {
+  wvar : int;
+  mutable wlive : bool;
+  wclauses : (int * bool * int array) list; (* proof uid, share-safe, sorted lits *)
+}
+
 type stats = {
   decisions : int;
   propagations : int;
@@ -80,6 +92,25 @@ type t = {
      and marks its clauses removed; the next compaction reclaims them
      and drops their watchers. *)
   selector_groups : (int, int list ref) Hashtbl.t;
+  (* Inprocessing state.  [frozen] variables (selectors, soft/blocking
+     vars, totalizer outputs) may never be eliminated or probed;
+     [assumed] marks the current [solve] call's assumption variables as
+     transiently protected; [elim] flags eliminated variables, whose
+     resolution witnesses live in [witnesses] (newest first) and
+     [witness_of].  [dirty] counts structural changes since the last
+     pass, gating the automatic restart-boundary pass. *)
+  mutable frozen : Bytes.t;
+  mutable assumed : Bytes.t;
+  mutable elim : Bytes.t;
+  mutable witnesses : witness list;
+  witness_of : (int, witness) Hashtbl.t;
+  mutable dirty : int;
+  mutable inpro_backoff : int;
+      (* threshold multiplier, doubled after a pass that accomplished
+         nothing (this formula has nothing left to simplify), reset by a
+         productive one *)
+  mutable inprocess_on : bool;
+  inpro_totals : Inprocess.stats;
   mutable order : Idx_heap.t;
   clauses : int Vec.t; (* problem clause refs *)
   learnts : int Vec.t; (* learnt clause refs *)
@@ -188,6 +219,17 @@ let create ?(track_proof = true) ?(debug = false) () =
       watch_data = [||];
       watch_size = [||];
       selector_groups = Hashtbl.create 64;
+      frozen = Bytes.empty;
+      assumed = Bytes.empty;
+      elim = Bytes.empty;
+      witnesses = [];
+      witness_of = Hashtbl.create 16;
+      dirty = 0;
+      inpro_backoff = 1;
+      (* Off by default: raw solver users (drivers, benches) see the
+         classic CDCL; MaxSAT algorithms opt in via [set_inprocess]. *)
+      inprocess_on = false;
+      inpro_totals = Inprocess.zero_stats ();
       order = Idx_heap.create ~score:(fun _ -> 0.);
       clauses = Vec.create ~dummy:0;
       learnts = Vec.create ~dummy:0;
@@ -337,6 +379,9 @@ let ensure_vars s n =
     s.reason <- grow_array s.reason n (-1);
     s.unit_proof <- grow_array s.unit_proof n (-1);
     s.unit_safe <- grow_bytes s.unit_safe n;
+    s.frozen <- grow_bytes s.frozen n;
+    s.assumed <- grow_bytes s.assumed n;
+    s.elim <- grow_bytes s.elim n;
     s.activity <- grow_array s.activity n 0.;
     Idx_heap.retarget s.order s.activity;
     s.polarity <- grow_bytes s.polarity n;
@@ -362,6 +407,15 @@ let new_var s =
   let v = s.num_vars in
   ensure_vars s (v + 1);
   v
+
+let freeze s v =
+  ensure_vars s (v + 1);
+  Bytes.unsafe_set s.frozen v '\001'
+
+let frozen s v = v < s.num_vars && Bytes.get s.frozen v <> '\000'
+let is_eliminated s v = v < s.num_vars && Bytes.get s.elim v <> '\000'
+let set_inprocess s b = s.inprocess_on <- b
+let inprocess_totals s = s.inpro_totals
 
 let value_of s l =
   let a = Array.unsafe_get s.assigns (l lsr 1) in
@@ -660,7 +714,16 @@ let rec compact s =
   in
   sweep s.clauses;
   sweep s.learnts;
-  Hashtbl.iter (fun _ group -> group := List.map reloc !group) s.selector_groups;
+  (* Inprocessing (subsumption, strengthening, elimination) can mark
+     individual group members removed while the group stays registered;
+     drop those here instead of resurrecting them through [reloc]. *)
+  Hashtbl.iter
+    (fun _ group ->
+      group :=
+        List.filter_map
+          (fun cr -> if old.(cr + 1) land 2 <> 0 then None else Some (reloc cr))
+          !group)
+    s.selector_groups;
   let reclaimed = s.arena_size - !nsize in
   s.arena <- na;
   s.arena_size <- !nsize;
@@ -751,6 +814,23 @@ and check_invariants ?(strict = false) s =
               sel cr)
         !group)
     s.selector_groups;
+  for v = 0 to s.num_vars - 1 do
+    if Bytes.get s.elim v <> '\000' && Bytes.get s.frozen v <> '\000' then
+      failf "solver invariant: frozen variable %d was eliminated" v
+  done;
+  (* Elimination removes every problem clause mentioning the variable;
+     only learnts (implied, hence harmless) may still name it. *)
+  Vec.iter
+    (fun cr ->
+      if not (c_removed a cr) then
+        for i = 0 to c_size a cr - 1 do
+          let v = c_lit a cr i lsr 1 in
+          if Bytes.get s.elim v <> '\000' then
+            failf
+              "solver invariant: live problem clause %d mentions eliminated variable %d"
+              cr v
+        done)
+    s.clauses;
   if strict && s.wasted <> 0 then
     failf "solver invariant: %d wasted words right after compaction" s.wasted
 
@@ -784,6 +864,79 @@ let record_refutation s cr =
       (Array.init (c_size a cr) (fun i -> c_lit a cr i))
   end
 
+(* Install a clause derived by inprocessing — a strengthening or
+   elimination resolvent, or a witness clause re-added by [unelim].
+   [lits] are packed, deduplicated and non-tautological; the proof uid
+   is supplied by the caller so resolution steps cite their exact
+   parents.  The clause is registered into the selector group of any
+   literal whose variable owns a group, keeping [retire_selector]
+   coverage exact under clause rewriting.  Returns the new clause ref,
+   or -1 when the clause became a level-0 unit or refuted the
+   formula. *)
+let install_derived s ~uid ~safe lits =
+  assert (decision_level s = 0);
+  let lits = Array.copy lits in
+  let score l = match value_of s l with 1 -> 2 | -1 -> 1 | _ -> 0 in
+  Array.sort (fun a b -> Int.compare (score b) (score a)) lits;
+  let len = Array.length lits in
+  if len = 0 then begin
+    s.ok <- false;
+    drup_add s [||];
+    if s.track_proof && uid >= 0 then s.refutation <- new_proof s (P_resolved [ uid ]);
+    -1
+  end
+  else if value_of s lits.(0) = 0 then begin
+    s.ok <- false;
+    drup_add s [||];
+    if s.track_proof then refutation_ants s ~uid lits;
+    -1
+  end
+  else begin
+    let cr = alloc_clause s ~learnt:false ~safe ~uid lits in
+    Vec.push s.clauses cr;
+    Array.iter
+      (fun l ->
+        match Hashtbl.find_opt s.selector_groups (l lsr 1) with
+        | Some group -> group := cr :: !group
+        | None -> ())
+      lits;
+    if len >= 2 then attach s cr;
+    let unit_now = value_of s lits.(0) < 0 && (len = 1 || value_of s lits.(1) = 0) in
+    if unit_now then begin
+      enqueue s lits.(0) cr;
+      let confl = propagate s in
+      if confl >= 0 then begin
+        s.ok <- false;
+        record_refutation s confl
+      end
+    end;
+    if len >= 2 then cr else -1
+  end
+
+(* Re-introduce an eliminated variable: drop its witness, put it back
+   in the decision order and re-add its saved clauses with their
+   original proof uids.  Saved clauses may mention variables that were
+   eliminated after this one — those recurse back in first (clauses
+   saved at elimination time never mention variables eliminated
+   earlier, so the recursion is well-founded). *)
+let rec unelim s v =
+  if v < s.num_vars && Bytes.unsafe_get s.elim v <> '\000' then begin
+    Bytes.unsafe_set s.elim v '\000';
+    match Hashtbl.find_opt s.witness_of v with
+    | None -> ()
+    | Some w ->
+        Hashtbl.remove s.witness_of v;
+        w.wlive <- false;
+        if not (Idx_heap.in_heap s.order v) then Idx_heap.insert s.order v;
+        List.iter
+          (fun (_, _, lits) -> Array.iter (fun l -> unelim s (l lsr 1)) lits)
+          w.wclauses;
+        List.iter
+          (fun (uid, safe, lits) ->
+            if s.ok then ignore (install_derived s ~uid ~safe lits))
+          w.wclauses
+  end
+
 (* Adding clauses (only at decision level 0). *)
 
 let add_clause_core ?(id = -1) ?(shareable = false) s lits =
@@ -791,6 +944,11 @@ let add_clause_core ?(id = -1) ?(shareable = false) s lits =
   if not s.ok then -1
   else begin
     Array.iter (fun l -> ensure_vars s (Lit.var l + 1)) lits;
+    (* A clause naming an eliminated variable re-introduces it (and its
+       witness clauses) before this one goes in. *)
+    Array.iter (fun l -> unelim s (Lit.var l)) lits;
+    if not s.ok then -1
+    else begin
     let lits = Array.map Lit.to_int lits in
     (* Remove duplicates; detect tautologies.  Literals are packed ints:
        sort monomorphically. *)
@@ -830,6 +988,7 @@ let add_clause_core ?(id = -1) ?(shareable = false) s lits =
       end
       else begin
         let cr = alloc_clause s ~learnt:false ~safe:shareable ~uid lits in
+        s.dirty <- s.dirty + 1;
         Vec.push s.clauses cr;
         if len >= 2 then attach s cr;
         let unit_now =
@@ -846,6 +1005,7 @@ let add_clause_core ?(id = -1) ?(shareable = false) s lits =
         cr
       end
     end
+    end
   end
 
 let add_clause ?id ?shareable ?selector s lits =
@@ -856,6 +1016,9 @@ let add_clause ?id ?shareable ?selector s lits =
          [lits \/ sel]; assuming [neg sel] enforces it, and
          [retire_selector] permanently satisfies the group. *)
       ensure_vars s (Lit.var sel + 1);
+      (* Selectors are assumption variables: inprocessing must never
+         eliminate or probe them. *)
+      Bytes.unsafe_set s.frozen (Lit.var sel) '\001';
       let cr = add_clause_core ?id s (Array.append lits [| sel |]) in
       if cr >= 0 then begin
         let v = Lit.var sel in
@@ -888,6 +1051,8 @@ let import_clause s lits =
   assert (decision_level s = 0);
   if s.ok && s.drup_log = None && Array.length lits > 0 then begin
     Array.iter (fun l -> ensure_vars s (Lit.var l + 1)) lits;
+    Array.iter (fun l -> unelim s (Lit.var l)) lits;
+    if s.ok then begin
     let lits = Array.map Lit.to_int lits in
     Array.sort Int.compare lits;
     let tautology = ref false in
@@ -917,6 +1082,7 @@ let import_clause s lits =
       else begin
         let cr = alloc_clause s ~learnt:true ~safe:true ~uid lits in
         set_lbd s.arena cr (min len lbd_max);
+        s.dirty <- s.dirty + 1;
         Vec.push s.learnts cr;
         if len >= 2 then attach s cr;
         let unit_now =
@@ -931,6 +1097,7 @@ let import_clause s lits =
           end
         end
       end
+    end
     end
   end
 
@@ -957,6 +1124,7 @@ let retire_selector s sel =
          arena words and compacts the watcher lists, so retire-heavy
          incremental schedules no longer grow them monotonically. *)
       List.iter (fun cr -> mark_removed s cr) !group;
+      s.dirty <- s.dirty + List.length !group;
       Hashtbl.remove s.selector_groups v);
   ignore (add_clause_core s [| sel |]);
   if s.ok then maybe_compact s
@@ -1207,7 +1375,7 @@ let pick_branch_var s =
     if Idx_heap.is_empty s.order then -1
     else
       let v = Idx_heap.pop_max s.order in
-      if s.assigns.(v) < 0 then v else loop ()
+      if s.assigns.(v) < 0 && Bytes.unsafe_get s.elim v = '\000' then v else loop ()
   in
   loop ()
 
@@ -1253,6 +1421,199 @@ let record_learnt s ants ~safe =
       f ~lbd (Array.init size (fun i -> Lit.of_int_unsafe (Vec.get lits i)))
   | _ -> ());
   cr
+
+(* ----- inprocessing (Msu_sat.Inprocess drives, this side mutates) ----- *)
+
+(* Failed-literal probe: one decision, one propagation.  A conflict
+   means the literal's negation is entailed; analyzing it at level 1
+   yields a unit learnt (every side literal resolves through its
+   level-0 unit proof), which is recorded and propagated exactly as the
+   search loop would. *)
+let probe_lit s l =
+  assert (decision_level s = 0);
+  if value_of s l >= 0 then false
+  else begin
+    new_decision_level s;
+    enqueue s l (-1);
+    let confl = propagate s in
+    if confl < 0 then begin
+      cancel_until s 0;
+      false
+    end
+    else begin
+      s.n_conflicts <- s.n_conflicts + 1;
+      let back_level, ants, safe = analyze s confl in
+      ignore back_level;
+      cancel_until s 0;
+      let cr = record_learnt s ants ~safe in
+      enqueue s (Vec.get s.scratch_learnt 0) cr;
+      let confl2 = propagate s in
+      if confl2 >= 0 then begin
+        s.ok <- false;
+        record_refutation s confl2
+      end;
+      true
+    end
+  end
+
+(* Eliminate a variable: save its clauses as the resolution witness,
+   mark them removed, install the resolvents with exact two-parent
+   proof steps.  The caller (the engine) guarantees [v] is unassigned,
+   unprotected, and that [occs] is the complete set of live problem
+   clauses mentioning it. *)
+let commit_elim s v occs resolvents =
+  assert (Bytes.unsafe_get s.frozen v = '\000');
+  assert (Bytes.unsafe_get s.assumed v = '\000');
+  assert (s.assigns.(v) < 0);
+  let a = s.arena in
+  let saved =
+    List.map
+      (fun (cr, _) ->
+        let lits = Array.init (c_size a cr) (fun i -> c_lit a cr i) in
+        Array.sort Int.compare lits;
+        (c_uid a cr, c_safe a cr, lits))
+      occs
+  in
+  (* Read parent uids/safety before any install can grow the arena. *)
+  let resolvents =
+    List.map
+      (fun (cr_pos, cr_neg, lits) ->
+        ((c_uid a cr_pos, c_safe a cr_pos), (c_uid a cr_neg, c_safe a cr_neg), lits))
+      resolvents
+  in
+  let w = { wvar = v; wlive = true; wclauses = saved } in
+  s.witnesses <- w :: s.witnesses;
+  Hashtbl.replace s.witness_of v w;
+  Bytes.unsafe_set s.elim v '\001';
+  List.iter
+    (fun (cr, _) ->
+      mark_removed s cr;
+      s.n_deleted <- s.n_deleted + 1)
+    occs;
+  List.filter_map
+    (fun ((uid_p, safe_p), (uid_n, safe_n), lits) ->
+      if s.ok then begin
+        let uid =
+          if s.track_proof then new_proof s (P_resolved [ uid_p; uid_n ]) else -1
+        in
+        let cr = install_derived s ~uid ~safe:(safe_p && safe_n) lits in
+        if cr >= 0 then Some cr else None
+      end
+      else None)
+    resolvents
+
+let inpro_remove s cr =
+  mark_removed s cr;
+  s.n_deleted <- s.n_deleted + 1
+
+(* Self-subsuming resolution: replace [cr] by its resolvent with [by]. *)
+let inpro_strengthen s ~cr ~by lits =
+  let a = s.arena in
+  let uid =
+    if s.track_proof then new_proof s (P_resolved [ c_uid a cr; c_uid a by ]) else -1
+  in
+  let safe = c_safe a cr && c_safe a by in
+  mark_removed s cr;
+  install_derived s ~uid ~safe lits
+
+let make_view (s : t) =
+  Inprocess.
+    {
+      num_vars = (fun () -> s.num_vars);
+      ok = (fun () -> s.ok);
+      lit_value = (fun l -> value_of s l);
+      protected =
+        (fun v ->
+          Bytes.unsafe_get s.frozen v <> '\000'
+          || Bytes.unsafe_get s.assumed v <> '\000');
+      eliminated = (fun v -> Bytes.unsafe_get s.elim v <> '\000');
+      iter_problem =
+        (fun f -> Vec.iter (fun cr -> if not (c_removed s.arena cr) then f cr) s.clauses);
+      clause_lits =
+        (fun cr ->
+          let a = s.arena in
+          Array.init (c_size a cr) (fun i -> c_lit a cr i));
+      locked = (fun cr -> locked s cr);
+      remove_satisfied = (fun cr -> inpro_remove s cr);
+      subsume = (fun cr -> inpro_remove s cr);
+      strengthen = (fun ~cr ~by lits -> inpro_strengthen s ~cr ~by lits);
+      commit_elim = (fun v occs res -> commit_elim s v occs res);
+      probe = (fun l -> probe_lit s l);
+      activity = (fun v -> s.activity.(v));
+      stop = (fun () -> budget_exhausted s);
+    }
+
+let run_inprocess s limits =
+  let st = Inprocess.run (make_view s) limits in
+  s.dirty <- 0;
+  let productive =
+    st.Inprocess.eliminated_vars + st.Inprocess.subsumed_clauses
+    + st.Inprocess.strengthened_lits + st.Inprocess.failed_literals
+    > 0
+  in
+  s.inpro_backoff <- (if productive then 1 else min (s.inpro_backoff * 2) 64);
+  Inprocess.accumulate st ~into:s.inpro_totals;
+  if s.ok then maybe_compact s;
+  s.event_hook
+    (Msu_obs.Obs.Event.Note
+       (Printf.sprintf "inprocess elim=%d subsumed=%d strengthened=%d failed=%d probes=%d"
+          st.eliminated_vars st.subsumed_clauses st.strengthened_lits
+          st.failed_literals st.probes));
+  st
+
+(* Restart-boundary automatic pass, under the running [solve] call's
+   budgets (the engine's [stop] poll goes through [budget_exhausted],
+   so a deadline aborts the pass just as it stops the search). *)
+(* A pass sweeps the whole clause database, so its cost is O(live
+   clauses): requiring churn proportional to that size amortizes
+   inprocessing to O(1) per structural change on any instance size.
+   Barren passes double the threshold (capped) so a formula with
+   nothing left to simplify stops paying for sweeps. *)
+let auto_inprocess_dirty s = max 32 (Vec.size s.clauses / 4) * s.inpro_backoff
+
+let inprocess_auto s =
+  if s.inprocess_on && s.drup_log = None && s.ok && s.dirty >= auto_inprocess_dirty s
+  then ignore (run_inprocess s Inprocess.default_limits)
+
+let inprocess ?(limits = Inprocess.default_limits) ?guard ?(min_dirty = 0) s =
+  if s.drup_log <> None || (not s.ok) || decision_level s > 0 then None
+  else if s.dirty < min_dirty * s.inpro_backoff then Some (Inprocess.zero_stats ())
+  else begin
+    s.deadline <- infinity;
+    s.deadline_hit <- false;
+    s.guard <- guard;
+    s.guard_conflicts_base <- s.n_conflicts;
+    s.guard_props_base <- s.n_propagations;
+    s.conflict_budget <- max_int;
+    Some (run_inprocess s limits)
+  end
+
+(* Extend a satisfying assignment over the eliminated variables,
+   newest witness first: the saved clauses are the only constraints on
+   the variable (any later clause naming it would have re-introduced
+   it), and the installed resolvents guarantee one of the two values
+   satisfies them all. *)
+let extend_model s =
+  List.iter
+    (fun w ->
+      if w.wlive then begin
+        let value_ok value =
+          List.for_all
+            (fun (_, _, lits) ->
+              Array.exists
+                (fun l ->
+                  let v = l lsr 1 in
+                  let lv =
+                    if v = w.wvar then value
+                    else Bytes.unsafe_get s.polarity v <> '\000'
+                  in
+                  if l land 1 = 0 then lv else not lv)
+                lits)
+            w.wclauses
+        in
+        Bytes.unsafe_set s.polarity w.wvar (if value_ok true then '\001' else '\000')
+      end)
+    s.witnesses
 
 let search s assumptions max_conflicts =
   let conflicts_here = ref 0 in
@@ -1336,6 +1697,11 @@ let solve ?(assumptions = [||]) ?(deadline = infinity) ?(conflict_budget = max_i
   s.conflict_assumps <- [];
   if not s.ok then Unsat
   else begin
+    (* An eliminated assumption variable comes back from its witness;
+       the rest of the assumption set is marked transiently protected so
+       a restart-boundary pass cannot eliminate or probe it mid-call. *)
+    Array.iter (fun l -> unelim s (Lit.var l)) assumptions;
+    Array.iter (fun l -> Bytes.unsafe_set s.assumed (Lit.var l) '\001') assumptions;
     s.deadline <- deadline;
     s.deadline_hit <- false;
     s.guard <- guard;
@@ -1361,6 +1727,7 @@ let solve ?(assumptions = [||]) ?(deadline = infinity) ?(conflict_budget = max_i
       | S_budget -> result := Some Unknown
       | S_restart ->
           drain_imports s;
+          inprocess_auto s;
           if not s.ok then result := Some Unsat
     done;
     let r = match !result with Some r -> r | None -> assert false in
@@ -1370,8 +1737,10 @@ let solve ?(assumptions = [||]) ?(deadline = infinity) ?(conflict_budget = max_i
            valid until the next solve call. *)
         for v = 0 to s.num_vars - 1 do
           Bytes.unsafe_set s.polarity v (if s.assigns.(v) = 1 then '\001' else '\000')
-        done
+        done;
+        extend_model s
     | Unsat | Unknown -> ());
+    Array.iter (fun l -> Bytes.unsafe_set s.assumed (Lit.var l) '\000') assumptions;
     cancel_until s 0;
     Msu_obs.Obs.Metrics.observe m_call_seconds (Unix.gettimeofday () -. call_t0);
     Msu_obs.Obs.Metrics.observe m_call_conflicts

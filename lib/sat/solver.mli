@@ -177,6 +177,59 @@ val conflict_assumptions : t -> Msu_cnf.Lit.t list
 val stats : t -> stats
 val pp_stats : Format.formatter -> stats -> unit
 
+(** {2 Inprocessing}
+
+    Between-call (and restart-boundary) simplification of the clause
+    database: bounded variable elimination, subsumption with
+    self-subsuming resolution, and failed-literal probing (see
+    {!Inprocess} for the pass engine).  MaxSAT safety rests on a
+    frozen-variable discipline: activation selectors are frozen
+    automatically by [add_clause ~selector]; algorithms must {!freeze}
+    every other variable with meaning outside the solver (blocking and
+    relaxation variables, totalizer outputs — in practice every
+    variable they create).  Frozen and currently-assumed variables are
+    never eliminated or probed.
+
+    Eliminated variables keep a resolution witness (their original
+    clauses), so {!model} is extended transparently and a later
+    {!add_clause}, {!import_clause} or [solve] assumption naming an
+    eliminated variable re-introduces it from the witness before
+    proceeding.  Proof tracking stays exact — every resolvent cites its
+    two parents — so {!unsat_core} remains valid across passes. *)
+
+val freeze : t -> Msu_cnf.Lit.var -> unit
+(** Mark a variable untouchable by elimination and probing.  Grows the
+    variable table if needed.  Irreversible. *)
+
+val frozen : t -> Msu_cnf.Lit.var -> bool
+
+val is_eliminated : t -> Msu_cnf.Lit.var -> bool
+(** The variable is currently eliminated (its witness is live). *)
+
+val set_inprocess : t -> bool -> unit
+(** Enable the automatic restart-boundary pass inside [solve] (off by
+    default; refused while a DRUP log is attached).  Explicit
+    {!inprocess} calls work regardless of this switch. *)
+
+val inprocess :
+  ?limits:Inprocess.limits ->
+  ?guard:Msu_guard.Guard.t ->
+  ?min_dirty:int ->
+  t ->
+  Inprocess.stats option
+(** Run one inprocessing pass now.  Returns [None] when refused — a
+    DRUP log is attached, the solver is already refuted, or a search is
+    in progress (decision level > 0).  With [min_dirty] (default 0),
+    returns zero stats without running unless at least that many
+    structural changes (clause additions, retirements, imports)
+    happened since the last pass.  [guard] is polled between work items
+    so a deadline aborts the pass cleanly.  May set the solver
+    unsatisfiable ({!okay} turns false) when simplification refutes the
+    formula. *)
+
+val inprocess_totals : t -> Inprocess.stats
+(** Cumulative counters over every pass this solver ever ran. *)
+
 (** {2 Clause arena}
 
     Clauses live in a flat int arena addressed by integer offsets;

@@ -18,6 +18,7 @@ let () =
       ("aiger", Test_aiger.suite);
       ("infra", Test_infra.suite);
       ("incremental", Test_incremental.suite);
+      ("inprocess", Test_inprocess.suite);
       ("arena", Test_arena.suite);
       ("portfolio", Test_portfolio.suite);
       ("service", Test_service.suite);

@@ -94,6 +94,90 @@ let test_reduces_size () =
       Alcotest.(check bool) "fewer clauses" true
         (Formula.num_clauses r.Simplify.formula < Formula.num_clauses f)
 
+(* ---------------- frozen variables ---------------- *)
+
+let test_frozen_not_eliminated () =
+  let f = formula_of_clauses 3 [ [ 1; 2 ]; [ -1; 3 ] ] in
+  (match Simplify.simplify f with
+  | Some r ->
+      Alcotest.(check bool) "control: unfrozen eliminates" true
+        (r.Simplify.eliminated_vars >= 1)
+  | None -> Alcotest.fail "satisfiable");
+  match Simplify.simplify ~frozen:[ 0; 1; 2 ] f with
+  | None -> Alcotest.fail "satisfiable"
+  | Some r ->
+      Alcotest.(check int) "all frozen: none eliminated" 0 r.Simplify.eliminated_vars
+
+let test_frozen_fixed_var_stays_forced () =
+  (* x1 is fixed true by propagation.  Frozen, it must stay forced in
+     the output formula — the caller holds clauses naming it outside
+     [f], so a model of the output may not flip it. *)
+  let f = formula_of_clauses 2 [ [ 1 ]; [ -1; 2 ] ] in
+  match Simplify.simplify ~frozen:[ 0 ] f with
+  | None -> Alcotest.fail "satisfiable"
+  | Some r ->
+      let s = Solver.create ~track_proof:false () in
+      Solver.ensure_vars s 2;
+      Formula.iter_clauses (fun _ c -> Solver.add_clause s c) r.Simplify.formula;
+      (match Solver.solve ~assumptions:[| Lit.neg_of 0 |] s with
+      | Solver.Unsat -> ()
+      | _ -> Alcotest.fail "output formula allows flipping a fixed frozen var")
+
+(* The property presimplification relies on: for every assignment of the
+   frozen set, the output formula is satisfiable exactly when the
+   original is, and restored models agree with the assignment. *)
+let test_frozen_external_assignments () =
+  let st = Random.State.make [| 0x55 |] in
+  let solve_with f n_vars assumptions =
+    let s = Solver.create ~track_proof:false () in
+    Solver.ensure_vars s n_vars;
+    Formula.iter_clauses (fun _ c -> Solver.add_clause s c) f;
+    (Solver.solve ~assumptions s, s)
+  in
+  for _round = 1 to 40 do
+    let n_vars = 4 + Random.State.int st 6 in
+    let f =
+      random_formula st ~n_vars ~n_clauses:(3 + Random.State.int st 25) ~max_len:3
+    in
+    let frozen =
+      List.filter (fun _ -> Random.State.bool st) (List.init n_vars Fun.id)
+      |> List.filteri (fun i _ -> i < 5)
+    in
+    match Simplify.simplify ~frozen f with
+    | None ->
+        let result, _ = solve_with f n_vars [||] in
+        Alcotest.(check bool) "refutation sound" true (result = Solver.Unsat)
+    | Some r ->
+        for mask = 0 to (1 lsl List.length frozen) - 1 do
+          let assumptions =
+            Array.of_list
+              (List.mapi
+                 (fun i v ->
+                   if mask land (1 lsl i) <> 0 then Lit.pos v else Lit.neg_of v)
+                 frozen)
+          in
+          let orig, _ = solve_with f n_vars assumptions in
+          let simp, s = solve_with r.Simplify.formula n_vars assumptions in
+          (match (orig, simp) with
+          | Solver.Sat, Solver.Sat | Solver.Unsat, Solver.Unsat -> ()
+          | _ ->
+              Alcotest.fail
+                "simplified formula disagrees under a frozen assignment");
+          if simp = Solver.Sat then begin
+            let m = r.Simplify.restore_model (Solver.model s) in
+            Alcotest.(check int) "restored model satisfies original"
+              (Formula.num_clauses f)
+              (Formula.count_satisfied f m);
+            List.iteri
+              (fun i v ->
+                Alcotest.(check bool) "frozen value preserved"
+                  (mask land (1 lsl i) <> 0)
+                  m.(v))
+              frozen
+          end
+        done
+  done
+
 let prop_equisatisfiable =
   QCheck.Test.make ~name:"preprocessing preserves satisfiability" ~count:80
     QCheck.small_int
@@ -120,5 +204,11 @@ let suite =
     Alcotest.test_case "structured equisatisfiability" `Quick
       test_structured_equisatisfiable;
     Alcotest.test_case "shrinks tseitin CNF" `Quick test_reduces_size;
+    Alcotest.test_case "frozen vars never eliminated" `Quick
+      test_frozen_not_eliminated;
+    Alcotest.test_case "fixed frozen var stays forced" `Quick
+      test_frozen_fixed_var_stays_forced;
+    Alcotest.test_case "frozen external assignments agree" `Quick
+      test_frozen_external_assignments;
     QCheck_alcotest.to_alcotest prop_equisatisfiable;
   ]
