@@ -43,6 +43,13 @@
                    asserted byte-equal against a committed baseline and
                    a soft throughput regression guard
                    (BENCH_propagation.json)
+     ablation-profile
+                   span-profiling overhead: the disabled-tracer hot path
+                   gated within 2% of the committed pre-instrumentation
+                   throughput (--guard-perf), tracing-on asserted not to
+                   change answers or conflict/propagation counts, and a
+                   traced specimen exported + validated as Chrome
+                   trace_event JSON (BENCH_profile.json)
      micro         Bechamel micro-benchmarks, one per table/figure
      all           everything above (default)
 
@@ -2007,6 +2014,269 @@ let ablation_propagation () =
   end
   else Printf.printf "  answers stable, models verified, guard satisfied\n%!"
 
+(* Span-profiling overhead ablation.  Two claims are gated here:
+
+   1. {e Tracing off costs nothing.}  The solver hot loop now carries
+      span hooks (a [prof_on] flag, reduce_db/restart brackets); with
+      the Null sink they must be invisible.  The gate compares the
+      disabled-tracer variant's throughput on the propagation smoke
+      bench against the committed pre-instrumentation baseline
+      ([results/profile_baseline_smoke.txt]) and fails under
+      [--guard-perf] if it dropped more than 2% — within timing noise
+      on a quiet machine, which is why the wall-clock gate is opt-in
+      like ablation-propagation's.
+
+   2. {e Tracing on does not change the search.}  Per instance, the
+      disabled and profiled variants must report byte-identical answers
+      and identical conflict/propagation counts — enforced always,
+      machine-independent.
+
+   One representative MaxSAT solve also runs fully traced; its span
+   stream must export to Chrome trace_event JSON that [Chrome.validate]
+   accepts (matched B/E, monotone timestamps), its parent chains must
+   reach the root, and every phase's self time must not exceed its
+   total time.  The trace is written as profile_smoke.trace.json so CI
+   archives a loadable specimen, and the phase table lands in
+   BENCH_profile.json. *)
+
+let ablation_profile () =
+  let module S = Msu_sat.Solver in
+  let module F = Msu_cnf.Formula in
+  let st = Random.State.make [| !seed; 0x9E3779B9 |] in
+  let php_sizes = if !smoke then [ 6 ] else [ 7; 8 ] in
+  let rand_specs =
+    if !smoke then [ (200, 4.6, 2) ] else [ (200, 4.8, 4); (250, 4.4, 4) ]
+  in
+  let conflict_budget = if !smoke then 40_000 else 150_000 in
+  let instances =
+    List.map
+      (fun n -> (Printf.sprintf "php-%d" n, Msu_gen.Php.formula n))
+      php_sizes
+    @ List.concat_map
+        (fun (n, ratio, count) ->
+          List.init count (fun i ->
+              let n_clauses = int_of_float (ratio *. float_of_int n) in
+              let f = Msu_gen.Random_cnf.ksat st ~n_vars:n ~n_clauses ~k:3 in
+              (Printf.sprintf "rnd%d-%.1f-%d" n ratio i, f)))
+        rand_specs
+  in
+  Printf.printf
+    "\nAblation J - span profiling overhead (%d instances, %d-conflict budget)\n%!"
+    (List.length instances) conflict_budget;
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun m -> failures := m :: !failures) fmt in
+  let result_string = function
+    | S.Sat -> "sat"
+    | S.Unsat -> "unsat"
+    | S.Unknown -> "unknown"
+  in
+  (* One run = fresh solver with the given tracer attached.  The
+     profiled variant streams into a collector (discarded afterwards);
+     the null variant exercises the exact disabled-path branches the
+     production Null-sink configuration takes. *)
+  let run_one ~spans f =
+    let s = S.create () in
+    S.ensure_vars s (F.num_vars f);
+    F.iter_clauses (fun _ c -> S.add_clause s c) f;
+    S.set_tracer s spans;
+    let t0 = Unix.gettimeofday () in
+    let r = S.solve ~conflict_budget s in
+    let dt = Unix.gettimeofday () -. t0 in
+    (r, dt, S.stats s)
+  in
+  let measure variant_spans =
+    List.map
+      (fun (iname, f) ->
+        let spans = variant_spans () in
+        let r, dt, stats = run_one ~spans f in
+        (iname, result_string r, dt, stats.S.conflicts, stats.S.propagations))
+      instances
+  in
+  let null_rows = measure (fun () -> Obs.Span.disabled) in
+  let profiled_rows =
+    measure (fun () ->
+        let col = Obs.Collector.create () in
+        Obs.Span.create ~sink:(Obs.Collector.sink col) ~id:0 ())
+  in
+  (* Search equivalence: tracing may not perturb the solver. *)
+  List.iter2
+    (fun (n, r, _, c, p) (n', r', _, c', p') ->
+      assert (String.equal n n');
+      if r <> r' then fail "%s: answer changed under tracing (%s -> %s)" n r r';
+      if c <> c' then fail "%s: conflicts changed under tracing (%d -> %d)" n c c';
+      if p <> p' then fail "%s: propagations changed under tracing (%d -> %d)" n p p')
+    null_rows profiled_rows;
+  let throughput rows =
+    let time = List.fold_left (fun a (_, _, dt, _, _) -> a +. dt) 0. rows in
+    let confls =
+      List.fold_left (fun a (_, _, _, c, _) -> a + c) 0 rows |> float_of_int
+    in
+    let props =
+      List.fold_left (fun a (_, _, _, _, p) -> a + p) 0 rows |> float_of_int
+    in
+    let per t = if time > 0. then t /. time else 0. in
+    (per props, per confls, per (props +. confls), time)
+  in
+  let n_props, n_confls, n_combined, n_time = throughput null_rows in
+  let p_props, _, p_combined, p_time = throughput profiled_rows in
+  Printf.printf "  %-10s %14s %14s %8s\n" "variant" "props/sec" "conflicts/sec"
+    "time";
+  Printf.printf "  %-10s %14.3e %14.3e %7.2fs\n" "null" n_props n_confls n_time;
+  Printf.printf "  %-10s %14.3e %14.3e %7.2fs\n%!" "profiled" p_props
+    (p_combined -. p_props) p_time;
+  let traced_ratio = if n_combined > 0. then p_combined /. n_combined else 1. in
+  Printf.printf "  tracing-on throughput: %.2fx of null (informational)\n%!"
+    traced_ratio;
+  (* ----- committed-baseline gate (pre-instrumentation throughput) ----- *)
+  let mode = if !smoke then "smoke" else "full" in
+  let baseline_combined = ref None in
+  (if !baseline_file = "" || not (Sys.file_exists !baseline_file) then
+     Printf.printf "  (no baseline file%s: overhead gate skipped)\n%!"
+       (if !baseline_file = "" then "" else " " ^ !baseline_file)
+   else begin
+     let ic = open_in !baseline_file in
+     let tbl = Hashtbl.create 16 in
+     (try
+        while true do
+          match String.split_on_char ' ' (input_line ic) with
+          | [ key; v ] -> Hashtbl.replace tbl key v
+          | _ -> ()
+        done
+      with End_of_file -> close_in ic);
+     let find k = Hashtbl.find_opt tbl k in
+     if find "mode" <> Some mode || find "seed" <> Some (string_of_int !seed)
+     then Printf.printf "  (baseline mode/seed mismatch: gate skipped)\n%!"
+     else
+       match find "props_conflicts_per_sec" with
+       | Some v ->
+           let base = float_of_string v in
+           baseline_combined := Some base;
+           let ratio = n_combined /. base in
+           Printf.printf
+             "  null-sink vs pre-instrumentation baseline: %.3e -> %.3e (%.3fx)%s\n%!"
+             base n_combined ratio
+             (if (not !guard_perf) && ratio < 0.98 then
+                "  ** >2% below baseline (soft: pass --guard-perf to enforce) **"
+              else "");
+           if !guard_perf && ratio < 0.98 then
+             fail
+               "null-sink instrumentation overhead exceeds 2%% vs baseline (%.3fx)"
+               ratio
+       | None -> ()
+   end);
+  (* ----- traced MaxSAT specimen: export, validate, phase table ----- *)
+  let specimen_phases, specimen_spans =
+    let w =
+      match to_wcnf (Suites.debugging ~scale:!scale ~seed:!seed ()) with
+      | (_, _, w) :: _ -> w
+      | [] -> Msu_cnf.Wcnf.of_formula (Msu_gen.Php.formula 4)
+    in
+    let col = Obs.Collector.create () in
+    let sink = Obs.Collector.sink col in
+    let spans = Obs.Span.create ~sink ~id:0 () in
+    let root = Obs.Span.start spans "request" in
+    Obs.Span.set_anchor spans (Obs.Span.span_of root);
+    let config =
+      {
+        T.default_config with
+        T.deadline = Unix.gettimeofday () +. !timeout;
+        T.sink = sink;
+        T.spans = spans;
+      }
+    in
+    (match (M.solve_supervised ~config M.Msu3 w).T.outcome with
+    | T.Optimum _ | T.Bounds _ | T.Hard_unsat -> ()
+    | T.Crashed { reason; _ } -> fail "specimen solve crashed: %s" reason);
+    Obs.Span.stop spans root;
+    let events = Obs.Collector.events col in
+    let json = Obs.Chrome.of_events ~process_name:"bench" events in
+    ensure_out_dir ();
+    let path = Filename.concat !out_dir "profile_smoke.trace.json" in
+    let oc = open_out path in
+    output_string oc json;
+    close_out oc;
+    Printf.printf "  [wrote %s]\n%!" path;
+    let n_spans =
+      match Obs.Chrome.validate json with
+      | Ok 0 ->
+          fail "Chrome trace validated but contains no spans";
+          0
+      | Ok n ->
+          Printf.printf "  Chrome trace valid: %d spans\n%!" n;
+          n
+      | Error msg ->
+          fail "Chrome trace invalid: %s" msg;
+          0
+    in
+    if not (Obs.Span.Report.rooted ~root:(Obs.Span.span_of root) events) then
+      fail "specimen spans do not all re-parent under the request span";
+    let rows = Obs.Span.Report.of_events events in
+    if rows = [] then fail "empty phase report from the specimen solve";
+    List.iter
+      (fun (row : Obs.Span.Report.row) ->
+        (* Clock granularity can make a leaf's recorded elapsed a hair
+           over the parent's; allow a microsecond of slack. *)
+        if row.Obs.Span.Report.self_s > row.Obs.Span.Report.total_s +. 1e-6 then
+          fail "phase %s: self %.6fs exceeds total %.6fs"
+            row.Obs.Span.Report.phase row.Obs.Span.Report.self_s
+            row.Obs.Span.Report.total_s)
+      rows;
+    (rows, n_spans)
+  in
+  (* Fresh baseline snapshot into --out (commit under results/ to
+     ratchet the reference). *)
+  let buf = Buffer.create 256 in
+  Printf.bprintf buf "mode %s\nseed %d\nconflict_budget %d\n" mode !seed
+    conflict_budget;
+  Printf.bprintf buf
+    "props_per_sec %.6e\nconflicts_per_sec %.6e\nprops_conflicts_per_sec %.6e\n"
+    n_props n_confls n_combined;
+  write_file
+    (if !smoke then "profile_baseline_smoke.txt" else "profile_baseline.txt")
+    (Buffer.contents buf);
+  write_bench_json "profile"
+    [
+      ("mode", Json.Str mode);
+      ("conflict_budget", Json.Int conflict_budget);
+      ("instances", Json.Int (List.length instances));
+      ("null_props_per_sec", Json.Num n_props);
+      ("null_conflicts_per_sec", Json.Num n_confls);
+      ("null_props_conflicts_per_sec", Json.Num n_combined);
+      ("profiled_props_per_sec", Json.Num p_props);
+      ("traced_throughput_ratio", Json.Num traced_ratio);
+      ( "baseline",
+        match !baseline_combined with
+        | Some base ->
+            Json.Obj
+              [
+                ("props_conflicts_per_sec", Json.Num base);
+                ("null_ratio", Json.Num (n_combined /. base));
+                ("gate", Json.Str (if !guard_perf then "enforced" else "soft"));
+              ]
+        | None -> Json.Str "none" );
+      ("specimen_spans", Json.Int specimen_spans);
+      ( "phases",
+        Json.List
+          (List.map
+             (fun (row : Obs.Span.Report.row) ->
+               Json.Obj
+                 [
+                   ("phase", Json.Str row.Obs.Span.Report.phase);
+                   ("count", Json.Int row.Obs.Span.Report.count);
+                   ("total_s", Json.Num row.Obs.Span.Report.total_s);
+                   ("self_s", Json.Num row.Obs.Span.Report.self_s);
+                 ])
+             specimen_phases) );
+    ];
+  if !failures <> [] then begin
+    Printf.printf "  PROFILE BENCH FAILURES:\n";
+    List.iter (fun m -> Printf.printf "    %s\n" m) (List.rev !failures);
+    exit 1
+  end
+  else
+    Printf.printf
+      "  search unchanged under tracing, trace valid, self <= total\n%!"
+
 let () =
   let anon a = command := a in
   Arg.parse spec anon usage;
@@ -2038,6 +2308,7 @@ let () =
   | "ablation-trace" -> ablation_trace ()
   | "ablation-chaos" -> ablation_chaos ()
   | "ablation-propagation" -> ablation_propagation ()
+  | "ablation-profile" -> ablation_profile ()
   | "micro" -> micro ()
   | "all" ->
       table1 ();
@@ -2056,6 +2327,7 @@ let () =
       ablation_trace ();
       ablation_chaos ();
       ablation_propagation ();
+      ablation_profile ();
       micro ()
   | other ->
       Printf.eprintf "unknown command %S\n%s\n" other usage;

@@ -12,7 +12,7 @@ module Service = Msu_service.Service
 module Obs = Msu_obs.Obs
 
 let run socket workers queue_cap cache_cap cache_file timeout grace quiet
-    metrics_file events journal_file max_attempts retry_backoff =
+    metrics_file events journal_file max_attempts retry_backoff profile_dir =
   let sink =
     if events then
       Obs.of_fn (fun e ->
@@ -36,8 +36,13 @@ let run socket workers queue_cap cache_cap cache_file timeout grace quiet
       journal_file;
       max_attempts;
       retry_backoff;
+      profile_dir;
     }
   in
+  (match profile_dir with
+  | Some dir when not (Sys.file_exists dir) -> (
+      try Unix.mkdir dir 0o755 with Unix.Unix_error _ -> ())
+  | _ -> ());
   match Service.run ~handle_signals:true cfg with
   | () -> 0
   | exception Unix.Unix_error (e, fn, arg) ->
@@ -147,6 +152,19 @@ let retry_backoff =
           "Base delay before respawning a crashed job's worker, doubled for \
            each attempt already made.")
 
+let profile_dir =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "profile-dir" ] ~docv:"DIR"
+        ~doc:
+          "Trace every request with hierarchical phase spans (request, \
+           queue-wait, cache-lookup, worker-solve, plus the worker's own \
+           solve phases re-parented across the fork) and write each job's \
+           merged timeline to $(docv)/job-<id>.trace.json as Chrome \
+           trace_event JSON (loads in chrome://tracing and Perfetto).  The \
+           directory is created if missing.")
+
 let cmd =
   let doc = "persistent MaxSAT solve service (fingerprint cache, worker pool)" in
   let man =
@@ -174,6 +192,6 @@ let cmd =
     Term.(
       const run $ socket $ workers $ queue_cap $ cache_cap $ cache_file
       $ timeout $ grace $ quiet $ metrics_file $ events $ journal_file
-      $ max_attempts $ retry_backoff)
+      $ max_attempts $ retry_backoff $ profile_dir)
 
 let () = exit (Cmd.eval' cmd)

@@ -117,7 +117,7 @@ let presimplify_instance ~quiet w =
 let run file algorithm encoding timeout conflicts propagations memory_mb verify
     verbose trace_file stats_json no_geq1 no_incremental quiet incomplete
     portfolio jobs share_clauses sls_worker connect priority no_cache
-    no_inprocess presimplify =
+    no_inprocess presimplify profile =
   let w =
     try Ok (Msu_cnf.Dimacs.parse_wcnf_file file) with
     | Msu_cnf.Dimacs.Parse_error (line, msg) ->
@@ -145,6 +145,13 @@ let run file algorithm encoding timeout conflicts propagations memory_mb verify
          shim (events rendered to "c" comment lines, the old --trace
          behaviour) and a JSONL trace file. *)
       let trace_oc = Option.map open_out trace_file in
+      (* --profile / the --stats-json phase table need the full event
+         stream (spans included) buffered in memory alongside the
+         user-facing sinks. *)
+      let coll =
+        if profile <> None || stats_json then Some (Obs.Collector.create ())
+        else None
+      in
       let sink =
         let verbose_sink =
           if verbose then
@@ -154,9 +161,52 @@ let run file algorithm encoding timeout conflicts propagations memory_mb verify
         let file_sink =
           match trace_oc with Some oc -> Obs.Jsonl.sink oc | None -> Obs.null
         in
-        Obs.tee verbose_sink file_sink
+        let base = Obs.tee verbose_sink file_sink in
+        match coll with
+        | Some c -> Obs.tee base (Obs.Collector.sink c)
+        | None -> base
+      in
+      (* The request span is the trace root: every solve phase — and,
+         under --portfolio, every worker's re-parented spans — hangs
+         under it.  It closes in the [finally] so crash and error paths
+         still leave a balanced trace. *)
+      let spans =
+        match coll with
+        | Some _ -> Obs.Span.create ~sink ~id:0 ()
+        | None -> Obs.Span.disabled
+      in
+      let request =
+        ref
+          (if Obs.Span.enabled spans then
+             Some (Obs.Span.start spans "request")
+           else None)
+      in
+      (match !request with
+      | Some h -> Obs.Span.set_anchor spans (Obs.Span.span_of h)
+      | None -> ());
+      let close_request () =
+        match !request with
+        | Some h ->
+            request := None;
+            Obs.Span.stop spans h
+        | None -> ()
+      in
+      let write_profile () =
+        close_request ();
+        match (profile, coll) with
+        | Some path, Some c -> (
+            try
+              let oc = open_out path in
+              output_string oc
+                (Obs.Chrome.of_events ~process_name:"msolve"
+                   (Obs.Collector.events c));
+              close_out oc
+            with Sys_error msg ->
+              prerr_endline ("c error: --profile: " ^ msg))
+        | _ -> ()
       in
       Fun.protect ~finally:(fun () ->
+          write_profile ();
           match trace_oc with Some oc -> close_out oc | None -> ())
       @@ fun () ->
       let config =
@@ -167,6 +217,7 @@ let run file algorithm encoding timeout conflicts propagations memory_mb verify
           T.core_geq1 = not no_geq1;
           T.incremental = not no_incremental;
           T.sink = sink;
+          T.spans = spans;
           T.max_conflicts = conflicts;
           T.max_propagations = propagations;
           T.max_memory_words =
@@ -215,7 +266,7 @@ let run file algorithm encoding timeout conflicts propagations memory_mb verify
                        (if verbose then
                           Some (fun m -> print_endline ("c " ^ m))
                         else None)
-                     ~sink ~handle_sigint:true ~share_clauses
+                     ~sink ~spans ~handle_sigint:true ~share_clauses
                      ~sls_worker w_solve
                  in
                  if not quiet then
@@ -259,13 +310,23 @@ let run file algorithm encoding timeout conflicts propagations memory_mb verify
         let lb, ub = T.outcome_bounds r.T.outcome in
         Obs.Gc_metrics.sample ();
         let gc1 = Gc.quick_stat () in
+        (* Per-phase self/total-time breakdown from the span stream
+           (the request span is still open here and is deliberately
+           absent: the table reads as "where did the solve go"). *)
+        let phases_json =
+          match coll with
+          | Some c ->
+              Obs.Span.Report.to_json
+                (Obs.Span.Report.of_events (Obs.Collector.events c))
+          | None -> "[]"
+        in
         Printf.printf
-          "{\"file\":%S,\"outcome\":%S,\"lb\":%d,\"ub\":%s,\"elapsed\":%.6f,\"stats\":{\"sat_calls\":%d,\"cores\":%d,\"blocking_vars\":%d,\"encoding_clauses\":%d,\"rebuilds\":%d},\"gc\":{\"minor_words\":%.0f,\"major_words\":%.0f,\"promoted_words\":%.0f,\"heap_words\":%d,\"minor_collections\":%d,\"major_collections\":%d},\"metrics\":%s}\n"
+          "{\"file\":%S,\"outcome\":%S,\"lb\":%d,\"ub\":%s,\"elapsed\":%.6f,\"stats\":{\"sat_calls\":%d,\"cores\":%d,\"blocking_vars\":%d,\"encoding_clauses\":%d,\"rebuilds\":%d},\"phases\":%s,\"gc\":{\"minor_words\":%.0f,\"major_words\":%.0f,\"promoted_words\":%.0f,\"heap_words\":%d,\"minor_collections\":%d,\"major_collections\":%d},\"metrics\":%s}\n"
           file outcome_tag lb
           (match ub with Some u -> string_of_int u | None -> "null")
           r.T.elapsed r.T.stats.T.sat_calls r.T.stats.T.cores
           r.T.stats.T.blocking_vars r.T.stats.T.encoding_clauses
-          r.T.stats.T.rebuilds
+          r.T.stats.T.rebuilds phases_json
           (Gc.minor_words () -. gc0_minor)
           (gc1.Gc.major_words -. gc0.Gc.major_words)
           (gc1.Gc.promoted_words -. gc0.Gc.promoted_words)
@@ -313,7 +374,7 @@ let run file algorithm encoding timeout conflicts propagations memory_mb verify
             exit_error
       in
       if verify then begin
-        let report = Certify.certify ~encoding w r in
+        let report = Certify.certify ~encoding ~spans w r in
         if not quiet then
           List.iter (fun c -> Printf.printf "c verify pass: %s\n" c)
             report.Certify.passed;
@@ -522,6 +583,20 @@ let presimplify =
            preserved, and the model is mapped back to the original variables \
            before printing and verification.")
 
+let profile =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "profile" ] ~docv:"FILE"
+        ~doc:
+          "Record the solve as hierarchical phase spans (SAT calls, core \
+           extraction, totalizer extension, reduce_db/restart, inprocessing \
+           passes, certification — plus aggregated propagate/analyze \
+           self-times) and write a Chrome trace_event JSON timeline to \
+           $(docv) (loads in chrome://tracing and Perfetto).  With \
+           $(b,--portfolio), worker spans cross the fork and re-parent \
+           under this process's request span.")
+
 let exits =
   [
     Cmd.Exit.info exit_optimum ~doc:"the optimum was found (s OPTIMUM FOUND).";
@@ -542,6 +617,7 @@ let cmd =
       const run $ file $ algorithm $ encoding $ timeout $ conflicts $ propagations
       $ memory_mb $ verify $ verbose $ trace_file $ stats_json $ no_geq1
       $ no_incremental $ quiet $ incomplete $ portfolio $ jobs $ share_clauses
-      $ sls_worker $ connect $ priority $ no_cache $ no_inprocess $ presimplify)
+      $ sls_worker $ connect $ priority $ no_cache $ no_inprocess $ presimplify
+      $ profile)
 
 let () = exit (Cmd.eval' cmd)

@@ -125,7 +125,9 @@ let recost w (r : Types.result) =
   { passed = List.rev !passed; failures = List.rev !failures }
 
 let certify ?(encoding = Msu_card.Card.Sortnet) ?(brute_limit = 16)
-    ?(max_conflicts = 200_000) w (r : Types.result) =
+    ?(max_conflicts = 200_000) ?(spans = Msu_obs.Obs.Span.disabled) w
+    (r : Types.result) =
+  Msu_obs.Obs.Span.wrap spans "certify" @@ fun () ->
   let passed = ref [] and failures = ref [] in
   let record name result =
     match result with

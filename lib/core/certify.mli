@@ -46,6 +46,7 @@ val certify :
   ?encoding:Msu_card.Card.encoding ->
   ?brute_limit:int ->
   ?max_conflicts:int ->
+  ?spans:Msu_obs.Obs.Span.t ->
   Msu_cnf.Wcnf.t ->
   Types.result ->
   report
@@ -53,4 +54,5 @@ val certify :
     obtained from.  [encoding] (default [Sortnet]) is used for the
     optimality probe's cardinality constraint; [brute_limit] (default
     16) caps the variable count for the enumeration cross-check;
-    [max_conflicts] (default 200_000) bounds each probe solve. *)
+    [max_conflicts] (default 200_000) bounds each probe solve.  When
+    [spans] is live the whole check runs inside a ["certify"] span. *)

@@ -91,6 +91,24 @@ let attach_share (cfg : Types.config) s =
       Msu_sat.Solver.on_export s sh.Types.sh_export;
       Msu_sat.Solver.set_importer s sh.Types.sh_drain
 
+(* Phase-tracer plumbing.  [attach_tracer] hands the config's tracer to
+   a solver so its internal phases (reduce_db, restart boundaries,
+   inprocess passes, the propagate/analyze aggregates) nest under the
+   algorithm's spans.  [span] wraps one algorithm phase;
+   [sat_call_span] additionally annotates the span with the call's
+   (conflicts, propagations) delta read from the solver's counters. *)
+let attach_tracer (cfg : Types.config) s =
+  Msu_sat.Solver.set_tracer s cfg.Types.spans
+
+let span (cfg : Types.config) phase f = Obs.Span.wrap cfg.Types.spans phase f
+
+let sat_call_span (cfg : Types.config) s f =
+  Obs.Span.wrap_counted cfg.Types.spans "sat_call"
+    ~counters:(fun () ->
+      let st = Msu_sat.Solver.stats s in
+      (st.Msu_sat.Solver.conflicts, st.Msu_sat.Solver.propagations))
+    f
+
 (* Wire a persistent solver for inprocessing: enable the automatic
    restart-boundary pass per [config.inprocess], and wrap its fresh-var
    source so every encoding variable (totalizer internals and outputs,

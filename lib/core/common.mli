@@ -47,6 +47,19 @@ val attach_share : Types.config -> Msu_sat.Solver.t -> unit
     share-safety taint tracking has its axioms.  No-op when
     [cfg.share = None]. *)
 
+val attach_tracer : Types.config -> Msu_sat.Solver.t -> unit
+(** Hand the config's phase tracer to a solver so its internal phases
+    (reduce_db, restart boundaries, inprocess passes, propagate/analyze
+    aggregates) nest under the algorithm's spans.  No-op when
+    [cfg.spans] is disabled.  Call right after creating a solver. *)
+
+val span : Types.config -> string -> (unit -> 'a) -> 'a
+(** Run one algorithm phase inside a [cfg.spans] span; closes on raise. *)
+
+val sat_call_span : Types.config -> Msu_sat.Solver.t -> (unit -> 'a) -> 'a
+(** Like {!span} with phase ["sat_call"], annotated with the call's
+    (conflicts, propagations) delta read from the solver's counters. *)
+
 val setup_inprocess : Types.config -> Msu_sat.Solver.t -> unit
 (** Enable (or not, per [cfg.inprocess]) the solver's automatic
     restart-boundary inprocessing pass.  Call right after creating a

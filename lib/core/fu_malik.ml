@@ -19,6 +19,7 @@ let run_incremental opts (config : Types.config) w t0 =
   let tally = Common.tally config in
   let s = Solver.create ~track_proof:false () in
   Solver.on_event s (Common.event config);
+  Common.attach_tracer config s;
   Common.attach_share config s;
   Common.setup_inprocess config s;
   Common.Tally.build tally;
@@ -66,14 +67,17 @@ let run_incremental opts (config : Types.config) w t0 =
           ~learnts:(Solver.num_learnts s);
       let assumptions = Array.init n_soft (fun i -> Lit.neg sel.(i)) in
       match
-        Solver.solve ~assumptions ~deadline:config.deadline ?guard:config.guard s
+        Common.sat_call_span config s (fun () ->
+            Solver.solve ~assumptions ~deadline:config.deadline ?guard:config.guard s)
       with
       | Solver.Unknown -> bounds ()
       | Solver.Sat ->
           Common.trace config (fun () -> Printf.sprintf "SAT: optimum %d" !cost);
           finish (Types.Optimum !cost) (Some (Solver.model s))
       | Solver.Unsat -> (
-          let core = Solver.conflict_assumptions s in
+          let core =
+            Common.span config "core_extract" (fun () -> Solver.conflict_assumptions s)
+          in
           let softs =
             List.filter_map (fun a -> Hashtbl.find_opt soft_of_var (Lit.var a)) core
           in
@@ -167,9 +171,11 @@ let run_rebuild opts (config : Types.config) w t0 =
     }
   in
   let build st =
-    let s = build st in
-    Solver.on_event s (Common.event config);
-    s
+    Common.span config "rebuild" (fun () ->
+        let s = build st in
+        Solver.on_event s (Common.event config);
+        Common.attach_tracer config s;
+        s)
   in
   let finish outcome model =
     Common.finish config ~t0 ~stats:(Common.Tally.snapshot st.tally) outcome model
@@ -180,13 +186,16 @@ let run_rebuild opts (config : Types.config) w t0 =
       finish (Types.Bounds { lb = !cost; ub = None }) None
     else begin
       Common.Tally.sat_call st.tally;
-      match Solver.solve ~deadline:config.deadline ?guard:config.guard s with
+      match
+        Common.sat_call_span config s (fun () ->
+            Solver.solve ~deadline:config.deadline ?guard:config.guard s)
+      with
       | Solver.Unknown -> finish (Types.Bounds { lb = !cost; ub = None }) None
       | Solver.Sat ->
           Common.trace config (fun () -> Printf.sprintf "SAT: optimum %d" !cost);
           finish (Types.Optimum !cost) (Some (Solver.model s))
       | Solver.Unsat -> (
-          match Solver.unsat_core s with
+          match Common.span config "core_extract" (fun () -> Solver.unsat_core s) with
           | [] -> finish Types.Hard_unsat None
           | core ->
               Common.Tally.core ~size:(List.length core)

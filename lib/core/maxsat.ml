@@ -160,7 +160,7 @@ let solve_supervised ?(config = Types.default_config) algorithm w =
       G.Progress.note_marker cell ck.Msu_guard.Checkpoint.marker
   | None -> ());
   let t0 = Unix.gettimeofday () in
-  match G.supervise (fun () -> solve ~config algorithm w) with
+  match G.supervise ~spans:config.Types.spans (fun () -> solve ~config algorithm w) with
   | Ok r -> apply_faults r
   | Error reason ->
       (* The solve died; report the bounds it published before crashing. *)

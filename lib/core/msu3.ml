@@ -20,6 +20,7 @@ let solve_incremental (config : Types.config) w t0 =
   let tally = Common.tally config in
   let s = Solver.create ~track_proof:false () in
   Solver.on_event s (Common.event config);
+  Common.attach_tracer config s;
   Common.attach_share config s;
   Common.setup_inprocess config s;
   Common.Tally.build tally;
@@ -84,14 +85,17 @@ let solve_incremental (config : Types.config) w t0 =
         Array.of_list !acc
       in
       match
-        Solver.solve ~assumptions ~deadline:config.deadline ?guard:config.guard s
+        Common.sat_call_span config s (fun () ->
+            Solver.solve ~assumptions ~deadline:config.deadline ?guard:config.guard s)
       with
       | Solver.Unknown -> bounds ()
       | Solver.Sat ->
           Common.trace config (fun () -> Printf.sprintf "SAT: optimum %d" !lambda);
           finish (Types.Optimum !lambda) (Some (Solver.model s))
       | Solver.Unsat ->
-          let core = Solver.conflict_assumptions s in
+          let core =
+            Common.span config "core_extract" (fun () -> Solver.conflict_assumptions s)
+          in
           let softs =
             List.filter_map (fun a -> Hashtbl.find_opt soft_of_var (Lit.var a)) core
           in
@@ -114,7 +118,8 @@ let solve_incremental (config : Types.config) w t0 =
             if softs <> [] then
               Common.Tally.core ~size:(List.length softs)
                 ~fresh_blocking:(List.length new_leaves) tally;
-            Itotalizer.extend sink tot (Array.of_list new_leaves);
+            Common.span config "totalizer_extend" (fun () ->
+                Itotalizer.extend sink tot (Array.of_list new_leaves));
             Common.maybe_inprocess config s;
             Common.card_event config ~arity:(List.length new_leaves) ~bound:(!lambda + 1);
             incr lambda;
@@ -152,6 +157,7 @@ let fresh st =
 let build st =
   Common.Tally.build st.tally;
   let s = Solver.create () in
+  Common.attach_tracer st.config s;
   Common.attach_share st.config s;
   Solver.ensure_vars s st.next_var;
   Wcnf.iter_hard (fun _ c -> Solver.add_clause ~shareable:true s c) st.w;
@@ -202,13 +208,16 @@ let solve_rebuild config w t0 =
       finish (Types.Bounds { lb = st.lambda; ub = None }) None
     else begin
       Common.Tally.sat_call st.tally;
-      match Solver.solve ~deadline:config.deadline ?guard:config.guard s with
+      match
+        Common.sat_call_span config s (fun () ->
+            Solver.solve ~deadline:config.deadline ?guard:config.guard s)
+      with
       | Solver.Unknown -> finish (Types.Bounds { lb = st.lambda; ub = None }) None
       | Solver.Sat ->
           Common.trace config (fun () -> Printf.sprintf "SAT: optimum %d" st.lambda);
           finish (Types.Optimum st.lambda) (Some (Solver.model s))
       | Solver.Unsat -> (
-          match Solver.unsat_core s with
+          match Common.span config "core_extract" (fun () -> Solver.unsat_core s) with
           | [] when st.lambda >= st.n_vb ->
               (* The bound was vacuous, all relaxed clauses are
                  satisfiable through their blocking variables, and the
@@ -234,10 +243,10 @@ let solve_rebuild config w t0 =
               Common.trace config (fun () ->
                   Printf.sprintf "UNSAT: %d newly relaxed, lambda now %d"
                     (List.length core) st.lambda);
-              loop (build st))
+              loop (Common.span config "rebuild" (fun () -> build st)))
     end
   in
-  try loop (build st)
+  try loop (Common.span config "rebuild" (fun () -> build st))
   with Msu_guard.Guard.Interrupt _ ->
     finish (Types.Bounds { lb = st.lambda; ub = None }) None
 

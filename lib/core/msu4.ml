@@ -21,6 +21,7 @@ let solve_incremental (config : Types.config) w t0 =
   let tally = Common.tally config in
   let s = Solver.create ~track_proof:false () in
   Solver.on_event s (Common.event config);
+  Common.attach_tracer config s;
   Common.attach_share config s;
   Common.setup_inprocess config s;
   Common.Tally.build tally;
@@ -128,7 +129,8 @@ let solve_incremental (config : Types.config) w t0 =
           Array.of_list !acc
         in
         match
-          Solver.solve ~assumptions ~deadline:config.deadline ?guard:config.guard s
+          Common.sat_call_span config s (fun () ->
+              Solver.solve ~assumptions ~deadline:config.deadline ?guard:config.guard s)
         with
         | Solver.Unknown -> finish (bounds_outcome ())
         | Solver.Sat ->
@@ -150,7 +152,10 @@ let solve_incremental (config : Types.config) w t0 =
             if !ub = 0 || !unsat_iters >= !ub then finish (Types.Optimum !ub)
             else loop ()
         | Solver.Unsat -> (
-            let core = Solver.conflict_assumptions s in
+            let core =
+              Common.span config "core_extract" (fun () ->
+                  Solver.conflict_assumptions s)
+            in
             let softs =
               List.filter_map (fun a -> Hashtbl.find_opt soft_of_var (Lit.var a)) core
             in
@@ -176,7 +181,8 @@ let solve_incremental (config : Types.config) w t0 =
                       sel.(i))
                     softs
                 in
-                Itotalizer.extend sink tot (Array.of_list new_bs);
+                Common.span config "totalizer_extend" (fun () ->
+                    Itotalizer.extend sink tot (Array.of_list new_bs));
                 Common.maybe_inprocess config s;
                 Common.trace config (fun () ->
                     Printf.sprintf "UNSAT: core with %d initial clauses (U=%d)"
@@ -257,6 +263,7 @@ let build st =
   Common.Tally.build st.tally;
   let s = Solver.create () in
   Solver.on_event s (Common.event st.config);
+  Common.attach_tracer st.config s;
   Common.attach_share st.config s;
   Solver.ensure_vars s st.next_var;
   Wcnf.iter_hard (fun _ c -> Solver.add_clause ~shareable:true s c) st.w;
@@ -304,7 +311,10 @@ let solve_rebuild config w t0 =
     if Common.over_deadline config then finish (bounds_outcome st)
     else begin
       Common.Tally.sat_call st.tally;
-      match Solver.solve ~deadline:config.deadline ?guard:config.guard s with
+      match
+        Common.sat_call_span config s (fun () ->
+            Solver.solve ~deadline:config.deadline ?guard:config.guard s)
+      with
       | Solver.Unknown -> finish (bounds_outcome st)
       | Solver.Sat ->
           let model = Solver.model s in
@@ -330,7 +340,7 @@ let solve_rebuild config w t0 =
             loop s
           end
       | Solver.Unsat -> (
-          match Solver.unsat_core s with
+          match Common.span config "core_extract" (fun () -> Solver.unsat_core s) with
           | [] ->
               (* The core has no unrelaxed soft clause: the bound cannot
                  improve (lines 21-22), or the hard clauses are refuted. *)
@@ -362,7 +372,7 @@ let solve_rebuild config w t0 =
                 st.at_least <- (Array.of_list new_bs, 1) :: st.at_least;
               if st.ub <> max_int && st.unsat_iters >= st.ub then
                 finish (Types.Optimum st.ub)
-              else loop (build st))
+              else loop (Common.span config "rebuild" (fun () -> build st)))
     end
   (* After a SAT iteration only a new at-most bound was recorded; emit
      just that constraint into the live solver instead of rebuilding. *)
@@ -376,7 +386,7 @@ let solve_rebuild config w t0 =
   in
   (* The guard can trip inside [build]/[encode_bounds] (the guarded sink
      raises), not just between SAT calls: salvage the current bounds. *)
-  try loop (build st)
+  try loop (Common.span config "rebuild" (fun () -> build st))
   with Msu_guard.Guard.Interrupt _ -> finish (bounds_outcome st)
 
 let solve ?(config = Types.default_config) w =

@@ -40,6 +40,7 @@ let solve ?(config = Types.default_config) w =
   let tally = Common.tally config in
   let s = Solver.create ~track_proof:false () in
   Solver.on_event s (Common.event config);
+  Common.attach_tracer config s;
   Common.attach_share config s;
   Common.setup_inprocess config s;
   Common.Tally.build tally;
@@ -80,13 +81,18 @@ let solve ?(config = Types.default_config) w =
       let assumptions =
         Array.of_seq (Seq.map fst (Hashtbl.to_seq active))
       in
-      match Solver.solve ~assumptions ~deadline:config.deadline ?guard:config.guard s with
+      match
+        Common.sat_call_span config s (fun () ->
+            Solver.solve ~assumptions ~deadline:config.deadline ?guard:config.guard s)
+      with
       | Solver.Unknown -> finish (Types.Bounds { lb = !lb; ub = None }) None
       | Solver.Sat ->
           Common.trace config (fun () -> Printf.sprintf "SAT: optimum %d" !lb);
           finish (Types.Optimum !lb) (Some (Solver.model s))
       | Solver.Unsat -> (
-          match Solver.conflict_assumptions s with
+          match
+            Common.span config "core_extract" (fun () -> Solver.conflict_assumptions s)
+          with
           | [] -> finish Types.Hard_unsat None
           | core ->
               Common.Tally.core ~size:(List.length core) tally;
@@ -131,7 +137,8 @@ let solve ?(config = Types.default_config) w =
                     (List.length core) !lb);
               (* A new sum over the core's indicators, allowing one
                  violation (which the core proved unavoidable). *)
-              (match indicators with
+              Common.span config "totalizer_extend" (fun () ->
+                  match indicators with
               | [] | [ _ ] -> ()
               | _ when config.Types.incremental ->
                   Common.card_event config ~arity:(List.length indicators) ~bound:1;

@@ -21,6 +21,7 @@ let tally_sink tally s =
 let build_relaxed config tally w =
   let s = Solver.create ~track_proof:false () in
   Solver.on_event s (Common.event config);
+  Common.attach_tracer config s;
   Common.attach_share config s;
   Common.setup_inprocess config s;
   Common.Tally.build tally;
@@ -116,8 +117,9 @@ let linear_incremental config tally w t0 =
         | Some (cost, _) -> Array.of_list (assume_below cost)
       in
       match
-        Solver.solve ~assumptions ~deadline:config.Types.deadline
-          ?guard:config.Types.guard s
+        Common.sat_call_span config s (fun () ->
+            Solver.solve ~assumptions ~deadline:config.Types.deadline
+              ?guard:config.Types.guard s)
       with
       | Solver.Unknown -> bounds ()
       | Solver.Unsat -> (
@@ -166,7 +168,10 @@ let linear config tally w t0 =
     if Common.over_deadline config then bounds ()
     else begin
       Common.Tally.sat_call tally;
-      match Solver.solve ~deadline:config.deadline ?guard:config.Types.guard s with
+      match
+        Common.sat_call_span config s (fun () ->
+            Solver.solve ~deadline:config.deadline ?guard:config.Types.guard s)
+      with
       | Solver.Unknown -> bounds ()
       | Solver.Unsat -> (
           match !best with
@@ -242,7 +247,8 @@ let binary config tally w t0 =
           in
           Array.of_list (Gte.at_most_assumptions gte k)
     in
-    Solver.solve ~assumptions ~deadline ?guard:config.Types.guard s
+    Common.sat_call_span config s (fun () ->
+        Solver.solve ~assumptions ~deadline ?guard:config.Types.guard s)
   in
   let rec loop () =
     let hi = match !best with Some (c, _) -> c | None -> max_int in

@@ -49,6 +49,9 @@ type config = {
   share : share option;
       (* portfolio clause-sharing endpoints; algorithms wire them into
          their solvers via Common.attach_share *)
+  spans : Msu_obs.Obs.Span.t;
+      (* phase tracer; Span.disabled (the default) keeps every
+         instrumentation point a near-free branch *)
 }
 
 let default_config =
@@ -67,6 +70,7 @@ let default_config =
     progress = None;
     resume = None;
     share = None;
+    spans = Msu_obs.Obs.Span.disabled;
   }
 
 let empty_stats =

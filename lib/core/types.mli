@@ -99,6 +99,9 @@ type config = {
       (** clause-sharing endpoints provided by the portfolio; algorithms
           wire them into their solvers via [Common.attach_share], [None]
           for standalone solves *)
+  spans : Msu_obs.Obs.Span.t;
+      (** phase tracer for span-based profiling; [Span.disabled] (the
+          default) keeps every instrumentation point a near-free branch *)
 }
 
 val default_config : config

@@ -27,6 +27,7 @@ let solve_incremental (config : Types.config) w t0 =
   let tally = Common.tally config in
   let s = Solver.create ~track_proof:false () in
   Solver.on_event s (Common.event config);
+  Common.attach_tracer config s;
   Common.attach_share config s;
   Common.setup_inprocess config s;
   Common.Tally.build tally;
@@ -92,14 +93,17 @@ let solve_incremental (config : Types.config) w t0 =
             Lit.neg (Msu_cnf.Vec.get softs i).sel)
       in
       match
-        Solver.solve ~assumptions ~deadline:config.deadline ?guard:config.guard s
+        Common.sat_call_span config s (fun () ->
+            Solver.solve ~assumptions ~deadline:config.deadline ?guard:config.guard s)
       with
       | Solver.Unknown -> bounds ()
       | Solver.Sat ->
           Common.trace config (fun () -> Printf.sprintf "SAT: optimum %d" !cost);
           finish (Types.Optimum !cost) (Some (Solver.model s))
       | Solver.Unsat -> (
-          let core = Solver.conflict_assumptions s in
+          let core =
+            Common.span config "core_extract" (fun () -> Solver.conflict_assumptions s)
+          in
           let idxs =
             List.filter_map (fun a -> Hashtbl.find_opt soft_of_var (Lit.var a)) core
           in
@@ -214,9 +218,11 @@ let solve_rebuild config w t0 =
       Msu_cnf.Vec.push st.softs { lits = c; weight; blocks = []; sel = Lit.pos 0 })
     w;
   let build st =
-    let s = build st in
-    Solver.on_event s (Common.event config);
-    s
+    Common.span config "rebuild" (fun () ->
+        let s = build st in
+        Solver.on_event s (Common.event config);
+        Common.attach_tracer config s;
+        s)
   in
   let finish outcome model =
     Common.finish config ~t0 ~stats:(Common.Tally.snapshot st.tally) outcome model
@@ -228,13 +234,16 @@ let solve_rebuild config w t0 =
       finish (Types.Bounds { lb = !cost; ub = None }) None
     else begin
       Common.Tally.sat_call st.tally;
-      match Solver.solve ~deadline:config.deadline ?guard:config.guard s with
+      match
+        Common.sat_call_span config s (fun () ->
+            Solver.solve ~deadline:config.deadline ?guard:config.guard s)
+      with
       | Solver.Unknown -> finish (Types.Bounds { lb = !cost; ub = None }) None
       | Solver.Sat ->
           Common.trace config (fun () -> Printf.sprintf "SAT: optimum %d" !cost);
           finish (Types.Optimum !cost) (Some (Solver.model s))
       | Solver.Unsat -> (
-          match Solver.unsat_core s with
+          match Common.span config "core_extract" (fun () -> Solver.unsat_core s) with
           | [] -> finish Types.Hard_unsat None
           | core ->
               Common.Tally.core ~size:(List.length core)

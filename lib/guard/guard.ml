@@ -200,7 +200,8 @@ module Progress = struct
   let marker c = c.marker
 end
 
-let supervise f =
+let supervise ?(spans = Msu_obs.Obs.Span.disabled) f =
+  Msu_obs.Obs.Span.wrap spans "supervise" @@ fun () ->
   try Ok (f ()) with
   | (Interrupt _ | Invalid_argument _) as e -> raise e
   | Stack_overflow -> Error "stack overflow"

@@ -169,8 +169,10 @@ module Progress : sig
   val marker : cell -> marker
 end
 
-val supervise : (unit -> 'a) -> ('a, string) result
+val supervise : ?spans:Msu_obs.Obs.Span.t -> (unit -> 'a) -> ('a, string) result
 (** Run the thunk, converting [Stack_overflow], [Out_of_memory], and any
     unexpected exception into [Error reason_text].  {!Interrupt} and
     [Invalid_argument] are {e not} caught: budget interrupts are normal
-    control flow and caller errors should stay loud. *)
+    control flow and caller errors should stay loud.  When [spans] is
+    live the thunk runs inside a ["supervise"] span, which closes even
+    on the crash path. *)

@@ -15,6 +15,13 @@ val now : unit -> float
 (** [Unix.gettimeofday] clamped nondecreasing process-wide, so event
     streams always order by timestamp. *)
 
+val after_fork : unit -> unit
+(** Reset the monotonic clamp in a forked child.  The child inherits the
+    parent's clamp cell; if the parent had read a later timestamp than
+    the child's first [gettimeofday], every child event (and span
+    duration) would be pinned to the stale parent value.  Call first
+    thing after [fork] returns 0. *)
+
 module Event : sig
   type kind =
     | Sat_call  (** one SAT-solver invocation *)
@@ -33,13 +40,32 @@ module Event : sig
     | Queue_enqueue of { depth : int }  (** depth {e after} the push *)
     | Queue_dequeue of { depth : int }  (** depth {e after} the pop *)
     | Worker_spawn of { pid : int }
-    | Worker_exit of { pid : int; status : int }
+    | Worker_exit of { pid : int; status : int; signaled : bool }
+        (** [signaled] distinguishes a signal death (WSIGNALED; [status]
+            is 128+signo) from a normal exit (WEXITED; [status] is the
+            exit code) *)
     | Clause_shared of { lbd : int; size : int }
         (** a learnt clause accepted into the portfolio's shared pool
             (deduplicated — re-exports of the same clause don't count) *)
     | Incumbent of { cost : int }
         (** a streamed model re-costed by the portfolio parent and
             certified at [cost] *)
+    | Span_begin of { trace : int; span : int; parent : int; phase : string }
+        (** phase interval opened; [parent = 0] means trace root *)
+    | Span_end of {
+        trace : int;
+        span : int;
+        parent : int;
+        phase : string;
+        elapsed : float;
+        c1 : int;
+        c2 : int;
+      }
+        (** phase interval closed after [elapsed] seconds.  [c1]/[c2]
+            are counters-at-boundary deltas whose meaning is per-phase
+            (DESIGN.md §17): SAT phases use (conflicts, propagations),
+            inprocess passes (fuel spent, changes made), service phases
+            (queue depth, 0). *)
     | Note of string  (** free-form narration (compat with the old trace) *)
 
   type t = { id : int; at : float; kind : kind }
@@ -202,6 +228,119 @@ module Metrics : sig
   val to_prometheus : registry -> string
   (** Prometheus text exposition format (counters, gauges, cumulative
       histogram buckets with [+Inf]). *)
+end
+
+(** Hierarchical phase spans layered on the event machinery.  A span is
+    a [(trace, span, parent, phase)] interval delivered as a
+    {!Event.Span_begin}/{!Event.Span_end} pair through an ordinary
+    {!sink}, so spans multiplex over the portfolio/service pipes like
+    every other event and re-parent across fork boundaries: create the
+    worker's tracer with the coordinator's [trace] and the request span
+    as [parent] and its spans carry the right lineage on the wire.
+
+    A tracer holds a preallocated span stack; with tracing disabled
+    ({!disabled}, or {!create} over a [Null] sink) every operation is
+    one load and one branch, with zero allocation.  Closing a span also
+    observes [msu_phase_seconds_<phase>] in the default {!Metrics}
+    registry. *)
+module Span : sig
+  type t
+
+  val disabled : t
+  (** The no-op tracer: every operation is a near-free branch. *)
+
+  val create : ?trace:int -> ?parent:int -> sink:sink -> id:int -> unit -> t
+  (** Tracer emitting into [sink] with solve/request id [id].  [trace]
+      defaults to a {!fresh_trace}; [parent] (default 0 = root) anchors
+      depth-0 spans.  Returns {!disabled} when [sink] is [Null]. *)
+
+  val enabled : t -> bool
+  val trace_id : t -> int
+
+  val anchor : t -> int
+  (** Parent of depth-0 spans (the cross-process re-parenting hook). *)
+
+  val set_anchor : t -> int -> unit
+
+  val current : t -> int
+  (** Innermost open stack span, else the anchor. *)
+
+  val fresh_trace : unit -> int
+  (** New id unique across the process tree (pid-salted counter). *)
+
+  val dropped : t -> int
+  (** Spans discarded because the stack exceeded its preallocated depth
+      (64); [enter]/[leave] stay balanced, the overflow is just not
+      emitted. *)
+
+  val enter : t -> string -> unit
+  val enter_counted : t -> string -> c1:int -> c2:int -> unit
+
+  val leave : t -> unit
+
+  val leave_counted : t -> c1:int -> c2:int -> unit
+  (** Close the innermost span; the emitted [c1]/[c2] are deltas against
+      the values given at [enter_counted] (0 for plain [enter]). *)
+
+  val wrap : t -> string -> (unit -> 'a) -> 'a
+  (** [wrap t phase f] runs [f] inside a [phase] span; the span closes
+      even if [f] raises. *)
+
+  val wrap_counted : t -> string -> counters:(unit -> int * int) -> (unit -> 'a) -> 'a
+  (** Like {!wrap}, polling [counters] at both boundaries so the span
+      carries across-span deltas.  [counters] never runs when tracing is
+      off. *)
+
+  val complete :
+    t -> ?parent:int -> phase:string -> t0:float -> t1:float -> ?c1:int -> ?c2:int -> unit -> unit
+  (** Retro-emit a completed span over [t0, t1] without touching the
+      stack.  Used for aggregated hot sub-phases (propagate/analyze)
+      whose per-call spans would dwarf the trace; see {!agg_phases}. *)
+
+  type h
+  (** Handle for non-nested intervals (queue wait, request lifetime)
+      that open in one callback and close in another. *)
+
+  val start : t -> ?parent:int -> string -> h
+  val span_of : h -> int
+  val stop : t -> ?c1:int -> ?c2:int -> h -> unit
+
+  val agg_phases : string list
+  (** Phases that only appear as retro-emitted aggregates; the Chrome
+      exporter routes them to a separate lane so their intervals don't
+      break B/E nesting on the main lane. *)
+
+  (** Per-phase self-time/total-time aggregation over an event stream
+      (the [--stats-json] phase table and the ablation-profile
+      breakdown). *)
+  module Report : sig
+    type row = { phase : string; count : int; total_s : float; self_s : float }
+
+    val of_events : ?trace:int -> Event.t list -> row list
+    (** Rows sorted by descending total time; a child span's elapsed
+        time is subtracted from its parent phase's self time. *)
+
+    val rooted : root:int -> Event.t list -> bool
+    (** Every span's parent chain reaches [root] — the re-parenting
+        check for worker spans forwarded across a process boundary.
+        False on an empty stream. *)
+
+    val to_json : row list -> string
+    (** JSON array of [{"phase","count","total_s","self_s"}]. *)
+  end
+end
+
+(** Chrome [trace_event] JSON exporter (loads in chrome://tracing and
+    Perfetto).  Spans become B/E duration events on lane [2*id]
+    ([2*id+1] for {!Span.agg_phases}); other events become instants. *)
+module Chrome : sig
+  val of_events : ?process_name:string -> Event.t list -> string
+  (** One event object per line, sorted by timestamp. *)
+
+  val validate : string -> (int, string) result
+  (** Structural check of an [of_events] trace: one object per line,
+      B/E matched per span id with equal phase names, timestamps
+      nondecreasing.  [Ok n] gives the number of complete spans. *)
 end
 
 (** GC-pressure gauges in the default {!Metrics} registry, refreshed

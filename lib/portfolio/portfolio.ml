@@ -274,10 +274,25 @@ let m_incumbents =
   Obs.Metrics.counter ~help:"streamed models accepted after parent re-costing"
     "msu_shared_incumbents_total"
 
+(* Worker-exit split (the "label" is in the name: the registry has no
+   label dimension).  Registration is idempotent, so the service reaps
+   into the same pair. *)
+let m_exit_normal =
+  Obs.Metrics.counter ~help:"workers that exited normally (WEXITED)"
+    "msu_worker_exit_total_normal"
+
+let m_exit_signaled =
+  Obs.Metrics.counter ~help:"workers killed by a signal (WSIGNALED/WSTOPPED)"
+    "msu_worker_exit_total_signaled"
+
 (* ---------------- worker (child process) ---------------- *)
 
 let run_worker ~deadline ~max_conflicts ~down ~up ~tmp ~index ~observe ~share
-    ~seed_ub sp w =
+    ~seed_ub ~trace_ctx sp w =
+  (* First thing in the child: drop the monotonic clamp inherited from
+     the parent, or our first timestamps (and span durations) would be
+     pinned to whatever the parent last read. *)
+  Obs.after_fork ();
   (match sp.fault with Some k -> Fault.arm k | None -> ());
   (* Kill-mid-flush harness: the frame's trailing newline never leaves
      the worker and no report file is written, so the bound survives
@@ -388,6 +403,15 @@ let run_worker ~deadline ~max_conflicts ~down ~up ~tmp ~index ~observe ~share
         }
     else None
   in
+  (* Cross-process trace propagation: the tracer is created with the
+     coordinator's trace id and request span as anchor, so every span
+     this worker sends up the pipe already carries the right lineage —
+     the parent just forwards the frames. *)
+  let spans =
+    match trace_ctx with
+    | Some (trace, parent) -> Obs.Span.create ~trace ~parent ~sink ~id:index ()
+    | None -> Obs.Span.disabled
+  in
   let config =
     {
       T.default_config with
@@ -400,6 +424,7 @@ let run_worker ~deadline ~max_conflicts ~down ~up ~tmp ~index ~observe ~share
       guard = Some guard;
       progress = Some cell;
       share = share_endpoints;
+      spans;
     }
   in
   (* Nothing may escape a forked worker: an exception unwinding past
@@ -441,8 +466,8 @@ type worker_state = {
 }
 
 let solve ?specs ?(jobs = 4) ?timeout ?(grace = 1.0) ?max_conflicts ?trace
-    ?(sink = Obs.null) ?(handle_sigint = false) ?(share_clauses = false)
-    ?(sls_worker = false) w =
+    ?(sink = Obs.null) ?(spans = Obs.Span.disabled) ?(handle_sigint = false)
+    ?(share_clauses = false) ?(sls_worker = false) w =
   let specs =
     match specs with
     | Some [] -> invalid_arg "Portfolio.solve: empty spec list"
@@ -493,6 +518,13 @@ let solve ?specs ?(jobs = 4) ?timeout ?(grace = 1.0) ?max_conflicts ?trace
   (* All pipes are created before any fork so every child can close the
      ends that belong to its siblings. *)
   let observe = not (Obs.is_null sink) in
+  (* Trace context handed to every worker at fork time; the anchor is
+     the caller's request span, so worker spans re-parent under it. *)
+  let trace_ctx =
+    if Obs.Span.enabled spans then
+      Some (Obs.Span.trace_id spans, Obs.Span.current spans)
+    else None
+  in
   let plumbing =
     List.mapi
       (fun index sp ->
@@ -541,7 +573,7 @@ let solve ?specs ?(jobs = 4) ?timeout ?(grace = 1.0) ?max_conflicts ?trace
             run_worker ~deadline ~max_conflicts ~down:down_rd ~up:up_wr ~tmp ~index
               ~observe ~share:share_clauses
               ~seed_ub:(Option.map fst seed_incumbent)
-              sp w
+              ~trace_ctx sp w
         | pid ->
             Unix.close down_rd;
             Unix.close up_wr;
@@ -748,11 +780,14 @@ let solve ?specs ?(jobs = 4) ?timeout ?(grace = 1.0) ?max_conflicts ?trace
         while not st.st_eof do
           read_worker st
         done;
-        let code =
-          match status with Unix.WEXITED n -> n | Unix.WSIGNALED n | Unix.WSTOPPED n -> 128 + n
+        let code, signaled =
+          match status with
+          | Unix.WEXITED n -> (n, false)
+          | Unix.WSIGNALED n | Unix.WSTOPPED n -> (128 + n, true)
         in
+        Obs.Metrics.inc (if signaled then m_exit_signaled else m_exit_normal);
         Obs.emit sink ~id:st.st_index
-          (Obs.Event.Worker_exit { pid = st.st_pid; status = code });
+          (Obs.Event.Worker_exit { pid = st.st_pid; status = code; signaled });
         st.st_report <- Subproc.read_result st.st_tmp;
         (match st.st_report with
         | Some (Ok r) -> (
@@ -811,7 +846,7 @@ let solve ?specs ?(jobs = 4) ?timeout ?(grace = 1.0) ?max_conflicts ?trace
         run_worker ~deadline ~max_conflicts ~down:down_rd ~up:up_wr ~tmp ~index
           ~observe ~share:share_clauses
           ~seed_ub:(if !best_ub = max_int then None else Some !best_ub)
-          sp w
+          ~trace_ctx sp w
     | pid ->
         Sys.set_signal Sys.sigterm prev_sigterm;
         Unix.close down_rd;

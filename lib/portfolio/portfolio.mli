@@ -140,6 +140,7 @@ val solve :
   ?max_conflicts:int ->
   ?trace:(string -> unit) ->
   ?sink:Msu_obs.Obs.sink ->
+  ?spans:Msu_obs.Obs.Span.t ->
   ?handle_sigint:bool ->
   ?share_clauses:bool ->
   ?sls_worker:bool ->
@@ -157,6 +158,12 @@ val solve :
     are forwarded over the existing up pipes and re-emitted into the
     parent's sink; each event carries the worker's spec index as its
     solve id, and the parent adds [Worker_spawn]/[Worker_exit] markers.
+
+    With [spans] (a live tracer) the portfolio propagates the parent's
+    trace context across the fork: each worker opens its own tracer on
+    the same trace id, anchored under the parent's current span, so the
+    spans it streams back over the up pipe re-parent under the
+    coordinator's request span in the merged timeline.
 
     With [handle_sigint] (default false — library callers keep their
     own signal policy) the parent fields Ctrl-C for the whole race:

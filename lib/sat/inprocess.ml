@@ -155,7 +155,9 @@ let resolve a b v =
 
 exception Abort
 
-let run view limits =
+module Span = Msu_obs.Obs.Span
+
+let run ?(tracer = Span.disabled) view limits =
   let st = zero_stats () in
   st.passes <- 1;
   Metrics.inc m_passes;
@@ -188,6 +190,14 @@ let run view limits =
           is quadratic in the occurrence-list lengths, and one pass on a
           large dense instance can eat the entire solve budget. *)
        let fuel = ref limits.max_subsume_steps in
+       (* Span counters: c1 = fuel spent, c2 = changes made (clauses
+          subsumed + literals strengthened).  wrap_counted closes the
+          span on Abort, so a deadline mid-phase still pairs B/E. *)
+       Span.wrap_counted tracer "subsume"
+         ~counters:(fun () ->
+           ( limits.max_subsume_steps - !fuel,
+             st.subsumed_clauses + st.strengthened_lits ))
+         (fun () ->
        Array.iter
          (fun c ->
            if c.alive && Array.length c.lits > 0 && !fuel > 0 then begin
@@ -251,7 +261,7 @@ let run view limits =
                      occ.(l lxor 1))
                c.lits
            end)
-         entries;
+         entries);
        (* ---------------- bounded variable elimination ---------------- *)
        let live_occs l =
          List.filter (fun e -> e.alive && Array.exists (( = ) l) e.lits) occ.(l)
@@ -275,8 +285,15 @@ let run view limits =
            end
          end
        done;
+       (* Span counters: c1 = elimination candidates popped (the fuel
+          actually consumed), c2 = variables eliminated. *)
+       let pops = ref 0 in
+       Span.wrap_counted tracer "bve"
+         ~counters:(fun () -> (!pops, st.eliminated_vars))
+         (fun () ->
        while not (Idx_heap.is_empty heap) do
          check ();
+         incr pops;
          let v = Idx_heap.pop_max heap in
          (* Re-validate: earlier eliminations may have changed the
             occurrence lists or assigned the variable. *)
@@ -326,7 +343,7 @@ let run view limits =
              end
            end
          end
-       done;
+       done);
        (* A sweep that changed nothing cannot enable anything next
           round: stop instead of paying another full snapshot and
           subsumption scan. *)
@@ -348,6 +365,10 @@ let run view limits =
        List.sort (fun a b -> Float.compare (view.activity b) (view.activity a)) !candidates
      in
      let budget = ref limits.max_probes in
+     (* Span counters: c1 = probes performed, c2 = failed literals. *)
+     Span.wrap_counted tracer "probe"
+       ~counters:(fun () -> (st.probes, st.failed_literals))
+       (fun () ->
      List.iter
        (fun v ->
          if !budget > 0 then begin
@@ -374,6 +395,6 @@ let run view limits =
              if not (view.ok ()) then raise Abort
            end
          end)
-       ranked
+       ranked)
    with Abort -> ());
   st

@@ -84,10 +84,12 @@ type view = {
           items when this returns [true]. *)
 }
 
-val run : view -> limits -> stats
+val run : ?tracer:Msu_obs.Obs.Span.t -> view -> limits -> stats
 (** Run one inprocessing pass: [rounds] sweeps of subsumption,
     self-subsuming resolution and bounded variable elimination over the
     problem clauses, followed by failed-literal probing of up to
     [max_probes] unassigned, unprotected variables in decreasing
     activity order.  Metrics counters in the default {!Msu_obs.Obs.Metrics}
-    registry are bumped as a side effect. *)
+    registry are bumped as a side effect.  When [tracer] is live, each
+    phase (subsume/bve/probe) is a span annotated with fuel spent and
+    changes made. *)

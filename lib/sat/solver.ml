@@ -148,6 +148,15 @@ type t = {
   mutable n_deleted : int;
   mutable n_compactions : int;
   mutable event_hook : Msu_obs.Obs.Event.kind -> unit;
+  (* Phase tracer.  [prof_on] caches [Span.enabled tracer] so the search
+     loop pays one bool load per iteration when profiling is off.  The
+     two hot sub-phases (propagate, conflict analysis) are far too
+     frequent for per-call spans; their self-time accumulates here and
+     is retro-emitted as two aggregate spans when the solve call ends. *)
+  mutable tracer : Msu_obs.Obs.Span.t;
+  mutable prof_on : bool;
+  mutable prof_propagate : float;
+  mutable prof_analyze : float;
   (* Portfolio clause sharing: [export_hook] fires for every share-safe
      learnt passing the LBD/length filter; [importer] is drained at
      restart boundaries (decision level 0), where attaching foreign
@@ -260,6 +269,10 @@ let create ?(track_proof = true) ?(debug = false) () =
       n_deleted = 0;
       n_compactions = 0;
       event_hook = (fun _ -> ());
+      tracer = Msu_obs.Obs.Span.disabled;
+      prof_on = false;
+      prof_propagate = 0.0;
+      prof_analyze = 0.0;
       export_hook = None;
       importer = None;
       n_exported = 0;
@@ -1296,6 +1309,7 @@ let locked s cr =
   s.reason.(v) = cr
 
 let reduce_db s =
+  Msu_obs.Obs.Span.enter_counted s.tracer "reduce_db" ~c1:s.n_deleted ~c2:0;
   let a = s.arena in
   let cmp cr1 cr2 =
     let l1 = c_lbd a cr1 and l2 = c_lbd a cr2 in
@@ -1327,7 +1341,8 @@ let reduce_db s =
     s.max_learnts <- s.max_learnts *. 1.3;
   Msu_obs.Obs.Metrics.inc m_reduce_db;
   s.event_hook (Msu_obs.Obs.Event.Reduce_db { kept = Vec.size s.learnts });
-  maybe_compact s
+  maybe_compact s;
+  Msu_obs.Obs.Span.leave_counted s.tracer ~c1:s.n_deleted ~c2:(Vec.size s.learnts)
 
 (* Luby restart sequence (Een & Sorensson's formulation). *)
 
@@ -1544,7 +1559,7 @@ let make_view (s : t) =
     }
 
 let run_inprocess s limits =
-  let st = Inprocess.run (make_view s) limits in
+  let st = Inprocess.run ~tracer:s.tracer (make_view s) limits in
   s.dirty <- 0;
   let productive =
     st.Inprocess.eliminated_vars + st.Inprocess.subsumed_clauses
@@ -1621,7 +1636,15 @@ let search s assumptions max_conflicts =
   (* [= None] would go through polymorphic compare (a C call per
      iteration of the solver's outermost hot loop); match instead. *)
   while (match !outcome with None -> true | Some _ -> false) do
-    let confl = propagate s in
+    let confl =
+      if s.prof_on then begin
+        let t = Unix.gettimeofday () in
+        let c = propagate s in
+        s.prof_propagate <- s.prof_propagate +. (Unix.gettimeofday () -. t);
+        c
+      end
+      else propagate s
+    in
     if confl >= 0 then begin
       s.n_conflicts <- s.n_conflicts + 1;
       incr conflicts_here;
@@ -1631,7 +1654,15 @@ let search s assumptions max_conflicts =
         outcome := Some S_unsat
       end
       else begin
-        let back_level, ants, safe = analyze s confl in
+        let back_level, ants, safe =
+          if s.prof_on then begin
+            let t = Unix.gettimeofday () in
+            let r = analyze s confl in
+            s.prof_analyze <- s.prof_analyze +. (Unix.gettimeofday () -. t);
+            r
+          end
+          else analyze s confl
+        in
         cancel_until s back_level;
         let cr = record_learnt s ants ~safe in
         enqueue s (Vec.get s.scratch_learnt 0) cr;
@@ -1688,7 +1719,9 @@ let solve ?(assumptions = [||]) ?(deadline = infinity) ?(conflict_budget = max_i
     ?guard s =
   let call_t0 = Unix.gettimeofday () in
   let call_conflicts0 = s.n_conflicts in
+  let call_props0 = s.n_propagations in
   let call_minor0 = Gc.minor_words () in
+  let prof_prop0 = s.prof_propagate and prof_ana0 = s.prof_analyze in
   Msu_obs.Obs.Metrics.inc m_calls;
   Array.iter (fun l -> ensure_vars s (Lit.var l + 1)) assumptions;
   (* Clear before the [ok] bail-out: an incremental caller reading
@@ -1726,8 +1759,9 @@ let solve ?(assumptions = [||]) ?(deadline = infinity) ?(conflict_budget = max_i
       | S_unsat -> result := Some Unsat
       | S_budget -> result := Some Unknown
       | S_restart ->
-          drain_imports s;
-          inprocess_auto s;
+          Msu_obs.Obs.Span.wrap s.tracer "restart" (fun () ->
+              drain_imports s;
+              inprocess_auto s);
           if not s.ok then result := Some Unsat
     done;
     let r = match !result with Some r -> r | None -> assert false in
@@ -1742,6 +1776,20 @@ let solve ?(assumptions = [||]) ?(deadline = infinity) ?(conflict_budget = max_i
     | Unsat | Unknown -> ());
     Array.iter (fun l -> Bytes.unsafe_set s.assumed (Lit.var l) '\000') assumptions;
     cancel_until s 0;
+    if s.prof_on then begin
+      (* Aggregate spans for the hot sub-phases, laid back-to-back so
+         they end at the call's close; the Chrome exporter routes them
+         to a separate lane (Span.agg_phases), so overlapping the real
+         child spans in wall time is harmless. *)
+      let t1 = Msu_obs.Obs.now () in
+      let dp = s.prof_propagate -. prof_prop0
+      and da = s.prof_analyze -. prof_ana0 in
+      Msu_obs.Obs.Span.complete s.tracer ~phase:"propagate"
+        ~t0:(t1 -. da -. dp) ~t1:(t1 -. da)
+        ~c2:(s.n_propagations - call_props0) ();
+      Msu_obs.Obs.Span.complete s.tracer ~phase:"analyze" ~t0:(t1 -. da) ~t1
+        ~c1:(s.n_conflicts - call_conflicts0) ()
+    end;
     Msu_obs.Obs.Metrics.observe m_call_seconds (Unix.gettimeofday () -. call_t0);
     Msu_obs.Obs.Metrics.observe m_call_conflicts
       (float_of_int (s.n_conflicts - call_conflicts0));
@@ -1750,6 +1798,10 @@ let solve ?(assumptions = [||]) ?(deadline = infinity) ?(conflict_budget = max_i
   end
 
 let on_event s f = s.event_hook <- f
+
+let set_tracer s tr =
+  s.tracer <- tr;
+  s.prof_on <- Msu_obs.Obs.Span.enabled tr
 let model_value s v = v < s.num_vars && Bytes.get s.polarity v <> '\000'
 let model s = Array.init s.num_vars (fun v -> model_value s v)
 let okay s = s.ok

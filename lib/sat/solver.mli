@@ -102,6 +102,14 @@ val on_event : t -> (Msu_obs.Obs.Event.kind -> unit) -> unit
     [Reduce_db] through it (the caller stamps ids/timestamps).  Replaces
     any previous hook; defaults to a no-op. *)
 
+val set_tracer : t -> Msu_obs.Obs.Span.t -> unit
+(** Install a phase tracer (default {!Msu_obs.Obs.Span.disabled}).
+    When live, [reduce_db], restart-boundary work and inprocess passes
+    become spans, and each solve call retro-emits two aggregate spans
+    ("propagate"/"analyze") carrying the call's accumulated self-time
+    in the hot sub-phases — per-call spans there would dwarf the trace
+    and the hot loop. *)
+
 (** {2 Portfolio clause sharing}
 
     Workers racing on the same instance exchange short, low-LBD learnt

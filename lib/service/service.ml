@@ -35,6 +35,11 @@ type config = {
   retry_backoff : float;
       (* seconds before respawning a crashed job, doubling per prior
          attempt *)
+  profile_dir : string option;
+      (* when set, each request gets a span tracer (request / queue-wait
+         / cache-lookup / worker-solve, plus the worker's re-parented
+         solve spans) and its merged stream is exported as Chrome
+         trace_event JSON to profile_dir/job-<id>.trace.json *)
 }
 
 let default_config ~socket_path =
@@ -52,6 +57,7 @@ let default_config ~socket_path =
     journal_file = None;
     max_attempts = 2;
     retry_backoff = 0.25;
+    profile_dir = None;
   }
 
 (* ---------------- internal state ---------------- *)
@@ -73,6 +79,9 @@ type job = {
   mutable j_attempts : int;  (* workers spawned for this job so far *)
   mutable j_not_before : float;  (* retry backoff gate *)
   mutable j_ck : Ck.t;  (* best checkpoint across all attempts *)
+  j_spans : Obs.Span.t;  (* per-request tracer (disabled unless profiled) *)
+  mutable j_request : Obs.Span.h option;  (* request-lifetime span *)
+  mutable j_queue : Obs.Span.h option;  (* open queue-wait span *)
 }
 
 type slot = {
@@ -83,6 +92,7 @@ type slot = {
   sl_ev_buf : Buffer.t;
   sl_ck : Unix.file_descr;  (* worker's checkpoint pipe (read end) *)
   sl_ck_reader : Ck.reader;
+  sl_solve : Obs.Span.h option;  (* worker-solve span, closed at reap *)
   sl_started : float;
   mutable sl_term_at : float;  (* when the SIGTERM rung fires *)
   mutable sl_termed : bool;
@@ -112,6 +122,11 @@ type state = {
   latencies : (string, float list ref) Hashtbl.t;
   outcome_counts : (string, int ref) Hashtbl.t;
   mutable last_metrics_write : float;
+  profiles : (int, Obs.Event.t list ref) Hashtbl.t;
+      (* per-job event capture for profile_dir: every event carrying a
+         profiled job's id (daemon-side spans and the worker's forwarded
+         stream alike) buffers here until the job finishes, then leaves
+         as one Chrome trace file *)
 }
 
 (* ---------------- observability ---------------- *)
@@ -141,11 +156,31 @@ let m_retries =
   Obs.Metrics.counter ~help:"crashed workers respawned with a warm checkpoint"
     "msu_service_retries_total"
 
+let m_exit_normal =
+  Obs.Metrics.counter ~help:"workers that exited normally (WEXITED)"
+    "msu_worker_exit_total_normal"
+
+let m_exit_signaled =
+  Obs.Metrics.counter ~help:"workers killed by a signal (WSIGNALED/WSTOPPED)"
+    "msu_worker_exit_total_signaled"
+
 let m_replayed =
   Obs.Metrics.counter ~help:"jobs re-enqueued from the journal at startup"
     "msu_service_replayed_total"
 
 let ev st ~id kind = Obs.emit st.cfg.sink ~id kind
+
+let collect st (e : Obs.Event.t) =
+  match Hashtbl.find_opt st.profiles e.Obs.Event.id with
+  | Some cell -> cell := e :: !cell
+  | None -> ()
+
+(* Sink for a job's daemon-side tracer: events reach the daemon's own
+   stream and, when the job is profiled, its capture buffer. *)
+let job_sink st =
+  Obs.of_fn (fun e ->
+      Obs.feed st.cfg.sink e;
+      collect st e)
 
 let journal st r = match st.journal with Some j -> Journal.append j r | None -> ()
 
@@ -252,6 +287,40 @@ let send st conn reply =
       conn.c_alive <- false;
       say st "dropped reply to a dead connection"
 
+(* Close the request span and, under profile_dir, export the job's
+   buffered events as a Chrome trace.  [stop] runs before the buffer is
+   taken so the request's own Span_end makes it into the file. *)
+let finish_profile st ~id ~spans ~request =
+  (match request with Some h -> Obs.Span.stop spans h | None -> ());
+  match st.cfg.profile_dir with
+  | None -> ()
+  | Some dir -> (
+      match Hashtbl.find_opt st.profiles id with
+      | None -> ()
+      | Some cell ->
+          Hashtbl.remove st.profiles id;
+          let events = List.rev !cell in
+          let path =
+            Filename.concat dir (Printf.sprintf "job-%d.trace.json" id)
+          in
+          (try
+             let oc = open_out path in
+             output_string oc
+               (Obs.Chrome.of_events ~process_name:"mserve" events);
+             close_out oc
+           with Sys_error _ -> ());
+          say st "job %d: trace written to %s" id path)
+
+(* A job leaving through a non-complete path (queue cancel, shutdown
+   drain) still owes its spans a balanced close. *)
+let abandon_profile st job =
+  (match job.j_queue with
+  | Some h ->
+      Obs.Span.stop job.j_spans h;
+      job.j_queue <- None
+  | None -> ());
+  finish_profile st ~id:job.j_id ~spans:job.j_spans ~request:job.j_request
+
 (* ---------------- worker pool ---------------- *)
 
 let spawn st job =
@@ -264,12 +333,27 @@ let spawn st job =
      "wire" line each, stamped with the job id so the daemon's single
      sink demultiplexes by request. *)
   let ev_pipe =
-    if Obs.is_null st.cfg.sink then None else Some (Unix.pipe ())
+    if Obs.is_null st.cfg.sink && st.cfg.profile_dir = None then None
+    else Some (Unix.pipe ())
   in
   let ck_rd, ck_wr = Unix.pipe () in
   job.j_attempts <- job.j_attempts + 1;
+  (* The worker-solve span opens before the fork so the child can hang
+     its own tracer under it: worker spans crossing back over the event
+     pipe then re-parent under this request's timeline by construction. *)
+  let solve_h =
+    if Obs.Span.enabled job.j_spans then
+      Some (Obs.Span.start job.j_spans "worker_solve")
+    else None
+  in
+  let trace_ctx =
+    match solve_h with
+    | Some h -> Some (Obs.Span.trace_id job.j_spans, Obs.Span.span_of h)
+    | None -> None
+  in
   match Unix.fork () with
   | 0 ->
+      Obs.after_fork ();
       (* The worker owns nothing of the daemon: close the listener,
          every client connection, the journal, and the sibling workers'
          pipes, then detach from the terminal's Ctrl-C — the parent's
@@ -310,6 +394,12 @@ let spawn st job =
                 try ignore (Unix.write wr b 0 (Bytes.length b))
                 with Unix.Unix_error _ -> ())
       in
+      let spans =
+        match trace_ctx with
+        | Some (trace, parent) ->
+            Obs.Span.create ~trace ~parent ~sink ~id:job.j_id ()
+        | None -> Obs.Span.disabled
+      in
       let cell = G.Progress.create () in
       (* Stream warm-resume checkpoints to the daemon on the guard's
          ticker cadence; a retried attempt starts from the best bracket
@@ -324,6 +414,7 @@ let spawn st job =
             Option.value job.j_options.P.encoding
               ~default:T.default_config.T.encoding;
           sink;
+          spans;
           solve_id = job.j_id;
           guard = Some guard;
           progress = Some cell;
@@ -371,6 +462,7 @@ let spawn st job =
           sl_ev_buf = Buffer.create 256;
           sl_ck = ck_rd;
           sl_ck_reader = Ck.reader ();
+          sl_solve = solve_h;
           sl_started = now;
           sl_term_at = now +. timeout +. st.cfg.grace;
           sl_termed = false;
@@ -402,6 +494,7 @@ let complete st ?(was_cancelled = false) job (r : T.result) =
   | T.Optimum cost, Some model ->
       Cache.store st.cache ~fingerprint:job.j_fingerprint ~cost ~model
   | _ -> ());
+  finish_profile st ~id:job.j_id ~spans:job.j_spans ~request:job.j_request;
   journal st (Journal.Completed { id = job.j_id });
   send st job.j_conn
     (P.Result
@@ -438,7 +531,9 @@ let read_events st sl =
               (String.length data - start)
         | Some nl ->
             (match Obs.Event.of_wire (String.sub data start (nl - start)) with
-            | Some e -> Obs.feed st.cfg.sink e
+            | Some e ->
+                Obs.feed st.cfg.sink e;
+                collect st e
             | None -> ());
             go (nl + 1)
       in
@@ -515,13 +610,19 @@ let reap st =
           (match Ck.latest sl.sl_ck_reader with
           | Some ck -> job.j_ck <- Ck.merge job.j_ck ck
           | None -> ());
-          let code =
+          let code, signaled =
             match status with
-            | Unix.WEXITED n -> n
-            | Unix.WSIGNALED n | Unix.WSTOPPED n -> 128 + n
+            | Unix.WEXITED n -> (n, false)
+            | Unix.WSIGNALED n | Unix.WSTOPPED n -> (128 + n, true)
           in
+          Obs.Metrics.inc (if signaled then m_exit_signaled else m_exit_normal);
           ev st ~id:job.j_id
-            (Obs.Event.Worker_exit { pid = sl.sl_pid; status = code });
+            (Obs.Event.Worker_exit { pid = sl.sl_pid; status = code; signaled });
+          (* Close after the final event drain so every worker span the
+             pipe carried lands inside the worker_solve interval. *)
+          (match sl.sl_solve with
+          | Some h -> Obs.Span.stop job.j_spans ~c1:code h
+          | None -> ());
           let result = Subproc.read_result sl.sl_tmp in
           (try Sys.remove sl.sl_tmp with Sys_error _ -> ());
           let crashed reason =
@@ -616,6 +717,11 @@ let dispatch st =
     | Some job ->
         ev st ~id:job.j_id
           (Obs.Event.Queue_dequeue { depth = Jobq.length st.queue });
+        (match job.j_queue with
+        | Some h ->
+            Obs.Span.stop job.j_spans ~c1:(Jobq.length st.queue) h;
+            job.j_queue <- None
+        | None -> ());
         spawn st job
     | None -> ()
   done
@@ -651,6 +757,26 @@ let handle_solve st conn (wire : P.wire_wcnf) (options : P.options) =
         let id = st.next_id in
         st.next_id <- id + 1;
         let submitted = Unix.gettimeofday () in
+        (* Per-request tracer: live whenever the daemon streams events
+           or profiles.  The request span anchors everything else —
+           cache lookup, queue wait, the worker-solve interval and the
+           worker's own forwarded spans all re-parent under it. *)
+        let profiling = st.cfg.profile_dir <> None in
+        let spans =
+          if profiling || not (Obs.is_null st.cfg.sink) then begin
+            if profiling then Hashtbl.replace st.profiles id (ref []);
+            Obs.Span.create ~sink:(job_sink st) ~id ()
+          end
+          else Obs.Span.disabled
+        in
+        let request =
+          if Obs.Span.enabled spans then begin
+            let h = Obs.Span.start spans "request" in
+            Obs.Span.set_anchor spans (Obs.Span.span_of h);
+            Some h
+          end
+          else None
+        in
         let serve_hit (cost, model) =
           st.hits <- st.hits + 1;
           st.completed <- st.completed + 1;
@@ -662,6 +788,7 @@ let handle_solve st conn (wire : P.wire_wcnf) (options : P.options) =
           say st "job %d: cache hit (%s, cost %d)" id
             (String.sub fingerprint 0 8)
             cost;
+          finish_profile st ~id ~spans ~request;
           send st conn (P.Accepted { id });
           send st conn
             (P.Result
@@ -688,6 +815,9 @@ let handle_solve st conn (wire : P.wire_wcnf) (options : P.options) =
               j_attempts = 0;
               j_not_before = 0.;
               j_ck = Ck.empty;
+              j_spans = spans;
+              j_request = request;
+              j_queue = None;
             }
           in
           if Jobq.push st.queue ~priority:options.P.priority job then begin
@@ -698,11 +828,15 @@ let handle_solve st conn (wire : P.wire_wcnf) (options : P.options) =
               (Journal.Admitted { id; wcnf = wire; options; submitted });
             ev st ~id
               (Obs.Event.Queue_enqueue { depth = Jobq.length st.queue });
+            if Obs.Span.enabled spans then
+              job.j_queue <-
+                Some (Obs.Span.start spans "queue_wait");
             send st conn (P.Accepted { id })
           end
           else begin
             st.rejected <- st.rejected + 1;
             Obs.Metrics.inc m_rejected;
+            finish_profile st ~id ~spans ~request;
             send st conn
               (P.Rejected
                  {
@@ -713,7 +847,11 @@ let handle_solve st conn (wire : P.wire_wcnf) (options : P.options) =
           end
         in
         if options.P.use_cache then
-          match Cache.find st.cache ~fingerprint w with
+          match
+            Obs.Span.wrap_counted spans "cache_lookup"
+              ~counters:(fun () -> (Jobq.length st.queue, 0))
+              (fun () -> Cache.find st.cache ~fingerprint w)
+          with
           | Some hit -> serve_hit hit
           | None -> enqueue ()
         else enqueue ()
@@ -732,6 +870,7 @@ let handle_cancel st conn id =
   with
   | Some job ->
       st.cancelled <- st.cancelled + 1;
+      abandon_profile st job;
       journal st (Journal.Completed { id });
       send st job.j_conn (cancelled_result id);
       send st conn (P.Cancel_ack { id; found = true })
@@ -752,6 +891,7 @@ let start_shutdown st ~drain =
     List.iter
       (fun job ->
         st.cancelled <- st.cancelled + 1;
+        abandon_profile st job;
         journal st (Journal.Completed { id = job.j_id });
         send st job.j_conn (cancelled_result job.j_id))
       (Jobq.drain st.queue @ st.retries);
@@ -891,6 +1031,7 @@ let run ?(handle_signals = false) cfg =
       latencies = Hashtbl.create 8;
       outcome_counts = Hashtbl.create 4;
       last_metrics_write = 0.;
+      profiles = Hashtbl.create 8;
     }
   in
   say st "listening on %s (%d workers, queue %d, cache %d%s)" cfg.socket_path
@@ -921,6 +1062,11 @@ let run ?(handle_signals = false) cfg =
                   j_attempts = 0;
                   j_not_before = 0.;
                   j_ck = Ck.empty;
+                  (* Replayed jobs have no live client and no request
+                     span to hang a profile on. *)
+                  j_spans = Obs.Span.disabled;
+                  j_request = None;
+                  j_queue = None;
                 }
               in
               if Jobq.push st.queue ~priority:options.P.priority job then begin

@@ -57,12 +57,19 @@ type config = {
   retry_backoff : float;
       (** seconds before respawning a crashed job's worker, doubled for
           each attempt already made *)
+  profile_dir : string option;
+      (** when set, every request is traced ({!Msu_obs.Obs.Span}): the
+          daemon opens a request span per job (with queue-wait,
+          cache-lookup and worker-solve sub-spans), forked workers
+          re-parent their solve spans under it across the pipe, and the
+          merged stream is written to [profile_dir/job-<id>.trace.json]
+          as Chrome [trace_event] JSON when the job completes *)
 }
 
 val default_config : socket_path:string -> config
 (** 2 workers, queue 64, cache 1024, 10 s default timeout, 1 s grace,
     no persistence, no trace, null sink, no metrics file, no journal,
-    2 attempts with 0.25 s base backoff. *)
+    2 attempts with 0.25 s base backoff, no profiling. *)
 
 val run : ?handle_signals:bool -> config -> unit
 (** Serve until a [Shutdown] request completes.  With [handle_signals]

@@ -123,9 +123,22 @@ let all_kinds =
     Event.Queue_enqueue { depth = 5 };
     Event.Queue_dequeue { depth = 4 };
     Event.Worker_spawn { pid = 4242 };
-    Event.Worker_exit { pid = 4242; status = 0 };
+    Event.Worker_exit { pid = 4242; status = 0; signaled = false };
+    Event.Worker_exit { pid = 4243; status = 137; signaled = true };
     Event.Clause_shared { lbd = 2; size = 5 };
     Event.Incumbent { cost = 7 };
+    Event.Span_begin { trace = 0x123456789; span = 0x42; parent = 0; phase = "sat_call" };
+    Event.Span_end
+      {
+        trace = 0x123456789;
+        span = 0x42;
+        parent = 0;
+        phase = "sat_call";
+        (* exactly representable at the wire's %.6f precision *)
+        elapsed = 0.015625;
+        c1 = 1234;
+        c2 = 567890;
+      };
     Event.Note "free-form narration, with spaces";
   ]
 
@@ -223,7 +236,7 @@ let test_forked_worker_ordering () =
         "final bracket" true
         (Obs.Timeline.final tl = (Some 50, Some 50))
 
-(* ----- event-vs-stats consistency oracle ----- *)
+(* ----- spans ----- *)
 
 let example () =
   (* The paper's running example (8 unit-weight soft clauses, optimum
@@ -237,6 +250,173 @@ let example () =
       [ 1 ]; [ -1; -2 ]; [ 2 ]; [ -1; -3 ]; [ 3 ]; [ -2; -3 ]; [ 1; -4 ]; [ -1; 4 ];
     ];
   w
+
+let span_begins events =
+  List.filter_map
+    (fun e ->
+      match e.Event.kind with
+      | Event.Span_begin { span; parent; phase; _ } -> Some (span, parent, phase)
+      | _ -> None)
+    events
+
+let test_span_nesting () =
+  let col = Obs.Collector.create () in
+  let sp = Obs.Span.create ~sink:(Obs.Collector.sink col) ~id:0 () in
+  Alcotest.(check bool) "live sink enables" true (Obs.Span.enabled sp);
+  Alcotest.(check bool)
+    "null sink disables" false
+    (Obs.Span.enabled (Obs.Span.create ~sink:Obs.null ~id:0 ()));
+  Obs.Span.wrap sp "outer" (fun () ->
+      Obs.Span.wrap_counted sp "inner"
+        ~counters:(fun () -> (1, 2))
+        (fun () -> ()));
+  (* An exception propagates but the span still closes. *)
+  (try Obs.Span.wrap sp "raises" (fun () -> failwith "boom")
+   with Failure _ -> ());
+  let evs = Obs.Collector.events col in
+  let begins = span_begins evs in
+  let ends =
+    List.filter_map
+      (fun e ->
+        match e.Event.kind with
+        | Event.Span_end { phase; _ } -> Some phase
+        | _ -> None)
+      evs
+  in
+  Alcotest.(check int) "three spans opened" 3 (List.length begins);
+  Alcotest.(check int) "all three closed" 3 (List.length ends);
+  let find phase =
+    match List.find_opt (fun (_, _, p) -> String.equal p phase) begins with
+    | Some (span, parent, _) -> (span, parent)
+    | None -> Alcotest.fail ("no Span_begin for " ^ phase)
+  in
+  let outer_span, _ = find "outer" and _, inner_parent = find "inner" in
+  Alcotest.(check bool) "inner nests under outer" true (inner_parent = outer_span);
+  Alcotest.(check bool)
+    "exception-path span closed" true
+    (List.exists (String.equal "raises") ends);
+  Alcotest.(check bool)
+    "all chains reach the root" true
+    (Obs.Span.Report.rooted ~root:0 evs)
+
+(* Worker spans cross the fork boundary over the wire pipe and
+   re-parent under the coordinator's request span — the portfolio /
+   service propagation path in miniature. *)
+let test_span_reparenting () =
+  let col = Obs.Collector.create () in
+  let parent_sink = Obs.Collector.sink col in
+  let sp = Obs.Span.create ~sink:parent_sink ~id:9 () in
+  let req = Obs.Span.start sp "request" in
+  Obs.Span.set_anchor sp (Obs.Span.span_of req);
+  let trace = Obs.Span.trace_id sp in
+  let anchor = Obs.Span.current sp in
+  let rd, wr = Unix.pipe () in
+  match Unix.fork () with
+  | 0 ->
+      Unix.close rd;
+      Obs.after_fork ();
+      let oc = Unix.out_channel_of_descr wr in
+      let sink =
+        Obs.of_fn (fun e -> output_string oc (Event.to_wire e ^ "\n"))
+      in
+      let wsp = Obs.Span.create ~trace ~parent:anchor ~sink ~id:9 () in
+      Obs.Span.wrap wsp "sat_call" (fun () ->
+          Obs.Span.wrap wsp "core_extract" (fun () -> ()));
+      close_out oc;
+      Unix._exit 0
+  | pid -> (
+      Unix.close wr;
+      let ic = Unix.in_channel_of_descr rd in
+      (try
+         while true do
+           match Event.of_wire (input_line ic) with
+           | Some e -> Obs.feed parent_sink e
+           | None -> Alcotest.fail "unparseable span frame"
+         done
+       with End_of_file -> ());
+      close_in ic;
+      ignore (Unix.waitpid [] pid);
+      Obs.Span.stop sp req;
+      let evs = Obs.Collector.events col in
+      List.iter
+        (fun e ->
+          match e.Event.kind with
+          | Event.Span_begin { trace = t; _ } | Event.Span_end { trace = t; _ }
+            ->
+              Alcotest.(check bool)
+                "worker spans carry the coordinator's trace id" true (t = trace)
+          | _ -> ())
+        evs;
+      Alcotest.(check bool)
+        "worker spans re-parent under the request span" true
+        (Obs.Span.Report.rooted ~root:(Obs.Span.span_of req) evs);
+      match Obs.Chrome.validate (Obs.Chrome.of_events evs) with
+      | Ok n -> Alcotest.(check int) "request + two worker spans" 3 n
+      | Error msg -> Alcotest.fail ("merged trace invalid: " ^ msg))
+
+(* Two workers' span frames interleaved on one up-pipe, plus a torn
+   trailing fragment: the torn frame drops, everything else still
+   parses, pairs up, and validates. *)
+let test_span_torn_frames () =
+  let mk lines = Obs.of_fn (fun e -> lines := Event.to_wire e :: !lines) in
+  let l1 = ref [] and l2 = ref [] in
+  let s1 = Obs.Span.create ~sink:(mk l1) ~id:1 () in
+  let s2 = Obs.Span.create ~sink:(mk l2) ~id:2 () in
+  Obs.Span.enter s1 "sat_call";
+  Obs.Span.enter_counted s2 "bve" ~c1:100 ~c2:0;
+  Obs.Span.leave_counted s1 ~c1:3 ~c2:4;
+  Obs.Span.leave s2;
+  let b1, e1 =
+    match List.rev !l1 with [ b; e ] -> (b, e) | _ -> Alcotest.fail "l1"
+  in
+  let b2, e2 =
+    match List.rev !l2 with [ b; e ] -> (b, e) | _ -> Alcotest.fail "l2"
+  in
+  let torn = String.sub e1 0 (String.length e1 / 2) in
+  let frames = [ b1; b2; e1; e2; torn ] in
+  let parsed = List.filter_map Event.of_wire frames in
+  Alcotest.(check int) "torn frame dropped, intact ones kept" 4
+    (List.length parsed);
+  match Obs.Chrome.validate (Obs.Chrome.of_events parsed) with
+  | Ok n -> Alcotest.(check int) "interleaved spans pair up" 2 n
+  | Error msg -> Alcotest.fail ("interleaved trace invalid: " ^ msg)
+
+(* A real traced solve: phase report consistent (self <= total, rooted
+   under the request span) and the Chrome export structurally valid. *)
+let test_span_solve_report () =
+  let col = Obs.Collector.create () in
+  let sink = Obs.Collector.sink col in
+  let sp = Obs.Span.create ~sink ~id:0 () in
+  let req = Obs.Span.start sp "request" in
+  Obs.Span.set_anchor sp (Obs.Span.span_of req);
+  let config = { T.default_config with T.sink = sink; T.spans = sp } in
+  (match (M.solve_supervised ~config M.Msu3 (example ())).T.outcome with
+  | T.Optimum 2 -> ()
+  | _ -> Alcotest.fail "expected optimum 2");
+  Obs.Span.stop sp req;
+  let evs = Obs.Collector.events col in
+  let rows = Obs.Span.Report.of_events evs in
+  Alcotest.(check bool) "several phases" true (List.length rows >= 3);
+  List.iter
+    (fun (r : Obs.Span.Report.row) ->
+      Alcotest.(check bool)
+        (r.Obs.Span.Report.phase ^ ": self <= total")
+        true
+        (r.Obs.Span.Report.self_s <= r.Obs.Span.Report.total_s +. 1e-9))
+    rows;
+  let has phase =
+    List.exists (fun r -> String.equal r.Obs.Span.Report.phase phase) rows
+  in
+  Alcotest.(check bool) "sat_call phase present" true (has "sat_call");
+  Alcotest.(check bool) "supervise phase present" true (has "supervise");
+  Alcotest.(check bool)
+    "all solve spans hang under the request" true
+    (Obs.Span.Report.rooted ~root:(Obs.Span.span_of req) evs);
+  match Obs.Chrome.validate (Obs.Chrome.of_events evs) with
+  | Ok n -> Alcotest.(check bool) "several spans exported" true (n >= 4)
+  | Error msg -> Alcotest.fail ("solve trace invalid: " ^ msg)
+
+(* ----- event-vs-stats consistency oracle ----- *)
 
 let oracle_algorithms =
   [ M.Msu1; M.Msu2; M.Msu3; M.Msu4_v1; M.Msu4_v2; M.Oll; M.Wpm1; M.Pbo_linear ]
@@ -301,6 +481,11 @@ let suite =
     Alcotest.test_case "wire round-trip" `Quick test_wire_round_trip;
     Alcotest.test_case "jsonl round-trip" `Quick test_jsonl_round_trip;
     Alcotest.test_case "forked worker ordering" `Quick test_forked_worker_ordering;
+    Alcotest.test_case "span nesting" `Quick test_span_nesting;
+    Alcotest.test_case "span cross-process re-parenting" `Quick
+      test_span_reparenting;
+    Alcotest.test_case "span torn frames" `Quick test_span_torn_frames;
+    Alcotest.test_case "span solve report" `Quick test_span_solve_report;
     Alcotest.test_case "consistency oracle" `Quick test_consistency_oracle;
     Alcotest.test_case "rebuild events" `Quick test_rebuild_events;
   ]
